@@ -1,0 +1,87 @@
+// Experiment E1 -- Figure 1 regenerated.
+//
+// Figure 1 of the paper shows how (A/B) the timing of preemptive thread
+// switches and (C/D) environment values feeding branch decisions change a
+// program's behaviour between runs with identical initial state. This
+// harness regenerates both panels quantitatively: it sweeps schedules
+// (timer seeds) and environments (clock bases), reports the outcome
+// distribution, and then demonstrates the paper's remedy -- each distinct
+// outcome is recorded once and replayed exactly.
+#include <map>
+#include <set>
+
+#include "bench/bench_util.hpp"
+
+using namespace dejavu;
+using namespace dejavu::bench;
+
+namespace {
+
+void panel_ab() {
+  std::printf("Figure 1 (A/B): schedule non-determinism, fig1_race\n");
+  std::printf("%-10s %-10s\n", "output", "frequency");
+  std::map<std::string, int> hist;
+  std::map<std::string, uint64_t> witness_seed;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    replay::RecordResult r =
+        record_seeded(workloads::fig1_race(), seed, 2, 30);
+    std::string out = r.output.substr(0, r.output.find('\n'));
+    hist[out]++;
+    witness_seed.emplace(out, seed);
+  }
+  for (const auto& [out, n] : hist) std::printf("%-10s %d/200\n", out.c_str(), n);
+
+  std::printf("replaying one witness of each outcome:\n");
+  for (const auto& [out, seed] : witness_seed) {
+    replay::RecordResult rec =
+        record_seeded(workloads::fig1_race(), seed, 2, 30);
+    replay::ReplayResult rep =
+        replay::replay_run(workloads::fig1_race(), rec.trace, {});
+    std::printf("  outcome %-6s seed %-4llu -> replay %-6s %s\n", out.c_str(),
+                (unsigned long long)seed,
+                rep.output.substr(0, rep.output.find('\n')).c_str(),
+                rep.verified && rep.output == rec.output ? "EXACT"
+                                                         : "DIVERGED");
+  }
+}
+
+void panel_cd() {
+  std::printf("\nFigure 1 (C/D): environment-driven branching, fig1_clock\n");
+  std::printf("(the Date() parity decides whether T1 waits; the switch\n");
+  std::printf(" structure and final value follow)\n");
+  std::printf("%-12s %-8s %-18s\n", "clock base", "output", "switch-seq hash");
+  std::set<uint64_t> switch_hashes;
+  for (int64_t base : {1000, 1001, 1002, 1003}) {
+    vm::ScriptedEnvironment env(base, 7, {}, 17);
+    threads::NullTimer timer;
+    vm::NativeRegistry natives = make_natives();
+    replay::RecordResult r = replay::record_run(workloads::fig1_clock(), {},
+                                                env, timer, &natives);
+    switch_hashes.insert(r.summary.switch_seq_hash);
+    std::printf("%-12lld %-8s %016llx\n", (long long)base,
+                r.output.substr(0, r.output.find('\n')).c_str(),
+                (unsigned long long)r.summary.switch_seq_hash);
+
+    replay::ReplayResult rep =
+        replay::replay_run(workloads::fig1_clock(), r.trace, {});
+    if (!rep.verified) {
+      std::printf("REPLAY DIVERGED: %s\n", rep.stats.first_violation.c_str());
+    }
+  }
+  std::printf("distinct switch structures across environments: %zu\n",
+              switch_hashes.size());
+}
+
+}  // namespace
+
+int main() {
+  rule('=');
+  std::printf("E1: non-deterministic execution examples (paper Figure 1)\n");
+  rule('=');
+  panel_ab();
+  panel_cd();
+  rule();
+  std::printf("claim check: multiple outcomes from identical initial state;\n"
+              "every recorded outcome replays exactly.\n");
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Experiment E2 -- instrumentation precision (record/replay overhead).
+//
+// The paper's "precision" requirement (§1): the instrumented execution
+// should be close to the uninstrumented one. This google-benchmark binary
+// measures guest instructions/second for each execution mode:
+//
+//   off      -- plain VM, no hooks (the uninstrumented baseline)
+//   record   -- DejaVu recording
+//   replay   -- DejaVu replaying a recorded trace
+//   readlog  -- Recap/PPD-style every-read logging (the §5 comparison)
+//   crew     -- Instant Replay CREW version logging
+//   rc       -- Russinovich-Cogswell every-dispatch logging
+//
+// Expected shape: record ~ off (DejaVu logs only ND events and switch
+// deltas), while the per-access baselines pay on every heap read.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+using namespace dejavu;
+using namespace dejavu::bench;
+
+namespace {
+
+enum Mode : int64_t {
+  kOff = 0,
+  kRecord = 1,
+  kReplay = 2,
+  kReadLog = 3,
+  kCrew = 4,
+  kRc = 5,
+};
+
+const char* mode_name(int64_t m) {
+  switch (m) {
+    case kOff: return "off";
+    case kRecord: return "record";
+    case kReplay: return "replay";
+    case kReadLog: return "readlog";
+    case kCrew: return "crew";
+    case kRc: return "rc";
+  }
+  return "?";
+}
+
+bytecode::Program workload(int64_t w) {
+  switch (w) {
+    case 0: return workloads::compute(2, 20000);
+    case 1: return workloads::counter_race(4, 800);
+    case 2: return workloads::producer_consumer(400, 8);
+    case 3: return workloads::alloc_churn(8000, 16, 8);
+    case 4: return workloads::clock_mixer(3, 400);
+  }
+  throw VmError("bad workload index");
+}
+
+const char* workload_name(int64_t w) {
+  switch (w) {
+    case 0: return "compute";
+    case 1: return "counter_race";
+    case 2: return "producer_consumer";
+    case 3: return "alloc_churn";
+    case 4: return "clock_mixer";
+  }
+  return "?";
+}
+
+void BM_Execution(benchmark::State& state) {
+  int64_t w = state.range(0);
+  int64_t mode = state.range(1);
+  bytecode::Program prog = workload(w);
+  constexpr uint64_t kSeed = 7;
+
+  // One small heap configuration for every mode: VM construction cost
+  // (zeroing the heap) must not drown the instrumentation differences,
+  // and the CREW baseline needs stable addresses (mark-sweep) anyway.
+  vm::VmOptions opts;
+  opts.heap.size_bytes = 2 << 20;
+  opts.heap.gc = heap::GcKind::kMarkSweep;
+  replay::SymmetryConfig scfg;
+  scfg.buffer_capacity = 4096;
+
+  // Replay needs a trace up front.
+  replay::TraceFile trace;
+  if (mode == kReplay)
+    trace = record_seeded(prog, kSeed, 40, 400, opts, scfg).trace;
+
+  uint64_t instrs = 0;
+  for (auto _ : state) {
+    switch (mode) {
+      case kOff: {
+        HookedRun r = run_hooked(prog, nullptr, kSeed, 40, 400, opts);
+        instrs += r.summary.instr_count;
+        break;
+      }
+      case kRecord: {
+        replay::RecordResult r =
+            record_seeded(prog, kSeed, 40, 400, opts, scfg);
+        instrs += r.summary.instr_count;
+        break;
+      }
+      case kReplay: {
+        replay::ReplayResult r = replay::replay_run(prog, trace, opts, scfg);
+        instrs += r.summary.instr_count;
+        break;
+      }
+      case kReadLog: {
+        baselines::ReadLogRecorder rec;
+        HookedRun r = run_hooked(prog, &rec, kSeed, 40, 400, opts);
+        instrs += r.summary.instr_count;
+        break;
+      }
+      case kCrew: {
+        baselines::InstantReplayRecorder rec;
+        HookedRun r = run_hooked(prog, &rec, kSeed, 40, 400, opts);
+        instrs += r.summary.instr_count;
+        break;
+      }
+      case kRc: {
+        baselines::RcRecorder rec;
+        HookedRun r = run_hooked(prog, &rec, kSeed, 40, 400, opts);
+        instrs += r.summary.instr_count;
+        break;
+      }
+    }
+  }
+  state.SetItemsProcessed(int64_t(instrs));
+  state.SetLabel(std::string(workload_name(w)) + "/" + mode_name(mode));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Execution)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {kOff, kRecord, kReplay, kReadLog,
+                                     kCrew, kRc}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

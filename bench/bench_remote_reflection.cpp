@@ -1,0 +1,116 @@
+// Experiment E5 -- remote reflection (§3, Figure 3).
+//
+// Two measurements:
+//  1. latency of reflective queries through the remote boundary
+//     (lineNumberOf, field walks, backtraces) vs the in-process
+//     equivalents -- remote reflection costs more per query (every slot is
+//     a PEEKDATA-style read), which is the price of perturbation freedom;
+//  2. the perturbation check itself: a full battery of queries leaves the
+//     application VM's heap image hash untouched.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/debugger/debugger.hpp"
+#include "src/remote/process.hpp"
+#include "src/remote/reflection.hpp"
+
+using namespace dejavu;
+using namespace dejavu::bench;
+
+namespace {
+
+struct App {
+  bytecode::Program prog = workloads::debug_target();
+  vm::ScriptedEnvironment env{1000, 7, {}, 17};
+  threads::NullTimer timer;
+  vm::Vm vm{prog, {}, env, timer};
+  App() { vm.run(); }
+};
+
+App& app() {
+  static App a;
+  return a;
+}
+
+void BM_RemoteLineNumber(benchmark::State& state) {
+  remote::VmRemoteProcess proc(app().vm);
+  remote::RemoteReflection refl(proc, app().prog);
+  std::vector<remote::RemoteObject> mtable = refl.method_table();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        refl.line_number_at(mtable[i % mtable.size()], 0));
+    ++i;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+
+void BM_InProcessLineNumber(benchmark::State& state) {
+  // The in-process equivalent: direct access to the program's line table.
+  const bytecode::Program& prog = app().prog;
+  std::vector<const bytecode::MethodDef*> methods;
+  for (const auto& c : prog.classes)
+    for (const auto& m : c.methods) methods.push_back(&m);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(methods[i % methods.size()]->code[0].line);
+    ++i;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+
+void BM_RemoteFieldWalk(benchmark::State& state) {
+  remote::VmRemoteProcess proc(app().vm);
+  remote::RemoteReflection refl(proc, app().prog);
+  std::vector<remote::RemoteObject> classes = refl.class_table();
+  size_t i = 0;
+  for (auto _ : state) {
+    const remote::RemoteObject& c = classes[i % classes.size()];
+    std::string name =
+        refl.read_string(remote::as_object(refl.get_field(c, "name")));
+    benchmark::DoNotOptimize(name);
+    ++i;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+
+void BM_RemoteObjectTree(benchmark::State& state) {
+  remote::VmRemoteProcess proc(app().vm);
+  remote::RemoteReflection refl(proc, app().prog);
+  std::vector<remote::RemoteObject> classes = refl.class_table();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        refl.describe_object(classes[i % classes.size()], 2));
+    ++i;
+  }
+  state.SetItemsProcessed(int64_t(state.iterations()));
+}
+
+void BM_PerturbationCheck(benchmark::State& state) {
+  // Queries + hash comparison; aborts the benchmark if anything perturbs.
+  uint64_t before = app().vm.guest_heap().image_hash();
+  remote::VmRemoteProcess proc(app().vm);
+  remote::RemoteReflection refl(proc, app().prog);
+  for (auto _ : state) {
+    for (const auto& c : refl.class_table())
+      benchmark::DoNotOptimize(refl.describe_object(c, 2));
+    for (const auto& m : refl.method_table())
+      benchmark::DoNotOptimize(refl.line_number_at(m, 0));
+    if (app().vm.guest_heap().image_hash() != before) {
+      state.SkipWithError("PERTURBATION DETECTED");
+      return;
+    }
+  }
+  state.counters["perturbations"] = 0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_RemoteLineNumber);
+BENCHMARK(BM_InProcessLineNumber);
+BENCHMARK(BM_RemoteFieldWalk);
+BENCHMARK(BM_RemoteObjectTree);
+BENCHMARK(BM_PerturbationCheck)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Experiment E7 -- replay-time cost of thread-ID mapping (§5).
+//
+// "Since they do not replay the (operating system's) thread package
+// itself, their replay mechanism must tell the thread package which thread
+// to schedule at each thread switch. This entails maintaining a mapping
+// between the thread executing during record and during replay. This is a
+// significant execution cost that DejaVu does not incur."
+//
+// Measures replay wall time for DejaVu vs the Russinovich-Cogswell
+// replayer on switch-heavy workloads, and reports RC's per-switch map
+// traffic.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+using namespace dejavu;
+using namespace dejavu::bench;
+
+namespace {
+
+bytecode::Program workload(int64_t w) {
+  switch (w) {
+    case 0: return workloads::counter_race(8, 400);
+    case 1: return workloads::producer_consumer(600, 4);
+    case 2: return workloads::lock_pingpong(600);
+  }
+  throw VmError("bad workload");
+}
+
+const char* workload_name(int64_t w) {
+  return w == 0 ? "counter_race/8" : (w == 1 ? "prodcons" : "pingpong");
+}
+
+vm::VmOptions small_heap() {
+  vm::VmOptions opts;
+  opts.heap.size_bytes = 2 << 20;
+  opts.heap.gc = heap::GcKind::kMarkSweep;
+  return opts;
+}
+
+void BM_DejaVuReplay(benchmark::State& state) {
+  bytecode::Program prog = workload(state.range(0));
+  vm::VmOptions opts = small_heap();
+  replay::SymmetryConfig scfg;
+  scfg.buffer_capacity = 4096;
+  replay::RecordResult rec = record_seeded(prog, 7, 20, 120, opts, scfg);
+  uint64_t switches = 0;
+  for (auto _ : state) {
+    replay::ReplayResult rep = replay::replay_run(prog, rec.trace, opts, scfg);
+    if (!rep.verified) state.SkipWithError("dejavu replay diverged");
+    switches += rep.summary.switch_count;
+  }
+  state.SetItemsProcessed(int64_t(switches));
+  state.counters["map_lookups_per_switch"] = 0;  // replays the package
+  state.SetLabel(workload_name(state.range(0)));
+}
+
+void BM_RcReplay(benchmark::State& state) {
+  bytecode::Program prog = workload(state.range(0));
+  vm::VmOptions opts = small_heap();
+  baselines::RcRecorder rec;
+  HookedRun r = run_hooked(prog, &rec, 7, 20, 120, opts);
+  baselines::RcTrace trace = rec.take_trace();
+  uint64_t switches = 0;
+  double lookups_per_switch = 0;
+  for (auto _ : state) {
+    baselines::RcReplayer rep(trace);
+    HookedRun rr = run_hooked(prog, &rep, 0, 20, 120, opts);
+    if (!rep.verified()) state.SkipWithError("rc replay diverged");
+    if (rr.summary.output_hash != r.summary.output_hash)
+      state.SkipWithError("rc replay output mismatch");
+    switches += rr.summary.switch_count;
+    lookups_per_switch =
+        double(rep.map_lookups()) / double(rr.summary.switch_count);
+  }
+  state.SetItemsProcessed(int64_t(switches));
+  state.counters["map_lookups_per_switch"] = lookups_per_switch;
+  state.SetLabel(workload_name(state.range(0)));
+}
+
+}  // namespace
+
+BENCHMARK(BM_DejaVuReplay)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+BENCHMARK(BM_RcReplay)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+#include "src/baselines/instant_replay.hpp"
+
+namespace dejavu::baselines {
+
+size_t CrewTrace::total_entries() const {
+  size_t n = 0;
+  for (const auto& [tid, log] : per_thread) n += log.size();
+  return n;
+}
+
+size_t CrewTrace::serialized_bytes() const {
+  ByteWriter w;
+  for (const auto& [tid, log] : per_thread) {
+    w.put_uvarint(tid);
+    w.put_uvarint(log.size());
+    for (const CrewEntry& e : log) {
+      w.put_uvarint(e.obj);
+      w.put_uvarint(e.version);
+      w.put_u8(e.is_write ? 1 : 0);
+      if (e.is_write) w.put_uvarint(e.readers);
+    }
+  }
+  return w.size();
+}
+
+uint32_t InstantReplayRecorder::cur_tid() const {
+  return vm_ != nullptr ? vm_->thread_package().current() : 0;
+}
+
+void InstantReplayRecorder::on_heap_read(heap::Addr obj, uint32_t, int64_t*,
+                                         bool) {
+  ObjectState& st = objects_[obj];
+  st.readers_of_version++;
+  trace_.per_thread[cur_tid()].push_back(
+      CrewEntry{obj, st.version, false, 0});
+}
+
+void InstantReplayRecorder::on_heap_write(heap::Addr obj, uint32_t, int64_t,
+                                          bool) {
+  ObjectState& st = objects_[obj];
+  trace_.per_thread[cur_tid()].push_back(
+      CrewEntry{obj, st.version, true, st.readers_of_version});
+  st.version++;
+  st.readers_of_version = 0;
+}
+
+uint32_t InstantReplayValidator::cur_tid() const {
+  return vm_ != nullptr ? vm_->thread_package().current() : 0;
+}
+
+void InstantReplayValidator::validate(heap::Addr obj, bool is_write) {
+  uint32_t tid = cur_tid();
+  auto it = trace_.per_thread.find(tid);
+  if (it == trace_.per_thread.end()) {
+    mismatches_++;
+    return;
+  }
+  size_t& cur = cursor_[tid];
+  if (cur >= it->second.size()) {
+    mismatches_++;
+    return;
+  }
+  const CrewEntry& e = it->second[cur++];
+  uint32_t& version = live_version_[obj];
+  if (e.obj != obj || e.is_write != is_write || e.version != version) {
+    mismatches_++;
+  } else {
+    validated_++;
+  }
+  if (is_write) version++;
+}
+
+void InstantReplayValidator::on_heap_read(heap::Addr obj, uint32_t, int64_t*,
+                                          bool) {
+  validate(obj, false);
+}
+
+void InstantReplayValidator::on_heap_write(heap::Addr obj, uint32_t, int64_t,
+                                           bool) {
+  validate(obj, true);
+}
+
+}  // namespace dejavu::baselines

@@ -1,0 +1,104 @@
+// Instant Replay (LeBlanc & Mellor-Crummey, §5).
+//
+// Instant Replay assumes CREW (concurrent-read-exclusive-write) access to
+// shared objects and logs, per access, the object's *version*: readers log
+// the version they observed; writers log the version they superseded plus
+// the number of readers of that version. Replay (in the original system)
+// enforces the same partial order by spinning until the versions match.
+//
+// This implementation provides the full record side (the basis of the
+// trace-size comparison E3 -- the paper's §5 point is that per-access
+// logging costs far more than DejaVu's per-switch logging) plus an
+// order-validation replayer that, when run under a deterministic schedule,
+// checks that every access observes the recorded version. The spinning
+// enforcement of the original is out of scope (our hooks observe accesses
+// mid-instruction and cannot park a thread); DESIGN.md documents this.
+//
+// Versions are keyed by object address: use the mark-sweep collector
+// (stable addresses) when recording with this baseline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/vm/hooks.hpp"
+#include "src/vm/vm.hpp"
+
+namespace dejavu::baselines {
+
+struct CrewEntry {
+  uint32_t obj = 0;
+  uint32_t version = 0;
+  bool is_write = false;
+  uint32_t readers = 0;  // writers only: readers of the superseded version
+};
+
+struct CrewTrace {
+  // Per-thread access logs, as in the original.
+  std::map<uint32_t, std::vector<CrewEntry>> per_thread;
+
+  size_t total_entries() const;
+  size_t serialized_bytes() const;
+};
+
+class InstantReplayRecorder : public vm::ExecHooks {
+ public:
+  void attach(vm::Vm& vm) override { vm_ = &vm; }
+  bool yield_point(bool hardware_bit) override { return hardware_bit; }
+  int64_t nd_value(vm::NdKind, int64_t live) override {
+    // Environmental events are logged independently in every replay scheme
+    // (§5 footnote); count them toward the trace.
+    env_events_.push_back(live);
+    return live;
+  }
+  bool wants_memory_events() const override { return true; }
+  void on_heap_read(heap::Addr obj, uint32_t, int64_t*, bool) override;
+  void on_heap_write(heap::Addr obj, uint32_t, int64_t, bool) override;
+
+  CrewTrace take_trace() { return std::move(trace_); }
+  size_t env_event_count() const { return env_events_.size(); }
+
+ private:
+  struct ObjectState {
+    uint32_t version = 0;
+    uint32_t readers_of_version = 0;
+  };
+  uint32_t cur_tid() const;
+  vm::Vm* vm_ = nullptr;
+  std::map<uint32_t, ObjectState> objects_;
+  CrewTrace trace_;
+  std::vector<int64_t> env_events_;
+};
+
+// Validates (under an identical deterministic schedule) that each access
+// observes the recorded version.
+class InstantReplayValidator : public vm::ExecHooks {
+ public:
+  explicit InstantReplayValidator(CrewTrace trace)
+      : trace_(std::move(trace)) {}
+
+  void attach(vm::Vm& vm) override { vm_ = &vm; }
+  bool yield_point(bool hardware_bit) override { return hardware_bit; }
+  // Validation runs against a live (scripted) environment.
+  int64_t nd_value(vm::NdKind, int64_t live) override { return live; }
+  bool wants_memory_events() const override { return true; }
+  void on_heap_read(heap::Addr obj, uint32_t, int64_t*, bool) override;
+  void on_heap_write(heap::Addr obj, uint32_t, int64_t, bool) override;
+
+  uint64_t mismatches() const { return mismatches_; }
+  uint64_t validated() const { return validated_; }
+
+ private:
+  void validate(heap::Addr obj, bool is_write);
+  uint32_t cur_tid() const;
+  vm::Vm* vm_ = nullptr;
+  CrewTrace trace_;
+  std::map<uint32_t, size_t> cursor_;
+  std::map<uint32_t, uint32_t> live_version_;
+  uint64_t mismatches_ = 0;
+  uint64_t validated_ = 0;
+};
+
+}  // namespace dejavu::baselines

@@ -1,0 +1,45 @@
+#include "src/baselines/read_log.hpp"
+
+namespace dejavu::baselines {
+
+size_t ReadLogTrace::total_entries() const {
+  size_t n = 0;
+  for (const auto& [tid, log] : per_thread) n += log.size();
+  return n;
+}
+
+size_t ReadLogTrace::serialized_bytes() const {
+  ByteWriter w;
+  for (const auto& [tid, log] : per_thread) {
+    w.put_uvarint(tid);
+    w.put_uvarint(log.size());
+    for (const auto& [v, ref] : log) {
+      (void)ref;  // flags are accounted for as one packed bit per entry
+      w.put_svarint(v);
+    }
+  }
+  return w.size() + (total_entries() + 7) / 8;
+}
+
+void ReadLogRecorder::log(int64_t v, bool ref) {
+  uint32_t tid = vm_ != nullptr ? vm_->thread_package().current() : 0;
+  trace_.per_thread[tid].emplace_back(v, ref);
+}
+
+std::pair<int64_t, bool> ReadLogReplayer::next(bool /*expect_ref*/) {
+  uint32_t tid = vm_ != nullptr ? vm_->thread_package().current() : 0;
+  auto it = trace_.per_thread.find(tid);
+  if (it == trace_.per_thread.end()) {
+    desyncs_++;
+    return {0, true};
+  }
+  size_t& cur = cursor_[tid];
+  if (cur >= it->second.size()) {
+    desyncs_++;
+    return {0, true};
+  }
+  substituted_++;
+  return it->second[cur++];
+}
+
+}  // namespace dejavu::baselines

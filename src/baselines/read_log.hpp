@@ -1,0 +1,89 @@
+// Read-content logging (the Recap / PPD approach, §5).
+//
+// "Recap ... handles non-determinism in multithreaded applications by
+// capturing the effect of every read of shared memory locations, which is
+// quite expensive." This baseline does exactly that: record logs the value
+// of *every* heap read (plus all environmental events) per thread; replay
+// substitutes each thread's logged values back, making each thread's
+// execution independent of the interleaving -- no schedule is recorded at
+// all.
+//
+// Reference reads are logged (they cost trace space, as in the original
+// systems) but not substituted on replay: addresses are only meaningful
+// within one run, and the original systems replayed whole address-space
+// images where ours replays a fresh VM. Consequently per-thread data
+// behaviour reproduces, but the *interleaving* of output across threads
+// does not -- which is precisely the deficiency relative to DejaVu that
+// experiment E3/E4 quantifies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/vm/hooks.hpp"
+#include "src/vm/vm.hpp"
+
+namespace dejavu::baselines {
+
+// Per-thread value logs, serializable for size accounting (E3).
+struct ReadLogTrace {
+  // log[tid] = sequence of (value, was_ref) for every read + ND event.
+  std::map<uint32_t, std::vector<std::pair<int64_t, bool>>> per_thread;
+
+  size_t total_entries() const;
+  size_t serialized_bytes() const;  // varint-encoded size (fair comparison)
+};
+
+class ReadLogRecorder : public vm::ExecHooks {
+ public:
+  void attach(vm::Vm& vm) override { vm_ = &vm; }
+  bool yield_point(bool hardware_bit) override { return hardware_bit; }
+  int64_t nd_value(vm::NdKind, int64_t live) override {
+    log(live, false);
+    return live;
+  }
+  bool wants_memory_events() const override { return true; }
+  void on_heap_read(heap::Addr, uint32_t, int64_t* value,
+                    bool is_ref) override {
+    log(*value, is_ref);
+  }
+
+  ReadLogTrace take_trace() { return std::move(trace_); }
+
+ private:
+  void log(int64_t v, bool ref);
+  vm::Vm* vm_ = nullptr;
+  ReadLogTrace trace_;
+};
+
+class ReadLogReplayer : public vm::ExecHooks {
+ public:
+  explicit ReadLogReplayer(ReadLogTrace trace) : trace_(std::move(trace)) {}
+
+  void attach(vm::Vm& vm) override { vm_ = &vm; }
+  bool yield_point(bool hardware_bit) override { return hardware_bit; }
+  int64_t nd_value(vm::NdKind, int64_t) override {
+    return next(false).first;
+  }
+  bool wants_memory_events() const override { return true; }
+  void on_heap_read(heap::Addr, uint32_t, int64_t* value,
+                    bool is_ref) override {
+    auto [v, logged_ref] = next(is_ref);
+    if (!is_ref && !logged_ref) *value = v;  // refs consume but pass through
+  }
+
+  uint64_t substituted() const { return substituted_; }
+  uint64_t desyncs() const { return desyncs_; }
+
+ private:
+  std::pair<int64_t, bool> next(bool expect_ref);
+  vm::Vm* vm_ = nullptr;
+  ReadLogTrace trace_;
+  std::map<uint32_t, size_t> cursor_;
+  uint64_t substituted_ = 0;
+  uint64_t desyncs_ = 0;
+};
+
+}  // namespace dejavu::baselines

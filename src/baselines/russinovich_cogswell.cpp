@@ -1,0 +1,77 @@
+#include "src/baselines/russinovich_cogswell.hpp"
+
+#include <algorithm>
+
+namespace dejavu::baselines {
+
+size_t RcTrace::serialized_bytes() const {
+  ByteWriter w;
+  uint64_t prev = 0;
+  for (const RcSwitchEntry& e : switches) {
+    w.put_uvarint(e.instr - prev);
+    prev = e.instr;
+    w.put_uvarint(e.to);
+    w.put_u8(e.reason);
+  }
+  for (int64_t v : env_events) w.put_svarint(v);
+  return w.size();
+}
+
+void RcReplayer::attach(vm::Vm& vm) {
+  vm_ = &vm;
+  vm.thread_package().set_director(this);
+}
+
+void RcReplayer::detach(vm::Vm& vm) {
+  vm.thread_package().set_director(nullptr);
+  if (cursor_ != trace_.switches.size()) divergences_++;
+}
+
+bool RcReplayer::yield_point(bool /*hardware_bit*/) {
+  // Force the recorded preemptions at the recorded instruction boundaries;
+  // the hardware bit is ignored, as in any replayer.
+  if (cursor_ >= trace_.switches.size()) return false;
+  const RcSwitchEntry& e = trace_.switches[cursor_];
+  return threads::SwitchReason(e.reason) == threads::SwitchReason::kPreempt &&
+         vm_->instr_count() >= e.instr;
+}
+
+int64_t RcReplayer::nd_value(vm::NdKind, int64_t) {
+  if (env_cursor_ >= trace_.env_events.size()) {
+    divergences_++;
+    return 0;
+  }
+  return trace_.env_events[env_cursor_++];
+}
+
+threads::Tid RcReplayer::pick_next(const std::deque<threads::Tid>& ready) {
+  // The replay system, not the thread package, decides who runs: resolve
+  // the recorded id through the map and find it in the ready queue.
+  if (cursor_ < trace_.switches.size()) {
+    const RcSwitchEntry& e = trace_.switches[cursor_];
+    map_lookups_++;
+    auto [it, inserted] = record_to_replay_.try_emplace(e.to, e.to);
+    threads::Tid want = it->second;
+    auto pos = std::find(ready.begin(), ready.end(), want);
+    if (pos != ready.end()) return *pos;
+    divergences_++;
+  }
+  return ready.front();
+}
+
+void RcReplayer::on_switch(threads::Tid, threads::Tid to,
+                           threads::SwitchReason reason) {
+  if (cursor_ >= trace_.switches.size()) {
+    divergences_++;
+    return;
+  }
+  const RcSwitchEntry& e = trace_.switches[cursor_++];
+  map_lookups_++;
+  auto [it, inserted] = record_to_replay_.try_emplace(e.to, e.to);
+  if (it->second != to || e.reason != uint8_t(reason) ||
+      e.instr != vm_->instr_count()) {
+    divergences_++;
+  }
+}
+
+}  // namespace dejavu::baselines

@@ -1,0 +1,99 @@
+// Russinovich & Cogswell's repeatable scheduling (§5).
+//
+// Their system modifies the OS (Mach) to notify the replay system on
+// *every* thread switch; replay then tells the scheduler which thread to
+// run at each switch point. Because the thread package itself is not
+// replayed, the replayer must maintain a mapping between record-time and
+// replay-time thread identities -- "a significant execution cost that
+// DejaVu does not incur because it replays the entire Jalapeño thread
+// package". Experiment E7 measures exactly this difference.
+//
+// Record: one entry per dispatch -- (guest-instruction delta, thread id).
+// Replay: preemptions are forced when the instruction count reaches the
+// recorded boundary, and *every* dispatch goes through a SchedulerDirector
+// that resolves the recorded thread id through the record->replay map
+// (built incrementally in thread-creation order) and validates it against
+// the package's ready queue. Environmental events are logged in a single
+// global-order stream, as all replay schemes must (§5 footnote 7).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/io.hpp"
+#include "src/threads/thread_package.hpp"
+#include "src/vm/hooks.hpp"
+#include "src/vm/vm.hpp"
+
+namespace dejavu::baselines {
+
+struct RcSwitchEntry {
+  uint64_t instr = 0;  // absolute guest-instruction count at the dispatch
+  uint32_t to = 0;     // record-time thread id
+  uint8_t reason = 0;
+};
+
+struct RcTrace {
+  std::vector<RcSwitchEntry> switches;
+  std::vector<int64_t> env_events;
+
+  size_t serialized_bytes() const;
+};
+
+class RcRecorder : public vm::ExecHooks {
+ public:
+  void attach(vm::Vm& vm) override { vm_ = &vm; }
+  bool yield_point(bool hardware_bit) override { return hardware_bit; }
+  int64_t nd_value(vm::NdKind, int64_t live) override {
+    trace_.env_events.push_back(live);
+    return live;
+  }
+  void on_switch(threads::Tid, threads::Tid to,
+                 threads::SwitchReason reason) override {
+    trace_.switches.push_back(RcSwitchEntry{
+        vm_ != nullptr ? vm_->instr_count() : 0, to, uint8_t(reason)});
+  }
+
+  RcTrace take_trace() { return std::move(trace_); }
+
+ private:
+  vm::Vm* vm_ = nullptr;
+  RcTrace trace_;
+};
+
+class RcReplayer : public vm::ExecHooks, public threads::SchedulerDirector {
+ public:
+  explicit RcReplayer(RcTrace trace) : trace_(std::move(trace)) {}
+
+  void attach(vm::Vm& vm) override;
+  void detach(vm::Vm& vm) override;
+  bool yield_point(bool hardware_bit) override;
+  int64_t nd_value(vm::NdKind, int64_t) override;
+  void on_switch(threads::Tid, threads::Tid to,
+                 threads::SwitchReason reason) override;
+
+  // SchedulerDirector: resolve the recorded thread through the id map.
+  threads::Tid pick_next(const std::deque<threads::Tid>& ready) override;
+
+  uint64_t map_lookups() const { return map_lookups_; }
+  uint64_t divergences() const { return divergences_; }
+  bool verified() const { return divergences_ == 0 && cursor_ == trace_.switches.size(); }
+
+ private:
+  vm::Vm* vm_ = nullptr;
+  RcTrace trace_;
+  size_t cursor_ = 0;      // next switch entry to be consumed (on_switch)
+  size_t env_cursor_ = 0;
+  // Record-time tid -> replay-time tid. Built incrementally: the n-th
+  // thread created during record corresponds to the n-th created on
+  // replay. The lookups themselves are the cost DejaVu avoids.
+  std::unordered_map<uint32_t, uint32_t> record_to_replay_;
+  uint32_t threads_seen_ = 0;
+  uint64_t map_lookups_ = 0;
+  uint64_t divergences_ = 0;
+};
+
+}  // namespace dejavu::baselines

@@ -1,0 +1,234 @@
+#include "src/bytecode/builder.hpp"
+
+namespace dejavu::bytecode {
+
+// ---------------------------------------------------------------- Method
+
+MethodBuilder::MethodBuilder(ProgramBuilder& prog, std::string name)
+    : prog_(prog) {
+  def_.name = std::move(name);
+}
+
+MethodBuilder& MethodBuilder::arg(ValueType t) {
+  DV_CHECK_MSG(def_.code.empty(), "declare args before emitting code");
+  def_.args.push_back(t);
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::returns(ValueType t) {
+  def_.ret = t;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::locals(uint16_t n) {
+  DV_CHECK_MSG(n >= def_.args.size(), "locals < args in " << def_.name);
+  def_.num_locals = n;
+  locals_set_ = true;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::virt() {
+  DV_CHECK_MSG(!def_.args.empty() && def_.args[0] == ValueType::kRef,
+               "virtual method " << def_.name
+                                 << " needs a ref receiver as first arg");
+  def_.is_virtual = true;
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::line(int32_t n) {
+  cur_line_ = n;
+  return *this;
+}
+
+Label MethodBuilder::label() {
+  Label l{int32_t(label_offsets_.size())};
+  label_offsets_.push_back(-1);
+  return l;
+}
+
+MethodBuilder& MethodBuilder::bind(Label l) {
+  DV_CHECK_MSG(l.id >= 0 && size_t(l.id) < label_offsets_.size(),
+               "bad label");
+  DV_CHECK_MSG(label_offsets_[l.id] < 0, "label bound twice");
+  label_offsets_[l.id] = int32_t(def_.code.size());
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::emit(Op op, int32_t a, int64_t b) {
+  def_.code.push_back(Instr{op, a, b, cur_line_});
+  return *this;
+}
+
+MethodBuilder& MethodBuilder::emit_branch(Op op, Label l) {
+  DV_CHECK_MSG(l.id >= 0 && size_t(l.id) < label_offsets_.size(),
+               "bad label in branch");
+  fixups_.emplace_back(def_.code.size(), l.id);
+  return emit(op, -1);
+}
+
+MethodBuilder& MethodBuilder::nop() { return emit(Op::kNop); }
+MethodBuilder& MethodBuilder::push_i(int64_t v) { return emit(Op::kPushI, 0, v); }
+MethodBuilder& MethodBuilder::push_null() { return emit(Op::kPushNull); }
+MethodBuilder& MethodBuilder::push_str(const std::string& s) {
+  return emit(Op::kPushStr, prog_.pool().intern_string(s));
+}
+MethodBuilder& MethodBuilder::pop() { return emit(Op::kPop); }
+MethodBuilder& MethodBuilder::dup() { return emit(Op::kDup); }
+MethodBuilder& MethodBuilder::swap() { return emit(Op::kSwap); }
+MethodBuilder& MethodBuilder::load(int32_t slot) { return emit(Op::kLoad, slot); }
+MethodBuilder& MethodBuilder::store(int32_t slot) { return emit(Op::kStore, slot); }
+MethodBuilder& MethodBuilder::add() { return emit(Op::kAdd); }
+MethodBuilder& MethodBuilder::sub() { return emit(Op::kSub); }
+MethodBuilder& MethodBuilder::mul() { return emit(Op::kMul); }
+MethodBuilder& MethodBuilder::div() { return emit(Op::kDiv); }
+MethodBuilder& MethodBuilder::mod() { return emit(Op::kMod); }
+MethodBuilder& MethodBuilder::neg() { return emit(Op::kNeg); }
+MethodBuilder& MethodBuilder::band() { return emit(Op::kAnd); }
+MethodBuilder& MethodBuilder::bor() { return emit(Op::kOr); }
+MethodBuilder& MethodBuilder::bxor() { return emit(Op::kXor); }
+MethodBuilder& MethodBuilder::shl() { return emit(Op::kShl); }
+MethodBuilder& MethodBuilder::shr() { return emit(Op::kShr); }
+MethodBuilder& MethodBuilder::cmp_lt() { return emit(Op::kCmpLt); }
+MethodBuilder& MethodBuilder::cmp_le() { return emit(Op::kCmpLe); }
+MethodBuilder& MethodBuilder::cmp_gt() { return emit(Op::kCmpGt); }
+MethodBuilder& MethodBuilder::cmp_ge() { return emit(Op::kCmpGe); }
+MethodBuilder& MethodBuilder::cmp_eq() { return emit(Op::kCmpEq); }
+MethodBuilder& MethodBuilder::cmp_ne() { return emit(Op::kCmpNe); }
+MethodBuilder& MethodBuilder::acmp_eq() { return emit(Op::kAcmpEq); }
+MethodBuilder& MethodBuilder::acmp_ne() { return emit(Op::kAcmpNe); }
+MethodBuilder& MethodBuilder::jmp(Label l) { return emit_branch(Op::kJmp, l); }
+MethodBuilder& MethodBuilder::jz(Label l) { return emit_branch(Op::kJz, l); }
+MethodBuilder& MethodBuilder::jnz(Label l) { return emit_branch(Op::kJnz, l); }
+MethodBuilder& MethodBuilder::invoke_static(const std::string& cls,
+                                            const std::string& m) {
+  return emit(Op::kInvokeStatic, prog_.pool().intern_method(cls, m));
+}
+MethodBuilder& MethodBuilder::invoke_virtual(const std::string& cls,
+                                             const std::string& m) {
+  return emit(Op::kInvokeVirtual, prog_.pool().intern_method(cls, m));
+}
+MethodBuilder& MethodBuilder::ret() { return emit(Op::kRet); }
+MethodBuilder& MethodBuilder::ret_val() { return emit(Op::kRetVal); }
+MethodBuilder& MethodBuilder::new_object(const std::string& cls) {
+  return emit(Op::kNew, prog_.pool().intern_class(cls));
+}
+MethodBuilder& MethodBuilder::getfield(const std::string& cls,
+                                       const std::string& f) {
+  return emit(Op::kGetField, prog_.pool().intern_field(cls, f));
+}
+MethodBuilder& MethodBuilder::putfield(const std::string& cls,
+                                       const std::string& f) {
+  return emit(Op::kPutField, prog_.pool().intern_field(cls, f));
+}
+MethodBuilder& MethodBuilder::getstatic(const std::string& cls,
+                                        const std::string& f) {
+  return emit(Op::kGetStatic, prog_.pool().intern_field(cls, f));
+}
+MethodBuilder& MethodBuilder::putstatic(const std::string& cls,
+                                        const std::string& f) {
+  return emit(Op::kPutStatic, prog_.pool().intern_field(cls, f));
+}
+MethodBuilder& MethodBuilder::newarr_i() { return emit(Op::kNewArrI); }
+MethodBuilder& MethodBuilder::newarr_r() { return emit(Op::kNewArrR); }
+MethodBuilder& MethodBuilder::aload_i() { return emit(Op::kALoadI); }
+MethodBuilder& MethodBuilder::astore_i() { return emit(Op::kAStoreI); }
+MethodBuilder& MethodBuilder::aload_r() { return emit(Op::kALoadR); }
+MethodBuilder& MethodBuilder::astore_r() { return emit(Op::kAStoreR); }
+MethodBuilder& MethodBuilder::arraylen() { return emit(Op::kArrayLen); }
+MethodBuilder& MethodBuilder::monitorenter() { return emit(Op::kMonitorEnter); }
+MethodBuilder& MethodBuilder::monitorexit() { return emit(Op::kMonitorExit); }
+MethodBuilder& MethodBuilder::wait_on() { return emit(Op::kWait); }
+MethodBuilder& MethodBuilder::timed_wait() { return emit(Op::kTimedWait); }
+MethodBuilder& MethodBuilder::notify_one() { return emit(Op::kNotify); }
+MethodBuilder& MethodBuilder::notify_all() { return emit(Op::kNotifyAll); }
+MethodBuilder& MethodBuilder::interrupt() { return emit(Op::kInterrupt); }
+MethodBuilder& MethodBuilder::spawn(const std::string& cls,
+                                    const std::string& m) {
+  return emit(Op::kSpawn, prog_.pool().intern_method(cls, m));
+}
+MethodBuilder& MethodBuilder::join() { return emit(Op::kJoin); }
+MethodBuilder& MethodBuilder::yield() { return emit(Op::kYield); }
+MethodBuilder& MethodBuilder::sleep() { return emit(Op::kSleep); }
+MethodBuilder& MethodBuilder::current_thread() {
+  return emit(Op::kCurrentThread);
+}
+MethodBuilder& MethodBuilder::now() { return emit(Op::kNow); }
+MethodBuilder& MethodBuilder::read_input() { return emit(Op::kReadInput); }
+MethodBuilder& MethodBuilder::env_rand() { return emit(Op::kEnvRand); }
+MethodBuilder& MethodBuilder::nativecall(const std::string& native,
+                                         int64_t nargs) {
+  return emit(Op::kNativeCall, prog_.pool().intern_native(native), nargs);
+}
+MethodBuilder& MethodBuilder::print_i() { return emit(Op::kPrintI); }
+MethodBuilder& MethodBuilder::print_lit(const std::string& s) {
+  return emit(Op::kPrintLit, prog_.pool().intern_string(s));
+}
+MethodBuilder& MethodBuilder::print_str() { return emit(Op::kPrintStr); }
+MethodBuilder& MethodBuilder::gc_force() { return emit(Op::kGcForce); }
+MethodBuilder& MethodBuilder::halt() { return emit(Op::kHalt); }
+
+MethodDef MethodBuilder::finish() {
+  for (auto& [idx, label] : fixups_) {
+    int32_t target = label_offsets_[label];
+    DV_CHECK_MSG(target >= 0, "unbound label in method " << def_.name);
+    def_.code[idx].a = target;
+  }
+  fixups_.clear();
+  if (!locals_set_) def_.num_locals = uint16_t(def_.args.size());
+  return std::move(def_);
+}
+
+// ----------------------------------------------------------------- Class
+
+ClassBuilder::ClassBuilder(ProgramBuilder& prog, std::string name,
+                           std::string super)
+    : prog_(prog), name_(std::move(name)), super_(std::move(super)) {}
+
+ClassBuilder& ClassBuilder::field(const std::string& name, ValueType t) {
+  fields_.push_back(FieldDef{name, t});
+  return *this;
+}
+
+ClassBuilder& ClassBuilder::static_field(const std::string& name,
+                                         ValueType t) {
+  statics_.push_back(FieldDef{name, t});
+  return *this;
+}
+
+MethodBuilder& ClassBuilder::method(const std::string& name) {
+  methods_.emplace_back(prog_, name);
+  return methods_.back();
+}
+
+ClassDef ClassBuilder::finish() {
+  ClassDef def;
+  def.name = name_;
+  def.super = super_;
+  def.fields = std::move(fields_);
+  def.statics = std::move(statics_);
+  for (auto& m : methods_) def.methods.push_back(m.finish());
+  return def;
+}
+
+// --------------------------------------------------------------- Program
+
+ClassBuilder& ProgramBuilder::add_class(const std::string& name,
+                                        const std::string& super) {
+  classes_.emplace_back(*this, name, super);
+  return classes_.back();
+}
+
+ProgramBuilder& ProgramBuilder::main(const std::string& cls,
+                                     const std::string& method) {
+  prog_.main = MethodRef{cls, method};
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  DV_CHECK_MSG(!built_, "ProgramBuilder::build called twice");
+  built_ = true;
+  for (auto& c : classes_) prog_.classes.push_back(c.finish());
+  return std::move(prog_);
+}
+
+}  // namespace dejavu::bytecode

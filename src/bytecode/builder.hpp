@@ -1,0 +1,174 @@
+// Fluent construction of guest programs ("the assembler").
+//
+// Tests, examples and benchmark workload generators author guest programs
+// through this API instead of hand-assembling Instr vectors. Branches use
+// labels with back-patching, so loops read naturally:
+//
+//   auto& m = cls.method("count").arg(ValueType::kI64).locals(2);
+//   Label top = m.label();
+//   m.bind(top).load(0).push_i(1).sub().store(0)
+//    .load(0).jnz(top).ret();
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/model.hpp"
+#include "src/common/check.hpp"
+
+namespace dejavu::bytecode {
+
+class ClassBuilder;
+class ProgramBuilder;
+
+// An unresolved branch target. Create with MethodBuilder::label(), place
+// with bind(), reference from jmp/jz/jnz.
+struct Label {
+  int32_t id = -1;
+};
+
+class MethodBuilder {
+ public:
+  MethodBuilder(ProgramBuilder& prog, std::string name);
+
+  // -- signature ------------------------------------------------------
+  MethodBuilder& arg(ValueType t);
+  MethodBuilder& returns(ValueType t);
+  // Total local slots (>= number of args). Defaults to the arg count.
+  MethodBuilder& locals(uint16_t n);
+  MethodBuilder& virt();  // overridable; locals[0] is the receiver
+
+  // -- source mapping -------------------------------------------------
+  // Sets the source line attached to subsequently emitted instructions.
+  MethodBuilder& line(int32_t n);
+
+  // -- labels ---------------------------------------------------------
+  Label label();
+  MethodBuilder& bind(Label l);
+
+  // -- emitters (one per opcode) ---------------------------------------
+  MethodBuilder& nop();
+  MethodBuilder& push_i(int64_t v);
+  MethodBuilder& push_null();
+  MethodBuilder& push_str(const std::string& s);
+  MethodBuilder& pop();
+  MethodBuilder& dup();
+  MethodBuilder& swap();
+  MethodBuilder& load(int32_t slot);
+  MethodBuilder& store(int32_t slot);
+  MethodBuilder& add();
+  MethodBuilder& sub();
+  MethodBuilder& mul();
+  MethodBuilder& div();
+  MethodBuilder& mod();
+  MethodBuilder& neg();
+  MethodBuilder& band();
+  MethodBuilder& bor();
+  MethodBuilder& bxor();
+  MethodBuilder& shl();
+  MethodBuilder& shr();
+  MethodBuilder& cmp_lt();
+  MethodBuilder& cmp_le();
+  MethodBuilder& cmp_gt();
+  MethodBuilder& cmp_ge();
+  MethodBuilder& cmp_eq();
+  MethodBuilder& cmp_ne();
+  MethodBuilder& acmp_eq();
+  MethodBuilder& acmp_ne();
+  MethodBuilder& jmp(Label l);
+  MethodBuilder& jz(Label l);
+  MethodBuilder& jnz(Label l);
+  MethodBuilder& invoke_static(const std::string& cls, const std::string& m);
+  MethodBuilder& invoke_virtual(const std::string& cls, const std::string& m);
+  MethodBuilder& ret();
+  MethodBuilder& ret_val();
+  MethodBuilder& new_object(const std::string& cls);
+  MethodBuilder& getfield(const std::string& cls, const std::string& f);
+  MethodBuilder& putfield(const std::string& cls, const std::string& f);
+  MethodBuilder& getstatic(const std::string& cls, const std::string& f);
+  MethodBuilder& putstatic(const std::string& cls, const std::string& f);
+  MethodBuilder& newarr_i();
+  MethodBuilder& newarr_r();
+  MethodBuilder& aload_i();
+  MethodBuilder& astore_i();
+  MethodBuilder& aload_r();
+  MethodBuilder& astore_r();
+  MethodBuilder& arraylen();
+  MethodBuilder& monitorenter();
+  MethodBuilder& monitorexit();
+  MethodBuilder& wait_on();
+  MethodBuilder& timed_wait();
+  MethodBuilder& notify_one();
+  MethodBuilder& notify_all();
+  MethodBuilder& interrupt();
+  MethodBuilder& spawn(const std::string& cls, const std::string& m);
+  MethodBuilder& join();
+  MethodBuilder& yield();
+  MethodBuilder& sleep();
+  MethodBuilder& current_thread();
+  MethodBuilder& now();
+  MethodBuilder& read_input();
+  MethodBuilder& env_rand();
+  MethodBuilder& nativecall(const std::string& native, int64_t nargs);
+  MethodBuilder& print_i();
+  MethodBuilder& print_lit(const std::string& s);
+  MethodBuilder& print_str();
+  MethodBuilder& gc_force();
+  MethodBuilder& halt();
+
+  // Finalize: patches labels and returns the MethodDef. Called by
+  // ClassBuilder; user code never needs it directly.
+  MethodDef finish();
+
+ private:
+  MethodBuilder& emit(Op op, int32_t a = 0, int64_t b = 0);
+  MethodBuilder& emit_branch(Op op, Label l);
+
+  ProgramBuilder& prog_;
+  MethodDef def_;
+  int32_t cur_line_ = 0;
+  bool locals_set_ = false;
+  std::vector<int32_t> label_offsets_;            // label id -> instr index
+  std::vector<std::pair<size_t, int32_t>> fixups_;  // (instr idx, label id)
+};
+
+class ClassBuilder {
+ public:
+  ClassBuilder(ProgramBuilder& prog, std::string name, std::string super);
+
+  ClassBuilder& field(const std::string& name, ValueType t);
+  ClassBuilder& static_field(const std::string& name, ValueType t);
+  MethodBuilder& method(const std::string& name);
+
+  ClassDef finish();
+  const std::string& name() const { return name_; }
+
+ private:
+  ProgramBuilder& prog_;
+  std::string name_;
+  std::string super_;
+  std::vector<FieldDef> fields_;
+  std::vector<FieldDef> statics_;
+  std::deque<MethodBuilder> methods_;
+};
+
+class ProgramBuilder {
+ public:
+  ClassBuilder& add_class(const std::string& name,
+                          const std::string& super = "");
+  ProgramBuilder& main(const std::string& cls, const std::string& method);
+
+  ConstantPool& pool() { return prog_.pool; }
+
+  // Finalizes all classes and returns the Program. The builder is spent.
+  Program build();
+
+ private:
+  Program prog_;
+  std::deque<ClassBuilder> classes_;
+  bool built_ = false;
+};
+
+}  // namespace dejavu::bytecode

@@ -1,0 +1,96 @@
+#include "src/bytecode/disasm.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace dejavu::bytecode {
+
+std::string disassemble_instr(const Program& prog, const MethodDef& m,
+                              size_t pc) {
+  DV_CHECK(pc < m.code.size());
+  const Instr& ins = m.code[pc];
+  std::ostringstream os;
+  os << op_name(ins.op);
+  using enum Op;
+  switch (ins.op) {
+    case kPushI:
+      os << " " << ins.b;
+      break;
+    case kLoad:
+    case kStore:
+      os << " l" << ins.a;
+      break;
+    case kJmp:
+    case kJz:
+    case kJnz:
+      os << " -> " << ins.a;
+      if (ins.a <= int32_t(pc)) os << "  ; backedge (yield point)";
+      break;
+    case kPushStr:
+    case kPrintLit:
+      os << " \"" << prog.pool.strings[ins.a] << "\"";
+      break;
+    case kInvokeStatic:
+    case kInvokeVirtual:
+    case kSpawn: {
+      const MethodRef& mr = prog.pool.method_refs[ins.a];
+      os << " " << mr.class_name << "." << mr.method_name;
+      break;
+    }
+    case kGetField:
+    case kPutField:
+    case kGetStatic:
+    case kPutStatic: {
+      const FieldRef& fr = prog.pool.field_refs[ins.a];
+      os << " " << fr.class_name << "." << fr.field_name;
+      break;
+    }
+    case kNew:
+      os << " " << prog.pool.class_refs[ins.a];
+      break;
+    case kNativeCall:
+      os << " " << prog.pool.native_refs[ins.a] << "/" << ins.b;
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
+std::string disassemble_method(const Program& prog, const ClassDef& cls,
+                               const MethodDef& m) {
+  std::ostringstream os;
+  os << (m.is_virtual ? "virtual " : "static ") << cls.name << "." << m.name
+     << "(";
+  for (size_t i = 0; i < m.args.size(); ++i) {
+    if (i) os << ", ";
+    os << type_name(m.args[i]);
+  }
+  os << ")";
+  if (m.ret.has_value()) os << " -> " << type_name(*m.ret);
+  os << "  [locals=" << m.num_locals << "]\n";
+  for (size_t pc = 0; pc < m.code.size(); ++pc) {
+    os << "  " << pc << "\t[line " << m.code[pc].line << "]\t"
+       << disassemble_instr(prog, m, pc) << "\n";
+  }
+  return os.str();
+}
+
+std::string disassemble_program(const Program& prog) {
+  std::ostringstream os;
+  for (const auto& c : prog.classes) {
+    os << "class " << c.name;
+    if (!c.super.empty()) os << " extends " << c.super;
+    os << " {\n";
+    for (const auto& f : c.fields)
+      os << "  field " << type_name(f.type) << " " << f.name << ";\n";
+    for (const auto& f : c.statics)
+      os << "  static " << type_name(f.type) << " " << f.name << ";\n";
+    for (const auto& m : c.methods) os << disassemble_method(prog, c, m);
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace dejavu::bytecode

@@ -1,0 +1,25 @@
+// Disassembly for debugger views and test diagnostics.
+//
+// The debugger GUI (§4) shows "a view of the executing method's Java source
+// and machine instructions"; our equivalent is the disassembly of the guest
+// bytecode annotated with source lines and yield-point markers.
+#pragma once
+
+#include <string>
+
+#include "src/bytecode/model.hpp"
+
+namespace dejavu::bytecode {
+
+// One instruction, e.g. "  12  [line 3]  jnz -> 4   ; backedge (yield point)"
+std::string disassemble_instr(const Program& prog, const MethodDef& m,
+                              size_t pc);
+
+// Whole method listing.
+std::string disassemble_method(const Program& prog, const ClassDef& cls,
+                               const MethodDef& m);
+
+// Whole program listing.
+std::string disassemble_program(const Program& prog);
+
+}  // namespace dejavu::bytecode

@@ -1,0 +1,67 @@
+#include "src/bytecode/model.hpp"
+
+namespace dejavu::bytecode {
+
+const char* type_name(ValueType t) {
+  return t == ValueType::kI64 ? "i64" : "ref";
+}
+
+const MethodDef* ClassDef::find_method(const std::string& mname) const {
+  for (const auto& m : methods) {
+    if (m.name == mname) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+template <typename T, typename Eq>
+int32_t intern(std::vector<T>& pool, const T& v, Eq eq) {
+  for (size_t i = 0; i < pool.size(); ++i) {
+    if (eq(pool[i], v)) return int32_t(i);
+  }
+  pool.push_back(v);
+  return int32_t(pool.size() - 1);
+}
+}  // namespace
+
+int32_t ConstantPool::intern_string(const std::string& s) {
+  return intern(strings, s,
+                [](const std::string& a, const std::string& b) { return a == b; });
+}
+
+int32_t ConstantPool::intern_method(const std::string& cls,
+                                    const std::string& m) {
+  return intern(method_refs, MethodRef{cls, m},
+                [](const MethodRef& a, const MethodRef& b) {
+                  return a.class_name == b.class_name &&
+                         a.method_name == b.method_name;
+                });
+}
+
+int32_t ConstantPool::intern_field(const std::string& cls,
+                                   const std::string& f) {
+  return intern(field_refs, FieldRef{cls, f},
+                [](const FieldRef& a, const FieldRef& b) {
+                  return a.class_name == b.class_name &&
+                         a.field_name == b.field_name;
+                });
+}
+
+int32_t ConstantPool::intern_class(const std::string& cls) {
+  return intern(class_refs, cls,
+                [](const std::string& a, const std::string& b) { return a == b; });
+}
+
+int32_t ConstantPool::intern_native(const std::string& n) {
+  return intern(native_refs, n,
+                [](const std::string& a, const std::string& b) { return a == b; });
+}
+
+const ClassDef* Program::find_class(const std::string& name) const {
+  for (const auto& c : classes) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+}  // namespace dejavu::bytecode

@@ -1,0 +1,83 @@
+// The static program model: classes, fields, methods, constant pools.
+//
+// A Program is what an application author (or the workload generators in
+// bench/) produces. It is *unlinked*: references to classes, methods and
+// fields are symbolic (pool entries naming them). The VM's class loader
+// resolves them lazily at run time -- lazy loading order is one of the
+// side-effect channels the paper's symmetric-instrumentation machinery must
+// keep identical between record and replay (§2.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/opcodes.hpp"
+
+namespace dejavu::bytecode {
+
+enum class ValueType : uint8_t { kI64, kRef };
+
+const char* type_name(ValueType t);
+
+struct FieldDef {
+  std::string name;
+  ValueType type = ValueType::kI64;
+};
+
+struct MethodDef {
+  std::string name;
+  std::vector<ValueType> args;          // arg slots occupy locals[0..n)
+  std::optional<ValueType> ret;         // nullopt = void
+  uint16_t num_locals = 0;              // total locals incl. args
+  bool is_virtual = false;              // overridable; locals[0] = receiver
+  std::vector<Instr> code;
+
+  uint16_t num_args() const { return uint16_t(args.size()); }
+};
+
+struct ClassDef {
+  std::string name;
+  std::string super;                    // "" = direct subclass of Object
+  std::vector<FieldDef> fields;         // instance fields (appended to super's)
+  std::vector<FieldDef> statics;        // class variables
+  std::vector<MethodDef> methods;
+
+  const MethodDef* find_method(const std::string& mname) const;
+};
+
+struct MethodRef {
+  std::string class_name;
+  std::string method_name;
+};
+
+struct FieldRef {
+  std::string class_name;
+  std::string field_name;
+};
+
+// Program-wide constant pools. Instruction operand `a` indexes into these.
+struct ConstantPool {
+  std::vector<std::string> strings;
+  std::vector<MethodRef> method_refs;
+  std::vector<FieldRef> field_refs;
+  std::vector<std::string> class_refs;
+  std::vector<std::string> native_refs;
+
+  int32_t intern_string(const std::string& s);
+  int32_t intern_method(const std::string& cls, const std::string& m);
+  int32_t intern_field(const std::string& cls, const std::string& f);
+  int32_t intern_class(const std::string& cls);
+  int32_t intern_native(const std::string& n);
+};
+
+struct Program {
+  ConstantPool pool;
+  std::vector<ClassDef> classes;
+  MethodRef main;  // entry point: a static method taking one ref arg
+
+  const ClassDef* find_class(const std::string& name) const;
+};
+
+}  // namespace dejavu::bytecode

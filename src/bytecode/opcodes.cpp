@@ -1,0 +1,106 @@
+#include "src/bytecode/opcodes.hpp"
+
+namespace dejavu::bytecode {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kNop: return "nop";
+    case Op::kPushI: return "push_i";
+    case Op::kPushNull: return "push_null";
+    case Op::kPushStr: return "push_str";
+    case Op::kPop: return "pop";
+    case Op::kDup: return "dup";
+    case Op::kSwap: return "swap";
+    case Op::kLoad: return "load";
+    case Op::kStore: return "store";
+    case Op::kAdd: return "add";
+    case Op::kSub: return "sub";
+    case Op::kMul: return "mul";
+    case Op::kDiv: return "div";
+    case Op::kMod: return "mod";
+    case Op::kNeg: return "neg";
+    case Op::kAnd: return "and";
+    case Op::kOr: return "or";
+    case Op::kXor: return "xor";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kCmpLt: return "cmp_lt";
+    case Op::kCmpLe: return "cmp_le";
+    case Op::kCmpGt: return "cmp_gt";
+    case Op::kCmpGe: return "cmp_ge";
+    case Op::kCmpEq: return "cmp_eq";
+    case Op::kCmpNe: return "cmp_ne";
+    case Op::kAcmpEq: return "acmp_eq";
+    case Op::kAcmpNe: return "acmp_ne";
+    case Op::kJmp: return "jmp";
+    case Op::kJz: return "jz";
+    case Op::kJnz: return "jnz";
+    case Op::kInvokeStatic: return "invoke_static";
+    case Op::kInvokeVirtual: return "invoke_virtual";
+    case Op::kRet: return "ret";
+    case Op::kRetVal: return "ret_val";
+    case Op::kNew: return "new";
+    case Op::kGetField: return "getfield";
+    case Op::kPutField: return "putfield";
+    case Op::kGetStatic: return "getstatic";
+    case Op::kPutStatic: return "putstatic";
+    case Op::kNewArrI: return "newarr_i";
+    case Op::kNewArrR: return "newarr_r";
+    case Op::kALoadI: return "aload_i";
+    case Op::kAStoreI: return "astore_i";
+    case Op::kALoadR: return "aload_r";
+    case Op::kAStoreR: return "astore_r";
+    case Op::kArrayLen: return "arraylen";
+    case Op::kMonitorEnter: return "monitorenter";
+    case Op::kMonitorExit: return "monitorexit";
+    case Op::kWait: return "wait";
+    case Op::kTimedWait: return "timed_wait";
+    case Op::kNotify: return "notify";
+    case Op::kNotifyAll: return "notify_all";
+    case Op::kInterrupt: return "interrupt";
+    case Op::kSpawn: return "spawn";
+    case Op::kJoin: return "join";
+    case Op::kYield: return "yield";
+    case Op::kSleep: return "sleep";
+    case Op::kCurrentThread: return "current_thread";
+    case Op::kNow: return "now";
+    case Op::kReadInput: return "read_input";
+    case Op::kEnvRand: return "env_rand";
+    case Op::kNativeCall: return "nativecall";
+    case Op::kPrintI: return "print_i";
+    case Op::kPrintLit: return "print_lit";
+    case Op::kPrintStr: return "print_str";
+    case Op::kGcForce: return "gc_force";
+    case Op::kHalt: return "halt";
+  }
+  return "<bad-op>";
+}
+
+bool op_may_block(Op op) {
+  switch (op) {
+    case Op::kMonitorEnter:
+    case Op::kWait:
+    case Op::kTimedWait:
+    case Op::kJoin:
+    case Op::kYield:
+    case Op::kSleep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool op_may_allocate(Op op) {
+  switch (op) {
+    case Op::kNew:
+    case Op::kNewArrI:
+    case Op::kNewArrR:
+    case Op::kPushStr:
+    case Op::kSpawn:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace dejavu::bytecode

@@ -1,0 +1,132 @@
+// The instruction set of the guest virtual machine.
+//
+// The VM is a stack machine in the mold of the JVM subset that the paper's
+// replay mechanisms care about: loads/stores, arithmetic, branches (whose
+// back-edges carry yield points), invokes (whose prologues carry yield
+// points), object/array access, the Java synchronization surface
+// (monitorenter/exit, wait/notify/notifyAll/interrupt), thread management
+// (spawn/join/sleep/yield), and the non-deterministic environment surface
+// (wall clock, input, random, native calls).
+//
+// Instructions are kept in decoded form (struct Instr) rather than a byte
+// stream; Jalapeño likewise never interprets raw bytecode -- its baseline
+// compiler translates to machine code at first invocation, which this VM
+// models as decoding into a CompiledMethod.
+#pragma once
+
+#include <cstdint>
+
+namespace dejavu::bytecode {
+
+enum class Op : uint8_t {
+  // -- constants & stack shuffling --
+  kNop,
+  kPushI,     // b = immediate i64            [] -> [i64]
+  kPushNull,  //                              [] -> [ref]
+  kPushStr,   // a = string pool index        [] -> [ref]  (interned string)
+  kPop,       //                              [x] -> []
+  kDup,       //                              [x] -> [x x]
+  kSwap,      //                              [x y] -> [y x]
+
+  // -- locals --
+  kLoad,   // a = local index                 [] -> [T]
+  kStore,  // a = local index                 [T] -> []
+
+  // -- i64 arithmetic / comparison (results are 0/1 for compares) --
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kNeg,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kShr,
+  kCmpLt,
+  kCmpLe,
+  kCmpGt,
+  kCmpGe,
+  kCmpEq,
+  kCmpNe,
+  kAcmpEq,  // reference equality             [ref ref] -> [i64]
+  kAcmpNe,
+
+  // -- control flow; a = target instruction index --
+  kJmp,
+  kJz,   // pops i64, jumps if zero
+  kJnz,  // pops i64, jumps if nonzero
+
+  // -- invocation; a = methodref pool index --
+  kInvokeStatic,
+  kInvokeVirtual,  // receiver ref is the first argument slot
+  kRet,            // return void
+  kRetVal,         // return top of stack (type = method return type)
+
+  // -- objects & arrays --
+  kNew,        // a = classref pool index     [] -> [ref]
+  kGetField,   // a = fieldref pool index     [ref] -> [T]
+  kPutField,   // a = fieldref pool index     [ref T] -> []
+  kGetStatic,  // a = fieldref pool index     [] -> [T]
+  kPutStatic,  // a = fieldref pool index     [T] -> []
+  kNewArrI,    //                             [len] -> [ref]
+  kNewArrR,    //                             [len] -> [ref]
+  kALoadI,     //                             [arr idx] -> [i64]
+  kAStoreI,    //                             [arr idx i64] -> []
+  kALoadR,     //                             [arr idx] -> [ref]
+  kAStoreR,    //                             [arr idx ref] -> []
+  kArrayLen,   //                             [arr] -> [i64]
+
+  // -- synchronization (the deterministic thread-switch sources, §2.2) --
+  kMonitorEnter,  //                          [ref] -> []
+  kMonitorExit,   //                          [ref] -> []
+  kWait,          //                          [ref] -> [i64 interrupted]
+  kTimedWait,     //                          [ref ms] -> [i64 interrupted]
+  kNotify,        //                          [ref] -> []
+  kNotifyAll,     //                          [ref] -> []
+  kInterrupt,     //                          [thread-ref] -> []
+
+  // -- threads (timed events are non-deterministic switch sources, §2.2) --
+  kSpawn,          // a = methodref           [ref arg] -> [thread-ref]
+  kJoin,           //                         [thread-ref] -> []
+  kYield,          // voluntary Thread.yield
+  kSleep,          //                         [ms] -> []
+  kCurrentThread,  //                         [] -> [thread-ref]
+
+  // -- non-deterministic environment (§2.1: recorded & replayed) --
+  kNow,        // wall-clock millis           [] -> [i64]
+  kReadInput,  // external input              [] -> [i64]
+  kEnvRand,    // environmental randomness    [] -> [i64]
+  kNativeCall, // a = nativeref, b = #args    [i64 x b] -> [i64]   (§2.5 JNI)
+
+  // -- console output (part of the observable behaviour hash) --
+  kPrintI,    //                              [i64] -> []
+  kPrintLit,  // a = string pool index        [] -> []
+  kPrintStr,  //                              [string-ref] -> []
+
+  // -- testing aids --
+  kGcForce,  // force a garbage collection (deterministic, symmetric)
+  kHalt,     // terminate the whole VM run
+};
+
+// One decoded instruction. `a` holds small operands (pool indices, local
+// slots, branch targets); `b` holds 64-bit immediates and native arg counts;
+// `line` is the source line for the debugger's line-number tables (Fig. 3).
+struct Instr {
+  Op op = Op::kNop;
+  int32_t a = 0;
+  int64_t b = 0;
+  int32_t line = 0;
+};
+
+const char* op_name(Op op);
+
+// True for ops that can block or switch the current thread through the
+// *deterministic* path (synchronization / thread management).
+bool op_may_block(Op op);
+
+// True for ops that may allocate in the guest heap.
+bool op_may_allocate(Op op);
+
+}  // namespace dejavu::bytecode

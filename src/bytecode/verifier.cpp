@@ -1,0 +1,525 @@
+#include "src/bytecode/verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace dejavu::bytecode {
+
+namespace {
+
+[[noreturn]] void fail(const ClassDef& cls, const MethodDef& m, size_t pc,
+                       const std::string& why) {
+  std::ostringstream os;
+  os << "verify error in " << cls.name << "." << m.name << " @" << pc << ": "
+     << why;
+  throw VerifyError(os.str());
+}
+
+struct AbstractState {
+  std::vector<SlotType> locals;
+  std::vector<SlotType> stack;
+
+  bool operator==(const AbstractState& o) const {
+    return locals == o.locals && stack == o.stack;
+  }
+};
+
+SlotType from_value_type(ValueType t) {
+  return t == ValueType::kI64 ? SlotType::kI64 : SlotType::kRef;
+}
+
+// Merge `in` into `cur`. Returns true if `cur` changed. Stack shapes must
+// match exactly; conflicting locals degrade to kUninit (dead on this path).
+bool merge_into(AbstractState& cur, const AbstractState& in,
+                bool* stack_conflict) {
+  *stack_conflict = false;
+  if (cur.stack.size() != in.stack.size()) {
+    *stack_conflict = true;
+    return false;
+  }
+  bool changed = false;
+  for (size_t i = 0; i < cur.stack.size(); ++i) {
+    if (cur.stack[i] != in.stack[i]) {
+      *stack_conflict = true;
+      return false;
+    }
+  }
+  for (size_t i = 0; i < cur.locals.size(); ++i) {
+    if (cur.locals[i] != in.locals[i] && cur.locals[i] != SlotType::kUninit) {
+      cur.locals[i] = SlotType::kUninit;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+class MethodVerifier {
+ public:
+  MethodVerifier(const Program& prog, const ClassDef& cls,
+                 const MethodDef& method)
+      : prog_(prog), cls_(cls), m_(method) {}
+
+  VerifiedMethod run() {
+    const size_t n = m_.code.size();
+    if (n == 0) fail(cls_, m_, 0, "empty method body");
+    if (m_.num_locals < m_.args.size())
+      fail(cls_, m_, 0, "fewer locals than args");
+
+    states_.assign(n, std::nullopt);
+    AbstractState entry;
+    entry.locals.assign(m_.num_locals, SlotType::kUninit);
+    for (size_t i = 0; i < m_.args.size(); ++i)
+      entry.locals[i] = from_value_type(m_.args[i]);
+    flow_to(0, entry, 0);
+
+    while (!worklist_.empty()) {
+      size_t pc = worklist_.front();
+      worklist_.pop_front();
+      step(pc);
+    }
+
+    VerifiedMethod out;
+    out.max_stack = max_stack_;
+    out.maps.resize(n);
+    for (size_t pc = 0; pc < n; ++pc) {
+      if (!states_[pc].has_value()) continue;  // unreachable: empty map
+      const AbstractState& st = *states_[pc];
+      RefMap& map = out.maps[pc];
+      map.stack_depth = uint32_t(st.stack.size());
+      map.locals_ref.resize(st.locals.size());
+      for (size_t i = 0; i < st.locals.size(); ++i)
+        map.locals_ref[i] = st.locals[i] == SlotType::kRef;
+      map.stack_ref.resize(st.stack.size());
+      for (size_t i = 0; i < st.stack.size(); ++i)
+        map.stack_ref[i] = st.stack[i] == SlotType::kRef;
+    }
+    return out;
+  }
+
+ private:
+  void flow_to(size_t pc, const AbstractState& st, size_t from) {
+    if (pc >= m_.code.size())
+      fail(cls_, m_, from, "control flows past end of code");
+    if (!states_[pc].has_value()) {
+      states_[pc] = st;
+      worklist_.push_back(pc);
+      return;
+    }
+    bool stack_conflict = false;
+    if (merge_into(*states_[pc], st, &stack_conflict))
+      worklist_.push_back(pc);
+    if (stack_conflict)
+      fail(cls_, m_, pc, "inconsistent operand stack at merge point");
+  }
+
+  SlotType pop(AbstractState& st, size_t pc) {
+    if (st.stack.empty()) fail(cls_, m_, pc, "operand stack underflow");
+    SlotType t = st.stack.back();
+    st.stack.pop_back();
+    return t;
+  }
+
+  void pop_t(AbstractState& st, size_t pc, SlotType want, const char* what) {
+    SlotType got = pop(st, pc);
+    if (got != want) {
+      std::ostringstream os;
+      os << what << ": expected "
+         << (want == SlotType::kI64 ? "i64" : "ref") << ", found "
+         << (got == SlotType::kI64 ? "i64"
+                                   : (got == SlotType::kRef ? "ref" : "uninit"));
+      fail(cls_, m_, pc, os.str());
+    }
+  }
+
+  void push(AbstractState& st, SlotType t) {
+    st.stack.push_back(t);
+    max_stack_ = std::max(max_stack_, uint32_t(st.stack.size()));
+  }
+
+  ValueType field_type(size_t pc, int32_t idx, bool is_static) {
+    if (idx < 0 || size_t(idx) >= prog_.pool.field_refs.size())
+      fail(cls_, m_, pc, "bad fieldref index");
+    const FieldRef& fr = prog_.pool.field_refs[idx];
+    const FieldDef* fd =
+        resolve_field_def(prog_, fr.class_name, fr.field_name, is_static);
+    if (fd == nullptr)
+      fail(cls_, m_, pc,
+           "unresolved field " + fr.class_name + "." + fr.field_name);
+    return fd->type;
+  }
+
+  const MethodDef* method_target(size_t pc, int32_t idx) {
+    if (idx < 0 || size_t(idx) >= prog_.pool.method_refs.size())
+      fail(cls_, m_, pc, "bad methodref index");
+    const MethodRef& mr = prog_.pool.method_refs[idx];
+    const MethodDef* md = resolve_method_def(prog_, mr.class_name,
+                                             mr.method_name);
+    if (md == nullptr)
+      fail(cls_, m_, pc,
+           "unresolved method " + mr.class_name + "." + mr.method_name);
+    return md;
+  }
+
+  void check_pool_string(size_t pc, int32_t idx) {
+    if (idx < 0 || size_t(idx) >= prog_.pool.strings.size())
+      fail(cls_, m_, pc, "bad string pool index");
+  }
+
+  void step(size_t pc) {
+    AbstractState st = *states_[pc];  // copy: we mutate our successor state
+    const Instr& ins = m_.code[pc];
+    using enum Op;
+    bool falls_through = true;
+
+    auto branch_target = [&](int32_t t) {
+      if (t < 0 || size_t(t) >= m_.code.size())
+        fail(cls_, m_, pc, "branch target out of range");
+      return size_t(t);
+    };
+    auto local_slot = [&](int32_t s) {
+      if (s < 0 || s >= m_.num_locals)
+        fail(cls_, m_, pc, "local index out of range");
+      return size_t(s);
+    };
+
+    switch (ins.op) {
+      case kNop:
+        break;
+      case kPushI:
+        push(st, SlotType::kI64);
+        break;
+      case kPushNull:
+        push(st, SlotType::kRef);
+        break;
+      case kPushStr:
+        check_pool_string(pc, ins.a);
+        push(st, SlotType::kRef);
+        break;
+      case kPop:
+        pop(st, pc);
+        break;
+      case kDup: {
+        SlotType t = pop(st, pc);
+        push(st, t);
+        push(st, t);
+        break;
+      }
+      case kSwap: {
+        SlotType a = pop(st, pc);
+        SlotType b = pop(st, pc);
+        push(st, a);
+        push(st, b);
+        break;
+      }
+      case kLoad: {
+        size_t s = local_slot(ins.a);
+        if (st.locals[s] == SlotType::kUninit)
+          fail(cls_, m_, pc, "read of possibly-uninitialized local");
+        push(st, st.locals[s]);
+        break;
+      }
+      case kStore: {
+        size_t s = local_slot(ins.a);
+        st.locals[s] = pop(st, pc);
+        if (st.locals[s] == SlotType::kUninit)
+          fail(cls_, m_, pc, "store of uninit value");
+        break;
+      }
+      case kAdd:
+      case kSub:
+      case kMul:
+      case kDiv:
+      case kMod:
+      case kAnd:
+      case kOr:
+      case kXor:
+      case kShl:
+      case kShr:
+      case kCmpLt:
+      case kCmpLe:
+      case kCmpGt:
+      case kCmpGe:
+      case kCmpEq:
+      case kCmpNe:
+        pop_t(st, pc, SlotType::kI64, "arith rhs");
+        pop_t(st, pc, SlotType::kI64, "arith lhs");
+        push(st, SlotType::kI64);
+        break;
+      case kNeg:
+        pop_t(st, pc, SlotType::kI64, "neg");
+        push(st, SlotType::kI64);
+        break;
+      case kAcmpEq:
+      case kAcmpNe:
+        pop_t(st, pc, SlotType::kRef, "acmp rhs");
+        pop_t(st, pc, SlotType::kRef, "acmp lhs");
+        push(st, SlotType::kI64);
+        break;
+      case kJmp:
+        flow_to(branch_target(ins.a), st, pc);
+        falls_through = false;
+        break;
+      case kJz:
+      case kJnz:
+        pop_t(st, pc, SlotType::kI64, "branch condition");
+        flow_to(branch_target(ins.a), st, pc);
+        break;
+      case kInvokeStatic:
+      case kInvokeVirtual: {
+        const MethodDef* callee = method_target(pc, ins.a);
+        if (ins.op == kInvokeStatic && callee->is_virtual)
+          fail(cls_, m_, pc, "invoke_static of virtual method");
+        if (ins.op == kInvokeVirtual && !callee->is_virtual)
+          fail(cls_, m_, pc, "invoke_virtual of static method");
+        for (size_t i = callee->args.size(); i-- > 0;)
+          pop_t(st, pc, from_value_type(callee->args[i]), "call argument");
+        if (callee->ret.has_value()) push(st, from_value_type(*callee->ret));
+        break;
+      }
+      case kRet:
+        if (m_.ret.has_value())
+          fail(cls_, m_, pc, "void return from non-void method");
+        falls_through = false;
+        break;
+      case kRetVal:
+        if (!m_.ret.has_value())
+          fail(cls_, m_, pc, "value return from void method");
+        pop_t(st, pc, from_value_type(*m_.ret), "return value");
+        falls_through = false;
+        break;
+      case kNew: {
+        if (ins.a < 0 || size_t(ins.a) >= prog_.pool.class_refs.size())
+          fail(cls_, m_, pc, "bad classref index");
+        if (prog_.find_class(prog_.pool.class_refs[ins.a]) == nullptr)
+          fail(cls_, m_, pc,
+               "unresolved class " + prog_.pool.class_refs[ins.a]);
+        push(st, SlotType::kRef);
+        break;
+      }
+      case kGetField: {
+        pop_t(st, pc, SlotType::kRef, "getfield receiver");
+        push(st, from_value_type(field_type(pc, ins.a, false)));
+        break;
+      }
+      case kPutField: {
+        pop_t(st, pc, from_value_type(field_type(pc, ins.a, false)),
+              "putfield value");
+        pop_t(st, pc, SlotType::kRef, "putfield receiver");
+        break;
+      }
+      case kGetStatic:
+        push(st, from_value_type(field_type(pc, ins.a, true)));
+        break;
+      case kPutStatic:
+        pop_t(st, pc, from_value_type(field_type(pc, ins.a, true)),
+              "putstatic value");
+        break;
+      case kNewArrI:
+      case kNewArrR:
+        pop_t(st, pc, SlotType::kI64, "array length");
+        push(st, SlotType::kRef);
+        break;
+      case kALoadI:
+        pop_t(st, pc, SlotType::kI64, "array index");
+        pop_t(st, pc, SlotType::kRef, "array ref");
+        push(st, SlotType::kI64);
+        break;
+      case kAStoreI:
+        pop_t(st, pc, SlotType::kI64, "array store value");
+        pop_t(st, pc, SlotType::kI64, "array index");
+        pop_t(st, pc, SlotType::kRef, "array ref");
+        break;
+      case kALoadR:
+        pop_t(st, pc, SlotType::kI64, "array index");
+        pop_t(st, pc, SlotType::kRef, "array ref");
+        push(st, SlotType::kRef);
+        break;
+      case kAStoreR:
+        pop_t(st, pc, SlotType::kRef, "array store value");
+        pop_t(st, pc, SlotType::kI64, "array index");
+        pop_t(st, pc, SlotType::kRef, "array ref");
+        break;
+      case kArrayLen:
+        pop_t(st, pc, SlotType::kRef, "arraylen ref");
+        push(st, SlotType::kI64);
+        break;
+      case kMonitorEnter:
+      case kMonitorExit:
+      case kNotify:
+      case kNotifyAll:
+      case kInterrupt:
+        pop_t(st, pc, SlotType::kRef, op_name(ins.op));
+        break;
+      case kWait:
+        pop_t(st, pc, SlotType::kRef, "wait receiver");
+        push(st, SlotType::kI64);
+        break;
+      case kTimedWait:
+        pop_t(st, pc, SlotType::kI64, "wait timeout");
+        pop_t(st, pc, SlotType::kRef, "wait receiver");
+        push(st, SlotType::kI64);
+        break;
+      case kSpawn: {
+        const MethodDef* entry = method_target(pc, ins.a);
+        if (entry->is_virtual || entry->args.size() != 1 ||
+            entry->args[0] != ValueType::kRef || entry->ret.has_value())
+          fail(cls_, m_, pc,
+               "spawn target must be a static void method taking one ref");
+        pop_t(st, pc, SlotType::kRef, "spawn argument");
+        push(st, SlotType::kRef);
+        break;
+      }
+      case kJoin:
+        pop_t(st, pc, SlotType::kRef, "join thread");
+        break;
+      case kYield:
+      case kGcForce:
+        break;
+      case kSleep:
+        pop_t(st, pc, SlotType::kI64, "sleep millis");
+        break;
+      case kCurrentThread:
+        push(st, SlotType::kRef);
+        break;
+      case kNow:
+      case kReadInput:
+      case kEnvRand:
+        push(st, SlotType::kI64);
+        break;
+      case kNativeCall: {
+        if (ins.a < 0 || size_t(ins.a) >= prog_.pool.native_refs.size())
+          fail(cls_, m_, pc, "bad nativeref index");
+        if (ins.b < 0 || ins.b > 16)
+          fail(cls_, m_, pc, "native arg count out of range");
+        for (int64_t i = 0; i < ins.b; ++i)
+          pop_t(st, pc, SlotType::kI64, "native argument");
+        push(st, SlotType::kI64);
+        break;
+      }
+      case kPrintI:
+        pop_t(st, pc, SlotType::kI64, "print_i value");
+        break;
+      case kPrintLit:
+        check_pool_string(pc, ins.a);
+        break;
+      case kPrintStr:
+        pop_t(st, pc, SlotType::kRef, "print_str value");
+        break;
+      case kHalt:
+        falls_through = false;
+        break;
+    }
+
+    if (falls_through) flow_to(pc + 1, st, pc);
+  }
+
+  const Program& prog_;
+  const ClassDef& cls_;
+  const MethodDef& m_;
+  std::vector<std::optional<AbstractState>> states_;
+  std::deque<size_t> worklist_;
+  uint32_t max_stack_ = 0;
+};
+
+}  // namespace
+
+const FieldDef* resolve_field_def(const Program& prog,
+                                  const std::string& class_name,
+                                  const std::string& field_name,
+                                  bool is_static,
+                                  std::string* defining_class) {
+  const ClassDef* c = prog.find_class(class_name);
+  while (c != nullptr) {
+    const auto& fields = is_static ? c->statics : c->fields;
+    for (const auto& f : fields) {
+      if (f.name == field_name) {
+        if (defining_class != nullptr) *defining_class = c->name;
+        return &f;
+      }
+    }
+    c = c->super.empty() ? nullptr : prog.find_class(c->super);
+  }
+  return nullptr;
+}
+
+const MethodDef* resolve_method_def(const Program& prog,
+                                    const std::string& class_name,
+                                    const std::string& method_name,
+                                    std::string* defining_class) {
+  const ClassDef* c = prog.find_class(class_name);
+  while (c != nullptr) {
+    if (const MethodDef* m = c->find_method(method_name)) {
+      if (defining_class != nullptr) *defining_class = c->name;
+      return m;
+    }
+    c = c->super.empty() ? nullptr : prog.find_class(c->super);
+  }
+  return nullptr;
+}
+
+VerifiedMethod verify_method(const Program& prog, const ClassDef& cls,
+                             const MethodDef& method) {
+  return MethodVerifier(prog, cls, method).run();
+}
+
+void verify_program(const Program& prog) {
+  // Class-level checks: unique names, resolvable supers, acyclic hierarchy.
+  std::set<std::string> names;
+  for (const auto& c : prog.classes) {
+    if (!names.insert(c.name).second)
+      throw VerifyError("duplicate class " + c.name);
+  }
+  for (const auto& c : prog.classes) {
+    std::set<std::string> seen{c.name};
+    const ClassDef* cur = &c;
+    while (!cur->super.empty()) {
+      const ClassDef* sup = prog.find_class(cur->super);
+      if (sup == nullptr)
+        throw VerifyError("unresolved superclass " + cur->super + " of " +
+                          cur->name);
+      if (!seen.insert(sup->name).second)
+        throw VerifyError("inheritance cycle through " + sup->name);
+      cur = sup;
+    }
+  }
+
+  // Override compatibility: a virtual method redefined in a subclass must
+  // keep the signature (dispatch does not adapt calling conventions).
+  for (const auto& c : prog.classes) {
+    if (c.super.empty()) continue;
+    for (const auto& m : c.methods) {
+      std::string def_cls;
+      const MethodDef* inherited =
+          resolve_method_def(prog, c.super, m.name, &def_cls);
+      if (inherited == nullptr) continue;
+      if (!m.is_virtual || !inherited->is_virtual)
+        throw VerifyError("method " + c.name + "." + m.name +
+                          " shadows a non-virtual method");
+      if (m.args != inherited->args || m.ret != inherited->ret)
+        throw VerifyError("override " + c.name + "." + m.name +
+                          " changes the signature of " + def_cls + "." +
+                          m.name);
+    }
+  }
+
+  // Entry point: static void main-like method taking one ref.
+  const MethodDef* mainm =
+      resolve_method_def(prog, prog.main.class_name, prog.main.method_name);
+  if (mainm == nullptr)
+    throw VerifyError("missing main method " + prog.main.class_name + "." +
+                      prog.main.method_name);
+  if (mainm->is_virtual || mainm->ret.has_value() ||
+      mainm->args.size() != 1 || mainm->args[0] != ValueType::kRef)
+    throw VerifyError("main must be a static void method taking one ref");
+
+  for (const auto& c : prog.classes) {
+    for (const auto& m : c.methods) verify_method(prog, c, m);
+  }
+}
+
+}  // namespace dejavu::bytecode

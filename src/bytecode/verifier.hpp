@@ -1,0 +1,63 @@
+// Bytecode verification and reference-map construction.
+//
+// Jalapeño's garbage collectors are type-accurate: at every safe point the
+// compiler records which stack slots and locals hold references (§1,
+// "reference maps"). The verifier reproduces that: it abstractly interprets
+// every method, checking type- and stack-discipline, and emits a RefMap for
+// every instruction offset. The VM's GC consults these maps to find exact
+// roots in suspended frames; the paper's replay argument depends on GC
+// being completely deterministic, which exact maps make possible.
+//
+// Verification is static (against the whole unlinked Program); it imposes
+// no ordering on the VM's lazy class loading.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/model.hpp"
+
+namespace dejavu::bytecode {
+
+// Abstract slot type. kUninit marks locals that are dead on some path;
+// such slots are never scanned by the GC and may not be read.
+enum class SlotType : uint8_t { kI64, kRef, kUninit };
+
+// Which slots hold references immediately *before* an instruction executes.
+struct RefMap {
+  uint32_t stack_depth = 0;
+  std::vector<bool> locals_ref;  // size = num_locals
+  std::vector<bool> stack_ref;   // size = stack_depth (index 0 = bottom)
+};
+
+// Verification result for one method.
+struct VerifiedMethod {
+  uint32_t max_stack = 0;
+  std::vector<RefMap> maps;  // one per instruction offset
+};
+
+// Resolves a field by walking the class and its superclasses.
+// Returns nullptr if not found. `is_static` selects the field namespace.
+const FieldDef* resolve_field_def(const Program& prog,
+                                  const std::string& class_name,
+                                  const std::string& field_name,
+                                  bool is_static,
+                                  std::string* defining_class = nullptr);
+
+// Resolves a method by walking the class and its superclasses.
+const MethodDef* resolve_method_def(const Program& prog,
+                                    const std::string& class_name,
+                                    const std::string& method_name,
+                                    std::string* defining_class = nullptr);
+
+// Verifies one method. Throws VerifyError on any violation.
+VerifiedMethod verify_method(const Program& prog, const ClassDef& cls,
+                             const MethodDef& method);
+
+// Verifies every method of every class, plus program-level well-formedness
+// (superclass existence, no inheritance cycles, override signature
+// compatibility, main entry point shape). Throws VerifyError.
+void verify_program(const Program& prog);
+
+}  // namespace dejavu::bytecode

@@ -1,0 +1,77 @@
+// Error handling primitives for the DejaVu replay platform.
+//
+// Every invariant violation in the VM, the replay engine, or the remote
+// reflection layer is reported through VmError. Replay-divergence failures
+// get their own type (ReplayDivergence) so tests and the symmetry-ablation
+// bench can distinguish "the replay went off the rails" from plain bugs.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dejavu {
+
+// Base class for all errors raised by the platform.
+class VmError : public std::runtime_error {
+ public:
+  explicit VmError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// Raised when replay detects that execution has diverged from the recorded
+// run: a checkpoint mismatch, a schedule-stream underrun, an event-type
+// mismatch, etc. The symmetry-ablation experiment (E6) counts these.
+class ReplayDivergence : public VmError {
+ public:
+  explicit ReplayDivergence(const std::string& what) : VmError(what) {}
+};
+
+// Raised by the bytecode verifier when a class fails verification.
+class VerifyError : public VmError {
+ public:
+  explicit VerifyError(const std::string& what) : VmError(what) {}
+};
+
+// Raised by the remote-reflection layer when a query is malformed
+// (bad type, out-of-range address) -- never for app-VM state reasons.
+class RemoteError : public VmError {
+ public:
+  explicit RemoteError(const std::string& what) : VmError(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw VmError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dejavu
+
+// DV_CHECK(cond) / DV_CHECK_MSG(cond, streamable...) -- always-on invariant
+// checks. The VM is a correctness-critical interpreter; these stay enabled
+// in release builds (their cost is negligible next to dispatch).
+#define DV_CHECK(cond)                                                     \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::dejavu::detail::check_failed("DV_CHECK", #cond, __FILE__,          \
+                                     __LINE__, "");                        \
+    }                                                                      \
+  } while (0)
+
+#define DV_CHECK_MSG(cond, ...)                                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream dv_os_;                                           \
+      dv_os_ << __VA_ARGS__;                                               \
+      ::dejavu::detail::check_failed("DV_CHECK", #cond, __FILE__,          \
+                                     __LINE__, dv_os_.str());              \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,15 @@
+#include "src/common/hash.hpp"
+
+namespace dejavu {
+
+uint64_t hash_bytes(const void* data, size_t n) {
+  Fnv1a h;
+  h.update(data, n);
+  return h.digest();
+}
+
+uint64_t hash_string(std::string_view s) {
+  return hash_bytes(s.data(), s.size());
+}
+
+}  // namespace dejavu

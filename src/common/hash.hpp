@@ -1,0 +1,46 @@
+// Incremental FNV-1a hashing.
+//
+// Execution-behaviour equality (property P1) is checked by hashing the
+// observable behaviour of a run: the console output, the thread-switch
+// sequence, and the final heap image. FNV-1a is deterministic across
+// platforms and cheap enough to hash multi-megabyte heap images in tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dejavu {
+
+class Fnv1a {
+ public:
+  static constexpr uint64_t kOffset = 1469598103934665603ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+
+  void update(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= kPrime;
+    }
+  }
+
+  void update_u64(uint64_t v) { update(&v, sizeof v); }
+  void update_u32(uint32_t v) { update(&v, sizeof v); }
+  void update_str(std::string_view s) {
+    update_u64(s.size());
+    update(s.data(), s.size());
+  }
+
+  uint64_t digest() const { return h_; }
+  void reset() { h_ = kOffset; }
+
+ private:
+  uint64_t h_ = kOffset;
+};
+
+uint64_t hash_bytes(const void* data, size_t n);
+uint64_t hash_string(std::string_view s);
+
+}  // namespace dejavu

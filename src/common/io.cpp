@@ -1,0 +1,32 @@
+#include "src/common/io.hpp"
+
+#include <cstdio>
+
+namespace dejavu {
+
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  DV_CHECK_MSG(f != nullptr, "cannot open for write: " << path);
+  if (!bytes.empty()) {
+    size_t n = std::fwrite(bytes.data(), 1, bytes.size(), f);
+    DV_CHECK_MSG(n == bytes.size(), "short write: " << path);
+  }
+  std::fclose(f);
+}
+
+std::vector<uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  DV_CHECK_MSG(f != nullptr, "cannot open for read: " << path);
+  std::fseek(f, 0, SEEK_END);
+  long sz = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> out(static_cast<size_t>(sz), uint8_t(0));
+  if (sz > 0) {
+    size_t n = std::fread(out.data(), 1, out.size(), f);
+    DV_CHECK_MSG(n == out.size(), "short read: " << path);
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace dejavu

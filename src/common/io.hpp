@@ -1,0 +1,135 @@
+// Byte-oriented serialization used by the trace file format.
+//
+// ByteWriter appends to a growable byte vector; ByteReader consumes a byte
+// span. Integers use LEB128 varints (zig-zag for signed) so that the common
+// small values (nyp deltas, small clock increments) take one byte -- trace
+// compactness is one of the paper's selling points (experiment E3).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace dejavu {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void put_u8(uint8_t v) { buf_.push_back(v); }
+
+  void put_u32_fixed(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+
+  void put_u64_fixed(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(uint8_t(v >> (8 * i)));
+  }
+
+  // Unsigned LEB128.
+  void put_uvarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(uint8_t(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(uint8_t(v));
+  }
+
+  // Zig-zag encoded signed varint.
+  void put_svarint(int64_t v) {
+    put_uvarint((uint64_t(v) << 1) ^ uint64_t(v >> 63));
+  }
+
+  void put_bytes(const void* data, size_t n) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  void put_string(std::string_view s) {
+    put_uvarint(s.size());
+    put_bytes(s.data(), s.size());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t n) : data_(data), size_(n) {}
+  explicit ByteReader(const std::vector<uint8_t>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  uint8_t get_u8() {
+    DV_CHECK_MSG(pos_ < size_, "ByteReader underrun (u8)");
+    return data_[pos_++];
+  }
+
+  uint32_t get_u32_fixed() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(get_u8()) << (8 * i);
+    return v;
+  }
+
+  uint64_t get_u64_fixed() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(get_u8()) << (8 * i);
+    return v;
+  }
+
+  uint64_t get_uvarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+      uint8_t b = get_u8();
+      v |= uint64_t(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      DV_CHECK_MSG(shift < 64, "varint too long");
+    }
+    return v;
+  }
+
+  int64_t get_svarint() {
+    uint64_t u = get_uvarint();
+    return int64_t(u >> 1) ^ -int64_t(u & 1);
+  }
+
+  void get_bytes(void* dst, size_t n) {
+    DV_CHECK_MSG(pos_ + n <= size_, "ByteReader underrun (bytes)");
+    auto* p = static_cast<uint8_t*>(dst);
+    for (size_t i = 0; i < n; ++i) p[i] = data_[pos_ + i];
+    pos_ += n;
+  }
+
+  std::string get_string() {
+    size_t n = size_t(get_uvarint());
+    std::string s(n, '\0');
+    get_bytes(s.data(), n);
+    return s;
+  }
+
+  bool at_end() const { return pos_ == size_; }
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Whole-file helpers used by the trace writer/reader.
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes);
+std::vector<uint8_t> read_file(const std::string& path);
+
+}  // namespace dejavu

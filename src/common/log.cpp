@@ -1,0 +1,30 @@
+#include "src/common/log.hpp"
+
+#include <cstdio>
+
+namespace dejavu {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel lvl) { g_level = lvl; }
+
+void log_emit(LogLevel lvl, const std::string& msg) {
+  std::fprintf(stderr, "[dejavu %s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace dejavu

@@ -1,0 +1,29 @@
+// Minimal leveled logging to stderr. Off by default so that benchmark
+// binaries produce clean tables; tests flip it on when diagnosing failures.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dejavu {
+
+enum class LogLevel { kNone = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel lvl);
+void log_emit(LogLevel lvl, const std::string& msg);
+
+}  // namespace dejavu
+
+#define DV_LOG(lvl, ...)                                        \
+  do {                                                          \
+    if (::dejavu::log_level() >= (lvl)) {                       \
+      std::ostringstream dv_log_os_;                            \
+      dv_log_os_ << __VA_ARGS__;                                \
+      ::dejavu::log_emit((lvl), dv_log_os_.str());              \
+    }                                                           \
+  } while (0)
+
+#define DV_WARN(...) DV_LOG(::dejavu::LogLevel::kWarn, __VA_ARGS__)
+#define DV_INFO(...) DV_LOG(::dejavu::LogLevel::kInfo, __VA_ARGS__)
+#define DV_DEBUG(...) DV_LOG(::dejavu::LogLevel::kDebug, __VA_ARGS__)

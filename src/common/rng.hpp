@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generation (SplitMix64).
+//
+// Used by the virtual timer (the controllable stand-in for Jalapeño's
+// asynchronous hardware timer interrupt) and by workload generators. We do
+// not use <random> engines because their output is not guaranteed identical
+// across standard-library implementations, and experiment scripts depend on
+// seed-stable schedules.
+#pragma once
+
+#include <cstdint>
+
+namespace dejavu {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero.
+  uint64_t next_below(uint64_t bound) { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t next_range(uint64_t lo, uint64_t hi) {
+    return lo + next_below(hi - lo + 1);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dejavu

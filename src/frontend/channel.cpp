@@ -1,0 +1,39 @@
+#include "src/frontend/channel.hpp"
+
+#include "src/common/check.hpp"
+
+namespace dejavu::frontend {
+
+std::vector<uint8_t> encode_packet(const Packet& p) {
+  ByteWriter w;
+  w.put_u8(uint8_t(p.type));
+  w.put_string(p.payload);
+  return w.take();
+}
+
+Packet decode_packet(ByteReader& r) {
+  Packet p;
+  uint8_t t = r.get_u8();
+  DV_CHECK_MSG(t >= 1 && t <= 4, "bad packet type " << int(t));
+  p.type = PacketType(t);
+  p.payload = r.get_string();
+  return p;
+}
+
+void PacketPipe::send(const Packet& p) {
+  std::vector<uint8_t> bytes = encode_packet(p);
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  total_sent_ += bytes.size();
+}
+
+std::optional<Packet> PacketPipe::recv() {
+  if (bytes_.empty()) return std::nullopt;
+  // Decode one packet from the head of the stream.
+  std::vector<uint8_t> flat(bytes_.begin(), bytes_.end());
+  ByteReader r(flat.data(), flat.size());
+  Packet p = decode_packet(r);
+  bytes_.erase(bytes_.begin(), bytes_.begin() + long(r.position()));
+  return p;
+}
+
+}  // namespace dejavu::frontend

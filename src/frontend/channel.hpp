@@ -1,0 +1,65 @@
+// The GUI transport (§4).
+//
+// The paper's debugger front-end runs on a third JVM and talks to the
+// debugger JVM over TCP, minimizing bandwidth "by transmitting small
+// packets of data rather than large images". This module provides that
+// protocol: small typed packets with a length-prefixed wire encoding, over
+// a duplex in-memory channel (the process-local stand-in for the socket;
+// the wire format is what a TCP transport would carry).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/io.hpp"
+
+namespace dejavu::frontend {
+
+enum class PacketType : uint8_t {
+  kCommand = 1,   // client -> server: one debugger command line
+  kResponse = 2,  // server -> client: command result text
+  kError = 3,     // server -> client: command failed
+  kEvent = 4,     // server -> client: unsolicited notification
+};
+
+struct Packet {
+  PacketType type = PacketType::kCommand;
+  std::string payload;
+
+  bool operator==(const Packet&) const = default;
+};
+
+// Wire encoding: u8 type, varint length, payload bytes.
+std::vector<uint8_t> encode_packet(const Packet& p);
+Packet decode_packet(ByteReader& r);
+
+// One direction of the duplex channel: bytes in flight, already in wire
+// format (so tests can assert on actual packet sizes).
+class PacketPipe {
+ public:
+  void send(const Packet& p);
+  std::optional<Packet> recv();
+  bool empty() const { return bytes_.empty(); }
+  size_t bytes_in_flight() const { return bytes_.size(); }
+  uint64_t total_bytes_sent() const { return total_sent_; }
+
+ private:
+  std::deque<uint8_t> bytes_;
+  uint64_t total_sent_ = 0;
+};
+
+// The duplex channel between the front-end tier and the debugger tier.
+class Channel {
+ public:
+  PacketPipe& to_server() { return to_server_; }
+  PacketPipe& to_client() { return to_client_; }
+
+ private:
+  PacketPipe to_server_;
+  PacketPipe to_client_;
+};
+
+}  // namespace dejavu::frontend

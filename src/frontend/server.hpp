@@ -1,0 +1,52 @@
+// The debugger tier's command server and the front-end tier's client.
+//
+// DebugServer parses the textual command protocol (the functionality list
+// of §4: breakpoints, single-stepping, source/disassembly views, instance
+// inspection, the call stack, and the thread viewer) and answers each
+// command packet with a response packet. DebugClient is the front-end
+// side: it formats commands and pairs them with responses.
+#pragma once
+
+#include <string>
+
+#include "src/debugger/debugger.hpp"
+#include "src/frontend/channel.hpp"
+
+namespace dejavu::frontend {
+
+class DebugServer {
+ public:
+  DebugServer(debugger::Debugger& dbg, Channel& chan)
+      : dbg_(dbg), chan_(chan) {}
+
+  // Processes every pending command packet. Returns packets handled.
+  int poll();
+
+  // Executes one command line directly (also used by poll).
+  std::string handle(const std::string& command_line);
+
+ private:
+  std::string cmd_where();
+  debugger::Debugger& dbg_;
+  Channel& chan_;
+};
+
+class DebugClient {
+ public:
+  explicit DebugClient(Channel& chan) : chan_(chan) {}
+
+  void send(const std::string& command) {
+    chan_.to_server().send(Packet{PacketType::kCommand, command});
+  }
+  std::optional<Packet> recv() { return chan_.to_client().recv(); }
+
+ private:
+  Channel& chan_;
+};
+
+// Synchronous convenience for single-threaded hosting: send, let the
+// server drain its queue, return the response text.
+std::string roundtrip(DebugClient& client, DebugServer& server,
+                      const std::string& command);
+
+}  // namespace dejavu::frontend

@@ -1,0 +1,34 @@
+#include "src/remote/process.hpp"
+
+#include <cstring>
+
+namespace dejavu::remote {
+
+bool VmRemoteProcess::read_bytes(uint32_t addr, void* dst, size_t n) const {
+  const heap::Heap& h = vm_.guest_heap();
+  if (!h.valid_range(addr, n)) return false;
+  std::memcpy(dst, h.raw() + addr, n);
+  return true;
+}
+
+std::vector<RemoteThreadState> VmRemoteProcess::threads() const {
+  std::vector<RemoteThreadState> out;
+  const threads::ThreadPackage& pkg = vm_.thread_package();
+  for (threads::Tid t : pkg.all_tids())
+    out.push_back(RemoteThreadState{t, uint8_t(pkg.state(t))});
+  return out;
+}
+
+std::vector<RemoteFrame> VmRemoteProcess::thread_frames(
+    threads::Tid t) const {
+  std::vector<RemoteFrame> out;
+  for (const vm::FrameView& f : vm_.frames_of(t))
+    out.push_back(RemoteFrame{uint32_t(f.method_metadata_addr), f.pc});
+  return out;
+}
+
+uint32_t VmRemoteProcess::boot_registry_addr() const {
+  return uint32_t(vm_.registry_addr());
+}
+
+}  // namespace dejavu::remote

@@ -1,0 +1,73 @@
+// The operating-system boundary between the tool VM and the application VM.
+//
+// "Remote reflection relies on the underlying operating system to access
+// the remote JVM address space ... which in the Jalapeño implementation is
+// the Unix ptrace facility" (§3.1/§3.2). RemoteProcess is that facility's
+// contract: the debugger may *read bytes at addresses* (PTRACE_PEEKDATA)
+// and read per-thread register state (PTRACE_GETREGS) -- nothing else. The
+// application VM executes no code on behalf of the debugger; a conforming
+// implementation cannot mutate it.
+//
+// VmRemoteProcess adapts a (paused) in-process Vm behind this interface.
+// Everything above this line -- remote objects, reflection, the debugger --
+// sees only the interface, so substituting a genuinely out-of-process
+// reader (e.g. /proc/<pid>/mem) changes nothing upstream.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/threads/thread_package.hpp"
+#include "src/vm/vm.hpp"
+
+namespace dejavu::remote {
+
+// One suspended activation record, as the "registers" expose it: the guest
+// address of the method's reified VM_Method object plus the pc. Everything
+// human-readable (names, lines, sources) is derived by *reflection on the
+// remote heap*, not by this interface.
+struct RemoteFrame {
+  uint32_t method_metadata_addr = 0;
+  uint32_t pc = 0;
+};
+
+struct RemoteThreadState {
+  threads::Tid tid = threads::kNoThread;
+  uint8_t state = 0;  // threads::ThreadState value
+};
+
+class RemoteProcess {
+ public:
+  virtual ~RemoteProcess() = default;
+
+  // PEEKDATA: copies n bytes at addr into dst. Returns false (without
+  // partial writes) if the range is invalid in the remote address space.
+  virtual bool read_bytes(uint32_t addr, void* dst, size_t n) const = 0;
+
+  // GETREGS analogs.
+  virtual std::vector<RemoteThreadState> threads() const = 0;
+  virtual std::vector<RemoteFrame> thread_frames(threads::Tid t) const = 0;
+
+  // The boot-image root: the address of the remote VM_Registry (§3.3,
+  // "the address is provided ... through the process of building the
+  // Jalapeño boot image").
+  virtual uint32_t boot_registry_addr() const = 0;
+};
+
+// Read-only adapter over an in-process Vm. Holds `const Vm&`: the type
+// system enforces the no-perturbation guarantee.
+class VmRemoteProcess final : public RemoteProcess {
+ public:
+  explicit VmRemoteProcess(const vm::Vm& vm) : vm_(vm) {}
+
+  bool read_bytes(uint32_t addr, void* dst, size_t n) const override;
+  std::vector<RemoteThreadState> threads() const override;
+  std::vector<RemoteFrame> thread_frames(threads::Tid t) const override;
+  uint32_t boot_registry_addr() const override;
+
+ private:
+  const vm::Vm& vm_;
+};
+
+}  // namespace dejavu::remote

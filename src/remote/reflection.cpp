@@ -1,0 +1,344 @@
+#include "src/remote/reflection.hpp"
+
+#include <sstream>
+
+#include "src/heap/heap.hpp"
+#include "src/vm/boot_image.hpp"
+
+namespace dejavu::remote {
+
+namespace vmc = dejavu::vm;
+using bytecode::ValueType;
+
+bool is_ref(const RemoteValue& v) {
+  return std::holds_alternative<RemoteObject>(v);
+}
+
+int64_t as_i64(const RemoteValue& v) {
+  const int64_t* p = std::get_if<int64_t>(&v);
+  if (p == nullptr) throw RemoteError("expected a primitive, got a reference");
+  return *p;
+}
+
+RemoteObject as_object(const RemoteValue& v) {
+  const RemoteObject* p = std::get_if<RemoteObject>(&v);
+  if (p == nullptr) throw RemoteError("expected a reference, got a primitive");
+  return *p;
+}
+
+RemoteReflection::RemoteReflection(const RemoteProcess& proc,
+                                   const bytecode::Program& program)
+    : proc_(proc), program_(program) {
+  install_default_mapped_methods();
+  refresh();
+}
+
+uint32_t RemoteReflection::read_u32(uint32_t addr) const {
+  uint32_t v = 0;
+  if (!proc_.read_bytes(addr, &v, 4))
+    throw RemoteError("invalid remote read of 4 bytes at " +
+                      std::to_string(addr));
+  return v;
+}
+
+uint64_t RemoteReflection::read_u64(uint32_t addr) const {
+  uint64_t v = 0;
+  if (!proc_.read_bytes(addr, &v, 8))
+    throw RemoteError("invalid remote read of 8 bytes at " +
+                      std::to_string(addr));
+  return v;
+}
+
+RemoteObject RemoteReflection::object_at(uint32_t addr) const {
+  if (addr == 0) return RemoteObject{};
+  return RemoteObject{addr, read_u32(addr + heap::kOffClassId)};
+}
+
+RemoteValue RemoteReflection::slot_value(uint32_t slot_addr, bool ref) const {
+  uint64_t raw = read_u64(slot_addr);
+  if (ref) return object_at(uint32_t(raw));
+  return int64_t(raw);
+}
+
+void RemoteReflection::install_default_mapped_methods() {
+  // The standard mapped entry points: accessors of the boot registry.
+  // Invoking them never runs remote code; the interception answers from
+  // the remote address space (§3.4 "the actual invocation is not made").
+  auto reg_field = [this](uint32_t slot, bool ref) {
+    uint32_t reg = proc_.boot_registry_addr();
+    return slot_value(reg + heap::kOffFields + slot * 8, ref);
+  };
+  mapped_["VM_Registry.getClassTable"] = [reg_field] {
+    return reg_field(vmc::kRegClassTable, true);
+  };
+  mapped_["VM_Registry.getClassCount"] = [reg_field] {
+    return reg_field(vmc::kRegClassCount, false);
+  };
+  mapped_["VM_Registry.getThreadTable"] = [reg_field] {
+    return reg_field(vmc::kRegThreadTable, true);
+  };
+  mapped_["VM_Registry.getThreadCount"] = [reg_field] {
+    return reg_field(vmc::kRegThreadCount, false);
+  };
+  mapped_["VM_Registry.getInternTable"] = [reg_field] {
+    return reg_field(vmc::kRegInternTable, true);
+  };
+}
+
+RemoteValue RemoteReflection::invoke_mapped(const std::string& name) const {
+  auto it = mapped_.find(name);
+  if (it == mapped_.end())
+    throw RemoteError("method " + name + " is not in the mapping list");
+  return it->second();
+}
+
+void RemoteReflection::add_mapped_method(const std::string& name,
+                                         std::function<RemoteValue()> fn) {
+  mapped_[name] = std::move(fn);
+}
+
+bool RemoteReflection::has_mapped_method(const std::string& name) const {
+  return mapped_.find(name) != mapped_.end();
+}
+
+void RemoteReflection::refresh() {
+  classes_.clear();
+
+  // Builtin metadata classes: fixed boot-image layout.
+  auto builtin = [&](uint32_t id, const char* name,
+                     std::vector<std::pair<std::string, ValueType>> layout) {
+    RemoteClassInfo info;
+    info.name = name;
+    info.class_id = id;
+    info.layout = std::move(layout);
+    classes_[id] = std::move(info);
+  };
+  builtin(vmc::kTypeString, "String", {{"chars", ValueType::kRef}});
+  builtin(vmc::kTypeThread, "Thread",
+          {{"name", ValueType::kRef},
+           {"tid", ValueType::kI64},
+           {"stack", ValueType::kRef}});
+  builtin(vmc::kTypeVmClass, "VM_Class",
+          {{"name", ValueType::kRef},
+           {"super", ValueType::kRef},
+           {"methods", ValueType::kRef},
+           {"statics", ValueType::kRef},
+           {"classId", ValueType::kI64}});
+  builtin(vmc::kTypeVmMethod, "VM_Method",
+          {{"name", ValueType::kRef},
+           {"owner", ValueType::kRef},
+           {"lineTable", ValueType::kRef},
+           {"codeLength", ValueType::kI64}});
+  builtin(vmc::kTypeVmRegistry, "VM_Registry",
+          {{"classTable", ValueType::kRef},
+           {"classCount", ValueType::kI64},
+           {"internTable", ValueType::kRef},
+           {"threadTable", ValueType::kRef},
+           {"threadCount", ValueType::kI64}});
+
+  // Application classes: discovered by reflecting over the remote class
+  // table and matched by name against the tool's own program copy.
+  for (const RemoteObject& vm_class : class_table()) {
+    std::string name = read_string(as_object(get_field(vm_class, "name")));
+    int64_t class_id = as_i64(get_field(vm_class, "classId"));
+    RemoteClassInfo info;
+    info.name = name;
+    info.class_id = uint32_t(class_id);
+    info.vm_class = vm_class;
+    info.def = program_.find_class(name);
+    if (info.def != nullptr) {
+      // Flattened layout, superclass fields first (same rule as the VM).
+      std::vector<const bytecode::ClassDef*> chain;
+      for (const bytecode::ClassDef* c = info.def; c != nullptr;
+           c = c->super.empty() ? nullptr : program_.find_class(c->super)) {
+        chain.push_back(c);
+      }
+      for (size_t i = chain.size(); i-- > 0;) {
+        for (const auto& f : chain[i]->fields)
+          info.layout.emplace_back(f.name, f.type);
+      }
+    }
+    classes_[info.class_id] = std::move(info);
+  }
+}
+
+const RemoteClassInfo* RemoteReflection::class_info(uint32_t class_id) const {
+  auto it = classes_.find(class_id);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+const RemoteClassInfo* RemoteReflection::class_info(
+    const std::string& name) const {
+  for (const auto& [id, info] : classes_) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+std::string RemoteReflection::class_name_of(const RemoteObject& obj) const {
+  if (obj.is_null()) return "null";
+  switch (obj.class_id) {
+    case heap::kClassIdI64Array: return "i64[]";
+    case heap::kClassIdRefArray: return "ref[]";
+    case heap::kClassIdByteArray: return "byte[]";
+    default: break;
+  }
+  const RemoteClassInfo* info = class_info(obj.class_id);
+  return info != nullptr ? info->name
+                         : "<class#" + std::to_string(obj.class_id) + ">";
+}
+
+RemoteValue RemoteReflection::get_field(const RemoteObject& obj,
+                                        const std::string& field) const {
+  if (obj.is_null()) throw RemoteError("get_field on null remote object");
+  const RemoteClassInfo* info = class_info(obj.class_id);
+  if (info == nullptr)
+    throw RemoteError("remote object of unknown class id " +
+                      std::to_string(obj.class_id));
+  for (size_t slot = 0; slot < info->layout.size(); ++slot) {
+    if (info->layout[slot].first == field) {
+      return slot_value(obj.addr + heap::kOffFields + uint32_t(slot) * 8,
+                        info->layout[slot].second == ValueType::kRef);
+    }
+  }
+  throw RemoteError("class " + info->name + " has no field " + field);
+}
+
+uint64_t RemoteReflection::array_length(const RemoteObject& arr) const {
+  if (arr.is_null()) throw RemoteError("array_length on null");
+  if (arr.class_id != heap::kClassIdI64Array &&
+      arr.class_id != heap::kClassIdRefArray &&
+      arr.class_id != heap::kClassIdByteArray)
+    throw RemoteError("array_length on non-array " + class_name_of(arr));
+  return read_u64(arr.addr + heap::kOffArrayLen);
+}
+
+RemoteValue RemoteReflection::array_get(const RemoteObject& arr,
+                                        uint64_t idx) const {
+  uint64_t len = array_length(arr);
+  if (idx >= len)
+    throw RemoteError("remote array index " + std::to_string(idx) +
+                      " out of bounds (len " + std::to_string(len) + ")");
+  switch (arr.class_id) {
+    case heap::kClassIdByteArray: {
+      uint8_t b = 0;
+      if (!proc_.read_bytes(arr.addr + heap::kOffArrayData + uint32_t(idx),
+                            &b, 1))
+        throw RemoteError("invalid remote byte read");
+      return int64_t(b);
+    }
+    case heap::kClassIdRefArray:
+      return slot_value(arr.addr + heap::kOffArrayData + uint32_t(idx) * 8,
+                        true);
+    default:
+      return slot_value(arr.addr + heap::kOffArrayData + uint32_t(idx) * 8,
+                        false);
+  }
+}
+
+std::string RemoteReflection::read_string(const RemoteObject& str) const {
+  if (str.is_null()) return "<null>";
+  if (str.class_id != vmc::kTypeString)
+    throw RemoteError("read_string on non-String " + class_name_of(str));
+  RemoteObject chars = as_object(get_field(str, "chars"));
+  uint64_t n = array_length(chars);
+  std::string out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i)
+    out.push_back(char(as_i64(array_get(chars, i))));
+  return out;
+}
+
+std::vector<RemoteObject> RemoteReflection::class_table() const {
+  RemoteObject table = as_object(invoke_mapped("VM_Registry.getClassTable"));
+  int64_t count = as_i64(invoke_mapped("VM_Registry.getClassCount"));
+  std::vector<RemoteObject> out;
+  for (int64_t i = 0; i < count; ++i)
+    out.push_back(as_object(array_get(table, uint64_t(i))));
+  return out;
+}
+
+std::vector<RemoteObject> RemoteReflection::thread_table() const {
+  RemoteObject table = as_object(invoke_mapped("VM_Registry.getThreadTable"));
+  int64_t count = as_i64(invoke_mapped("VM_Registry.getThreadCount"));
+  std::vector<RemoteObject> out;
+  for (int64_t i = 0; i < count; ++i)
+    out.push_back(as_object(array_get(table, uint64_t(i))));
+  return out;
+}
+
+std::vector<RemoteObject> RemoteReflection::method_table() const {
+  std::vector<RemoteObject> out;
+  for (const RemoteObject& cls : class_table()) {
+    RemoteObject methods = as_object(get_field(cls, "methods"));
+    if (methods.is_null()) continue;
+    uint64_t n = array_length(methods);
+    for (uint64_t i = 0; i < n; ++i)
+      out.push_back(as_object(array_get(methods, i)));
+  }
+  return out;
+}
+
+int64_t RemoteReflection::line_number_at(const RemoteObject& vm_method,
+                                         uint64_t offset) const {
+  // Figure 3: "if (offset > linetable.length) return 0;
+  //            return linetable[offset];"
+  RemoteObject line_table = as_object(get_field(vm_method, "lineTable"));
+  if (offset >= array_length(line_table)) return 0;
+  return as_i64(array_get(line_table, offset));
+}
+
+std::string RemoteReflection::describe_object(const RemoteObject& obj,
+                                              int depth) const {
+  std::ostringstream os;
+  std::function<void(const RemoteObject&, int, int)> rec =
+      [&](const RemoteObject& o, int d, int indent) {
+        std::string pad(size_t(indent) * 2, ' ');
+        if (o.is_null()) {
+          os << pad << "null\n";
+          return;
+        }
+        os << pad << class_name_of(o) << " @" << o.addr;
+        if (o.class_id == vmc::kTypeString) {
+          os << " \"" << read_string(o) << "\"\n";
+          return;
+        }
+        os << "\n";
+        if (d <= 0) return;
+        if (o.class_id == heap::kClassIdI64Array ||
+            o.class_id == heap::kClassIdByteArray) {
+          uint64_t n = array_length(o);
+          os << pad << "  [";
+          for (uint64_t i = 0; i < n && i < 16; ++i) {
+            if (i) os << ", ";
+            os << as_i64(array_get(o, i));
+          }
+          if (n > 16) os << ", ...";
+          os << "] (len " << n << ")\n";
+          return;
+        }
+        if (o.class_id == heap::kClassIdRefArray) {
+          uint64_t n = array_length(o);
+          for (uint64_t i = 0; i < n && i < 16; ++i) {
+            os << pad << "  [" << i << "]:\n";
+            rec(as_object(array_get(o, i)), d - 1, indent + 2);
+          }
+          return;
+        }
+        const RemoteClassInfo* info = class_info(o.class_id);
+        if (info == nullptr) return;
+        for (const auto& [fname, ftype] : info->layout) {
+          RemoteValue v = get_field(o, fname);
+          if (is_ref(v)) {
+            os << pad << "  ." << fname << ":\n";
+            rec(as_object(v), d - 1, indent + 2);
+          } else {
+            os << pad << "  ." << fname << " = " << as_i64(v) << "\n";
+          }
+        }
+      };
+  rec(obj, depth, 0);
+  return os.str();
+}
+
+}  // namespace dejavu::remote

@@ -1,0 +1,444 @@
+#include "src/replay/engine.hpp"
+
+#include <sstream>
+
+namespace dejavu::replay {
+
+using vm::AuditKind;
+using vm::NdKind;
+
+namespace {
+EventTag tag_of(NdKind kind) {
+  switch (kind) {
+    case NdKind::kClock: return EventTag::kClock;
+    case NdKind::kInput: return EventTag::kInput;
+    case NdKind::kRand: return EventTag::kRand;
+  }
+  throw VmError("bad NdKind");
+}
+
+const char* tag_name(EventTag t) {
+  switch (t) {
+    case EventTag::kClock: return "clock";
+    case EventTag::kInput: return "input";
+    case EventTag::kRand: return "rand";
+    case EventTag::kNativeReturn: return "native_return";
+    case EventTag::kNativeCallback: return "native_callback";
+  }
+  return "?";
+}
+}  // namespace
+
+DejaVuEngine::DejaVuEngine(SymmetryConfig cfg)
+    : mode_(Mode::kRecord), cfg_(cfg) {}
+
+DejaVuEngine::DejaVuEngine(TraceFile trace, SymmetryConfig cfg)
+    : mode_(Mode::kReplay), cfg_(cfg), trace_(std::move(trace)) {
+  cfg_.checkpoint_interval = trace_.meta.checkpoint_interval;
+}
+
+DejaVuEngine::~DejaVuEngine() = default;
+
+void DejaVuEngine::attach(vm::Vm& vm) {
+  DV_CHECK_MSG(vm_ == nullptr, "engine attached twice");
+  vm_ = &vm;
+
+  if (mode_ == Mode::kReplay) {
+    uint64_t fp = fingerprint_program(vm.program());
+    DV_CHECK_MSG(fp == trace_.meta.program_fingerprint,
+                 "trace was recorded from a different program");
+    schedule_r_ = std::make_unique<ByteReader>(trace_.schedule);
+    events_r_ = std::make_unique<ByteReader>(trace_.events);
+  }
+
+  // §2.4 "Symmetry in Loading and Compilation": load the classes of *both*
+  // modes, and compile their methods, before the application starts.
+  if (cfg_.preload_classes) {
+    vm.load_synthetic_class("DejaVuRecord", 1);
+    vm.load_synthetic_class("DejaVuReplay", 1);
+    if (cfg_.precompile_methods) {
+      vm.note_synthetic_compile("DejaVuRecord.instrument");
+      vm.note_synthetic_compile("DejaVuReplay.instrument");
+    }
+  }
+
+  // §2.4 I/O warm-up: exercise (and "compile") both the output and the
+  // input path now, identically in both modes.
+  if (cfg_.io_warmup) {
+    ensure_io_class("warmup");
+    vm.io_warmup(cfg_.warmup_path);
+  }
+
+  if (cfg_.preallocate_buffers) ensure_buffers_allocated("attach");
+
+  if (mode_ == Mode::kReplay) {
+    nyp_ = reload_nyp();
+  }
+}
+
+void DejaVuEngine::ensure_buffers_allocated(const char* reason) {
+  if (sched_buf_.allocated) return;
+  (void)reason;
+  sched_buf_.addr = vm_->alloc_engine_buffer(cfg_.buffer_capacity, "sched");
+  vm_->register_root_slot(&sched_buf_.addr);
+  sched_buf_.allocated = true;
+  event_buf_.addr = vm_->alloc_engine_buffer(cfg_.buffer_capacity, "events");
+  vm_->register_root_slot(&event_buf_.addr);
+  event_buf_.allocated = true;
+}
+
+void DejaVuEngine::ensure_io_class(const char* reason) {
+  if (io_class_loaded_) return;
+  (void)reason;
+  if (cfg_.io_warmup) {
+    // §2.4: the warm-up exercises the output path and then the input path,
+    // forcing *both* I/O classes in, identically in both modes.
+    vm_->load_synthetic_class("DejaVuIOWrite", 1);
+    vm_->load_synthetic_class("DejaVuIORead", 1);
+  } else {
+    // Ablation path: record needs only the output class (flush) and replay
+    // only the input class (refill) -- the asymmetry the warm-up exists to
+    // prevent.
+    vm_->load_synthetic_class(
+        mode_ == Mode::kRecord ? "DejaVuIOWrite" : "DejaVuIORead", 1);
+  }
+  io_class_loaded_ = true;
+}
+
+void DejaVuEngine::mirror_bytes(GuestBuffer& buf, const uint8_t* data,
+                                size_t n) {
+  if (n == 0) return;
+  ensure_buffers_allocated("first trace byte");
+  auto& heap = vm_->guest_heap();
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t off = buf.pos % cfg_.buffer_capacity;
+    if (off == 0 && buf.pos != 0) {
+      // Buffer boundary: record flushes to disk here, replay refills here.
+      // Both happen at identical byte offsets, so the audited side effect
+      // is symmetric.
+      ensure_io_class("flush");
+      vm_->audit().append(AuditKind::kIoFlush,
+                          std::to_string(buf.pos), vm_->instr_count());
+    }
+    heap.set_array_byte(heap::Addr(buf.addr), off, data[i]);
+    buf.pos++;
+  }
+}
+
+void DejaVuEngine::before_instrumentation() {
+  DV_CHECK_MSG(vm_ != nullptr, "engine event before attach");
+  // §2.4 "Symmetry in Stack Overflow": the record and replay
+  // instrumentation need different amounts of stack; grow eagerly to a
+  // mode-independent threshold so overflow happens at identical points.
+  uint32_t needed = mode_ == Mode::kRecord ? cfg_.record_stack_slots
+                                           : cfg_.replay_stack_slots;
+  vm_->ensure_stack_headroom(needed, cfg_.eager_stack_growth,
+                             cfg_.eager_stack_threshold);
+
+  if (!cfg_.preload_classes && !lazy_class_loaded_) {
+    // Ablation path: the mode's helper class loads at first use, which
+    // differs between record and replay -- the asymmetry §2.4 forbids.
+    vm_->load_synthetic_class(
+        mode_ == Mode::kRecord ? "DejaVuRecord" : "DejaVuReplay", 1);
+    lazy_class_loaded_ = true;
+  }
+  if (!cfg_.precompile_methods && !lazy_method_compiled_) {
+    vm_->note_synthetic_compile(mode_ == Mode::kRecord
+                                    ? "DejaVuRecord.instrument"
+                                    : "DejaVuReplay.instrument");
+    lazy_method_compiled_ = true;
+  }
+
+  // §2.4 "Symmetry in Updating the Logical Clock": the instrumentation
+  // executes a mode-dependent number of yield points. With the liveclock
+  // discipline they are not counted; without it they corrupt nyp.
+  if (!cfg_.pause_logical_clock) {
+    uint32_t k = mode_ == Mode::kRecord ? cfg_.record_instr_yields
+                                        : cfg_.replay_instr_yields;
+    logical_clock_ += k;
+    if (mode_ == Mode::kRecord) {
+      nyp_ += k;
+    } else if (!schedule_exhausted_) {
+      nyp_ -= k;
+    }
+  }
+}
+
+void DejaVuEngine::record_event_bytes(const ByteWriter& w) {
+  events_w_.put_bytes(w.bytes().data(), w.size());
+  mirror_bytes(event_buf_, w.bytes().data(), w.size());
+}
+
+uint8_t DejaVuEngine::replay_event_tag(EventTag expect) {
+  if (events_r_->at_end()) {
+    violation("event stream exhausted; expected " +
+              std::string(tag_name(expect)));
+    return 0;
+  }
+  uint8_t tag = events_r_->get_u8();
+  if (tag != uint8_t(expect)) {
+    violation(std::string("event type mismatch: expected ") +
+              tag_name(expect) + ", trace has " + tag_name(EventTag(tag)));
+  }
+  return tag;
+}
+
+void DejaVuEngine::mirror_replay_consumption() {
+  size_t now = events_r_->position();
+  if (now > event_mirror_mark_) {
+    mirror_bytes(event_buf_, trace_.events.data() + event_mirror_mark_,
+                 now - event_mirror_mark_);
+    event_mirror_mark_ = now;
+  }
+}
+
+int64_t DejaVuEngine::nd_value(NdKind kind, int64_t live) {
+  before_instrumentation();
+  auto count = [&](uint64_t n = 1) {
+    switch (kind) {
+      case NdKind::kClock: stats_.clock_events += n; break;
+      case NdKind::kInput: stats_.input_events += n; break;
+      case NdKind::kRand: stats_.rand_events += n; break;
+    }
+  };
+  if (mode_ == Mode::kRecord) {
+    ByteWriter w;
+    w.put_u8(uint8_t(tag_of(kind)));
+    w.put_svarint(live);
+    record_event_bytes(w);
+    count();
+    return live;
+  }
+  replay_event_tag(tag_of(kind));
+  int64_t v = 0;
+  try {
+    v = events_r_->get_svarint();
+  } catch (const VmError&) {
+    // Corrupt/truncated payload: report as a divergence, not a raw
+    // stream error (non-strict callers count it and continue).
+    violation("event stream truncated inside a value payload");
+  }
+  mirror_replay_consumption();
+  count();
+  return v;
+}
+
+void DejaVuEngine::native_record_callback(const std::string& cls,
+                                          const std::string& method,
+                                          const std::vector<int64_t>& args) {
+  DV_CHECK(mode_ == Mode::kRecord);
+  before_instrumentation();
+  ByteWriter w;
+  w.put_u8(uint8_t(EventTag::kNativeCallback));
+  w.put_string(cls);
+  w.put_string(method);
+  w.put_uvarint(args.size());
+  for (int64_t a : args) w.put_svarint(a);
+  record_event_bytes(w);
+  stats_.native_callbacks++;
+}
+
+int64_t DejaVuEngine::native_record_return(int64_t v) {
+  DV_CHECK(mode_ == Mode::kRecord);
+  before_instrumentation();
+  ByteWriter w;
+  w.put_u8(uint8_t(EventTag::kNativeReturn));
+  w.put_svarint(v);
+  record_event_bytes(w);
+  stats_.native_returns++;
+  return v;
+}
+
+bool DejaVuEngine::native_replay_next(std::string* cls, std::string* method,
+                                      std::vector<int64_t>* args,
+                                      int64_t* ret) {
+  DV_CHECK(mode_ == Mode::kReplay);
+  before_instrumentation();
+  if (events_r_->at_end()) {
+    violation("event stream exhausted inside a native call");
+    *ret = 0;
+    return false;
+  }
+  uint8_t tag = events_r_->get_u8();
+  try {
+    if (tag == uint8_t(EventTag::kNativeCallback)) {
+      *cls = events_r_->get_string();
+      *method = events_r_->get_string();
+      size_t n = size_t(events_r_->get_uvarint());
+      args->clear();
+      for (size_t i = 0; i < n; ++i)
+        args->push_back(events_r_->get_svarint());
+      mirror_replay_consumption();
+      stats_.native_callbacks++;
+      return true;
+    }
+    if (tag == uint8_t(EventTag::kNativeReturn)) {
+      *ret = events_r_->get_svarint();
+      mirror_replay_consumption();
+      stats_.native_returns++;
+      return false;
+    }
+  } catch (const VmError&) {
+    violation("event stream truncated inside a native event");
+    *ret = 0;
+    return false;
+  }
+  violation(std::string("unexpected event inside native call: ") +
+            tag_name(EventTag(tag)));
+  *ret = 0;
+  return false;
+}
+
+bool DejaVuEngine::yield_point(bool hardware_bit) {
+  // Figure 2, transliterated. The liveclock guard keeps instrumentation
+  // re-entry from being counted.
+  if (!live_clock_) return false;
+  live_clock_ = false;
+  bool do_switch = false;
+  logical_clock_++;
+
+  if (mode_ == Mode::kRecord) {
+    nyp_++;
+    if (hardware_bit) {
+      // recordThreadSwitch(nyp)
+      ByteWriter w;
+      w.put_uvarint(uint64_t(nyp_));
+      schedule_w_.put_bytes(w.bytes().data(), w.size());
+      mirror_bytes(sched_buf_, w.bytes().data(), w.size());
+      stats_.preempt_switches++;
+      if (stats_.preempt_switches % cfg_.checkpoint_interval == 0) {
+        ByteWriter cw;
+        collect_checkpoint().write_to(cw);
+        schedule_w_.put_bytes(cw.bytes().data(), cw.size());
+        mirror_bytes(sched_buf_, cw.bytes().data(), cw.size());
+        stats_.checkpoints++;
+      }
+      nyp_ = 0;
+      do_switch = true;  // threadswitchbitset
+    }
+  } else {
+    // The preemptive hardware bit is ignored during replay (Figure 2-B).
+    if (!schedule_exhausted_) {
+      nyp_--;
+      if (nyp_ <= 0) {
+        stats_.preempt_switches++;
+        do_switch = true;
+        nyp_ = reload_nyp();
+      }
+    }
+  }
+
+  live_clock_ = true;
+  return do_switch;
+}
+
+int64_t DejaVuEngine::reload_nyp() {
+  try {
+    // A checkpoint follows every checkpoint_interval-th delta.
+    if (stats_.preempt_switches > 0 &&
+        stats_.preempt_switches % cfg_.checkpoint_interval == 0 &&
+        !schedule_r_->at_end()) {
+      size_t before = schedule_r_->position();
+      Checkpoint recorded = Checkpoint::read_from(*schedule_r_);
+      mirror_bytes(sched_buf_, trace_.schedule.data() + before,
+                   schedule_r_->position() - before);
+      stats_.checkpoints++;
+      check_checkpoint(recorded);
+    }
+    if (schedule_r_->at_end()) {
+      schedule_exhausted_ = true;
+      return 0;
+    }
+    size_t before = schedule_r_->position();
+    uint64_t delta = schedule_r_->get_uvarint();
+    mirror_bytes(sched_buf_, trace_.schedule.data() + before,
+                 schedule_r_->position() - before);
+    return int64_t(delta);
+  } catch (const ReplayDivergence&) {
+    throw;  // check_checkpoint in strict mode
+  } catch (const VmError&) {
+    violation("schedule stream truncated mid-entry");
+    schedule_exhausted_ = true;
+    return 0;
+  }
+}
+
+Checkpoint DejaVuEngine::collect_checkpoint() const {
+  Checkpoint c;
+  c.logical_clock = logical_clock_;
+  c.alloc_count = vm_->guest_heap().stats().alloc_count;
+  c.class_loads = vm_->audit().count(AuditKind::kClassLoad);
+  c.compiles = vm_->audit().count(AuditKind::kCompile);
+  c.stack_grows = vm_->audit().count(AuditKind::kStackGrow);
+  c.gc_count = vm_->guest_heap().stats().gc_count;
+  c.switch_count = vm_->thread_package().switch_count();
+  return c;
+}
+
+void DejaVuEngine::check_checkpoint(const Checkpoint& recorded) {
+  Checkpoint mine = collect_checkpoint();
+  if (!(mine == recorded)) {
+    violation("checkpoint mismatch: recorded " + recorded.describe() +
+              " vs replay " + mine.describe());
+  }
+}
+
+void DejaVuEngine::violation(const std::string& what) {
+  stats_.symmetry_violations++;
+  if (stats_.first_violation.empty()) stats_.first_violation = what;
+  if (cfg_.strict) throw ReplayDivergence(what);
+}
+
+void DejaVuEngine::detach(vm::Vm& vm) {
+  if (detached_) return;
+  detached_ = true;
+  vm::BehaviorSummary s = vm.summary();
+
+  if (mode_ == Mode::kRecord) {
+    result_.meta.program_fingerprint = fingerprint_program(vm.program());
+    result_.meta.checkpoint_interval = cfg_.checkpoint_interval;
+    result_.meta.preempt_switches = stats_.preempt_switches;
+    result_.meta.nd_events = stats_.nd_events();
+    result_.meta.final_checkpoint = collect_checkpoint();
+    result_.meta.final_output_hash = s.output_hash;
+    result_.meta.final_heap_hash = s.heap_hash;
+    result_.meta.final_switch_seq_hash = s.switch_seq_hash;
+    result_.meta.final_instr_count = s.instr_count;
+    result_.meta.final_audit_digest = s.audit_digest;
+    result_.schedule = schedule_w_.take();
+    result_.events = events_w_.take();
+    return;
+  }
+
+  // Replay verification: both streams consumed, final state identical.
+  if (!events_r_->at_end()) {
+    violation("events not exhausted: " +
+              std::to_string(events_r_->remaining()) + " bytes left");
+  }
+  if (!schedule_exhausted_) {
+    violation("schedule not exhausted: a recorded preemption never "
+              "happened on replay");
+  }
+  check_checkpoint(trace_.meta.final_checkpoint);
+  auto verify = [&](const char* what, uint64_t got, uint64_t want) {
+    if (got != want) {
+      violation(std::string("final ") + what + " mismatch: replay " +
+                std::to_string(got) + " vs recorded " + std::to_string(want));
+    }
+  };
+  verify("output hash", s.output_hash, trace_.meta.final_output_hash);
+  verify("switch-sequence hash", s.switch_seq_hash,
+         trace_.meta.final_switch_seq_hash);
+  verify("instruction count", s.instr_count, trace_.meta.final_instr_count);
+  verify("heap image hash", s.heap_hash, trace_.meta.final_heap_hash);
+  verify("audit digest", s.audit_digest, trace_.meta.final_audit_digest);
+  stats_.verified_ok = stats_.symmetry_violations == 0;
+}
+
+TraceFile DejaVuEngine::take_trace() {
+  DV_CHECK_MSG(mode_ == Mode::kRecord && detached_,
+               "take_trace before the recorded run finished");
+  return std::move(result_);
+}
+
+}  // namespace dejavu::replay

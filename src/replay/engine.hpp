@@ -1,0 +1,175 @@
+// The DejaVu engine: record/replay via symmetric instrumentation.
+//
+// One DejaVuEngine is installed into a Vm as its ExecHooks and implements
+// the paper's mechanisms:
+//
+//  * Figure 2's yield-point protocol. Record mode counts live yield points
+//    (`nyp`) and logs the delta whenever the hardware timer bit forces a
+//    preemptive switch. Replay mode counts the logged delta *down* and
+//    forces the switch when it reaches zero, ignoring the hardware bit.
+//    Synchronization-induced switches are never logged: because the engine
+//    replays the entire thread package's inputs, those switches replay
+//    themselves (§2.2).
+//
+//  * The non-deterministic event log (§2.1, §2.5): wall-clock reads,
+//    inputs, randomness, native returns and callbacks are written in
+//    record mode and substituted in replay mode.
+//
+//  * Symmetric instrumentation (§2.4). The engine's own side effects are
+//    forced identical in both modes: its helper classes are pre-loaded and
+//    pre-compiled at attach; its guest trace buffers are pre-allocated and
+//    mirror the *same* byte stream in both modes (record writes what replay
+//    later re-reads, so even the buffer contents match); I/O is warmed up
+//    by writing-then-reading a temp file; the activation stack is grown
+//    eagerly before instrumentation whose stack needs differ by mode; and
+//    the logical clock pauses (`liveclock`) across the modeled
+//    instrumentation yield points, whose count differs by mode.
+//
+// Every symmetry mechanism can be disabled through SymmetryConfig -- that
+// is the ablation experiment (E6). Checkpoints embedded in the schedule
+// stream let replay *detect* the resulting divergences instead of silently
+// corrupting the run.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/replay/trace.hpp"
+#include "src/vm/hooks.hpp"
+#include "src/vm/vm.hpp"
+
+namespace dejavu::replay {
+
+enum class Mode : uint8_t { kRecord, kReplay };
+
+// Knobs for §2.4's machinery. Defaults = the paper's design. The *_cost
+// fields model the footprint of the (in the paper, Java-level)
+// instrumentation, which genuinely differs between record and replay --
+// that asymmetry is exactly what the symmetry mechanisms neutralize.
+struct SymmetryConfig {
+  bool preallocate_buffers = true;
+  bool preload_classes = true;
+  bool precompile_methods = true;
+  bool eager_stack_growth = true;
+  bool pause_logical_clock = true;  // the liveclock flag of Figure 2
+  bool io_warmup = true;
+
+  uint32_t checkpoint_interval = 64;   // switches between checkpoints
+  uint32_t buffer_capacity = 1 << 16;  // guest trace-buffer bytes
+
+  // Modeled per-event instrumentation costs (record / replay differ).
+  uint32_t record_stack_slots = 6;
+  uint32_t replay_stack_slots = 9;
+  uint32_t eager_stack_threshold = 16;  // mode-independent heuristic bound
+  uint32_t record_instr_yields = 2;
+  uint32_t replay_instr_yields = 3;
+
+  // If true, any detected divergence throws ReplayDivergence; otherwise it
+  // is counted in stats (the ablation bench runs non-strict).
+  bool strict = true;
+
+  std::string warmup_path = "/tmp/dejavu.warmup";
+};
+
+struct EngineStats {
+  uint64_t clock_events = 0;
+  uint64_t input_events = 0;
+  uint64_t rand_events = 0;
+  uint64_t native_returns = 0;
+  uint64_t native_callbacks = 0;
+  uint64_t preempt_switches = 0;
+  uint64_t checkpoints = 0;
+  uint64_t symmetry_violations = 0;
+  std::string first_violation;
+  bool verified_ok = false;  // replay only: final behaviour matched
+
+  uint64_t nd_events() const {
+    return clock_events + input_events + rand_events + native_returns +
+           native_callbacks;
+  }
+};
+
+class DejaVuEngine : public vm::ExecHooks {
+ public:
+  // Record mode: captures a trace of the attached VM's execution.
+  explicit DejaVuEngine(SymmetryConfig cfg = {});
+  // Replay mode: re-executes a recorded trace.
+  DejaVuEngine(TraceFile trace, SymmetryConfig cfg = {});
+  ~DejaVuEngine() override;
+
+  Mode mode() const { return mode_; }
+  const EngineStats& stats() const { return stats_; }
+
+  // Record mode, after the run: the completed trace.
+  TraceFile take_trace();
+
+  // ---- ExecHooks ---------------------------------------------------------
+  void attach(vm::Vm& vm) override;
+  void detach(vm::Vm& vm) override;
+  bool yield_point(bool hardware_bit) override;
+  int64_t nd_value(vm::NdKind kind, int64_t live) override;
+  bool native_executes() override { return mode_ == Mode::kRecord; }
+  void native_record_callback(const std::string& cls,
+                              const std::string& method,
+                              const std::vector<int64_t>& args) override;
+  int64_t native_record_return(int64_t v) override;
+  bool native_replay_next(std::string* cls, std::string* method,
+                          std::vector<int64_t>* args, int64_t* ret) override;
+
+ private:
+  // One guest-resident trace buffer (schedule or events). The host-side
+  // stream is authoritative; the guest byte array mirrors it so that both
+  // modes leave identical heap state ("DejaVu ... uses the same buffer to
+  // store captured information in record mode and to store captured
+  // information read from disk in replay mode").
+  struct GuestBuffer {
+    uint64_t addr = 0;  // guest byte[]; registered as a GC root
+    uint64_t pos = 0;   // running byte offset (mod capacity in the guest)
+    bool allocated = false;
+  };
+
+  void ensure_buffers_allocated(const char* reason);
+  void ensure_io_class(const char* reason);
+  void mirror_bytes(GuestBuffer& buf, const uint8_t* data, size_t n);
+  void before_instrumentation();
+  void record_event_bytes(const ByteWriter& w);
+  void mirror_replay_consumption();
+  uint8_t replay_event_tag(EventTag expect);
+  int64_t reload_nyp();  // read next schedule delta (and due checkpoint)
+  Checkpoint collect_checkpoint() const;
+  void check_checkpoint(const Checkpoint& recorded);
+  void violation(const std::string& what);
+
+  Mode mode_;
+  SymmetryConfig cfg_;
+  vm::Vm* vm_ = nullptr;
+  EngineStats stats_;
+
+  // Figure 2 state.
+  bool live_clock_ = true;
+  int64_t nyp_ = 0;  // record: count since last preemptive switch;
+                     // replay: countdown to the next one
+  bool schedule_exhausted_ = false;  // replay: no recorded switches remain
+  uint64_t logical_clock_ = 0;  // live yield points since start
+  bool lazy_class_loaded_ = false;    // ablation paths (§2.4 disabled)
+  bool lazy_method_compiled_ = false;
+
+  // Record side.
+  ByteWriter schedule_w_;
+  ByteWriter events_w_;
+
+  // Replay side.
+  TraceFile trace_;
+  std::unique_ptr<ByteReader> schedule_r_;
+  std::unique_ptr<ByteReader> events_r_;
+  size_t event_mirror_mark_ = 0;  // event bytes already mirrored (replay)
+
+  GuestBuffer sched_buf_;
+  GuestBuffer event_buf_;
+  bool io_class_loaded_ = false;
+  bool detached_ = false;
+  TraceFile result_;  // record: assembled at detach
+};
+
+}  // namespace dejavu::replay

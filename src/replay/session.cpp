@@ -1,0 +1,62 @@
+#include "src/replay/session.hpp"
+
+namespace dejavu::replay {
+
+RecordResult record_run(const bytecode::Program& prog, vm::VmOptions opts,
+                        vm::Environment& env, threads::TimerSource& timer,
+                        const vm::NativeRegistry* natives,
+                        SymmetryConfig cfg) {
+  DejaVuEngine engine(cfg);
+  vm::Vm v(prog, opts, env, timer, &engine, natives);
+  v.run();
+  RecordResult r;
+  r.summary = v.summary();
+  r.output = v.output();
+  r.stats = engine.stats();
+  r.trace = engine.take_trace();
+  return r;
+}
+
+ReplayResult replay_run(const bytecode::Program& prog, const TraceFile& trace,
+                        vm::VmOptions opts, SymmetryConfig cfg) {
+  // All non-determinism is substituted from the trace; the live sources
+  // below are placeholders whose values are never observed by the guest.
+  vm::ScriptedEnvironment env(0, 1, {}, 0);
+  threads::NullTimer timer;
+  DejaVuEngine engine(trace, cfg);
+  vm::Vm v(prog, opts, env, timer, &engine);
+  v.run();
+  ReplayResult r;
+  r.summary = v.summary();
+  r.output = v.output();
+  r.stats = engine.stats();
+  r.verified = engine.stats().verified_ok;
+  return r;
+}
+
+ReplaySession::ReplaySession(const bytecode::Program& prog, TraceFile trace,
+                             vm::VmOptions opts, SymmetryConfig cfg)
+    : env_(std::make_unique<vm::ScriptedEnvironment>(0, 1,
+                                                     std::vector<int64_t>{},
+                                                     0)),
+      timer_(std::make_unique<threads::NullTimer>()),
+      engine_(std::make_unique<DejaVuEngine>(std::move(trace), cfg)),
+      vm_(std::make_unique<vm::Vm>(prog, opts, *env_, *timer_,
+                                   engine_.get())) {
+  vm_->boot();
+}
+
+ReplayResult ReplaySession::finish() {
+  while (!vm_->finished()) {
+    if (vm_->step(1u << 20) == 0 && !vm_->stopped_at_probe()) break;
+  }
+  vm_->finish();
+  ReplayResult r;
+  r.summary = vm_->summary();
+  r.output = vm_->output();
+  r.stats = engine_->stats();
+  r.verified = engine_->stats().verified_ok;
+  return r;
+}
+
+}  // namespace dejavu::replay

@@ -1,0 +1,70 @@
+// One-call record and replay sessions.
+//
+// record_run executes a guest program on a fresh VM with a DejaVu recorder
+// attached and returns the trace plus the observed behaviour. replay_run
+// re-executes from the trace on a fresh VM and verifies accuracy (§1: the
+// replayed code must exhibit *exactly* the same behaviour). These are the
+// entry points used by the examples, the benches and most tests; the
+// debugger drives the lower-level pieces directly because it needs
+// incremental stepping.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/replay/engine.hpp"
+#include "src/replay/trace.hpp"
+#include "src/threads/timer.hpp"
+#include "src/vm/env.hpp"
+#include "src/vm/natives.hpp"
+#include "src/vm/vm.hpp"
+
+namespace dejavu::replay {
+
+struct RecordResult {
+  TraceFile trace;
+  vm::BehaviorSummary summary;
+  std::string output;
+  EngineStats stats;
+};
+
+struct ReplayResult {
+  vm::BehaviorSummary summary;
+  std::string output;
+  EngineStats stats;
+  bool verified = false;  // accuracy check passed
+};
+
+// Records one execution. The environment and timer supply the
+// non-determinism (host-real or scripted/seeded).
+RecordResult record_run(const bytecode::Program& prog, vm::VmOptions opts,
+                        vm::Environment& env, threads::TimerSource& timer,
+                        const vm::NativeRegistry* natives = nullptr,
+                        SymmetryConfig cfg = {});
+
+// Replays a trace. No environment or timer is consulted (all
+// non-determinism comes from the trace); natives are never executed.
+ReplayResult replay_run(const bytecode::Program& prog, const TraceFile& trace,
+                        vm::VmOptions opts, SymmetryConfig cfg = {});
+
+// A replaying VM bundled with its engine and (unused) environment/timer,
+// for callers that need incremental control -- the debugger steps it.
+class ReplaySession {
+ public:
+  ReplaySession(const bytecode::Program& prog, TraceFile trace,
+                vm::VmOptions opts, SymmetryConfig cfg = {});
+
+  vm::Vm& vm() { return *vm_; }
+  const DejaVuEngine& engine() const { return *engine_; }
+
+  // Completes the run (if not already complete) and reports verification.
+  ReplayResult finish();
+
+ private:
+  std::unique_ptr<vm::ScriptedEnvironment> env_;
+  std::unique_ptr<threads::NullTimer> timer_;
+  std::unique_ptr<DejaVuEngine> engine_;
+  std::unique_ptr<vm::Vm> vm_;
+};
+
+}  // namespace dejavu::replay

@@ -1,0 +1,138 @@
+#include "src/replay/trace.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/common/hash.hpp"
+
+namespace dejavu::replay {
+
+std::string Checkpoint::describe() const {
+  std::ostringstream os;
+  os << "{clock=" << logical_clock << " alloc=" << alloc_count
+     << " loads=" << class_loads << " compiles=" << compiles
+     << " grows=" << stack_grows << " gc=" << gc_count
+     << " switches=" << switch_count << "}";
+  return os.str();
+}
+
+void Checkpoint::write_to(ByteWriter& w) const {
+  w.put_uvarint(logical_clock);
+  w.put_uvarint(alloc_count);
+  w.put_uvarint(class_loads);
+  w.put_uvarint(compiles);
+  w.put_uvarint(stack_grows);
+  w.put_uvarint(gc_count);
+  w.put_uvarint(switch_count);
+}
+
+Checkpoint Checkpoint::read_from(ByteReader& r) {
+  Checkpoint c;
+  c.logical_clock = r.get_uvarint();
+  c.alloc_count = r.get_uvarint();
+  c.class_loads = r.get_uvarint();
+  c.compiles = r.get_uvarint();
+  c.stack_grows = r.get_uvarint();
+  c.gc_count = r.get_uvarint();
+  c.switch_count = r.get_uvarint();
+  return c;
+}
+
+std::vector<uint8_t> TraceFile::serialize() const {
+  ByteWriter w;
+  w.put_u32_fixed(kTraceMagic);
+  w.put_u32_fixed(kTraceVersion);
+  w.put_u64_fixed(meta.program_fingerprint);
+  w.put_u32_fixed(meta.checkpoint_interval);
+  w.put_uvarint(meta.preempt_switches);
+  w.put_uvarint(meta.nd_events);
+  meta.final_checkpoint.write_to(w);
+  w.put_u64_fixed(meta.final_output_hash);
+  w.put_u64_fixed(meta.final_heap_hash);
+  w.put_u64_fixed(meta.final_switch_seq_hash);
+  w.put_u64_fixed(meta.final_instr_count);
+  w.put_u64_fixed(meta.final_audit_digest);
+  w.put_uvarint(schedule.size());
+  w.put_bytes(schedule.data(), schedule.size());
+  w.put_uvarint(events.size());
+  w.put_bytes(events.data(), events.size());
+  return w.take();
+}
+
+TraceFile TraceFile::deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  DV_CHECK_MSG(r.get_u32_fixed() == kTraceMagic, "not a DejaVu trace");
+  uint32_t version = r.get_u32_fixed();
+  DV_CHECK_MSG(version == kTraceVersion,
+               "trace version " << version << " unsupported");
+  TraceFile t;
+  t.meta.program_fingerprint = r.get_u64_fixed();
+  t.meta.checkpoint_interval = r.get_u32_fixed();
+  t.meta.preempt_switches = r.get_uvarint();
+  t.meta.nd_events = r.get_uvarint();
+  t.meta.final_checkpoint = Checkpoint::read_from(r);
+  t.meta.final_output_hash = r.get_u64_fixed();
+  t.meta.final_heap_hash = r.get_u64_fixed();
+  t.meta.final_switch_seq_hash = r.get_u64_fixed();
+  t.meta.final_instr_count = r.get_u64_fixed();
+  t.meta.final_audit_digest = r.get_u64_fixed();
+  t.schedule.resize(size_t(r.get_uvarint()));
+  r.get_bytes(t.schedule.data(), t.schedule.size());
+  t.events.resize(size_t(r.get_uvarint()));
+  r.get_bytes(t.events.data(), t.events.size());
+  DV_CHECK_MSG(r.at_end(), "trailing bytes in trace file");
+  return t;
+}
+
+void TraceFile::save(const std::string& path) const {
+  write_file(path, serialize());
+}
+
+TraceFile TraceFile::load(const std::string& path) {
+  return deserialize(read_file(path));
+}
+
+uint64_t fingerprint_program(const bytecode::Program& prog) {
+  Fnv1a h;
+  h.update_str(prog.main.class_name);
+  h.update_str(prog.main.method_name);
+  for (const auto& s : prog.pool.strings) h.update_str(s);
+  for (const auto& m : prog.pool.method_refs) {
+    h.update_str(m.class_name);
+    h.update_str(m.method_name);
+  }
+  for (const auto& f : prog.pool.field_refs) {
+    h.update_str(f.class_name);
+    h.update_str(f.field_name);
+  }
+  for (const auto& c : prog.pool.class_refs) h.update_str(c);
+  for (const auto& n : prog.pool.native_refs) h.update_str(n);
+  for (const auto& c : prog.classes) {
+    h.update_str(c.name);
+    h.update_str(c.super);
+    for (const auto& f : c.fields) {
+      h.update_str(f.name);
+      h.update_u32(uint32_t(f.type));
+    }
+    for (const auto& f : c.statics) {
+      h.update_str(f.name);
+      h.update_u32(uint32_t(f.type));
+    }
+    for (const auto& m : c.methods) {
+      h.update_str(m.name);
+      h.update_u32(uint32_t(m.args.size()));
+      for (auto a : m.args) h.update_u32(uint32_t(a));
+      h.update_u32(m.ret.has_value() ? uint32_t(*m.ret) + 1 : 0);
+      h.update_u32(m.num_locals);
+      h.update_u32(m.is_virtual ? 1 : 0);
+      for (const auto& ins : m.code) {
+        h.update_u32(uint32_t(ins.op));
+        h.update_u32(uint32_t(ins.a));
+        h.update_u64(uint64_t(ins.b));
+      }
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace dejavu::replay

@@ -1,0 +1,94 @@
+// The DejaVu trace format.
+//
+// A recorded execution is two byte streams plus metadata:
+//
+//  * the SCHEDULE stream: one varint per preemptive thread switch -- the
+//    yield-point delta `nyp` of Figure 2 ("this count can be kept as a
+//    delta since the last such event"). Every checkpoint_interval-th
+//    switch is followed by a checkpoint block of VM side-effect counters,
+//    which replay compares against its own state to *detect* symmetry
+//    violations (the failure mode §2.4's machinery exists to prevent).
+//
+//  * the EVENTS stream: one tagged record per non-deterministic event, in
+//    execution order -- wall-clock reads, inputs, environmental randomness,
+//    native-call returns and callbacks (§2.1, §2.5).
+//
+// Deterministic operations are, per the paper's central observation,
+// *never* recorded.
+//
+// The meta block carries a program fingerprint (refusing to replay a trace
+// against a different program) and the final behaviour summary, which
+// replay verifies on completion -- accuracy (§1) is checked, not assumed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/model.hpp"
+#include "src/common/io.hpp"
+
+namespace dejavu::replay {
+
+inline constexpr uint32_t kTraceMagic = 0x44564a55;  // "DVJU"
+inline constexpr uint32_t kTraceVersion = 3;
+
+// Event tags in the events stream.
+enum class EventTag : uint8_t {
+  kClock = 1,
+  kInput = 2,
+  kRand = 3,
+  kNativeReturn = 4,
+  kNativeCallback = 5,
+};
+
+// VM side-effect counters compared at checkpoints (property P3).
+struct Checkpoint {
+  uint64_t logical_clock = 0;  // live yield points (instrumentation excluded)
+  uint64_t alloc_count = 0;
+  uint64_t class_loads = 0;
+  uint64_t compiles = 0;
+  uint64_t stack_grows = 0;
+  uint64_t gc_count = 0;
+  uint64_t switch_count = 0;  // all switches, incl. deterministic ones
+
+  bool operator==(const Checkpoint&) const = default;
+  std::string describe() const;
+  void write_to(ByteWriter& w) const;
+  static Checkpoint read_from(ByteReader& r);
+};
+
+struct TraceMeta {
+  uint64_t program_fingerprint = 0;
+  uint32_t checkpoint_interval = 64;
+  uint64_t preempt_switches = 0;
+  uint64_t nd_events = 0;
+  Checkpoint final_checkpoint;
+  // Final behaviour (accuracy verification on replay completion).
+  uint64_t final_output_hash = 0;
+  uint64_t final_heap_hash = 0;
+  uint64_t final_switch_seq_hash = 0;
+  uint64_t final_instr_count = 0;
+  uint64_t final_audit_digest = 0;
+};
+
+struct TraceFile {
+  TraceMeta meta;
+  std::vector<uint8_t> schedule;
+  std::vector<uint8_t> events;
+
+  std::vector<uint8_t> serialize() const;
+  static TraceFile deserialize(const std::vector<uint8_t>& bytes);
+
+  void save(const std::string& path) const;
+  static TraceFile load(const std::string& path);
+
+  size_t total_bytes() const { return schedule.size() + events.size(); }
+};
+
+// Structural hash of a program: class/field/method names, signatures and
+// code. Replaying a trace against a program with a different fingerprint
+// is refused outright.
+uint64_t fingerprint_program(const bytecode::Program& prog);
+
+}  // namespace dejavu::replay

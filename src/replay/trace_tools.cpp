@@ -1,0 +1,184 @@
+#include "src/replay/trace_tools.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dejavu::replay {
+
+DecodedSchedule decode_schedule(const TraceFile& trace) {
+  DecodedSchedule out;
+  ByteReader r(trace.schedule);
+  uint64_t cumulative = 0;
+  uint64_t n = 0;
+  while (!r.at_end()) {
+    DecodedSchedule::Entry e;
+    e.nyp_delta = r.get_uvarint();
+    cumulative += e.nyp_delta;
+    e.cumulative_yields = cumulative;
+    ++n;
+    if (trace.meta.checkpoint_interval != 0 &&
+        n % trace.meta.checkpoint_interval == 0 && !r.at_end()) {
+      e.has_checkpoint = true;
+      e.checkpoint = Checkpoint::read_from(r);
+    }
+    out.entries.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<DecodedEvent> decode_events(const TraceFile& trace) {
+  std::vector<DecodedEvent> out;
+  ByteReader r(trace.events);
+  while (!r.at_end()) {
+    DecodedEvent e;
+    uint8_t tag = r.get_u8();
+    DV_CHECK_MSG(tag >= 1 && tag <= 5, "bad event tag " << int(tag));
+    e.tag = EventTag(tag);
+    switch (e.tag) {
+      case EventTag::kClock:
+      case EventTag::kInput:
+      case EventTag::kRand:
+      case EventTag::kNativeReturn:
+        e.value = r.get_svarint();
+        break;
+      case EventTag::kNativeCallback: {
+        e.callback_class = r.get_string();
+        e.callback_method = r.get_string();
+        size_t n = size_t(r.get_uvarint());
+        for (size_t i = 0; i < n; ++i)
+          e.callback_args.push_back(r.get_svarint());
+        break;
+      }
+    }
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+TraceStats trace_stats(const TraceFile& trace) {
+  TraceStats s;
+  s.schedule_bytes = trace.schedule.size();
+  s.event_bytes = trace.events.size();
+  DecodedSchedule sched = decode_schedule(trace);
+  s.preempt_switches = sched.entries.size();
+  uint64_t sum = 0;
+  s.min_delta = UINT64_MAX;
+  for (const auto& e : sched.entries) {
+    s.min_delta = std::min(s.min_delta, e.nyp_delta);
+    s.max_delta = std::max(s.max_delta, e.nyp_delta);
+    sum += e.nyp_delta;
+    s.checkpoints += e.has_checkpoint ? 1 : 0;
+  }
+  if (sched.entries.empty()) s.min_delta = 0;
+  s.mean_delta =
+      sched.entries.empty() ? 0 : double(sum) / double(sched.entries.size());
+  for (const auto& e : decode_events(trace)) {
+    switch (e.tag) {
+      case EventTag::kClock: s.clock_events++; break;
+      case EventTag::kInput: s.input_events++; break;
+      case EventTag::kRand: s.rand_events++; break;
+      case EventTag::kNativeReturn: s.native_returns++; break;
+      case EventTag::kNativeCallback: s.native_callbacks++; break;
+    }
+  }
+  return s;
+}
+
+std::string dump_trace(const TraceFile& trace, size_t max_lines) {
+  std::ostringstream os;
+  os << "trace: fingerprint=" << std::hex << trace.meta.program_fingerprint
+     << std::dec << " preempts=" << trace.meta.preempt_switches
+     << " ndevents=" << trace.meta.nd_events
+     << " bytes=" << trace.total_bytes() << "\n";
+  os << "final: " << trace.meta.final_checkpoint.describe() << "\n";
+
+  DecodedSchedule sched = decode_schedule(trace);
+  os << "schedule (" << sched.entries.size() << " preemptive switches):\n";
+  for (size_t i = 0; i < sched.entries.size(); ++i) {
+    if (i >= max_lines) {
+      os << "  ... " << (sched.entries.size() - i) << " more\n";
+      break;
+    }
+    const auto& e = sched.entries[i];
+    os << "  switch " << i << ": +" << e.nyp_delta << " yields (cum "
+       << e.cumulative_yields << ")";
+    if (e.has_checkpoint) os << "  checkpoint " << e.checkpoint.describe();
+    os << "\n";
+  }
+
+  std::vector<DecodedEvent> events = decode_events(trace);
+  os << "events (" << events.size() << "):\n";
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i >= max_lines) {
+      os << "  ... " << (events.size() - i) << " more\n";
+      break;
+    }
+    const DecodedEvent& e = events[i];
+    switch (e.tag) {
+      case EventTag::kClock: os << "  clock " << e.value; break;
+      case EventTag::kInput: os << "  input " << e.value; break;
+      case EventTag::kRand: os << "  rand " << e.value; break;
+      case EventTag::kNativeReturn: os << "  native -> " << e.value; break;
+      case EventTag::kNativeCallback: {
+        os << "  callback " << e.callback_class << "." << e.callback_method
+           << "(";
+        for (size_t j = 0; j < e.callback_args.size(); ++j) {
+          if (j) os << ", ";
+          os << e.callback_args[j];
+        }
+        os << ")";
+        break;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+TraceDiff diff_traces(const TraceFile& a, const TraceFile& b) {
+  TraceDiff d;
+  std::ostringstream why;
+  if (a.meta.program_fingerprint != b.meta.program_fingerprint) {
+    d.description = "traces are from different programs";
+    return d;
+  }
+
+  DecodedSchedule sa = decode_schedule(a), sb = decode_schedule(b);
+  size_t n = std::min(sa.entries.size(), sb.entries.size());
+  for (size_t i = 0; i < n && d.first_schedule_divergence == SIZE_MAX; ++i) {
+    if (sa.entries[i].nyp_delta != sb.entries[i].nyp_delta) {
+      d.first_schedule_divergence = i;
+      why << "switch " << i << ": +" << sa.entries[i].nyp_delta
+          << " yields vs +" << sb.entries[i].nyp_delta << " yields; ";
+    }
+  }
+  if (d.first_schedule_divergence == SIZE_MAX &&
+      sa.entries.size() != sb.entries.size()) {
+    d.first_schedule_divergence = n;
+    why << "switch counts differ (" << sa.entries.size() << " vs "
+        << sb.entries.size() << "); ";
+  }
+
+  std::vector<DecodedEvent> ea = decode_events(a), eb = decode_events(b);
+  size_t m = std::min(ea.size(), eb.size());
+  for (size_t i = 0; i < m && d.first_event_divergence == SIZE_MAX; ++i) {
+    if (ea[i].tag != eb[i].tag || ea[i].value != eb[i].value ||
+        ea[i].callback_method != eb[i].callback_method ||
+        ea[i].callback_args != eb[i].callback_args) {
+      d.first_event_divergence = i;
+      why << "event " << i << " differs; ";
+    }
+  }
+  if (d.first_event_divergence == SIZE_MAX && ea.size() != eb.size()) {
+    d.first_event_divergence = m;
+    why << "event counts differ (" << ea.size() << " vs " << eb.size()
+        << "); ";
+  }
+
+  d.identical = d.first_schedule_divergence == SIZE_MAX &&
+                d.first_event_divergence == SIZE_MAX;
+  d.description = d.identical ? "identical" : why.str();
+  return d;
+}
+
+}  // namespace dejavu::replay

@@ -1,0 +1,74 @@
+// Trace inspection and comparison utilities.
+//
+// The platform's point is that a trace *is* the execution (§2: behaviour =
+// event sequence + state); these tools make traces first-class artifacts a
+// developer can look at: a human-readable dump of the schedule and event
+// streams, summary statistics, and a structural diff that pinpoints where
+// two recordings of the same program first scheduled differently -- the
+// starting point for "why did run A fail and run B not?" investigations
+// (the paper's family of replay-based understanding tools, §1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/replay/trace.hpp"
+
+namespace dejavu::replay {
+
+struct DecodedEvent {
+  EventTag tag;
+  int64_t value = 0;                // clock/input/rand/native-return
+  std::string callback_class;      // native callbacks only
+  std::string callback_method;
+  std::vector<int64_t> callback_args;
+};
+
+struct DecodedSchedule {
+  struct Entry {
+    uint64_t nyp_delta = 0;
+    uint64_t cumulative_yields = 0;
+    bool has_checkpoint = false;
+    Checkpoint checkpoint;
+  };
+  std::vector<Entry> entries;
+};
+
+// Stream decoding (throws VmError on malformed streams).
+DecodedSchedule decode_schedule(const TraceFile& trace);
+std::vector<DecodedEvent> decode_events(const TraceFile& trace);
+
+// Aggregate statistics for reporting.
+struct TraceStats {
+  uint64_t preempt_switches = 0;
+  uint64_t checkpoints = 0;
+  uint64_t clock_events = 0;
+  uint64_t input_events = 0;
+  uint64_t rand_events = 0;
+  uint64_t native_returns = 0;
+  uint64_t native_callbacks = 0;
+  uint64_t min_delta = 0;
+  uint64_t max_delta = 0;
+  double mean_delta = 0;
+  size_t schedule_bytes = 0;
+  size_t event_bytes = 0;
+};
+
+TraceStats trace_stats(const TraceFile& trace);
+
+// Human-readable dump (optionally truncated to `max_lines` per stream).
+std::string dump_trace(const TraceFile& trace, size_t max_lines = 64);
+
+// Where two traces first diverge.
+struct TraceDiff {
+  bool identical = false;
+  // Index of the first differing schedule entry (SIZE_MAX if schedules
+  // match), and the first differing event (SIZE_MAX if events match).
+  size_t first_schedule_divergence = SIZE_MAX;
+  size_t first_event_divergence = SIZE_MAX;
+  std::string description;
+};
+
+TraceDiff diff_traces(const TraceFile& a, const TraceFile& b);
+
+}  // namespace dejavu::replay

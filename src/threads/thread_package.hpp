@@ -1,0 +1,196 @@
+// The quasi-preemptive green-thread package (Jalapeño's thread system).
+//
+// All guest threads are multiplexed on one host thread ("uniprocessor");
+// the only preemption points are yield points, and every scheduling
+// decision here is a deterministic function of
+//   (a) the sequence of block/unblock operations issued by the interpreter,
+//   (b) the wall-clock values obtained through the injected clock function,
+//   (c) the preemption decisions made at yield points by the caller.
+// Under DejaVu, (b) is recorded/replayed and (c) is the nyp countdown, so
+// the *entire package replays itself* -- the paper's central trick for
+// getting deterministic-switch replay without a thread-ID mapping (§2.2,
+// §5 vs Russinovich–Cogswell).
+//
+// All queues are strict FIFO; there are no hash-ordered iterations.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/check.hpp"
+
+namespace dejavu::threads {
+
+using Tid = uint32_t;
+inline constexpr Tid kNoThread = 0;
+
+enum class ThreadState : uint8_t {
+  kUnstarted,
+  kReady,
+  kRunning,
+  kBlockedMonitor,  // queued on a monitor's entry queue
+  kWaiting,         // in a wait set (possibly with a timeout)
+  kSleeping,
+  kJoining,
+  kTerminated,
+};
+
+const char* thread_state_name(ThreadState s);
+
+enum class SwitchReason : uint8_t {
+  kPreempt,    // timer-driven, non-deterministic (the replayed kind)
+  kYield,      // explicit Thread.yield
+  kBlock,      // monitorenter contention
+  kWait,       // Object.wait
+  kSleep,      // Thread.sleep
+  kJoin,       // Thread.join
+  kTerminate,  // thread exited
+};
+
+const char* switch_reason_name(SwitchReason r);
+
+using MonitorId = uint32_t;
+inline constexpr MonitorId kNoMonitor = 0;
+
+// Outcome of a completed wait.
+struct WaitOutcome {
+  bool interrupted = false;
+};
+
+// Lets a replay strategy that does NOT replay the thread package
+// (the Russinovich–Cogswell baseline) dictate which ready thread runs
+// next. DejaVu never installs one.
+class SchedulerDirector {
+ public:
+  virtual ~SchedulerDirector() = default;
+  // Pick the next thread from `ready` (front = package's own choice).
+  // Must return an element of `ready`.
+  virtual Tid pick_next(const std::deque<Tid>& ready) = 0;
+};
+
+class ThreadPackage {
+ public:
+  // `clock_ms` supplies wall-clock reads for timed events; under DejaVu it
+  // is the record/replay-aware clock, which is what makes sleep and timed
+  // wait deterministic on replay (§2.2). `idle` is called when every live
+  // thread is blocked on time (host backoff; no behavioural effect).
+  ThreadPackage(std::function<int64_t()> clock_ms, std::function<void()> idle);
+
+  // -- thread lifecycle ---------------------------------------------------
+  Tid create_thread(const std::string& name);  // enters the ready queue
+  void on_thread_exit();                       // current thread terminates
+  Tid current() const { return current_; }
+  size_t live_count() const { return live_count_; }
+  ThreadState state(Tid t) const;
+  const std::string& name(Tid t) const;
+  size_t thread_count() const { return threads_.size() - 1; }
+  std::vector<Tid> all_tids() const;
+
+  // -- dispatch -------------------------------------------------------------
+  // Selects and installs the next running thread. Returns kNoThread when no
+  // live threads remain. Throws VmError on all-blocked deadlock.
+  Tid schedule_next();
+
+  // Preempt / voluntarily yield the current thread (it stays ready, goes to
+  // the tail of the ready queue). Caller then returns to schedule_next().
+  void switch_out(SwitchReason reason);
+
+  // -- monitors -------------------------------------------------------------
+  MonitorId create_monitor();
+  // True = acquired (or recursively re-entered). False = current thread is
+  // now blocked; caller must dispatch another thread and retry the
+  // monitorenter when this thread runs again.
+  bool monitor_enter(MonitorId m);
+  void monitor_exit(MonitorId m);
+  bool monitor_held_by_current(MonitorId m) const;
+
+  // Begin a wait on a monitor the current thread owns. Releases the monitor
+  // (saving the recursion count), parks the thread. If `timeout_ms` >= 0,
+  // also arms a timed wakeup. Caller must dispatch; when this thread is
+  // scheduled again it must call wait_finish() after re-acquiring.
+  // Returns immediately-completed outcome if the interrupt flag was already
+  // set (Java semantics: wait on an interrupted thread completes at once) --
+  // in that case the monitor is NOT released and no parking happens.
+  bool wait_begin(MonitorId m, int64_t timeout_ms, WaitOutcome* immediate);
+
+  // After a woken waiter re-acquires the monitor: restores the saved
+  // recursion count and reports the outcome.
+  WaitOutcome wait_finish(MonitorId m);
+
+  // True if a thread was woken ("a notify succeeds if there is a waiter").
+  bool notify_one(MonitorId m);
+  int notify_all(MonitorId m);
+
+  void interrupt(Tid t);
+
+  // -- timed events ---------------------------------------------------------
+  void sleep_begin(int64_t millis);  // parks current; caller dispatches
+  void join_begin(Tid target);       // parks current unless target is dead
+  bool join_would_block(Tid target) const;
+
+  // -- observation ----------------------------------------------------------
+  // Invoked at every completed dispatch with (from, to, reason). `from` may
+  // be kNoThread for the very first dispatch.
+  using SwitchObserver =
+      std::function<void(Tid from, Tid to, SwitchReason reason)>;
+  void set_switch_observer(SwitchObserver obs) { observer_ = std::move(obs); }
+
+  void set_director(SchedulerDirector* d) { director_ = d; }
+
+  uint64_t switch_count() const { return switch_count_; }
+  uint64_t clock_read_count() const { return clock_reads_; }
+
+  bool interrupted_flag(Tid t) const;
+
+ private:
+  struct ThreadRec {
+    std::string name;
+    ThreadState state = ThreadState::kUnstarted;
+    bool interrupted = false;
+    // Timed parking.
+    int64_t wake_deadline = 0;
+    bool has_deadline = false;
+    MonitorId waiting_on = kNoMonitor;  // set while in a wait set
+    uint32_t saved_entry_count = 0;     // recursion count across a wait
+    std::vector<Tid> join_waiters;
+  };
+
+  struct MonitorRec {
+    Tid owner = kNoThread;
+    uint32_t entry_count = 0;
+    std::deque<Tid> entry_queue;
+    std::deque<Tid> wait_set;
+  };
+
+  ThreadRec& rec(Tid t);
+  const ThreadRec& rec(Tid t) const;
+  MonitorRec& mon(MonitorId m);
+  void make_ready(Tid t);
+  // If the monitor is free and has queued enterers, ready the first.
+  void hand_off_if_free(MonitorId m);
+  void remove_from(std::deque<Tid>& q, Tid t);
+  void remove_from_timed(Tid t);
+  int64_t read_clock();
+  // Wake every timed-parked thread whose deadline has passed. Reads the
+  // clock (once) only if someone is timed-parked.
+  void wake_expired();
+
+  std::function<int64_t()> clock_ms_;
+  std::function<void()> idle_;
+  std::vector<ThreadRec> threads_;  // index 0 unused (kNoThread)
+  std::vector<MonitorRec> monitors_;
+  std::deque<Tid> ready_;
+  std::vector<Tid> timed_parked_;  // threads with an armed deadline
+  Tid current_ = kNoThread;
+  SwitchReason pending_reason_ = SwitchReason::kPreempt;
+  size_t live_count_ = 0;
+  uint64_t switch_count_ = 0;
+  uint64_t clock_reads_ = 0;
+  SwitchObserver observer_;
+  SchedulerDirector* director_ = nullptr;
+};
+
+}  // namespace dejavu::threads

@@ -1,0 +1,103 @@
+// Timer-interrupt sources: the root of preemption non-determinism.
+//
+// Jalapeño preempts "at the first yield point after a periodic timer
+// interrupt" (§1). The interrupt is asynchronous with respect to program
+// state, which is exactly why preemptive switches are non-deterministic
+// (§2.3: a fixed wall-clock interval covers a varying number of
+// instructions). A TimerSource models the hardware timer: the VM asks it,
+// at each yield point, whether the "preemptive hardware bit" is set.
+//
+//  * RealTimeTimer fires on host wall-clock quanta -- genuinely
+//    non-deterministic, like the paper's platform.
+//  * VirtualTimer fires after pseudo-random instruction intervals drawn
+//    from a seed. Different seeds give different schedules; the same seed
+//    reproduces one. Tests and experiment sweeps (E1, E4) use this to get
+//    *controllable* non-determinism.
+//  * ManualTimer fires at an explicit list of instruction counts, for
+//    pinpoint schedule construction in unit tests.
+//  * NullTimer never fires (purely cooperative scheduling).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace dejavu::threads {
+
+class TimerSource {
+ public:
+  virtual ~TimerSource() = default;
+
+  // True if the hardware bit is set at this point. `instr_count` is the
+  // global count of guest instructions executed so far.
+  virtual bool fired(uint64_t instr_count) = 0;
+
+  // Called after a preemptive switch is performed: re-arm the timer.
+  virtual void rearm(uint64_t instr_count) = 0;
+};
+
+class NullTimer final : public TimerSource {
+ public:
+  bool fired(uint64_t) override { return false; }
+  void rearm(uint64_t) override {}
+};
+
+class VirtualTimer final : public TimerSource {
+ public:
+  VirtualTimer(uint64_t seed, uint64_t min_interval, uint64_t max_interval)
+      : rng_(seed), min_(min_interval), max_(max_interval) {
+    next_ = rng_.next_range(min_, max_);
+  }
+
+  bool fired(uint64_t instr_count) override { return instr_count >= next_; }
+
+  void rearm(uint64_t instr_count) override {
+    next_ = instr_count + rng_.next_range(min_, max_);
+  }
+
+ private:
+  SplitMix64 rng_;
+  uint64_t min_, max_;
+  uint64_t next_;
+};
+
+class ManualTimer final : public TimerSource {
+ public:
+  // `fire_points` must be ascending instruction counts.
+  explicit ManualTimer(std::vector<uint64_t> fire_points)
+      : points_(std::move(fire_points)) {}
+
+  bool fired(uint64_t instr_count) override {
+    return idx_ < points_.size() && instr_count >= points_[idx_];
+  }
+
+  void rearm(uint64_t instr_count) override {
+    while (idx_ < points_.size() && points_[idx_] <= instr_count) ++idx_;
+  }
+
+ private:
+  std::vector<uint64_t> points_;
+  size_t idx_ = 0;
+};
+
+class RealTimeTimer final : public TimerSource {
+ public:
+  explicit RealTimeTimer(std::chrono::microseconds quantum)
+      : quantum_(quantum), next_(std::chrono::steady_clock::now() + quantum) {}
+
+  bool fired(uint64_t) override {
+    return std::chrono::steady_clock::now() >= next_;
+  }
+
+  void rearm(uint64_t) override {
+    next_ = std::chrono::steady_clock::now() + quantum_;
+  }
+
+ private:
+  std::chrono::microseconds quantum_;
+  std::chrono::steady_clock::time_point next_;
+};
+
+}  // namespace dejavu::threads

@@ -1,0 +1,30 @@
+#include "src/vm/audit.hpp"
+
+#include <sstream>
+
+namespace dejavu::vm {
+
+const char* audit_kind_name(AuditKind k) {
+  switch (k) {
+    case AuditKind::kClassLoad: return "class_load";
+    case AuditKind::kCompile: return "compile";
+    case AuditKind::kStackGrow: return "stack_grow";
+    case AuditKind::kGc: return "gc";
+    case AuditKind::kIoWarmup: return "io_warmup";
+    case AuditKind::kIoFlush: return "io_flush";
+    case AuditKind::kThreadCreate: return "thread_create";
+    case AuditKind::kEngineAlloc: return "engine_alloc";
+  }
+  return "?";
+}
+
+std::string AuditLog::describe(size_t index) const {
+  if (index >= events_.size()) return "<past end of audit log>";
+  const AuditEvent& e = events_[index];
+  std::ostringstream os;
+  os << "#" << index << " " << audit_kind_name(e.kind) << "(" << e.detail
+     << ") @instr " << e.instr;
+  return os.str();
+}
+
+}  // namespace dejavu::vm

@@ -1,0 +1,83 @@
+// The side-effect audit log (symmetry verification, property P3).
+//
+// The paper's symmetric-instrumentation discipline (§2.4) demands that every
+// side effect of DejaVu that could influence the VM -- object allocation,
+// class loading, method compilation, stack overflow/growth, I/O warm-up --
+// happens identically in record and replay. The audit log gives those side
+// effects an observable identity: the VM appends an event (with the guest
+// instruction count at which it occurred) for each one, and tests plus the
+// symmetry-ablation experiment compare the logs of a record run and its
+// replay. Any asymmetry shows up as the first differing event.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/hash.hpp"
+
+namespace dejavu::vm {
+
+enum class AuditKind : uint8_t {
+  kClassLoad,
+  kCompile,
+  kStackGrow,
+  kGc,
+  kIoWarmup,
+  kIoFlush,
+  kThreadCreate,
+  kEngineAlloc,  // guest allocations made by the replay engine itself
+};
+
+const char* audit_kind_name(AuditKind k);
+
+struct AuditEvent {
+  AuditKind kind;
+  std::string detail;
+  uint64_t instr;  // guest instruction count at the event
+
+  bool operator==(const AuditEvent&) const = default;
+};
+
+class AuditLog {
+ public:
+  void append(AuditKind kind, std::string detail, uint64_t instr) {
+    events_.push_back(AuditEvent{kind, std::move(detail), instr});
+  }
+
+  const std::vector<AuditEvent>& events() const { return events_; }
+
+  size_t count(AuditKind k) const {
+    size_t n = 0;
+    for (const auto& e : events_) n += (e.kind == k) ? 1 : 0;
+    return n;
+  }
+
+  uint64_t digest() const {
+    Fnv1a h;
+    for (const auto& e : events_) {
+      h.update_u32(uint32_t(e.kind));
+      h.update_str(e.detail);
+      h.update_u64(e.instr);
+    }
+    return h.digest();
+  }
+
+  // Index of the first event differing from `other` (or the shorter length
+  // if one is a prefix of the other); SIZE_MAX if identical.
+  size_t first_divergence(const AuditLog& other) const {
+    size_t n = std::min(events_.size(), other.events_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (!(events_[i] == other.events_[i])) return i;
+    }
+    if (events_.size() != other.events_.size()) return n;
+    return SIZE_MAX;
+  }
+
+  std::string describe(size_t index) const;
+
+ private:
+  std::vector<AuditEvent> events_;
+};
+
+}  // namespace dejavu::vm

@@ -1,0 +1,72 @@
+// Boot-image layout constants shared by the application VM and the tool VM.
+//
+// In the paper, the debugger's remote reflection is seeded "through the
+// process of building the Jalapeño boot image" (§3.3): the tool side knows
+// the address of the root VM data structure and the layouts of the VM's own
+// metadata classes, because it was built from the same image. Here the
+// shared knowledge is this header: the slot layouts of the reified VM
+// metadata classes (VM_Registry, VM_Class, VM_Method, String, Thread) and
+// the fixed order in which their type ids are registered at boot.
+//
+// The metadata lives in the *guest heap* -- Jalapeño is written in Java and
+// its internal tables are heap objects, which is exactly what makes
+// reflection-based debugging possible. The interpreter does not consult
+// these objects to execute (it uses host-side structures); the class loader
+// keeps them consistent, and the remote-reflection engine walks them.
+#pragma once
+
+#include <cstdint>
+
+#include "src/heap/heap.hpp"
+
+namespace dejavu::vm {
+
+// Builtin metadata type ids, in boot registration order. These are
+// TypeRegistry ids (>= heap::kFirstClassId) and are identical in every VM
+// built from the same boot sequence.
+inline constexpr uint32_t kTypeString = heap::kFirstClassId + 0;
+inline constexpr uint32_t kTypeThread = heap::kFirstClassId + 1;
+inline constexpr uint32_t kTypeVmClass = heap::kFirstClassId + 2;
+inline constexpr uint32_t kTypeVmMethod = heap::kFirstClassId + 3;
+inline constexpr uint32_t kTypeVmRegistry = heap::kFirstClassId + 4;
+inline constexpr uint32_t kFirstUserTypeId = heap::kFirstClassId + 5;
+
+// String: { chars: ref(byte[]) }
+inline constexpr uint32_t kStringChars = 0;
+inline constexpr uint32_t kStringSlots = 1;
+
+// Thread: { name: ref(String), tid: i64, stack: ref(byte[]) }
+inline constexpr uint32_t kThreadName = 0;
+inline constexpr uint32_t kThreadTid = 1;
+inline constexpr uint32_t kThreadStack = 2;
+inline constexpr uint32_t kThreadSlots = 3;
+
+// VM_Class: { name: ref(String), super: ref(VM_Class),
+//             methods: ref(ref[] of VM_Method), statics: ref,
+//             classId: i64 }
+inline constexpr uint32_t kVmClassName = 0;
+inline constexpr uint32_t kVmClassSuper = 1;
+inline constexpr uint32_t kVmClassMethods = 2;
+inline constexpr uint32_t kVmClassStatics = 3;
+inline constexpr uint32_t kVmClassClassId = 4;
+inline constexpr uint32_t kVmClassSlots = 5;
+
+// VM_Method: { name: ref(String), owner: ref(VM_Class),
+//              lineTable: ref(i64[]), codeLength: i64 }
+inline constexpr uint32_t kVmMethodName = 0;
+inline constexpr uint32_t kVmMethodOwner = 1;
+inline constexpr uint32_t kVmMethodLineTable = 2;
+inline constexpr uint32_t kVmMethodCodeLength = 3;
+inline constexpr uint32_t kVmMethodSlots = 4;
+
+// VM_Registry (the boot root): { classTable: ref(ref[]), classCount: i64,
+//                                internTable: ref(ref[]),
+//                                threadTable: ref(ref[]), threadCount: i64 }
+inline constexpr uint32_t kRegClassTable = 0;
+inline constexpr uint32_t kRegClassCount = 1;
+inline constexpr uint32_t kRegInternTable = 2;
+inline constexpr uint32_t kRegThreadTable = 3;
+inline constexpr uint32_t kRegThreadCount = 4;
+inline constexpr uint32_t kRegSlots = 5;
+
+}  // namespace dejavu::vm

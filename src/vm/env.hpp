@@ -1,0 +1,89 @@
+// The non-deterministic environment (§2.1).
+//
+// Everything the guest can observe that is not a deterministic function of
+// program state enters through this interface: the wall clock, external
+// input, environmental randomness. "The same in-state can produce different
+// out-states" -- DejaVu records these values and substitutes them on replay.
+//
+//  * HostEnvironment: real wall clock + entropy (genuinely non-deterministic,
+//    like the paper's platform).
+//  * ScriptedEnvironment: a deterministic script (clock advancing by a fixed
+//    step per read, queued inputs, seeded randomness). Used to isolate
+//    *scheduling* non-determinism in tests and experiments: with a scripted
+//    environment and no timer, two bare runs are bit-identical (property P5).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.hpp"
+
+namespace dejavu::vm {
+
+class Environment {
+ public:
+  virtual ~Environment() = default;
+  virtual int64_t clock_ms() = 0;
+  virtual int64_t read_input() = 0;
+  virtual int64_t env_rand() = 0;
+  // Host-level backoff while all guest threads are parked on time.
+  virtual void idle() {}
+};
+
+class HostEnvironment final : public Environment {
+ public:
+  HostEnvironment() : rng_(uint64_t(std::chrono::steady_clock::now()
+                                        .time_since_epoch()
+                                        .count())) {}
+
+  int64_t clock_ms() override {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+  }
+
+  int64_t read_input() override { return int64_t(rng_.next()); }
+  int64_t env_rand() override { return int64_t(rng_.next()); }
+  void idle() override {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+ private:
+  SplitMix64 rng_;
+};
+
+class ScriptedEnvironment final : public Environment {
+ public:
+  // The clock starts at `clock_base` and advances `clock_step` ms per read
+  // (so timed waits always eventually expire).
+  ScriptedEnvironment(int64_t clock_base, int64_t clock_step,
+                      std::vector<int64_t> inputs, uint64_t rand_seed)
+      : clock_(clock_base),
+        step_(clock_step),
+        inputs_(std::move(inputs)),
+        rng_(rand_seed) {}
+
+  int64_t clock_ms() override {
+    int64_t v = clock_;
+    clock_ += step_;
+    return v;
+  }
+
+  int64_t read_input() override {
+    if (next_input_ < inputs_.size()) return inputs_[next_input_++];
+    return -1;  // end-of-input marker
+  }
+
+  int64_t env_rand() override { return int64_t(rng_.next()); }
+
+ private:
+  int64_t clock_;
+  int64_t step_;
+  std::vector<int64_t> inputs_;
+  size_t next_input_ = 0;
+  SplitMix64 rng_;
+};
+
+}  // namespace dejavu::vm

@@ -1,0 +1,95 @@
+// The instrumentation surface between the VM and a replay strategy.
+//
+// In the paper, DejaVu's instrumentation is Java code woven into Jalapeño
+// and the application by cross-optimization; here the weave points are
+// virtual calls on an ExecHooks installed into the VM. The same surface
+// serves the DejaVu engine (src/replay) and the related-work baseline
+// recorders (src/baselines): Instant Replay and read-content logging need
+// the additional per-memory-access events that DejaVu pointedly does *not*
+// need (§5 "capture the interactions among processes ... a major drawback
+// of such approaches is the overhead").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/heap/heap.hpp"
+#include "src/threads/thread_package.hpp"
+
+namespace dejavu::vm {
+
+class Vm;
+
+// Categories of non-deterministic values (§2.1).
+enum class NdKind : uint8_t {
+  kClock = 1,   // wall-clock read (kNow and the thread package's reads)
+  kInput = 2,   // external input
+  kRand = 3,    // environmental randomness
+};
+
+class ExecHooks {
+ public:
+  virtual ~ExecHooks() = default;
+
+  // Symmetric initialization: runs during VM boot, before any guest code.
+  // This is where DejaVu pre-loads its classes, pre-compiles its methods,
+  // pre-allocates its buffers and warms up I/O (§2.4).
+  virtual void attach(Vm&) {}
+
+  // Run finished: flush the trace (record) / verify stream exhaustion and
+  // the final checkpoint (replay).
+  virtual void detach(Vm&) {}
+
+  // The yield-point protocol of Figure 2. `hardware_bit` is the live timer
+  // interrupt bit (meaningful in record mode; ignored in replay mode).
+  // Returns true iff a preemptive thread switch must be performed at this
+  // yield point.
+  virtual bool yield_point(bool hardware_bit) = 0;
+
+  // Non-deterministic value interception: record mode logs and returns
+  // `live`; replay mode ignores `live` and returns the logged value.
+  virtual int64_t nd_value(NdKind kind, int64_t live) = 0;
+
+  // ---- JNI surface (§2.5) ----------------------------------------------
+  // If false, the VM must not run the native function; the hooks will
+  // regenerate its callbacks and return value via native_replay_next.
+  virtual bool native_executes() { return true; }
+  // Record-mode notifications while a native runs.
+  virtual void native_record_callback(const std::string& cls,
+                                      const std::string& method,
+                                      const std::vector<int64_t>& args) {
+    (void)cls; (void)method; (void)args;
+  }
+  virtual int64_t native_record_return(int64_t v) { return v; }
+  // Replay-mode event pull. Returns true for a callback (out params filled);
+  // false for the native's return value (*ret filled) -- which ends the call.
+  virtual bool native_replay_next(std::string* cls, std::string* method,
+                                  std::vector<int64_t>* args, int64_t* ret) {
+    (void)cls; (void)method; (void)args; (void)ret;
+    throw VmError("native_replay_next unsupported by this hook");
+  }
+
+  // ---- memory-access instrumentation (baselines only) --------------------
+  // DejaVu never asks for these; the CREW / read-logging baselines do.
+  virtual bool wants_memory_events() const { return false; }
+  // `value` may be rewritten (read-content logging substitutes on replay).
+  // `is_ref` distinguishes reference slots: their values are addresses,
+  // which are only meaningful within one run.
+  virtual void on_heap_read(heap::Addr obj, uint32_t slot, int64_t* value,
+                            bool is_ref) {
+    (void)obj; (void)slot; (void)value; (void)is_ref;
+  }
+  virtual void on_heap_write(heap::Addr obj, uint32_t slot, int64_t value,
+                             bool is_ref) {
+    (void)obj; (void)slot; (void)value; (void)is_ref;
+  }
+
+  // Completed dispatch notification (observability; engine checkpointing).
+  virtual void on_switch(threads::Tid from, threads::Tid to,
+                         threads::SwitchReason reason) {
+    (void)from; (void)to; (void)reason;
+  }
+};
+
+}  // namespace dejavu::vm

@@ -1,0 +1,59 @@
+// The JNI analog (§2.5).
+//
+// Native code can affect guest execution in exactly two ways: through
+// return values and through callbacks into guest methods. DejaVu records
+// both during record mode and regenerates them during replay -- the native
+// function itself is *not executed* on replay. That is sufficient because
+// (like Jalapeño's JNI) natives cannot obtain direct pointers into the
+// guest heap: the only arguments and results are i64 values.
+//
+// Callbacks run with preemption masked (a documented simplification of
+// Jalapeño's behaviour); they must not block.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dejavu::vm {
+
+class Vm;
+
+// Handed to a native implementation; the only door back into the guest.
+class NativeContext {
+ public:
+  explicit NativeContext(Vm& vm) : vm_(vm) {}
+
+  // Invoke a static guest method synchronously (a JNI callback). The call
+  // is recorded so replay can regenerate it. Returns the method's result
+  // (0 for void methods).
+  int64_t call_guest(const std::string& cls, const std::string& method,
+                     const std::vector<int64_t>& args);
+
+  Vm& vm() { return vm_; }
+
+ private:
+  Vm& vm_;
+};
+
+using NativeFn =
+    std::function<int64_t(NativeContext&, const std::vector<int64_t>&)>;
+
+class NativeRegistry {
+ public:
+  void register_native(const std::string& name, NativeFn fn) {
+    fns_[name] = std::move(fn);
+  }
+
+  const NativeFn* find(const std::string& name) const {
+    auto it = fns_.find(name);
+    return it == fns_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, NativeFn> fns_;
+};
+
+}  // namespace dejavu::vm

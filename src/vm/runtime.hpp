@@ -1,0 +1,130 @@
+// Runtime representations: loaded classes, compiled methods, thread frames.
+//
+// A RuntimeClass exists (unloaded) for every program class from VM
+// construction; *loading* it -- lazily, on first active use, as in the JVM --
+// allocates its statics record and its reified metadata objects in the
+// guest heap. A CompiledMethod is "compiled" (verified, operands resolved)
+// at its first invocation, modeling Jalapeño's compile-only strategy with
+// the baseline compiler. Both loading and compilation are audited side
+// effects that symmetric instrumentation must keep identical between record
+// and replay (§2.4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/model.hpp"
+#include "src/bytecode/verifier.hpp"
+#include "src/threads/thread_package.hpp"
+
+namespace dejavu::vm {
+
+struct RuntimeClass;
+
+// Per-instruction operands resolved at compile time.
+struct ResolvedOp {
+  int32_t slot = -1;                 // field slot index
+  bool ref = false;                  // field holds a reference
+  RuntimeClass* cls = nullptr;       // class operand (New / statics owner)
+  struct CompiledMethod* callee = nullptr;  // static invoke / spawn target
+};
+
+struct CompiledMethod {
+  RuntimeClass* owner = nullptr;
+  const bytecode::MethodDef* def = nullptr;
+  bool compiled = false;
+  bytecode::VerifiedMethod verified;   // populated at compile
+  std::vector<ResolvedOp> resolved;    // populated at compile, per pc
+  uint64_t metadata_obj = 0;           // guest VM_Method (root-tracked)
+
+  const std::string& name() const { return def->name; }
+};
+
+struct FieldSlot {
+  std::string name;
+  bytecode::ValueType type;
+};
+
+struct RuntimeClass {
+  const bytecode::ClassDef* def = nullptr;  // null for synthetic classes
+  std::string name;
+  RuntimeClass* super = nullptr;
+  bool loaded = false;
+
+  uint32_t instance_type_id = 0;  // TypeRegistry ids, assigned at load
+  uint32_t statics_type_id = 0;
+  uint64_t statics_obj = 0;   // guest addr (root-tracked)
+  uint64_t metadata_obj = 0;  // guest VM_Class (root-tracked)
+
+  // Flattened layouts (superclass fields first), computed statically.
+  std::vector<FieldSlot> layout;
+  std::vector<FieldSlot> statics_layout;
+  std::map<std::string, uint32_t> field_slot;
+  std::map<std::string, uint32_t> static_slot;
+
+  std::vector<std::unique_ptr<CompiledMethod>> methods;
+  // Virtual dispatch: method name -> most-derived implementation.
+  std::map<std::string, CompiledMethod*> vtable;
+
+  CompiledMethod* find_method(const std::string& mname) const {
+    for (const auto& m : methods) {
+      if (m->def->name == mname) return m.get();
+    }
+    return nullptr;
+  }
+};
+
+// One activation record. Locals and the operand stack live in the owning
+// context's slot array: locals at [locals_base, locals_base+num_locals),
+// operands at [stack_base, ctx.sp).
+struct Frame {
+  CompiledMethod* method = nullptr;
+  uint32_t pc = 0;
+  uint32_t locals_base = 0;
+  uint32_t stack_base = 0;
+};
+
+// Execution context of one green thread.
+struct ExecContext {
+  threads::Tid tid = threads::kNoThread;
+  std::vector<uint64_t> slots;
+  std::vector<Frame> frames;
+  uint32_t sp = 0;              // next free slot
+  uint32_t capacity_slots = 0;  // modeled stack capacity (Jalapeño stacks
+                                // are heap arrays that grow on overflow)
+  uint64_t thread_obj = 0;      // guest Thread object (root-tracked)
+  uint64_t stack_array = 0;     // guest shadow stack array (root-tracked)
+  uint8_t op_phase = 0;         // two-phase ops (wait re-acquisition)
+  bool pending_prologue = false;  // prologue yield point not yet taken
+};
+
+// A read-only view of one frame, for the debugger and tests.
+struct FrameView {
+  std::string class_name;
+  std::string method_name;
+  uint32_t pc = 0;
+  int32_t line = 0;
+  uint64_t method_metadata_addr = 0;  // guest VM_Method address
+};
+
+// The observable behaviour of a completed run; execution-behaviour equality
+// (§2, "two execution behaviors ... are identical") is summary equality.
+struct BehaviorSummary {
+  uint64_t output_hash = 0;
+  uint64_t heap_hash = 0;
+  uint64_t switch_seq_hash = 0;
+  uint64_t instr_count = 0;
+  uint64_t switch_count = 0;
+  uint64_t preempt_count = 0;
+  uint64_t yield_points = 0;
+  uint64_t gc_count = 0;
+  uint64_t alloc_count = 0;
+  uint64_t audit_digest = 0;
+
+  bool operator==(const BehaviorSummary&) const = default;
+};
+
+}  // namespace dejavu::vm

@@ -1,0 +1,691 @@
+#include "src/workloads/workloads.hpp"
+
+namespace dejavu::workloads {
+
+using bytecode::Program;
+using bytecode::ProgramBuilder;
+using bytecode::ValueType;
+namespace bc = bytecode;
+
+namespace {
+constexpr ValueType I = ValueType::kI64;
+constexpr ValueType R = ValueType::kRef;
+}  // namespace
+
+Program fig1_race() {
+  ProgramBuilder pb;
+  auto& main = pb.add_class("Main");
+  main.static_field("y", I);
+
+  // Straight-line code cannot be preempted between statements (yield points
+  // live only in prologues and on backedges), so each statement of the
+  // paper's example is its own method -- the call prologue is the
+  // preemption opportunity.
+  main.method("setY1").line(1).push_i(1).putstatic("Main", "y").ret();
+  main.method("mulY8")
+      .line(2)
+      .getstatic("Main", "y")
+      .push_i(8)
+      .mul()
+      .putstatic("Main", "y")
+      .ret();
+  main.method("zeroY").line(3).push_i(0).putstatic("Main", "y").ret();
+
+  main.method("t1")
+      .arg(R)
+      .line(10)
+      .invoke_static("Main", "setY1")
+      .line(11)
+      .invoke_static("Main", "mulY8")
+      .ret();
+  main.method("t2").arg(R).line(20).invoke_static("Main", "zeroY").ret();
+
+  auto& m = main.method("run").arg(R).locals(3);
+  m.line(30)
+      .push_null()
+      .spawn("Main", "t1")
+      .store(1)
+      .push_null()
+      .spawn("Main", "t2")
+      .store(2)
+      .load(1)
+      .join()
+      .load(2)
+      .join()
+      .line(31)
+      .getstatic("Main", "y")
+      .print_i()
+      .ret();
+
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+Program fig1_clock() {
+  ProgramBuilder pb;
+  pb.add_class("Obj");  // a bare lock object
+  auto& main = pb.add_class("Main");
+  main.static_field("x", I);
+  main.static_field("y", I);
+  main.static_field("o1", R);
+
+  {
+    auto& t1 = main.method("t1").arg(R).locals(2);
+    auto skip = t1.label();
+    t1.line(1).now().store(1);                        // y = Date()
+    t1.line(2).load(1).push_i(2).mod().jnz(skip);     // if (Date() even)
+    t1.line(3)
+        .getstatic("Main", "o1")
+        .monitorenter()
+        .getstatic("Main", "o1")
+        .push_i(50)
+        .timed_wait()
+        .pop()  // discard interrupted flag
+        .getstatic("Main", "o1")
+        .monitorexit();
+    t1.bind(skip);
+    t1.line(4)
+        .getstatic("Main", "x")
+        .push_i(100)
+        .add()
+        .putstatic("Main", "y")
+        .ret();
+  }
+  {
+    auto& t2 = main.method("t2").arg(R);
+    t2.line(10)
+        .getstatic("Main", "o1")
+        .monitorenter()
+        .getstatic("Main", "o1")
+        .notify_one()
+        .getstatic("Main", "o1")
+        .monitorexit()
+        .line(11)
+        .push_i(5)
+        .putstatic("Main", "x")
+        .ret();
+  }
+  {
+    auto& m = main.method("run").arg(R).locals(3);
+    m.line(20).new_object("Obj").putstatic("Main", "o1");
+    m.push_null().spawn("Main", "t1").store(1);
+    m.push_null().spawn("Main", "t2").store(2);
+    m.load(1).join().load(2).join();
+    m.line(21).getstatic("Main", "y").print_i().ret();
+  }
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+namespace {
+
+// Shared scaffolding: a Main class with a counter `c`, a lock object and a
+// worker loop performing `iters` read-modify-write increments through a
+// helper call (whose prologue yield point opens the race window).
+void add_counter_worker(bc::ClassBuilder& main, bool locked) {
+  main.method("bump1").arg(I).returns(I).line(5).load(0).push_i(1).add()
+      .ret_val();
+
+  auto& w = main.method("worker").arg(R).locals(3);
+  auto top = w.label();
+  auto done = w.label();
+  w.line(10).getstatic("Main", "iters").store(1);
+  w.bind(top);
+  w.line(11).load(1).jz(done);
+  if (locked) {
+    w.getstatic("Main", "lock").monitorenter();
+  }
+  w.line(12)
+      .getstatic("Main", "c")
+      .invoke_static("Main", "bump1")
+      .putstatic("Main", "c");
+  if (locked) {
+    w.getstatic("Main", "lock").monitorexit();
+  }
+  w.line(13).load(1).push_i(1).sub().store(1).jmp(top);
+  w.bind(done);
+  w.ret();
+}
+
+Program counter_program(int64_t nthreads, int64_t iters, bool locked) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  main.static_field("c", I);
+  main.static_field("iters", I);
+  main.static_field("lock", R);
+  add_counter_worker(main, locked);
+
+  auto& m = main.method("run").arg(R).locals(4);
+  m.line(20).new_object("Obj").putstatic("Main", "lock");
+  m.push_i(iters).putstatic("Main", "iters");
+  // threads array
+  m.push_i(nthreads).newarr_r().store(1);
+  auto sp_top = m.label();
+  auto sp_done = m.label();
+  m.push_i(0).store(2);
+  m.bind(sp_top).load(2).push_i(nthreads).cmp_ge().jnz(sp_done);
+  m.load(1).load(2).push_null().spawn("Main", "worker").astore_r();
+  m.load(2).push_i(1).add().store(2).jmp(sp_top);
+  m.bind(sp_done);
+  auto j_top = m.label();
+  auto j_done = m.label();
+  m.push_i(0).store(2);
+  m.bind(j_top).load(2).push_i(nthreads).cmp_ge().jnz(j_done);
+  m.load(1).load(2).aload_r().join();
+  m.load(2).push_i(1).add().store(2).jmp(j_top);
+  m.bind(j_done);
+  m.line(21).getstatic("Main", "c").print_i().ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+}  // namespace
+
+Program counter_race(int64_t nthreads, int64_t iters) {
+  return counter_program(nthreads, iters, false);
+}
+
+Program counter_locked(int64_t nthreads, int64_t iters) {
+  return counter_program(nthreads, iters, true);
+}
+
+Program producer_consumer(int64_t items, int64_t capacity) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  for (const char* f : {"count", "head", "tail", "sum", "produced"})
+    main.static_field(f, I);
+  main.static_field("buf", R);
+  main.static_field("lock", R);
+
+  {
+    auto& p = main.method("producer").arg(R).locals(2);
+    auto top = p.label(), done = p.label(), full = p.label();
+    p.line(1).push_i(0).store(1);
+    p.bind(top).load(1).push_i(items).cmp_ge().jnz(done);
+    p.getstatic("Main", "lock").monitorenter();
+    p.bind(full);
+    auto not_full = p.label();
+    p.getstatic("Main", "count").push_i(capacity).cmp_lt().jnz(not_full);
+    p.getstatic("Main", "lock").wait_on().pop().jmp(full);
+    p.bind(not_full);
+    // buf[tail % cap] = i*i; tail++; count++
+    p.getstatic("Main", "buf")
+        .getstatic("Main", "tail")
+        .push_i(capacity)
+        .mod()
+        .load(1)
+        .load(1)
+        .mul()
+        .astore_i();
+    p.getstatic("Main", "tail").push_i(1).add().putstatic("Main", "tail");
+    p.getstatic("Main", "count").push_i(1).add().putstatic("Main", "count");
+    p.getstatic("Main", "lock").notify_all();
+    p.getstatic("Main", "lock").monitorexit();
+    p.load(1).push_i(1).add().store(1).jmp(top);
+    p.bind(done).ret();
+  }
+  {
+    auto& c = main.method("consumer").arg(R).locals(3);
+    auto top = c.label(), done = c.label(), empty = c.label();
+    c.line(10).push_i(0).store(1);
+    c.bind(top).load(1).push_i(items).cmp_ge().jnz(done);
+    c.getstatic("Main", "lock").monitorenter();
+    c.bind(empty);
+    auto not_empty = c.label();
+    c.getstatic("Main", "count").push_i(0).cmp_gt().jnz(not_empty);
+    c.getstatic("Main", "lock").wait_on().pop().jmp(empty);
+    c.bind(not_empty);
+    c.getstatic("Main", "buf")
+        .getstatic("Main", "head")
+        .push_i(capacity)
+        .mod()
+        .aload_i()
+        .store(2);
+    c.getstatic("Main", "head").push_i(1).add().putstatic("Main", "head");
+    c.getstatic("Main", "count").push_i(-1).add().putstatic("Main", "count");
+    c.getstatic("Main", "sum").load(2).add().putstatic("Main", "sum");
+    c.getstatic("Main", "lock").notify_all();
+    c.getstatic("Main", "lock").monitorexit();
+    c.load(1).push_i(1).add().store(1).jmp(top);
+    c.bind(done).ret();
+  }
+  {
+    auto& m = main.method("run").arg(R).locals(3);
+    m.line(20).new_object("Obj").putstatic("Main", "lock");
+    m.push_i(capacity).newarr_i().putstatic("Main", "buf");
+    m.push_null().spawn("Main", "producer").store(1);
+    m.push_null().spawn("Main", "consumer").store(2);
+    m.load(1).join().load(2).join();
+    m.line(21).getstatic("Main", "sum").print_i().ret();
+  }
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+Program lock_pingpong(int64_t rounds) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  main.static_field("turn", I);
+  main.static_field("hits", I);
+  main.static_field("lock", R);
+
+  auto add_side = [&](const char* name, int64_t mine, int64_t other) {
+    auto& w = main.method(name).arg(R).locals(2);
+    auto top = w.label(), done = w.label(), spin = w.label();
+    w.push_i(0).store(1);
+    w.bind(top).load(1).push_i(rounds).cmp_ge().jnz(done);
+    w.getstatic("Main", "lock").monitorenter();
+    w.bind(spin);
+    auto my_turn = w.label();
+    w.getstatic("Main", "turn").push_i(mine).cmp_eq().jnz(my_turn);
+    w.getstatic("Main", "lock").wait_on().pop().jmp(spin);
+    w.bind(my_turn);
+    w.push_i(other).putstatic("Main", "turn");
+    w.getstatic("Main", "hits").push_i(1).add().putstatic("Main", "hits");
+    w.getstatic("Main", "lock").notify_all();
+    w.getstatic("Main", "lock").monitorexit();
+    w.load(1).push_i(1).add().store(1).jmp(top);
+    w.bind(done).ret();
+  };
+  add_side("ping", 0, 1);
+  add_side("pong", 1, 0);
+
+  auto& m = main.method("run").arg(R).locals(3);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.push_null().spawn("Main", "ping").store(1);
+  m.push_null().spawn("Main", "pong").store(2);
+  m.load(1).join().load(2).join();
+  m.getstatic("Main", "hits").print_i().ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+Program alloc_churn(int64_t n, int64_t len, int64_t window) {
+  ProgramBuilder pb;
+  auto& main = pb.add_class("Main");
+  main.static_field("sum", I);
+
+  auto& m = main.method("run").arg(R).locals(4);
+  // l1 = window array, l2 = i, l3 = scratch
+  m.push_i(window).newarr_r().store(1);
+  m.push_i(0).store(2);
+  auto top = m.label(), done = m.label();
+  m.bind(top).load(2).push_i(n).cmp_ge().jnz(done);
+  m.push_i(len).newarr_i().store(3);
+  m.load(3).push_i(0).load(2).astore_i();           // arr[0] = i
+  m.load(1).load(2).push_i(window).mod().load(3).astore_r();
+  m.getstatic("Main", "sum").load(3).push_i(0).aload_i().add()
+      .putstatic("Main", "sum");
+  m.load(2).push_i(1).add().store(2).jmp(top);
+  m.bind(done).getstatic("Main", "sum").print_i().ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+Program compute(int64_t nthreads, int64_t iters) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  main.static_field("total", I);
+  main.static_field("lock", R);
+
+  {
+    auto& w = main.method("worker").arg(R).locals(3);
+    auto top = w.label(), done = w.label();
+    w.push_i(0).store(1).push_i(0).store(2);
+    w.bind(top).load(2).push_i(iters).cmp_ge().jnz(done);
+    w.load(1).load(2).push_i(7).mul().add().push_i(1000003).mod().store(1);
+    w.load(2).push_i(1).add().store(2).jmp(top);
+    w.bind(done);
+    w.getstatic("Main", "lock").monitorenter();
+    w.getstatic("Main", "total").load(1).add().putstatic("Main", "total");
+    w.getstatic("Main", "lock").monitorexit();
+    w.ret();
+  }
+  auto& m = main.method("run").arg(R).locals(4);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.push_i(nthreads).newarr_r().store(1);
+  auto st = m.label(), sd = m.label();
+  m.push_i(0).store(2);
+  m.bind(st).load(2).push_i(nthreads).cmp_ge().jnz(sd);
+  m.load(1).load(2).push_null().spawn("Main", "worker").astore_r();
+  m.load(2).push_i(1).add().store(2).jmp(st);
+  m.bind(sd);
+  auto jt = m.label(), jd = m.label();
+  m.push_i(0).store(2);
+  m.bind(jt).load(2).push_i(nthreads).cmp_ge().jnz(jd);
+  m.load(1).load(2).aload_r().join();
+  m.load(2).push_i(1).add().store(2).jmp(jt);
+  m.bind(jd).getstatic("Main", "total").print_i().ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+Program sleepers(int64_t nthreads, int64_t ms_each) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  main.static_field("done", I);
+  main.static_field("lock", R);
+
+  {
+    auto& w = main.method("worker").arg(R);
+    w.push_i(ms_each).sleep();
+    w.getstatic("Main", "lock").monitorenter();
+    w.getstatic("Main", "done").push_i(1).add().putstatic("Main", "done");
+    w.getstatic("Main", "lock").monitorexit();
+    w.ret();
+  }
+  auto& m = main.method("run").arg(R).locals(4);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.push_i(nthreads).newarr_r().store(1);
+  auto st = m.label(), sd = m.label();
+  m.push_i(0).store(2);
+  m.bind(st).load(2).push_i(nthreads).cmp_ge().jnz(sd);
+  m.load(1).load(2).push_null().spawn("Main", "worker").astore_r();
+  m.load(2).push_i(1).add().store(2).jmp(st);
+  m.bind(sd);
+  auto jt = m.label(), jd = m.label();
+  m.push_i(0).store(2);
+  m.bind(jt).load(2).push_i(nthreads).cmp_ge().jnz(jd);
+  m.load(1).load(2).aload_r().join();
+  m.load(2).push_i(1).add().store(2).jmp(jt);
+  m.bind(jd).getstatic("Main", "done").print_i().ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+Program native_calls(int64_t n) {
+  ProgramBuilder pb;
+  auto& main = pb.add_class("Main");
+  main.static_field("cbCount", I);
+
+  main.method("cb").arg(I).returns(I).line(1)
+      .getstatic("Main", "cbCount").push_i(1).add().putstatic("Main", "cbCount")
+      .load(0).push_i(1).add().ret_val();
+
+  auto& m = main.method("run").arg(R).locals(3);
+  auto top = m.label(), done = m.label();
+  m.push_i(0).store(1).push_i(0).store(2);  // l1=acc l2=i
+  m.bind(top).load(2).push_i(n).cmp_ge().jnz(done);
+  m.load(1).load(2).nativecall("host.mix", 2).store(1);
+  m.load(2).push_i(1).add().store(2).jmp(top);
+  m.bind(done);
+  m.load(1).print_i();
+  m.getstatic("Main", "cbCount").print_i();
+  m.ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+Program env_reader(int64_t n) {
+  ProgramBuilder pb;
+  auto& main = pb.add_class("Main");
+  auto& m = main.method("run").arg(R).locals(3);
+  auto top = m.label(), done = m.label();
+  m.push_i(0).store(1).push_i(0).store(2);
+  m.bind(top).load(2).push_i(n).cmp_ge().jnz(done);
+  m.load(1).push_i(31).mul().read_input().add().store(1);
+  m.load(1).env_rand().push_i(127).mod().add().store(1);
+  m.load(2).push_i(1).add().store(2).jmp(top);
+  m.bind(done).load(1).print_i().ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+namespace {
+Program clock_mixer_impl(int64_t nthreads, int64_t iters, bool locked) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  main.static_field("total", I);
+  main.static_field("lock", R);
+
+  {
+    // The helper's prologue yield point sits inside the racy
+    // read-modify-write window when the monitor is absent.
+    main.method("mix2").arg(I).arg(I).returns(I).load(0).load(1).add()
+        .push_i(1000003).mod().ret_val();
+    auto& w = main.method("worker").arg(R).locals(3);
+    auto top = w.label(), done = w.label();
+    w.push_i(0).store(1);
+    w.bind(top).load(1).push_i(iters).cmp_ge().jnz(done);
+    w.now().push_i(7).mod().store(2);
+    if (locked) w.getstatic("Main", "lock").monitorenter();
+    w.getstatic("Main", "total").load(2).invoke_static("Main", "mix2")
+        .putstatic("Main", "total");
+    if (locked) w.getstatic("Main", "lock").monitorexit();
+    w.load(1).push_i(1).add().store(1).jmp(top);
+    w.bind(done).ret();
+  }
+  auto& m = main.method("run").arg(R).locals(4);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.push_i(nthreads).newarr_r().store(1);
+  auto st = m.label(), sd = m.label();
+  m.push_i(0).store(2);
+  m.bind(st).load(2).push_i(nthreads).cmp_ge().jnz(sd);
+  m.load(1).load(2).push_null().spawn("Main", "worker").astore_r();
+  m.load(2).push_i(1).add().store(2).jmp(st);
+  m.bind(sd);
+  auto jt = m.label(), jd = m.label();
+  m.push_i(0).store(2);
+  m.bind(jt).load(2).push_i(nthreads).cmp_ge().jnz(jd);
+  m.load(1).load(2).aload_r().join();
+  m.load(2).push_i(1).add().store(2).jmp(jt);
+  m.bind(jd).getstatic("Main", "total").print_i().ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+}  // namespace
+
+Program clock_mixer(int64_t nthreads, int64_t iters) {
+  return clock_mixer_impl(nthreads, iters, true);
+}
+
+Program clock_mixer_racy(int64_t nthreads, int64_t iters) {
+  return clock_mixer_impl(nthreads, iters, false);
+}
+
+Program philosophers(int64_t n, int64_t meals) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  main.static_field("forks", R);   // ref array of Obj (monitors)
+  main.static_field("eaten", I);
+  main.static_field("me", I);      // handed to each spawned philosopher
+
+  {
+    // Philosopher `id` (read from Main.me at start) grabs forks in
+    // ascending index order -- the classic deadlock-free discipline.
+    auto& p = main.method("phil").arg(R).locals(5);
+    // l1=id, l2=first fork idx, l3=second fork idx, l4=meal counter
+    p.line(1).getstatic("Main", "me").store(1);
+    // first = min(id, (id+1)%n); second = max(...)
+    p.load(1).store(2);
+    p.load(1).push_i(1).add().push_i(n).mod().store(3);
+    auto ordered = p.label();
+    p.load(2).load(3).cmp_lt().jnz(ordered);
+    // swap
+    p.load(2).load(3).store(2).store(3);
+    p.bind(ordered);
+    auto top = p.label(), done = p.label();
+    p.push_i(0).store(4);
+    p.bind(top).load(4).push_i(meals).cmp_ge().jnz(done);
+    p.line(2).getstatic("Main", "forks").load(2).aload_r().monitorenter();
+    p.getstatic("Main", "forks").load(3).aload_r().monitorenter();
+    p.line(3).getstatic("Main", "eaten").push_i(1).add()
+        .putstatic("Main", "eaten");
+    p.getstatic("Main", "forks").load(3).aload_r().monitorexit();
+    p.getstatic("Main", "forks").load(2).aload_r().monitorexit();
+    p.load(4).push_i(1).add().store(4).jmp(top);
+    p.bind(done).ret();
+  }
+  {
+    auto& m = main.method("run").arg(R).locals(3);
+    m.line(10).push_i(n).newarr_r().putstatic("Main", "forks");
+    auto ft = m.label(), fd = m.label();
+    m.push_i(0).store(1);
+    m.bind(ft).load(1).push_i(n).cmp_ge().jnz(fd);
+    m.getstatic("Main", "forks").load(1).new_object("Obj").astore_r();
+    m.load(1).push_i(1).add().store(1).jmp(ft);
+    m.bind(fd);
+    m.push_i(n).newarr_r().store(2);
+    auto st = m.label(), sd = m.label();
+    m.push_i(0).store(1);
+    m.bind(st).load(1).push_i(n).cmp_ge().jnz(sd);
+    // Hand the id over via the static, then spawn (the new thread reads it
+    // in its prologue; no other spawn happens in between).
+    m.load(1).putstatic("Main", "me");
+    m.load(2).load(1).push_null().spawn("Main", "phil").astore_r();
+    // Yield until the philosopher has picked up its id... simpler: join
+    // order ensures correctness only if "me" read precedes next write; the
+    // spawned thread runs first here because spawn does not switch -- so
+    // force a yield to let it read "me".
+    m.yield();
+    m.load(1).push_i(1).add().store(1).jmp(st);
+    m.bind(sd);
+    auto jt = m.label(), jd = m.label();
+    m.push_i(0).store(1);
+    m.bind(jt).load(1).push_i(n).cmp_ge().jnz(jd);
+    m.load(2).load(1).aload_r().join();
+    m.load(1).push_i(1).add().store(1).jmp(jt);
+    m.bind(jd).getstatic("Main", "eaten").print_i().ret();
+  }
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+Program readers_writers(int64_t readers, int64_t writers, int64_t rounds) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  for (const char* f : {"a", "b", "violations", "stop"})
+    main.static_field(f, I);
+  main.static_field("lock", R);
+
+  {
+    auto& w = main.method("writer").arg(R).locals(2);
+    auto top = w.label(), done = w.label();
+    w.push_i(0).store(1);
+    w.bind(top).load(1).push_i(rounds).cmp_ge().jnz(done);
+    w.getstatic("Main", "lock").monitorenter();
+    w.line(1).getstatic("Main", "a").push_i(1).add().putstatic("Main", "a");
+    w.getstatic("Main", "b").push_i(-1).add().putstatic("Main", "b");
+    w.getstatic("Main", "lock").monitorexit();
+    w.load(1).push_i(1).add().store(1).jmp(top);
+    w.bind(done).ret();
+  }
+  {
+    auto& r = main.method("reader").arg(R).locals(3);
+    auto top = r.label(), done = r.label(), ok = r.label();
+    r.push_i(0).store(1);
+    r.bind(top).load(1).push_i(rounds).cmp_ge().jnz(done);
+    r.getstatic("Main", "lock").monitorenter();
+    r.line(10).getstatic("Main", "a").getstatic("Main", "b").add().store(2);
+    r.getstatic("Main", "lock").monitorexit();
+    r.load(2).jz(ok);
+    r.getstatic("Main", "violations").push_i(1).add()
+        .putstatic("Main", "violations");
+    r.bind(ok);
+    r.load(1).push_i(1).add().store(1).jmp(top);
+    r.bind(done).ret();
+  }
+  {
+    auto& m = main.method("run").arg(R).locals(4);
+    m.new_object("Obj").putstatic("Main", "lock");
+    int64_t total = readers + writers;
+    m.push_i(total).newarr_r().store(1);
+    auto st = m.label(), sd = m.label();
+    m.push_i(0).store(2);
+    m.bind(st).load(2).push_i(total).cmp_ge().jnz(sd);
+    auto spawn_reader = m.label(), spawned = m.label();
+    m.load(2).push_i(writers).cmp_ge().jnz(spawn_reader);
+    m.load(1).load(2).push_null().spawn("Main", "writer").astore_r();
+    m.jmp(spawned);
+    m.bind(spawn_reader);
+    m.load(1).load(2).push_null().spawn("Main", "reader").astore_r();
+    m.bind(spawned);
+    m.load(2).push_i(1).add().store(2).jmp(st);
+    m.bind(sd);
+    auto jt = m.label(), jd = m.label();
+    m.push_i(0).store(2);
+    m.bind(jt).load(2).push_i(total).cmp_ge().jnz(jd);
+    m.load(1).load(2).aload_r().join();
+    m.load(2).push_i(1).add().store(2).jmp(jt);
+    m.bind(jd).getstatic("Main", "violations").print_i().ret();
+  }
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+Program debug_target() {
+  ProgramBuilder pb;
+  auto& shape = pb.add_class("Shape");
+  shape.field("tag", I);
+  shape.method("area").arg(R).returns(I).virt().line(100).push_i(0).ret_val();
+
+  auto& circle = pb.add_class("Circle", "Shape");
+  circle.field("r", I);
+  circle.method("area")
+      .arg(R)
+      .returns(I)
+      .virt()
+      .line(200)
+      .load(0)
+      .getfield("Circle", "r")
+      .load(0)
+      .getfield("Circle", "r")
+      .mul()
+      .push_i(3)
+      .mul()
+      .ret_val();
+
+  auto& square = pb.add_class("Square", "Shape");
+  square.field("s", I);
+  square.method("area")
+      .arg(R)
+      .returns(I)
+      .virt()
+      .line(300)
+      .load(0)
+      .getfield("Square", "s")
+      .load(0)
+      .getfield("Square", "s")
+      .mul()
+      .ret_val();
+
+  auto& main = pb.add_class("Main");
+  main.static_field("shapes", R);
+  auto& m = main.method("run").arg(R).locals(4);
+  m.line(1).push_i(4).newarr_r().putstatic("Main", "shapes");
+  auto fill = [&](int64_t idx, const char* cls, const char* field,
+                  int64_t v, int32_t line) {
+    m.line(line).new_object(cls).store(1);
+    m.load(1).push_i(v).putfield(cls, field);
+    m.getstatic("Main", "shapes").push_i(idx).load(1).astore_r();
+  };
+  fill(0, "Circle", "r", 2, 2);
+  fill(1, "Square", "s", 5, 3);
+  fill(2, "Circle", "r", 3, 4);
+  fill(3, "Square", "s", 1, 5);
+  auto top = m.label(), done = m.label();
+  m.line(6).push_i(0).store(2).push_i(0).store(3);
+  m.bind(top).load(3).push_i(4).cmp_ge().jnz(done);
+  m.line(7)
+      .load(2)
+      .getstatic("Main", "shapes")
+      .load(3)
+      .aload_r()
+      .invoke_virtual("Shape", "area")
+      .add()
+      .store(2);
+  m.load(3).push_i(1).add().store(3).jmp(top);
+  m.bind(done).line(8).load(2).print_i().ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+}  // namespace dejavu::workloads

@@ -1,0 +1,101 @@
+// Guest workload programs.
+//
+// These are the multithreaded guest programs used throughout the test
+// suite, the examples and the benchmark harness. The first two reproduce
+// Figure 1 of the paper exactly; the rest are the server-ish workload
+// family the experiments sweep over (shared-counter races, monitor
+// ping-pong, bounded-buffer producer/consumer, allocation churn, timed
+// events, native calls).
+//
+// Every function returns an unlinked bytecode::Program whose observable
+// output is schedule- and/or environment-sensitive in a controlled way.
+#pragma once
+
+#include <cstdint>
+
+#include "src/bytecode/builder.hpp"
+#include "src/bytecode/model.hpp"
+
+namespace dejavu::workloads {
+
+// Figure 1 (A)/(B): two threads racing on statics x and y.
+//   T1: y = 1;        T2: x = y * 2;
+//       y = x * 2;
+//   main: join both; print y.
+// Depending on where the preemptive switch falls, the printed value
+// differs (the paper's 8-vs-0 example).
+bytecode::Program fig1_race();
+
+// Figure 1 (C)/(D): environment-dependent branching into synchronization.
+//   T1: y = Date(); if (y < 15) wait on o1; y = x + 100;
+//   T2: o1.notify(); y = y * 2;
+//   main: print y.
+// The wall-clock value decides whether T1 blocks, changing the switch
+// pattern and the final value.
+bytecode::Program fig1_clock();
+
+// `nthreads` workers each perform `iters` unsynchronized
+// read-modify-write increments of a shared static counter; main joins and
+// prints the (schedule-dependent) final value.
+bytecode::Program counter_race(int64_t nthreads, int64_t iters);
+
+// Same increments but monitor-protected; the count is deterministic while
+// the switch sequence is not.
+bytecode::Program counter_locked(int64_t nthreads, int64_t iters);
+
+// Bounded-buffer producer/consumer over wait/notifyAll. Prints the
+// consumed checksum.
+bytecode::Program producer_consumer(int64_t items, int64_t capacity);
+
+// Two threads alternating via a monitor + wait/notify ping-pong `rounds`
+// times.
+bytecode::Program lock_pingpong(int64_t rounds);
+
+// Allocation-heavy loop: allocates `n` arrays of size `len`, keeping a
+// sliding window of `window` live; prints a checksum. Exercises the GC.
+bytecode::Program alloc_churn(int64_t n, int64_t len, int64_t window);
+
+// Pure compute loop (the uninstrumented-overhead baseline): `iters`
+// arithmetic iterations across `nthreads` threads; prints the total.
+bytecode::Program compute(int64_t nthreads, int64_t iters);
+
+// Threads sleeping / timed-waiting on the (recorded) wall clock.
+bytecode::Program sleepers(int64_t nthreads, int64_t ms_each);
+
+// Calls the native "host.mix" (which calls back into guest method
+// Main.cb) `n` times and prints the accumulated result (§2.5 JNI).
+bytecode::Program native_calls(int64_t n);
+
+// Reads `n` inputs and env-random values, mixing them into printed output
+// (pure environmental non-determinism, no races).
+bytecode::Program env_reader(int64_t n);
+
+// `nthreads` workers each do `iters` iterations of: read the wall clock,
+// then add a function of it to a shared monitor-protected total. Combines
+// every non-determinism source the engine instruments: clock events,
+// monitor switches, and (with a timer) preemption. The symmetry/ablation
+// experiments use this.
+bytecode::Program clock_mixer(int64_t nthreads, int64_t iters);
+
+// clock_mixer without the monitor: the accumulation is a racy
+// read-modify-write through a helper call, so the printed total is
+// schedule-sensitive *and* the workload has per-iteration ND events --
+// the sharpest probe for schedule-corrupting replay defects (E6).
+bytecode::Program clock_mixer_racy(int64_t nthreads, int64_t iters);
+
+// Dining philosophers with ordered fork acquisition (deadlock-free).
+// Each of `n` philosophers eats `meals` times; prints total meals.
+bytecode::Program philosophers(int64_t n, int64_t meals);
+
+// Readers/writers over a monitor: `readers` reader threads each perform
+// `rounds` validated reads of a two-cell invariant (a + b == 0) that
+// `writers` writer threads keep updating under the lock. Prints the
+// number of invariant violations observed (0 when properly locked).
+bytecode::Program readers_writers(int64_t readers, int64_t writers,
+                                  int64_t rounds);
+
+// A small multi-class program with line numbers, virtual dispatch and a
+// shape the debugger examples inspect (the Figure 3 target).
+bytecode::Program debug_target();
+
+}  // namespace dejavu::workloads

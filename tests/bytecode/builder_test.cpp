@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "src/bytecode/builder.hpp"
+
+namespace dejavu::bytecode {
+namespace {
+
+TEST(Builder, EmitsSimpleMethod) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("run").arg(ValueType::kRef).push_i(42).print_i().ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+
+  ASSERT_EQ(p.classes.size(), 1u);
+  const MethodDef* m = p.classes[0].find_method("run");
+  ASSERT_NE(m, nullptr);
+  ASSERT_EQ(m->code.size(), 3u);
+  EXPECT_EQ(m->code[0].op, Op::kPushI);
+  EXPECT_EQ(m->code[0].b, 42);
+  EXPECT_EQ(m->code[1].op, Op::kPrintI);
+  EXPECT_EQ(m->code[2].op, Op::kRet);
+  EXPECT_EQ(m->num_locals, 1);  // defaults to arg count
+}
+
+TEST(Builder, LabelBackPatching) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(ValueType::kRef).locals(2);
+  auto top = m.label();
+  auto out = m.label();
+  m.push_i(3).store(1);
+  m.bind(top).load(1).jz(out);
+  m.load(1).push_i(1).sub().store(1).jmp(top);
+  m.bind(out).ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+
+  const MethodDef* md = p.classes[0].find_method("run");
+  // jz target is the instruction after bind(out); jmp target is bind(top).
+  const Instr& jz = md->code[3];
+  EXPECT_EQ(jz.op, Op::kJz);
+  EXPECT_EQ(size_t(jz.a), md->code.size() - 1);
+  const Instr& jmp = md->code[8];
+  EXPECT_EQ(jmp.op, Op::kJmp);
+  EXPECT_EQ(jmp.a, 2);
+}
+
+TEST(Builder, UnboundLabelThrows) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(ValueType::kRef);
+  auto l = m.label();
+  m.jmp(l).ret();
+  pb.main("Main", "run");
+  EXPECT_THROW(pb.build(), VmError);
+}
+
+TEST(Builder, DoubleBindThrows) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(ValueType::kRef);
+  auto l = m.label();
+  m.bind(l);
+  EXPECT_THROW(m.bind(l), VmError);
+}
+
+TEST(Builder, PoolInterning) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(ValueType::kRef);
+  m.print_lit("hello").print_lit("hello").print_lit("world").ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  EXPECT_EQ(p.pool.strings.size(), 2u);
+  const MethodDef* md = p.classes[0].find_method("run");
+  EXPECT_EQ(md->code[0].a, md->code[1].a);
+  EXPECT_NE(md->code[0].a, md->code[2].a);
+}
+
+TEST(Builder, LinesAttachToInstructions) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(ValueType::kRef);
+  m.line(7).push_i(1).line(9).pop().ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  const MethodDef* md = p.classes[0].find_method("run");
+  EXPECT_EQ(md->code[0].line, 7);
+  EXPECT_EQ(md->code[1].line, 9);
+  EXPECT_EQ(md->code[2].line, 9);  // sticky
+}
+
+TEST(Builder, VirtualRequiresRefReceiver) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("bad").arg(ValueType::kI64);
+  EXPECT_THROW(m.virt(), VmError);
+}
+
+TEST(Builder, LocalsFewerThanArgsThrows) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("bad").arg(ValueType::kI64).arg(ValueType::kI64);
+  EXPECT_THROW(m.locals(1), VmError);
+}
+
+}  // namespace
+}  // namespace dejavu::bytecode

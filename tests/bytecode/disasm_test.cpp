@@ -1,0 +1,46 @@
+#include <gtest/gtest.h>
+
+#include "src/bytecode/builder.hpp"
+#include "src/bytecode/disasm.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace dejavu::bytecode {
+namespace {
+
+TEST(Disasm, AnnotatesBackedgesAsYieldPoints) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(ValueType::kRef).locals(2);
+  auto top = m.label();
+  auto out = m.label();
+  m.push_i(3).store(1);
+  m.bind(top).load(1).jz(out);
+  m.load(1).push_i(1).sub().store(1).jmp(top);
+  m.bind(out).ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  std::string text =
+      disassemble_method(p, p.classes[0], p.classes[0].methods[0]);
+  EXPECT_NE(text.find("backedge (yield point)"), std::string::npos);
+  EXPECT_NE(text.find("jmp -> 2"), std::string::npos);
+}
+
+TEST(Disasm, NamesSymbolicOperands) {
+  Program p = workloads::fig1_race();
+  std::string text = disassemble_program(p);
+  EXPECT_NE(text.find("class Main"), std::string::npos);
+  EXPECT_NE(text.find("static i64 y"), std::string::npos);
+  EXPECT_NE(text.find("spawn Main.t1"), std::string::npos);
+  EXPECT_NE(text.find("putstatic Main.y"), std::string::npos);
+}
+
+TEST(Disasm, ShowsLinesAndSignatures) {
+  Program p = workloads::debug_target();
+  std::string text = disassemble_program(p);
+  EXPECT_NE(text.find("virtual Circle.area(ref) -> i64"), std::string::npos);
+  EXPECT_NE(text.find("[line 200]"), std::string::npos);
+  EXPECT_NE(text.find("class Circle extends Shape"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dejavu::bytecode

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/bytecode/builder.hpp"
+#include "src/bytecode/verifier.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace dejavu::bytecode {
+namespace {
+
+constexpr ValueType I = ValueType::kI64;
+constexpr ValueType R = ValueType::kRef;
+
+Program one_method(const std::function<void(MethodBuilder&)>& body) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R).locals(4);
+  body(m);
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+TEST(Verifier, AcceptsAllWorkloads) {
+  EXPECT_NO_THROW(verify_program(workloads::fig1_race()));
+  EXPECT_NO_THROW(verify_program(workloads::fig1_clock()));
+  EXPECT_NO_THROW(verify_program(workloads::counter_race(2, 10)));
+  EXPECT_NO_THROW(verify_program(workloads::counter_locked(2, 10)));
+  EXPECT_NO_THROW(verify_program(workloads::producer_consumer(10, 4)));
+  EXPECT_NO_THROW(verify_program(workloads::lock_pingpong(5)));
+  EXPECT_NO_THROW(verify_program(workloads::alloc_churn(10, 4, 2)));
+  EXPECT_NO_THROW(verify_program(workloads::compute(2, 10)));
+  EXPECT_NO_THROW(verify_program(workloads::sleepers(2, 5)));
+  EXPECT_NO_THROW(verify_program(workloads::native_calls(3)));
+  EXPECT_NO_THROW(verify_program(workloads::env_reader(3)));
+  EXPECT_NO_THROW(verify_program(workloads::debug_target()));
+}
+
+TEST(Verifier, StackUnderflowRejected) {
+  Program p = one_method([](MethodBuilder& m) { m.pop().ret(); });
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, TypeMismatchRejected) {
+  // add on a ref operand
+  Program p = one_method(
+      [](MethodBuilder& m) { m.push_null().push_i(1).add().pop().ret(); });
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, FallOffEndRejected) {
+  Program p = one_method([](MethodBuilder& m) { m.push_i(1).pop(); });
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, StackShapeMergeConflictRejected) {
+  // One path pushes 1 value, the other pushes 2, meeting at a join.
+  Program p = one_method([](MethodBuilder& m) {
+    auto join = m.label();
+    auto other = m.label();
+    m.push_i(0).jz(other);
+    m.push_i(1).jmp(join);
+    m.bind(other).push_i(1).push_i(2);
+    m.bind(join).pop().ret();
+  });
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, UninitializedLocalReadRejected) {
+  Program p = one_method([](MethodBuilder& m) { m.load(2).pop().ret(); });
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, LocalMergedFromConflictingTypesUnusable) {
+  Program p = one_method([](MethodBuilder& m) {
+    auto other = m.label();
+    auto join = m.label();
+    m.push_i(0).jz(other);
+    m.push_i(7).store(1).jmp(join);
+    m.bind(other).push_null().store(1);
+    m.bind(join).load(1).pop().ret();
+  });
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, ValueReturnFromVoidRejected) {
+  Program p = one_method([](MethodBuilder& m) { m.push_i(1).ret_val(); });
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, BranchOutOfRangeRejected) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R);
+  m.ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  // Corrupt the program directly: jump past the end.
+  p.classes[0].methods[0].code[0] = Instr{Op::kJmp, 99, 0, 0};
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, MissingMainRejected) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("other").arg(R).ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, MainWrongShapeRejected) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("run").arg(I).ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, OverrideSignatureChangeRejected) {
+  ProgramBuilder pb;
+  auto& base = pb.add_class("Base");
+  base.method("f").arg(R).returns(I).virt().push_i(0).ret_val();
+  auto& derived = pb.add_class("Derived", "Base");
+  derived.method("f").arg(R).arg(I).returns(I).virt().push_i(1).ret_val();
+  auto& main = pb.add_class("Main");
+  main.method("run").arg(R).ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, ShadowingNonVirtualRejected) {
+  ProgramBuilder pb;
+  auto& base = pb.add_class("Base");
+  base.method("f").push_i(0).pop().ret();
+  auto& derived = pb.add_class("Derived", "Base");
+  derived.method("f").ret();
+  auto& main = pb.add_class("Main");
+  main.method("run").arg(R).ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, UnresolvedSuperclassRejected) {
+  ProgramBuilder pb;
+  pb.add_class("Main", "Ghost").method("run").arg(R).ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  EXPECT_THROW(verify_program(p), VerifyError);
+}
+
+TEST(Verifier, RefMapsMarkReferences) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.field("next", R);
+  auto& m = c.method("run").arg(R).locals(2);
+  m.new_object("Main").store(1).load(1).load(1).putfield("Main", "next").ret();
+  pb.main("Main", "run");
+  Program p = pb.build();
+  VerifiedMethod v = verify_method(p, p.classes[0], p.classes[0].methods[0]);
+  // After store(1) (pc 2), local 1 holds a ref.
+  EXPECT_TRUE(v.maps[2].locals_ref[1]);
+  // At putfield (pc 4): stack holds [ref ref].
+  EXPECT_EQ(v.maps[4].stack_depth, 2u);
+  EXPECT_TRUE(v.maps[4].stack_ref[0]);
+  EXPECT_TRUE(v.maps[4].stack_ref[1]);
+  // Local 0 (the ref arg) is a ref everywhere reachable.
+  EXPECT_TRUE(v.maps[0].locals_ref[0]);
+}
+
+TEST(Verifier, MaxStackComputed) {
+  Program p = one_method([](MethodBuilder& m) {
+    m.push_i(1).push_i(2).push_i(3).add().add().pop().ret();
+  });
+  VerifiedMethod v = verify_method(p, p.classes[0], p.classes[0].methods[0]);
+  EXPECT_EQ(v.max_stack, 3u);
+}
+
+}  // namespace
+}  // namespace dejavu::bytecode

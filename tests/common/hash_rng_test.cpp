@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/hash.hpp"
+#include "src/common/rng.hpp"
+
+namespace dejavu {
+namespace {
+
+TEST(Fnv1a, EmptyIsOffset) {
+  Fnv1a h;
+  EXPECT_EQ(h.digest(), Fnv1a::kOffset);
+}
+
+TEST(Fnv1a, DeterministicAndOrderSensitive) {
+  Fnv1a a, b, c;
+  a.update_str("xy");
+  b.update_str("xy");
+  c.update_str("yx");
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+TEST(Fnv1a, IncrementalMatchesWhole) {
+  Fnv1a whole, parts;
+  const char* s = "deterministic replay";
+  whole.update(s, 20);
+  parts.update(s, 7);
+  parts.update(s + 7, 13);
+  EXPECT_EQ(whole.digest(), parts.digest());
+}
+
+TEST(Fnv1a, UpdateStrIsLengthPrefixed) {
+  // "ab" + "c" must differ from "a" + "bc" (no concatenation ambiguity).
+  Fnv1a a, b;
+  a.update_str("ab");
+  a.update_str("c");
+  b.update_str("a");
+  b.update_str("bc");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(SplitMix64, SeedStable) {
+  SplitMix64 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    EXPECT_NE(va, c.next());  // overwhelmingly likely
+  }
+}
+
+TEST(SplitMix64, KnownFirstValue) {
+  // Pin the algorithm: changing it silently would invalidate recorded
+  // experiment seeds.
+  SplitMix64 r(0);
+  EXPECT_EQ(r.next(), 0xe220a8397b1dcdafull);
+}
+
+TEST(SplitMix64, RangeBounds) {
+  SplitMix64 r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = r.next_range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+}  // namespace
+}  // namespace dejavu

@@ -1,0 +1,173 @@
+// The perturbation-free replay debugger: stop, inspect, resume -- and the
+// resumed replay still verifies as exact (the paper's headline property).
+#include <gtest/gtest.h>
+
+#include "src/debugger/debugger.hpp"
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu::debugger {
+namespace {
+
+replay::RecordResult record_workload(const bytecode::Program& prog,
+                                     uint64_t seed = 7) {
+  vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4}, 17);
+  threads::VirtualTimer timer(seed, 5, 80);
+  vm::NativeRegistry natives = vmtest::make_test_natives();
+  return replay::record_run(prog, {}, env, timer, &natives);
+}
+
+TEST(Debugger, BreakpointStopsAtLocation) {
+  bytecode::Program prog = workloads::debug_target();
+  replay::RecordResult rec = record_workload(prog);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  dbg.break_at("Circle", "area");
+  ASSERT_EQ(dbg.resume(), StopReason::kBreakpoint);
+  vm::FrameView fv = dbg.location();
+  EXPECT_EQ(fv.class_name, "Circle");
+  EXPECT_EQ(fv.method_name, "area");
+  EXPECT_EQ(fv.pc, 0u);
+  EXPECT_EQ(fv.line, 200);
+}
+
+TEST(Debugger, LineBreakpointStopsOncePerLine) {
+  bytecode::Program prog = workloads::debug_target();
+  replay::RecordResult rec = record_workload(prog);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  dbg.break_at_line("Main", 7);  // the area-summing line, loop of 4
+  int stops = 0;
+  while (dbg.resume() == StopReason::kBreakpoint) {
+    EXPECT_EQ(dbg.location().line, 7);
+    stops++;
+    ASSERT_LE(stops, 10);
+  }
+  EXPECT_EQ(stops, 4);
+}
+
+TEST(Debugger, InspectStopResumeStillVerifies) {
+  // Record a racy run, replay under the debugger, poke at everything at a
+  // breakpoint, resume -- the final accuracy verification must still pass.
+  bytecode::Program prog = workloads::counter_race(3, 10);
+  replay::RecordResult rec = record_workload(prog, 11);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  dbg.break_at("Main", "bump1");
+  ASSERT_EQ(dbg.resume(), StopReason::kBreakpoint);
+
+  // Heavy inspection at the stop.
+  (void)dbg.thread_list();
+  for (const auto& t : dbg.thread_list()) (void)dbg.backtrace(t.tid);
+  (void)dbg.inspect_statics("Main", 2);
+  (void)dbg.method_names();
+  (void)dbg.disassemble_around(3);
+
+  dbg.remove_breakpoint(1);
+  EXPECT_EQ(dbg.resume(), StopReason::kFinished);
+  replay::ReplayResult res = dbg.finish_replay();
+  EXPECT_TRUE(res.verified) << res.stats.first_violation;
+  EXPECT_EQ(res.output, rec.output);
+}
+
+TEST(Debugger, BacktraceShowsCallChain) {
+  bytecode::Program prog = workloads::debug_target();
+  replay::RecordResult rec = record_workload(prog);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  dbg.break_at("Circle", "area");
+  ASSERT_EQ(dbg.resume(), StopReason::kBreakpoint);
+  auto frames = dbg.backtrace(session.vm().thread_package().current());
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].class_name, "Circle");
+  EXPECT_EQ(frames[0].method_name, "area");
+  EXPECT_EQ(frames[0].line, 200);
+  EXPECT_EQ(frames[1].class_name, "Main");
+  EXPECT_EQ(frames[1].method_name, "run");
+  EXPECT_EQ(frames[1].line, 7);  // the invoke_virtual site
+}
+
+TEST(Debugger, ThreadViewerShowsAllThreads) {
+  bytecode::Program prog = workloads::counter_race(3, 10);
+  replay::RecordResult rec = record_workload(prog);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  dbg.break_at("Main", "bump1");
+  ASSERT_EQ(dbg.resume(), StopReason::kBreakpoint);
+  auto threads = dbg.thread_list();
+  ASSERT_GE(threads.size(), 4u);  // main + 3 workers
+  EXPECT_EQ(threads[0].name, "main");
+  int running = 0;
+  for (const auto& t : threads) running += (t.state == "running");
+  EXPECT_EQ(running, 1);  // uniprocessor
+}
+
+TEST(Debugger, StepInstructionAdvancesPc) {
+  bytecode::Program prog = workloads::debug_target();
+  replay::RecordResult rec = record_workload(prog);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  dbg.break_at("Circle", "area");
+  ASSERT_EQ(dbg.resume(), StopReason::kBreakpoint);
+  uint32_t pc0 = dbg.location().pc;
+  ASSERT_EQ(dbg.step_instruction(), StopReason::kStep);
+  EXPECT_EQ(dbg.location().pc, pc0 + 1);
+}
+
+TEST(Debugger, StepLineCrossesLineBoundary) {
+  bytecode::Program prog = workloads::debug_target();
+  replay::RecordResult rec = record_workload(prog);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  dbg.break_at_line("Main", 2);
+  ASSERT_EQ(dbg.resume(), StopReason::kBreakpoint);
+  ASSERT_EQ(dbg.step_line(), StopReason::kStep);
+  EXPECT_NE(dbg.location().line, 2);
+}
+
+TEST(Debugger, Figure3LineNumberOf) {
+  bytecode::Program prog = workloads::debug_target();
+  replay::RecordResult rec = record_workload(prog);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  // Stop inside the area loop: by then Circle and Square are loaded (the
+  // method table, like the real dictionary, only covers loaded classes).
+  dbg.break_at_line("Main", 7);
+  ASSERT_EQ(dbg.resume(), StopReason::kBreakpoint);
+  std::vector<std::string> names = dbg.method_names();
+  // Find Circle.area's method number, then ask for its line at offset 0.
+  auto it = std::find(names.begin(), names.end(), "Circle.area");
+  ASSERT_NE(it, names.end());
+  size_t number = size_t(it - names.begin());
+  EXPECT_EQ(dbg.line_number_of(number, 0), 200);
+  EXPECT_EQ(dbg.line_number_of(number, 1 << 20), 0);
+}
+
+TEST(Debugger, DebuggingDoesNotPerturbHeap) {
+  bytecode::Program prog = workloads::debug_target();
+  replay::RecordResult rec = record_workload(prog);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  dbg.break_at("Square", "area");
+  ASSERT_EQ(dbg.resume(), StopReason::kBreakpoint);
+  uint64_t before = session.vm().guest_heap().image_hash();
+  (void)dbg.thread_list();
+  (void)dbg.inspect_statics("Main", 3);
+  (void)dbg.method_names();
+  for (const auto& t : dbg.thread_list()) (void)dbg.backtrace(t.tid);
+  EXPECT_EQ(session.vm().guest_heap().image_hash(), before);
+}
+
+TEST(Debugger, DisassemblyMarksCurrentInstruction) {
+  bytecode::Program prog = workloads::debug_target();
+  replay::RecordResult rec = record_workload(prog);
+  replay::ReplaySession session(prog, rec.trace, {});
+  Debugger dbg(session, prog);
+  dbg.break_at("Circle", "area", 2);
+  ASSERT_EQ(dbg.resume(), StopReason::kBreakpoint);
+  std::string listing = dbg.disassemble_around(2);
+  EXPECT_NE(listing.find(" => 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dejavu::debugger

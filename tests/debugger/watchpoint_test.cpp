@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/debugger/debugger.hpp"
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu::debugger {
+namespace {
+
+struct Fixture {
+  bytecode::Program prog = workloads::counter_locked(2, 5);
+  replay::RecordResult rec;
+  std::unique_ptr<replay::ReplaySession> session;
+  std::unique_ptr<Debugger> dbg;
+
+  Fixture() {
+    vm::ScriptedEnvironment env(1000, 7, {}, 17);
+    threads::VirtualTimer timer(5, 10, 100);
+    rec = replay::record_run(prog, {}, env, timer);
+    session = std::make_unique<replay::ReplaySession>(prog, rec.trace,
+                                                      vm::VmOptions{});
+    dbg = std::make_unique<Debugger>(*session, prog);
+  }
+};
+
+TEST(Watchpoint, StopsOnEveryChange) {
+  Fixture f;
+  f.dbg->watch_static("Main", "c");
+  int stops = 0;
+  while (f.dbg->resume() != StopReason::kFinished) {
+    ASSERT_NE(f.dbg->last_watch_hit(), nullptr);
+    stops++;
+    ASSERT_LE(stops, 20);
+  }
+  // c goes 0 -> 10 in increments of 1: ten changes.
+  EXPECT_EQ(stops, 10);
+}
+
+TEST(Watchpoint, ReportsNewValue) {
+  Fixture f;
+  f.dbg->watch_static("Main", "c");
+  ASSERT_EQ(f.dbg->resume(), StopReason::kBreakpoint);
+  const Watchpoint* wp = f.dbg->last_watch_hit();
+  ASSERT_NE(wp, nullptr);
+  EXPECT_EQ(wp->last, 1);  // first increment observed
+  ASSERT_EQ(f.dbg->resume(), StopReason::kBreakpoint);
+  EXPECT_EQ(f.dbg->last_watch_hit()->last, 2);
+}
+
+TEST(Watchpoint, UnloadedClassArmsLater) {
+  // Watch a static of a class loaded mid-run: must not fire before load.
+  Fixture f;
+  f.dbg->watch_static("Main", "iters");  // set once, early
+  int stops = 0;
+  while (f.dbg->resume() != StopReason::kFinished) stops++;
+  EXPECT_EQ(stops, 1);  // 0 -> 5 exactly once
+}
+
+TEST(Watchpoint, RemoveStopsFiring) {
+  Fixture f;
+  int id = f.dbg->watch_static("Main", "c");
+  ASSERT_EQ(f.dbg->resume(), StopReason::kBreakpoint);
+  EXPECT_TRUE(f.dbg->remove_watchpoint(id));
+  EXPECT_FALSE(f.dbg->remove_watchpoint(id));
+  EXPECT_EQ(f.dbg->resume(), StopReason::kFinished);
+}
+
+TEST(Watchpoint, DoesNotPerturbReplay) {
+  Fixture f;
+  f.dbg->watch_static("Main", "c");
+  while (f.dbg->resume() != StopReason::kFinished) {
+  }
+  replay::ReplayResult res = f.dbg->finish_replay();
+  EXPECT_TRUE(res.verified) << res.stats.first_violation;
+  EXPECT_EQ(res.output, f.rec.output);
+}
+
+TEST(Watchpoint, MixesWithBreakpoints) {
+  Fixture f;
+  f.dbg->watch_static("Main", "c");
+  f.dbg->break_at("Main", "bump1");
+  // First stop is the breakpoint (bump1 runs before c is written).
+  ASSERT_EQ(f.dbg->resume(), StopReason::kBreakpoint);
+  EXPECT_EQ(f.dbg->last_watch_hit(), nullptr);
+  EXPECT_EQ(f.dbg->location().method_name, "bump1");
+}
+
+}  // namespace
+}  // namespace dejavu::debugger

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/server.hpp"
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu::frontend {
+namespace {
+
+TEST(PacketProtocol, EncodeDecodeRoundTrip) {
+  Packet p{PacketType::kResponse, "hello\nworld"};
+  std::vector<uint8_t> bytes = encode_packet(p);
+  ByteReader r(bytes.data(), bytes.size());
+  EXPECT_EQ(decode_packet(r), p);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(PacketProtocol, PipePreservesOrderAndFraming) {
+  PacketPipe pipe;
+  pipe.send(Packet{PacketType::kCommand, "first"});
+  pipe.send(Packet{PacketType::kEvent, "second"});
+  auto a = pipe.recv();
+  auto b = pipe.recv();
+  auto c = pipe.recv();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->payload, "first");
+  EXPECT_EQ(b->type, PacketType::kEvent);
+  EXPECT_FALSE(c.has_value());
+}
+
+TEST(PacketProtocol, PacketsAreSmall) {
+  // §4: "Bandwidth is minimized by transmitting small packets of data".
+  PacketPipe pipe;
+  pipe.send(Packet{PacketType::kCommand, "stepi"});
+  EXPECT_LE(pipe.bytes_in_flight(), 16u);
+}
+
+struct ServerFixture {
+  bytecode::Program prog = workloads::debug_target();
+  replay::RecordResult rec;
+  std::unique_ptr<replay::ReplaySession> session;
+  std::unique_ptr<debugger::Debugger> dbg;
+  Channel chan;
+  std::unique_ptr<DebugServer> server;
+  DebugClient client{chan};
+
+  ServerFixture() {
+    vm::ScriptedEnvironment env(1000, 7, {}, 17);
+    threads::VirtualTimer timer(7, 5, 80);
+    rec = replay::record_run(prog, {}, env, timer);
+    session = std::make_unique<replay::ReplaySession>(prog, rec.trace,
+                                                      vm::VmOptions{});
+    dbg = std::make_unique<debugger::Debugger>(*session, prog);
+    server = std::make_unique<DebugServer>(*dbg, chan);
+  }
+
+  std::string cmd(const std::string& c) {
+    return roundtrip(client, *server, c);
+  }
+};
+
+TEST(DebugServer, BreakRunWhere) {
+  ServerFixture f;
+  EXPECT_NE(f.cmd("break Circle area").find("breakpoint 1"),
+            std::string::npos);
+  std::string at = f.cmd("run");
+  EXPECT_NE(at.find("Circle.area"), std::string::npos);
+  EXPECT_NE(f.cmd("where").find("line 200"), std::string::npos);
+}
+
+TEST(DebugServer, ThreadsAndBacktrace) {
+  ServerFixture f;
+  f.cmd("break Circle area");
+  f.cmd("run");
+  std::string threads = f.cmd("threads");
+  EXPECT_NE(threads.find("\"main\""), std::string::npos);
+  std::string bt = f.cmd("bt 1");
+  EXPECT_NE(bt.find("#0 Circle.area"), std::string::npos);
+  EXPECT_NE(bt.find("#1 Main.run"), std::string::npos);
+}
+
+TEST(DebugServer, StaticsAndMethodsAndLine) {
+  ServerFixture f;
+  f.cmd("breakline Main 7");
+  f.cmd("run");
+  std::string statics = f.cmd("statics Main 2");
+  EXPECT_NE(statics.find(".shapes"), std::string::npos);
+  std::string methods = f.cmd("methods");
+  EXPECT_NE(methods.find("Circle.area"), std::string::npos);
+  // Find Circle.area's number and query its first line (Figure 3 flow).
+  std::istringstream is(methods);
+  std::string line;
+  int num = -1;
+  while (std::getline(is, line)) {
+    if (line.find("Circle.area") != std::string::npos) {
+      num = std::stoi(line.substr(0, line.find(':')));
+    }
+  }
+  ASSERT_GE(num, 0);
+  EXPECT_EQ(f.cmd("line " + std::to_string(num) + " 0"), "200");
+}
+
+TEST(DebugServer, FinishVerifiesReplay) {
+  ServerFixture f;
+  f.cmd("break Square area");
+  f.cmd("run");
+  f.cmd("stepi");
+  f.cmd("step");
+  EXPECT_NE(f.cmd("finish").find("verified exact"), std::string::npos);
+}
+
+TEST(DebugServer, UnknownCommandIsError) {
+  ServerFixture f;
+  EXPECT_NE(f.cmd("frobnicate").find("error:"), std::string::npos);
+}
+
+TEST(DebugServer, BreakpointListingAndDeletion) {
+  ServerFixture f;
+  f.cmd("break Circle area");
+  f.cmd("breakline Main 3");
+  std::string breaks = f.cmd("breaks");
+  EXPECT_NE(breaks.find("#1 Circle.area"), std::string::npos);
+  EXPECT_NE(breaks.find("#2 Main:3"), std::string::npos);
+  EXPECT_EQ(f.cmd("delete 1"), "deleted");
+  EXPECT_EQ(f.cmd("delete 9"), "no such breakpoint");
+}
+
+TEST(DebugServer, WatchCommandStopsOnChange) {
+  ServerFixture f;
+  EXPECT_NE(f.cmd("watch Main shapes").find("watchpoint"),
+            std::string::npos);
+  std::string at = f.cmd("run");
+  // The shapes static goes null -> array: the watch fires once.
+  EXPECT_NE(at.find("watchpoint"), std::string::npos);
+  EXPECT_NE(at.find("Main.shapes"), std::string::npos);
+}
+
+TEST(DebugServer, ListShowsDisassemblyWithMarker) {
+  ServerFixture f;
+  f.cmd("break Circle area 2");
+  f.cmd("run");
+  std::string listing = f.cmd("list 2");
+  EXPECT_NE(listing.find(" => 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dejavu::frontend

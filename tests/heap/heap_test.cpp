@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "src/heap/heap.hpp"
+
+namespace dejavu::heap {
+namespace {
+
+class NoRoots : public RootProvider {
+ public:
+  void enumerate_roots(const std::function<void(uint64_t*)>&) override {}
+};
+
+class VectorRoots : public RootProvider {
+ public:
+  std::vector<uint64_t> roots;
+  void enumerate_roots(const std::function<void(uint64_t*)>& v) override {
+    for (auto& r : roots) v(&r);
+  }
+};
+
+TypeRegistry make_types(uint32_t* pair_id) {
+  TypeRegistry t;
+  // A "pair" object: slot0 = i64, slot1 = ref.
+  *pair_id = t.register_type(TypeInfo{"Pair", 2, {false, true}});
+  return t;
+}
+
+TEST(Heap, AllocObjectZeroed) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  Addr a = h.alloc_object(pair);
+  EXPECT_NE(a, kNull);
+  EXPECT_EQ(h.class_of(a), pair);
+  EXPECT_EQ(h.field_i64(a, 0), 0);
+  EXPECT_EQ(h.field_ref(a, 1), kNull);
+  EXPECT_EQ(h.lockword(a), 0u);
+}
+
+TEST(Heap, FieldRoundTrip) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  Addr a = h.alloc_object(pair);
+  Addr b = h.alloc_object(pair);
+  h.set_field_i64(a, 0, -77);
+  h.set_field_ref(a, 1, b);
+  EXPECT_EQ(h.field_i64(a, 0), -77);
+  EXPECT_EQ(h.field_ref(a, 1), b);
+}
+
+TEST(Heap, ArraysOfAllKinds) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  Addr ia = h.alloc_array_i64(5);
+  Addr ra = h.alloc_array_ref(3);
+  Addr ba = h.alloc_array_bytes(9);
+  EXPECT_EQ(h.array_length(ia), 5u);
+  EXPECT_EQ(h.array_length(ra), 3u);
+  EXPECT_EQ(h.array_length(ba), 9u);
+  h.set_array_i64(ia, 4, 123);
+  EXPECT_EQ(h.array_i64(ia, 4), 123);
+  h.set_array_ref(ra, 0, ia);
+  EXPECT_EQ(h.array_ref(ra, 0), ia);
+  h.set_array_byte(ba, 8, 0xfe);
+  EXPECT_EQ(h.array_byte(ba, 8), 0xfe);
+}
+
+TEST(Heap, BoundsChecked) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  Addr ia = h.alloc_array_i64(2);
+  EXPECT_THROW(h.array_i64(ia, 2), VmError);
+  EXPECT_THROW(h.set_array_i64(ia, 100, 1), VmError);
+  EXPECT_THROW(h.field_i64(kNull, 0), VmError);
+}
+
+TEST(Heap, ZeroLengthArrays) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  Addr a = h.alloc_array_i64(0);
+  EXPECT_EQ(h.array_length(a), 0u);
+  EXPECT_THROW(h.array_i64(a, 0), VmError);
+}
+
+TEST(Heap, OutOfMemoryThrowsWhenLiveSetExceedsCapacity) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{4096, GcKind::kSemispaceCopying});
+  VectorRoots roots;
+  h.set_root_provider(&roots);
+  EXPECT_THROW(
+      {
+        // Everything stays rooted, so GC cannot help.
+        for (int i = 0; i < 10000; ++i)
+          roots.roots.push_back(h.alloc_array_i64(16));
+      },
+      VmError);
+}
+
+TEST(Heap, GarbageOnlyChurnNeverExhausts) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{4096, GcKind::kSemispaceCopying});
+  NoRoots roots;
+  h.set_root_provider(&roots);
+  for (int i = 0; i < 10000; ++i) (void)h.alloc_array_i64(64);
+  EXPECT_GT(h.stats().gc_count, 0u);
+}
+
+TEST(Heap, StatsTrackAllocations) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  EXPECT_EQ(h.stats().alloc_count, 0u);
+  h.alloc_object(pair);
+  h.alloc_array_i64(4);
+  EXPECT_EQ(h.stats().alloc_count, 2u);
+  EXPECT_GT(h.stats().alloc_bytes, 0u);
+}
+
+TEST(Heap, ImageHashChangesWithContent) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  Addr a = h.alloc_object(pair);
+  uint64_t h1 = h.image_hash();
+  h.set_field_i64(a, 0, 1);
+  uint64_t h2 = h.image_hash();
+  EXPECT_NE(h1, h2);
+}
+
+TEST(Heap, IdenticalSequencesHashIdentically) {
+  uint32_t pair1, pair2;
+  TypeRegistry t1 = make_types(&pair1);
+  TypeRegistry t2 = make_types(&pair2);
+  Heap h1(t1, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  Heap h2(t2, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  for (Heap* h : {&h1, &h2}) {
+    Addr a = h->alloc_object(pair1);
+    Addr arr = h->alloc_array_i64(3);
+    h->set_field_ref(a, 1, arr);
+    h->set_array_i64(arr, 1, 99);
+  }
+  EXPECT_EQ(h1.image_hash(), h2.image_hash());
+}
+
+TEST(Heap, ValidRange) {
+  uint32_t pair;
+  TypeRegistry types = make_types(&pair);
+  Heap h(types, HeapConfig{1 << 20, GcKind::kSemispaceCopying});
+  Addr a = h.alloc_object(pair);
+  EXPECT_TRUE(h.valid_range(a, 16));
+  EXPECT_FALSE(h.valid_range(0, 1));
+  EXPECT_FALSE(h.valid_range(a, 1 << 21));
+}
+
+}  // namespace
+}  // namespace dejavu::heap

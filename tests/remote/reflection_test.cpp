@@ -1,0 +1,151 @@
+// Remote reflection (§3): transparent, read-only, perturbation-free access
+// to the application VM's heap across the ptrace-like boundary.
+#include <gtest/gtest.h>
+
+#include "src/remote/process.hpp"
+#include "src/remote/reflection.hpp"
+#include "src/threads/timer.hpp"
+#include "src/vm/env.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace dejavu::remote {
+namespace {
+
+using remote::RemoteObject;
+
+// A VM paused (completed) over debug_target, plus the tool-side view.
+struct Fixture {
+  bytecode::Program prog = workloads::debug_target();
+  vm::ScriptedEnvironment env{1000, 7, {}, 3};
+  threads::NullTimer timer;
+  vm::Vm vm{prog, {}, env, timer};
+  Fixture() { vm.run(); }
+};
+
+TEST(RemoteReflection, MappedMethodsReturnRemoteValues) {
+  Fixture f;
+  VmRemoteProcess proc(f.vm);
+  RemoteReflection refl(proc, f.prog);
+  EXPECT_TRUE(refl.has_mapped_method("VM_Registry.getClassTable"));
+  RemoteObject table = as_object(refl.invoke_mapped("VM_Registry.getClassTable"));
+  EXPECT_FALSE(table.is_null());
+  int64_t count = as_i64(refl.invoke_mapped("VM_Registry.getClassCount"));
+  EXPECT_GT(count, 0);
+  EXPECT_THROW(refl.invoke_mapped("Nope.notMapped"), RemoteError);
+}
+
+TEST(RemoteReflection, ClassTableNamesMatchLoadedClasses) {
+  Fixture f;
+  VmRemoteProcess proc(f.vm);
+  RemoteReflection refl(proc, f.prog);
+  std::vector<std::string> names;
+  for (const RemoteObject& c : refl.class_table())
+    names.push_back(refl.read_string(as_object(refl.get_field(c, "name"))));
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("Main"));
+  EXPECT_TRUE(has("Shape"));
+  EXPECT_TRUE(has("Circle"));
+  EXPECT_TRUE(has("Square"));
+}
+
+TEST(RemoteReflection, WalksApplicationObjectGraph) {
+  Fixture f;
+  VmRemoteProcess proc(f.vm);
+  RemoteReflection refl(proc, f.prog);
+  // Main.shapes is a static ref array of Shape subclasses.
+  const RemoteClassInfo* main_info = refl.class_info("Main");
+  ASSERT_NE(main_info, nullptr);
+  RemoteObject statics =
+      as_object(refl.get_field(main_info->vm_class, "statics"));
+  ASSERT_FALSE(statics.is_null());
+  // statics slot 0 = shapes (only static of Main).
+  uint64_t raw = 0;
+  ASSERT_TRUE(proc.read_bytes(statics.addr + heap::kOffFields, &raw, 8));
+  RemoteObject shapes = refl.object_at(uint32_t(raw));
+  ASSERT_EQ(refl.array_length(shapes), 4u);
+  RemoteObject first = as_object(refl.array_get(shapes, 0));
+  EXPECT_EQ(refl.class_name_of(first), "Circle");
+  // Inherited field from Shape + own field r, flattened.
+  EXPECT_EQ(as_i64(refl.get_field(first, "r")), 2);
+  RemoteObject second = as_object(refl.array_get(shapes, 1));
+  EXPECT_EQ(refl.class_name_of(second), "Square");
+  EXPECT_EQ(as_i64(refl.get_field(second, "s")), 5);
+}
+
+TEST(RemoteReflection, Figure3LineNumberQuery) {
+  Fixture f;
+  VmRemoteProcess proc(f.vm);
+  RemoteReflection refl(proc, f.prog);
+  // Find Circle.area in the method table and query its line table.
+  std::vector<RemoteObject> mtable = refl.method_table();
+  bool found = false;
+  for (const RemoteObject& m : mtable) {
+    std::string mname =
+        refl.read_string(as_object(refl.get_field(m, "name")));
+    RemoteObject owner = as_object(refl.get_field(m, "owner"));
+    std::string cname =
+        refl.read_string(as_object(refl.get_field(owner, "name")));
+    if (cname == "Circle" && mname == "area") {
+      found = true;
+      EXPECT_EQ(refl.line_number_at(m, 0), 200);  // builder set line 200
+      EXPECT_EQ(refl.line_number_at(m, 100000), 0);  // out of range -> 0
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RemoteReflection, ThreadTableExposesThreads) {
+  Fixture f;
+  VmRemoteProcess proc(f.vm);
+  RemoteReflection refl(proc, f.prog);
+  std::vector<RemoteObject> threads = refl.thread_table();
+  ASSERT_GE(threads.size(), 1u);
+  EXPECT_EQ(refl.read_string(as_object(refl.get_field(threads[0], "name"))),
+            "main");
+  EXPECT_EQ(as_i64(refl.get_field(threads[0], "tid")), 1);
+}
+
+TEST(RemoteReflection, InvalidReadsRejectedNotCrash) {
+  Fixture f;
+  VmRemoteProcess proc(f.vm);
+  RemoteReflection refl(proc, f.prog);
+  EXPECT_THROW(refl.object_at(0xfffffff0), RemoteError);
+  EXPECT_THROW(refl.get_field(RemoteObject{}, "x"), RemoteError);
+  RemoteObject main_cls = refl.class_info("Main")->vm_class;
+  EXPECT_THROW(refl.get_field(main_cls, "no_such_field"), RemoteError);
+}
+
+TEST(RemoteReflection, DescribeObjectRendersTree) {
+  Fixture f;
+  VmRemoteProcess proc(f.vm);
+  RemoteReflection refl(proc, f.prog);
+  const RemoteClassInfo* info = refl.class_info("Circle");
+  ASSERT_NE(info, nullptr);
+  std::string tree = refl.describe_object(info->vm_class, 2);
+  EXPECT_NE(tree.find("VM_Class"), std::string::npos);
+  EXPECT_NE(tree.find("\"Circle\""), std::string::npos);
+}
+
+TEST(RemoteReflection, QueriesArePerturbationFree) {
+  // Property P4: an arbitrary battery of reflective queries leaves the
+  // application VM's heap image byte-identical.
+  Fixture f;
+  uint64_t before = f.vm.guest_heap().image_hash();
+  {
+    VmRemoteProcess proc(f.vm);
+    RemoteReflection refl(proc, f.prog);
+    for (const RemoteObject& c : refl.class_table())
+      (void)refl.describe_object(c, 3);
+    for (const RemoteObject& m : refl.method_table())
+      (void)refl.line_number_at(m, 0);
+    for (const RemoteObject& t : refl.thread_table())
+      (void)refl.read_string(as_object(refl.get_field(t, "name")));
+    refl.refresh();
+  }
+  EXPECT_EQ(f.vm.guest_heap().image_hash(), before);
+}
+
+}  // namespace
+}  // namespace dejavu::remote

@@ -1,0 +1,111 @@
+// Property sweep: record->replay exactness (P1) over the full workload
+// matrix -- every workload family x both collectors x several schedules,
+// parameterized with TEST_P. This is the broad-coverage counterpart of the
+// targeted tests in replay_test.cpp.
+#include <gtest/gtest.h>
+
+#include "src/replay/session.hpp"
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu::replay {
+namespace {
+
+struct SweepCase {
+  const char* name;
+  bytecode::Program (*make)();
+};
+
+bytecode::Program w_fig1() { return workloads::fig1_race(); }
+bytecode::Program w_fig1c() { return workloads::fig1_clock(); }
+bytecode::Program w_counter() { return workloads::counter_race(4, 15); }
+bytecode::Program w_locked() { return workloads::counter_locked(3, 12); }
+bytecode::Program w_pc() { return workloads::producer_consumer(20, 3); }
+bytecode::Program w_pp() { return workloads::lock_pingpong(25); }
+bytecode::Program w_churn() { return workloads::alloc_churn(400, 12, 6); }
+bytecode::Program w_compute() { return workloads::compute(3, 150); }
+bytecode::Program w_sleep() { return workloads::sleepers(3, 10); }
+bytecode::Program w_native() { return workloads::native_calls(8); }
+bytecode::Program w_env() { return workloads::env_reader(6); }
+bytecode::Program w_mixer() { return workloads::clock_mixer(3, 15); }
+bytecode::Program w_mixer_racy() { return workloads::clock_mixer_racy(3, 15); }
+bytecode::Program w_phil() { return workloads::philosophers(4, 6); }
+bytecode::Program w_rw() { return workloads::readers_writers(3, 2, 12); }
+
+class SweepTest
+    : public testing::TestWithParam<std::tuple<SweepCase, heap::GcKind>> {};
+
+TEST_P(SweepTest, RecordReplayExactAcrossSeeds) {
+  const auto& [c, gc] = GetParam();
+  for (uint64_t seed : {1ull, 9ull, 33ull}) {
+    vm::VmOptions opts;
+    opts.heap.gc = gc;
+    SymmetryConfig cfg;
+    cfg.checkpoint_interval = 16;
+
+    vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+    threads::VirtualTimer timer(seed, 5, 90);
+    vm::NativeRegistry natives = vmtest::make_test_natives();
+    RecordResult rec =
+        record_run(c.make(), opts, env, timer, &natives, cfg);
+    ReplayResult rep = replay_run(c.make(), rec.trace, opts, cfg);
+    ASSERT_TRUE(rep.verified)
+        << c.name << " seed " << seed << ": " << rep.stats.first_violation;
+    ASSERT_EQ(rep.output, rec.output) << c.name << " seed " << seed;
+    ASSERT_EQ(rep.summary, rec.summary) << c.name << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SweepTest,
+    testing::Combine(
+        testing::Values(SweepCase{"fig1_race", w_fig1},
+                        SweepCase{"fig1_clock", w_fig1c},
+                        SweepCase{"counter_race", w_counter},
+                        SweepCase{"counter_locked", w_locked},
+                        SweepCase{"producer_consumer", w_pc},
+                        SweepCase{"lock_pingpong", w_pp},
+                        SweepCase{"alloc_churn", w_churn},
+                        SweepCase{"compute", w_compute},
+                        SweepCase{"sleepers", w_sleep},
+                        SweepCase{"native_calls", w_native},
+                        SweepCase{"env_reader", w_env},
+                        SweepCase{"clock_mixer", w_mixer},
+                        SweepCase{"clock_mixer_racy", w_mixer_racy},
+                        SweepCase{"philosophers", w_phil},
+                        SweepCase{"readers_writers", w_rw}),
+        testing::Values(heap::GcKind::kSemispaceCopying,
+                        heap::GcKind::kMarkSweep)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) +
+             (std::get<1>(info.param) == heap::GcKind::kSemispaceCopying
+                  ? "_copying"
+                  : "_marksweep");
+    });
+
+// Workload sanity: the new guest programs behave as documented.
+TEST(NewWorkloads, PhilosophersEatExactly) {
+  vm::ScriptedEnvironment env(1000, 7, {}, 17);
+  threads::VirtualTimer timer(3, 5, 60);
+  vm::Vm v(workloads::philosophers(5, 8), {}, env, timer);
+  v.run();
+  EXPECT_EQ(v.output(), "40\n");  // 5 philosophers x 8 meals, no deadlock
+}
+
+TEST(NewWorkloads, ReadersNeverSeeBrokenInvariant) {
+  for (uint64_t seed : {0ull, 5ull, 17ull}) {
+    vm::ScriptedEnvironment env(1000, 7, {}, 17);
+    std::unique_ptr<threads::TimerSource> timer;
+    if (seed == 0) {
+      timer = std::make_unique<threads::NullTimer>();
+    } else {
+      timer = std::make_unique<threads::VirtualTimer>(seed, 5, 60);
+    }
+    vm::Vm v(workloads::readers_writers(3, 2, 20), {}, env, *timer);
+    v.run();
+    EXPECT_EQ(v.output(), "0\n") << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace dejavu::replay

@@ -1,0 +1,201 @@
+// Property P1 -- accuracy: replay reproduces the recorded execution
+// exactly, across workloads, seeds, heap configurations and environments.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/replay/session.hpp"
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu::replay {
+namespace {
+
+struct RecordSetup {
+  uint64_t timer_seed = 7;
+  uint64_t timer_min = 5;
+  uint64_t timer_max = 120;
+  std::vector<int64_t> inputs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  vm::VmOptions opts;
+  SymmetryConfig cfg;
+};
+
+RecordResult record_with(const bytecode::Program& prog,
+                         const RecordSetup& s = {}) {
+  vm::ScriptedEnvironment env(1000, 7, s.inputs, 17);
+  std::unique_ptr<threads::TimerSource> timer;
+  if (s.timer_seed == 0) {
+    timer = std::make_unique<threads::NullTimer>();
+  } else {
+    timer = std::make_unique<threads::VirtualTimer>(s.timer_seed, s.timer_min,
+                                                    s.timer_max);
+  }
+  vm::NativeRegistry natives = vmtest::make_test_natives();
+  return record_run(prog, s.opts, env, *timer, &natives, s.cfg);
+}
+
+void expect_exact_replay(const bytecode::Program& prog,
+                         const RecordSetup& s = {}) {
+  RecordResult rec = record_with(prog, s);
+  ReplayResult rep = replay_run(prog, rec.trace, s.opts, s.cfg);
+  EXPECT_TRUE(rep.verified) << rep.stats.first_violation;
+  EXPECT_EQ(rep.output, rec.output);
+  EXPECT_EQ(rep.summary, rec.summary);  // includes heap & audit digests
+}
+
+TEST(Replay, Fig1RaceExact) { expect_exact_replay(workloads::fig1_race()); }
+TEST(Replay, Fig1ClockExact) { expect_exact_replay(workloads::fig1_clock()); }
+
+TEST(Replay, CounterRaceExactAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    RecordSetup s;
+    s.timer_seed = seed;
+    s.timer_min = 3;
+    s.timer_max = 50;
+    expect_exact_replay(workloads::counter_race(4, 20), s);
+  }
+}
+
+TEST(Replay, ReplayReproducesTheRecordedScheduleNotJustAnySchedule) {
+  // Collect several distinct racy outcomes, replay each, and check replay
+  // lands on the *same* outcome every time.
+  std::set<std::string> outcomes;
+  for (uint64_t seed = 1; seed <= 25 && outcomes.size() < 3; ++seed) {
+    RecordSetup s;
+    s.timer_seed = seed;
+    s.timer_min = 3;
+    s.timer_max = 40;
+    RecordResult rec = record_with(workloads::counter_race(4, 20), s);
+    if (outcomes.insert(rec.output).second) {
+      ReplayResult rep = replay_run(workloads::counter_race(4, 20), rec.trace,
+                                    s.opts, s.cfg);
+      EXPECT_EQ(rep.output, rec.output);
+      EXPECT_TRUE(rep.verified);
+    }
+  }
+  EXPECT_GE(outcomes.size(), 2u) << "workload was not schedule-sensitive";
+}
+
+TEST(Replay, ProducerConsumerExact) {
+  RecordSetup s;
+  s.timer_min = 3;
+  s.timer_max = 60;
+  expect_exact_replay(workloads::producer_consumer(30, 4), s);
+}
+
+TEST(Replay, PingPongExact) {
+  expect_exact_replay(workloads::lock_pingpong(40));
+}
+
+TEST(Replay, SleepersExact) {
+  // Timed events: wakeups driven by recorded clock values (§2.2).
+  expect_exact_replay(workloads::sleepers(4, 25));
+}
+
+TEST(Replay, AllocChurnWithGcExact) {
+  RecordSetup s;
+  s.opts.heap.size_bytes = 128 << 10;   // force many GCs
+  s.cfg.buffer_capacity = 4096;         // engine buffers must fit too
+  expect_exact_replay(workloads::alloc_churn(2000, 16, 8), s);
+}
+
+TEST(Replay, MarkSweepHeapExact) {
+  RecordSetup s;
+  s.opts.heap.gc = heap::GcKind::kMarkSweep;
+  s.opts.heap.size_bytes = 128 << 10;
+  s.cfg.buffer_capacity = 4096;
+  expect_exact_replay(workloads::alloc_churn(1500, 16, 8), s);
+}
+
+TEST(Replay, NativeCallsExact) {
+  // Natives are *not executed* on replay; returns and callbacks substitute.
+  expect_exact_replay(workloads::native_calls(6));
+}
+
+TEST(Replay, EnvironmentValuesSubstituted) {
+  expect_exact_replay(workloads::env_reader(8));
+}
+
+TEST(Replay, CooperativeRunHasEmptySchedule) {
+  RecordSetup s;
+  s.timer_seed = 0;  // no preemption
+  RecordResult rec = record_with(workloads::fig1_race(), s);
+  EXPECT_EQ(rec.trace.meta.preempt_switches, 0u);
+  EXPECT_TRUE(rec.trace.schedule.empty());
+  ReplayResult rep = replay_run(workloads::fig1_race(), rec.trace, s.opts);
+  EXPECT_TRUE(rep.verified);
+}
+
+TEST(Replay, HostEnvironmentRecordingReplays) {
+  // Real wall clock + real timer: the genuinely non-deterministic setting.
+  vm::HostEnvironment env;
+  threads::RealTimeTimer timer(std::chrono::microseconds(100));
+  vm::NativeRegistry natives = vmtest::make_test_natives();
+  RecordResult rec = record_run(workloads::counter_race(3, 200), {}, env,
+                                timer, &natives);
+  ReplayResult rep =
+      replay_run(workloads::counter_race(3, 200), rec.trace, {});
+  EXPECT_TRUE(rep.verified) << rep.stats.first_violation;
+  EXPECT_EQ(rep.output, rec.output);
+}
+
+TEST(Replay, TraceSurvivesSerialization) {
+  RecordSetup s;
+  RecordResult rec = record_with(workloads::producer_consumer(20, 4), s);
+  TraceFile reloaded = TraceFile::deserialize(rec.trace.serialize());
+  ReplayResult rep =
+      replay_run(workloads::producer_consumer(20, 4), reloaded, s.opts);
+  EXPECT_TRUE(rep.verified);
+}
+
+TEST(Replay, WrongProgramRefused) {
+  RecordResult rec = record_with(workloads::fig1_race());
+  EXPECT_THROW(replay_run(workloads::fig1_clock(), rec.trace, {}), VmError);
+}
+
+TEST(Replay, ReplayOfReplayIsStillExact) {
+  // Determinism of the replayer itself: replaying twice gives identical
+  // results.
+  RecordSetup s;
+  s.timer_min = 3;
+  s.timer_max = 60;
+  RecordResult rec = record_with(workloads::counter_race(3, 30), s);
+  ReplayResult r1 = replay_run(workloads::counter_race(3, 30), rec.trace, {});
+  ReplayResult r2 = replay_run(workloads::counter_race(3, 30), rec.trace, {});
+  EXPECT_EQ(r1.summary, r2.summary);
+  EXPECT_TRUE(r1.verified && r2.verified);
+}
+
+TEST(Replay, ManyPreemptionsCheckpointsConsumed) {
+  RecordSetup s;
+  s.timer_min = 2;
+  s.timer_max = 10;  // very aggressive preemption
+  s.cfg.checkpoint_interval = 4;
+  RecordResult rec = record_with(workloads::compute(3, 800), s);
+  EXPECT_GT(rec.stats.preempt_switches, 20u);
+  EXPECT_GT(rec.stats.checkpoints, 2u);
+  ReplayResult rep = replay_run(workloads::compute(3, 800), rec.trace, s.opts,
+                                s.cfg);
+  EXPECT_TRUE(rep.verified);
+  EXPECT_EQ(rep.stats.checkpoints, rec.stats.checkpoints);
+  EXPECT_EQ(rep.stats.preempt_switches, rec.stats.preempt_switches);
+}
+
+TEST(Replay, EventCountsMatch) {
+  RecordSetup s;
+  RecordResult rec = record_with(workloads::sleepers(3, 30), s);
+  ReplayResult rep = replay_run(workloads::sleepers(3, 30), rec.trace, s.opts);
+  EXPECT_EQ(rep.stats.clock_events, rec.stats.clock_events);
+  EXPECT_GT(rec.stats.clock_events, 0u);
+}
+
+TEST(Replay, GcStressRecordingReplays) {
+  RecordSetup s;
+  s.opts.gc_stress = true;
+  s.timer_min = 5;
+  s.timer_max = 60;
+  expect_exact_replay(workloads::counter_locked(2, 6), s);
+}
+
+}  // namespace
+}  // namespace dejavu::replay

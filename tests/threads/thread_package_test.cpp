@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "src/threads/thread_package.hpp"
+
+namespace dejavu::threads {
+namespace {
+
+// A package with a scripted clock advancing `step` ms per read.
+struct Fixture {
+  int64_t clock = 0;
+  int64_t step = 10;
+  ThreadPackage pkg{[this] {
+                      int64_t v = clock;
+                      clock += step;
+                      return v;
+                    },
+                    [] {}};
+};
+
+TEST(ThreadPackage, CreateAndDispatchFifo) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  EXPECT_EQ(f.pkg.schedule_next(), a);
+  f.pkg.switch_out(SwitchReason::kYield);
+  EXPECT_EQ(f.pkg.schedule_next(), b);
+  f.pkg.switch_out(SwitchReason::kYield);
+  EXPECT_EQ(f.pkg.schedule_next(), a);
+}
+
+TEST(ThreadPackage, TerminationReducesLiveCount) {
+  Fixture f;
+  f.pkg.create_thread("a");
+  EXPECT_EQ(f.pkg.live_count(), 1u);
+  f.pkg.schedule_next();
+  f.pkg.on_thread_exit();
+  EXPECT_EQ(f.pkg.live_count(), 0u);
+  EXPECT_EQ(f.pkg.schedule_next(), kNoThread);
+}
+
+TEST(ThreadPackage, MonitorMutualExclusion) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  MonitorId m = f.pkg.create_monitor();
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  EXPECT_TRUE(f.pkg.monitor_enter(m));
+  EXPECT_TRUE(f.pkg.monitor_enter(m));  // recursive
+  f.pkg.switch_out(SwitchReason::kYield);
+  ASSERT_EQ(f.pkg.schedule_next(), b);
+  EXPECT_FALSE(f.pkg.monitor_enter(m));  // blocks b
+  EXPECT_EQ(f.pkg.state(b), ThreadState::kBlockedMonitor);
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  f.pkg.monitor_exit(m);
+  EXPECT_EQ(f.pkg.state(b), ThreadState::kBlockedMonitor);  // still held once
+  f.pkg.monitor_exit(m);
+  EXPECT_EQ(f.pkg.state(b), ThreadState::kReady);  // handed off
+  f.pkg.switch_out(SwitchReason::kYield);
+  ASSERT_EQ(f.pkg.schedule_next(), b);
+  EXPECT_TRUE(f.pkg.monitor_enter(m));  // retry succeeds
+}
+
+TEST(ThreadPackage, ExitByNonOwnerChecks) {
+  Fixture f;
+  f.pkg.create_thread("a");
+  MonitorId m = f.pkg.create_monitor();
+  f.pkg.schedule_next();
+  EXPECT_THROW(f.pkg.monitor_exit(m), VmError);
+}
+
+TEST(ThreadPackage, WaitNotifyHandshake) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  MonitorId m = f.pkg.create_monitor();
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  ASSERT_TRUE(f.pkg.monitor_enter(m));
+  WaitOutcome imm;
+  EXPECT_TRUE(f.pkg.wait_begin(m, -1, &imm));  // a parks, releases m
+  EXPECT_EQ(f.pkg.state(a), ThreadState::kWaiting);
+  ASSERT_EQ(f.pkg.schedule_next(), b);
+  ASSERT_TRUE(f.pkg.monitor_enter(m));
+  EXPECT_TRUE(f.pkg.notify_one(m));
+  EXPECT_EQ(f.pkg.state(a), ThreadState::kBlockedMonitor);  // must re-acquire
+  f.pkg.monitor_exit(m);
+  EXPECT_EQ(f.pkg.state(a), ThreadState::kReady);
+  f.pkg.switch_out(SwitchReason::kYield);
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  ASSERT_TRUE(f.pkg.monitor_enter(m));
+  WaitOutcome out = f.pkg.wait_finish(m);
+  EXPECT_FALSE(out.interrupted);
+}
+
+TEST(ThreadPackage, NotifyWithNoWaitersFails) {
+  Fixture f;
+  f.pkg.create_thread("a");
+  MonitorId m = f.pkg.create_monitor();
+  f.pkg.schedule_next();
+  ASSERT_TRUE(f.pkg.monitor_enter(m));
+  EXPECT_FALSE(f.pkg.notify_one(m));  // §2.2: succeeds iff a waiter exists
+}
+
+TEST(ThreadPackage, NotifyAllWakesEveryWaiterFifo) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  Tid c = f.pkg.create_thread("c");
+  MonitorId m = f.pkg.create_monitor();
+  WaitOutcome imm;
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  f.pkg.monitor_enter(m);
+  f.pkg.wait_begin(m, -1, &imm);
+  ASSERT_EQ(f.pkg.schedule_next(), b);
+  f.pkg.monitor_enter(m);
+  f.pkg.wait_begin(m, -1, &imm);
+  ASSERT_EQ(f.pkg.schedule_next(), c);
+  f.pkg.monitor_enter(m);
+  EXPECT_EQ(f.pkg.notify_all(m), 2);
+  f.pkg.monitor_exit(m);
+  // First waiter (a) gets the hand-off first.
+  EXPECT_EQ(f.pkg.state(a), ThreadState::kReady);
+  EXPECT_EQ(f.pkg.state(b), ThreadState::kBlockedMonitor);
+}
+
+TEST(ThreadPackage, TimedWaitExpires) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  MonitorId m = f.pkg.create_monitor();
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  f.pkg.monitor_enter(m);
+  WaitOutcome imm;
+  ASSERT_TRUE(f.pkg.wait_begin(m, 25, &imm));
+  // No other thread: schedule_next must advance the clock and wake a.
+  EXPECT_EQ(f.pkg.schedule_next(), a);
+  ASSERT_TRUE(f.pkg.monitor_enter(m));
+  WaitOutcome out = f.pkg.wait_finish(m);
+  EXPECT_FALSE(out.interrupted);
+}
+
+TEST(ThreadPackage, SleepWakesByClock) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  int64_t reads_before = int64_t(f.pkg.clock_read_count());
+  f.pkg.sleep_begin(100);
+  EXPECT_EQ(f.pkg.schedule_next(), a);
+  EXPECT_GT(int64_t(f.pkg.clock_read_count()), reads_before);
+}
+
+TEST(ThreadPackage, SleepOrderingDeterministicForEqualDeadlines) {
+  Fixture f;
+  f.clock = 0;
+  f.step = 0;  // freeze the clock during arming
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  f.pkg.sleep_begin(5);
+  ASSERT_EQ(f.pkg.schedule_next(), b);
+  f.pkg.sleep_begin(5);
+  f.step = 10;  // let time pass
+  EXPECT_EQ(f.pkg.schedule_next(), a);  // armed first, wakes first
+  f.pkg.switch_out(SwitchReason::kYield);
+  EXPECT_EQ(f.pkg.schedule_next(), b);
+}
+
+TEST(ThreadPackage, InterruptWakesWaiter) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  MonitorId m = f.pkg.create_monitor();
+  WaitOutcome imm;
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  f.pkg.monitor_enter(m);
+  f.pkg.wait_begin(m, -1, &imm);
+  ASSERT_EQ(f.pkg.schedule_next(), b);
+  f.pkg.interrupt(a);
+  EXPECT_EQ(f.pkg.state(a), ThreadState::kReady);  // monitor free: handed off
+  f.pkg.switch_out(SwitchReason::kYield);
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  ASSERT_TRUE(f.pkg.monitor_enter(m));
+  WaitOutcome out = f.pkg.wait_finish(m);
+  EXPECT_TRUE(out.interrupted);
+}
+
+TEST(ThreadPackage, InterruptBeforeWaitCompletesImmediately) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  MonitorId m = f.pkg.create_monitor();
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  f.pkg.interrupt(a);
+  f.pkg.monitor_enter(m);
+  WaitOutcome imm;
+  EXPECT_FALSE(f.pkg.wait_begin(m, -1, &imm));  // no park
+  EXPECT_TRUE(imm.interrupted);
+  EXPECT_TRUE(f.pkg.monitor_held_by_current(m));  // monitor never released
+}
+
+TEST(ThreadPackage, InterruptWakesSleeper) {
+  Fixture f;
+  f.step = 0;  // clock frozen: sleep would never expire on its own
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  f.pkg.sleep_begin(1000000);
+  ASSERT_EQ(f.pkg.schedule_next(), b);
+  f.pkg.interrupt(a);
+  EXPECT_EQ(f.pkg.state(a), ThreadState::kReady);
+  EXPECT_TRUE(f.pkg.interrupted_flag(a));
+}
+
+TEST(ThreadPackage, JoinBlocksUntilExit) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  EXPECT_TRUE(f.pkg.join_would_block(b));
+  f.pkg.join_begin(b);
+  EXPECT_EQ(f.pkg.state(a), ThreadState::kJoining);
+  ASSERT_EQ(f.pkg.schedule_next(), b);
+  f.pkg.on_thread_exit();
+  EXPECT_EQ(f.pkg.state(a), ThreadState::kReady);
+  EXPECT_FALSE(f.pkg.join_would_block(b));
+}
+
+TEST(ThreadPackage, DeadlockDetected) {
+  Fixture f;
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  MonitorId m = f.pkg.create_monitor();
+  WaitOutcome imm;
+  ASSERT_EQ(f.pkg.schedule_next(), a);
+  f.pkg.monitor_enter(m);
+  f.pkg.wait_begin(m, -1, &imm);
+  ASSERT_EQ(f.pkg.schedule_next(), b);
+  f.pkg.monitor_enter(m);
+  f.pkg.wait_begin(m, -1, &imm);
+  EXPECT_THROW(f.pkg.schedule_next(), VmError);
+}
+
+TEST(ThreadPackage, SwitchObserverSeesDispatches) {
+  Fixture f;
+  std::vector<std::tuple<Tid, Tid, SwitchReason>> seen;
+  f.pkg.set_switch_observer([&](Tid from, Tid to, SwitchReason r) {
+    seen.emplace_back(from, to, r);
+  });
+  Tid a = f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  f.pkg.schedule_next();
+  f.pkg.switch_out(SwitchReason::kPreempt);
+  f.pkg.schedule_next();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(std::get<1>(seen[0]), a);
+  EXPECT_EQ(std::get<0>(seen[1]), kNoThread);  // a was switched out already
+  EXPECT_EQ(std::get<1>(seen[1]), b);
+  EXPECT_EQ(std::get<2>(seen[1]), SwitchReason::kPreempt);
+}
+
+// A director (the Russinovich–Cogswell baseline) can override FIFO order.
+class PickLast : public SchedulerDirector {
+ public:
+  Tid pick_next(const std::deque<Tid>& ready) override { return ready.back(); }
+};
+
+TEST(ThreadPackage, DirectorOverridesChoice) {
+  Fixture f;
+  f.pkg.create_thread("a");
+  Tid b = f.pkg.create_thread("b");
+  PickLast d;
+  f.pkg.set_director(&d);
+  EXPECT_EQ(f.pkg.schedule_next(), b);
+}
+
+}  // namespace
+}  // namespace dejavu::threads

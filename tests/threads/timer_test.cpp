@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "src/threads/timer.hpp"
+
+namespace dejavu::threads {
+namespace {
+
+TEST(NullTimer, NeverFires) {
+  NullTimer t;
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_FALSE(t.fired(i * 1000));
+}
+
+TEST(VirtualTimer, FiresWithinBounds) {
+  VirtualTimer t(1, 10, 20);
+  uint64_t i = 0;
+  while (!t.fired(i)) {
+    ++i;
+    ASSERT_LE(i, 20u) << "first interval exceeds max";
+  }
+  EXPECT_GE(i, 10u);
+}
+
+TEST(VirtualTimer, SeedReproducible) {
+  VirtualTimer a(99, 5, 500), b(99, 5, 500);
+  uint64_t instr = 0;
+  for (int k = 0; k < 50; ++k) {
+    while (!a.fired(instr)) {
+      EXPECT_FALSE(b.fired(instr));
+      ++instr;
+    }
+    EXPECT_TRUE(b.fired(instr));
+    a.rearm(instr);
+    b.rearm(instr);
+  }
+}
+
+TEST(VirtualTimer, DifferentSeedsDiverge) {
+  VirtualTimer a(1, 5, 5000), b(2, 5, 5000);
+  uint64_t fa = 0, fb = 0;
+  while (!a.fired(fa)) ++fa;
+  while (!b.fired(fb)) ++fb;
+  EXPECT_NE(fa, fb);  // overwhelmingly likely with a 5..5000 range
+}
+
+TEST(VirtualTimer, BitStaysSetUntilRearm) {
+  VirtualTimer t(3, 10, 10);
+  EXPECT_TRUE(t.fired(10));
+  EXPECT_TRUE(t.fired(11));
+  EXPECT_TRUE(t.fired(1000));
+  t.rearm(1000);
+  EXPECT_FALSE(t.fired(1001));
+}
+
+TEST(ManualTimer, FiresAtListedPoints) {
+  ManualTimer t({100, 200});
+  EXPECT_FALSE(t.fired(99));
+  EXPECT_TRUE(t.fired(100));
+  EXPECT_TRUE(t.fired(150));
+  t.rearm(150);
+  EXPECT_FALSE(t.fired(199));
+  EXPECT_TRUE(t.fired(200));
+  t.rearm(200);
+  EXPECT_FALSE(t.fired(1u << 30));  // exhausted
+}
+
+}  // namespace
+}  // namespace dejavu::threads

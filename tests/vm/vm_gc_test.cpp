@@ -1,0 +1,97 @@
+// GC behaviour at the VM level: type-accurate stack scanning, metadata
+// liveness, determinism of collection points, gc-stress survival.
+#include <gtest/gtest.h>
+
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu {
+namespace {
+
+using vmtest::run_guest;
+using vmtest::RunConfig;
+
+class VmGcTest : public testing::TestWithParam<heap::GcKind> {
+ protected:
+  RunConfig small_heap(size_t bytes) {
+    RunConfig cfg;
+    cfg.opts.heap.size_bytes = bytes;
+    cfg.opts.heap.gc = GetParam();
+    return cfg;
+  }
+};
+
+TEST_P(VmGcTest, ChurnSurvivesManyCollections) {
+  RunConfig cfg = small_heap(96 << 10);
+  auto r = run_guest(workloads::alloc_churn(3000, 16, 8), cfg);
+  EXPECT_GT(r.summary.gc_count, 3u);
+  // sum of i for i in [0, 3000)
+  EXPECT_EQ(r.output, std::to_string(int64_t(3000) * 2999 / 2) + "\n");
+}
+
+TEST_P(VmGcTest, GcCountIndependentResultsStable) {
+  // Same program, different heap sizes -> different GC counts, same output.
+  RunConfig a = small_heap(96 << 10);
+  RunConfig b = small_heap(512 << 10);
+  auto ra = run_guest(workloads::alloc_churn(2000, 16, 8), a);
+  auto rb = run_guest(workloads::alloc_churn(2000, 16, 8), b);
+  EXPECT_NE(ra.summary.gc_count, rb.summary.gc_count);
+  EXPECT_EQ(ra.output, rb.output);
+}
+
+TEST_P(VmGcTest, StressEveryAllocationStillCorrect) {
+  RunConfig cfg;
+  cfg.opts.heap.gc = GetParam();
+  cfg.opts.gc_stress = true;
+  // Virtual dispatch + fields + arrays under constant collection.
+  EXPECT_EQ(run_guest(workloads::debug_target(), cfg).output, "65\n");
+}
+
+TEST_P(VmGcTest, StressWithThreadsAndMonitors) {
+  RunConfig cfg;
+  cfg.opts.heap.gc = GetParam();
+  cfg.opts.gc_stress = true;
+  auto r = run_guest(workloads::counter_locked(2, 5), cfg);
+  EXPECT_EQ(r.output, "10\n");
+}
+
+TEST_P(VmGcTest, StressWithPreemption) {
+  RunConfig cfg;
+  cfg.opts.heap.gc = GetParam();
+  cfg.opts.gc_stress = true;
+  cfg.timer_seed = 5;
+  cfg.timer_min = 3;
+  cfg.timer_max = 20;
+  auto r = run_guest(workloads::producer_consumer(10, 3), cfg);
+  int64_t want = 0;
+  for (int64_t i = 0; i < 10; ++i) want += i * i;
+  EXPECT_EQ(r.output, std::to_string(want) + "\n");
+}
+
+TEST_P(VmGcTest, ForcedGcIsDeterministicSideEffect) {
+  bytecode::ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("run").arg(bytecode::ValueType::kRef)
+      .gc_force().gc_force().push_i(1).print_i().ret();
+  pb.main("Main", "run");
+  bytecode::Program prog = pb.build();
+  RunConfig cfg;
+  cfg.opts.heap.gc = GetParam();
+  auto r1 = run_guest(prog, cfg);
+  auto r2 = run_guest(prog, cfg);
+  EXPECT_GE(r1.summary.gc_count, 2u);
+  EXPECT_EQ(r1.summary, r2.summary);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothCollectors, VmGcTest,
+                         testing::Values(heap::GcKind::kSemispaceCopying,
+                                         heap::GcKind::kMarkSweep),
+                         [](const auto& info) {
+                           return info.param ==
+                                          heap::GcKind::kSemispaceCopying
+                                      ? "Copying"
+                                      : "MarkSweep";
+                         });
+
+}  // namespace
+}  // namespace dejavu

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "src/bytecode/builder.hpp"
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu {
+namespace {
+
+using bytecode::ProgramBuilder;
+using bytecode::ValueType;
+using vmtest::run_guest;
+using vmtest::RunConfig;
+
+constexpr ValueType I = ValueType::kI64;
+constexpr ValueType R = ValueType::kRef;
+
+TEST(VmSmoke, ArithmeticAndPrint) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("run").arg(R)
+      .push_i(6).push_i(7).mul().print_i()
+      .push_i(10).push_i(3).mod().print_i()
+      .push_i(-5).neg().print_i()
+      .push_i(1).push_i(62).shl().print_i()
+      .ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "42\n1\n5\n4611686018427387904\n");
+}
+
+TEST(VmSmoke, ControlFlowLoop) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R).locals(3);
+  auto top = m.label(), done = m.label();
+  m.push_i(0).store(1).push_i(1).store(2);
+  m.bind(top).load(1).push_i(10).cmp_ge().jnz(done);
+  m.load(2).push_i(2).mul().store(2);
+  m.load(1).push_i(1).add().store(1).jmp(top);
+  m.bind(done).load(2).print_i().ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "1024\n");
+}
+
+TEST(VmSmoke, StaticCallsAndReturns) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("square").arg(I).returns(I).load(0).load(0).mul().ret_val();
+  c.method("run").arg(R)
+      .push_i(9).invoke_static("Main", "square").print_i().ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "81\n");
+}
+
+TEST(VmSmoke, RecursionWithStackGrowth) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& f = c.method("fib").arg(I).returns(I);
+  auto base = f.label();
+  f.load(0).push_i(2).cmp_lt().jnz(base);
+  f.load(0).push_i(1).sub().invoke_static("Main", "fib");
+  f.load(0).push_i(2).sub().invoke_static("Main", "fib");
+  f.add().ret_val();
+  f.bind(base).load(0).ret_val();
+  c.method("run").arg(R)
+      .push_i(18).invoke_static("Main", "fib").print_i().ret();
+  pb.main("Main", "run");
+  vmtest::RunConfig cfg;
+  cfg.opts.initial_stack_slots = 16;  // force modeled stack growth
+  auto r = run_guest(pb.build(), cfg);
+  EXPECT_EQ(r.output, "2584\n");
+}
+
+TEST(VmSmoke, FieldsAndObjects) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.field("a", I).field("link", R);
+  auto& m = c.method("run").arg(R).locals(3);
+  m.new_object("Main").store(1);
+  m.new_object("Main").store(2);
+  m.load(1).push_i(11).putfield("Main", "a");
+  m.load(1).load(2).putfield("Main", "link");
+  m.load(2).push_i(31).putfield("Main", "a");
+  m.load(1).getfield("Main", "link").getfield("Main", "a").print_i();
+  m.load(1).getfield("Main", "a").print_i();
+  m.load(1).load(2).acmp_ne().print_i();
+  m.push_null().load(1).getfield("Main", "link").acmp_ne().print_i();
+  m.ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "31\n11\n1\n1\n");
+}
+
+TEST(VmSmoke, InheritedFieldsAccessibleThroughSubclass) {
+  ProgramBuilder pb;
+  auto& base = pb.add_class("Base");
+  base.field("x", I);
+  auto& derived = pb.add_class("Derived", "Base");
+  derived.field("y", I);
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R).locals(2);
+  m.new_object("Derived").store(1);
+  m.load(1).push_i(3).putfield("Base", "x");
+  m.load(1).push_i(4).putfield("Derived", "y");
+  m.load(1).getfield("Base", "x").load(1).getfield("Derived", "y").add()
+      .print_i().ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "7\n");
+}
+
+TEST(VmSmoke, VirtualDispatch) {
+  // debug_target sums shape areas: 2*2*3 + 5*5 + 3*3*3 + 1*1 = 65.
+  EXPECT_EQ(run_guest(workloads::debug_target()).output, "65\n");
+}
+
+TEST(VmSmoke, StringsAndLiterals) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("run").arg(R)
+      .print_lit("hello ")
+      .push_str("guest world")
+      .print_str()
+      .print_lit("\n")
+      .ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "hello guest world\n");
+}
+
+TEST(VmSmoke, ArraysEndToEnd) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R).locals(3);
+  m.push_i(4).newarr_i().store(1);
+  m.load(1).push_i(0).push_i(10).astore_i();
+  m.load(1).push_i(3).push_i(40).astore_i();
+  m.load(1).push_i(0).aload_i().load(1).push_i(3).aload_i().add().print_i();
+  m.load(1).arraylen().print_i();
+  m.ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "50\n4\n");
+}
+
+TEST(VmSmoke, DivisionByZeroTraps) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("run").arg(R).push_i(1).push_i(0).div().print_i().ret();
+  pb.main("Main", "run");
+  EXPECT_THROW(run_guest(pb.build()), VmError);
+}
+
+TEST(VmSmoke, NullDereferenceTraps) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.field("a", I);
+  c.method("run").arg(R).push_null().getfield("Main", "a").print_i().ret();
+  pb.main("Main", "run");
+  EXPECT_THROW(run_guest(pb.build()), VmError);
+}
+
+TEST(VmSmoke, HaltStopsEverything) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("run").arg(R).push_i(1).print_i().halt().push_i(2).print_i().ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "1\n");
+}
+
+TEST(VmSmoke, EnvReaderConsumesScriptedInputs) {
+  RunConfig cfg;
+  cfg.inputs = {5, 6, 7};
+  auto r1 = run_guest(workloads::env_reader(3), cfg);
+  auto r2 = run_guest(workloads::env_reader(3), cfg);
+  EXPECT_EQ(r1.output, r2.output);  // scripted env: deterministic
+  RunConfig cfg2 = cfg;
+  cfg2.inputs = {5, 6, 8};
+  EXPECT_NE(run_guest(workloads::env_reader(3), cfg2).output, r1.output);
+}
+
+TEST(VmSmoke, NativeCallsWithCallbacks) {
+  auto r = run_guest(workloads::native_calls(4));
+  // cb invoked once per native call.
+  EXPECT_NE(r.output.find("\n4\n"), std::string::npos);
+}
+
+TEST(VmSmoke, ClassLoadingIsLazyAndAudited) {
+  ProgramBuilder pb;
+  auto& never = pb.add_class("NeverUsed");
+  never.static_field("s", I);
+  auto& used = pb.add_class("Used");
+  used.static_field("s", I);
+  auto& c = pb.add_class("Main");
+  c.method("run").arg(R).getstatic("Used", "s").print_i().ret();
+  pb.main("Main", "run");
+
+  vm::ScriptedEnvironment env(0, 1, {}, 1);
+  threads::NullTimer timer;
+  vm::Vm v(pb.build(), {}, env, timer);
+  v.run();
+  bool loaded_used = false, loaded_never = false;
+  for (const auto& e : v.audit().events()) {
+    if (e.kind == vm::AuditKind::kClassLoad) {
+      loaded_used |= e.detail == "Used";
+      loaded_never |= e.detail == "NeverUsed";
+    }
+  }
+  EXPECT_TRUE(loaded_used);
+  EXPECT_FALSE(loaded_never);
+}
+
+TEST(VmSmoke, CompilationIsLazyAndAudited) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("cold").push_i(1).pop().ret();
+  c.method("run").arg(R).ret();
+  pb.main("Main", "run");
+  vm::ScriptedEnvironment env(0, 1, {}, 1);
+  threads::NullTimer timer;
+  vm::Vm v(pb.build(), {}, env, timer);
+  v.run();
+  size_t cold = 0, run = 0;
+  for (const auto& e : v.audit().events()) {
+    if (e.kind == vm::AuditKind::kCompile) {
+      cold += e.detail == "Main.cold";
+      run += e.detail == "Main.run";
+    }
+  }
+  EXPECT_EQ(cold, 0u);
+  EXPECT_EQ(run, 1u);
+}
+
+TEST(VmSmoke, InstructionBudgetGuards) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R);
+  auto top = m.label();
+  m.bind(top).jmp(top);  // infinite loop
+  pb.main("Main", "run");
+  RunConfig cfg;
+  cfg.opts.max_instructions = 10000;
+  EXPECT_THROW(run_guest(pb.build(), cfg), VmError);
+}
+
+}  // namespace
+}  // namespace dejavu

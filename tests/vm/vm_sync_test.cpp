@@ -1,0 +1,197 @@
+// Guest-level synchronization semantics: the corner cases of the Java
+// monitor surface the thread package must honor under the interpreter.
+#include <gtest/gtest.h>
+
+#include "src/bytecode/builder.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu {
+namespace {
+
+using bytecode::ProgramBuilder;
+using bytecode::ValueType;
+using vmtest::run_guest;
+using vmtest::RunConfig;
+
+constexpr ValueType I = ValueType::kI64;
+constexpr ValueType R = ValueType::kRef;
+
+TEST(VmSync, RecursiveMonitorEntry) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& c = pb.add_class("Main");
+  c.static_field("lock", R);
+  auto& m = c.method("run").arg(R);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.getstatic("Main", "lock").monitorenter();
+  m.getstatic("Main", "lock").monitorenter();  // recursive
+  m.push_i(7).print_i();
+  m.getstatic("Main", "lock").monitorexit();
+  m.getstatic("Main", "lock").monitorexit();
+  m.ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "7\n");
+}
+
+TEST(VmSync, ExitWithoutEnterTraps) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R).locals(2);
+  m.new_object("Obj").store(1).load(1).monitorexit().ret();
+  pb.main("Main", "run");
+  EXPECT_THROW(run_guest(pb.build()), VmError);
+}
+
+TEST(VmSync, WaitWithoutMonitorTraps) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R).locals(2);
+  m.new_object("Obj").store(1).load(1).wait_on().pop().ret();
+  pb.main("Main", "run");
+  EXPECT_THROW(run_guest(pb.build()), VmError);
+}
+
+TEST(VmSync, NotifyWithoutMonitorTraps) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R).locals(2);
+  m.new_object("Obj").store(1).load(1).notify_one().ret();
+  pb.main("Main", "run");
+  EXPECT_THROW(run_guest(pb.build()), VmError);
+}
+
+TEST(VmSync, SynchronizationOnNullTraps) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("run").arg(R).push_null().monitorenter().ret();
+  pb.main("Main", "run");
+  EXPECT_THROW(run_guest(pb.build()), VmError);
+}
+
+TEST(VmSync, TimedWaitWakesWithoutNotify) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& c = pb.add_class("Main");
+  c.static_field("lock", R);
+  auto& m = c.method("run").arg(R);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.getstatic("Main", "lock").monitorenter();
+  m.getstatic("Main", "lock").push_i(20).timed_wait().print_i();  // 0
+  m.getstatic("Main", "lock").monitorexit();
+  m.print_lit("woke\n").ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "0\nwoke\n");
+}
+
+TEST(VmSync, InterruptedWaiterReportsIt) {
+  // t1 waits; main interrupts it; t1 prints the interrupted flag (1).
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& c = pb.add_class("Main");
+  c.static_field("lock", R);
+  {
+    auto& t = c.method("t1").arg(R);
+    t.getstatic("Main", "lock").monitorenter();
+    t.getstatic("Main", "lock").wait_on().print_i();
+    t.getstatic("Main", "lock").monitorexit();
+    t.ret();
+  }
+  auto& m = c.method("run").arg(R).locals(2);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.push_null().spawn("Main", "t1").store(1);
+  m.yield();  // let t1 reach the wait
+  m.load(1).interrupt();
+  m.load(1).join();
+  m.print_lit("done\n").ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "1\ndone\n");
+}
+
+TEST(VmSync, InterruptBeforeWaitIsImmediate) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& c = pb.add_class("Main");
+  c.static_field("lock", R);
+  auto& m = c.method("run").arg(R);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.current_thread().interrupt();  // flag self
+  m.getstatic("Main", "lock").monitorenter();
+  m.getstatic("Main", "lock").wait_on().print_i();  // 1, no park
+  m.getstatic("Main", "lock").monitorexit();
+  m.ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "1\n");
+}
+
+TEST(VmSync, JoinTerminatedThreadIsImmediate) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  c.method("t1").arg(R).ret();
+  auto& m = c.method("run").arg(R).locals(2);
+  m.push_null().spawn("Main", "t1").store(1);
+  m.load(1).join();
+  m.load(1).join();  // second join: thread already dead, still fine
+  m.push_i(1).print_i().ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "1\n");
+}
+
+TEST(VmSync, SelfJoinDeadlockDetected) {
+  ProgramBuilder pb;
+  auto& c = pb.add_class("Main");
+  auto& m = c.method("run").arg(R);
+  m.current_thread().join().ret();
+  pb.main("Main", "run");
+  EXPECT_THROW(run_guest(pb.build()), VmError);
+}
+
+TEST(VmSync, LostNotifyDeadlockDetected) {
+  // Waiter arrives after the only notify: classic lost-wakeup deadlock.
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& c = pb.add_class("Main");
+  c.static_field("lock", R);
+  auto& m = c.method("run").arg(R);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.getstatic("Main", "lock").monitorenter();
+  m.getstatic("Main", "lock").notify_one();  // nobody waiting
+  m.getstatic("Main", "lock").wait_on().pop();
+  m.getstatic("Main", "lock").monitorexit();
+  m.ret();
+  pb.main("Main", "run");
+  EXPECT_THROW(run_guest(pb.build()), VmError);
+}
+
+TEST(VmSync, NotifySucceedsOnlyWithWaiter) {
+  // §2.2 footnote: "A notify operation on an object succeeds if there
+  // exists a thread waiting on the same object." Behavioural check: a
+  // waiter is woken and completes.
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& c = pb.add_class("Main");
+  c.static_field("lock", R);
+  {
+    auto& t = c.method("t1").arg(R);
+    t.getstatic("Main", "lock").monitorenter();
+    t.getstatic("Main", "lock").wait_on().pop();
+    t.getstatic("Main", "lock").monitorexit();
+    t.print_lit("woken\n").ret();
+  }
+  auto& m = c.method("run").arg(R).locals(2);
+  m.new_object("Obj").putstatic("Main", "lock");
+  m.push_null().spawn("Main", "t1").store(1);
+  m.yield();  // waiter parks
+  m.getstatic("Main", "lock").monitorenter();
+  m.getstatic("Main", "lock").notify_one();
+  m.getstatic("Main", "lock").monitorexit();
+  m.load(1).join();
+  m.print_lit("done\n").ret();
+  pb.main("Main", "run");
+  EXPECT_EQ(run_guest(pb.build()).output, "woken\ndone\n");
+}
+
+}  // namespace
+}  // namespace dejavu

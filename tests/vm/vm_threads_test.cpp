@@ -1,0 +1,125 @@
+// Multithreaded guest semantics: spawning, joining, monitors, wait/notify,
+// sleep, preemption -- and the schedule-sensitivity that motivates replay.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu {
+namespace {
+
+using vmtest::run_guest;
+using vmtest::RunConfig;
+
+RunConfig seeded(uint64_t seed) {
+  RunConfig cfg;
+  cfg.timer_seed = seed;
+  return cfg;
+}
+
+TEST(VmThreads, CooperativeFigure1RaceIsDeterministic) {
+  // Without a timer the schedule is fixed: t1 completes first (8), then t2
+  // zeroes y -> prints 0.
+  auto r1 = run_guest(workloads::fig1_race());
+  auto r2 = run_guest(workloads::fig1_race());
+  EXPECT_EQ(r1.output, "0\n");
+  EXPECT_EQ(r1.summary, r2.summary);
+}
+
+TEST(VmThreads, PreemptionMakesFigure1RaceNondeterministic) {
+  // Sweeping timer seeds must produce at least two distinct outputs
+  // (the paper's "8 vs 0" point).
+  std::set<std::string> outputs;
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    RunConfig cfg = seeded(seed);
+    cfg.timer_min = 2;
+    cfg.timer_max = 30;
+    outputs.insert(run_guest(workloads::fig1_race(), cfg).output);
+  }
+  EXPECT_GE(outputs.size(), 2u) << "expected schedule-dependent output";
+  for (const auto& o : outputs) EXPECT_TRUE(o == "0\n" || o == "8\n") << o;
+}
+
+TEST(VmThreads, Figure1ClockBranchesOnEnvironment) {
+  // Even parity of the first Date() read decides whether T1 waits.
+  RunConfig even;
+  even.clock_base = 1000;  // first read even
+  RunConfig odd;
+  odd.clock_base = 1001;
+  auto r_even = run_guest(workloads::fig1_clock(), even);
+  auto r_odd = run_guest(workloads::fig1_clock(), odd);
+  // Different branch -> different switch structure.
+  EXPECT_NE(r_even.summary.switch_seq_hash, r_odd.summary.switch_seq_hash);
+}
+
+TEST(VmThreads, LockedCounterIsExactUnderAnySchedule) {
+  for (uint64_t seed : {1ull, 7ull, 23ull, 99ull}) {
+    RunConfig cfg = seeded(seed);
+    cfg.timer_min = 5;
+    cfg.timer_max = 60;
+    auto r = run_guest(workloads::counter_locked(4, 25), cfg);
+    EXPECT_EQ(r.output, "100\n") << "seed " << seed;
+  }
+}
+
+TEST(VmThreads, RacyCounterLosesUpdatesUnderSomeSchedule) {
+  std::set<std::string> outputs;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    RunConfig cfg = seeded(seed);
+    cfg.timer_min = 3;
+    cfg.timer_max = 40;
+    outputs.insert(run_guest(workloads::counter_race(4, 25), cfg).output);
+  }
+  EXPECT_GE(outputs.size(), 2u);
+}
+
+TEST(VmThreads, ProducerConsumerChecksum) {
+  // sum of i^2, i in [0, 40)
+  int64_t want = 0;
+  for (int64_t i = 0; i < 40; ++i) want += i * i;
+  for (uint64_t seed : {0ull, 3ull, 17ull}) {
+    auto r = run_guest(workloads::producer_consumer(40, 4), seeded(seed));
+    EXPECT_EQ(r.output, std::to_string(want) + "\n") << "seed " << seed;
+  }
+}
+
+TEST(VmThreads, PingPongCompletesExactly) {
+  for (uint64_t seed : {0ull, 5ull}) {
+    auto r = run_guest(workloads::lock_pingpong(50), seeded(seed));
+    EXPECT_EQ(r.output, "100\n");
+  }
+}
+
+TEST(VmThreads, SleepersAllComplete) {
+  auto r = run_guest(workloads::sleepers(5, 20));
+  EXPECT_EQ(r.output, "5\n");
+}
+
+TEST(VmThreads, ComputeTotalsIndependentOfSchedule) {
+  std::set<std::string> outputs;
+  for (uint64_t seed : {0ull, 2ull, 9ull, 31ull}) {
+    outputs.insert(run_guest(workloads::compute(3, 500), seeded(seed)).output);
+  }
+  EXPECT_EQ(outputs.size(), 1u);  // data-race-free: schedule-independent
+}
+
+TEST(VmThreads, PreemptCountTracksTimer) {
+  RunConfig cfg = seeded(13);
+  cfg.timer_min = 10;
+  cfg.timer_max = 50;
+  auto r = run_guest(workloads::compute(2, 2000), cfg);
+  EXPECT_GT(r.summary.preempt_count, 10u);
+  auto r0 = run_guest(workloads::compute(2, 2000));
+  EXPECT_EQ(r0.summary.preempt_count, 0u);
+}
+
+TEST(VmThreads, YieldPointsCountedOnBackedgesAndPrologues) {
+  auto r = run_guest(workloads::compute(1, 100));
+  // At least one yield point per loop iteration.
+  EXPECT_GE(r.summary.yield_points, 100u);
+}
+
+}  // namespace
+}  // namespace dejavu

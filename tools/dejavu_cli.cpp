@@ -1,0 +1,252 @@
+// dejavu -- command-line front door to the replay platform.
+//
+//   dejavu list
+//   dejavu record <workload> [--seed N] [--out trace.djv] [--realtime]
+//   dejavu replay <workload> <trace.djv>
+//   dejavu dump <trace.djv>
+//   dejavu diff <a.djv> <b.djv>
+//   dejavu sweep <workload> [--seeds N]      outcome histogram
+//   dejavu debug <workload> <trace.djv>      interactive debugger REPL
+//
+// Workloads are the built-in guest programs from src/workloads (listed by
+// `dejavu list`); parameters use sensible defaults.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "src/debugger/debugger.hpp"
+#include "src/frontend/server.hpp"
+#include "src/replay/session.hpp"
+#include "src/replay/trace_tools.hpp"
+#include "src/threads/timer.hpp"
+#include "src/vm/env.hpp"
+#include "src/workloads/workloads.hpp"
+
+using namespace dejavu;
+
+namespace {
+
+struct Entry {
+  const char* name;
+  const char* desc;
+  bytecode::Program (*make)();
+};
+
+bytecode::Program mk_fig1() { return workloads::fig1_race(); }
+bytecode::Program mk_fig1c() { return workloads::fig1_clock(); }
+bytecode::Program mk_counter() { return workloads::counter_race(4, 50); }
+bytecode::Program mk_locked() { return workloads::counter_locked(4, 50); }
+bytecode::Program mk_pc() { return workloads::producer_consumer(100, 8); }
+bytecode::Program mk_pp() { return workloads::lock_pingpong(100); }
+bytecode::Program mk_churn() { return workloads::alloc_churn(3000, 16, 8); }
+bytecode::Program mk_compute() { return workloads::compute(3, 3000); }
+bytecode::Program mk_sleep() { return workloads::sleepers(5, 10); }
+bytecode::Program mk_native() { return workloads::native_calls(20); }
+bytecode::Program mk_env() { return workloads::env_reader(10); }
+bytecode::Program mk_mixer() { return workloads::clock_mixer(4, 60); }
+bytecode::Program mk_phil() { return workloads::philosophers(5, 20); }
+bytecode::Program mk_rw() { return workloads::readers_writers(3, 2, 50); }
+bytecode::Program mk_debugt() { return workloads::debug_target(); }
+
+const Entry kWorkloads[] = {
+    {"fig1_race", "the paper's Figure 1 A/B race", mk_fig1},
+    {"fig1_clock", "Figure 1 C/D environment branch", mk_fig1c},
+    {"counter_race", "racy shared counter, 4 threads", mk_counter},
+    {"counter_locked", "monitor-protected counter", mk_locked},
+    {"producer_consumer", "bounded buffer, wait/notify", mk_pc},
+    {"lock_pingpong", "two-thread monitor ping-pong", mk_pp},
+    {"alloc_churn", "GC-heavy allocation loop", mk_churn},
+    {"compute", "pure arithmetic, 3 threads", mk_compute},
+    {"sleepers", "timed sleeps", mk_sleep},
+    {"native_calls", "JNI-style natives + callbacks", mk_native},
+    {"env_reader", "external input + randomness", mk_env},
+    {"clock_mixer", "per-iteration wall-clock reads", mk_mixer},
+    {"philosophers", "dining philosophers, ordered forks", mk_phil},
+    {"readers_writers", "invariant-checking readers", mk_rw},
+    {"debug_target", "shapes demo for the debugger", mk_debugt},
+};
+
+const Entry* find_workload(const std::string& name) {
+  for (const Entry& e : kWorkloads) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+vm::NativeRegistry make_natives() {
+  vm::NativeRegistry reg;
+  reg.register_native(
+      "host.mix", [](vm::NativeContext& nc, const std::vector<int64_t>& a) {
+        int64_t acc = 17;
+        for (int64_t v : a) acc = acc * 31 + v;
+        if (!a.empty() && nc.vm().runtime_class("Main") != nullptr &&
+            nc.vm().runtime_class("Main")->find_method("cb") != nullptr) {
+          acc += nc.call_guest("Main", "cb", {a[0]});
+        }
+        return acc;
+      });
+  return reg;
+}
+
+int cmd_list() {
+  std::printf("%-20s %s\n", "workload", "description");
+  for (const Entry& e : kWorkloads) std::printf("%-20s %s\n", e.name, e.desc);
+  return 0;
+}
+
+int cmd_record(const std::string& name, uint64_t seed, bool realtime,
+               const std::string& out) {
+  const Entry* e = find_workload(name);
+  if (e == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+    return 1;
+  }
+  vm::NativeRegistry natives = make_natives();
+  replay::RecordResult rec;
+  if (realtime) {
+    vm::HostEnvironment env;
+    threads::RealTimeTimer timer(std::chrono::microseconds(100));
+    rec = replay::record_run(e->make(), {}, env, timer, &natives);
+  } else {
+    vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+    threads::VirtualTimer timer(seed == 0 ? 7 : seed, 40, 400);
+    rec = replay::record_run(e->make(), {}, env, timer, &natives);
+  }
+  std::printf("output:\n%s", rec.output.c_str());
+  std::printf("instrs=%llu switches=%llu preempts=%llu events=%llu "
+              "trace=%zuB\n",
+              (unsigned long long)rec.summary.instr_count,
+              (unsigned long long)rec.summary.switch_count,
+              (unsigned long long)rec.trace.meta.preempt_switches,
+              (unsigned long long)rec.trace.meta.nd_events,
+              rec.trace.total_bytes());
+  rec.trace.save(out);
+  std::printf("trace written to %s\n", out.c_str());
+  return 0;
+}
+
+int cmd_replay(const std::string& name, const std::string& path) {
+  const Entry* e = find_workload(name);
+  if (e == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+    return 1;
+  }
+  replay::TraceFile trace = replay::TraceFile::load(path);
+  replay::ReplayResult rep = replay::replay_run(e->make(), trace, {});
+  std::printf("output:\n%s", rep.output.c_str());
+  std::printf("replay %s\n", rep.verified ? "verified exact" : "DIVERGED");
+  if (!rep.verified)
+    std::printf("first violation: %s\n", rep.stats.first_violation.c_str());
+  return rep.verified ? 0 : 1;
+}
+
+int cmd_dump(const std::string& path) {
+  replay::TraceFile trace = replay::TraceFile::load(path);
+  std::fputs(replay::dump_trace(trace).c_str(), stdout);
+  replay::TraceStats s = replay::trace_stats(trace);
+  std::printf("stats: mean yield delta %.1f (min %llu, max %llu), "
+              "%llu checkpoints\n",
+              s.mean_delta, (unsigned long long)s.min_delta,
+              (unsigned long long)s.max_delta,
+              (unsigned long long)s.checkpoints);
+  return 0;
+}
+
+int cmd_diff(const std::string& a, const std::string& b) {
+  replay::TraceDiff d = replay::diff_traces(replay::TraceFile::load(a),
+                                            replay::TraceFile::load(b));
+  std::printf("%s\n", d.description.c_str());
+  return d.identical ? 0 : 1;
+}
+
+int cmd_sweep(const std::string& name, int n_seeds) {
+  const Entry* e = find_workload(name);
+  if (e == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+    return 1;
+  }
+  vm::NativeRegistry natives = make_natives();
+  std::map<std::string, int> hist;
+  for (int seed = 1; seed <= n_seeds; ++seed) {
+    vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+    // Fine-grained preemption: sweeps are for *finding* rare schedules.
+    threads::VirtualTimer timer(uint64_t(seed), 3, 60);
+    replay::RecordResult rec =
+        replay::record_run(e->make(), {}, env, timer, &natives);
+    hist[rec.output]++;
+  }
+  std::printf("%d schedules, %zu distinct outcomes:\n", n_seeds, hist.size());
+  for (const auto& [out, n] : hist) {
+    std::string one = out.substr(0, out.find('\n'));
+    std::printf("%6d x %s\n", n, one.c_str());
+  }
+  return 0;
+}
+
+int cmd_debug(const std::string& name, const std::string& path) {
+  const Entry* e = find_workload(name);
+  if (e == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+    return 1;
+  }
+  bytecode::Program prog = e->make();
+  replay::TraceFile trace = replay::TraceFile::load(path);
+  replay::ReplaySession session(prog, std::move(trace), {});
+  debugger::Debugger dbg(session, prog);
+  frontend::Channel chan;
+  frontend::DebugServer server(dbg, chan);
+  frontend::DebugClient client(chan);
+  std::printf("dejavu replay debugger; 'help' for commands, 'quit' exits\n");
+  std::string line;
+  while (std::printf("(dejavu) ") && std::getline(std::cin, line)) {
+    if (line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+    std::printf("%s\n", frontend::roundtrip(client, server, line).c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto flag_value = [&](const char* flag, const std::string& dflt) {
+    for (size_t i = 0; i + 1 < args.size(); ++i) {
+      if (args[i] == flag) return args[i + 1];
+    }
+    return dflt;
+  };
+  bool realtime = std::find(args.begin(), args.end(), "--realtime") !=
+                  args.end();
+
+  try {
+    if (args.empty() || args[0] == "help") {
+      std::printf("usage: dejavu list | record <w> [--seed N] [--out F] "
+                  "[--realtime] | replay <w> <F> | dump <F> | diff <A> <B> "
+                  "| sweep <w> [--seeds N] | debug <w> <F>\n");
+      return 0;
+    }
+    if (args[0] == "list") return cmd_list();
+    if (args[0] == "record" && args.size() >= 2) {
+      return cmd_record(args[1],
+                        uint64_t(std::stoll(flag_value("--seed", "0"))),
+                        realtime, flag_value("--out", "/tmp/dejavu.djv"));
+    }
+    if (args[0] == "replay" && args.size() >= 3)
+      return cmd_replay(args[1], args[2]);
+    if (args[0] == "dump" && args.size() >= 2) return cmd_dump(args[1]);
+    if (args[0] == "diff" && args.size() >= 3)
+      return cmd_diff(args[1], args[2]);
+    if (args[0] == "sweep" && args.size() >= 2)
+      return cmd_sweep(args[1], std::stoi(flag_value("--seeds", "50")));
+    if (args[0] == "debug" && args.size() >= 3)
+      return cmd_debug(args[1], args[2]);
+    std::fprintf(stderr, "bad arguments; try 'dejavu help'\n");
+    return 1;
+  } catch (const VmError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
