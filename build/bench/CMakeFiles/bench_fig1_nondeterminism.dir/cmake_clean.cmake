@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_nondeterminism.dir/bench_fig1_nondeterminism.cpp.o"
+  "CMakeFiles/bench_fig1_nondeterminism.dir/bench_fig1_nondeterminism.cpp.o.d"
+  "bench_fig1_nondeterminism"
+  "bench_fig1_nondeterminism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_nondeterminism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

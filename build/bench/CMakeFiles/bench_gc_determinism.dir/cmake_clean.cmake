@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gc_determinism.dir/bench_gc_determinism.cpp.o"
+  "CMakeFiles/bench_gc_determinism.dir/bench_gc_determinism.cpp.o.d"
+  "bench_gc_determinism"
+  "bench_gc_determinism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gc_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_reflection.dir/bench_remote_reflection.cpp.o"
+  "CMakeFiles/bench_remote_reflection.dir/bench_remote_reflection.cpp.o.d"
+  "bench_remote_reflection"
+  "bench_remote_reflection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_reflection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

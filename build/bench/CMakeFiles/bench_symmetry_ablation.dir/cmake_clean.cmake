@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_symmetry_ablation.dir/bench_symmetry_ablation.cpp.o"
+  "CMakeFiles/bench_symmetry_ablation.dir/bench_symmetry_ablation.cpp.o.d"
+  "bench_symmetry_ablation"
+  "bench_symmetry_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_symmetry_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_threadmap_cost.dir/bench_threadmap_cost.cpp.o"
+  "CMakeFiles/bench_threadmap_cost.dir/bench_threadmap_cost.cpp.o.d"
+  "bench_threadmap_cost"
+  "bench_threadmap_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_threadmap_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

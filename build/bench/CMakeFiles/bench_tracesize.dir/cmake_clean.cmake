@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tracesize.dir/bench_tracesize.cpp.o"
+  "CMakeFiles/bench_tracesize.dir/bench_tracesize.cpp.o.d"
+  "bench_tracesize"
+  "bench_tracesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tracesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

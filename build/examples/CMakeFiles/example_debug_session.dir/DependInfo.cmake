@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/debug_session.cpp" "examples/CMakeFiles/example_debug_session.dir/debug_session.cpp.o" "gcc" "examples/CMakeFiles/example_debug_session.dir/debug_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/dv_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/debugger/CMakeFiles/dv_debugger.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/dv_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/dv_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dv_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/dv_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/dv_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dv_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

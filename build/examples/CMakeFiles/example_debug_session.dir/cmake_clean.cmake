@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_debug_session.dir/debug_session.cpp.o"
+  "CMakeFiles/example_debug_session.dir/debug_session.cpp.o.d"
+  "example_debug_session"
+  "example_debug_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_debug_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

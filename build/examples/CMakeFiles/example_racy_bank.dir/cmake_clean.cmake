@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_racy_bank.dir/racy_bank.cpp.o"
+  "CMakeFiles/example_racy_bank.dir/racy_bank.cpp.o.d"
+  "example_racy_bank"
+  "example_racy_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_racy_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_server_replay.dir/server_replay.cpp.o"
+  "CMakeFiles/example_server_replay.dir/server_replay.cpp.o.d"
+  "example_server_replay"
+  "example_server_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_server_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_time_travel.dir/time_travel.cpp.o"
+  "CMakeFiles/example_time_travel.dir/time_travel.cpp.o.d"
+  "example_time_travel"
+  "example_time_travel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_time_travel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

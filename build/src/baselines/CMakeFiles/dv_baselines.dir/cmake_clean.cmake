@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_baselines.dir/instant_replay.cpp.o"
+  "CMakeFiles/dv_baselines.dir/instant_replay.cpp.o.d"
+  "CMakeFiles/dv_baselines.dir/read_log.cpp.o"
+  "CMakeFiles/dv_baselines.dir/read_log.cpp.o.d"
+  "CMakeFiles/dv_baselines.dir/russinovich_cogswell.cpp.o"
+  "CMakeFiles/dv_baselines.dir/russinovich_cogswell.cpp.o.d"
+  "libdv_baselines.a"
+  "libdv_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

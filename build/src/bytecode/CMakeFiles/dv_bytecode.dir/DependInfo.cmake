@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bytecode/builder.cpp" "src/bytecode/CMakeFiles/dv_bytecode.dir/builder.cpp.o" "gcc" "src/bytecode/CMakeFiles/dv_bytecode.dir/builder.cpp.o.d"
+  "/root/repo/src/bytecode/disasm.cpp" "src/bytecode/CMakeFiles/dv_bytecode.dir/disasm.cpp.o" "gcc" "src/bytecode/CMakeFiles/dv_bytecode.dir/disasm.cpp.o.d"
+  "/root/repo/src/bytecode/model.cpp" "src/bytecode/CMakeFiles/dv_bytecode.dir/model.cpp.o" "gcc" "src/bytecode/CMakeFiles/dv_bytecode.dir/model.cpp.o.d"
+  "/root/repo/src/bytecode/opcodes.cpp" "src/bytecode/CMakeFiles/dv_bytecode.dir/opcodes.cpp.o" "gcc" "src/bytecode/CMakeFiles/dv_bytecode.dir/opcodes.cpp.o.d"
+  "/root/repo/src/bytecode/verifier.cpp" "src/bytecode/CMakeFiles/dv_bytecode.dir/verifier.cpp.o" "gcc" "src/bytecode/CMakeFiles/dv_bytecode.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_bytecode.dir/builder.cpp.o"
+  "CMakeFiles/dv_bytecode.dir/builder.cpp.o.d"
+  "CMakeFiles/dv_bytecode.dir/disasm.cpp.o"
+  "CMakeFiles/dv_bytecode.dir/disasm.cpp.o.d"
+  "CMakeFiles/dv_bytecode.dir/model.cpp.o"
+  "CMakeFiles/dv_bytecode.dir/model.cpp.o.d"
+  "CMakeFiles/dv_bytecode.dir/opcodes.cpp.o"
+  "CMakeFiles/dv_bytecode.dir/opcodes.cpp.o.d"
+  "CMakeFiles/dv_bytecode.dir/verifier.cpp.o"
+  "CMakeFiles/dv_bytecode.dir/verifier.cpp.o.d"
+  "libdv_bytecode.a"
+  "libdv_bytecode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_bytecode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

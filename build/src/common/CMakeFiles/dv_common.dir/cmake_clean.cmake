@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_common.dir/hash.cpp.o"
+  "CMakeFiles/dv_common.dir/hash.cpp.o.d"
+  "CMakeFiles/dv_common.dir/io.cpp.o"
+  "CMakeFiles/dv_common.dir/io.cpp.o.d"
+  "CMakeFiles/dv_common.dir/log.cpp.o"
+  "CMakeFiles/dv_common.dir/log.cpp.o.d"
+  "libdv_common.a"
+  "libdv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/debugger/debugger.cpp" "src/debugger/CMakeFiles/dv_debugger.dir/debugger.cpp.o" "gcc" "src/debugger/CMakeFiles/dv_debugger.dir/debugger.cpp.o.d"
+  "/root/repo/src/debugger/time_travel.cpp" "src/debugger/CMakeFiles/dv_debugger.dir/time_travel.cpp.o" "gcc" "src/debugger/CMakeFiles/dv_debugger.dir/time_travel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/replay/CMakeFiles/dv_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/remote/CMakeFiles/dv_remote.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dv_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dv_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/dv_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/dv_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_debugger.dir/debugger.cpp.o"
+  "CMakeFiles/dv_debugger.dir/debugger.cpp.o.d"
+  "CMakeFiles/dv_debugger.dir/time_travel.cpp.o"
+  "CMakeFiles/dv_debugger.dir/time_travel.cpp.o.d"
+  "libdv_debugger.a"
+  "libdv_debugger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_frontend.dir/channel.cpp.o"
+  "CMakeFiles/dv_frontend.dir/channel.cpp.o.d"
+  "CMakeFiles/dv_frontend.dir/server.cpp.o"
+  "CMakeFiles/dv_frontend.dir/server.cpp.o.d"
+  "libdv_frontend.a"
+  "libdv_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_heap.dir/heap.cpp.o"
+  "CMakeFiles/dv_heap.dir/heap.cpp.o.d"
+  "libdv_heap.a"
+  "libdv_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

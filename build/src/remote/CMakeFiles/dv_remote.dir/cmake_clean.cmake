@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_remote.dir/process.cpp.o"
+  "CMakeFiles/dv_remote.dir/process.cpp.o.d"
+  "CMakeFiles/dv_remote.dir/reflection.cpp.o"
+  "CMakeFiles/dv_remote.dir/reflection.cpp.o.d"
+  "libdv_remote.a"
+  "libdv_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replay/engine.cpp" "src/replay/CMakeFiles/dv_replay.dir/engine.cpp.o" "gcc" "src/replay/CMakeFiles/dv_replay.dir/engine.cpp.o.d"
+  "/root/repo/src/replay/session.cpp" "src/replay/CMakeFiles/dv_replay.dir/session.cpp.o" "gcc" "src/replay/CMakeFiles/dv_replay.dir/session.cpp.o.d"
+  "/root/repo/src/replay/trace.cpp" "src/replay/CMakeFiles/dv_replay.dir/trace.cpp.o" "gcc" "src/replay/CMakeFiles/dv_replay.dir/trace.cpp.o.d"
+  "/root/repo/src/replay/trace_tools.cpp" "src/replay/CMakeFiles/dv_replay.dir/trace_tools.cpp.o" "gcc" "src/replay/CMakeFiles/dv_replay.dir/trace_tools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/dv_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dv_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/dv_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/dv_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_replay.dir/engine.cpp.o"
+  "CMakeFiles/dv_replay.dir/engine.cpp.o.d"
+  "CMakeFiles/dv_replay.dir/session.cpp.o"
+  "CMakeFiles/dv_replay.dir/session.cpp.o.d"
+  "CMakeFiles/dv_replay.dir/trace.cpp.o"
+  "CMakeFiles/dv_replay.dir/trace.cpp.o.d"
+  "CMakeFiles/dv_replay.dir/trace_tools.cpp.o"
+  "CMakeFiles/dv_replay.dir/trace_tools.cpp.o.d"
+  "libdv_replay.a"
+  "libdv_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_threads.dir/thread_package.cpp.o"
+  "CMakeFiles/dv_threads.dir/thread_package.cpp.o.d"
+  "libdv_threads.a"
+  "libdv_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/audit.cpp" "src/vm/CMakeFiles/dv_vm.dir/audit.cpp.o" "gcc" "src/vm/CMakeFiles/dv_vm.dir/audit.cpp.o.d"
+  "/root/repo/src/vm/vm_boot.cpp" "src/vm/CMakeFiles/dv_vm.dir/vm_boot.cpp.o" "gcc" "src/vm/CMakeFiles/dv_vm.dir/vm_boot.cpp.o.d"
+  "/root/repo/src/vm/vm_interp.cpp" "src/vm/CMakeFiles/dv_vm.dir/vm_interp.cpp.o" "gcc" "src/vm/CMakeFiles/dv_vm.dir/vm_interp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dv_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/dv_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/dv_threads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_vm.dir/audit.cpp.o"
+  "CMakeFiles/dv_vm.dir/audit.cpp.o.d"
+  "CMakeFiles/dv_vm.dir/vm_boot.cpp.o"
+  "CMakeFiles/dv_vm.dir/vm_boot.cpp.o.d"
+  "CMakeFiles/dv_vm.dir/vm_interp.cpp.o"
+  "CMakeFiles/dv_vm.dir/vm_interp.cpp.o.d"
+  "libdv_vm.a"
+  "libdv_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/dv_workloads.dir/workloads.cpp.o.d"
+  "libdv_workloads.a"
+  "libdv_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_debugger.dir/debugger/debugger_test.cpp.o"
+  "CMakeFiles/test_debugger.dir/debugger/debugger_test.cpp.o.d"
+  "CMakeFiles/test_debugger.dir/debugger/time_travel_test.cpp.o"
+  "CMakeFiles/test_debugger.dir/debugger/time_travel_test.cpp.o.d"
+  "CMakeFiles/test_debugger.dir/debugger/watchpoint_test.cpp.o"
+  "CMakeFiles/test_debugger.dir/debugger/watchpoint_test.cpp.o.d"
+  "test_debugger"
+  "test_debugger.pdb"
+  "test_debugger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_debugger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heap.dir/heap/gc_test.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/gc_test.cpp.o.d"
+  "CMakeFiles/test_heap.dir/heap/heap_test.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/heap_test.cpp.o.d"
+  "test_heap"
+  "test_heap.pdb"
+  "test_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remote.dir/remote/reflection_test.cpp.o"
+  "CMakeFiles/test_remote.dir/remote/reflection_test.cpp.o.d"
+  "test_remote"
+  "test_remote.pdb"
+  "test_remote[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/replay/engine_edge_test.cpp" "tests/CMakeFiles/test_replay.dir/replay/engine_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_replay.dir/replay/engine_edge_test.cpp.o.d"
+  "/root/repo/tests/replay/property_sweep_test.cpp" "tests/CMakeFiles/test_replay.dir/replay/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_replay.dir/replay/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/replay/replay_test.cpp" "tests/CMakeFiles/test_replay.dir/replay/replay_test.cpp.o" "gcc" "tests/CMakeFiles/test_replay.dir/replay/replay_test.cpp.o.d"
+  "/root/repo/tests/replay/symmetry_test.cpp" "tests/CMakeFiles/test_replay.dir/replay/symmetry_test.cpp.o" "gcc" "tests/CMakeFiles/test_replay.dir/replay/symmetry_test.cpp.o.d"
+  "/root/repo/tests/replay/trace_test.cpp" "tests/CMakeFiles/test_replay.dir/replay/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_replay.dir/replay/trace_test.cpp.o.d"
+  "/root/repo/tests/replay/trace_tools_test.cpp" "tests/CMakeFiles/test_replay.dir/replay/trace_tools_test.cpp.o" "gcc" "tests/CMakeFiles/test_replay.dir/replay/trace_tools_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dv_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/dv_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/dv_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dv_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dv_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/dv_replay.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

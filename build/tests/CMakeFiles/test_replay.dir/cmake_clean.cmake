@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replay.dir/replay/engine_edge_test.cpp.o"
+  "CMakeFiles/test_replay.dir/replay/engine_edge_test.cpp.o.d"
+  "CMakeFiles/test_replay.dir/replay/property_sweep_test.cpp.o"
+  "CMakeFiles/test_replay.dir/replay/property_sweep_test.cpp.o.d"
+  "CMakeFiles/test_replay.dir/replay/replay_test.cpp.o"
+  "CMakeFiles/test_replay.dir/replay/replay_test.cpp.o.d"
+  "CMakeFiles/test_replay.dir/replay/symmetry_test.cpp.o"
+  "CMakeFiles/test_replay.dir/replay/symmetry_test.cpp.o.d"
+  "CMakeFiles/test_replay.dir/replay/trace_test.cpp.o"
+  "CMakeFiles/test_replay.dir/replay/trace_test.cpp.o.d"
+  "CMakeFiles/test_replay.dir/replay/trace_tools_test.cpp.o"
+  "CMakeFiles/test_replay.dir/replay/trace_tools_test.cpp.o.d"
+  "test_replay"
+  "test_replay.pdb"
+  "test_replay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm/vm_determinism_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/vm_determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/vm_determinism_test.cpp.o.d"
+  "/root/repo/tests/vm/vm_gc_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/vm_gc_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/vm_gc_test.cpp.o.d"
+  "/root/repo/tests/vm/vm_smoke_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/vm_smoke_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/vm_smoke_test.cpp.o.d"
+  "/root/repo/tests/vm/vm_sync_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/vm_sync_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/vm_sync_test.cpp.o.d"
+  "/root/repo/tests/vm/vm_threads_test.cpp" "tests/CMakeFiles/test_vm.dir/vm/vm_threads_test.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/vm_threads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bytecode/CMakeFiles/dv_bytecode.dir/DependInfo.cmake"
+  "/root/repo/build/src/heap/CMakeFiles/dv_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/dv_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dv_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dv_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm.dir/vm/vm_determinism_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/vm_determinism_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/vm_gc_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/vm_gc_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/vm_smoke_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/vm_smoke_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/vm_sync_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/vm_sync_test.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/vm_threads_test.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/vm_threads_test.cpp.o.d"
+  "test_vm"
+  "test_vm.pdb"
+  "test_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

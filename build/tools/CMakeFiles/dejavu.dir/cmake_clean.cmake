@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dejavu.dir/dejavu_cli.cpp.o"
+  "CMakeFiles/dejavu.dir/dejavu_cli.cpp.o.d"
+  "dejavu"
+  "dejavu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dejavu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
