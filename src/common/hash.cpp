@@ -1,5 +1,7 @@
 #include "src/common/hash.hpp"
 
+#include <array>
+
 namespace dejavu {
 
 uint64_t hash_bytes(const void* data, size_t n) {
@@ -10,6 +12,39 @@ uint64_t hash_bytes(const void* data, size_t n) {
 
 uint64_t hash_string(std::string_view s) {
   return hash_bytes(s.data(), s.size());
+}
+
+namespace {
+
+constexpr std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr std::array<uint32_t, 256> kCrcTable = make_crc_table();
+
+}  // namespace
+
+void Crc32::update(const void* data, size_t n) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = state_;
+  for (size_t i = 0; i < n; ++i) {
+    c = kCrcTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+uint32_t crc32_bytes(const void* data, size_t n) {
+  Crc32 c;
+  c.update(data, n);
+  return c.digest();
 }
 
 }  // namespace dejavu

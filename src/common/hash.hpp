@@ -43,4 +43,30 @@ class Fnv1a {
 uint64_t hash_bytes(const void* data, size_t n);
 uint64_t hash_string(std::string_view s);
 
+// Incremental CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// FNV is a fine behaviour fingerprint but a poor corruption detector (no
+// guaranteed burst-error properties). Trace chunks are checksummed with
+// CRC-32 so a flipped bit anywhere in a stored trace is caught at load
+// time with a precise location instead of surfacing as a mid-replay
+// divergence.
+class Crc32 {
+ public:
+  void update(const void* data, size_t n);
+  void update_u8(uint8_t v) { update(&v, 1); }
+  void update_u32le(uint32_t v) {
+    uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = uint8_t(v >> (8 * i));
+    update(b, 4);
+  }
+
+  uint32_t digest() const { return ~state_; }
+  void reset() { state_ = 0xffffffffu; }
+
+ private:
+  uint32_t state_ = 0xffffffffu;
+};
+
+uint32_t crc32_bytes(const void* data, size_t n);
+
 }  // namespace dejavu

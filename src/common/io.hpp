@@ -6,8 +6,10 @@
 // compactness is one of the paper's selling points (experiment E3).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,6 +48,11 @@ class ByteWriter {
 
   void put_bytes(const void* data, size_t n) {
     const auto* p = static_cast<const uint8_t*>(data);
+    // Grow geometrically before the insert: reserving the exact size on
+    // every append would degrade repeated small appends to O(n^2) copies.
+    if (buf_.capacity() - buf_.size() < n) {
+      buf_.reserve(std::max(buf_.capacity() * 2, buf_.size() + n));
+    }
     buf_.insert(buf_.end(), p, p + n);
   }
 
@@ -106,8 +113,7 @@ class ByteReader {
 
   void get_bytes(void* dst, size_t n) {
     DV_CHECK_MSG(pos_ + n <= size_, "ByteReader underrun (bytes)");
-    auto* p = static_cast<uint8_t*>(dst);
-    for (size_t i = 0; i < n; ++i) p[i] = data_[pos_ + i];
+    if (n != 0) std::memcpy(dst, data_ + pos_, n);
     pos_ += n;
   }
 

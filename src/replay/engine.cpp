@@ -1,5 +1,8 @@
 #include "src/replay/engine.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <sstream>
 
 namespace dejavu::replay {
@@ -27,14 +30,40 @@ const char* tag_name(EventTag t) {
   }
   return "?";
 }
+
+// Warm-up probe files must not collide across concurrent sessions. The
+// chosen path never feeds into recorded behaviour (the audit detail is
+// path-independent), so uniqueness per engine instance is safe.
+std::string unique_warmup_path() {
+  static std::atomic<uint64_t> counter{0};
+  std::ostringstream os;
+  os << "/tmp/dejavu.warmup." << ::getpid() << "."
+     << counter.fetch_add(1, std::memory_order_relaxed);
+  return os.str();
+}
 }  // namespace
 
 DejaVuEngine::DejaVuEngine(SymmetryConfig cfg)
-    : mode_(Mode::kRecord), cfg_(cfg) {}
+    : mode_(Mode::kRecord), cfg_(cfg) {
+  auto sink = std::make_unique<VectorTraceSink>();
+  mem_sink_ = sink.get();
+  writer_ =
+      std::make_unique<TraceWriter>(std::move(sink), cfg_.trace_chunk_bytes);
+}
+
+DejaVuEngine::DejaVuEngine(std::unique_ptr<TraceSink> sink, SymmetryConfig cfg)
+    : mode_(Mode::kRecord), cfg_(cfg) {
+  writer_ =
+      std::make_unique<TraceWriter>(std::move(sink), cfg_.trace_chunk_bytes);
+}
 
 DejaVuEngine::DejaVuEngine(TraceFile trace, SymmetryConfig cfg)
-    : mode_(Mode::kReplay), cfg_(cfg), trace_(std::move(trace)) {
-  cfg_.checkpoint_interval = trace_.meta.checkpoint_interval;
+    : DejaVuEngine(std::make_unique<TraceFileSource>(std::move(trace)), cfg) {}
+
+DejaVuEngine::DejaVuEngine(std::unique_ptr<TraceSource> source,
+                           SymmetryConfig cfg)
+    : mode_(Mode::kReplay), cfg_(cfg), source_(std::move(source)) {
+  cfg_.checkpoint_interval = source_->meta().checkpoint_interval;
 }
 
 DejaVuEngine::~DejaVuEngine() = default;
@@ -45,10 +74,10 @@ void DejaVuEngine::attach(vm::Vm& vm) {
 
   if (mode_ == Mode::kReplay) {
     uint64_t fp = fingerprint_program(vm.program());
-    DV_CHECK_MSG(fp == trace_.meta.program_fingerprint,
+    DV_CHECK_MSG(fp == source_->meta().program_fingerprint,
                  "trace was recorded from a different program");
-    schedule_r_ = std::make_unique<ByteReader>(trace_.schedule);
-    events_r_ = std::make_unique<ByteReader>(trace_.events);
+    schedule_r_ = std::make_unique<StreamCursor>(*source_, StreamId::kSchedule);
+    events_r_ = std::make_unique<StreamCursor>(*source_, StreamId::kEvents);
   }
 
   // §2.4 "Symmetry in Loading and Compilation": load the classes of *both*
@@ -65,6 +94,7 @@ void DejaVuEngine::attach(vm::Vm& vm) {
   // §2.4 I/O warm-up: exercise (and "compile") both the output and the
   // input path now, identically in both modes.
   if (cfg_.io_warmup) {
+    if (cfg_.warmup_path.empty()) cfg_.warmup_path = unique_warmup_path();
     ensure_io_class("warmup");
     vm.io_warmup(cfg_.warmup_path);
   }
@@ -125,6 +155,14 @@ void DejaVuEngine::mirror_bytes(GuestBuffer& buf, const uint8_t* data,
   }
 }
 
+void DejaVuEngine::mirror_cursor(StreamCursor& cursor, GuestBuffer& buf) {
+  const std::vector<uint8_t>& p = cursor.pending_mirror();
+  if (!p.empty()) {
+    mirror_bytes(buf, p.data(), p.size());
+    cursor.drain_mirror();
+  }
+}
+
 void DejaVuEngine::before_instrumentation() {
   DV_CHECK_MSG(vm_ != nullptr, "engine event before attach");
   // §2.4 "Symmetry in Stack Overflow": the record and replay
@@ -165,7 +203,7 @@ void DejaVuEngine::before_instrumentation() {
 }
 
 void DejaVuEngine::record_event_bytes(const ByteWriter& w) {
-  events_w_.put_bytes(w.bytes().data(), w.size());
+  writer_->append(StreamId::kEvents, w.bytes().data(), w.size());
   mirror_bytes(event_buf_, w.bytes().data(), w.size());
 }
 
@@ -181,15 +219,6 @@ uint8_t DejaVuEngine::replay_event_tag(EventTag expect) {
               tag_name(expect) + ", trace has " + tag_name(EventTag(tag)));
   }
   return tag;
-}
-
-void DejaVuEngine::mirror_replay_consumption() {
-  size_t now = events_r_->position();
-  if (now > event_mirror_mark_) {
-    mirror_bytes(event_buf_, trace_.events.data() + event_mirror_mark_,
-                 now - event_mirror_mark_);
-    event_mirror_mark_ = now;
-  }
 }
 
 int64_t DejaVuEngine::nd_value(NdKind kind, int64_t live) {
@@ -218,7 +247,7 @@ int64_t DejaVuEngine::nd_value(NdKind kind, int64_t live) {
     // stream error (non-strict callers count it and continue).
     violation("event stream truncated inside a value payload");
   }
-  mirror_replay_consumption();
+  mirror_cursor(*events_r_, event_buf_);
   count();
   return v;
 }
@@ -268,13 +297,13 @@ bool DejaVuEngine::native_replay_next(std::string* cls, std::string* method,
       args->clear();
       for (size_t i = 0; i < n; ++i)
         args->push_back(events_r_->get_svarint());
-      mirror_replay_consumption();
+      mirror_cursor(*events_r_, event_buf_);
       stats_.native_callbacks++;
       return true;
     }
     if (tag == uint8_t(EventTag::kNativeReturn)) {
       *ret = events_r_->get_svarint();
-      mirror_replay_consumption();
+      mirror_cursor(*events_r_, event_buf_);
       stats_.native_returns++;
       return false;
     }
@@ -303,13 +332,13 @@ bool DejaVuEngine::yield_point(bool hardware_bit) {
       // recordThreadSwitch(nyp)
       ByteWriter w;
       w.put_uvarint(uint64_t(nyp_));
-      schedule_w_.put_bytes(w.bytes().data(), w.size());
+      writer_->append(StreamId::kSchedule, w.bytes().data(), w.size());
       mirror_bytes(sched_buf_, w.bytes().data(), w.size());
       stats_.preempt_switches++;
       if (stats_.preempt_switches % cfg_.checkpoint_interval == 0) {
         ByteWriter cw;
         collect_checkpoint().write_to(cw);
-        schedule_w_.put_bytes(cw.bytes().data(), cw.size());
+        writer_->append(StreamId::kSchedule, cw.bytes().data(), cw.size());
         mirror_bytes(sched_buf_, cw.bytes().data(), cw.size());
         stats_.checkpoints++;
       }
@@ -338,10 +367,8 @@ int64_t DejaVuEngine::reload_nyp() {
     if (stats_.preempt_switches > 0 &&
         stats_.preempt_switches % cfg_.checkpoint_interval == 0 &&
         !schedule_r_->at_end()) {
-      size_t before = schedule_r_->position();
-      Checkpoint recorded = Checkpoint::read_from(*schedule_r_);
-      mirror_bytes(sched_buf_, trace_.schedule.data() + before,
-                   schedule_r_->position() - before);
+      Checkpoint recorded = read_checkpoint(*schedule_r_);
+      mirror_cursor(*schedule_r_, sched_buf_);
       stats_.checkpoints++;
       check_checkpoint(recorded);
     }
@@ -349,10 +376,8 @@ int64_t DejaVuEngine::reload_nyp() {
       schedule_exhausted_ = true;
       return 0;
     }
-    size_t before = schedule_r_->position();
     uint64_t delta = schedule_r_->get_uvarint();
-    mirror_bytes(sched_buf_, trace_.schedule.data() + before,
-                 schedule_r_->position() - before);
+    mirror_cursor(*schedule_r_, sched_buf_);
     return int64_t(delta);
   } catch (const ReplayDivergence&) {
     throw;  // check_checkpoint in strict mode
@@ -395,22 +420,26 @@ void DejaVuEngine::detach(vm::Vm& vm) {
   vm::BehaviorSummary s = vm.summary();
 
   if (mode_ == Mode::kRecord) {
-    result_.meta.program_fingerprint = fingerprint_program(vm.program());
-    result_.meta.checkpoint_interval = cfg_.checkpoint_interval;
-    result_.meta.preempt_switches = stats_.preempt_switches;
-    result_.meta.nd_events = stats_.nd_events();
-    result_.meta.final_checkpoint = collect_checkpoint();
-    result_.meta.final_output_hash = s.output_hash;
-    result_.meta.final_heap_hash = s.heap_hash;
-    result_.meta.final_switch_seq_hash = s.switch_seq_hash;
-    result_.meta.final_instr_count = s.instr_count;
-    result_.meta.final_audit_digest = s.audit_digest;
-    result_.schedule = schedule_w_.take();
-    result_.events = events_w_.take();
+    TraceMeta meta;
+    meta.program_fingerprint = fingerprint_program(vm.program());
+    meta.checkpoint_interval = cfg_.checkpoint_interval;
+    meta.preempt_switches = stats_.preempt_switches;
+    meta.nd_events = stats_.nd_events();
+    meta.final_checkpoint = collect_checkpoint();
+    meta.final_output_hash = s.output_hash;
+    meta.final_heap_hash = s.heap_hash;
+    meta.final_switch_seq_hash = s.switch_seq_hash;
+    meta.final_instr_count = s.instr_count;
+    meta.final_audit_digest = s.audit_digest;
+    writer_->finish(meta);
+    if (mem_sink_ != nullptr) {
+      result_ = TraceFile::deserialize(mem_sink_->bytes());
+    }
     return;
   }
 
   // Replay verification: both streams consumed, final state identical.
+  const TraceMeta& meta = source_->meta();
   if (!events_r_->at_end()) {
     violation("events not exhausted: " +
               std::to_string(events_r_->remaining()) + " bytes left");
@@ -419,25 +448,28 @@ void DejaVuEngine::detach(vm::Vm& vm) {
     violation("schedule not exhausted: a recorded preemption never "
               "happened on replay");
   }
-  check_checkpoint(trace_.meta.final_checkpoint);
+  check_checkpoint(meta.final_checkpoint);
   auto verify = [&](const char* what, uint64_t got, uint64_t want) {
     if (got != want) {
       violation(std::string("final ") + what + " mismatch: replay " +
                 std::to_string(got) + " vs recorded " + std::to_string(want));
     }
   };
-  verify("output hash", s.output_hash, trace_.meta.final_output_hash);
+  verify("output hash", s.output_hash, meta.final_output_hash);
   verify("switch-sequence hash", s.switch_seq_hash,
-         trace_.meta.final_switch_seq_hash);
-  verify("instruction count", s.instr_count, trace_.meta.final_instr_count);
-  verify("heap image hash", s.heap_hash, trace_.meta.final_heap_hash);
-  verify("audit digest", s.audit_digest, trace_.meta.final_audit_digest);
+         meta.final_switch_seq_hash);
+  verify("instruction count", s.instr_count, meta.final_instr_count);
+  verify("heap image hash", s.heap_hash, meta.final_heap_hash);
+  verify("audit digest", s.audit_digest, meta.final_audit_digest);
   stats_.verified_ok = stats_.symmetry_violations == 0;
 }
 
 TraceFile DejaVuEngine::take_trace() {
   DV_CHECK_MSG(mode_ == Mode::kRecord && detached_,
                "take_trace before the recorded run finished");
+  DV_CHECK_MSG(mem_sink_ != nullptr,
+               "take_trace on a streaming recorder (the trace went to its "
+               "sink)");
   return std::move(result_);
 }
 

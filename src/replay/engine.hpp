@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "src/replay/trace.hpp"
+#include "src/replay/trace_io.hpp"
 #include "src/vm/hooks.hpp"
 #include "src/vm/vm.hpp"
 
@@ -58,6 +59,10 @@ struct SymmetryConfig {
   uint32_t checkpoint_interval = 64;   // switches between checkpoints
   uint32_t buffer_capacity = 1 << 16;  // guest trace-buffer bytes
 
+  // Record-side trace chunking (not symmetry-relevant: chunk geometry is
+  // invisible to the byte streams, so record and replay may differ).
+  uint32_t trace_chunk_bytes = uint32_t(kDefaultChunkBytes);
+
   // Modeled per-event instrumentation costs (record / replay differ).
   uint32_t record_stack_slots = 6;
   uint32_t replay_stack_slots = 9;
@@ -69,7 +74,11 @@ struct SymmetryConfig {
   // is counted in stats (the ablation bench runs non-strict).
   bool strict = true;
 
-  std::string warmup_path = "/tmp/dejavu.warmup";
+  // I/O warm-up probe file. Empty = a path unique to this engine instance
+  // is chosen at attach, so concurrent record sessions never collide. The
+  // path never influences recorded behaviour (the warm-up audit detail is
+  // path-independent), so record and replay may use different paths.
+  std::string warmup_path;
 };
 
 struct EngineStats {
@@ -92,16 +101,26 @@ struct EngineStats {
 
 class DejaVuEngine : public vm::ExecHooks {
  public:
-  // Record mode: captures a trace of the attached VM's execution.
+  // Record mode, in-memory: the completed trace is available through
+  // take_trace() after the run.
   explicit DejaVuEngine(SymmetryConfig cfg = {});
-  // Replay mode: re-executes a recorded trace.
+  // Record mode, streaming: chunks are flushed to the sink as recording
+  // proceeds, so record-side memory stays O(chunk) instead of O(run).
+  DejaVuEngine(std::unique_ptr<TraceSink> sink, SymmetryConfig cfg = {});
+  // Replay mode from a materialized trace.
   DejaVuEngine(TraceFile trace, SymmetryConfig cfg = {});
+  // Replay mode streaming from a source (e.g. a v4 file on disk); chunks
+  // are pulled on demand, never the whole stream.
+  DejaVuEngine(std::unique_ptr<TraceSource> source, SymmetryConfig cfg = {});
   ~DejaVuEngine() override;
 
   Mode mode() const { return mode_; }
   const EngineStats& stats() const { return stats_; }
+  // Record mode: true when writing through an external sink (no in-memory
+  // copy is kept; take_trace() is unavailable).
+  bool streaming() const { return mode_ == Mode::kRecord && mem_sink_ == nullptr; }
 
-  // Record mode, after the run: the completed trace.
+  // Record mode, after the run: the completed trace (in-memory mode only).
   TraceFile take_trace();
 
   // ---- ExecHooks ---------------------------------------------------------
@@ -132,9 +151,10 @@ class DejaVuEngine : public vm::ExecHooks {
   void ensure_buffers_allocated(const char* reason);
   void ensure_io_class(const char* reason);
   void mirror_bytes(GuestBuffer& buf, const uint8_t* data, size_t n);
+  // Mirror (and drain) the bytes the cursor consumed since the last drain.
+  void mirror_cursor(StreamCursor& cursor, GuestBuffer& buf);
   void before_instrumentation();
   void record_event_bytes(const ByteWriter& w);
-  void mirror_replay_consumption();
   uint8_t replay_event_tag(EventTag expect);
   int64_t reload_nyp();  // read next schedule delta (and due checkpoint)
   Checkpoint collect_checkpoint() const;
@@ -155,21 +175,22 @@ class DejaVuEngine : public vm::ExecHooks {
   bool lazy_class_loaded_ = false;    // ablation paths (§2.4 disabled)
   bool lazy_method_compiled_ = false;
 
-  // Record side.
-  ByteWriter schedule_w_;
-  ByteWriter events_w_;
+  // Record side: chunked writer over a sink. mem_sink_ points into the
+  // writer's sink when recording in-memory (legacy path), null when
+  // streaming to an external sink.
+  std::unique_ptr<TraceWriter> writer_;
+  VectorTraceSink* mem_sink_ = nullptr;
 
-  // Replay side.
-  TraceFile trace_;
-  std::unique_ptr<ByteReader> schedule_r_;
-  std::unique_ptr<ByteReader> events_r_;
-  size_t event_mirror_mark_ = 0;  // event bytes already mirrored (replay)
+  // Replay side: streamed from a source, one cursor per stream.
+  std::unique_ptr<TraceSource> source_;
+  std::unique_ptr<StreamCursor> schedule_r_;
+  std::unique_ptr<StreamCursor> events_r_;
 
   GuestBuffer sched_buf_;
   GuestBuffer event_buf_;
   bool io_class_loaded_ = false;
   bool detached_ = false;
-  TraceFile result_;  // record: assembled at detach
+  TraceFile result_;  // record, in-memory mode: assembled at detach
 };
 
 }  // namespace dejavu::replay

@@ -17,13 +17,30 @@ RecordResult record_run(const bytecode::Program& prog, vm::VmOptions opts,
   return r;
 }
 
-ReplayResult replay_run(const bytecode::Program& prog, const TraceFile& trace,
-                        vm::VmOptions opts, SymmetryConfig cfg) {
+RecordFileResult record_run_to(const std::string& path,
+                               const bytecode::Program& prog,
+                               vm::VmOptions opts, vm::Environment& env,
+                               threads::TimerSource& timer,
+                               const vm::NativeRegistry* natives,
+                               SymmetryConfig cfg) {
+  DejaVuEngine engine(std::make_unique<FileTraceSink>(path), cfg);
+  vm::Vm v(prog, opts, env, timer, &engine, natives);
+  v.run();
+  RecordFileResult r;
+  r.path = path;
+  r.summary = v.summary();
+  r.output = v.output();
+  r.stats = engine.stats();
+  return r;
+}
+
+namespace {
+ReplayResult replay_with(DejaVuEngine& engine, const bytecode::Program& prog,
+                         vm::VmOptions opts) {
   // All non-determinism is substituted from the trace; the live sources
   // below are placeholders whose values are never observed by the guest.
   vm::ScriptedEnvironment env(0, 1, {}, 0);
   threads::NullTimer timer;
-  DejaVuEngine engine(trace, cfg);
   vm::Vm v(prog, opts, env, timer, &engine);
   v.run();
   ReplayResult r;
@@ -33,6 +50,20 @@ ReplayResult replay_run(const bytecode::Program& prog, const TraceFile& trace,
   r.verified = engine.stats().verified_ok;
   return r;
 }
+}  // namespace
+
+ReplayResult replay_run(const bytecode::Program& prog, const TraceFile& trace,
+                        vm::VmOptions opts, SymmetryConfig cfg) {
+  DejaVuEngine engine(trace, cfg);
+  return replay_with(engine, prog, opts);
+}
+
+ReplayResult replay_file(const bytecode::Program& prog,
+                         const std::string& path, vm::VmOptions opts,
+                         SymmetryConfig cfg) {
+  DejaVuEngine engine(open_trace_source(path), cfg);
+  return replay_with(engine, prog, opts);
+}
 
 ReplaySession::ReplaySession(const bytecode::Program& prog, TraceFile trace,
                              vm::VmOptions opts, SymmetryConfig cfg)
@@ -41,6 +72,19 @@ ReplaySession::ReplaySession(const bytecode::Program& prog, TraceFile trace,
                                                      0)),
       timer_(std::make_unique<threads::NullTimer>()),
       engine_(std::make_unique<DejaVuEngine>(std::move(trace), cfg)),
+      vm_(std::make_unique<vm::Vm>(prog, opts, *env_, *timer_,
+                                   engine_.get())) {
+  vm_->boot();
+}
+
+ReplaySession::ReplaySession(const bytecode::Program& prog,
+                             std::unique_ptr<TraceSource> source,
+                             vm::VmOptions opts, SymmetryConfig cfg)
+    : env_(std::make_unique<vm::ScriptedEnvironment>(0, 1,
+                                                     std::vector<int64_t>{},
+                                                     0)),
+      timer_(std::make_unique<threads::NullTimer>()),
+      engine_(std::make_unique<DejaVuEngine>(std::move(source), cfg)),
       vm_(std::make_unique<vm::Vm>(prog, opts, *env_, *timer_,
                                    engine_.get())) {
   vm_->boot();

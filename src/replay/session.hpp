@@ -28,6 +28,15 @@ struct RecordResult {
   EngineStats stats;
 };
 
+// Result of a streamed recording: the trace went to `path` chunk by chunk
+// (recorder memory stayed O(chunk)); there is no in-memory TraceFile.
+struct RecordFileResult {
+  std::string path;
+  vm::BehaviorSummary summary;
+  std::string output;
+  EngineStats stats;
+};
+
 struct ReplayResult {
   vm::BehaviorSummary summary;
   std::string output;
@@ -42,10 +51,25 @@ RecordResult record_run(const bytecode::Program& prog, vm::VmOptions opts,
                         const vm::NativeRegistry* natives = nullptr,
                         SymmetryConfig cfg = {});
 
+// Records one execution straight to a v4 trace file, flushing chunks as the
+// run proceeds instead of materializing the trace in memory.
+RecordFileResult record_run_to(const std::string& path,
+                               const bytecode::Program& prog,
+                               vm::VmOptions opts, vm::Environment& env,
+                               threads::TimerSource& timer,
+                               const vm::NativeRegistry* natives = nullptr,
+                               SymmetryConfig cfg = {});
+
 // Replays a trace. No environment or timer is consulted (all
 // non-determinism comes from the trace); natives are never executed.
 ReplayResult replay_run(const bytecode::Program& prog, const TraceFile& trace,
                         vm::VmOptions opts, SymmetryConfig cfg = {});
+
+// Replays a trace file, streaming chunks from disk on demand (v4) or via
+// the v3 compatibility loader.
+ReplayResult replay_file(const bytecode::Program& prog,
+                         const std::string& path, vm::VmOptions opts,
+                         SymmetryConfig cfg = {});
 
 // A replaying VM bundled with its engine and (unused) environment/timer,
 // for callers that need incremental control -- the debugger steps it.
@@ -53,6 +77,10 @@ class ReplaySession {
  public:
   ReplaySession(const bytecode::Program& prog, TraceFile trace,
                 vm::VmOptions opts, SymmetryConfig cfg = {});
+  // Streaming variant: chunks are pulled from the source on demand.
+  ReplaySession(const bytecode::Program& prog,
+                std::unique_ptr<TraceSource> source, vm::VmOptions opts,
+                SymmetryConfig cfg = {});
 
   vm::Vm& vm() { return *vm_; }
   const DejaVuEngine& engine() const { return *engine_; }

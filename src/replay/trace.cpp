@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/hash.hpp"
+#include "src/replay/trace_io.hpp"
 
 namespace dejavu::replay {
 
@@ -38,10 +39,7 @@ Checkpoint Checkpoint::read_from(ByteReader& r) {
   return c;
 }
 
-std::vector<uint8_t> TraceFile::serialize() const {
-  ByteWriter w;
-  w.put_u32_fixed(kTraceMagic);
-  w.put_u32_fixed(kTraceVersion);
+void write_meta_payload(ByteWriter& w, const TraceMeta& meta) {
   w.put_u64_fixed(meta.program_fingerprint);
   w.put_u32_fixed(meta.checkpoint_interval);
   w.put_uvarint(meta.preempt_switches);
@@ -52,36 +50,56 @@ std::vector<uint8_t> TraceFile::serialize() const {
   w.put_u64_fixed(meta.final_switch_seq_hash);
   w.put_u64_fixed(meta.final_instr_count);
   w.put_u64_fixed(meta.final_audit_digest);
+}
+
+TraceMeta read_meta_payload(ByteReader& r) {
+  TraceMeta meta;
+  meta.program_fingerprint = r.get_u64_fixed();
+  meta.checkpoint_interval = r.get_u32_fixed();
+  meta.preempt_switches = r.get_uvarint();
+  meta.nd_events = r.get_uvarint();
+  meta.final_checkpoint = Checkpoint::read_from(r);
+  meta.final_output_hash = r.get_u64_fixed();
+  meta.final_heap_hash = r.get_u64_fixed();
+  meta.final_switch_seq_hash = r.get_u64_fixed();
+  meta.final_instr_count = r.get_u64_fixed();
+  meta.final_audit_digest = r.get_u64_fixed();
+  return meta;
+}
+
+std::vector<uint8_t> TraceFile::serialize() const { return serialize_v4(*this); }
+
+TraceFile TraceFile::deserialize(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  DV_CHECK_MSG(r.remaining() >= 8 && r.get_u32_fixed() == kTraceMagic,
+               "not a DejaVu trace");
+  uint32_t version = r.get_u32_fixed();
+  if (version == kTraceVersionLegacy) {
+    // Compatibility reader for the unframed v3 blob.
+    TraceFile t;
+    t.meta = read_meta_payload(r);
+    t.schedule.resize(size_t(r.get_uvarint()));
+    r.get_bytes(t.schedule.data(), t.schedule.size());
+    t.events.resize(size_t(r.get_uvarint()));
+    r.get_bytes(t.events.data(), t.events.size());
+    DV_CHECK_MSG(r.at_end(), "trailing bytes in trace file");
+    return t;
+  }
+  DV_CHECK_MSG(version == kTraceVersion,
+               "trace version " << version << " unsupported");
+  return deserialize_v4(bytes);
+}
+
+std::vector<uint8_t> TraceFile::serialize_v3() const {
+  ByteWriter w;
+  w.put_u32_fixed(kTraceMagic);
+  w.put_u32_fixed(kTraceVersionLegacy);
+  write_meta_payload(w, meta);
   w.put_uvarint(schedule.size());
   w.put_bytes(schedule.data(), schedule.size());
   w.put_uvarint(events.size());
   w.put_bytes(events.data(), events.size());
   return w.take();
-}
-
-TraceFile TraceFile::deserialize(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
-  DV_CHECK_MSG(r.get_u32_fixed() == kTraceMagic, "not a DejaVu trace");
-  uint32_t version = r.get_u32_fixed();
-  DV_CHECK_MSG(version == kTraceVersion,
-               "trace version " << version << " unsupported");
-  TraceFile t;
-  t.meta.program_fingerprint = r.get_u64_fixed();
-  t.meta.checkpoint_interval = r.get_u32_fixed();
-  t.meta.preempt_switches = r.get_uvarint();
-  t.meta.nd_events = r.get_uvarint();
-  t.meta.final_checkpoint = Checkpoint::read_from(r);
-  t.meta.final_output_hash = r.get_u64_fixed();
-  t.meta.final_heap_hash = r.get_u64_fixed();
-  t.meta.final_switch_seq_hash = r.get_u64_fixed();
-  t.meta.final_instr_count = r.get_u64_fixed();
-  t.meta.final_audit_digest = r.get_u64_fixed();
-  t.schedule.resize(size_t(r.get_uvarint()));
-  r.get_bytes(t.schedule.data(), t.schedule.size());
-  t.events.resize(size_t(r.get_uvarint()));
-  r.get_bytes(t.events.data(), t.events.size());
-  DV_CHECK_MSG(r.at_end(), "trailing bytes in trace file");
-  return t;
 }
 
 void TraceFile::save(const std::string& path) const {

@@ -19,6 +19,12 @@
 // The meta block carries a program fingerprint (refusing to replay a trace
 // against a different program) and the final behaviour summary, which
 // replay verifies on completion -- accuracy (§1) is checked, not assumed.
+//
+// On disk the streams are stored in the chunked, checksummed v4 container
+// (src/replay/trace_io.hpp): every chunk is stream-tagged, length-framed
+// and CRC-32 protected, so recording can flush incrementally and a flipped
+// bit is caught at load with a precise location. The unframed v3 blob
+// layout is still readable through a compatibility path.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +37,8 @@
 namespace dejavu::replay {
 
 inline constexpr uint32_t kTraceMagic = 0x44564a55;  // "DVJU"
-inline constexpr uint32_t kTraceVersion = 3;
+inline constexpr uint32_t kTraceVersion = 4;         // chunked + checksummed
+inline constexpr uint32_t kTraceVersionLegacy = 3;   // unframed blob
 
 // Event tags in the events stream.
 enum class EventTag : uint8_t {
@@ -72,13 +79,26 @@ struct TraceMeta {
   uint64_t final_audit_digest = 0;
 };
 
+// Shared meta-block field layout (identical in the v3 body and the v4 meta
+// chunk payload).
+void write_meta_payload(ByteWriter& w, const TraceMeta& meta);
+TraceMeta read_meta_payload(ByteReader& r);
+
+// A fully materialized trace. This remains the convenient in-memory
+// representation for tests, tools and the time-travel debugger; large
+// traces can instead be streamed through TraceSink/TraceSource
+// (src/replay/trace_io.hpp) without ever being resident as a whole.
 struct TraceFile {
   TraceMeta meta;
   std::vector<uint8_t> schedule;
   std::vector<uint8_t> events;
 
+  // v4 container bytes. deserialize() also accepts the legacy v3 layout.
   std::vector<uint8_t> serialize() const;
   static TraceFile deserialize(const std::vector<uint8_t>& bytes);
+
+  // Legacy v3 writer, kept for compatibility tests and `dejavu convert`.
+  std::vector<uint8_t> serialize_v3() const;
 
   void save(const std::string& path) const;
   static TraceFile load(const std::string& path);

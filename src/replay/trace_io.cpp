@@ -1,0 +1,633 @@
+#include "src/replay/trace_io.hpp"
+
+#include <cinttypes>
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/common/hash.hpp"
+
+namespace dejavu::replay {
+
+const char* stream_name(StreamId id) {
+  switch (id) {
+    case StreamId::kMeta: return "meta";
+    case StreamId::kSchedule: return "schedule";
+    case StreamId::kEvents: return "events";
+    case StreamId::kSeal: return "seal";
+  }
+  return "?";
+}
+
+uint32_t chunk_crc(StreamId id, const uint8_t* payload, size_t n) {
+  Crc32 c;
+  c.update_u8(uint8_t(id));
+  c.update_u32le(uint32_t(n));
+  c.update(payload, n);
+  return c.digest();
+}
+
+namespace {
+
+void frame_chunk(ByteWriter& w, StreamId id, const uint8_t* payload,
+                 size_t n) {
+  DV_CHECK_MSG(n <= UINT32_MAX, "trace chunk payload too large");
+  w.put_u8(uint8_t(id));
+  w.put_u32_fixed(uint32_t(n));
+  w.put_bytes(payload, n);
+  w.put_u32_fixed(chunk_crc(id, payload, n));
+}
+
+std::vector<uint8_t> seal_payload(uint64_t sched_bytes, uint64_t events_bytes,
+                                  uint32_t sched_chunks,
+                                  uint32_t events_chunks) {
+  ByteWriter w;
+  w.put_u64_fixed(sched_bytes);
+  w.put_u64_fixed(events_bytes);
+  w.put_u32_fixed(sched_chunks);
+  w.put_u32_fixed(events_chunks);
+  return w.take();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- writing
+
+VectorTraceSink::VectorTraceSink() {
+  w_.put_u32_fixed(kTraceMagic);
+  w_.put_u32_fixed(kTraceVersion);
+}
+
+void VectorTraceSink::write_chunk(StreamId id, const uint8_t* payload,
+                                  size_t n) {
+  frame_chunk(w_, id, payload, n);
+}
+
+FileTraceSink::FileTraceSink(const std::string& path) : path_(path) {
+  f_ = std::fopen(path.c_str(), "wb");
+  DV_CHECK_MSG(f_ != nullptr, "cannot open trace for write: " << path);
+  ByteWriter w;
+  w.put_u32_fixed(kTraceMagic);
+  w.put_u32_fixed(kTraceVersion);
+  size_t n = std::fwrite(w.bytes().data(), 1, w.size(), f_);
+  DV_CHECK_MSG(n == w.size(), "short write: " << path);
+}
+
+FileTraceSink::~FileTraceSink() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void FileTraceSink::write_chunk(StreamId id, const uint8_t* payload,
+                                size_t n) {
+  ByteWriter w;
+  frame_chunk(w, id, payload, n);
+  size_t written = std::fwrite(w.bytes().data(), 1, w.size(), f_);
+  DV_CHECK_MSG(written == w.size(), "short write: " << path_);
+}
+
+void FileTraceSink::flush() {
+  if (f_ != nullptr) std::fflush(f_);
+}
+
+TraceWriter::TraceWriter(std::unique_ptr<TraceSink> sink, size_t chunk_bytes)
+    : sink_(std::move(sink)), chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {
+  DV_CHECK_MSG(sink_ != nullptr, "TraceWriter needs a sink");
+}
+
+TraceWriter::~TraceWriter() = default;
+
+ByteWriter& TraceWriter::buf(StreamId id) {
+  DV_CHECK_MSG(id == StreamId::kSchedule || id == StreamId::kEvents,
+               "only data streams are appendable");
+  return id == StreamId::kSchedule ? sched_buf_ : events_buf_;
+}
+
+void TraceWriter::emit(StreamId id) {
+  ByteWriter& b = buf(id);
+  if (b.size() == 0) return;
+  sink_->write_chunk(id, b.bytes().data(), b.size());
+  (id == StreamId::kSchedule ? sched_chunks_ : events_chunks_)++;
+  b.clear();
+}
+
+void TraceWriter::append(StreamId id, const uint8_t* data, size_t n) {
+  DV_CHECK_MSG(!finished_, "append after finish");
+  ByteWriter& b = buf(id);
+  // Entry alignment: never split one logical record across chunks.
+  if (b.size() != 0 && b.size() + n > chunk_bytes_) emit(id);
+  b.put_bytes(data, n);
+  (id == StreamId::kSchedule ? sched_bytes_ : events_bytes_) += n;
+  if (b.size() >= chunk_bytes_) emit(id);
+}
+
+void TraceWriter::flush() {
+  if (finished_) return;
+  emit(StreamId::kSchedule);
+  emit(StreamId::kEvents);
+  sink_->flush();
+}
+
+void TraceWriter::finish(const TraceMeta& meta) {
+  if (finished_) return;
+  emit(StreamId::kSchedule);
+  emit(StreamId::kEvents);
+  ByteWriter mw;
+  write_meta_payload(mw, meta);
+  sink_->write_chunk(StreamId::kMeta, mw.bytes().data(), mw.size());
+  std::vector<uint8_t> seal =
+      seal_payload(sched_bytes_, events_bytes_, sched_chunks_, events_chunks_);
+  sink_->write_chunk(StreamId::kSeal, seal.data(), seal.size());
+  sink_->flush();
+  finished_ = true;
+}
+
+uint64_t TraceWriter::stream_bytes(StreamId id) const {
+  return id == StreamId::kSchedule ? sched_bytes_ : events_bytes_;
+}
+
+size_t TraceWriter::buffered_bytes() const {
+  return sched_buf_.size() + events_buf_.size();
+}
+
+// ---------------------------------------------------------------- reading
+
+TraceFileSource::TraceFileSource(TraceFile trace) : owned_(std::move(trace)) {}
+TraceFileSource::TraceFileSource(const TraceFile* trace) : borrowed_(trace) {}
+
+const TraceMeta& TraceFileSource::meta() const { return file().meta; }
+
+StreamInfo TraceFileSource::stream_info(StreamId id) const {
+  const std::vector<uint8_t>& s =
+      id == StreamId::kSchedule ? file().schedule : file().events;
+  return StreamInfo{s.size(), s.empty() ? size_t(0) : size_t(1)};
+}
+
+bool TraceFileSource::read_chunk(StreamId id, size_t index,
+                                 std::vector<uint8_t>* out) {
+  const std::vector<uint8_t>& s =
+      id == StreamId::kSchedule ? file().schedule : file().events;
+  if (index > 0 || s.empty()) return false;
+  *out = s;
+  return true;
+}
+
+namespace {
+
+// One forward pass over a v4 file's chunks. Shared by FileTraceSource
+// (which throws on any problem) and verify_trace_file (which reports it).
+struct ScannedChunk {
+  StreamId id;
+  uint64_t payload_offset = 0;
+  uint32_t payload_len = 0;
+};
+
+struct ScanOutcome {
+  bool ok = false;
+  std::string error;      // first located problem
+  uint32_t version = 0;
+  bool sealed = false;
+  bool meta_seen = false;
+  TraceMeta meta;
+  std::vector<ScannedChunk> sched, events;
+  uint64_t sched_bytes = 0, events_bytes = 0;
+  size_t valid_chunks = 0;  // data chunks whose CRC verified
+};
+
+ScanOutcome scan_v4_file(std::FILE* f) {
+  ScanOutcome out;
+  std::ostringstream err;
+  auto fail = [&](const std::string& what) {
+    out.error = what;
+    return out;
+  };
+
+  std::fseek(f, 0, SEEK_SET);
+  uint8_t header[8];
+  if (std::fread(header, 1, 8, f) != 8) return fail("file shorter than the trace header");
+  ByteReader hr(header, 8);
+  if (hr.get_u32_fixed() != kTraceMagic) return fail("not a DejaVu trace (bad magic)");
+  out.version = hr.get_u32_fixed();
+  if (out.version != kTraceVersion) {
+    err << "trace version " << out.version << " is not v4";
+    return fail(err.str());
+  }
+
+  uint64_t offset = 8;
+  std::vector<uint8_t> payload;
+  for (;;) {
+    uint8_t chead[kChunkHeaderBytes];
+    size_t got = std::fread(chead, 1, kChunkHeaderBytes, f);
+    if (got == 0) break;  // clean end of chunk sequence
+    if (got != kChunkHeaderBytes) {
+      err << "truncated chunk header at offset " << offset;
+      return fail(err.str());
+    }
+    ByteReader cr(chead, kChunkHeaderBytes);
+    uint8_t raw_id = cr.get_u8();
+    uint32_t len = cr.get_u32_fixed();
+    if (raw_id > uint8_t(StreamId::kSeal)) {
+      err << "unknown stream id " << int(raw_id) << " at offset " << offset;
+      return fail(err.str());
+    }
+    StreamId id = StreamId(raw_id);
+    if (out.sealed) {
+      err << "data after the seal chunk at offset " << offset;
+      return fail(err.str());
+    }
+    payload.resize(len);
+    if (len != 0 && std::fread(payload.data(), 1, len, f) != len) {
+      err << "truncated " << stream_name(id) << " chunk payload at offset "
+          << offset;
+      return fail(err.str());
+    }
+    uint8_t crc_buf[kChunkTrailerBytes];
+    if (std::fread(crc_buf, 1, kChunkTrailerBytes, f) != kChunkTrailerBytes) {
+      err << "truncated " << stream_name(id) << " chunk checksum at offset "
+          << offset;
+      return fail(err.str());
+    }
+    ByteReader crcr(crc_buf, kChunkTrailerBytes);
+    uint32_t want = crcr.get_u32_fixed();
+    uint32_t have = chunk_crc(id, payload.data(), len);
+    if (want != have) {
+      err << "CRC mismatch in " << stream_name(id) << " chunk at offset "
+          << offset << " (stored " << std::hex << want << ", computed " << have
+          << std::dec << ")";
+      return fail(err.str());
+    }
+
+    uint64_t payload_offset = offset + kChunkHeaderBytes;
+    switch (id) {
+      case StreamId::kSchedule:
+        out.sched.push_back({id, payload_offset, len});
+        out.sched_bytes += len;
+        out.valid_chunks++;
+        break;
+      case StreamId::kEvents:
+        out.events.push_back({id, payload_offset, len});
+        out.events_bytes += len;
+        out.valid_chunks++;
+        break;
+      case StreamId::kMeta: {
+        if (out.meta_seen) {
+          err << "duplicate meta chunk at offset " << offset;
+          return fail(err.str());
+        }
+        try {
+          ByteReader mr(payload.data(), len);
+          out.meta = read_meta_payload(mr);
+          DV_CHECK_MSG(mr.at_end(), "trailing bytes");
+        } catch (const VmError&) {
+          err << "malformed meta chunk at offset " << offset;
+          return fail(err.str());
+        }
+        out.meta_seen = true;
+        break;
+      }
+      case StreamId::kSeal: {
+        if (len != 24) {
+          err << "malformed seal chunk at offset " << offset;
+          return fail(err.str());
+        }
+        ByteReader sr(payload.data(), len);
+        uint64_t want_sched = sr.get_u64_fixed();
+        uint64_t want_events = sr.get_u64_fixed();
+        uint32_t want_schunks = sr.get_u32_fixed();
+        uint32_t want_echunks = sr.get_u32_fixed();
+        if (want_sched != out.sched_bytes || want_events != out.events_bytes ||
+            want_schunks != out.sched.size() ||
+            want_echunks != out.events.size()) {
+          err << "seal totals disagree with the chunks present (seal says "
+              << want_sched << "+" << want_events << " bytes in "
+              << want_schunks << "+" << want_echunks << " chunks; file has "
+              << out.sched_bytes << "+" << out.events_bytes << " bytes in "
+              << out.sched.size() << "+" << out.events.size() << " chunks)";
+          return fail(err.str());
+        }
+        out.sealed = true;
+        break;
+      }
+    }
+    offset = payload_offset + len + kChunkTrailerBytes;
+  }
+
+  if (!out.sealed) {
+    err << "trace is not sealed (recorder did not finish); "
+        << out.valid_chunks << " verified data chunk(s) salvageable";
+    return fail(err.str());
+  }
+  if (!out.meta_seen) return fail("sealed trace has no meta chunk");
+  out.ok = true;
+  return out;
+}
+
+}  // namespace
+
+FileTraceSource::FileTraceSource(const std::string& path) : path_(path) {
+  f_ = std::fopen(path.c_str(), "rb");
+  DV_CHECK_MSG(f_ != nullptr, "cannot open trace: " << path);
+  ScanOutcome scan = scan_v4_file(f_);
+  if (!scan.ok) {
+    std::fclose(f_);
+    f_ = nullptr;
+    throw VmError("trace " + path + ": " + scan.error);
+  }
+  meta_ = scan.meta;
+  sched_.reserve(scan.sched.size());
+  for (const auto& c : scan.sched)
+    sched_.push_back({c.payload_offset, c.payload_len});
+  events_.reserve(scan.events.size());
+  for (const auto& c : scan.events)
+    events_.push_back({c.payload_offset, c.payload_len});
+  sched_bytes_ = scan.sched_bytes;
+  events_bytes_ = scan.events_bytes;
+}
+
+FileTraceSource::~FileTraceSource() {
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+const TraceMeta& FileTraceSource::meta() const { return meta_; }
+
+std::vector<FileTraceSource::ChunkRef>& FileTraceSource::chunks(StreamId id) {
+  DV_CHECK_MSG(id == StreamId::kSchedule || id == StreamId::kEvents,
+               "only data streams have chunks");
+  return id == StreamId::kSchedule ? sched_ : events_;
+}
+
+const std::vector<FileTraceSource::ChunkRef>& FileTraceSource::chunks(
+    StreamId id) const {
+  return id == StreamId::kSchedule ? sched_ : events_;
+}
+
+StreamInfo FileTraceSource::stream_info(StreamId id) const {
+  return StreamInfo{
+      id == StreamId::kSchedule ? sched_bytes_ : events_bytes_,
+      chunks(id).size()};
+}
+
+bool FileTraceSource::read_chunk(StreamId id, size_t index,
+                                 std::vector<uint8_t>* out) {
+  const std::vector<ChunkRef>& cs = chunks(id);
+  if (index >= cs.size()) return false;
+  const ChunkRef& c = cs[index];
+  out->resize(c.payload_len);
+  DV_CHECK_MSG(std::fseek(f_, long(c.payload_offset), SEEK_SET) == 0,
+               "seek failed: " << path_);
+  if (c.payload_len != 0) {
+    size_t got = std::fread(out->data(), 1, c.payload_len, f_);
+    DV_CHECK_MSG(got == c.payload_len, "short read: " << path_);
+  }
+  return true;
+}
+
+std::unique_ptr<TraceSource> open_trace_source(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  DV_CHECK_MSG(f != nullptr, "cannot open trace: " << path);
+  uint8_t header[8];
+  size_t got = std::fread(header, 1, 8, f);
+  std::fclose(f);
+  DV_CHECK_MSG(got == 8, "trace " << path << ": file shorter than the header");
+  ByteReader hr(header, 8);
+  DV_CHECK_MSG(hr.get_u32_fixed() == kTraceMagic,
+               "trace " << path << ": not a DejaVu trace");
+  uint32_t version = hr.get_u32_fixed();
+  if (version == kTraceVersionLegacy) {
+    // v3 has no framing to stream by; load it whole through the
+    // compatibility reader.
+    return std::make_unique<TraceFileSource>(TraceFile::load(path));
+  }
+  DV_CHECK_MSG(version == kTraceVersion,
+               "trace " << path << ": version " << version << " unsupported");
+  return std::make_unique<FileTraceSource>(path);
+}
+
+// ---------------------------------------------------------------- cursor
+
+StreamCursor::StreamCursor(TraceSource& src, StreamId id)
+    : src_(src), id_(id), total_(src.stream_info(id).bytes) {}
+
+bool StreamCursor::ensure_byte() {
+  while (pos_ == chunk_.size()) {
+    if (!src_.read_chunk(id_, next_chunk_, &chunk_)) return false;
+    next_chunk_++;
+    pos_ = 0;
+  }
+  return true;
+}
+
+uint8_t StreamCursor::get_u8() {
+  DV_CHECK_MSG(ensure_byte(),
+               stream_name(id_) << " stream underrun (u8)");
+  uint8_t b = chunk_[pos_++];
+  consumed_++;
+  pending_.push_back(b);
+  return b;
+}
+
+uint64_t StreamCursor::get_uvarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    uint8_t b = get_u8();
+    v |= uint64_t(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+    DV_CHECK_MSG(shift < 64, "varint too long");
+  }
+  return v;
+}
+
+int64_t StreamCursor::get_svarint() {
+  uint64_t u = get_uvarint();
+  return int64_t(u >> 1) ^ -int64_t(u & 1);
+}
+
+void StreamCursor::get_bytes(void* dst, size_t n) {
+  auto* p = static_cast<uint8_t*>(dst);
+  while (n > 0) {
+    DV_CHECK_MSG(ensure_byte(),
+                 stream_name(id_) << " stream underrun (bytes)");
+    size_t m = std::min(n, chunk_.size() - pos_);
+    std::memcpy(p, chunk_.data() + pos_, m);
+    pending_.insert(pending_.end(), chunk_.data() + pos_,
+                    chunk_.data() + pos_ + m);
+    pos_ += m;
+    consumed_ += m;
+    p += m;
+    n -= m;
+  }
+}
+
+std::string StreamCursor::get_string() {
+  size_t n = size_t(get_uvarint());
+  std::string s(n, '\0');
+  get_bytes(s.data(), n);
+  return s;
+}
+
+bool StreamCursor::at_end() { return !ensure_byte(); }
+
+Checkpoint read_checkpoint(StreamCursor& c) {
+  Checkpoint cp;
+  cp.logical_clock = c.get_uvarint();
+  cp.alloc_count = c.get_uvarint();
+  cp.class_loads = c.get_uvarint();
+  cp.compiles = c.get_uvarint();
+  cp.stack_grows = c.get_uvarint();
+  cp.gc_count = c.get_uvarint();
+  cp.switch_count = c.get_uvarint();
+  return cp;
+}
+
+// ------------------------------------------------------------ v4 <-> file
+
+std::vector<uint8_t> serialize_v4(const TraceFile& trace) {
+  auto sink = std::make_unique<VectorTraceSink>();
+  VectorTraceSink* mem = sink.get();
+  TraceWriter w(std::move(sink));
+  w.append(StreamId::kSchedule, trace.schedule.data(), trace.schedule.size());
+  w.append(StreamId::kEvents, trace.events.data(), trace.events.size());
+  w.finish(trace.meta);
+  return mem->take();
+}
+
+TraceFile deserialize_v4(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  DV_CHECK_MSG(r.remaining() >= 8 && r.get_u32_fixed() == kTraceMagic,
+               "not a DejaVu trace");
+  uint32_t version = r.get_u32_fixed();
+  DV_CHECK_MSG(version == kTraceVersion,
+               "trace version " << version << " is not v4");
+  TraceFile t;
+  bool meta_seen = false, sealed = false;
+  uint64_t sched_bytes = 0, events_bytes = 0;
+  uint32_t sched_chunks = 0, events_chunks = 0;
+  while (!r.at_end()) {
+    size_t offset = r.position();
+    DV_CHECK_MSG(!sealed, "data after the seal chunk at offset " << offset);
+    DV_CHECK_MSG(r.remaining() >= kChunkHeaderBytes,
+                 "truncated chunk header at offset " << offset);
+    uint8_t raw_id = r.get_u8();
+    uint32_t len = r.get_u32_fixed();
+    DV_CHECK_MSG(raw_id <= uint8_t(StreamId::kSeal),
+                 "unknown stream id " << int(raw_id) << " at offset "
+                                      << offset);
+    StreamId id = StreamId(raw_id);
+    DV_CHECK_MSG(r.remaining() >= uint64_t(len) + kChunkTrailerBytes,
+                 "truncated " << stream_name(id) << " chunk at offset "
+                              << offset);
+    std::vector<uint8_t> tmp(len);
+    r.get_bytes(tmp.data(), len);
+    uint32_t want = r.get_u32_fixed();
+    DV_CHECK_MSG(want == chunk_crc(id, tmp.data(), len),
+                 "CRC mismatch in " << stream_name(id) << " chunk at offset "
+                                    << offset);
+    switch (id) {
+      case StreamId::kSchedule:
+        t.schedule.insert(t.schedule.end(), tmp.begin(), tmp.end());
+        sched_bytes += len;
+        sched_chunks++;
+        break;
+      case StreamId::kEvents:
+        t.events.insert(t.events.end(), tmp.begin(), tmp.end());
+        events_bytes += len;
+        events_chunks++;
+        break;
+      case StreamId::kMeta: {
+        DV_CHECK_MSG(!meta_seen, "duplicate meta chunk at offset " << offset);
+        ByteReader mr(tmp.data(), tmp.size());
+        t.meta = read_meta_payload(mr);
+        DV_CHECK_MSG(mr.at_end(),
+                     "trailing bytes in meta chunk at offset " << offset);
+        meta_seen = true;
+        break;
+      }
+      case StreamId::kSeal: {
+        DV_CHECK_MSG(len == 24, "malformed seal chunk at offset " << offset);
+        ByteReader sr(tmp.data(), tmp.size());
+        DV_CHECK_MSG(sr.get_u64_fixed() == sched_bytes &&
+                         sr.get_u64_fixed() == events_bytes &&
+                         sr.get_u32_fixed() == sched_chunks &&
+                         sr.get_u32_fixed() == events_chunks,
+                     "seal totals disagree with the chunks present");
+        sealed = true;
+        break;
+      }
+    }
+  }
+  DV_CHECK_MSG(sealed, "trace is not sealed (recorder did not finish)");
+  DV_CHECK_MSG(meta_seen, "sealed trace has no meta chunk");
+  return t;
+}
+
+// ---------------------------------------------------------------- verify
+
+std::string TraceVerifyReport::describe() const {
+  std::ostringstream os;
+  os << "version " << version << (sealed ? ", sealed" : ", NOT sealed")
+     << ", " << valid_chunks << " data chunk(s), schedule " << schedule_bytes
+     << "B, events " << events_bytes << "B: ";
+  if (ok) {
+    os << "OK";
+  } else {
+    os << "CORRUPT -- " << error;
+  }
+  return os.str();
+}
+
+TraceVerifyReport verify_trace_file(const std::string& path) {
+  TraceVerifyReport rep;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    rep.error = "cannot open " + path;
+    return rep;
+  }
+  uint8_t header[8];
+  size_t got = std::fread(header, 1, 8, f);
+  if (got != 8) {
+    std::fclose(f);
+    rep.error = "file shorter than the trace header";
+    return rep;
+  }
+  ByteReader hr(header, 8);
+  if (hr.get_u32_fixed() != kTraceMagic) {
+    std::fclose(f);
+    rep.error = "not a DejaVu trace (bad magic)";
+    return rep;
+  }
+  rep.version = hr.get_u32_fixed();
+
+  if (rep.version == kTraceVersionLegacy) {
+    // v3 carries no checksums; the best available check is a structural
+    // parse of the whole blob.
+    std::fclose(f);
+    try {
+      TraceFile t = TraceFile::load(path);
+      rep.ok = true;
+      rep.sealed = true;  // v3 blobs are all-or-nothing
+      rep.schedule_bytes = t.schedule.size();
+      rep.events_bytes = t.events.size();
+      rep.valid_chunks = 0;
+    } catch (const VmError& e) {
+      rep.error = std::string("v3 structural parse failed: ") + e.what();
+    }
+    return rep;
+  }
+  if (rep.version != kTraceVersion) {
+    std::fclose(f);
+    rep.error = "unsupported trace version " + std::to_string(rep.version);
+    return rep;
+  }
+
+  ScanOutcome scan = scan_v4_file(f);
+  std::fclose(f);
+  rep.ok = scan.ok;
+  rep.sealed = scan.sealed;
+  rep.valid_chunks = scan.valid_chunks;
+  rep.schedule_bytes = scan.sched_bytes;
+  rep.events_bytes = scan.events_bytes;
+  rep.error = scan.error;
+  return rep;
+}
+
+}  // namespace dejavu::replay

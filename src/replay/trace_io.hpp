@@ -1,0 +1,272 @@
+// Streaming trace I/O: the chunked, checksummed v4 container.
+//
+// v3 stored a recording as one unframed blob, which forced the recorder to
+// keep both streams resident until detach and turned any corruption into an
+// obscure mid-replay divergence. v4 treats trace storage as a first-class
+// streaming layer:
+//
+//   file  := header chunk*
+//   header:= magic u32le ("DVJU") | version u32le (4)
+//   chunk := stream_id u8 | payload_len u32le | payload | crc32 u32le
+//
+// The CRC-32 covers the stream id, the length field and the payload, so a
+// flipped bit anywhere in a chunk -- framing included -- is caught at load
+// time with the chunk's stream and file offset. Stream ids:
+//
+//   0 meta     one chunk, written at finish (final hashes are only known
+//              then); carries the TraceMeta block
+//   1 schedule data chunks, in recording order
+//   2 events   data chunks, in recording order
+//   3 seal     exactly one, the trace's final chunk; carries per-stream
+//              byte and chunk totals. A trace without a seal was cut short
+//              (crashed recorder); its verified chunks remain decodable.
+//
+// Writer side: TraceWriter buffers each stream up to chunk_bytes and emits
+// full chunks to a TraceSink as recording proceeds, so record-side memory
+// is O(chunk), not O(run). Appends are entry-aligned (a single logical
+// record never spans chunks), which keeps every chunk independently
+// decodable for salvage and partial dumps.
+//
+// Reader side: a TraceSource serves meta plus per-stream chunks by index.
+// FileTraceSource verifies every CRC in one bounded-memory scan at open,
+// then streams chunks on demand -- replay never needs a whole stream
+// resident. StreamCursor layers varint/string decoding over the chunk
+// sequence and retains consumed bytes for the engine's guest-buffer
+// mirroring (§2.4: both modes must touch identical bytes).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/replay/trace.hpp"
+
+namespace dejavu::replay {
+
+enum class StreamId : uint8_t {
+  kMeta = 0,
+  kSchedule = 1,
+  kEvents = 2,
+  kSeal = 3,
+};
+
+const char* stream_name(StreamId id);
+
+inline constexpr size_t kDefaultChunkBytes = 64 * 1024;
+inline constexpr size_t kChunkHeaderBytes = 5;   // stream id + payload len
+inline constexpr size_t kChunkTrailerBytes = 4;  // crc32
+
+// CRC over [stream_id][payload_len le][payload].
+uint32_t chunk_crc(StreamId id, const uint8_t* payload, size_t n);
+
+// ---------------------------------------------------------------- writing
+
+// Destination for framed chunks. Implementations append the container
+// header on construction; write_chunk frames and checksums one payload.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write_chunk(StreamId id, const uint8_t* payload, size_t n) = 0;
+  virtual void flush() {}  // push buffered bytes toward durable storage
+};
+
+// Chunks appended to an in-memory byte vector (the legacy "whole trace in
+// RAM" path, and TraceFile::serialize()).
+class VectorTraceSink : public TraceSink {
+ public:
+  VectorTraceSink();
+  void write_chunk(StreamId id, const uint8_t* payload, size_t n) override;
+  const std::vector<uint8_t>& bytes() const { return w_.bytes(); }
+  std::vector<uint8_t> take() { return w_.take(); }
+
+ private:
+  ByteWriter w_;
+};
+
+// Chunks written straight to a file as recording proceeds. A recorder
+// crash leaves every already-flushed chunk intact (and CRC-verifiable).
+class FileTraceSink : public TraceSink {
+ public:
+  explicit FileTraceSink(const std::string& path);
+  ~FileTraceSink() override;
+  FileTraceSink(const FileTraceSink&) = delete;
+  FileTraceSink& operator=(const FileTraceSink&) = delete;
+
+  void write_chunk(StreamId id, const uint8_t* payload, size_t n) override;
+  void flush() override;
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::string path_;
+};
+
+// Engine-facing writer: per-stream bounded buffering over a TraceSink.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::unique_ptr<TraceSink> sink,
+                       size_t chunk_bytes = kDefaultChunkBytes);
+  ~TraceWriter();
+
+  // Append one whole logical record (schedule entry, event, checkpoint) to
+  // a data stream. Emits the stream's pending chunk first if the record
+  // would not fit; an oversized record becomes its own oversized chunk.
+  void append(StreamId id, const uint8_t* data, size_t n);
+
+  // Force partial chunks out and flush the sink (mid-recording durability).
+  void flush();
+
+  // Emit remaining data, then the meta chunk and the seal. Idempotent.
+  void finish(const TraceMeta& meta);
+
+  uint64_t stream_bytes(StreamId id) const;
+  size_t buffered_bytes() const;
+
+ private:
+  ByteWriter& buf(StreamId id);
+  void emit(StreamId id);
+
+  std::unique_ptr<TraceSink> sink_;
+  size_t chunk_bytes_;
+  ByteWriter sched_buf_, events_buf_;
+  uint64_t sched_bytes_ = 0, events_bytes_ = 0;
+  uint32_t sched_chunks_ = 0, events_chunks_ = 0;
+  bool finished_ = false;
+};
+
+// ---------------------------------------------------------------- reading
+
+struct StreamInfo {
+  uint64_t bytes = 0;
+  size_t chunks = 0;
+};
+
+// Random access to a trace's meta block and per-stream chunk sequences.
+// Multiple StreamCursors over one source are independent.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+  virtual const TraceMeta& meta() const = 0;
+  virtual StreamInfo stream_info(StreamId id) const = 0;
+  // Copies chunk `index` of the stream into *out (replacing its contents).
+  // Returns false once `index` is past the last chunk.
+  virtual bool read_chunk(StreamId id, size_t index,
+                          std::vector<uint8_t>* out) = 0;
+};
+
+// Serves a materialized TraceFile (owned or borrowed) as a one-chunk-per-
+// stream source -- the v3 compatibility path, and the adapter that lets
+// every tool accept both representations.
+class TraceFileSource : public TraceSource {
+ public:
+  explicit TraceFileSource(TraceFile trace);         // owning
+  explicit TraceFileSource(const TraceFile* trace);  // borrowed
+
+  const TraceMeta& meta() const override;
+  StreamInfo stream_info(StreamId id) const override;
+  bool read_chunk(StreamId id, size_t index,
+                  std::vector<uint8_t>* out) override;
+
+ private:
+  const TraceFile& file() const { return borrowed_ ? *borrowed_ : owned_; }
+  TraceFile owned_;
+  const TraceFile* borrowed_ = nullptr;
+};
+
+// Streams a v4 file: one CRC-verifying scan at open (O(chunk) memory)
+// builds a chunk index and loads the meta block; read_chunk then seeks on
+// demand. Throws VmError with the offending stream/offset on corruption,
+// truncation, or a missing seal.
+class FileTraceSource : public TraceSource {
+ public:
+  explicit FileTraceSource(const std::string& path);
+  ~FileTraceSource() override;
+  FileTraceSource(const FileTraceSource&) = delete;
+  FileTraceSource& operator=(const FileTraceSource&) = delete;
+
+  const TraceMeta& meta() const override;
+  StreamInfo stream_info(StreamId id) const override;
+  bool read_chunk(StreamId id, size_t index,
+                  std::vector<uint8_t>* out) override;
+
+ private:
+  struct ChunkRef {
+    uint64_t payload_offset = 0;
+    uint32_t payload_len = 0;
+  };
+  std::vector<ChunkRef>& chunks(StreamId id);
+  const std::vector<ChunkRef>& chunks(StreamId id) const;
+
+  std::FILE* f_ = nullptr;
+  std::string path_;
+  TraceMeta meta_;
+  std::vector<ChunkRef> sched_, events_;
+  uint64_t sched_bytes_ = 0, events_bytes_ = 0;
+};
+
+// Opens `path` as a streaming source: v4 files stream from disk; v3 files
+// are loaded whole through the compatibility reader.
+std::unique_ptr<TraceSource> open_trace_source(const std::string& path);
+
+// Sequential decoder over one stream of a TraceSource. Mirrors the
+// ByteReader primitives; values may span chunk boundaries. Consumed bytes
+// accumulate in a mirror buffer until drained, which is how the replay
+// engine keeps its guest trace buffers byte-identical to record mode.
+class StreamCursor {
+ public:
+  StreamCursor(TraceSource& src, StreamId id);
+
+  uint8_t get_u8();
+  uint64_t get_uvarint();
+  int64_t get_svarint();
+  std::string get_string();
+  void get_bytes(void* dst, size_t n);
+
+  bool at_end();
+  uint64_t position() const { return consumed_; }
+  uint64_t remaining() const { return total_ - consumed_; }
+
+  const std::vector<uint8_t>& pending_mirror() const { return pending_; }
+  void drain_mirror() { pending_.clear(); }
+
+ private:
+  bool ensure_byte();
+
+  TraceSource& src_;
+  StreamId id_;
+  std::vector<uint8_t> chunk_;
+  size_t pos_ = 0;
+  size_t next_chunk_ = 0;
+  uint64_t consumed_ = 0;
+  uint64_t total_ = 0;
+  std::vector<uint8_t> pending_;
+};
+
+// Checkpoint block decoded from a streamed schedule (same field layout as
+// Checkpoint::read_from over a ByteReader).
+Checkpoint read_checkpoint(StreamCursor& c);
+
+// ------------------------------------------------------------ v4 <-> file
+
+std::vector<uint8_t> serialize_v4(const TraceFile& trace);
+TraceFile deserialize_v4(const std::vector<uint8_t>& bytes);
+
+// ---------------------------------------------------------------- verify
+
+// Offline integrity check (`dejavu verify`). Never throws: every problem
+// is reported with the stream and file offset it was found at.
+struct TraceVerifyReport {
+  bool ok = false;
+  uint32_t version = 0;
+  bool sealed = false;
+  size_t valid_chunks = 0;      // CRC-verified data chunks before any error
+  uint64_t schedule_bytes = 0;  // payload bytes across verified chunks
+  uint64_t events_bytes = 0;
+  std::string error;  // first located error; empty when ok
+
+  std::string describe() const;
+};
+
+TraceVerifyReport verify_trace_file(const std::string& path);
+
+}  // namespace dejavu::replay

@@ -5,9 +5,10 @@
 
 namespace dejavu::replay {
 
-DecodedSchedule decode_schedule(const TraceFile& trace) {
+DecodedSchedule decode_schedule(TraceSource& src) {
   DecodedSchedule out;
-  ByteReader r(trace.schedule);
+  StreamCursor r(src, StreamId::kSchedule);
+  uint32_t interval = src.meta().checkpoint_interval;
   uint64_t cumulative = 0;
   uint64_t n = 0;
   while (!r.at_end()) {
@@ -16,19 +17,18 @@ DecodedSchedule decode_schedule(const TraceFile& trace) {
     cumulative += e.nyp_delta;
     e.cumulative_yields = cumulative;
     ++n;
-    if (trace.meta.checkpoint_interval != 0 &&
-        n % trace.meta.checkpoint_interval == 0 && !r.at_end()) {
+    if (interval != 0 && n % interval == 0 && !r.at_end()) {
       e.has_checkpoint = true;
-      e.checkpoint = Checkpoint::read_from(r);
+      e.checkpoint = read_checkpoint(r);
     }
     out.entries.push_back(std::move(e));
   }
   return out;
 }
 
-std::vector<DecodedEvent> decode_events(const TraceFile& trace) {
+std::vector<DecodedEvent> decode_events(TraceSource& src) {
   std::vector<DecodedEvent> out;
-  ByteReader r(trace.events);
+  StreamCursor r(src, StreamId::kEvents);
   while (!r.at_end()) {
     DecodedEvent e;
     uint8_t tag = r.get_u8();
@@ -55,11 +55,21 @@ std::vector<DecodedEvent> decode_events(const TraceFile& trace) {
   return out;
 }
 
-TraceStats trace_stats(const TraceFile& trace) {
+DecodedSchedule decode_schedule(const TraceFile& trace) {
+  TraceFileSource src(&trace);
+  return decode_schedule(src);
+}
+
+std::vector<DecodedEvent> decode_events(const TraceFile& trace) {
+  TraceFileSource src(&trace);
+  return decode_events(src);
+}
+
+TraceStats trace_stats(TraceSource& src) {
   TraceStats s;
-  s.schedule_bytes = trace.schedule.size();
-  s.event_bytes = trace.events.size();
-  DecodedSchedule sched = decode_schedule(trace);
+  s.schedule_bytes = size_t(src.stream_info(StreamId::kSchedule).bytes);
+  s.event_bytes = size_t(src.stream_info(StreamId::kEvents).bytes);
+  DecodedSchedule sched = decode_schedule(src);
   s.preempt_switches = sched.entries.size();
   uint64_t sum = 0;
   s.min_delta = UINT64_MAX;
@@ -72,7 +82,7 @@ TraceStats trace_stats(const TraceFile& trace) {
   if (sched.entries.empty()) s.min_delta = 0;
   s.mean_delta =
       sched.entries.empty() ? 0 : double(sum) / double(sched.entries.size());
-  for (const auto& e : decode_events(trace)) {
+  for (const auto& e : decode_events(src)) {
     switch (e.tag) {
       case EventTag::kClock: s.clock_events++; break;
       case EventTag::kInput: s.input_events++; break;
@@ -84,15 +94,22 @@ TraceStats trace_stats(const TraceFile& trace) {
   return s;
 }
 
-std::string dump_trace(const TraceFile& trace, size_t max_lines) {
-  std::ostringstream os;
-  os << "trace: fingerprint=" << std::hex << trace.meta.program_fingerprint
-     << std::dec << " preempts=" << trace.meta.preempt_switches
-     << " ndevents=" << trace.meta.nd_events
-     << " bytes=" << trace.total_bytes() << "\n";
-  os << "final: " << trace.meta.final_checkpoint.describe() << "\n";
+TraceStats trace_stats(const TraceFile& trace) {
+  TraceFileSource src(&trace);
+  return trace_stats(src);
+}
 
-  DecodedSchedule sched = decode_schedule(trace);
+std::string dump_trace(TraceSource& src, size_t max_lines) {
+  const TraceMeta& meta = src.meta();
+  uint64_t total = src.stream_info(StreamId::kSchedule).bytes +
+                   src.stream_info(StreamId::kEvents).bytes;
+  std::ostringstream os;
+  os << "trace: fingerprint=" << std::hex << meta.program_fingerprint
+     << std::dec << " preempts=" << meta.preempt_switches
+     << " ndevents=" << meta.nd_events << " bytes=" << total << "\n";
+  os << "final: " << meta.final_checkpoint.describe() << "\n";
+
+  DecodedSchedule sched = decode_schedule(src);
   os << "schedule (" << sched.entries.size() << " preemptive switches):\n";
   for (size_t i = 0; i < sched.entries.size(); ++i) {
     if (i >= max_lines) {
@@ -106,7 +123,7 @@ std::string dump_trace(const TraceFile& trace, size_t max_lines) {
     os << "\n";
   }
 
-  std::vector<DecodedEvent> events = decode_events(trace);
+  std::vector<DecodedEvent> events = decode_events(src);
   os << "events (" << events.size() << "):\n";
   for (size_t i = 0; i < events.size(); ++i) {
     if (i >= max_lines) {
@@ -135,10 +152,15 @@ std::string dump_trace(const TraceFile& trace, size_t max_lines) {
   return os.str();
 }
 
-TraceDiff diff_traces(const TraceFile& a, const TraceFile& b) {
+std::string dump_trace(const TraceFile& trace, size_t max_lines) {
+  TraceFileSource src(&trace);
+  return dump_trace(src, max_lines);
+}
+
+TraceDiff diff_traces(TraceSource& a, TraceSource& b) {
   TraceDiff d;
   std::ostringstream why;
-  if (a.meta.program_fingerprint != b.meta.program_fingerprint) {
+  if (a.meta().program_fingerprint != b.meta().program_fingerprint) {
     d.description = "traces are from different programs";
     return d;
   }
@@ -179,6 +201,11 @@ TraceDiff diff_traces(const TraceFile& a, const TraceFile& b) {
                 d.first_event_divergence == SIZE_MAX;
   d.description = d.identical ? "identical" : why.str();
   return d;
+}
+
+TraceDiff diff_traces(const TraceFile& a, const TraceFile& b) {
+  TraceFileSource sa(&a), sb(&b);
+  return diff_traces(sa, sb);
 }
 
 }  // namespace dejavu::replay

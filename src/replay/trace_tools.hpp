@@ -7,12 +7,17 @@
 // two recordings of the same program first scheduled differently -- the
 // starting point for "why did run A fail and run B not?" investigations
 // (the paper's family of replay-based understanding tools, §1).
+//
+// Every tool operates on a TraceSource, so a multi-gigabyte v4 file is
+// inspected by streaming chunks, never loaded whole. TraceFile overloads
+// adapt the materialized representation (and v3 traces) for convenience.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "src/replay/trace.hpp"
+#include "src/replay/trace_io.hpp"
 
 namespace dejavu::replay {
 
@@ -35,6 +40,8 @@ struct DecodedSchedule {
 };
 
 // Stream decoding (throws VmError on malformed streams).
+DecodedSchedule decode_schedule(TraceSource& src);
+std::vector<DecodedEvent> decode_events(TraceSource& src);
 DecodedSchedule decode_schedule(const TraceFile& trace);
 std::vector<DecodedEvent> decode_events(const TraceFile& trace);
 
@@ -54,9 +61,11 @@ struct TraceStats {
   size_t event_bytes = 0;
 };
 
+TraceStats trace_stats(TraceSource& src);
 TraceStats trace_stats(const TraceFile& trace);
 
 // Human-readable dump (optionally truncated to `max_lines` per stream).
+std::string dump_trace(TraceSource& src, size_t max_lines = 64);
 std::string dump_trace(const TraceFile& trace, size_t max_lines = 64);
 
 // Where two traces first diverge.
@@ -69,6 +78,7 @@ struct TraceDiff {
   std::string description;
 };
 
+TraceDiff diff_traces(TraceSource& a, TraceSource& b);
 TraceDiff diff_traces(const TraceFile& a, const TraceFile& b);
 
 }  // namespace dejavu::replay

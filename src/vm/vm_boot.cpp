@@ -420,7 +420,10 @@ void Vm::io_warmup(const std::string& tmp_path) {
   std::vector<uint8_t> back = read_file(tmp_path);
   DV_CHECK(back == probe);
   std::remove(tmp_path.c_str());
-  audit_.append(AuditKind::kIoWarmup, tmp_path, instr_count_);
+  // The audit detail is deliberately path-independent: the probe path may
+  // differ between record and replay (unique per engine instance), and the
+  // audit digest is part of replay verification.
+  audit_.append(AuditKind::kIoWarmup, "probe", instr_count_);
 }
 
 // ------------------------------------------------------- guest helpers

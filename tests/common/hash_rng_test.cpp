@@ -41,6 +41,45 @@ TEST(Fnv1a, UpdateStrIsLengthPrefixed) {
   EXPECT_NE(a.digest(), b.digest());
 }
 
+TEST(Crc32, KnownAnswer) {
+  // The CRC-32/IEEE check value: crc32("123456789") == 0xCBF43926. Pinning
+  // it guards the polynomial and reflection conventions the v4 trace
+  // container depends on.
+  EXPECT_EQ(crc32_bytes("123456789", 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) { EXPECT_EQ(crc32_bytes("", 0), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const char* s = "chunked, checksummed streams";
+  Crc32 inc;
+  inc.update(s, 9);
+  inc.update(s + 9, 19);
+  EXPECT_EQ(inc.digest(), crc32_bytes(s, 28));
+  inc.reset();
+  inc.update(s, 28);
+  EXPECT_EQ(inc.digest(), crc32_bytes(s, 28));
+}
+
+TEST(Crc32, HelperUpdatesMatchRawBytes) {
+  Crc32 a, b;
+  a.update_u8(0x7f);
+  a.update_u32le(0x01020304);
+  uint8_t raw[5] = {0x7f, 0x04, 0x03, 0x02, 0x01};
+  b.update(raw, 5);
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Crc32, SingleBitFlipChangesDigest) {
+  std::vector<uint8_t> buf(64, 0xA5);
+  uint32_t base = crc32_bytes(buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] ^= 0x01;
+    EXPECT_NE(crc32_bytes(buf.data(), buf.size()), base) << "byte " << i;
+    buf[i] ^= 0x01;
+  }
+}
+
 TEST(SplitMix64, SeedStable) {
   SplitMix64 a(42), b(42), c(43);
   for (int i = 0; i < 100; ++i) {

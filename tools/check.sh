@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI-style full check: build and test the normal configuration, then build
+# and test again under ASan+UBSan (-DDEJAVU_SANITIZE=ON). The sanitized run
+# matters most for the trace-corruption tests, which walk deliberately
+# hostile v4 container input through the chunk reader.
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== normal build (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== sanitized build (build-asan/, ASan+UBSan) =="
+cmake -B build-asan -S . -DDEJAVU_SANITIZE=ON >/dev/null
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "== all checks passed =="

@@ -5,13 +5,21 @@
 //   dejavu replay <workload> <trace.djv>
 //   dejavu dump <trace.djv>
 //   dejavu diff <a.djv> <b.djv>
+//   dejavu verify <trace.djv>                offline integrity check
+//   dejavu convert <in.djv> <out.djv>        rewrite (e.g. v3) as v4
 //   dejavu sweep <workload> [--seeds N]      outcome histogram
 //   dejavu debug <workload> <trace.djv>      interactive debugger REPL
 //
 // Workloads are the built-in guest programs from src/workloads (listed by
 // `dejavu list`); parameters use sensible defaults.
+//
+// `record` streams chunks to --out as the run proceeds (v4 container);
+// `replay` and `dump` stream them back, so neither side materializes the
+// whole trace. `verify` walks every chunk's CRC and reports the first
+// corruption with its stream and file offset.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <set>
@@ -104,25 +112,24 @@ int cmd_record(const std::string& name, uint64_t seed, bool realtime,
     return 1;
   }
   vm::NativeRegistry natives = make_natives();
-  replay::RecordResult rec;
+  replay::RecordFileResult rec;
   if (realtime) {
     vm::HostEnvironment env;
     threads::RealTimeTimer timer(std::chrono::microseconds(100));
-    rec = replay::record_run(e->make(), {}, env, timer, &natives);
+    rec = replay::record_run_to(out, e->make(), {}, env, timer, &natives);
   } else {
     vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
     threads::VirtualTimer timer(seed == 0 ? 7 : seed, 40, 400);
-    rec = replay::record_run(e->make(), {}, env, timer, &natives);
+    rec = replay::record_run_to(out, e->make(), {}, env, timer, &natives);
   }
   std::printf("output:\n%s", rec.output.c_str());
   std::printf("instrs=%llu switches=%llu preempts=%llu events=%llu "
-              "trace=%zuB\n",
+              "trace=%lluB\n",
               (unsigned long long)rec.summary.instr_count,
               (unsigned long long)rec.summary.switch_count,
-              (unsigned long long)rec.trace.meta.preempt_switches,
-              (unsigned long long)rec.trace.meta.nd_events,
-              rec.trace.total_bytes());
-  rec.trace.save(out);
+              (unsigned long long)rec.stats.preempt_switches,
+              (unsigned long long)rec.stats.nd_events(),
+              (unsigned long long)std::filesystem::file_size(out));
   std::printf("trace written to %s\n", out.c_str());
   return 0;
 }
@@ -133,8 +140,7 @@ int cmd_replay(const std::string& name, const std::string& path) {
     std::fprintf(stderr, "unknown workload %s\n", name.c_str());
     return 1;
   }
-  replay::TraceFile trace = replay::TraceFile::load(path);
-  replay::ReplayResult rep = replay::replay_run(e->make(), trace, {});
+  replay::ReplayResult rep = replay::replay_file(e->make(), path, {});
   std::printf("output:\n%s", rep.output.c_str());
   std::printf("replay %s\n", rep.verified ? "verified exact" : "DIVERGED");
   if (!rep.verified)
@@ -143,9 +149,9 @@ int cmd_replay(const std::string& name, const std::string& path) {
 }
 
 int cmd_dump(const std::string& path) {
-  replay::TraceFile trace = replay::TraceFile::load(path);
-  std::fputs(replay::dump_trace(trace).c_str(), stdout);
-  replay::TraceStats s = replay::trace_stats(trace);
+  auto src = replay::open_trace_source(path);
+  std::fputs(replay::dump_trace(*src).c_str(), stdout);
+  replay::TraceStats s = replay::trace_stats(*src);
   std::printf("stats: mean yield delta %.1f (min %llu, max %llu), "
               "%llu checkpoints\n",
               s.mean_delta, (unsigned long long)s.min_delta,
@@ -155,10 +161,25 @@ int cmd_dump(const std::string& path) {
 }
 
 int cmd_diff(const std::string& a, const std::string& b) {
-  replay::TraceDiff d = replay::diff_traces(replay::TraceFile::load(a),
-                                            replay::TraceFile::load(b));
+  auto sa = replay::open_trace_source(a);
+  auto sb = replay::open_trace_source(b);
+  replay::TraceDiff d = replay::diff_traces(*sa, *sb);
   std::printf("%s\n", d.description.c_str());
   return d.identical ? 0 : 1;
+}
+
+int cmd_verify(const std::string& path) {
+  replay::TraceVerifyReport rep = replay::verify_trace_file(path);
+  std::printf("%s\n", rep.describe().c_str());
+  return rep.ok ? 0 : 1;
+}
+
+int cmd_convert(const std::string& in, const std::string& out) {
+  replay::TraceFile trace = replay::TraceFile::load(in);
+  trace.save(out);  // save() always writes the current (v4) container
+  std::printf("converted %s -> %s (v4, %lluB)\n", in.c_str(), out.c_str(),
+              (unsigned long long)std::filesystem::file_size(out));
+  return 0;
 }
 
 int cmd_sweep(const std::string& name, int n_seeds) {
@@ -225,6 +246,7 @@ int main(int argc, char** argv) {
     if (args.empty() || args[0] == "help") {
       std::printf("usage: dejavu list | record <w> [--seed N] [--out F] "
                   "[--realtime] | replay <w> <F> | dump <F> | diff <A> <B> "
+                  "| verify <F> | convert <IN> <OUT> "
                   "| sweep <w> [--seeds N] | debug <w> <F>\n");
       return 0;
     }
@@ -239,6 +261,9 @@ int main(int argc, char** argv) {
     if (args[0] == "dump" && args.size() >= 2) return cmd_dump(args[1]);
     if (args[0] == "diff" && args.size() >= 3)
       return cmd_diff(args[1], args[2]);
+    if (args[0] == "verify" && args.size() >= 2) return cmd_verify(args[1]);
+    if (args[0] == "convert" && args.size() >= 3)
+      return cmd_convert(args[1], args[2]);
     if (args[0] == "sweep" && args.size() >= 2)
       return cmd_sweep(args[1], std::stoi(flag_value("--seeds", "50")));
     if (args[0] == "debug" && args.size() >= 3)
