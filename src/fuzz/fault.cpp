@@ -1,0 +1,216 @@
+#include "src/fuzz/fault.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+
+#include "src/common/check.hpp"
+#include "src/common/rng.hpp"
+#include "src/replay/session.hpp"
+#include "src/replay/trace_io.hpp"
+#include "src/threads/timer.hpp"
+#include "src/vm/env.hpp"
+
+namespace dejavu::fuzz {
+
+namespace {
+
+std::vector<uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DV_CHECK_MSG(in.good(), "cannot read " << path);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  DV_CHECK_MSG(out.good(), "cannot write " << path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+}
+
+// Sink decorator simulating a lost write: forwards every chunk except the
+// drop_index-th one (counting all write_chunk calls, any stream). The seal
+// totals -- or a missing meta/seal -- betray the gap at open time.
+class DroppingSink : public replay::TraceSink {
+ public:
+  DroppingSink(std::unique_ptr<replay::TraceSink> inner, uint64_t drop_index)
+      : inner_(std::move(inner)), drop_index_(drop_index) {}
+
+  void write_chunk(replay::StreamId id, const uint8_t* payload,
+                   size_t n) override {
+    if (calls_++ != drop_index_) inner_->write_chunk(id, payload, n);
+  }
+  void flush() override { inner_->flush(); }
+  uint64_t calls() const { return calls_; }
+
+ private:
+  std::unique_ptr<replay::TraceSink> inner_;
+  uint64_t drop_index_;
+  uint64_t calls_ = 0;
+};
+
+// Counts into caller-owned storage: the engine consumes (and outlives us
+// with) the sink, so the tally must live outside it.
+class CountingSink : public replay::TraceSink {
+ public:
+  explicit CountingSink(uint64_t* calls) : calls_(calls) {}
+  void write_chunk(replay::StreamId, const uint8_t*, size_t) override {
+    ++*calls_;
+  }
+
+ private:
+  uint64_t* calls_;
+};
+
+}  // namespace
+
+FaultReport inject_trace_faults(const CaseSpec& spec,
+                                const OracleOptions& oo, uint64_t seed,
+                                uint32_t rounds) {
+  FaultReport report;
+  SplitMix64 rng(seed ^ 0xfa017);
+  std::filesystem::create_directories(oo.scratch_dir);
+  std::string good_path =
+      oo.scratch_dir + "/fault-base-" + std::to_string(spec.seed) + ".djv";
+
+  bytecode::Program prog = build_program(spec);
+  vm::VmOptions opts;
+  opts.heap.gc = spec.sched.mark_sweep ? heap::GcKind::kMarkSweep
+                                       : heap::GcKind::kSemispaceCopying;
+  opts.max_instructions = oo.max_instructions;
+  replay::SymmetryConfig cfg;
+  cfg.checkpoint_interval = spec.sched.checkpoint_interval;
+  cfg.trace_chunk_bytes = spec.sched.chunk_bytes;
+  cfg.strict = true;
+
+  auto record_with_sink = [&](std::unique_ptr<replay::TraceSink> sink) {
+    vm::ScriptedEnvironment env(spec.sched.clock_base, spec.sched.clock_step,
+                                spec.sched.inputs, spec.sched.rand_seed);
+    std::unique_ptr<threads::TimerSource> timer;
+    if (spec.sched.timer_seed == 0) {
+      timer = std::make_unique<threads::NullTimer>();
+    } else {
+      timer = std::make_unique<threads::VirtualTimer>(
+          spec.sched.timer_seed, spec.sched.timer_min, spec.sched.timer_max);
+    }
+    vm::NativeRegistry natives = fuzz_natives();
+    replay::DejaVuEngine rec(std::move(sink), cfg);
+    vm::Vm v(prog, opts, env, *timer, &rec, &natives);
+    v.run();
+  };
+
+  // The uncorrupted base recording must verify and replay clean; anything
+  // else is an oracle problem, not a fault-injection result.
+  try {
+    vm::ScriptedEnvironment env(spec.sched.clock_base, spec.sched.clock_step,
+                                spec.sched.inputs, spec.sched.rand_seed);
+    std::unique_ptr<threads::TimerSource> timer;
+    if (spec.sched.timer_seed == 0) {
+      timer = std::make_unique<threads::NullTimer>();
+    } else {
+      timer = std::make_unique<threads::VirtualTimer>(
+          spec.sched.timer_seed, spec.sched.timer_min, spec.sched.timer_max);
+    }
+    vm::NativeRegistry natives = fuzz_natives();
+    replay::record_run_to(good_path, prog, opts, env, *timer, &natives, cfg);
+    replay::TraceVerifyReport base = replay::verify_trace_file(good_path);
+    if (!base.ok) {
+      report.base_detail = "base recording failed verify: " + base.error;
+      return report;
+    }
+    replay::ReplayResult r = replay::replay_file(prog, good_path, opts, cfg);
+    if (!r.verified) {
+      report.base_detail = "base recording failed replay verification";
+      return report;
+    }
+    report.base_ok = true;
+  } catch (const VmError& e) {
+    report.base_detail = std::string("base recording threw: ") + e.what();
+    return report;
+  }
+
+  std::vector<uint8_t> good = read_file(good_path);
+  std::string bad_path = oo.scratch_dir + "/fault-bad-" +
+                         std::to_string(spec.seed) + ".djv";
+
+  // Detection means both readers refuse: the offline verifier locates the
+  // damage AND a strict replay fails loudly instead of running on it.
+  auto check_detected = [&](const std::string& mode,
+                            const std::string& detail) {
+    replay::TraceVerifyReport rep = replay::verify_trace_file(bad_path);
+    bool verify_caught = !rep.ok;
+    bool replay_caught = false;
+    std::string replay_note = "replay accepted the file";
+    try {
+      replay::ReplayResult r = replay::replay_file(prog, bad_path, opts, cfg);
+      replay_caught = !r.verified;
+      if (replay_caught) replay_note = "replay ran but failed verification";
+    } catch (const VmError& e) {
+      replay_caught = true;
+      replay_note = e.what();
+    }
+    report.injected++;
+    FaultFinding f;
+    f.mode = mode;
+    f.detected = verify_caught && replay_caught;
+    f.detail = detail + " -- verify: " +
+               (verify_caught ? rep.error : std::string("MISSED")) +
+               " -- replay: " + replay_note;
+    if (f.detected) {
+      report.detected++;
+    } else {
+      report.undetected.push_back(std::move(f));
+    }
+  };
+
+  for (uint32_t r = 0; r < rounds; ++r) {
+    {  // single-bit flip anywhere, framing and header included
+      std::vector<uint8_t> bad = good;
+      size_t off = size_t(rng.next_below(bad.size()));
+      uint8_t bit = uint8_t(1u << rng.next_below(8));
+      bad[off] ^= bit;
+      write_file(bad_path, bad);
+      check_detected("flip", "offset " + std::to_string(off));
+    }
+    {  // truncation: a recorder that died mid-write
+      std::vector<uint8_t> bad = good;
+      bad.resize(size_t(rng.next_below(bad.size())));
+      write_file(bad_path, bad);
+      check_detected("truncate", "to " + std::to_string(bad.size()) +
+                                     " of " + std::to_string(good.size()) +
+                                     " bytes");
+    }
+    {  // zeroed span: a hole a sparse filesystem might hand back
+      std::vector<uint8_t> bad = good;
+      size_t off = size_t(rng.next_below(bad.size()));
+      size_t len = std::min(size_t(rng.next_range(1, 16)), bad.size() - off);
+      for (size_t i = 0; i < len; ++i) bad[off + i] = 0;
+      if (bad == good) bad[off] = 0xFF;  // span was already zero; still corrupt
+      write_file(bad_path, bad);
+      check_detected("zero-span", "offset " + std::to_string(off) + " len " +
+                                      std::to_string(len));
+    }
+  }
+
+  // Short write at the sink layer: one whole chunk silently lost
+  // mid-recording (not a clean prefix -- the seal's totals expose the gap,
+  // or the meta/seal itself goes missing).
+  {
+    uint64_t total_chunks = 0;
+    record_with_sink(std::make_unique<CountingSink>(&total_chunks));
+    DV_CHECK(total_chunks >= 2);  // meta + seal at minimum
+    uint64_t drop = rng.next_below(total_chunks);
+    record_with_sink(std::make_unique<DroppingSink>(
+        std::make_unique<replay::FileTraceSink>(bad_path), drop));
+    check_detected("short-write", "dropped chunk " + std::to_string(drop) +
+                                      " of " + std::to_string(total_chunks));
+  }
+
+  std::error_code ec;
+  std::filesystem::remove(good_path, ec);
+  std::filesystem::remove(bad_path, ec);
+  return report;
+}
+
+}  // namespace dejavu::fuzz

@@ -1,0 +1,44 @@
+// Trace-container fault injection.
+//
+// Records one known-good case to a v4 file, then derives corrupted
+// variants -- seeded bit flips (framing and payload alike), truncations at
+// random offsets, zeroed spans, and a short-write recording that simulates
+// a recorder crash mid-run -- and asserts the platform *detects* every one:
+// `verify_trace_file` must report the damage, and a strict replay from the
+// damaged file must refuse (throw) rather than silently diverge. An
+// undetected corruption is reported as a divergence, exactly like an
+// oracle failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/oracle.hpp"
+#include "src/fuzz/spec.hpp"
+
+namespace dejavu::fuzz {
+
+struct FaultFinding {
+  std::string mode;    // "flip" / "truncate" / "zero-span" / "short-write"
+  std::string detail;  // offset/length and what the reader reported
+  bool detected = false;
+};
+
+struct FaultReport {
+  bool base_ok = false;  // the uncorrupted recording replayed clean
+  std::string base_detail;
+  uint64_t injected = 0;
+  uint64_t detected = 0;
+  std::vector<FaultFinding> undetected;  // the bugs: corruptions replayed
+
+  bool all_detected() const { return base_ok && detected == injected; }
+};
+
+// Runs `rounds` corruptions of each mode against a recording of `spec`,
+// using `seed` for all offset/byte choices. Scratch files go under
+// opts.scratch_dir.
+FaultReport inject_trace_faults(const CaseSpec& spec, const OracleOptions& opts,
+                                uint64_t seed, uint32_t rounds = 4);
+
+}  // namespace dejavu::fuzz

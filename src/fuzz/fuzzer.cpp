@@ -1,0 +1,122 @@
+#include "src/fuzz/fuzzer.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/fuzz/fault.hpp"
+#include "src/fuzz/generator.hpp"
+
+namespace dejavu::fuzz {
+
+namespace {
+
+OracleOptions oracle_options(const FuzzOptions& opts) {
+  OracleOptions oo;
+  oo.check_baselines = opts.check_baselines;
+  oo.scratch_dir = opts.out_dir + "/scratch";
+  oo.test_skew_schedule_delta = opts.test_skew_schedule_delta;
+  oo.max_instructions = opts.max_instructions;
+  return oo;
+}
+
+std::string write_repro(const FuzzOptions& opts, const CaseSpec& spec) {
+  std::error_code ec;
+  std::filesystem::create_directories(opts.out_dir, ec);
+  std::string path =
+      opts.out_dir + "/repro-" + std::to_string(spec.seed) + ".dvfz";
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) return "";
+  out << serialize_case(spec);
+  return out.good() ? path : "";
+}
+
+void handle_divergence(const FuzzOptions& opts, const OracleOptions& oo,
+                       const CaseSpec& spec, const CaseOutcome& outcome,
+                       FuzzReport* report) {
+  report->divergences++;
+  FuzzFailure f;
+  f.case_seed = spec.seed;
+  f.stage = outcome.stage;
+  f.detail = outcome.detail;
+  f.original_instructions = case_instruction_count(spec);
+  f.minimized_instructions = f.original_instructions;
+  CaseSpec repro = spec;
+  if (opts.minimize) {
+    MinimizeOptions mo;
+    mo.oracle = oo;
+    MinimizeResult m = minimize_case(spec, mo);
+    repro = m.spec;
+    f.stage = m.outcome.stage;
+    f.detail = m.outcome.detail;
+    f.minimized_instructions = m.final_instructions;
+  }
+  f.repro_path = write_repro(opts, repro);
+  report->failures.push_back(std::move(f));
+}
+
+}  // namespace
+
+std::string FuzzReport::summary() const {
+  std::ostringstream os;
+  os << cases_run << " cases, " << divergences << " divergences, "
+     << faults_detected << "/" << faults_injected << " faults detected";
+  for (const FuzzFailure& f : failures) {
+    os << "\n  case seed " << f.case_seed << " failed at " << f.stage << ": "
+       << f.detail;
+    if (f.minimized_instructions != f.original_instructions)
+      os << "\n    minimized " << f.original_instructions << " -> "
+         << f.minimized_instructions << " instructions";
+    if (!f.repro_path.empty()) os << "\n    reproducer: " << f.repro_path;
+  }
+  return os.str();
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opts) {
+  FuzzReport report;
+  OracleOptions oo = oracle_options(opts);
+  for (uint64_t i = 0; i < opts.iters; ++i) {
+    uint64_t seed = case_seed(opts.seed, i);
+    CaseSpec spec = generate_case(seed);
+    CaseOutcome outcome = run_case(spec, oo);
+    report.cases_run++;
+    if (!outcome.ok) handle_divergence(opts, oo, spec, outcome, &report);
+
+    if (opts.fault_injection &&
+        (i % (opts.fault_every == 0 ? 1 : opts.fault_every)) == 0) {
+      FaultReport fr = inject_trace_faults(spec, oo, seed);
+      report.faults_injected += fr.injected;
+      report.faults_detected += fr.detected;
+      for (const FaultFinding& missed : fr.undetected) {
+        FuzzFailure f;
+        f.case_seed = seed;
+        f.stage = "fault-" + missed.mode;
+        f.detail = missed.detail;
+        f.original_instructions = case_instruction_count(spec);
+        f.minimized_instructions = f.original_instructions;
+        f.repro_path = write_repro(opts, spec);
+        report.failures.push_back(std::move(f));
+      }
+    }
+    if (opts.progress) opts.progress(i + 1, opts.iters);
+  }
+  return report;
+}
+
+FuzzReport run_repro(const std::string& path, const FuzzOptions& opts) {
+  std::ifstream in(path);
+  if (!in.good()) throw VmError("cannot open reproducer: " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  CaseSpec spec = parse_case(buf.str());
+
+  FuzzReport report;
+  OracleOptions oo = oracle_options(opts);
+  CaseOutcome outcome = run_case(spec, oo);
+  report.cases_run = 1;
+  if (!outcome.ok) handle_divergence(opts, oo, spec, outcome, &report);
+  return report;
+}
+
+}  // namespace dejavu::fuzz

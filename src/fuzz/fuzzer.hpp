@@ -1,0 +1,64 @@
+// The fuzz campaign driver behind `dejavu fuzz`.
+//
+// One call = one deterministic campaign: iterations derive their case seed
+// from (base seed, index), every case runs through the differential oracle
+// (oracle.hpp), a slice of iterations additionally runs trace fault
+// injection (fault.hpp), and -- when enabled -- each divergence is shrunk
+// by the minimizer and written to out_dir as a `.dvfz` reproducer that
+// `dejavu fuzz --repro FILE` re-runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/minimizer.hpp"
+#include "src/fuzz/oracle.hpp"
+#include "src/fuzz/spec.hpp"
+
+namespace dejavu::fuzz {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+  uint64_t iters = 100;
+  bool minimize = true;
+  bool fault_injection = true;
+  bool check_baselines = true;
+  // Run fault injection on every Nth case (it re-records repeatedly).
+  uint64_t fault_every = 25;
+  std::string out_dir = "/tmp/dejavu-fuzz";
+  uint32_t test_skew_schedule_delta = 0;  // forwarded to the oracle
+  uint64_t max_instructions = 30'000'000;
+  // Progress callback (e.g. the CLI's stderr ticker); may be empty.
+  std::function<void(uint64_t done, uint64_t total)> progress;
+};
+
+struct FuzzFailure {
+  uint64_t case_seed = 0;
+  std::string stage;
+  std::string detail;
+  std::string repro_path;  // written reproducer ("" if writing failed)
+  size_t original_instructions = 0;
+  size_t minimized_instructions = 0;  // == original when not minimized
+};
+
+struct FuzzReport {
+  uint64_t cases_run = 0;
+  uint64_t divergences = 0;
+  uint64_t faults_injected = 0;
+  uint64_t faults_detected = 0;
+  std::vector<FuzzFailure> failures;
+
+  bool clean() const {
+    return divergences == 0 && faults_detected == faults_injected;
+  }
+  std::string summary() const;
+};
+
+FuzzReport run_fuzz(const FuzzOptions& opts);
+
+// Re-run (and optionally re-minimize) one serialized reproducer.
+FuzzReport run_repro(const std::string& path, const FuzzOptions& opts);
+
+}  // namespace dejavu::fuzz

@@ -1,0 +1,23 @@
+// Seed-driven random case generation.
+//
+// generate_case(seed) is a pure function: all randomness flows from one
+// SplitMix64 stream, so a case is fully reproducible from its 64-bit seed
+// and a corpus is just a seed range. Cases are valid and terminating by
+// construction (see spec.hpp): loop bounds are compile-time constants,
+// waits are timed, and the scripted clock always advances, so every
+// generated guest runs to completion under any timer schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "src/fuzz/spec.hpp"
+
+namespace dejavu::fuzz {
+
+CaseSpec generate_case(uint64_t seed);
+
+// The per-iteration seed for iteration `i` of a fuzz run started with
+// `base`. Splitting keeps neighbouring iterations decorrelated.
+uint64_t case_seed(uint64_t base, uint64_t i);
+
+}  // namespace dejavu::fuzz

@@ -1,0 +1,36 @@
+// Greedy failing-case minimization (delta debugging, ddmin-style).
+//
+// Given a CaseSpec the oracle rejects, repeatedly try structurally smaller
+// variants -- drop whole threads, remove statement chunks (halves, then
+// quarters, then singletons), flatten loops, shrink immediates, simplify
+// the schedule -- and keep a variant only if the oracle still rejects it
+// at a comparable stage (a variant that fails at "verify" or "record" is a
+// different, self-inflicted bug and is never accepted). The result is the
+// smallest reproducer found plus the oracle's verdict on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/fuzz/oracle.hpp"
+#include "src/fuzz/spec.hpp"
+
+namespace dejavu::fuzz {
+
+struct MinimizeOptions {
+  OracleOptions oracle;
+  uint32_t max_rounds = 6;  // full passes over all shrink strategies
+};
+
+struct MinimizeResult {
+  CaseSpec spec;        // the smallest still-failing case
+  CaseOutcome outcome;  // how it fails
+  size_t original_instructions = 0;
+  size_t final_instructions = 0;
+  uint64_t attempts = 0;  // oracle runs spent shrinking
+};
+
+MinimizeResult minimize_case(const CaseSpec& failing,
+                             const MinimizeOptions& opts);
+
+}  // namespace dejavu::fuzz

@@ -1,0 +1,270 @@
+#include "src/fuzz/oracle.hpp"
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+
+#include "src/baselines/instant_replay.hpp"
+#include "src/baselines/russinovich_cogswell.hpp"
+#include "src/bytecode/verifier.hpp"
+#include "src/common/check.hpp"
+#include "src/replay/session.hpp"
+#include "src/replay/trace_tools.hpp"
+#include "src/threads/timer.hpp"
+#include "src/vm/env.hpp"
+
+namespace dejavu::fuzz {
+
+namespace {
+
+vm::ScriptedEnvironment make_env(const ScheduleSpec& sc) {
+  return vm::ScriptedEnvironment(sc.clock_base, sc.clock_step, sc.inputs,
+                                 sc.rand_seed);
+}
+
+std::unique_ptr<threads::TimerSource> make_timer(const ScheduleSpec& sc,
+                                                 bool cooperative = false) {
+  if (cooperative || sc.timer_seed == 0)
+    return std::make_unique<threads::NullTimer>();
+  return std::make_unique<threads::VirtualTimer>(sc.timer_seed, sc.timer_min,
+                                                 sc.timer_max);
+}
+
+vm::VmOptions make_opts(const CaseSpec& spec, const OracleOptions& oo) {
+  vm::VmOptions opts;
+  opts.heap.gc = spec.sched.mark_sweep ? heap::GcKind::kMarkSweep
+                                       : heap::GcKind::kSemispaceCopying;
+  opts.max_instructions = oo.max_instructions;
+  return opts;
+}
+
+replay::SymmetryConfig make_cfg(const CaseSpec& spec, const OracleOptions& oo,
+                                bool record_side) {
+  replay::SymmetryConfig cfg;
+  cfg.checkpoint_interval = spec.sched.checkpoint_interval;
+  cfg.trace_chunk_bytes = spec.sched.chunk_bytes;
+  cfg.strict = true;
+  if (record_side) cfg.test_skew_schedule_delta = oo.test_skew_schedule_delta;
+  return cfg;
+}
+
+// Bare run with arbitrary hooks under the case's environment script --
+// the idiom the baseline stages share.
+vm::BehaviorSummary run_hooks(const bytecode::Program& prog,
+                              const CaseSpec& spec, const OracleOptions& oo,
+                              vm::ExecHooks* hooks, bool cooperative,
+                              std::string* output) {
+  vm::ScriptedEnvironment env = make_env(spec.sched);
+  auto timer = make_timer(spec.sched, cooperative);
+  vm::NativeRegistry natives = fuzz_natives();
+  vm::Vm v(prog, make_opts(spec, oo), env, *timer, hooks, &natives);
+  v.run();
+  if (output != nullptr) *output = v.output();
+  return v.summary();
+}
+
+std::string summary_delta(const vm::BehaviorSummary& a,
+                          const vm::BehaviorSummary& b) {
+  std::ostringstream os;
+  auto field = [&](const char* name, uint64_t x, uint64_t y) {
+    if (x != y) os << ' ' << name << ' ' << x << "!=" << y;
+  };
+  field("output_hash", a.output_hash, b.output_hash);
+  field("heap_hash", a.heap_hash, b.heap_hash);
+  field("switch_seq_hash", a.switch_seq_hash, b.switch_seq_hash);
+  field("instr_count", a.instr_count, b.instr_count);
+  field("switch_count", a.switch_count, b.switch_count);
+  field("preempt_count", a.preempt_count, b.preempt_count);
+  field("yield_points", a.yield_points, b.yield_points);
+  field("gc_count", a.gc_count, b.gc_count);
+  field("alloc_count", a.alloc_count, b.alloc_count);
+  field("audit_digest", a.audit_digest, b.audit_digest);
+  return os.str();
+}
+
+}  // namespace
+
+vm::NativeRegistry fuzz_natives() {
+  vm::NativeRegistry reg;
+  reg.register_native(
+      "host.mix", [](vm::NativeContext& nc, const std::vector<int64_t>& a) {
+        int64_t acc = 17;
+        for (int64_t v : a) acc = acc * 31 + v;
+        if (!a.empty() && nc.vm().runtime_class("Main") != nullptr &&
+            nc.vm().runtime_class("Main")->find_method("cb") != nullptr) {
+          acc += nc.call_guest("Main", "cb", {a[0]});
+        }
+        return acc;
+      });
+  reg.register_native("host.pure",
+                      [](vm::NativeContext&, const std::vector<int64_t>& a) {
+                        int64_t acc = 0;
+                        for (int64_t v : a) acc += v;
+                        return acc;
+                      });
+  return reg;
+}
+
+CaseOutcome run_case(const CaseSpec& spec, const OracleOptions& oo) {
+  CaseOutcome out;
+  auto fail = [&](const char* stage, const std::string& detail) {
+    out.ok = false;
+    out.stage = stage;
+    out.detail = detail;
+    return out;
+  };
+
+  // -- verify: the generated program must assemble and verify -------------
+  bytecode::Program prog;
+  try {
+    prog = build_program(spec);
+    bytecode::verify_program(prog);
+  } catch (const VmError& e) {
+    return fail("verify", e.what());
+  }
+
+  vm::VmOptions opts = make_opts(spec, oo);
+  vm::NativeRegistry natives = fuzz_natives();
+
+  // -- record: the reference recording ------------------------------------
+  replay::RecordResult rec;
+  try {
+    vm::ScriptedEnvironment env = make_env(spec.sched);
+    auto timer = make_timer(spec.sched);
+    rec = replay::record_run(prog, opts, env, *timer, &natives,
+                             make_cfg(spec, oo, /*record_side=*/true));
+  } catch (const VmError& e) {
+    return fail("record", e.what());
+  }
+  out.record_summary = rec.summary;
+  out.record_output = rec.output;
+
+  // -- replay-mem: strict replay of the in-memory trace -------------------
+  replay::ReplayResult mem;
+  try {
+    mem = replay::replay_run(prog, rec.trace, opts,
+                             make_cfg(spec, oo, /*record_side=*/false));
+  } catch (const VmError& e) {
+    return fail("replay-mem", e.what());
+  }
+  if (!mem.verified)
+    return fail("replay-mem", "replay completed but did not verify: " +
+                                  mem.stats.first_violation);
+  if (mem.output != rec.output)
+    return fail("replay-mem", "replayed output differs from recording");
+  if (!(mem.summary == rec.summary))
+    return fail("replay-mem", "behaviour summary differs:" +
+                                  summary_delta(rec.summary, mem.summary));
+
+  // -- record-file: same schedule through the streamed v4 path ------------
+  std::filesystem::create_directories(oo.scratch_dir);
+  std::string path = oo.scratch_dir + "/case-" + std::to_string(spec.seed) +
+                     ".djv";
+  try {
+    vm::ScriptedEnvironment env = make_env(spec.sched);
+    auto timer = make_timer(spec.sched);
+    replay::RecordFileResult recf =
+        replay::record_run_to(path, prog, opts, env, *timer, &natives,
+                              make_cfg(spec, oo, /*record_side=*/true));
+    if (recf.output != rec.output)
+      return fail("record-file", "streamed recording output differs");
+    if (!(recf.summary == rec.summary))
+      return fail("record-file",
+                  "streamed recording summary differs:" +
+                      summary_delta(rec.summary, recf.summary));
+    replay::TraceFileSource mem_src(&rec.trace);
+    auto file_src = replay::open_trace_source(path);
+    replay::TraceDiff diff = replay::diff_traces(mem_src, *file_src);
+    if (!diff.identical)
+      return fail("record-file",
+                  "streamed trace differs from in-memory trace: " +
+                      diff.description);
+  } catch (const VmError& e) {
+    return fail("record-file", e.what());
+  }
+
+  // -- replay-file: strict replay streamed from disk ----------------------
+  try {
+    replay::ReplayResult rf = replay::replay_file(
+        prog, path, opts, make_cfg(spec, oo, /*record_side=*/false));
+    if (!rf.verified)
+      return fail("replay-file", "file replay did not verify: " +
+                                     rf.stats.first_violation);
+    if (rf.output != rec.output)
+      return fail("replay-file", "file-replayed output differs");
+    if (!(rf.summary == mem.summary))
+      return fail("replay-file", "file replay summary differs:" +
+                                     summary_delta(mem.summary, rf.summary));
+  } catch (const VmError& e) {
+    return fail("replay-file", e.what());
+  }
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // keep scratch bounded; best effort
+
+  if (!oo.check_baselines) return out;
+
+  // -- rc-baseline: RC must round-trip its own recording ------------------
+  try {
+    baselines::RcRecorder rc_rec;
+    std::string rc_out;
+    run_hooks(prog, spec, oo, &rc_rec, /*cooperative=*/false, &rc_out);
+    baselines::RcReplayer rc_rep(rc_rec.take_trace());
+    std::string rc_replay_out;
+    run_hooks(prog, spec, oo, &rc_rep, /*cooperative=*/true, &rc_replay_out);
+    if (!rc_rep.verified())
+      return fail("rc-baseline",
+                  "RC replay diverged (" +
+                      std::to_string(rc_rep.divergences()) + " divergences)");
+    if (rc_replay_out != rc_out)
+      return fail("rc-baseline", "RC replay output differs from RC record");
+  } catch (const VmError& e) {
+    return fail("rc-baseline", e.what());
+  }
+
+  // -- ir-baseline: CREW validation under an identical schedule -----------
+  if (spec.sched.mark_sweep) {
+    try {
+      baselines::InstantReplayRecorder ir_rec;
+      run_hooks(prog, spec, oo, &ir_rec, /*cooperative=*/true, nullptr);
+      baselines::InstantReplayValidator ir_val(ir_rec.take_trace());
+      run_hooks(prog, spec, oo, &ir_val, /*cooperative=*/true, nullptr);
+      if (ir_val.mismatches() != 0)
+        return fail("ir-baseline",
+                    "Instant Replay saw " +
+                        std::to_string(ir_val.mismatches()) +
+                        " version mismatches under an identical schedule");
+    } catch (const VmError& e) {
+      return fail("ir-baseline", e.what());
+    }
+  }
+
+  // -- coop-cross: hook-independent schedule => identical output ----------
+  try {
+    std::string bare_out;
+    run_hooks(prog, spec, oo, nullptr, /*cooperative=*/true, &bare_out);
+
+    vm::ScriptedEnvironment env = make_env(spec.sched);
+    threads::NullTimer coop;
+    replay::RecordResult dv = replay::record_run(
+        prog, opts, env, coop, &natives, make_cfg(spec, oo, true));
+
+    baselines::RcRecorder rc_rec;
+    std::string rc_out;
+    run_hooks(prog, spec, oo, &rc_rec, /*cooperative=*/true, &rc_out);
+
+    if (dv.output != bare_out)
+      return fail("coop-cross",
+                  "DejaVu recording output differs from bare run under "
+                  "cooperative scheduling");
+    if (rc_out != bare_out)
+      return fail("coop-cross",
+                  "RC recording output differs from bare run under "
+                  "cooperative scheduling");
+  } catch (const VmError& e) {
+    return fail("coop-cross", e.what());
+  }
+
+  return out;
+}
+
+}  // namespace dejavu::fuzz

@@ -1,0 +1,67 @@
+// The differential record/replay oracle.
+//
+// run_case executes one generated case through every configuration the
+// platform claims is equivalent and cross-checks them:
+//
+//   record        in-memory DejaVu recording (the reference behaviour)
+//   replay-mem    strict replay of the in-memory trace: must verify, and
+//                 output/BehaviorSummary must equal the recording
+//   record-file   the same schedule recorded again through the streamed v4
+//                 file path (spec-chosen chunk size): behaviour must equal
+//                 the in-memory recording and the trace bytes must decode
+//                 to the identical schedule/event streams
+//   replay-file   strict replay streamed from the v4 file: must verify and
+//                 match replay-mem
+//   rc-baseline   Russinovich-Cogswell: record under the same timer, then
+//                 replay through the scheduler director -- must verify and
+//                 reproduce the RC-recorded output
+//   ir-baseline   Instant Replay CREW validation under an identical
+//                 deterministic schedule (mark-sweep cases only: versions
+//                 are keyed by address) -- zero mismatches
+//   coop-cross    the direct cross-system check: under cooperative
+//                 scheduling (no timer) the schedule is hook-independent,
+//                 so a bare VM, a DejaVu recording and an RC recording must
+//                 print byte-identical output
+//
+// The first stage that fails stops the case; CaseOutcome names it. All
+// replays run strict, so an engine divergence surfaces as ReplayDivergence
+// rather than a silently wrong run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/fuzz/spec.hpp"
+#include "src/vm/natives.hpp"
+#include "src/vm/vm.hpp"
+
+namespace dejavu::fuzz {
+
+struct OracleOptions {
+  bool check_baselines = true;
+  // Directory for scratch trace files (created if missing).
+  std::string scratch_dir = "/tmp/dejavu-fuzz";
+  // Forwarded to SymmetryConfig::test_skew_schedule_delta on the record
+  // side only -- the injected-bug drill.
+  uint32_t test_skew_schedule_delta = 0;
+  // Per-run instruction ceiling: a runaway case fails its stage with a
+  // VmError instead of hanging the fuzzer.
+  uint64_t max_instructions = 30'000'000;
+};
+
+struct CaseOutcome {
+  bool ok = true;
+  std::string stage;   // failing stage name; empty when ok
+  std::string detail;  // what differed / what was thrown
+  vm::BehaviorSummary record_summary{};
+  std::string record_output;
+};
+
+// The natives generated guests may call (a copy of the test registry:
+// src/ cannot depend on tests/). host.mix mixes its args and calls back
+// Main.cb; host.pure sums.
+vm::NativeRegistry fuzz_natives();
+
+CaseOutcome run_case(const CaseSpec& spec, const OracleOptions& opts);
+
+}  // namespace dejavu::fuzz

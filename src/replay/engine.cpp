@@ -331,7 +331,12 @@ bool DejaVuEngine::yield_point(bool hardware_bit) {
     if (hardware_bit) {
       // recordThreadSwitch(nyp)
       ByteWriter w;
-      w.put_uvarint(uint64_t(nyp_));
+      uint64_t delta = uint64_t(nyp_);
+      if (cfg_.test_skew_schedule_delta != 0 &&
+          stats_.preempt_switches + 1 == cfg_.test_skew_schedule_delta) {
+        delta++;  // injected off-by-one (see SymmetryConfig)
+      }
+      w.put_uvarint(delta);
       writer_->append(StreamId::kSchedule, w.bytes().data(), w.size());
       mirror_bytes(sched_buf_, w.bytes().data(), w.size());
       stats_.preempt_switches++;

@@ -74,6 +74,14 @@ struct SymmetryConfig {
   // is counted in stats (the ablation bench runs non-strict).
   bool strict = true;
 
+  // Test-only fault injection: when nonzero, record mode over-reports the
+  // Nth preemptive schedule delta (1-based) by one yield point, simulating
+  // an off-by-one in the Figure 2 bookkeeping. Replay then switches one
+  // yield point late and must *detect* the divergence (checkpoint or final
+  // verification mismatch). The fuzzer uses this to prove its oracle and
+  // minimizer catch a real engine bug end to end.
+  uint32_t test_skew_schedule_delta = 0;
+
   // I/O warm-up probe file. Empty = a path unique to this engine instance
   // is chosen at attach, so concurrent record sessions never collide. The
   // path never influences recorded behaviour (the warm-up audit detail is

@@ -228,7 +228,10 @@ void Vm::push_slot(uint64_t v) {
 
 uint64_t Vm::pop_slot() {
   ExecContext& c = cur();
-  DV_CHECK_MSG(c.sp > c.frames.back().stack_base, "operand stack underflow");
+  DV_CHECK_MSG(c.sp > c.frames.back().stack_base, "operand stack underflow in "
+               << c.frames.back().method->def->name << " pc="
+               << c.frames.back().pc << " sp=" << c.sp << " base="
+               << c.frames.back().stack_base);
   return c.slots[--c.sp];
 }
 
@@ -307,6 +310,13 @@ int64_t Vm::call_guest_masked(const std::string& cls,
   mask_depth_++;
   ExecContext& c = cur();
   size_t entry_depth = c.frames.size();
+  // The frame beneath us is parked mid-instruction on its kNativeCall.
+  // pop_frame_return advances the caller's pc (the invoke convention:
+  // kInvokeStatic defers its pc++ to the callee's return), but here the
+  // native-call dispatch performs its own pc++ when do_native_call
+  // returns -- so the callback's return must leave the caller's pc
+  // untouched, or the instruction after the nativecall is skipped.
+  uint32_t caller_pc = c.frames.back().pc;
   for (int64_t a : args) push_slot(uint64_t(a));
   push_frame(c, m, nullptr, args.size());
   while (c.frames.size() > entry_depth) {
@@ -314,6 +324,7 @@ int64_t Vm::call_guest_masked(const std::string& cls,
                  "blocking operation inside a native callback");
     execute_instruction();
   }
+  c.frames.back().pc = caller_pc;
   int64_t ret = 0;
   if (m->def->ret.has_value()) ret = int64_t(pop_slot());
   mask_depth_--;

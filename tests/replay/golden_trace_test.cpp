@@ -1,0 +1,120 @@
+// Golden-trace corpus: committed v3 and v4 trace files recorded from a
+// fixed recipe. These pin the on-disk formats: any writer change that
+// alters the bytes (or a reader change that alters how they replay) fails
+// here first, explicitly, instead of surfacing as a compatibility break
+// for traces recorded by an older build.
+//
+// To regenerate after a *deliberate* format change:
+//   DEJAVU_REGEN_GOLDEN=1 ./build/tests/test_replay
+//       (optionally --gtest_filter='GoldenTrace.WritersAreByteStable')
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/replay/session.hpp"
+#include "src/replay/trace_io.hpp"
+#include "src/replay/trace_tools.hpp"
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu::replay {
+namespace {
+
+std::string golden_path(const char* name) {
+  return std::string(DEJAVU_GOLDEN_DIR) + "/" + name;
+}
+
+// The fixed recipe behind every file in the corpus. Everything here is
+// deterministic, so re-recording must reproduce the committed bytes.
+bytecode::Program golden_program() { return workloads::clock_mixer(2, 12); }
+
+RecordResult record_recipe() {
+  vm::VmOptions opts;
+  SymmetryConfig cfg;
+  vm::ScriptedEnvironment env(500, 3, {11, 22, 33}, 5);
+  threads::VirtualTimer timer(9, 4, 48);
+  vm::NativeRegistry natives = vmtest::make_test_natives();
+  bytecode::Program prog = golden_program();
+  return record_run(prog, opts, env, timer, &natives, cfg);
+}
+
+std::vector<uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with DEJAVU_REGEN_GOLDEN=1 to create)";
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+TEST(GoldenTrace, WritersAreByteStable) {
+  RecordResult rec = record_recipe();
+  std::vector<uint8_t> v4 = rec.trace.serialize();
+  std::vector<uint8_t> v3 = rec.trace.serialize_v3();
+  if (std::getenv("DEJAVU_REGEN_GOLDEN") != nullptr) {
+    write_file(golden_path("clock_mixer.v4.djv"), v4);
+    write_file(golden_path("clock_mixer.v3.djv"), v3);
+    GTEST_SKIP() << "regenerated golden traces";
+  }
+  std::vector<uint8_t> want_v4 = read_file(golden_path("clock_mixer.v4.djv"));
+  std::vector<uint8_t> want_v3 = read_file(golden_path("clock_mixer.v3.djv"));
+  EXPECT_EQ(v4, want_v4) << "v4 writer no longer byte-stable ("
+                         << v4.size() << "B now vs " << want_v4.size()
+                         << "B golden)";
+  EXPECT_EQ(v3, want_v3) << "v3 writer no longer byte-stable ("
+                         << v3.size() << "B now vs " << want_v3.size()
+                         << "B golden)";
+}
+
+TEST(GoldenTrace, GoldenV4VerifiesAndReplays) {
+  std::string path = golden_path("clock_mixer.v4.djv");
+  TraceVerifyReport rep = verify_trace_file(path);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_TRUE(rep.sealed);
+  EXPECT_EQ(rep.version, 4u);
+
+  bytecode::Program prog = golden_program();
+  vm::VmOptions opts;
+  SymmetryConfig cfg;
+  ReplayResult replayed = replay_file(prog, path, opts, cfg);
+  EXPECT_TRUE(replayed.verified) << replayed.stats.first_violation;
+  // Today's engine reproduces the committed recording's behaviour exactly.
+  RecordResult rec = record_recipe();
+  EXPECT_EQ(replayed.output, rec.output);
+  EXPECT_EQ(replayed.summary, rec.summary);
+}
+
+TEST(GoldenTrace, GoldenV3LoadsConvertsAndReplays) {
+  std::vector<uint8_t> v3_bytes = read_file(golden_path("clock_mixer.v3.djv"));
+  std::vector<uint8_t> v4_bytes = read_file(golden_path("clock_mixer.v4.djv"));
+  TraceFile trace = TraceFile::deserialize(v3_bytes);
+
+  // `dejavu convert` is byte-stable in both directions.
+  EXPECT_EQ(trace.serialize(), v4_bytes);
+  EXPECT_EQ(trace.serialize_v3(), v3_bytes);
+
+  // Both representations carry identical logical streams...
+  TraceFileSource from_v3(&trace);
+  auto from_v4 = open_trace_source(golden_path("clock_mixer.v4.djv"));
+  TraceDiff d = diff_traces(from_v3, *from_v4);
+  EXPECT_TRUE(d.identical) << d.description;
+
+  // ...and the v3 compatibility path replays verified.
+  bytecode::Program prog = golden_program();
+  vm::VmOptions opts;
+  SymmetryConfig cfg;
+  ReplayResult replayed = replay_run(prog, trace, opts, cfg);
+  EXPECT_TRUE(replayed.verified) << replayed.stats.first_violation;
+}
+
+}  // namespace
+}  // namespace dejavu::replay

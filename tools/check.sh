@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
 # CI-style full check: build and test the normal configuration, then build
 # and test again under ASan+UBSan (-DDEJAVU_SANITIZE=ON). The sanitized run
-# matters most for the trace-corruption tests, which walk deliberately
-# hostile v4 container input through the chunk reader.
+# matters most for the trace-corruption and fuzz tests, which walk
+# deliberately hostile v4 container input through the chunk reader and run
+# randomized record/replay campaigns through the differential oracle.
+#
+# The suite is sliced by ctest label: `unit` (module gtests), `fuzz`
+# (bounded schedule-space fuzz campaigns, iteration budget via
+# DEJAVU_FUZZ_ITERS), `smoke` (one-iteration bench runs).
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -13,11 +18,17 @@ JOBS="${1:-$(nproc)}"
 echo "== normal build (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS" -L unit
+DEJAVU_FUZZ_ITERS="${DEJAVU_FUZZ_ITERS:-25}" \
+  ctest --test-dir build --output-on-failure -j "$JOBS" -L fuzz
+ctest --test-dir build --output-on-failure -j "$JOBS" -L smoke
 
 echo "== sanitized build (build-asan/, ASan+UBSan) =="
 cmake -B build-asan -S . -DDEJAVU_SANITIZE=ON >/dev/null
 cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L unit
+# Sanitizers slow each case ~10x; shrink the campaign, keep the coverage.
+DEJAVU_FUZZ_ITERS="${DEJAVU_ASAN_FUZZ_ITERS:-10}" \
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L fuzz
 
 echo "== all checks passed =="

@@ -8,6 +8,7 @@
 //   dejavu verify <trace.djv>                offline integrity check
 //   dejavu convert <in.djv> <out.djv>        rewrite (e.g. v3) as v4
 //   dejavu sweep <workload> [--seeds N]      outcome histogram
+//   dejavu fuzz [--seed N] [--iters K] [--minimize] ...   schedule fuzzer
 //   dejavu debug <workload> <trace.djv>      interactive debugger REPL
 //
 // Workloads are the built-in guest programs from src/workloads (listed by
@@ -26,6 +27,7 @@
 
 #include "src/debugger/debugger.hpp"
 #include "src/frontend/server.hpp"
+#include "src/fuzz/fuzzer.hpp"
 #include "src/replay/session.hpp"
 #include "src/replay/trace_tools.hpp"
 #include "src/threads/timer.hpp"
@@ -206,6 +208,27 @@ int cmd_sweep(const std::string& name, int n_seeds) {
   return 0;
 }
 
+// dejavu fuzz: the schedule-space fuzz campaign (src/fuzz). Exit status 0
+// only when every case agreed across all record/replay configurations AND
+// every injected trace corruption was detected.
+int cmd_fuzz(const fuzz::FuzzOptions& opts, const std::string& repro) {
+  fuzz::FuzzReport report;
+  if (!repro.empty()) {
+    std::printf("re-running reproducer %s\n", repro.c_str());
+    report = fuzz::run_repro(repro, opts);
+  } else {
+    std::printf("fuzzing: seed %llu, %llu iterations%s%s\n",
+                (unsigned long long)opts.seed,
+                (unsigned long long)opts.iters,
+                opts.minimize ? ", minimizing failures" : "",
+                opts.test_skew_schedule_delta != 0 ? ", skew bug injected"
+                                                   : "");
+    report = fuzz::run_fuzz(opts);
+  }
+  std::printf("%s\n", report.summary().c_str());
+  return report.clean() ? 0 : 1;
+}
+
 int cmd_debug(const std::string& name, const std::string& path) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
@@ -247,7 +270,11 @@ int main(int argc, char** argv) {
       std::printf("usage: dejavu list | record <w> [--seed N] [--out F] "
                   "[--realtime] | replay <w> <F> | dump <F> | diff <A> <B> "
                   "| verify <F> | convert <IN> <OUT> "
-                  "| sweep <w> [--seeds N] | debug <w> <F>\n");
+                  "| sweep <w> [--seeds N] "
+                  "| fuzz [--seed N] [--iters K] [--minimize|--no-minimize] "
+                  "[--no-faults] [--no-baselines] [--out-dir D] "
+                  "[--inject-skew N] [--repro F] "
+                  "| debug <w> <F>\n");
       return 0;
     }
     if (args[0] == "list") return cmd_list();
@@ -266,6 +293,26 @@ int main(int argc, char** argv) {
       return cmd_convert(args[1], args[2]);
     if (args[0] == "sweep" && args.size() >= 2)
       return cmd_sweep(args[1], std::stoi(flag_value("--seeds", "50")));
+    if (args[0] == "fuzz") {
+      auto has_flag = [&](const char* f) {
+        return std::find(args.begin(), args.end(), f) != args.end();
+      };
+      fuzz::FuzzOptions fo;
+      fo.seed = uint64_t(std::stoull(flag_value("--seed", "1")));
+      fo.iters = uint64_t(std::stoull(flag_value("--iters", "100")));
+      fo.minimize = !has_flag("--no-minimize");
+      fo.fault_injection = !has_flag("--no-faults");
+      fo.check_baselines = !has_flag("--no-baselines");
+      fo.out_dir = flag_value("--out-dir", "/tmp/dejavu-fuzz");
+      fo.test_skew_schedule_delta =
+          uint32_t(std::stoul(flag_value("--inject-skew", "0")));
+      fo.progress = [](uint64_t done, uint64_t total) {
+        if (done % 25 == 0 || done == total)
+          std::fprintf(stderr, "  ...%llu/%llu cases\n",
+                       (unsigned long long)done, (unsigned long long)total);
+      };
+      return cmd_fuzz(fo, flag_value("--repro", ""));
+    }
     if (args[0] == "debug" && args.size() >= 3)
       return cmd_debug(args[1], args[2]);
     std::fprintf(stderr, "bad arguments; try 'dejavu help'\n");
