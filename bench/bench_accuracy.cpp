@@ -8,6 +8,7 @@
 // categorical: 100% of replays must be exact.
 #include <set>
 
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 
 using namespace dejavu;
@@ -15,8 +16,9 @@ using namespace dejavu::bench;
 
 namespace {
 
-void run_row(const char* name, const bytecode::Program& prog, int n_seeds,
-             uint64_t tmin, uint64_t tmax) {
+void run_row(BenchSidecar& sc, const char* name,
+             const bytecode::Program& prog, int n_seeds, uint64_t tmin,
+             uint64_t tmax) {
   int exact = 0;
   std::set<uint64_t> distinct_behaviours;
   uint64_t total_preempts = 0;
@@ -42,24 +44,31 @@ void run_row(const char* name, const bytecode::Program& prog, int n_seeds,
               double(total_preempts) / n_seeds);
   if (!first_divergence.empty())
     std::printf("  FIRST DIVERGENCE: %s\n", first_divergence.c_str());
+  sc.add(name, {{"exact", double(exact)},
+                {"seeds", double(n_seeds)},
+                {"distinct_behaviours", double(distinct_behaviours.size())},
+                {"preempts_per_run", double(total_preempts) / n_seeds}});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchSidecar sc =
+      BenchSidecar::from_args(&argc, argv, "bench_accuracy");
   rule('=');
   std::printf("E4: replay accuracy over schedule sweeps (want: all exact)\n");
   rule('=');
-  run_row("fig1_race", workloads::fig1_race(), 50, 2, 30);
-  run_row("counter_race", workloads::counter_race(4, 40), 50, 3, 50);
-  run_row("producer_consumer", workloads::producer_consumer(60, 4), 50, 3,
+  run_row(sc, "fig1_race", workloads::fig1_race(), 50, 2, 30);
+  run_row(sc, "counter_race", workloads::counter_race(4, 40), 50, 3, 50);
+  run_row(sc, "producer_consumer", workloads::producer_consumer(60, 4), 50, 3,
           60);
-  run_row("lock_pingpong", workloads::lock_pingpong(40), 50, 3, 60);
-  run_row("clock_mixer", workloads::clock_mixer(3, 40), 50, 3, 60);
-  run_row("sleepers", workloads::sleepers(4, 15), 30, 5, 80);
-  run_row("native_calls", workloads::native_calls(20), 30, 5, 80);
-  run_row("alloc_churn", workloads::alloc_churn(1200, 16, 8), 30, 40, 200);
+  run_row(sc, "lock_pingpong", workloads::lock_pingpong(40), 50, 3, 60);
+  run_row(sc, "clock_mixer", workloads::clock_mixer(3, 40), 50, 3, 60);
+  run_row(sc, "sleepers", workloads::sleepers(4, 15), 30, 5, 80);
+  run_row(sc, "native_calls", workloads::native_calls(20), 30, 5, 80);
+  run_row(sc, "alloc_churn", workloads::alloc_churn(1200, 16, 8), 30, 40, 200);
   rule();
   std::printf("accuracy is absolute (§1): any row below N/N is a failure.\n");
+  sc.write();
   return 0;
 }

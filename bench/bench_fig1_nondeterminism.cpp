@@ -10,6 +10,7 @@
 #include <map>
 #include <set>
 
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 
 using namespace dejavu;
@@ -17,7 +18,7 @@ using namespace dejavu::bench;
 
 namespace {
 
-void panel_ab() {
+void panel_ab(BenchSidecar& sc) {
   std::printf("Figure 1 (A/B): schedule non-determinism, fig1_race\n");
   std::printf("%-10s %-10s\n", "output", "frequency");
   std::map<std::string, int> hist;
@@ -37,15 +38,18 @@ void panel_ab() {
         record_seeded(workloads::fig1_race(), seed, 2, 30);
     replay::ReplayResult rep =
         replay::replay_run(workloads::fig1_race(), rec.trace, {});
+    bool exact = rep.verified && rep.output == rec.output;
     std::printf("  outcome %-6s seed %-4llu -> replay %-6s %s\n", out.c_str(),
                 (unsigned long long)seed,
                 rep.output.substr(0, rep.output.find('\n')).c_str(),
-                rep.verified && rep.output == rec.output ? "EXACT"
-                                                         : "DIVERGED");
+                exact ? "EXACT" : "DIVERGED");
+    sc.add("ab:" + out, {{"frequency", double(hist[out])},
+                         {"witness_seed", double(seed)},
+                         {"replay_exact", exact ? 1.0 : 0.0}});
   }
 }
 
-void panel_cd() {
+void panel_cd(BenchSidecar& sc) {
   std::printf("\nFigure 1 (C/D): environment-driven branching, fig1_clock\n");
   std::printf("(the Date() parity decides whether T1 waits; the switch\n");
   std::printf(" structure and final value follow)\n");
@@ -70,18 +74,23 @@ void panel_cd() {
   }
   std::printf("distinct switch structures across environments: %zu\n",
               switch_hashes.size());
+  sc.add("cd:environments",
+         {{"distinct_switch_structures", double(switch_hashes.size())}});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchSidecar sc =
+      BenchSidecar::from_args(&argc, argv, "bench_fig1_nondeterminism");
   rule('=');
   std::printf("E1: non-deterministic execution examples (paper Figure 1)\n");
   rule('=');
-  panel_ab();
-  panel_cd();
+  panel_ab(sc);
+  panel_cd(sc);
   rule();
   std::printf("claim check: multiple outcomes from identical initial state;\n"
               "every recorded outcome replays exactly.\n");
+  sc.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 // them, and checks that GC happens the same number of times *at the same
 // guest instructions* (compared through the audit logs, which replay
 // verification hashes).
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 
 using namespace dejavu;
@@ -13,8 +14,9 @@ using namespace dejavu::bench;
 
 namespace {
 
-void run_row(const char* name, const bytecode::Program& prog,
-             size_t heap_bytes, heap::GcKind gc) {
+void run_row(BenchSidecar& sc, const char* name,
+             const bytecode::Program& prog, size_t heap_bytes,
+             heap::GcKind gc) {
   vm::VmOptions opts;
   opts.heap.size_bytes = heap_bytes;
   opts.heap.gc = gc;
@@ -34,26 +36,42 @@ void run_row(const char* name, const bytecode::Program& prog,
                   ? "exact"
                   : "DIVERGED",
               (unsigned long long)rep.summary.gc_count);
+  std::string row = std::string(name) + ":" +
+                    (gc == heap::GcKind::kSemispaceCopying ? "copying"
+                                                           : "mark-sweep") +
+                    ":" + std::to_string(heap_bytes >> 10) + "K";
+  sc.add(row, {{"heap_kb", double(heap_bytes >> 10)},
+               {"gcs_record", double(rec.summary.gc_count)},
+               {"gcs_replay", double(rep.summary.gc_count)},
+               {"allocs", double(rec.summary.alloc_count)},
+               {"replay_exact",
+                rep.verified && rep.summary.gc_count == rec.summary.gc_count
+                    ? 1.0
+                    : 0.0}});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchSidecar sc =
+      BenchSidecar::from_args(&argc, argv, "bench_gc_determinism");
   rule('=');
   std::printf("E8: GC determinism under replay\n");
   rule('=');
   for (heap::GcKind gc :
        {heap::GcKind::kSemispaceCopying, heap::GcKind::kMarkSweep}) {
     for (size_t kb : {128u, 256u, 1024u}) {
-      run_row("alloc_churn", workloads::alloc_churn(4000, 16, 8), kb << 10,
+      run_row(sc, "alloc_churn", workloads::alloc_churn(4000, 16, 8), kb << 10,
               gc);
     }
-    run_row("clock_mixer", workloads::clock_mixer(3, 200), 128 << 10, gc);
-    run_row("prodcons", workloads::producer_consumer(300, 8), 128 << 10, gc);
+    run_row(sc, "clock_mixer", workloads::clock_mixer(3, 200), 128 << 10, gc);
+    run_row(sc, "prodcons", workloads::producer_consumer(300, 8), 128 << 10,
+            gc);
   }
   rule();
   std::printf("claim check: GC counts (and, via the verified audit digest,\n"
               "GC instruction positions) are identical in record and "
               "replay.\n");
+  sc.write();
   return 0;
 }

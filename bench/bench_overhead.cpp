@@ -15,6 +15,7 @@
 // deltas), while the per-access baselines pay on every heap read.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 
 using namespace dejavu;
@@ -135,4 +136,4 @@ BENCHMARK(BM_Execution)
                                      kCrew, kRc}})
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+DV_BENCH_MAIN("bench_overhead");

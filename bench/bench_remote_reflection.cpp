@@ -9,6 +9,7 @@
 //     application VM's heap image hash untouched.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 #include "src/debugger/debugger.hpp"
 #include "src/remote/process.hpp"
@@ -113,4 +114,4 @@ BENCHMARK(BM_RemoteFieldWalk);
 BENCHMARK(BM_RemoteObjectTree);
 BENCHMARK(BM_PerturbationCheck)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+DV_BENCH_MAIN("bench_remote_reflection");

@@ -1,0 +1,62 @@
+// The telemetry smoke bench: one fast record->replay round trip per
+// workload with metrics and the timeline recorder enabled, emitting the
+// shared "dejavu-bench-v1" sidecar (and, with --timeline, a Chrome
+// trace_event dump of the last replay). tools/check.sh runs this to
+// produce BENCH_smoke.json; it is deliberately small enough for CI.
+#include "bench/bench_json.hpp"
+#include "bench/bench_util.hpp"
+
+using namespace dejavu;
+using namespace dejavu::bench;
+
+namespace {
+
+void run_row(BenchSidecar& sc, const char* name,
+             const bytecode::Program& prog, uint64_t seed) {
+  replay::SymmetryConfig cfg;
+  cfg.obs.timeline = true;
+  cfg.checkpoint_interval = 16;
+
+  replay::RecordResult rec = record_seeded(prog, seed, 5, 60, {}, cfg);
+  replay::ReplayResult rep = replay::replay_run(prog, rec.trace, {}, cfg);
+
+  const obs::MetricSample* preempts =
+      rec.metrics.find("engine.schedule.preempt_switches");
+  const obs::MetricSample* nd_clock = rec.metrics.find("engine.nd.clock");
+  std::printf("%-20s %8llu instrs  %6lld preempts  %6lld clock-reads  "
+              "timeline %zu+%zu events  replay:%s\n",
+              name, (unsigned long long)rec.summary.instr_count,
+              (long long)(preempts != nullptr ? preempts->value : 0),
+              (long long)(nd_clock != nullptr ? nd_clock->value : 0),
+              rec.timeline.size(), rep.timeline.size(),
+              rep.verified ? "exact" : "DIVERGED");
+
+  sc.add(name,
+         {{"instrs", double(rec.summary.instr_count)},
+          {"preempt_switches",
+           double(preempts != nullptr ? preempts->value : 0)},
+          {"clock_reads", double(nd_clock != nullptr ? nd_clock->value : 0)},
+          {"trace_bytes", double(rec.trace.total_bytes())},
+          {"record_timeline_events", double(rec.timeline.size())},
+          {"replay_timeline_events", double(rep.timeline.size())},
+          {"replay_exact", rep.verified ? 1.0 : 0.0}});
+  // Keep the last replay's timeline: with --timeline the sidecar dumps it
+  // as Chrome trace_event JSON.
+  sc.set_timeline(rep.timeline);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchSidecar sc = BenchSidecar::from_args(&argc, argv, "bench_smoke");
+  rule('=');
+  std::printf("telemetry smoke: record+replay with metrics & timeline on\n");
+  rule('=');
+  run_row(sc, "fig1_race", workloads::fig1_race(), 3);
+  run_row(sc, "counter_race", workloads::counter_race(3, 30), 5);
+  run_row(sc, "clock_mixer", workloads::clock_mixer(2, 30), 7);
+  run_row(sc, "producer_consumer", workloads::producer_consumer(40, 3), 9);
+  rule();
+  sc.write();
+  return 0;
+}

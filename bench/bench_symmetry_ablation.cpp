@@ -4,6 +4,7 @@
 // turn and the record->replay round trip repeated over a seed sweep. The
 // table reports how often replay diverges and what the first detected
 // divergence is. With every mechanism on, the control row must be clean.
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 
 using namespace dejavu;
@@ -35,10 +36,11 @@ void no_warmup(replay::SymmetryConfig& c) {
   c.buffer_capacity = 128;
 }
 
-void run_row(const Ablation& a) {
+void run_row(BenchSidecar& sc, const Ablation& a) {
   constexpr int kSeeds = 20;
   int diverged = 0, output_corrupted = 0;
   uint64_t violations = 0;
+  uint64_t first_clock = 0;
   std::string first;
   for (int seed = 1; seed <= kSeeds; ++seed) {
     replay::SymmetryConfig cfg;
@@ -55,18 +57,28 @@ void run_row(const Ablation& a) {
     if (!rep.verified) diverged++;
     if (rep.output != rec.output) output_corrupted++;
     violations += rep.stats.symmetry_violations;
-    if (first.empty() && !rep.stats.first_violation.empty())
+    if (first.empty() && !rep.stats.first_violation.empty()) {
       first = rep.stats.first_violation;
+      first_clock = rep.stats.first_violation_clock;
+    }
   }
   std::printf("%-22s %8d/%-3d %10d/%-3d %10.1f\n", a.name, diverged, kSeeds,
               output_corrupted, kSeeds, double(violations) / kSeeds);
   if (!first.empty())
-    std::printf("    first: %.90s\n", first.c_str());
+    std::printf("    first: %.90s (logical clock %llu)\n", first.c_str(),
+                (unsigned long long)first_clock);
+  sc.add(a.name, {{"diverged", double(diverged)},
+                  {"seeds", double(kSeeds)},
+                  {"bad_output", double(output_corrupted)},
+                  {"violations_per_seed", double(violations) / kSeeds},
+                  {"first_violation_clock", double(first_clock)}});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchSidecar sc =
+      BenchSidecar::from_args(&argc, argv, "bench_symmetry_ablation");
   rule('=');
   std::printf("E6: symmetric-instrumentation ablation (workload: "
               "clock_mixer_racy, 20 seeds)\n");
@@ -74,16 +86,17 @@ int main() {
   std::printf("%-22s %12s %14s %12s\n", "mechanism disabled", "diverged",
               "bad output", "violations");
   rule();
-  run_row({"(control: all on)", none});
-  run_row({"preallocate_buffers", no_prealloc});
-  run_row({"preload_classes", no_preload});
-  run_row({"precompile_methods", no_precompile});
-  run_row({"eager_stack_growth", no_eager});
-  run_row({"pause_logical_clock", no_liveclock});
-  run_row({"io_warmup", no_warmup});
+  run_row(sc, {"(control: all on)", none});
+  run_row(sc, {"preallocate_buffers", no_prealloc});
+  run_row(sc, {"preload_classes", no_preload});
+  run_row(sc, {"precompile_methods", no_precompile});
+  run_row(sc, {"eager_stack_growth", no_eager});
+  run_row(sc, {"pause_logical_clock", no_liveclock});
+  run_row(sc, {"io_warmup", no_warmup});
   rule();
   std::printf("claim check (§2.4): every disabled mechanism causes detected\n"
               "divergence; the liveclock ablation additionally corrupts the\n"
               "replayed schedule (bad output). The control row is clean.\n");
+  sc.write();
   return 0;
 }

@@ -11,6 +11,7 @@
 // traffic.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 
 using namespace dejavu;
@@ -84,4 +85,4 @@ BENCHMARK(BM_DejaVuReplay)->Arg(0)->Arg(1)->Arg(2)->Unit(
     benchmark::kMillisecond);
 BENCHMARK(BM_RcReplay)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+DV_BENCH_MAIN("bench_threadmap_cost");

@@ -7,6 +7,7 @@
 // access; Recap/PPD log the value of every read; Russinovich-Cogswell log
 // every dispatch with thread identities. This table reports bytes per run
 // and bytes per million guest instructions for each scheme.
+#include "bench/bench_json.hpp"
 #include "bench/bench_util.hpp"
 
 using namespace dejavu;
@@ -19,7 +20,7 @@ struct Row {
   bytecode::Program prog;
 };
 
-void run_row(const Row& row) {
+void run_row(BenchSidecar& sc, const Row& row) {
   constexpr uint64_t kSeed = 7;
 
   replay::RecordResult dv = record_seeded(row.prog, kSeed);
@@ -49,13 +50,22 @@ void run_row(const Row& row) {
   std::printf("%-18s %37s | %8.0f %9.0f %9.0f %10.0f  (bytes/Minstr)\n", "",
               "", per_m(dv_bytes), per_m(rc_bytes), per_m(crew_bytes),
               per_m(rl_bytes));
+  sc.add(row.name, {{"instrs", double(instrs)},
+                    {"preempt_switches",
+                     double(dv.trace.meta.preempt_switches)},
+                    {"nd_events", double(dv.trace.meta.nd_events)},
+                    {"dejavu_bytes", double(dv_bytes)},
+                    {"rc_bytes", double(rc_bytes)},
+                    {"crew_bytes", double(crew_bytes)},
+                    {"readlog_bytes", double(rl_bytes)},
+                    {"dejavu_bytes_per_minstr", per_m(dv_bytes)}});
 }
 
 // Micro-bench for the byte-level fast paths the streaming writer leans on:
 // ByteWriter::put_bytes (geometric reserve + bulk insert) and
 // ByteReader::get_bytes (memcpy instead of a per-byte loop). Record-side
 // throughput is bounded by these two when chunks are framed and CRC'd.
-void run_io_microbench() {
+void run_io_microbench(BenchSidecar& sc) {
   constexpr size_t kRecord = 24;          // one small trace record
   constexpr size_t kTotal = 64 << 20;     // 64 MiB of appends
   std::vector<uint8_t> rec(kRecord, 0x5a);
@@ -85,27 +95,31 @@ void run_io_microbench() {
   std::printf("io fast paths: put_bytes (%zuB records) %.0f MiB/s, "
               "get_bytes (64KiB chunks) %.0f MiB/s\n",
               kRecord, mbps(kTotal, t1 - t0), mbps(read, t2 - t1));
+  sc.add("io_fast_paths", {{"put_bytes_mibps", mbps(kTotal, t1 - t0)},
+                           {"get_bytes_mibps", mbps(read, t2 - t1)}});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchSidecar sc = BenchSidecar::from_args(&argc, argv, "bench_tracesize");
   rule('=');
   std::printf("E3: trace size by replay scheme (lower is better)\n");
   rule('=');
   std::printf("%-18s %9s %8s %8s | %8s %9s %9s %10s\n", "workload", "instrs",
               "preempt", "ndevents", "DejaVu", "R-C", "CREW", "read-log");
   rule();
-  run_row({"compute", workloads::compute(2, 20000)});
-  run_row({"counter_race", workloads::counter_race(4, 800)});
-  run_row({"producer_consumer", workloads::producer_consumer(400, 8)});
-  run_row({"alloc_churn", workloads::alloc_churn(8000, 16, 8)});
-  run_row({"clock_mixer", workloads::clock_mixer(3, 400)});
-  run_row({"sleepers", workloads::sleepers(6, 10)});
+  run_row(sc, {"compute", workloads::compute(2, 20000)});
+  run_row(sc, {"counter_race", workloads::counter_race(4, 800)});
+  run_row(sc, {"producer_consumer", workloads::producer_consumer(400, 8)});
+  run_row(sc, {"alloc_churn", workloads::alloc_churn(8000, 16, 8)});
+  run_row(sc, {"clock_mixer", workloads::clock_mixer(3, 400)});
+  run_row(sc, {"sleepers", workloads::sleepers(6, 10)});
   rule();
   std::printf("claim check (§5): DejaVu's per-switch deltas stay orders of\n"
               "magnitude below per-access logging; the read-content log is\n"
               "the largest; R-C pays per dispatch rather than per preempt.\n");
-  run_io_microbench();
+  run_io_microbench(sc);
+  sc.write();
   return 0;
 }

@@ -22,9 +22,20 @@ class VmError : public std::runtime_error {
 // Raised when replay detects that execution has diverged from the recorded
 // run: a checkpoint mismatch, a schedule-stream underrun, an event-type
 // mismatch, etc. The symmetry-ablation experiment (E6) counts these.
+//
+// The engine that detects the divergence is usually destroyed while this
+// exception unwinds, so it attaches its forensics (a serialized
+// obs::DivergenceReport) here as an opaque string -- this header cannot
+// depend on src/obs. Callers hand the payload to obs::parse_report().
 class ReplayDivergence : public VmError {
  public:
   explicit ReplayDivergence(const std::string& what) : VmError(what) {}
+
+  void set_forensics(std::string payload) { forensics_ = std::move(payload); }
+  const std::string& forensics() const { return forensics_; }
+
+ private:
+  std::string forensics_;
 };
 
 // Raised by the bytecode verifier when a class fails verification.

@@ -6,8 +6,13 @@ namespace dejavu {
 
 namespace {
 LogLevel g_level = LogLevel::kNone;
-const char* level_name(LogLevel lvl) {
+LogSink g_sink;  // empty => default stderr sink
+}  // namespace
+
+const char* log_level_name(LogLevel lvl) {
   switch (lvl) {
+    case LogLevel::kError:
+      return "ERROR";
     case LogLevel::kWarn:
       return "WARN";
     case LogLevel::kInfo:
@@ -18,13 +23,18 @@ const char* level_name(LogLevel lvl) {
       return "?";
   }
 }
-}  // namespace
 
 LogLevel log_level() { return g_level; }
 void set_log_level(LogLevel lvl) { g_level = lvl; }
 
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
 void log_emit(LogLevel lvl, const std::string& msg) {
-  std::fprintf(stderr, "[dejavu %s] %s\n", level_name(lvl), msg.c_str());
+  if (g_sink) {
+    g_sink(lvl, msg);
+    return;
+  }
+  std::fprintf(stderr, "[dejavu %s] %s\n", log_level_name(lvl), msg.c_str());
 }
 
 }  // namespace dejavu

@@ -1,17 +1,33 @@
-// Minimal leveled logging to stderr. Off by default so that benchmark
-// binaries produce clean tables; tests flip it on when diagnosing failures.
+// Minimal leveled logging. Off by default so that benchmark binaries
+// produce clean tables; tests flip it on when diagnosing failures.
+//
+// Output goes through a pluggable sink (default: stderr). Tools that emit
+// machine-readable output on stdout/file (metrics JSON, timelines) install
+// a sink to capture or redirect diagnostics without polluting their
+// artifacts.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace dejavu {
 
-enum class LogLevel { kNone = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+enum class LogLevel { kNone = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
 
 LogLevel log_level();
 void set_log_level(LogLevel lvl);
+
+// Receives every emitted message (already level-filtered by DV_LOG).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+// Installs `sink` as the destination for log_emit; pass nullptr to restore
+// the default stderr sink. Not thread-safe; install before running engines.
+void set_log_sink(LogSink sink);
+
 void log_emit(LogLevel lvl, const std::string& msg);
+
+const char* log_level_name(LogLevel lvl);
 
 }  // namespace dejavu
 
@@ -24,6 +40,7 @@ void log_emit(LogLevel lvl, const std::string& msg);
     }                                                           \
   } while (0)
 
+#define DV_ERROR(...) DV_LOG(::dejavu::LogLevel::kError, __VA_ARGS__)
 #define DV_WARN(...) DV_LOG(::dejavu::LogLevel::kWarn, __VA_ARGS__)
 #define DV_INFO(...) DV_LOG(::dejavu::LogLevel::kInfo, __VA_ARGS__)
 #define DV_DEBUG(...) DV_LOG(::dejavu::LogLevel::kDebug, __VA_ARGS__)

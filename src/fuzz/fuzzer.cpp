@@ -21,7 +21,12 @@ OracleOptions oracle_options(const FuzzOptions& opts) {
   return oo;
 }
 
-std::string write_repro(const FuzzOptions& opts, const CaseSpec& spec) {
+// Writes the case spec, then the serialized DivergenceReport (if any)
+// after the "end" token -- parse_case stops at "end", so the forensics
+// block rides along without affecting re-runs, and `dejavu report`
+// extracts it.
+std::string write_repro(const FuzzOptions& opts, const CaseSpec& spec,
+                        const std::string& forensics) {
   std::error_code ec;
   std::filesystem::create_directories(opts.out_dir, ec);
   std::string path =
@@ -29,6 +34,7 @@ std::string write_repro(const FuzzOptions& opts, const CaseSpec& spec) {
   std::ofstream out(path, std::ios::trunc);
   if (!out.good()) return "";
   out << serialize_case(spec);
+  if (!forensics.empty()) out << forensics;
   return out.good() ? path : "";
 }
 
@@ -40,6 +46,7 @@ void handle_divergence(const FuzzOptions& opts, const OracleOptions& oo,
   f.case_seed = spec.seed;
   f.stage = outcome.stage;
   f.detail = outcome.detail;
+  f.forensics = outcome.forensics;
   f.original_instructions = case_instruction_count(spec);
   f.minimized_instructions = f.original_instructions;
   CaseSpec repro = spec;
@@ -50,9 +57,15 @@ void handle_divergence(const FuzzOptions& opts, const OracleOptions& oo,
     repro = m.spec;
     f.stage = m.outcome.stage;
     f.detail = m.outcome.detail;
+    // Prefer the minimized case's forensics: they describe the case that
+    // was actually written as the reproducer.
+    if (!m.outcome.forensics.empty()) f.forensics = m.outcome.forensics;
     f.minimized_instructions = m.final_instructions;
   }
-  f.repro_path = write_repro(opts, repro);
+  f.repro_path = write_repro(opts, repro, f.forensics);
+  if (opts.timeline != nullptr)
+    opts.timeline->instant("fuzz", "divergence", report->cases_run, 0, "seed",
+                           int64_t(spec.seed));
   report->failures.push_back(std::move(f));
 }
 
@@ -76,18 +89,35 @@ std::string FuzzReport::summary() const {
 FuzzReport run_fuzz(const FuzzOptions& opts) {
   FuzzReport report;
   OracleOptions oo = oracle_options(opts);
+  // Campaign counters live in the caller's registry (null-safe: local
+  // throwaways keep the loop branch-free).
+  obs::MetricRegistry scratch;
+  obs::MetricRegistry& reg =
+      opts.registry != nullptr ? *opts.registry : scratch;
+  obs::Counter* c_cases = reg.counter("fuzz.cases");
+  obs::Counter* c_diverged = reg.counter("fuzz.divergences");
+  obs::Counter* c_finj = reg.counter("fuzz.faults.injected");
+  obs::Counter* c_fdet = reg.counter("fuzz.faults.detected");
   for (uint64_t i = 0; i < opts.iters; ++i) {
     uint64_t seed = case_seed(opts.seed, i);
     CaseSpec spec = generate_case(seed);
+    if (opts.timeline != nullptr)
+      opts.timeline->instant("fuzz", "case", i, 0, "seed", int64_t(seed));
     CaseOutcome outcome = run_case(spec, oo);
     report.cases_run++;
-    if (!outcome.ok) handle_divergence(opts, oo, spec, outcome, &report);
+    c_cases->add();
+    if (!outcome.ok) {
+      handle_divergence(opts, oo, spec, outcome, &report);
+      c_diverged->add();
+    }
 
     if (opts.fault_injection &&
         (i % (opts.fault_every == 0 ? 1 : opts.fault_every)) == 0) {
       FaultReport fr = inject_trace_faults(spec, oo, seed);
       report.faults_injected += fr.injected;
       report.faults_detected += fr.detected;
+      c_finj->add(fr.injected);
+      c_fdet->add(fr.detected);
       for (const FaultFinding& missed : fr.undetected) {
         FuzzFailure f;
         f.case_seed = seed;
@@ -95,7 +125,7 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
         f.detail = missed.detail;
         f.original_instructions = case_instruction_count(spec);
         f.minimized_instructions = f.original_instructions;
-        f.repro_path = write_repro(opts, spec);
+        f.repro_path = write_repro(opts, spec, "");
         report.failures.push_back(std::move(f));
       }
     }

@@ -16,6 +16,8 @@
 #include "src/fuzz/minimizer.hpp"
 #include "src/fuzz/oracle.hpp"
 #include "src/fuzz/spec.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/timeline.hpp"
 
 namespace dejavu::fuzz {
 
@@ -32,12 +34,19 @@ struct FuzzOptions {
   uint64_t max_instructions = 30'000'000;
   // Progress callback (e.g. the CLI's stderr ticker); may be empty.
   std::function<void(uint64_t done, uint64_t total)> progress;
+  // Optional campaign telemetry (borrowed; may be null): per-case counters
+  // and one timeline instant per case / divergence / fault round.
+  obs::MetricRegistry* registry = nullptr;
+  obs::Timeline* timeline = nullptr;
 };
 
 struct FuzzFailure {
   uint64_t case_seed = 0;
   std::string stage;
   std::string detail;
+  // Serialized engine DivergenceReport for this failure (embedded in the
+  // reproducer as well); empty when the stage produced none.
+  std::string forensics;
   std::string repro_path;  // written reproducer ("" if writing failed)
   size_t original_instructions = 0;
   size_t minimized_instructions = 0;  // == original when not minimized

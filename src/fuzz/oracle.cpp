@@ -144,12 +144,18 @@ CaseOutcome run_case(const CaseSpec& spec, const OracleOptions& oo) {
   try {
     mem = replay::replay_run(prog, rec.trace, opts,
                              make_cfg(spec, oo, /*record_side=*/false));
+  } catch (const ReplayDivergence& e) {
+    out.forensics = e.forensics();
+    return fail("replay-mem", e.what());
   } catch (const VmError& e) {
     return fail("replay-mem", e.what());
   }
-  if (!mem.verified)
+  if (!mem.verified) {
+    if (mem.divergence.has_value())
+      out.forensics = mem.divergence->serialize();
     return fail("replay-mem", "replay completed but did not verify: " +
                                   mem.stats.first_violation);
+  }
   if (mem.output != rec.output)
     return fail("replay-mem", "replayed output differs from recording");
   if (!(mem.summary == rec.summary))
@@ -187,14 +193,20 @@ CaseOutcome run_case(const CaseSpec& spec, const OracleOptions& oo) {
   try {
     replay::ReplayResult rf = replay::replay_file(
         prog, path, opts, make_cfg(spec, oo, /*record_side=*/false));
-    if (!rf.verified)
+    if (!rf.verified) {
+      if (rf.divergence.has_value())
+        out.forensics = rf.divergence->serialize();
       return fail("replay-file", "file replay did not verify: " +
                                      rf.stats.first_violation);
+    }
     if (rf.output != rec.output)
       return fail("replay-file", "file-replayed output differs");
     if (!(rf.summary == mem.summary))
       return fail("replay-file", "file replay summary differs:" +
                                      summary_delta(mem.summary, rf.summary));
+  } catch (const ReplayDivergence& e) {
+    out.forensics = e.forensics();
+    return fail("replay-file", e.what());
   } catch (const VmError& e) {
     return fail("replay-file", e.what());
   }

@@ -53,6 +53,10 @@ struct CaseOutcome {
   bool ok = true;
   std::string stage;   // failing stage name; empty when ok
   std::string detail;  // what differed / what was thrown
+  // Serialized obs::DivergenceReport ("dvrep 1" block) captured at the
+  // engine's first divergence, when the failing stage produced one; empty
+  // otherwise. Embedded into .dvfz reproducers by the fuzzer.
+  std::string forensics;
   vm::BehaviorSummary record_summary{};
   std::string record_output;
 };

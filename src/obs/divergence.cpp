@@ -1,0 +1,222 @@
+#include "src/obs/divergence.hpp"
+
+#include <sstream>
+
+#include "src/common/check.hpp"
+
+namespace dejavu::obs {
+
+namespace {
+
+// The block format is line-oriented; free-text fields (`what`, names,
+// disasm lines) may contain anything except newlines, which we escape.
+std::string escape_line(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_line(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      char n = s[++i];
+      if (n == 'n') out += '\n';
+      else if (n == 'r') out += '\r';
+      else out += n;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string DivergenceReport::serialize() const {
+  std::ostringstream os;
+  os << "dvrep 1\n";
+  os << "what " << escape_line(what) << "\n";
+  os << "clock " << logical_clock << "\n";
+  os << "nyp " << nyp_remaining << "\n";
+  os << "thread " << thread << "\n";
+  os << "thread_name " << escape_line(thread_name) << "\n";
+  os << "frame_class " << escape_line(frame_class) << "\n";
+  os << "frame_method " << escape_line(frame_method) << "\n";
+  os << "pc " << pc << "\n";
+  os << "line " << line << "\n";
+  os << "schedule_cursor " << schedule_pos << " " << schedule_remaining
+     << "\n";
+  os << "events_cursor " << events_pos << " " << events_remaining << "\n";
+  os << "preempt_switches " << preempt_switches << "\n";
+  os << "checkpoints " << checkpoints << "\n";
+  os << "disasm " << disasm.size() << "\n";
+  for (const std::string& d : disasm) os << escape_line(d) << "\n";
+  os << "recent " << recent_events.size() << "\n";
+  for (const NdEventRecord& e : recent_events)
+    os << escape_line(e.tag) << " " << e.value << " " << e.logical_clock
+       << "\n";
+  os << "endrep\n";
+  return os.str();
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& why) {
+  throw VmError("dvrep: " + why);
+}
+
+uint64_t to_u64(const std::string& s) {
+  try {
+    return std::stoull(s);
+  } catch (const std::exception&) {
+    bad("bad number '" + s + "'");
+  }
+}
+
+// Splits "key rest-of-line"; rest may be empty.
+void split_kv(const std::string& line, std::string* key, std::string* rest) {
+  size_t sp = line.find(' ');
+  if (sp == std::string::npos) {
+    *key = line;
+    rest->clear();
+  } else {
+    *key = line.substr(0, sp);
+    *rest = line.substr(sp + 1);
+  }
+}
+
+}  // namespace
+
+DivergenceReport parse_report(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || line != "dvrep 1")
+    bad("missing 'dvrep 1' header");
+
+  DivergenceReport r;
+  bool ended = false;
+  while (std::getline(is, line)) {
+    if (line == "endrep") {
+      ended = true;
+      break;
+    }
+    std::string key, rest;
+    split_kv(line, &key, &rest);
+    if (key == "what") r.what = unescape_line(rest);
+    else if (key == "clock") r.logical_clock = to_u64(rest);
+    else if (key == "nyp") r.nyp_remaining = to_u64(rest);
+    else if (key == "thread") r.thread = uint32_t(to_u64(rest));
+    else if (key == "thread_name") r.thread_name = unescape_line(rest);
+    else if (key == "frame_class") r.frame_class = unescape_line(rest);
+    else if (key == "frame_method") r.frame_method = unescape_line(rest);
+    else if (key == "pc") r.pc = uint32_t(to_u64(rest));
+    else if (key == "line") r.line = uint32_t(to_u64(rest));
+    else if (key == "preempt_switches") r.preempt_switches = to_u64(rest);
+    else if (key == "checkpoints") r.checkpoints = to_u64(rest);
+    else if (key == "schedule_cursor" || key == "events_cursor") {
+      std::istringstream fs(rest);
+      uint64_t pos = 0, rem = 0;
+      if (!(fs >> pos >> rem)) bad("bad cursor line");
+      if (key == "schedule_cursor") {
+        r.schedule_pos = pos;
+        r.schedule_remaining = rem;
+      } else {
+        r.events_pos = pos;
+        r.events_remaining = rem;
+      }
+    } else if (key == "disasm") {
+      size_t n = to_u64(rest);
+      for (size_t i = 0; i < n; ++i) {
+        if (!std::getline(is, line)) bad("truncated disasm block");
+        r.disasm.push_back(unescape_line(line));
+      }
+    } else if (key == "recent") {
+      size_t n = to_u64(rest);
+      for (size_t i = 0; i < n; ++i) {
+        if (!std::getline(is, line)) bad("truncated recent-events block");
+        // "tag value clock" -- tag is escaped and contains no spaces.
+        std::istringstream fs(line);
+        NdEventRecord e;
+        std::string tag;
+        if (!(fs >> tag >> e.value >> e.logical_clock))
+          bad("bad recent-event line");
+        e.tag = unescape_line(tag);
+        r.recent_events.push_back(std::move(e));
+      }
+    }
+    // Unknown keys are skipped so the format can grow.
+  }
+  if (!ended) bad("missing 'endrep'");
+  return r;
+}
+
+bool extract_report(const std::string& text, DivergenceReport* out) {
+  const std::string header = "dvrep 1\n";
+  size_t at = 0;
+  while ((at = text.find(header, at)) != std::string::npos) {
+    // Only accept a header at a line start.
+    if (at == 0 || text[at - 1] == '\n') {
+      size_t end = text.find("endrep", at);
+      if (end != std::string::npos) {
+        try {
+          *out = parse_report(text.substr(at, end + 6 - at));
+          return true;
+        } catch (const VmError&) {
+          // fall through and keep scanning
+        }
+      }
+    }
+    at += header.size();
+  }
+  return false;
+}
+
+std::string DivergenceReport::render() const {
+  std::ostringstream os;
+  os << "=== replay divergence report ===\n";
+  os << "what:            " << what << "\n";
+  os << "logical clock:   " << logical_clock << "\n";
+  os << "thread:          #" << thread;
+  if (!thread_name.empty()) os << " (" << thread_name << ")";
+  os << "\n";
+  os << "nyp remaining:   " << nyp_remaining << "\n";
+  os << "preempt switches:" << " " << preempt_switches
+     << "   checkpoints: " << checkpoints << "\n";
+  os << "schedule cursor: pos " << schedule_pos << ", remaining "
+     << schedule_remaining << " bytes\n";
+  os << "events cursor:   pos " << events_pos << ", remaining "
+     << events_remaining << " bytes\n";
+  if (!frame_class.empty() || !frame_method.empty()) {
+    os << "frame:           " << frame_class << "." << frame_method << " pc="
+       << pc;
+    if (line != 0) os << " line=" << line;
+    os << "\n";
+  } else {
+    os << "frame:           <none>\n";
+  }
+  if (!disasm.empty()) {
+    os << "disassembly (=> marks faulting pc):\n";
+    for (const std::string& d : disasm) os << "  " << d << "\n";
+  }
+  if (!recent_events.empty()) {
+    os << "last " << recent_events.size()
+       << " nd-events (oldest first):\n";
+    for (const NdEventRecord& e : recent_events)
+      os << "  [clock " << e.logical_clock << "] " << e.tag << " = "
+         << e.value << "\n";
+  }
+  os << "================================\n";
+  return os.str();
+}
+
+}  // namespace dejavu::obs

@@ -1,0 +1,77 @@
+// DivergenceReport -- first-divergence forensics for replay mismatches.
+//
+// When a replay diverges (schedule mismatch, nd-event mismatch, strict
+// symmetry violation) the interesting state is gone by the time the error
+// reaches a caller: the engine is torn down during stack unwind. The
+// engine therefore captures this report at the violation site -- logical
+// clock, remaining yield-point budget, the running thread, the current
+// frame with a disassembly window around the faulting pc, the last few
+// consumed nd-events and both stream cursors -- and serializes it into the
+// thrown ReplayDivergence (an opaque string payload, so src/common need
+// not know about obs).
+//
+// The serialized form is a line-oriented "dvrep 1" block designed to be
+// embedded verbatim in fuzz reproducer (.dvfz) files after the "end"
+// token, where the case parser ignores it. `dejavu report` extracts and
+// renders it back.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dejavu::obs {
+
+// One consumed non-deterministic event, as remembered by the engine's
+// recent-event ring at the moment of divergence.
+struct NdEventRecord {
+  std::string tag;  // "clock", "input", "rand", "native", ...
+  uint64_t value = 0;
+  uint64_t logical_clock = 0;
+};
+
+struct DivergenceReport {
+  std::string what;  // the violation message
+
+  // Engine state at the violation site.
+  uint64_t logical_clock = 0;
+  uint64_t nyp_remaining = 0;
+  uint32_t thread = 0;
+  std::string thread_name;
+
+  // Current frame (empty class/method if no frame was live).
+  std::string frame_class;
+  std::string frame_method;
+  uint32_t pc = 0;
+  uint32_t line = 0;
+
+  // Disassembly window around pc; the faulting instruction is prefixed
+  // with "=>". Empty when no frame/method was resolvable.
+  std::vector<std::string> disasm;
+
+  // Most recent consumed nd-events, oldest first.
+  std::vector<NdEventRecord> recent_events;
+
+  // Trace-stream cursor positions (replay side; zero when recording).
+  uint64_t schedule_pos = 0;
+  uint64_t schedule_remaining = 0;
+  uint64_t events_pos = 0;
+  uint64_t events_remaining = 0;
+
+  uint64_t preempt_switches = 0;
+  uint64_t checkpoints = 0;
+
+  // Line-oriented "dvrep 1" block (ends with "endrep\n").
+  std::string serialize() const;
+  // Human-readable rendering for the CLI.
+  std::string render() const;
+};
+
+// Parses a serialize()d block. Throws VmError on malformed input.
+DivergenceReport parse_report(const std::string& text);
+
+// Scans arbitrary text (e.g. a .dvfz reproducer) for an embedded
+// "dvrep 1" block; returns true and fills `out` if one parses.
+bool extract_report(const std::string& text, DivergenceReport* out);
+
+}  // namespace dejavu::obs

@@ -1,0 +1,341 @@
+#include "src/obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/check.hpp"
+
+namespace dejavu::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += char(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- writer
+
+void JsonWriter::push(Ctx c) {
+  stack_.push_back(c);
+  has_items_.push_back(false);
+}
+
+void JsonWriter::pop(Ctx c) {
+  DV_CHECK_MSG(stack_.size() > 1 && stack_.back() == c,
+               "JsonWriter: unbalanced end");
+  DV_CHECK_MSG(!key_pending_, "JsonWriter: dangling key");
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (stack_.back() == Ctx::kTop) done_ = true;
+}
+
+void JsonWriter::before_value() {
+  DV_CHECK_MSG(!done_, "JsonWriter: document already complete");
+  Ctx c = stack_.back();
+  if (c == Ctx::kObject) {
+    DV_CHECK_MSG(key_pending_, "JsonWriter: object value without a key");
+    key_pending_ = false;
+  } else {
+    if (has_items_.back()) out_ += ',';
+  }
+  has_items_.back() = true;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  push(Ctx::kObject);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  pop(Ctx::kObject);
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  push(Ctx::kArray);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  pop(Ctx::kArray);
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  DV_CHECK_MSG(stack_.back() == Ctx::kObject && !key_pending_,
+               "JsonWriter: key outside an object");
+  if (has_items_.back()) out_ += ',';
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  DV_CHECK_MSG(done_, "JsonWriter: document incomplete");
+  return out_;
+}
+
+// ---------------------------------------------------------------- parser
+
+const JsonValue* JsonValue::find(const std::string& k) const {
+  if (type != Type::kObject) return nullptr;
+  const JsonValue* hit = nullptr;
+  for (const auto& [key, v] : members) {
+    if (key == k) hit = &v;  // last duplicate wins
+  }
+  return hit;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing content");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw VmError("json: " + why + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      pos_++;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    pos_++;
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(const char* w) {
+    size_t n = std::char_traits<char>::length(w);
+    if (s_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string_raw() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = peek();
+      pos_++;
+      if (c == '"') return out;
+      if (c == '\\') {
+        char e = peek();
+        pos_++;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+            unsigned v = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = s_[pos_++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= unsigned(h - '0');
+              else if (h >= 'a' && h <= 'f') v |= unsigned(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') v |= unsigned(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Our writer only emits \u00XX; decode BMP code points as UTF-8.
+            if (v < 0x80) {
+              out += char(v);
+            } else if (v < 0x800) {
+              out += char(0xC0 | (v >> 6));
+              out += char(0x80 | (v & 0x3F));
+            } else {
+              out += char(0xE0 | (v >> 12));
+              out += char(0x80 | ((v >> 6) & 0x3F));
+              out += char(0x80 | (v & 0x3F));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    char c = peek();
+    JsonValue v;
+    if (c == '{') {
+      pos_++;
+      v.type = JsonValue::Type::kObject;
+      skip_ws();
+      if (consume('}')) return v;
+      while (true) {
+        skip_ws();
+        std::string key = parse_string_raw();
+        skip_ws();
+        expect(':');
+        v.members.emplace_back(std::move(key), parse_value());
+        skip_ws();
+        if (consume(',')) continue;
+        expect('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      pos_++;
+      v.type = JsonValue::Type::kArray;
+      skip_ws();
+      if (consume(']')) return v;
+      while (true) {
+        v.items.push_back(parse_value());
+        skip_ws();
+        if (consume(',')) continue;
+        expect(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v.type = JsonValue::Type::kString;
+      v.string = parse_string_raw();
+      return v;
+    }
+    if (consume_word("true")) {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = true;
+      return v;
+    }
+    if (consume_word("false")) {
+      v.type = JsonValue::Type::kBool;
+      v.boolean = false;
+      return v;
+    }
+    if (consume_word("null")) return v;
+    // number
+    size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      pos_++;
+    if (pos_ == start) fail("unexpected character");
+    try {
+      v.number = std::stod(s_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+    v.type = JsonValue::Type::kNumber;
+    return v;
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace dejavu::obs

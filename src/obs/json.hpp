@@ -1,0 +1,89 @@
+// Minimal JSON support for the observability layer.
+//
+// Telemetry artifacts (metric snapshots, Chrome trace_event timelines,
+// bench sidecars) are emitted through JsonWriter -- a small streaming
+// writer with correct string escaping and no intermediate DOM. The
+// matching JsonValue parser exists for the consumers we own: the schema
+// checker behind `tools/obs_schema_check` and the tests that assert the
+// emitted artifacts are well-formed. Neither side aims to be a general
+// JSON library; both cover exactly the JSON this repo produces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dejavu::obs {
+
+std::string json_escape(const std::string& s);
+
+// Streaming writer. Usage:
+//   JsonWriter w;
+//   w.begin_object().key("n").value(int64_t{3}).end_object();
+//   w.str();
+// Commas and key/value ordering are handled by the writer; emitting a
+// structurally invalid document (value with no pending key inside an
+// object, unbalanced end_*) throws VmError.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(int64_t v);
+  JsonWriter& value(uint64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  // Convenience: key + value in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, T v) {
+    return key(k).value(v);
+  }
+
+  const std::string& str() const;
+
+ private:
+  enum class Ctx : uint8_t { kTop, kObject, kArray };
+  void before_value();
+  void push(Ctx c);
+  void pop(Ctx c);
+
+  std::string out_;
+  std::vector<Ctx> stack_{Ctx::kTop};
+  std::vector<bool> has_items_{false};
+  bool key_pending_ = false;
+  bool done_ = false;
+};
+
+// Parsed JSON value. Object member order is preserved (useful for golden
+// comparisons); duplicate keys keep the last occurrence on lookup.
+struct JsonValue {
+  enum class Type : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& k) const;
+};
+
+// Parses one JSON document (trailing whitespace allowed, nothing else).
+// Throws VmError with a byte offset on malformed input.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace dejavu::obs

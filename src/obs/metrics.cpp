@@ -1,0 +1,184 @@
+#include "src/obs/metrics.hpp"
+
+#include "src/common/check.hpp"
+#include "src/obs/json.hpp"
+
+namespace dejavu::obs {
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  for (size_t i = 1; i < bounds_.size(); ++i)
+    DV_CHECK_MSG(bounds_[i - 1] < bounds_[i],
+                 "histogram bounds must be ascending");
+}
+
+void Histogram::record(uint64_t v) {
+  count_++;
+  sum_ += v;
+  // Buckets are few (tens); linear scan beats binary search at this size
+  // and keeps the hot path branch-predictable.
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) i++;
+  buckets_[i]++;
+}
+
+const char* metric_kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricSample& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("schema", "dejavu-metrics-v1");
+  w.key("metrics").begin_array();
+  for (const MetricSample& s : samples) {
+    w.begin_object();
+    w.kv("name", s.name);
+    w.kv("kind", metric_kind_name(s.kind));
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        w.kv("value", s.value);
+        break;
+      case MetricKind::kGauge:
+        w.kv("value", s.gauge);
+        break;
+      case MetricKind::kHistogram: {
+        w.kv("count", s.count);
+        w.kv("sum", s.sum);
+        w.key("bounds").begin_array();
+        for (uint64_t b : s.bounds) w.value(b);
+        w.end_array();
+        w.key("buckets").begin_array();
+        for (uint64_t b : s.buckets) w.value(b);
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+void merge_snapshots(MetricsSnapshot* into, const MetricsSnapshot& from) {
+  for (const MetricSample& s : from.samples) {
+    MetricSample* dst = nullptr;
+    for (MetricSample& d : into->samples) {
+      if (d.name == s.name) {
+        dst = &d;
+        break;
+      }
+    }
+    if (dst == nullptr) {
+      into->samples.push_back(s);
+      continue;
+    }
+    DV_CHECK_MSG(dst->kind == s.kind, "metric kind mismatch for " << s.name);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        dst->value += s.value;
+        break;
+      case MetricKind::kGauge:
+        dst->gauge = s.gauge;
+        break;
+      case MetricKind::kHistogram:
+        DV_CHECK_MSG(dst->bounds == s.bounds,
+                     "histogram bounds mismatch for " << s.name);
+        dst->count += s.count;
+        dst->sum += s.sum;
+        for (size_t i = 0; i < s.buckets.size(); ++i)
+          dst->buckets[i] += s.buckets[i];
+        break;
+    }
+  }
+}
+
+MetricRegistry::Entry* MetricRegistry::find_entry(const std::string& name) {
+  for (Entry& e : order_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter* MetricRegistry::counter(const std::string& name) {
+  if (Entry* e = find_entry(name)) {
+    DV_CHECK_MSG(e->kind == MetricKind::kCounter,
+                 name << " already registered with another kind");
+    return static_cast<Counter*>(e->slot);
+  }
+  counters_.emplace_back();
+  order_.push_back({name, MetricKind::kCounter, &counters_.back()});
+  return &counters_.back();
+}
+
+Gauge* MetricRegistry::gauge(const std::string& name) {
+  if (Entry* e = find_entry(name)) {
+    DV_CHECK_MSG(e->kind == MetricKind::kGauge,
+                 name << " already registered with another kind");
+    return static_cast<Gauge*>(e->slot);
+  }
+  gauges_.emplace_back();
+  order_.push_back({name, MetricKind::kGauge, &gauges_.back()});
+  return &gauges_.back();
+}
+
+Histogram* MetricRegistry::histogram(const std::string& name,
+                                     std::vector<uint64_t> bounds) {
+  if (Entry* e = find_entry(name)) {
+    DV_CHECK_MSG(e->kind == MetricKind::kHistogram,
+                 name << " already registered with another kind");
+    return static_cast<Histogram*>(e->slot);
+  }
+  histograms_.emplace_back(std::move(bounds));
+  order_.push_back({name, MetricKind::kHistogram, &histograms_.back()});
+  return &histograms_.back();
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  snap.samples.reserve(order_.size());
+  for (const Entry& e : order_) {
+    MetricSample s;
+    s.name = e.name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.value = static_cast<const Counter*>(e.slot)->value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge = static_cast<const Gauge*>(e.slot)->value();
+        break;
+      case MetricKind::kHistogram: {
+        const auto* h = static_cast<const Histogram*>(e.slot);
+        s.count = h->count();
+        s.sum = h->sum();
+        s.bounds = h->bounds();
+        s.buckets = h->buckets();
+        break;
+      }
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+std::vector<uint64_t> pow2_bounds(size_t n) {
+  std::vector<uint64_t> b(n);
+  for (size_t i = 0; i < n; ++i) b[i] = uint64_t(1) << i;
+  return b;
+}
+
+}  // namespace dejavu::obs

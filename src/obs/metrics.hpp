@@ -1,0 +1,141 @@
+// MetricRegistry -- named counters, gauges and fixed-bucket histograms.
+//
+// Telemetry in this platform must obey the paper's symmetry constraint
+// (§2.4): anything the engine does on behalf of observability has to be
+// invisible to the guest and identical between record and replay. The
+// registry is built for that contract:
+//
+//  * strictly host-side -- no metric ever touches the guest heap, the
+//    audit log, the logical clock or the trace streams;
+//  * pre-allocated -- every metric is registered up front (the engine does
+//    it at construction, before any guest code); the hot path is a single
+//    integer bump through a stable pointer, never an allocation or a hash
+//    lookup;
+//  * snapshot-based -- readers take a plain MetricsSnapshot struct and
+//    serialize it to JSON ("dejavu-metrics-v1"), so exporting telemetry is
+//    decoupled from producing it.
+//
+// The replay engine's EngineStats is a view over this registry (the
+// registry is the authoritative store; see src/replay/engine.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dejavu::obs {
+
+// Knobs for the optional telemetry the engine carries. All of it is
+// host-side; flipping these MUST NOT change guest behaviour or trace bytes
+// (tests/obs asserts exactly that).
+struct ObsConfig {
+  // Maintain the non-essential metrics (histograms, byte counters). The
+  // core engine counters always run: EngineStats is built from them.
+  bool metrics = true;
+  // Capture ring-buffered timeline events (exported as Chrome trace_event
+  // JSON; see src/obs/timeline.hpp).
+  bool timeline = false;
+  uint32_t timeline_capacity = 8192;
+};
+
+class Counter {
+ public:
+  void add(uint64_t n = 1) { v_ += n; }
+  uint64_t value() const { return v_; }
+
+ private:
+  uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(int64_t v) { v_ = v; }
+  int64_t value() const { return v_; }
+
+ private:
+  int64_t v_ = 0;
+};
+
+// Fixed-bucket histogram: `bounds` are inclusive upper bounds in ascending
+// order; one implicit overflow bucket follows. Bucket storage is allocated
+// at registration, never while recording.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<uint64_t> bounds);
+
+  void record(uint64_t v);
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  const std::vector<uint64_t>& bounds() const { return bounds_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::vector<uint64_t> buckets_;  // bounds_.size() + 1 (overflow last)
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+enum class MetricKind : uint8_t { kCounter, kGauge, kHistogram };
+
+const char* metric_kind_name(MetricKind k);
+
+// One metric's value at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t value = 0;  // counter value / gauge value (as two's complement)
+  int64_t gauge = 0;
+  uint64_t count = 0;  // histogram observations
+  uint64_t sum = 0;
+  std::vector<uint64_t> bounds;
+  std::vector<uint64_t> buckets;
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  const MetricSample* find(const std::string& name) const;
+  // {"schema":"dejavu-metrics-v1","metrics":[...]}
+  std::string to_json() const;
+};
+
+// Sums `from` into `into` by metric name: counters and histogram buckets
+// add, gauges take the incoming value. Metrics missing from `into` are
+// appended. Used by multi-run drivers (sweep, fuzz) to aggregate
+// per-engine registries into one export.
+void merge_snapshots(MetricsSnapshot* into, const MetricsSnapshot& from);
+
+class MetricRegistry {
+ public:
+  // Registration is idempotent by name: re-registering returns the
+  // existing slot (kind mismatches throw VmError). Pointers stay valid for
+  // the registry's lifetime.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name, std::vector<uint64_t> bounds);
+
+  MetricsSnapshot snapshot() const;
+  size_t size() const { return order_.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    void* slot;
+  };
+  Entry* find_entry(const std::string& name);
+
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<Entry> order_;  // registration order, for stable snapshots
+};
+
+// Exponential bucket bounds {1, 2, 4, ...} with `n` entries -- the default
+// shape for yield-delta and byte-size histograms.
+std::vector<uint64_t> pow2_bounds(size_t n);
+
+}  // namespace dejavu::obs

@@ -1,0 +1,124 @@
+#include "src/obs/timeline.hpp"
+
+#include <chrono>
+
+#include "src/common/check.hpp"
+#include "src/obs/json.hpp"
+
+namespace dejavu::obs {
+
+namespace {
+
+uint64_t steady_now_us() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count());
+}
+
+}  // namespace
+
+Timeline::Timeline(size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity), epoch_us_(steady_now_us()) {}
+
+uint64_t Timeline::now_us() const { return steady_now_us() - epoch_us_; }
+
+void Timeline::push(const TimelineEvent& e) {
+  if (size_ == ring_.size()) dropped_++;
+  ring_[head_] = e;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) size_++;
+}
+
+void Timeline::span_begin(const char* cat, const char* name,
+                          uint64_t logical_clock, uint32_t tid) {
+  TimelineEvent e;
+  e.type = TimelineEvent::Type::kSpanBegin;
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = now_us();
+  e.logical_clock = logical_clock;
+  e.tid = tid;
+  push(e);
+}
+
+void Timeline::span_end(const char* cat, const char* name,
+                        uint64_t logical_clock, uint32_t tid) {
+  TimelineEvent e;
+  e.type = TimelineEvent::Type::kSpanEnd;
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = now_us();
+  e.logical_clock = logical_clock;
+  e.tid = tid;
+  push(e);
+}
+
+void Timeline::instant(const char* cat, const char* name,
+                       uint64_t logical_clock, uint32_t tid,
+                       const char* arg0_name, int64_t arg0,
+                       const char* arg1_name, int64_t arg1) {
+  TimelineEvent e;
+  e.type = TimelineEvent::Type::kInstant;
+  e.cat = cat;
+  e.name = name;
+  e.ts_us = now_us();
+  e.logical_clock = logical_clock;
+  e.tid = tid;
+  e.arg0_name = arg0_name;
+  e.arg0 = arg0;
+  e.arg1_name = arg1_name;
+  e.arg1 = arg1;
+  push(e);
+}
+
+std::vector<TimelineEvent> Timeline::snapshot() const {
+  std::vector<TimelineEvent> out;
+  out.reserve(size_);
+  size_t start = (head_ + ring_.size() - size_) % ring_.size();
+  for (size_t i = 0; i < size_; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+std::string timeline_to_chrome_json(const std::vector<TimelineEvent>& events,
+                                    const std::string& process_name) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("displayTimeUnit", "ms");
+  w.key("traceEvents").begin_array();
+  // Metadata event naming the process row in the viewer.
+  w.begin_object();
+  w.kv("ph", "M");
+  w.kv("pid", uint64_t(1));
+  w.kv("tid", uint64_t(0));
+  w.kv("name", "process_name");
+  w.key("args").begin_object();
+  w.kv("name", process_name);
+  w.end_object();
+  w.end_object();
+  for (const TimelineEvent& e : events) {
+    w.begin_object();
+    switch (e.type) {
+      case TimelineEvent::Type::kSpanBegin: w.kv("ph", "B"); break;
+      case TimelineEvent::Type::kSpanEnd: w.kv("ph", "E"); break;
+      case TimelineEvent::Type::kInstant: w.kv("ph", "i"); break;
+    }
+    w.kv("cat", e.cat);
+    w.kv("name", e.name);
+    w.kv("ts", e.ts_us);
+    w.kv("pid", uint64_t(1));
+    w.kv("tid", uint64_t(e.tid));
+    if (e.type == TimelineEvent::Type::kInstant) w.kv("s", "t");
+    w.key("args").begin_object();
+    w.kv("logical_clock", e.logical_clock);
+    if (e.arg0_name[0] != '\0') w.kv(e.arg0_name, e.arg0);
+    if (e.arg1_name[0] != '\0') w.kv(e.arg1_name, e.arg1);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dejavu::obs

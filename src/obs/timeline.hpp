@@ -1,0 +1,79 @@
+// Timeline -- a ring-buffered recorder of host-side span and instant
+// events, exported as Chrome trace_event JSON.
+//
+// The replay engine emits one event per interesting host-side occurrence:
+// engine phases (attach, warmup, record, replay, verify) as spans, thread
+// switches (with their `nyp` delta and sync-vs-preemptive reason),
+// non-deterministic events, checkpoints, trace-chunk flushes and
+// divergences as instants. A finished run's timeline can be written with
+// to_chrome_json() and opened directly in Perfetto / chrome://tracing.
+//
+// Symmetry rules (§2.4) applied to telemetry: the ring is pre-allocated at
+// construction, event names and categories are static strings (no
+// allocation on the hot path), and nothing here ever touches the guest --
+// so enabling the timeline cannot perturb a recording or a replay (the
+// obs tests prove trace bytes are identical with it on and off). When the
+// ring fills, the oldest events are overwritten and `dropped()` counts
+// them: forensics favour the most recent window, like a flight recorder.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dejavu::obs {
+
+struct TimelineEvent {
+  enum class Type : uint8_t { kSpanBegin, kSpanEnd, kInstant };
+
+  Type type = Type::kInstant;
+  const char* cat = "";   // static string; Chrome "cat"
+  const char* name = "";  // static string
+  uint64_t ts_us = 0;     // host microseconds since the timeline epoch
+  uint64_t logical_clock = 0;
+  uint32_t tid = 0;  // guest thread id (0 = engine/VM itself)
+  // Up to two numeric args with static-string labels ("" = unused).
+  const char* arg0_name = "";
+  int64_t arg0 = 0;
+  const char* arg1_name = "";
+  int64_t arg1 = 0;
+};
+
+class Timeline {
+ public:
+  explicit Timeline(size_t capacity);
+
+  // All emitters are allocation-free.
+  void span_begin(const char* cat, const char* name, uint64_t logical_clock,
+                  uint32_t tid = 0);
+  void span_end(const char* cat, const char* name, uint64_t logical_clock,
+                uint32_t tid = 0);
+  void instant(const char* cat, const char* name, uint64_t logical_clock,
+               uint32_t tid = 0, const char* arg0_name = "", int64_t arg0 = 0,
+               const char* arg1_name = "", int64_t arg1 = 0);
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return ring_.size(); }
+  uint64_t dropped() const { return dropped_; }
+
+  // Events in chronological order (oldest surviving first).
+  std::vector<TimelineEvent> snapshot() const;
+
+ private:
+  void push(const TimelineEvent& e);
+  uint64_t now_us() const;
+
+  std::vector<TimelineEvent> ring_;
+  size_t head_ = 0;  // next write position
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t epoch_us_;  // steady-clock birth time
+};
+
+// Chrome trace_event JSON ("JSON object format": {"traceEvents":[...]}).
+// `process_name` labels the pid row in the viewer. Unpaired span events
+// are emitted as-is; the viewer tolerates them.
+std::string timeline_to_chrome_json(const std::vector<TimelineEvent>& events,
+                                    const std::string& process_name);
+
+}  // namespace dejavu::obs

@@ -2,8 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <sstream>
+
+#include "src/bytecode/disasm.hpp"
 
 namespace dejavu::replay {
 
@@ -49,12 +52,14 @@ DejaVuEngine::DejaVuEngine(SymmetryConfig cfg)
   mem_sink_ = sink.get();
   writer_ =
       std::make_unique<TraceWriter>(std::move(sink), cfg_.trace_chunk_bytes);
+  init_obs();
 }
 
 DejaVuEngine::DejaVuEngine(std::unique_ptr<TraceSink> sink, SymmetryConfig cfg)
     : mode_(Mode::kRecord), cfg_(cfg) {
   writer_ =
       std::make_unique<TraceWriter>(std::move(sink), cfg_.trace_chunk_bytes);
+  init_obs();
 }
 
 DejaVuEngine::DejaVuEngine(TraceFile trace, SymmetryConfig cfg)
@@ -64,13 +69,85 @@ DejaVuEngine::DejaVuEngine(std::unique_ptr<TraceSource> source,
                            SymmetryConfig cfg)
     : mode_(Mode::kReplay), cfg_(cfg), source_(std::move(source)) {
   cfg_.checkpoint_interval = source_->meta().checkpoint_interval;
+  init_obs();
 }
 
 DejaVuEngine::~DejaVuEngine() = default;
 
+// Registers every metric before attach, so the event hot path is a pointer
+// bump and never an allocation or a registry lookup (allocation symmetry:
+// telemetry makes no side effects the guest could observe, in either mode).
+void DejaVuEngine::init_obs() {
+  c_.clock = registry_.counter("engine.nd.clock");
+  c_.input = registry_.counter("engine.nd.input");
+  c_.rand = registry_.counter("engine.nd.rand");
+  c_.native_ret = registry_.counter("engine.nd.native_return");
+  c_.native_cb = registry_.counter("engine.nd.native_callback");
+  c_.preempt = registry_.counter("engine.schedule.preempt_switches");
+  c_.checkpoints = registry_.counter("engine.schedule.checkpoints");
+  c_.violations = registry_.counter("engine.symmetry.violations");
+  if (cfg_.obs.metrics) {
+    h_sched_delta_ =
+        registry_.histogram("engine.schedule.delta", obs::pow2_bounds(16));
+    h_event_bytes_ =
+        registry_.histogram("engine.events.entry_bytes", obs::pow2_bounds(12));
+    c_trace_sched_bytes_ = registry_.counter("engine.trace.schedule_bytes");
+    c_trace_event_bytes_ = registry_.counter("engine.trace.events_bytes");
+    c_mirror_bytes_ = registry_.counter("engine.mirror.bytes");
+    c_switches_total_ = registry_.counter("engine.switches.total");
+    g_logical_clock_ = registry_.gauge("engine.logical_clock");
+  }
+  if (cfg_.obs.timeline) {
+    timeline_ = std::make_unique<obs::Timeline>(cfg_.obs.timeline_capacity);
+    if (writer_ != nullptr) {
+      obs::Timeline* tl = timeline_.get();
+      writer_->set_chunk_observer([tl](StreamId id, size_t bytes) {
+        tl->instant("trace", "chunk_flush", 0, 0, "stream",
+                    int64_t(uint8_t(id)), "bytes", int64_t(bytes));
+      });
+    }
+  }
+}
+
+EngineStats DejaVuEngine::stats() const {
+  EngineStats s;
+  s.clock_events = c_.clock->value();
+  s.input_events = c_.input->value();
+  s.rand_events = c_.rand->value();
+  s.native_returns = c_.native_ret->value();
+  s.native_callbacks = c_.native_cb->value();
+  s.preempt_switches = c_.preempt->value();
+  s.checkpoints = c_.checkpoints->value();
+  s.symmetry_violations = c_.violations->value();
+  s.first_violation = first_violation_;
+  s.first_violation_clock = first_violation_clock_;
+  s.verified_ok = verified_ok_;
+  return s;
+}
+
+std::vector<obs::TimelineEvent> DejaVuEngine::timeline_events() const {
+  if (timeline_ == nullptr) return {};
+  return timeline_->snapshot();
+}
+
+uint32_t DejaVuEngine::cur_tid() const {
+  if (vm_ == nullptr) return 0;
+  return vm_->thread_package().current();
+}
+
+void DejaVuEngine::note_nd_event(const char* tag, int64_t value) {
+  recent_[recent_head_] = {tag, value, logical_clock_};
+  recent_head_ = (recent_head_ + 1) % recent_.size();
+  if (recent_count_ < recent_.size()) recent_count_++;
+  if (timeline_ != nullptr)
+    timeline_->instant("nd", tag, logical_clock_, cur_tid(), "value", value);
+}
+
 void DejaVuEngine::attach(vm::Vm& vm) {
   DV_CHECK_MSG(vm_ == nullptr, "engine attached twice");
   vm_ = &vm;
+  if (timeline_ != nullptr)
+    timeline_->span_begin("phase", "attach", logical_clock_);
 
   if (mode_ == Mode::kReplay) {
     uint64_t fp = fingerprint_program(vm.program());
@@ -103,6 +180,11 @@ void DejaVuEngine::attach(vm::Vm& vm) {
 
   if (mode_ == Mode::kReplay) {
     nyp_ = reload_nyp();
+  }
+  if (timeline_ != nullptr) {
+    timeline_->span_end("phase", "attach", logical_clock_);
+    timeline_->span_begin(
+        "phase", mode_ == Mode::kRecord ? "record" : "replay", logical_clock_);
   }
 }
 
@@ -138,6 +220,7 @@ void DejaVuEngine::ensure_io_class(const char* reason) {
 void DejaVuEngine::mirror_bytes(GuestBuffer& buf, const uint8_t* data,
                                 size_t n) {
   if (n == 0) return;
+  if (c_mirror_bytes_ != nullptr) c_mirror_bytes_->add(n);
   ensure_buffers_allocated("first trace byte");
   auto& heap = vm_->guest_heap();
   for (size_t i = 0; i < n; ++i) {
@@ -205,6 +288,8 @@ void DejaVuEngine::before_instrumentation() {
 void DejaVuEngine::record_event_bytes(const ByteWriter& w) {
   writer_->append(StreamId::kEvents, w.bytes().data(), w.size());
   mirror_bytes(event_buf_, w.bytes().data(), w.size());
+  if (h_event_bytes_ != nullptr) h_event_bytes_->record(w.size());
+  if (c_trace_event_bytes_ != nullptr) c_trace_event_bytes_->add(w.size());
 }
 
 uint8_t DejaVuEngine::replay_event_tag(EventTag expect) {
@@ -223,11 +308,11 @@ uint8_t DejaVuEngine::replay_event_tag(EventTag expect) {
 
 int64_t DejaVuEngine::nd_value(NdKind kind, int64_t live) {
   before_instrumentation();
-  auto count = [&](uint64_t n = 1) {
+  auto count = [&] {
     switch (kind) {
-      case NdKind::kClock: stats_.clock_events += n; break;
-      case NdKind::kInput: stats_.input_events += n; break;
-      case NdKind::kRand: stats_.rand_events += n; break;
+      case NdKind::kClock: c_.clock->add(); break;
+      case NdKind::kInput: c_.input->add(); break;
+      case NdKind::kRand: c_.rand->add(); break;
     }
   };
   if (mode_ == Mode::kRecord) {
@@ -236,6 +321,7 @@ int64_t DejaVuEngine::nd_value(NdKind kind, int64_t live) {
     w.put_svarint(live);
     record_event_bytes(w);
     count();
+    note_nd_event(tag_name(tag_of(kind)), live);
     return live;
   }
   replay_event_tag(tag_of(kind));
@@ -249,6 +335,7 @@ int64_t DejaVuEngine::nd_value(NdKind kind, int64_t live) {
   }
   mirror_cursor(*events_r_, event_buf_);
   count();
+  note_nd_event(tag_name(tag_of(kind)), v);
   return v;
 }
 
@@ -264,7 +351,8 @@ void DejaVuEngine::native_record_callback(const std::string& cls,
   w.put_uvarint(args.size());
   for (int64_t a : args) w.put_svarint(a);
   record_event_bytes(w);
-  stats_.native_callbacks++;
+  c_.native_cb->add();
+  note_nd_event(tag_name(EventTag::kNativeCallback), int64_t(args.size()));
 }
 
 int64_t DejaVuEngine::native_record_return(int64_t v) {
@@ -274,7 +362,8 @@ int64_t DejaVuEngine::native_record_return(int64_t v) {
   w.put_u8(uint8_t(EventTag::kNativeReturn));
   w.put_svarint(v);
   record_event_bytes(w);
-  stats_.native_returns++;
+  c_.native_ret->add();
+  note_nd_event(tag_name(EventTag::kNativeReturn), v);
   return v;
 }
 
@@ -298,13 +387,15 @@ bool DejaVuEngine::native_replay_next(std::string* cls, std::string* method,
       for (size_t i = 0; i < n; ++i)
         args->push_back(events_r_->get_svarint());
       mirror_cursor(*events_r_, event_buf_);
-      stats_.native_callbacks++;
+      c_.native_cb->add();
+      note_nd_event(tag_name(EventTag::kNativeCallback), int64_t(args->size()));
       return true;
     }
     if (tag == uint8_t(EventTag::kNativeReturn)) {
       *ret = events_r_->get_svarint();
       mirror_cursor(*events_r_, event_buf_);
-      stats_.native_returns++;
+      c_.native_ret->add();
+      note_nd_event(tag_name(EventTag::kNativeReturn), *ret);
       return false;
     }
   } catch (const VmError&) {
@@ -333,19 +424,28 @@ bool DejaVuEngine::yield_point(bool hardware_bit) {
       ByteWriter w;
       uint64_t delta = uint64_t(nyp_);
       if (cfg_.test_skew_schedule_delta != 0 &&
-          stats_.preempt_switches + 1 == cfg_.test_skew_schedule_delta) {
+          c_.preempt->value() + 1 == cfg_.test_skew_schedule_delta) {
         delta++;  // injected off-by-one (see SymmetryConfig)
       }
       w.put_uvarint(delta);
       writer_->append(StreamId::kSchedule, w.bytes().data(), w.size());
       mirror_bytes(sched_buf_, w.bytes().data(), w.size());
-      stats_.preempt_switches++;
-      if (stats_.preempt_switches % cfg_.checkpoint_interval == 0) {
+      c_.preempt->add();
+      if (h_sched_delta_ != nullptr) h_sched_delta_->record(delta);
+      if (c_trace_sched_bytes_ != nullptr)
+        c_trace_sched_bytes_->add(w.size());
+      if (c_.preempt->value() % cfg_.checkpoint_interval == 0) {
         ByteWriter cw;
         collect_checkpoint().write_to(cw);
         writer_->append(StreamId::kSchedule, cw.bytes().data(), cw.size());
         mirror_bytes(sched_buf_, cw.bytes().data(), cw.size());
-        stats_.checkpoints++;
+        c_.checkpoints->add();
+        if (c_trace_sched_bytes_ != nullptr)
+          c_trace_sched_bytes_->add(cw.size());
+        if (timeline_ != nullptr)
+          timeline_->instant("schedule", "checkpoint", logical_clock_,
+                             cur_tid(), "count",
+                             int64_t(c_.checkpoints->value()));
       }
       nyp_ = 0;
       do_switch = true;  // threadswitchbitset
@@ -355,9 +455,11 @@ bool DejaVuEngine::yield_point(bool hardware_bit) {
     if (!schedule_exhausted_) {
       nyp_--;
       if (nyp_ <= 0) {
-        stats_.preempt_switches++;
+        c_.preempt->add();
         do_switch = true;
         nyp_ = reload_nyp();
+        if (h_sched_delta_ != nullptr && !schedule_exhausted_)
+          h_sched_delta_->record(uint64_t(nyp_));
       }
     }
   }
@@ -369,12 +471,16 @@ bool DejaVuEngine::yield_point(bool hardware_bit) {
 int64_t DejaVuEngine::reload_nyp() {
   try {
     // A checkpoint follows every checkpoint_interval-th delta.
-    if (stats_.preempt_switches > 0 &&
-        stats_.preempt_switches % cfg_.checkpoint_interval == 0 &&
+    if (c_.preempt->value() > 0 &&
+        c_.preempt->value() % cfg_.checkpoint_interval == 0 &&
         !schedule_r_->at_end()) {
       Checkpoint recorded = read_checkpoint(*schedule_r_);
       mirror_cursor(*schedule_r_, sched_buf_);
-      stats_.checkpoints++;
+      c_.checkpoints->add();
+      if (timeline_ != nullptr)
+        timeline_->instant("schedule", "checkpoint", logical_clock_,
+                           cur_tid(), "count",
+                           int64_t(c_.checkpoints->value()));
       check_checkpoint(recorded);
     }
     if (schedule_r_->at_end()) {
@@ -413,23 +519,108 @@ void DejaVuEngine::check_checkpoint(const Checkpoint& recorded) {
   }
 }
 
+// Captures the forensic context of a divergence while the engine and VM
+// are still alive. Everything here is best-effort reads of live state --
+// the VM may legitimately have no current frame (e.g. the final
+// verification in detach runs after the last thread exited), so frame and
+// disassembly stay empty in that case.
+obs::DivergenceReport DejaVuEngine::capture_divergence(
+    const std::string& what) const {
+  obs::DivergenceReport r;
+  r.what = what;
+  r.logical_clock = logical_clock_;
+  r.nyp_remaining = nyp_ > 0 ? uint64_t(nyp_) : 0;
+  r.preempt_switches = c_.preempt->value();
+  r.checkpoints = c_.checkpoints->value();
+  if (schedule_r_ != nullptr) {
+    r.schedule_pos = schedule_r_->position();
+    r.schedule_remaining = schedule_r_->remaining();
+  }
+  if (events_r_ != nullptr) {
+    r.events_pos = events_r_->position();
+    r.events_remaining = events_r_->remaining();
+  }
+  for (size_t i = 0; i < recent_count_; ++i) {
+    const RecentEvent& e =
+        recent_[(recent_head_ + recent_.size() - recent_count_ + i) %
+                recent_.size()];
+    r.recent_events.push_back(
+        {e.tag, uint64_t(e.value), e.clock});
+  }
+  if (vm_ == nullptr) return r;
+  r.thread = vm_->thread_package().current();
+  try {
+    r.thread_name = vm_->thread_package().name(r.thread);
+  } catch (const VmError&) {
+  }
+  try {
+    vm::FrameView f = vm_->current_frame_view();
+    r.frame_class = f.class_name;
+    r.frame_method = f.method_name;
+    r.pc = f.pc;
+    r.line = f.line > 0 ? uint32_t(f.line) : 0;
+    const bytecode::ClassDef* cls = vm_->program().find_class(f.class_name);
+    const bytecode::MethodDef* m =
+        cls != nullptr ? cls->find_method(f.method_name) : nullptr;
+    if (m != nullptr && f.pc < m->code.size()) {
+      size_t lo = f.pc >= 8 ? f.pc - 8 : 0;
+      size_t hi = std::min(m->code.size(), size_t(f.pc) + 9);
+      for (size_t pc = lo; pc < hi; ++pc) {
+        std::string d = pc == f.pc ? "=> " : "   ";
+        d += bytecode::disassemble_instr(vm_->program(), *m, pc);
+        r.disasm.push_back(std::move(d));
+      }
+    }
+  } catch (const VmError&) {
+    // No live frame at the violation site.
+  }
+  return r;
+}
+
 void DejaVuEngine::violation(const std::string& what) {
-  stats_.symmetry_violations++;
-  if (stats_.first_violation.empty()) stats_.first_violation = what;
-  if (cfg_.strict) throw ReplayDivergence(what);
+  c_.violations->add();
+  if (first_violation_.empty()) {
+    first_violation_ = what;
+    first_violation_clock_ = logical_clock_;
+    divergence_ = capture_divergence(what);
+  }
+  if (timeline_ != nullptr)
+    timeline_->instant("divergence", "violation", logical_clock_, cur_tid(),
+                       "count", int64_t(c_.violations->value()));
+  if (cfg_.strict) {
+    ReplayDivergence e(what);
+    if (divergence_.has_value()) e.set_forensics(divergence_->serialize());
+    throw e;
+  }
+}
+
+void DejaVuEngine::on_switch(threads::Tid from, threads::Tid to,
+                             threads::SwitchReason reason) {
+  // Pure host-side observability: never touches the guest, so sync and
+  // preemptive switches alike can be timestamped without perturbation.
+  if (c_switches_total_ != nullptr) c_switches_total_->add();
+  if (timeline_ != nullptr)
+    timeline_->instant("threads", threads::switch_reason_name(reason),
+                       logical_clock_, to, "from", int64_t(from), "nyp",
+                       nyp_);
 }
 
 void DejaVuEngine::detach(vm::Vm& vm) {
   if (detached_) return;
   detached_ = true;
   vm::BehaviorSummary s = vm.summary();
+  if (g_logical_clock_ != nullptr)
+    g_logical_clock_->set(int64_t(logical_clock_));
+  if (timeline_ != nullptr)
+    timeline_->span_end(
+        "phase", mode_ == Mode::kRecord ? "record" : "replay", logical_clock_);
 
   if (mode_ == Mode::kRecord) {
     TraceMeta meta;
     meta.program_fingerprint = fingerprint_program(vm.program());
     meta.checkpoint_interval = cfg_.checkpoint_interval;
-    meta.preempt_switches = stats_.preempt_switches;
-    meta.nd_events = stats_.nd_events();
+    meta.preempt_switches = c_.preempt->value();
+    meta.nd_events = stats().nd_events();
     meta.final_checkpoint = collect_checkpoint();
     meta.final_output_hash = s.output_hash;
     meta.final_heap_hash = s.heap_hash;
@@ -444,6 +635,8 @@ void DejaVuEngine::detach(vm::Vm& vm) {
   }
 
   // Replay verification: both streams consumed, final state identical.
+  if (timeline_ != nullptr)
+    timeline_->span_begin("phase", "verify", logical_clock_);
   const TraceMeta& meta = source_->meta();
   if (!events_r_->at_end()) {
     violation("events not exhausted: " +
@@ -466,7 +659,9 @@ void DejaVuEngine::detach(vm::Vm& vm) {
   verify("instruction count", s.instr_count, meta.final_instr_count);
   verify("heap image hash", s.heap_hash, meta.final_heap_hash);
   verify("audit digest", s.audit_digest, meta.final_audit_digest);
-  stats_.verified_ok = stats_.symmetry_violations == 0;
+  verified_ok_ = c_.violations->value() == 0;
+  if (timeline_ != nullptr)
+    timeline_->span_end("phase", "verify", logical_clock_);
 }
 
 TraceFile DejaVuEngine::take_trace() {

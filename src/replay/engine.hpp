@@ -31,10 +31,15 @@
 // corrupting the run.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/obs/divergence.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/replay/trace.hpp"
 #include "src/replay/trace_io.hpp"
 #include "src/vm/hooks.hpp"
@@ -87,8 +92,15 @@ struct SymmetryConfig {
   // path never influences recorded behaviour (the warm-up audit detail is
   // path-independent), so record and replay may use different paths.
   std::string warmup_path;
+
+  // Host-side telemetry knobs (§2.4-safe: flipping these never changes
+  // guest behaviour or trace bytes; tests/obs asserts byte identity).
+  obs::ObsConfig obs;
 };
 
+// A plain snapshot of the engine's core counters. The authoritative store
+// is the engine's obs::MetricRegistry (pre-allocated at construction, one
+// pointer bump per event); stats() materializes this view on demand.
 struct EngineStats {
   uint64_t clock_events = 0;
   uint64_t input_events = 0;
@@ -99,6 +111,7 @@ struct EngineStats {
   uint64_t checkpoints = 0;
   uint64_t symmetry_violations = 0;
   std::string first_violation;
+  uint64_t first_violation_clock = 0;  // logical clock at first violation
   bool verified_ok = false;  // replay only: final behaviour matched
 
   uint64_t nd_events() const {
@@ -123,10 +136,22 @@ class DejaVuEngine : public vm::ExecHooks {
   ~DejaVuEngine() override;
 
   Mode mode() const { return mode_; }
-  const EngineStats& stats() const { return stats_; }
+  EngineStats stats() const;
   // Record mode: true when writing through an external sink (no in-memory
   // copy is kept; take_trace() is unavailable).
   bool streaming() const { return mode_ == Mode::kRecord && mem_sink_ == nullptr; }
+
+  // ---- telemetry (host-side only; see src/obs) ---------------------------
+  // Every registered metric, including the core counters behind stats().
+  obs::MetricsSnapshot metrics() const { return registry_.snapshot(); }
+  // Timeline events captured so far (empty unless cfg.obs.timeline).
+  std::vector<obs::TimelineEvent> timeline_events() const;
+  const obs::Timeline* timeline() const { return timeline_.get(); }
+  // Forensics captured at the *first* divergence (strict or not). In strict
+  // mode the same report rides the thrown ReplayDivergence's forensics().
+  const std::optional<obs::DivergenceReport>& divergence() const {
+    return divergence_;
+  }
 
   // Record mode, after the run: the completed trace (in-memory mode only).
   TraceFile take_trace();
@@ -143,6 +168,8 @@ class DejaVuEngine : public vm::ExecHooks {
   int64_t native_record_return(int64_t v) override;
   bool native_replay_next(std::string* cls, std::string* method,
                           std::vector<int64_t>* args, int64_t* ret) override;
+  void on_switch(threads::Tid from, threads::Tid to,
+                 threads::SwitchReason reason) override;
 
  private:
   // One guest-resident trace buffer (schedule or events). The host-side
@@ -169,10 +196,56 @@ class DejaVuEngine : public vm::ExecHooks {
   void check_checkpoint(const Checkpoint& recorded);
   void violation(const std::string& what);
 
+  // Telemetry plumbing (all host-side; registered before attach so the hot
+  // path never allocates).
+  void init_obs();
+  uint32_t cur_tid() const;
+  void note_nd_event(const char* tag, int64_t value);
+  obs::DivergenceReport capture_divergence(const std::string& what) const;
+
   Mode mode_;
   SymmetryConfig cfg_;
   vm::Vm* vm_ = nullptr;
-  EngineStats stats_;
+
+  // Core counters: authoritative storage for EngineStats, owned by the
+  // registry; one pointer bump per event on the hot path.
+  struct Counters {
+    obs::Counter* clock = nullptr;
+    obs::Counter* input = nullptr;
+    obs::Counter* rand = nullptr;
+    obs::Counter* native_ret = nullptr;
+    obs::Counter* native_cb = nullptr;
+    obs::Counter* preempt = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* violations = nullptr;
+  };
+  obs::MetricRegistry registry_;
+  Counters c_;
+  // Optional extras (cfg_.obs.metrics); null when disabled.
+  obs::Histogram* h_sched_delta_ = nullptr;
+  obs::Histogram* h_event_bytes_ = nullptr;
+  obs::Counter* c_trace_sched_bytes_ = nullptr;
+  obs::Counter* c_trace_event_bytes_ = nullptr;
+  obs::Counter* c_mirror_bytes_ = nullptr;
+  obs::Counter* c_switches_total_ = nullptr;
+  obs::Gauge* g_logical_clock_ = nullptr;
+  std::unique_ptr<obs::Timeline> timeline_;  // null unless cfg_.obs.timeline
+
+  // Flight-recorder ring of recently consumed nd-events, for forensics.
+  // POD entries with static-string tags: updating it never allocates.
+  struct RecentEvent {
+    const char* tag = "";
+    int64_t value = 0;
+    uint64_t clock = 0;
+  };
+  std::array<RecentEvent, 16> recent_{};
+  size_t recent_head_ = 0;   // next write slot
+  size_t recent_count_ = 0;  // min(events seen, ring size)
+
+  std::string first_violation_;
+  uint64_t first_violation_clock_ = 0;
+  bool verified_ok_ = false;
+  std::optional<obs::DivergenceReport> divergence_;
 
   // Figure 2 state.
   bool live_clock_ = true;

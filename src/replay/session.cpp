@@ -13,6 +13,8 @@ RecordResult record_run(const bytecode::Program& prog, vm::VmOptions opts,
   r.summary = v.summary();
   r.output = v.output();
   r.stats = engine.stats();
+  r.metrics = engine.metrics();
+  r.timeline = engine.timeline_events();
   r.trace = engine.take_trace();
   return r;
 }
@@ -31,6 +33,8 @@ RecordFileResult record_run_to(const std::string& path,
   r.summary = v.summary();
   r.output = v.output();
   r.stats = engine.stats();
+  r.metrics = engine.metrics();
+  r.timeline = engine.timeline_events();
   return r;
 }
 
@@ -47,7 +51,10 @@ ReplayResult replay_with(DejaVuEngine& engine, const bytecode::Program& prog,
   r.summary = v.summary();
   r.output = v.output();
   r.stats = engine.stats();
-  r.verified = engine.stats().verified_ok;
+  r.verified = r.stats.verified_ok;
+  r.metrics = engine.metrics();
+  r.timeline = engine.timeline_events();
+  r.divergence = engine.divergence();
   return r;
 }
 }  // namespace
@@ -99,7 +106,10 @@ ReplayResult ReplaySession::finish() {
   r.summary = vm_->summary();
   r.output = vm_->output();
   r.stats = engine_->stats();
-  r.verified = engine_->stats().verified_ok;
+  r.verified = r.stats.verified_ok;
+  r.metrics = engine_->metrics();
+  r.timeline = engine_->timeline_events();
+  r.divergence = engine_->divergence();
   return r;
 }
 

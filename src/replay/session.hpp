@@ -26,6 +26,8 @@ struct RecordResult {
   vm::BehaviorSummary summary;
   std::string output;
   EngineStats stats;
+  obs::MetricsSnapshot metrics;            // every engine metric
+  std::vector<obs::TimelineEvent> timeline;  // empty unless cfg.obs.timeline
 };
 
 // Result of a streamed recording: the trace went to `path` chunk by chunk
@@ -35,6 +37,8 @@ struct RecordFileResult {
   vm::BehaviorSummary summary;
   std::string output;
   EngineStats stats;
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TimelineEvent> timeline;
 };
 
 struct ReplayResult {
@@ -42,6 +46,11 @@ struct ReplayResult {
   std::string output;
   EngineStats stats;
   bool verified = false;  // accuracy check passed
+  obs::MetricsSnapshot metrics;
+  std::vector<obs::TimelineEvent> timeline;
+  // First-divergence forensics (non-strict replays; strict replays carry
+  // the same report on the thrown ReplayDivergence).
+  std::optional<obs::DivergenceReport> divergence;
 };
 
 // Records one execution. The environment and timer supply the

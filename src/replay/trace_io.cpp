@@ -106,6 +106,7 @@ void TraceWriter::emit(StreamId id) {
   if (b.size() == 0) return;
   sink_->write_chunk(id, b.bytes().data(), b.size());
   (id == StreamId::kSchedule ? sched_chunks_ : events_chunks_)++;
+  if (observer_) observer_(id, b.size());
   b.clear();
 }
 

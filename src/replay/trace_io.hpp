@@ -36,6 +36,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -122,10 +123,17 @@ class TraceWriter {
   uint64_t stream_bytes(StreamId id) const;
   size_t buffered_bytes() const;
 
+  // Invoked after each data chunk reaches the sink (stream, payload bytes).
+  // Observability hook: the engine uses it to timestamp chunk flushes
+  // without trace_io depending on src/obs.
+  using ChunkObserver = std::function<void(StreamId, size_t)>;
+  void set_chunk_observer(ChunkObserver obs) { observer_ = std::move(obs); }
+
  private:
   ByteWriter& buf(StreamId id);
   void emit(StreamId id);
 
+  ChunkObserver observer_;
   std::unique_ptr<TraceSink> sink_;
   size_t chunk_bytes_;
   ByteWriter sched_buf_, events_buf_;

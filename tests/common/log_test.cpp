@@ -1,0 +1,71 @@
+// The logging contract the telemetry layer leans on: off by default, a
+// DV_ERROR level above warnings, and a pluggable sink so tools emitting
+// machine-readable artifacts can capture diagnostics instead of letting
+// them hit stderr.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/log.hpp"
+
+namespace dejavu {
+namespace {
+
+struct SinkGuard {
+  ~SinkGuard() {
+    set_log_sink(nullptr);
+    set_log_level(LogLevel::kNone);
+  }
+};
+
+TEST(Log, OffByDefaultAndLevelFiltered) {
+  SinkGuard guard;
+  std::vector<std::pair<LogLevel, std::string>> got;
+  set_log_sink([&](LogLevel lvl, const std::string& msg) {
+    got.emplace_back(lvl, msg);
+  });
+
+  ASSERT_EQ(log_level(), LogLevel::kNone);  // the repo-wide default
+  DV_ERROR("invisible at kNone");
+  EXPECT_TRUE(got.empty());
+
+  set_log_level(LogLevel::kError);
+  DV_ERROR("e " << 1);
+  DV_WARN("filtered");
+  DV_INFO("filtered");
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, LogLevel::kError);
+  EXPECT_EQ(got[0].second, "e 1");
+
+  set_log_level(LogLevel::kWarn);
+  DV_WARN("w");
+  DV_DEBUG("filtered");
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[1].first, LogLevel::kWarn);
+}
+
+TEST(Log, LevelsAreOrderedAndNamed) {
+  EXPECT_LT(int(LogLevel::kNone), int(LogLevel::kError));
+  EXPECT_LT(int(LogLevel::kError), int(LogLevel::kWarn));
+  EXPECT_LT(int(LogLevel::kWarn), int(LogLevel::kInfo));
+  EXPECT_LT(int(LogLevel::kInfo), int(LogLevel::kDebug));
+  EXPECT_STREQ(log_level_name(LogLevel::kError), "ERROR");
+  EXPECT_STREQ(log_level_name(LogLevel::kWarn), "WARN");
+}
+
+TEST(Log, SinkRestoresToStderrDefault) {
+  SinkGuard guard;
+  int calls = 0;
+  set_log_sink([&](LogLevel, const std::string&) { calls++; });
+  set_log_level(LogLevel::kError);
+  DV_ERROR("captured");
+  EXPECT_EQ(calls, 1);
+  set_log_sink(nullptr);  // default sink: must not call the old lambda
+  DV_ERROR("to stderr");
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace dejavu

@@ -19,6 +19,8 @@
 #include "src/fuzz/minimizer.hpp"
 #include "src/fuzz/oracle.hpp"
 #include "src/fuzz/spec.hpp"
+#include "src/obs/divergence.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace dejavu::fuzz {
 namespace {
@@ -92,6 +94,8 @@ TEST(FuzzCampaign, CleanOnHealthyEngine) {
   opts.iters = env_iters(25);
   opts.fault_every = 10;  // exercise fault injection a few times
   opts.out_dir = scratch_dir("campaign");
+  obs::MetricRegistry registry;
+  opts.registry = &registry;
   FuzzReport report = run_fuzz(opts);
   EXPECT_EQ(report.cases_run, opts.iters);
   EXPECT_EQ(report.divergences, 0u) << report.summary();
@@ -99,6 +103,13 @@ TEST(FuzzCampaign, CleanOnHealthyEngine) {
   EXPECT_EQ(report.faults_detected, report.faults_injected)
       << report.summary();
   EXPECT_TRUE(report.clean());
+
+  // Campaign counters mirror the report.
+  obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(uint64_t(snap.find("fuzz.cases")->value), report.cases_run);
+  EXPECT_EQ(uint64_t(snap.find("fuzz.divergences")->value), 0u);
+  EXPECT_EQ(uint64_t(snap.find("fuzz.faults.injected")->value),
+            report.faults_injected);
 }
 
 TEST(FuzzCampaign, InjectedSkewIsCaughtAndMinimized) {
@@ -123,10 +134,22 @@ TEST(FuzzCampaign, InjectedSkewIsCaughtAndMinimized) {
   EXPECT_LE(f.minimized_instructions, 20u);
   ASSERT_FALSE(f.repro_path.empty());
 
+  // Replay-side failures carry first-divergence forensics, and they are
+  // embedded in the written reproducer where `dejavu report` finds them.
+  if (f.stage == "replay-mem" || f.stage == "replay-file") {
+    ASSERT_FALSE(f.forensics.empty());
+    obs::DivergenceReport rep = obs::parse_report(f.forensics);
+    EXPECT_FALSE(rep.what.empty());
+  }
+
   // The written reproducer parses back and still exposes the bug...
   std::ifstream in(f.repro_path);
   std::stringstream buf;
   buf << in.rdbuf();
+  if (!f.forensics.empty()) {
+    obs::DivergenceReport embedded;
+    EXPECT_TRUE(obs::extract_report(buf.str(), &embedded));
+  }
   CaseSpec repro = parse_case(buf.str());
   EXPECT_LE(case_instruction_count(repro), 20u);
   FuzzOptions rerun = opts;

@@ -31,9 +31,8 @@ std::string golden_path(const char* name) {
 // deterministic, so re-recording must reproduce the committed bytes.
 bytecode::Program golden_program() { return workloads::clock_mixer(2, 12); }
 
-RecordResult record_recipe() {
+RecordResult record_recipe(SymmetryConfig cfg = {}) {
   vm::VmOptions opts;
-  SymmetryConfig cfg;
   vm::ScriptedEnvironment env(500, 3, {11, 22, 33}, 5);
   threads::VirtualTimer timer(9, 4, 48);
   vm::NativeRegistry natives = vmtest::make_test_natives();
@@ -73,6 +72,27 @@ TEST(GoldenTrace, WritersAreByteStable) {
   EXPECT_EQ(v3, want_v3) << "v3 writer no longer byte-stable ("
                          << v3.size() << "B now vs " << want_v3.size()
                          << "B golden)";
+}
+
+// Telemetry is host-side only (§2.4): recording the recipe with metrics
+// and the timeline enabled -- or everything disabled -- must reproduce
+// the committed golden bytes exactly.
+TEST(GoldenTrace, TelemetryDoesNotPerturbGoldenBytes) {
+  if (std::getenv("DEJAVU_REGEN_GOLDEN") != nullptr)
+    GTEST_SKIP() << "regeneration run";
+  std::vector<uint8_t> want_v4 = read_file(golden_path("clock_mixer.v4.djv"));
+
+  SymmetryConfig all_on;
+  all_on.obs.metrics = true;
+  all_on.obs.timeline = true;
+  SymmetryConfig all_off;
+  all_off.obs.metrics = false;
+  all_off.obs.timeline = false;
+
+  EXPECT_EQ(record_recipe(all_on).trace.serialize(), want_v4)
+      << "enabling telemetry changed the recorded trace bytes";
+  EXPECT_EQ(record_recipe(all_off).trace.serialize(), want_v4)
+      << "disabling telemetry changed the recorded trace bytes";
 }
 
 TEST(GoldenTrace, GoldenV4VerifiesAndReplays) {

@@ -7,12 +7,55 @@
 #
 # The suite is sliced by ctest label: `unit` (module gtests), `fuzz`
 # (bounded schedule-space fuzz campaigns, iteration budget via
-# DEJAVU_FUZZ_ITERS), `smoke` (one-iteration bench runs).
+# DEJAVU_FUZZ_ITERS), `smoke` (one-iteration bench runs), `obs`
+# (telemetry-symmetry tests; also run under the sanitizers).
 #
-# Usage: tools/check.sh [jobs]
+# Usage: tools/check.sh [jobs|obs]
+#   tools/check.sh        full check
+#   tools/check.sh obs    observability slice only: obs-labelled tests in
+#                         both builds, emit every telemetry artifact kind
+#                         and schema-check them, refresh BENCH_smoke.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+check_obs_slice() {
+  local jobs="$1"
+  echo "== obs slice: telemetry symmetry + artifact schemas =="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target test_obs bench_smoke dejavu \
+    obs_schema_check
+  ctest --test-dir build --output-on-failure -j "$jobs" -L obs
+
+  local art=build/obs-artifacts
+  mkdir -p "$art"
+  ./build/tools/dejavu record clock_mixer --seed 5 --out "$art/cm.djv" \
+    --metrics-json "$art/record_metrics.json" \
+    --timeline "$art/record_timeline.json" >/dev/null
+  ./build/tools/dejavu replay clock_mixer "$art/cm.djv" \
+    --metrics-json "$art/replay_metrics.json" \
+    --timeline "$art/replay_timeline.json" >/dev/null
+  ./build/bench/bench_smoke --json BENCH_smoke.json \
+    --timeline "$art/bench_timeline.json" >/dev/null
+  ./build/tools/obs_schema_check metrics \
+    "$art/record_metrics.json" "$art/replay_metrics.json"
+  ./build/tools/obs_schema_check timeline \
+    "$art/record_timeline.json" "$art/replay_timeline.json" \
+    "$art/bench_timeline.json"
+  ./build/tools/obs_schema_check bench BENCH_smoke.json
+
+  echo "== obs slice: sanitized (build-asan/, ASan+UBSan) =="
+  cmake -B build-asan -S . -DDEJAVU_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j "$jobs" --target test_obs bench_smoke
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" -L obs
+}
+
+if [[ "${1:-}" == "obs" ]]; then
+  check_obs_slice "${2:-$(nproc)}"
+  echo "== obs checks passed =="
+  exit 0
+fi
+
 JOBS="${1:-$(nproc)}"
 
 echo "== normal build (build/) =="
@@ -22,6 +65,8 @@ ctest --test-dir build --output-on-failure -j "$JOBS" -L unit
 DEJAVU_FUZZ_ITERS="${DEJAVU_FUZZ_ITERS:-25}" \
   ctest --test-dir build --output-on-failure -j "$JOBS" -L fuzz
 ctest --test-dir build --output-on-failure -j "$JOBS" -L smoke
+
+check_obs_slice "$JOBS"
 
 echo "== sanitized build (build-asan/, ASan+UBSan) =="
 cmake -B build-asan -S . -DDEJAVU_SANITIZE=ON >/dev/null

@@ -9,6 +9,7 @@
 //   dejavu convert <in.djv> <out.djv>        rewrite (e.g. v3) as v4
 //   dejavu sweep <workload> [--seeds N]      outcome histogram
 //   dejavu fuzz [--seed N] [--iters K] [--minimize] ...   schedule fuzzer
+//   dejavu report <file>                     render divergence forensics
 //   dejavu debug <workload> <trace.djv>      interactive debugger REPL
 //
 // Workloads are the built-in guest programs from src/workloads (listed by
@@ -18,16 +19,29 @@
 // `replay` and `dump` stream them back, so neither side materializes the
 // whole trace. `verify` walks every chunk's CRC and reports the first
 // corruption with its stream and file offset.
+//
+// Telemetry: record, replay, sweep and fuzz accept `--metrics-json F`
+// (engine metric snapshot as dejavu-metrics-v1 JSON; sweeps and fuzz
+// campaigns aggregate across runs) and `--timeline F` (Chrome trace_event
+// JSON loadable in Perfetto / chrome://tracing). Both are host-side only
+// and never perturb the recording -- the trace bytes are identical with
+// them on or off. `report` extracts and renders the DivergenceReport block
+// embedded in a fuzz reproducer (.dvfz) or saved from a failed replay.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "src/debugger/debugger.hpp"
 #include "src/frontend/server.hpp"
 #include "src/fuzz/fuzzer.hpp"
+#include "src/obs/divergence.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/timeline.hpp"
 #include "src/replay/session.hpp"
 #include "src/replay/trace_tools.hpp"
 #include "src/threads/timer.hpp"
@@ -106,23 +120,53 @@ int cmd_list() {
   return 0;
 }
 
+// Telemetry export destinations shared by record/replay/sweep/fuzz.
+struct TelemetryOpts {
+  std::string metrics_json;  // --metrics-json F ("" = off)
+  std::string timeline;      // --timeline F ("" = off)
+};
+
+void write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) throw VmError("cannot write " + path);
+  out << content << "\n";
+  if (!out.good()) throw VmError("short write to " + path);
+}
+
+void export_telemetry(const TelemetryOpts& tel,
+                      const obs::MetricsSnapshot& metrics,
+                      const std::vector<obs::TimelineEvent>& events,
+                      const std::string& process_name) {
+  if (!tel.metrics_json.empty()) {
+    write_text_file(tel.metrics_json, metrics.to_json());
+    std::printf("metrics written to %s\n", tel.metrics_json.c_str());
+  }
+  if (!tel.timeline.empty()) {
+    write_text_file(tel.timeline,
+                    obs::timeline_to_chrome_json(events, process_name));
+    std::printf("timeline written to %s\n", tel.timeline.c_str());
+  }
+}
+
 int cmd_record(const std::string& name, uint64_t seed, bool realtime,
-               const std::string& out) {
+               const std::string& out, const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
     std::fprintf(stderr, "unknown workload %s\n", name.c_str());
     return 1;
   }
   vm::NativeRegistry natives = make_natives();
+  replay::SymmetryConfig cfg;
+  cfg.obs.timeline = !tel.timeline.empty();
   replay::RecordFileResult rec;
   if (realtime) {
     vm::HostEnvironment env;
     threads::RealTimeTimer timer(std::chrono::microseconds(100));
-    rec = replay::record_run_to(out, e->make(), {}, env, timer, &natives);
+    rec = replay::record_run_to(out, e->make(), {}, env, timer, &natives, cfg);
   } else {
     vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
     threads::VirtualTimer timer(seed == 0 ? 7 : seed, 40, 400);
-    rec = replay::record_run_to(out, e->make(), {}, env, timer, &natives);
+    rec = replay::record_run_to(out, e->make(), {}, env, timer, &natives, cfg);
   }
   std::printf("output:\n%s", rec.output.c_str());
   std::printf("instrs=%llu switches=%llu preempts=%llu events=%llu "
@@ -133,21 +177,56 @@ int cmd_record(const std::string& name, uint64_t seed, bool realtime,
               (unsigned long long)rec.stats.nd_events(),
               (unsigned long long)std::filesystem::file_size(out));
   std::printf("trace written to %s\n", out.c_str());
+  export_telemetry(tel, rec.metrics, rec.timeline, "dejavu record " + name);
   return 0;
 }
 
-int cmd_replay(const std::string& name, const std::string& path) {
+int cmd_replay(const std::string& name, const std::string& path,
+               const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
     std::fprintf(stderr, "unknown workload %s\n", name.c_str());
     return 1;
   }
-  replay::ReplayResult rep = replay::replay_file(e->make(), path, {});
+  replay::SymmetryConfig cfg;
+  cfg.obs.timeline = !tel.timeline.empty();
+  // Run non-strict so a diverged replay still produces its full stats,
+  // metrics and forensics instead of unwinding mid-run.
+  cfg.strict = false;
+  replay::ReplayResult rep = replay::replay_file(e->make(), path, {}, cfg);
   std::printf("output:\n%s", rep.output.c_str());
   std::printf("replay %s\n", rep.verified ? "verified exact" : "DIVERGED");
-  if (!rep.verified)
-    std::printf("first violation: %s\n", rep.stats.first_violation.c_str());
+  if (!rep.verified) {
+    std::printf("first violation: %s (logical clock %llu)\n",
+                rep.stats.first_violation.c_str(),
+                (unsigned long long)rep.stats.first_violation_clock);
+    if (rep.divergence.has_value())
+      std::fputs(rep.divergence->render().c_str(), stdout);
+  }
+  export_telemetry(tel, rep.metrics, rep.timeline, "dejavu replay " + name);
   return rep.verified ? 0 : 1;
+}
+
+// dejavu report: extract and render the DivergenceReport embedded in a
+// fuzz reproducer (.dvfz) -- or any file containing a "dvrep 1" block.
+int cmd_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  obs::DivergenceReport rep;
+  if (!obs::extract_report(buf.str(), &rep)) {
+    std::fprintf(stderr,
+                 "no divergence report found in %s (expected an embedded "
+                 "'dvrep 1' block)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fputs(rep.render().c_str(), stdout);
+  return 0;
 }
 
 int cmd_dump(const std::string& path) {
@@ -184,7 +263,7 @@ int cmd_convert(const std::string& in, const std::string& out) {
   return 0;
 }
 
-int cmd_sweep(const std::string& name, int n_seeds) {
+int cmd_sweep(const std::string& name, int n_seeds, const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
     std::fprintf(stderr, "unknown workload %s\n", name.c_str());
@@ -192,6 +271,10 @@ int cmd_sweep(const std::string& name, int n_seeds) {
   }
   vm::NativeRegistry natives = make_natives();
   std::map<std::string, int> hist;
+  // Campaign-level telemetry: per-engine metrics merge into one snapshot;
+  // the timeline marks each seed's completion.
+  obs::MetricsSnapshot merged;
+  obs::Timeline timeline(4096);
   for (int seed = 1; seed <= n_seeds; ++seed) {
     vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
     // Fine-grained preemption: sweeps are for *finding* rare schedules.
@@ -199,19 +282,28 @@ int cmd_sweep(const std::string& name, int n_seeds) {
     replay::RecordResult rec =
         replay::record_run(e->make(), {}, env, timer, &natives);
     hist[rec.output]++;
+    obs::merge_snapshots(&merged, rec.metrics);
+    timeline.instant("sweep", "seed_done", 0, 0, "seed", seed, "preempts",
+                     int64_t(rec.stats.preempt_switches));
   }
   std::printf("%d schedules, %zu distinct outcomes:\n", n_seeds, hist.size());
   for (const auto& [out, n] : hist) {
     std::string one = out.substr(0, out.find('\n'));
     std::printf("%6d x %s\n", n, one.c_str());
   }
+  export_telemetry(tel, merged, timeline.snapshot(), "dejavu sweep " + name);
   return 0;
 }
 
 // dejavu fuzz: the schedule-space fuzz campaign (src/fuzz). Exit status 0
 // only when every case agreed across all record/replay configurations AND
 // every injected trace corruption was detected.
-int cmd_fuzz(const fuzz::FuzzOptions& opts, const std::string& repro) {
+int cmd_fuzz(fuzz::FuzzOptions opts, const std::string& repro,
+             const TelemetryOpts& tel) {
+  obs::MetricRegistry registry;
+  obs::Timeline timeline(8192);
+  opts.registry = &registry;
+  if (!tel.timeline.empty()) opts.timeline = &timeline;
   fuzz::FuzzReport report;
   if (!repro.empty()) {
     std::printf("re-running reproducer %s\n", repro.c_str());
@@ -226,6 +318,17 @@ int cmd_fuzz(const fuzz::FuzzOptions& opts, const std::string& repro) {
     report = fuzz::run_fuzz(opts);
   }
   std::printf("%s\n", report.summary().c_str());
+  for (const fuzz::FuzzFailure& f : report.failures) {
+    obs::DivergenceReport rep;
+    if (!f.forensics.empty() && obs::extract_report(f.forensics, &rep)) {
+      std::printf("forensics for case seed %llu (also embedded in the "
+                  "reproducer; `dejavu report <file>` re-renders it):\n",
+                  (unsigned long long)f.case_seed);
+      std::fputs(rep.render().c_str(), stdout);
+    }
+  }
+  export_telemetry(tel, registry.snapshot(), timeline.snapshot(),
+                   "dejavu fuzz");
   return report.clean() ? 0 : 1;
 }
 
@@ -264,6 +367,9 @@ int main(int argc, char** argv) {
   };
   bool realtime = std::find(args.begin(), args.end(), "--realtime") !=
                   args.end();
+  TelemetryOpts tel;
+  tel.metrics_json = flag_value("--metrics-json", "");
+  tel.timeline = flag_value("--timeline", "");
 
   try {
     if (args.empty() || args[0] == "help") {
@@ -274,17 +380,22 @@ int main(int argc, char** argv) {
                   "| fuzz [--seed N] [--iters K] [--minimize|--no-minimize] "
                   "[--no-faults] [--no-baselines] [--out-dir D] "
                   "[--inject-skew N] [--repro F] "
-                  "| debug <w> <F>\n");
+                  "| report <F> "
+                  "| debug <w> <F>\n"
+                  "record/replay/sweep/fuzz also accept: "
+                  "[--metrics-json F] [--timeline F]\n");
       return 0;
     }
     if (args[0] == "list") return cmd_list();
     if (args[0] == "record" && args.size() >= 2) {
       return cmd_record(args[1],
                         uint64_t(std::stoll(flag_value("--seed", "0"))),
-                        realtime, flag_value("--out", "/tmp/dejavu.djv"));
+                        realtime, flag_value("--out", "/tmp/dejavu.djv"),
+                        tel);
     }
     if (args[0] == "replay" && args.size() >= 3)
-      return cmd_replay(args[1], args[2]);
+      return cmd_replay(args[1], args[2], tel);
+    if (args[0] == "report" && args.size() >= 2) return cmd_report(args[1]);
     if (args[0] == "dump" && args.size() >= 2) return cmd_dump(args[1]);
     if (args[0] == "diff" && args.size() >= 3)
       return cmd_diff(args[1], args[2]);
@@ -292,7 +403,7 @@ int main(int argc, char** argv) {
     if (args[0] == "convert" && args.size() >= 3)
       return cmd_convert(args[1], args[2]);
     if (args[0] == "sweep" && args.size() >= 2)
-      return cmd_sweep(args[1], std::stoi(flag_value("--seeds", "50")));
+      return cmd_sweep(args[1], std::stoi(flag_value("--seeds", "50")), tel);
     if (args[0] == "fuzz") {
       auto has_flag = [&](const char* f) {
         return std::find(args.begin(), args.end(), f) != args.end();
@@ -311,7 +422,7 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "  ...%llu/%llu cases\n",
                        (unsigned long long)done, (unsigned long long)total);
       };
-      return cmd_fuzz(fo, flag_value("--repro", ""));
+      return cmd_fuzz(fo, flag_value("--repro", ""), tel);
     }
     if (args[0] == "debug" && args.size() >= 3)
       return cmd_debug(args[1], args[2]);

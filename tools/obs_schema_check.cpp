@@ -1,0 +1,157 @@
+// Schema checker for the telemetry artifacts this repo emits.
+//
+//   obs_schema_check <kind> <file>...
+//
+// kinds:
+//   metrics    dejavu-metrics-v1 (MetricsSnapshot::to_json)
+//   timeline   Chrome trace_event JSON (obs::timeline_to_chrome_json)
+//   bench      dejavu-bench-v1 (bench/bench_json.hpp sidecars)
+//   auto       pick by content
+//
+// Exit 0 when every file validates; the first violation is reported with
+// its file and JSON path and exits 1. tools/check.sh runs this over the
+// artifacts produced by the obs slice so a schema drift fails CI instead
+// of silently breaking downstream consumers (Perfetto, plotting scripts).
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/check.hpp"
+#include "src/obs/json.hpp"
+
+using dejavu::VmError;
+using dejavu::obs::JsonValue;
+
+namespace {
+
+[[noreturn]] void fail(const std::string& file, const std::string& why) {
+  std::fprintf(stderr, "obs_schema_check: %s: %s\n", file.c_str(),
+               why.c_str());
+  std::exit(1);
+}
+
+const JsonValue& need(const std::string& file, const JsonValue& obj,
+                      const char* key, JsonValue::Type type,
+                      const std::string& where) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) fail(file, where + ": missing key \"" + key + "\"");
+  if (v->type != type)
+    fail(file, where + ": key \"" + key + "\" has the wrong type");
+  return *v;
+}
+
+void check_metrics(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-metrics-v1")
+    fail(file, "schema is not dejavu-metrics-v1");
+  const JsonValue& metrics =
+      need(file, doc, "metrics", JsonValue::Type::kArray, "top");
+  size_t i = 0;
+  for (const JsonValue& m : metrics.items) {
+    std::string where = "metrics[" + std::to_string(i++) + "]";
+    if (!m.is_object()) fail(file, where + " is not an object");
+    need(file, m, "name", JsonValue::Type::kString, where);
+    std::string kind =
+        need(file, m, "kind", JsonValue::Type::kString, where).string;
+    if (kind == "histogram") {
+      need(file, m, "buckets", JsonValue::Type::kArray, where);
+      need(file, m, "bounds", JsonValue::Type::kArray, where);
+    } else if (kind == "counter" || kind == "gauge") {
+      need(file, m, "value", JsonValue::Type::kNumber, where);
+    } else {
+      fail(file, where + ": unknown kind \"" + kind + "\"");
+    }
+  }
+}
+
+void check_timeline(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  const JsonValue& events =
+      need(file, doc, "traceEvents", JsonValue::Type::kArray, "top");
+  size_t i = 0;
+  for (const JsonValue& e : events.items) {
+    std::string where = "traceEvents[" + std::to_string(i++) + "]";
+    if (!e.is_object()) fail(file, where + " is not an object");
+    std::string ph =
+        need(file, e, "ph", JsonValue::Type::kString, where).string;
+    if (ph == "M") continue;  // metadata events carry their own keys
+    if (ph != "B" && ph != "E" && ph != "i")
+      fail(file, where + ": unexpected phase \"" + ph + "\"");
+    need(file, e, "name", JsonValue::Type::kString, where);
+    need(file, e, "cat", JsonValue::Type::kString, where);
+    need(file, e, "ts", JsonValue::Type::kNumber, where);
+    need(file, e, "pid", JsonValue::Type::kNumber, where);
+    need(file, e, "tid", JsonValue::Type::kNumber, where);
+  }
+}
+
+void check_bench(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-bench-v1")
+    fail(file, "schema is not dejavu-bench-v1");
+  need(file, doc, "bench", JsonValue::Type::kString, "top");
+  const JsonValue& rows =
+      need(file, doc, "rows", JsonValue::Type::kArray, "top");
+  size_t i = 0;
+  for (const JsonValue& r : rows.items) {
+    std::string where = "rows[" + std::to_string(i++) + "]";
+    if (!r.is_object()) fail(file, where + " is not an object");
+    need(file, r, "name", JsonValue::Type::kString, where);
+    const JsonValue& metrics =
+        need(file, r, "metrics", JsonValue::Type::kObject, where);
+    for (const auto& [k, v] : metrics.members)
+      if (!v.is_number())
+        fail(file, where + ": metric \"" + k + "\" is not a number");
+  }
+}
+
+std::string sniff_kind(const JsonValue& doc) {
+  if (doc.is_object() && doc.find("traceEvents") != nullptr)
+    return "timeline";
+  const JsonValue* schema = doc.is_object() ? doc.find("schema") : nullptr;
+  if (schema != nullptr && schema->string == "dejavu-metrics-v1")
+    return "metrics";
+  if (schema != nullptr && schema->string == "dejavu-bench-v1")
+    return "bench";
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: obs_schema_check <metrics|timeline|bench|auto> "
+                 "<file>...\n");
+    return 2;
+  }
+  std::string kind = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string file = argv[i];
+    std::ifstream in(file);
+    if (!in.good()) fail(file, "cannot open");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    JsonValue doc;
+    try {
+      doc = dejavu::obs::parse_json(buf.str());
+    } catch (const VmError& e) {
+      fail(file, e.what());
+    }
+    std::string k = kind == "auto" ? sniff_kind(doc) : kind;
+    if (k == "metrics") {
+      check_metrics(file, doc);
+    } else if (k == "timeline") {
+      check_timeline(file, doc);
+    } else if (k == "bench") {
+      check_bench(file, doc);
+    } else {
+      fail(file, "unrecognized artifact kind");
+    }
+    std::printf("obs_schema_check: %s: ok (%s)\n", file.c_str(), k.c_str());
+  }
+  return 0;
+}
