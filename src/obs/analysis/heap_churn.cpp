@@ -1,0 +1,145 @@
+#include "src/obs/analysis/heap_churn.hpp"
+
+#include <algorithm>
+
+#include "src/obs/json.hpp"
+#include "src/vm/vm.hpp"
+
+namespace dejavu::obs {
+
+void HeapChurnAnalyzer::on_run_begin(const vm::Vm& vm) {
+  types_ = &vm.types();
+  // Boot-image allocations can arrive before the engine attaches (the Vm
+  // constructor allocates with hooks already installed); their names were
+  // recorded as "class#N" placeholders. Resolve them now.
+  for (auto& [id, ts] : by_type_) ts.name = class_name(id);
+}
+
+void HeapChurnAnalyzer::on_instruction(const vm::InstrEvent& ev) {
+  if (last_instr_.size() <= ev.tid) last_instr_.resize(ev.tid + 1);
+  SiteRef& s = last_instr_[ev.tid];
+  s.owner = ev.owner;
+  s.method = ev.method;
+  s.pc = ev.pc;
+}
+
+std::string HeapChurnAnalyzer::class_name(uint32_t class_id) const {
+  switch (class_id) {
+    case heap::kClassIdI64Array: return "i64[]";
+    case heap::kClassIdRefArray: return "ref[]";
+    case heap::kClassIdByteArray: return "byte[]";
+    default: break;
+  }
+  if (types_ != nullptr) return types_->info(class_id).name;
+  return "class#" + std::to_string(class_id);
+}
+
+void HeapChurnAnalyzer::on_heap_alloc(const vm::AllocEvent& e) {
+  allocs_++;
+  alloc_slots_ += e.slots;
+  TypeStat& ts = by_type_[e.class_id];
+  if (ts.count == 0) ts.name = class_name(e.class_id);
+  ts.count++;
+  ts.slots += e.slots;
+  ObjStat& os = objects_[e.addr];
+  os.class_id = e.class_id;
+
+  // Allocation site: the instruction this thread is currently executing.
+  // Allocations from VM boot / engine internals run outside any guest
+  // instruction and land under "<vm>".
+  std::string site = "<vm>";
+  if (e.tid < last_instr_.size() && last_instr_[e.tid].owner != nullptr) {
+    const SiteRef& s = last_instr_[e.tid];
+    site = *s.owner + "." + *s.method + ":" + std::to_string(s.pc);
+  }
+  by_site_[site]++;
+}
+
+void HeapChurnAnalyzer::on_heap_read(heap::Addr obj, uint32_t, int64_t, bool) {
+  reads_++;
+  objects_[obj].reads++;
+}
+
+void HeapChurnAnalyzer::on_heap_write(heap::Addr obj, uint32_t, int64_t, bool) {
+  writes_++;
+  objects_[obj].writes++;
+}
+
+std::string HeapChurnAnalyzer::artifact() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "dejavu-heap-v1")
+      .kv("object_identity", "alloc-address (moves under copying GC)")
+      .kv("allocs", allocs_)
+      .kv("alloc_slots", alloc_slots_)
+      .kv("reads", reads_)
+      .kv("writes", writes_)
+      .kv("run_instr_count", run_.instr_count)
+      .kv("verified", run_.verified);
+
+  std::vector<const TypeStat*> types;
+  types.reserve(by_type_.size());
+  for (const auto& [id, ts] : by_type_) types.push_back(&ts);
+  std::sort(types.begin(), types.end(),
+            [](const TypeStat* a, const TypeStat* b) {
+              if (a->count != b->count) return a->count > b->count;
+              return a->name < b->name;
+            });
+  w.key("by_type").begin_array();
+  for (const TypeStat* ts : types) {
+    w.begin_object()
+        .kv("class", ts->name)
+        .kv("count", ts->count)
+        .kv("slots", ts->slots)
+        .end_object();
+  }
+  w.end_array();
+
+  std::vector<std::pair<std::string, uint64_t>> sites(by_site_.begin(),
+                                                      by_site_.end());
+  std::sort(sites.begin(), sites.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (sites.size() > top_n_) sites.resize(top_n_);
+  w.key("top_sites").begin_array();
+  for (const auto& [site, count] : sites) {
+    w.begin_object().kv("site", site).kv("count", count).end_object();
+  }
+  w.end_array();
+
+  std::vector<std::pair<uint64_t, const ObjStat*>> hot;
+  hot.reserve(objects_.size());
+  for (const auto& [addr, os] : objects_) {
+    if (os.reads + os.writes > 0) hot.emplace_back(addr, &os);
+  }
+  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
+    uint64_t ha = a.second->reads + a.second->writes;
+    uint64_t hb = b.second->reads + b.second->writes;
+    if (ha != hb) return ha > hb;
+    return a.first < b.first;
+  });
+  if (hot.size() > top_n_) hot.resize(top_n_);
+  w.key("hot_objects").begin_array();
+  for (const auto& [addr, os] : hot) {
+    // Objects allocated before the analyzer attached (boot image) have no
+    // recorded class. Names come from by_type_ copies: types_ is only valid
+    // while the run is live, and artifact() may outlive the Vm.
+    std::string cls = "<boot>";
+    if (os->class_id != 0) {
+      auto it = by_type_.find(os->class_id);
+      cls = it != by_type_.end() ? it->second.name
+                                 : "class#" + std::to_string(os->class_id);
+    }
+    w.begin_object()
+        .kv("addr", addr)
+        .kv("class", cls)
+        .kv("reads", os->reads)
+        .kv("writes", os->writes)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+}  // namespace dejavu::obs

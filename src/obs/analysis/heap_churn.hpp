@@ -1,0 +1,77 @@
+// The heap-churn analyzer: allocation volume per type and per allocation
+// site, plus read/write heat per object, with a top-N hot-object report.
+//
+// Caveat (documented in the artifact): objects are keyed by allocation-time
+// address. Under the copying collector addresses move at GC, so post-GC
+// accesses accrue to the object's *new* address; per-object heat is exact
+// between collections and best-effort across them. (Run with mark-sweep for
+// stable identities.)
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/analysis/analysis.hpp"
+
+namespace dejavu::obs {
+
+class HeapChurnAnalyzer : public AnalysisObserver {
+ public:
+  explicit HeapChurnAnalyzer(uint32_t top_n = 10) : top_n_(top_n) {}
+
+  const char* name() const override { return "heap"; }
+  bool wants_memory() const override { return true; }
+  // Subscribes to instructions only to remember each thread's current
+  // execution point, which becomes the allocation site label.
+  bool wants_instructions() const override { return true; }
+
+  void on_run_begin(const vm::Vm& vm) override;
+  void on_run_end(const RunInfo& info) override { run_ = info; }
+  void on_instruction(const vm::InstrEvent& ev) override;
+  void on_heap_alloc(const vm::AllocEvent& e) override;
+  void on_heap_read(heap::Addr obj, uint32_t slot, int64_t value,
+                    bool is_ref) override;
+  void on_heap_write(heap::Addr obj, uint32_t slot, int64_t value,
+                     bool is_ref) override;
+
+  // dejavu-heap-v1 JSON.
+  std::string artifact() const override;
+
+  uint64_t alloc_count() const { return allocs_; }
+
+ private:
+  struct TypeStat {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t slots = 0;
+  };
+  struct ObjStat {
+    uint32_t class_id = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+  };
+  struct SiteRef {
+    const std::string* owner = nullptr;
+    const std::string* method = nullptr;
+    uint32_t pc = 0;
+  };
+
+  std::string class_name(uint32_t class_id) const;
+
+  const heap::TypeRegistry* types_ = nullptr;  // valid during the run only
+  std::unordered_map<uint32_t, TypeStat> by_type_;
+  std::map<std::string, uint64_t> by_site_;  // "Owner.method:pc" -> count
+  std::unordered_map<uint64_t, ObjStat> objects_;
+  std::vector<SiteRef> last_instr_;  // by tid
+  uint64_t allocs_ = 0;
+  uint64_t alloc_slots_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint32_t top_n_;
+  RunInfo run_{};
+};
+
+}  // namespace dejavu::obs

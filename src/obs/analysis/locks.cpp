@@ -1,0 +1,150 @@
+#include "src/obs/analysis/locks.hpp"
+
+#include <algorithm>
+
+#include "src/obs/json.hpp"
+
+namespace dejavu::obs {
+
+namespace {
+void erase_one(std::vector<uint32_t>& v, uint32_t m) {
+  auto it = std::find(v.rbegin(), v.rend(), m);
+  if (it != v.rend()) v.erase(std::next(it).base());
+}
+}  // namespace
+
+void LockContentionAnalyzer::on_monitor_event(const vm::MonitorEvent& e) {
+  MonitorStat& st = mons_[e.monitor];
+  PerThread& pt = tm_[tm_key(e.tid, e.monitor)];
+  switch (e.op) {
+    case vm::MonitorOp::kEnterBlocked:
+      st.contended_blocks++;
+      // Barging can park the same acquire twice; keep the earliest start so
+      // block time spans the whole contended acquisition.
+      if (!pt.blocked) {
+        pt.blocked = true;
+        pt.block_start = e.instr_index;
+      }
+      if (e.holder != threads::kNoThread)
+        wait_edges_[{e.tid, e.holder, e.monitor}]++;
+      break;
+    case vm::MonitorOp::kEnterAcquired: {
+      if (pt.blocked) {
+        uint64_t d = e.instr_index - pt.block_start;
+        st.block_total += d;
+        st.block_max = std::max(st.block_max, d);
+        pt.blocked = false;
+      }
+      if (e.recursive) {
+        st.recursive_acquires++;
+        pt.depth++;
+      } else {
+        st.acquires++;
+        pt.depth = 1;
+        pt.hold_start = e.instr_index;
+        std::vector<uint32_t>& held = held_[e.tid];
+        for (uint32_t outer : held) order_pairs_.insert({outer, e.monitor});
+        held.push_back(e.monitor);
+      }
+      break;
+    }
+    case vm::MonitorOp::kExit:
+      if (pt.depth > 0 && --pt.depth == 0) {
+        uint64_t d = e.instr_index - pt.hold_start;
+        st.hold_total += d;
+        st.hold_max = std::max(st.hold_max, d);
+        erase_one(held_[e.tid], e.monitor);
+      }
+      break;
+    case vm::MonitorOp::kWaitBegin:
+      // wait releases the monitor whatever the recursion depth: close the
+      // hold period. (The interrupted-before-wait case emits WaitBegin and
+      // WaitEnd at the same instruction, which reopens it with zero loss.)
+      pt.wait_start = e.instr_index;
+      pt.saved_depth = pt.depth;
+      if (pt.depth > 0) {
+        uint64_t d = e.instr_index - pt.hold_start;
+        st.hold_total += d;
+        st.hold_max = std::max(st.hold_max, d);
+        pt.depth = 0;
+        erase_one(held_[e.tid], e.monitor);
+      }
+      break;
+    case vm::MonitorOp::kWaitEnd: {
+      st.waits++;
+      uint64_t d = e.instr_index - pt.wait_start;
+      st.wait_total += d;
+      st.wait_max = std::max(st.wait_max, d);
+      pt.depth = pt.saved_depth > 0 ? pt.saved_depth : 1;
+      pt.hold_start = e.instr_index;
+      held_[e.tid].push_back(e.monitor);
+      break;
+    }
+    case vm::MonitorOp::kNotifyOne:
+    case vm::MonitorOp::kNotifyAll:
+      st.notify_ops++;
+      st.woken += e.woken;
+      break;
+  }
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> LockContentionAnalyzer::inversions()
+    const {
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  for (const auto& [a, b] : order_pairs_) {
+    if (a < b && order_pairs_.count({b, a}) != 0) out.emplace_back(a, b);
+  }
+  return out;
+}
+
+std::string LockContentionAnalyzer::artifact() const {
+  std::vector<std::pair<uint32_t, const MonitorStat*>> order;
+  order.reserve(mons_.size());
+  for (const auto& [id, st] : mons_) order.emplace_back(id, &st);
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "dejavu-locks-v1")
+      .kv("duration_unit", "instructions")
+      .kv("run_instr_count", run_.instr_count)
+      .kv("verified", run_.verified);
+  w.key("monitors").begin_array();
+  for (const auto& [id, st] : order) {
+    w.begin_object()
+        .kv("id", uint64_t(id))
+        .kv("acquires", st->acquires)
+        .kv("recursive_acquires", st->recursive_acquires)
+        .kv("contended_blocks", st->contended_blocks)
+        .kv("hold_total", st->hold_total)
+        .kv("hold_max", st->hold_max)
+        .kv("block_total", st->block_total)
+        .kv("block_max", st->block_max)
+        .kv("waits", st->waits)
+        .kv("wait_total", st->wait_total)
+        .kv("wait_max", st->wait_max)
+        .kv("notify_ops", st->notify_ops)
+        .kv("woken", st->woken)
+        .end_object();
+  }
+  w.end_array();
+  w.key("wait_edges").begin_array();
+  for (const auto& [edge, count] : wait_edges_) {
+    w.begin_object()
+        .kv("blocked", uint64_t(std::get<0>(edge)))
+        .kv("holder", uint64_t(std::get<1>(edge)))
+        .kv("monitor", uint64_t(std::get<2>(edge)))
+        .kv("count", count)
+        .end_object();
+  }
+  w.end_array();
+  w.key("inversions").begin_array();
+  for (const auto& [a, b] : inversions()) {
+    w.begin_object().kv("a", uint64_t(a)).kv("b", uint64_t(b)).end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+}  // namespace dejavu::obs

@@ -1,0 +1,76 @@
+// The lock-contention analyzer: per-monitor hold/wait statistics, the
+// wait-for graph, and potential lock-order inversions, all measured in
+// instruction-count units of the replayed run (deterministic replay makes
+// these durations exact and reproducible, unlike wall-clock profiling of a
+// live run).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/analysis/analysis.hpp"
+
+namespace dejavu::obs {
+
+class LockContentionAnalyzer : public AnalysisObserver {
+ public:
+  const char* name() const override { return "locks"; }
+  bool wants_monitors() const override { return true; }
+
+  void on_monitor_event(const vm::MonitorEvent& e) override;
+  void on_run_end(const RunInfo& info) override { run_ = info; }
+
+  // dejavu-locks-v1 JSON.
+  std::string artifact() const override;
+
+  // Potential inversions: unordered monitor pairs acquired in both nesting
+  // orders somewhere in the run. Exposed for tests.
+  std::vector<std::pair<uint32_t, uint32_t>> inversions() const;
+
+ private:
+  struct MonitorStat {
+    uint64_t acquires = 0;            // non-recursive acquisitions
+    uint64_t recursive_acquires = 0;
+    uint64_t contended_blocks = 0;    // monitorenter had to park
+    uint64_t hold_total = 0;          // instr units, acquire -> full release
+    uint64_t hold_max = 0;
+    uint64_t block_total = 0;         // instr units, park -> acquire
+    uint64_t block_max = 0;
+    uint64_t waits = 0;               // Object.wait completions
+    uint64_t wait_total = 0;          // instr units, park -> re-acquired
+    uint64_t wait_max = 0;
+    uint64_t notify_ops = 0;
+    uint64_t woken = 0;
+  };
+  // Per (tid, monitor) in-flight state.
+  struct PerThread {
+    bool blocked = false;
+    uint64_t block_start = 0;
+    uint32_t depth = 0;       // our view of the recursion depth
+    uint64_t hold_start = 0;
+    uint64_t wait_start = 0;
+    uint32_t saved_depth = 0; // recursion depth across an Object.wait
+  };
+
+  static uint64_t tm_key(uint32_t tid, uint32_t mon) {
+    return (uint64_t(tid) << 32) | mon;
+  }
+
+  std::unordered_map<uint32_t, MonitorStat> mons_;
+  std::unordered_map<uint64_t, PerThread> tm_;
+  // (blocked tid, holder tid, monitor) -> count. Ordered for deterministic
+  // artifact output.
+  std::map<std::tuple<uint32_t, uint32_t, uint32_t>, uint64_t> wait_edges_;
+  // Monitors currently held per thread, in acquisition order.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> held_;
+  // Observed nesting orders: (outer, inner).
+  std::set<std::pair<uint32_t, uint32_t>> order_pairs_;
+  RunInfo run_{};
+};
+
+}  // namespace dejavu::obs

@@ -1,0 +1,132 @@
+#include "src/obs/analysis/profiler.hpp"
+
+#include <algorithm>
+
+#include "src/bytecode/opcodes.hpp"
+#include "src/obs/json.hpp"
+
+namespace dejavu::obs {
+
+ReplayProfiler::MethodStat& ReplayProfiler::stat_for(const vm::InstrEvent& ev) {
+  auto it = methods_.find(ev.method);
+  if (it == methods_.end()) {
+    MethodStat ms;
+    ms.name = *ev.owner + "." + *ev.method;
+    it = methods_.emplace(ev.method, std::move(ms)).first;
+  }
+  return it->second;
+}
+
+void ReplayProfiler::rebuild_slot(ThreadShadow& sh, uint32_t tid) {
+  std::string joined = "t" + std::to_string(tid);
+  for (const MethodStat* ms : sh.stack) {
+    joined += ';';
+    joined += ms->name;
+  }
+  // unordered_map values are pointer-stable across rehash, so caching the
+  // counter's address is safe until the map entry is erased (never).
+  sh.slot = &collapsed_[joined];
+}
+
+void ReplayProfiler::on_instruction(const vm::InstrEvent& ev) {
+  total_instructions_++;
+  MethodStat& ms = stat_for(ev);
+  ms.instructions++;
+  PcStat& ps = ms.pcs[ev.pc];
+  ps.count++;
+  ps.opcode = ev.opcode;
+  ps.line = ev.line;
+  last_method_ = &ms;
+
+  if (shadows_.size() <= ev.tid) shadows_.resize(ev.tid + 1);
+  ThreadShadow& sh = shadows_[ev.tid];
+  bool changed = false;
+  while (sh.stack.size() > ev.frame_depth) {
+    sh.stack.pop_back();
+    changed = true;
+  }
+  if (sh.stack.size() == ev.frame_depth && !sh.stack.empty() &&
+      sh.stack.back() != &ms) {
+    sh.stack.back() = &ms;
+    changed = true;
+  }
+  while (sh.stack.size() < ev.frame_depth) {
+    sh.stack.push_back(&ms);
+    changed = true;
+  }
+  if (changed || sh.slot == nullptr) rebuild_slot(sh, ev.tid);
+  (*sh.slot)++;
+}
+
+void ReplayProfiler::on_yield_point(uint64_t, bool) {
+  total_yield_points_++;
+  // A yield point belongs to the instruction stream around it; attribute it
+  // to the most recently executed method (exact for backedge yield points,
+  // off by one frame for method prologues -- documented in DESIGN.md).
+  if (last_method_ != nullptr) last_method_->yield_points++;
+}
+
+std::string ReplayProfiler::artifact() const {
+  std::vector<const MethodStat*> order;
+  order.reserve(methods_.size());
+  for (const auto& [k, ms] : methods_) order.push_back(&ms);
+  std::sort(order.begin(), order.end(),
+            [](const MethodStat* a, const MethodStat* b) {
+              if (a->instructions != b->instructions)
+                return a->instructions > b->instructions;
+              return a->name < b->name;
+            });
+
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "dejavu-profile-v1")
+      .kv("total_instructions", total_instructions_)
+      .kv("total_yield_points", total_yield_points_)
+      .kv("run_instr_count", run_.instr_count)
+      .kv("run_logical_clock", run_.logical_clock)
+      .kv("verified", run_.verified);
+  w.key("methods").begin_array();
+  for (const MethodStat* ms : order) {
+    w.begin_object()
+        .kv("name", ms->name)
+        .kv("instructions", ms->instructions)
+        .kv("yield_points", ms->yield_points);
+    std::vector<std::pair<uint32_t, const PcStat*>> pcs;
+    pcs.reserve(ms->pcs.size());
+    for (const auto& [pc, st] : ms->pcs) pcs.emplace_back(pc, &st);
+    std::sort(pcs.begin(), pcs.end(), [](const auto& a, const auto& b) {
+      if (a.second->count != b.second->count)
+        return a.second->count > b.second->count;
+      return a.first < b.first;
+    });
+    if (pcs.size() > top_n_) pcs.resize(top_n_);
+    w.key("hot_pcs").begin_array();
+    for (const auto& [pc, st] : pcs) {
+      w.begin_object()
+          .kv("pc", uint64_t(pc))
+          .kv("op", bytecode::op_name(bytecode::Op(st->opcode)))
+          .kv("line", int64_t(st->line))
+          .kv("count", st->count)
+          .end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+std::string ReplayProfiler::collapsed() const {
+  std::vector<std::pair<std::string, uint64_t>> lines(collapsed_.begin(),
+                                                      collapsed_.end());
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& [stack, count] : lines) {
+    out += stack;
+    out += ' ';
+    out += std::to_string(count);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dejavu::obs

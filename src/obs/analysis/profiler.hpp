@@ -1,0 +1,69 @@
+// The replay profiler: attributes instruction and yield-point costs per
+// method and per pc, entirely from the replayed run. Deterministic replay
+// makes this an *exact* profile (every instruction is counted, not sampled)
+// of the recorded execution -- and because it runs at replay time it costs
+// the recorded application nothing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/analysis/analysis.hpp"
+
+namespace dejavu::obs {
+
+class ReplayProfiler : public AnalysisObserver {
+ public:
+  explicit ReplayProfiler(uint32_t top_n = 10) : top_n_(top_n) {}
+
+  const char* name() const override { return "profiler"; }
+  bool wants_instructions() const override { return true; }
+
+  void on_instruction(const vm::InstrEvent& ev) override;
+  void on_yield_point(uint64_t logical_clock, bool switched) override;
+  void on_run_end(const RunInfo& info) override { run_ = info; }
+
+  // dejavu-profile-v1 JSON.
+  std::string artifact() const override;
+  // Brendan Gregg collapsed-stack text: "t1;Main.main;Main.work 123" per
+  // line, one line per distinct stack, suitable for flamegraph.pl.
+  std::string collapsed() const;
+
+ private:
+  struct PcStat {
+    uint64_t count = 0;
+    uint8_t opcode = 0;
+    int32_t line = -1;
+  };
+  struct MethodStat {
+    std::string name;  // "Owner.method"
+    uint64_t instructions = 0;
+    uint64_t yield_points = 0;
+    std::unordered_map<uint32_t, PcStat> pcs;
+  };
+  // Shadow call stack per thread, reconstructed from frame_depth deltas
+  // (every InstrEvent's depth differs from the previous one in that thread
+  // by at most one frame).
+  struct ThreadShadow {
+    std::vector<const MethodStat*> stack;
+    uint64_t* slot = nullptr;  // cached collapsed-stack counter
+  };
+
+  MethodStat& stat_for(const vm::InstrEvent& ev);
+  void rebuild_slot(ThreadShadow& sh, uint32_t tid);
+
+  // Keyed by the method-name string's address: unique per MethodDef and
+  // stable for the life of the run (the entries copy the names they need).
+  std::unordered_map<const std::string*, MethodStat> methods_;
+  std::unordered_map<std::string, uint64_t> collapsed_;
+  std::vector<ThreadShadow> shadows_;  // by tid
+  MethodStat* last_method_ = nullptr;  // yield-point attribution
+  uint32_t top_n_;
+  uint64_t total_instructions_ = 0;
+  uint64_t total_yield_points_ = 0;
+  RunInfo run_{};
+};
+
+}  // namespace dejavu::obs

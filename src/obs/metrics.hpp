@@ -38,6 +38,20 @@ struct ObsConfig {
   // JSON; see src/obs/timeline.hpp).
   bool timeline = false;
   uint32_t timeline_capacity = 8192;
+
+  // Replay-time analysis (src/obs/analysis): which built-in analyzers the
+  // session installs on a replaying engine. Record mode ignores these --
+  // analyzers only ever see replays, so flipping them cannot perturb a
+  // recording (and the symmetry tests prove replays are byte-identical with
+  // them on or off).
+  bool analyze_profile = false;
+  bool analyze_locks = false;
+  bool analyze_heap = false;
+  uint32_t analysis_top_n = 10;  // hot-pc / hot-object list depth
+
+  bool any_analysis() const {
+    return analyze_profile || analyze_locks || analyze_heap;
+  }
 };
 
 class Counter {

@@ -141,11 +141,59 @@ void DejaVuEngine::note_nd_event(const char* tag, int64_t value) {
   if (recent_count_ < recent_.size()) recent_count_++;
   if (timeline_ != nullptr)
     timeline_->instant("nd", tag, logical_clock_, cur_tid(), "value", value);
+  for (obs::AnalysisObserver* a : analyzers_)
+    a->on_nd_event(tag, value, logical_clock_);
+}
+
+void DejaVuEngine::add_analyzer(obs::AnalysisObserver* a) {
+  DV_CHECK_MSG(mode_ == Mode::kReplay,
+               "analyzers attach to replay engines only (the recorded run "
+               "must never see them)");
+  DV_CHECK_MSG(vm_ == nullptr, "add_analyzer after attach");
+  DV_CHECK(a != nullptr);
+  analyzers_.push_back(a);
+  fan_instr_ = fan_instr_ || a->wants_instructions();
+  fan_mon_ = fan_mon_ || a->wants_monitors();
+  fan_mem_ = fan_mem_ || a->wants_memory();
+}
+
+void DejaVuEngine::on_instruction(const vm::InstrEvent& ev) {
+  for (obs::AnalysisObserver* a : analyzers_)
+    if (a->wants_instructions()) a->on_instruction(ev);
+}
+
+void DejaVuEngine::on_monitor_event(const vm::MonitorEvent& ev) {
+  for (obs::AnalysisObserver* a : analyzers_)
+    if (a->wants_monitors()) a->on_monitor_event(ev);
+}
+
+void DejaVuEngine::on_heap_read(heap::Addr obj, uint32_t slot, int64_t* value,
+                                bool is_ref) {
+  // *value is never written: analyzers observe a copy (the read-content
+  // substitution path of the baselines is exactly what this fan-out must
+  // not have).
+  for (obs::AnalysisObserver* a : analyzers_)
+    if (a->wants_memory()) a->on_heap_read(obj, slot, *value, is_ref);
+}
+
+void DejaVuEngine::on_heap_write(heap::Addr obj, uint32_t slot, int64_t value,
+                                 bool is_ref) {
+  for (obs::AnalysisObserver* a : analyzers_)
+    if (a->wants_memory()) a->on_heap_write(obj, slot, value, is_ref);
+}
+
+void DejaVuEngine::on_heap_alloc(const vm::AllocEvent& ev) {
+  for (obs::AnalysisObserver* a : analyzers_)
+    if (a->wants_memory()) a->on_heap_alloc(ev);
 }
 
 void DejaVuEngine::attach(vm::Vm& vm) {
   DV_CHECK_MSG(vm_ == nullptr, "engine attached twice");
   vm_ = &vm;
+  // Analyzers meet the VM before any engine warmup: the warmup below
+  // allocates (class preloading, buffer preallocation) and those events
+  // already fan out, so on_run_begin must come first.
+  for (obs::AnalysisObserver* a : analyzers_) a->on_run_begin(vm);
   if (timeline_ != nullptr)
     timeline_->span_begin("phase", "attach", logical_clock_);
 
@@ -465,6 +513,8 @@ bool DejaVuEngine::yield_point(bool hardware_bit) {
   }
 
   live_clock_ = true;
+  for (obs::AnalysisObserver* a : analyzers_)
+    a->on_yield_point(logical_clock_, do_switch);
   return do_switch;
 }
 
@@ -603,6 +653,8 @@ void DejaVuEngine::on_switch(threads::Tid from, threads::Tid to,
     timeline_->instant("threads", threads::switch_reason_name(reason),
                        logical_clock_, to, "from", int64_t(from), "nyp",
                        nyp_);
+  for (obs::AnalysisObserver* a : analyzers_)
+    a->on_switch(from, to, reason, vm_ != nullptr ? vm_->instr_count() : 0);
 }
 
 void DejaVuEngine::detach(vm::Vm& vm) {
@@ -662,6 +714,14 @@ void DejaVuEngine::detach(vm::Vm& vm) {
   verified_ok_ = c_.violations->value() == 0;
   if (timeline_ != nullptr)
     timeline_->span_end("phase", "verify", logical_clock_);
+  if (!analyzers_.empty()) {
+    obs::RunInfo info;
+    info.instr_count = s.instr_count;
+    info.logical_clock = logical_clock_;
+    info.switch_count = s.switch_count;
+    info.verified = verified_ok_;
+    for (obs::AnalysisObserver* a : analyzers_) a->on_run_end(info);
+  }
 }
 
 TraceFile DejaVuEngine::take_trace() {

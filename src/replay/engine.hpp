@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/analysis/analysis.hpp"
 #include "src/obs/divergence.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/timeline.hpp"
@@ -156,6 +157,26 @@ class DejaVuEngine : public vm::ExecHooks {
   // Record mode, after the run: the completed trace (in-memory mode only).
   TraceFile take_trace();
 
+  // ---- replay-time analysis fan-out (src/obs/analysis) -------------------
+  // Registers an analyzer (not owned; must outlive the run). Replay mode
+  // only, before attach: analyzers can never see -- or perturb -- a
+  // recording. The engine turns on VM instrumentation for the union of the
+  // analyzers' subscriptions; with none registered every wants_* predicate
+  // stays false and the VM hot path is untouched.
+  void add_analyzer(obs::AnalysisObserver* a);
+  const std::vector<obs::AnalysisObserver*>& analyzers() const {
+    return analyzers_;
+  }
+  // Stream probe points (bytes consumed so far) for the analyzer-symmetry
+  // tests: identical positions with analyzers on vs off proves analysis
+  // never changes trace consumption.
+  uint64_t schedule_stream_pos() const {
+    return schedule_r_ != nullptr ? schedule_r_->position() : 0;
+  }
+  uint64_t events_stream_pos() const {
+    return events_r_ != nullptr ? events_r_->position() : 0;
+  }
+
   // ---- ExecHooks ---------------------------------------------------------
   void attach(vm::Vm& vm) override;
   void detach(vm::Vm& vm) override;
@@ -170,6 +191,19 @@ class DejaVuEngine : public vm::ExecHooks {
                           std::vector<int64_t>* args, int64_t* ret) override;
   void on_switch(threads::Tid from, threads::Tid to,
                  threads::SwitchReason reason) override;
+  // Fine-grained analysis events: enabled only when a registered analyzer
+  // subscribes (replay mode by construction). on_heap_read forwards the
+  // value by copy -- analyzers can observe but never substitute it.
+  bool wants_instruction_events() const override { return fan_instr_; }
+  void on_instruction(const vm::InstrEvent& ev) override;
+  bool wants_monitor_events() const override { return fan_mon_; }
+  void on_monitor_event(const vm::MonitorEvent& ev) override;
+  bool wants_memory_events() const override { return fan_mem_; }
+  void on_heap_read(heap::Addr obj, uint32_t slot, int64_t* value,
+                    bool is_ref) override;
+  void on_heap_write(heap::Addr obj, uint32_t slot, int64_t value,
+                     bool is_ref) override;
+  void on_heap_alloc(const vm::AllocEvent& ev) override;
 
  private:
   // One guest-resident trace buffer (schedule or events). The host-side
@@ -266,6 +300,12 @@ class DejaVuEngine : public vm::ExecHooks {
   std::unique_ptr<TraceSource> source_;
   std::unique_ptr<StreamCursor> schedule_r_;
   std::unique_ptr<StreamCursor> events_r_;
+
+  // Replay-time analysis fan-out (empty in record mode by construction).
+  std::vector<obs::AnalysisObserver*> analyzers_;
+  bool fan_instr_ = false;
+  bool fan_mon_ = false;
+  bool fan_mem_ = false;
 
   GuestBuffer sched_buf_;
   GuestBuffer event_buf_;

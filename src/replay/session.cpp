@@ -38,9 +38,37 @@ RecordFileResult record_run_to(const std::string& path,
   return r;
 }
 
+BuiltinAnalyzers::BuiltinAnalyzers(const obs::ObsConfig& oc) {
+  if (oc.analyze_profile)
+    profiler = std::make_unique<obs::ReplayProfiler>(oc.analysis_top_n);
+  if (oc.analyze_locks)
+    locks = std::make_unique<obs::LockContentionAnalyzer>();
+  if (oc.analyze_heap)
+    heap = std::make_unique<obs::HeapChurnAnalyzer>(oc.analysis_top_n);
+}
+
+void BuiltinAnalyzers::install(DejaVuEngine& engine) const {
+  if (profiler != nullptr) engine.add_analyzer(profiler.get());
+  if (locks != nullptr) engine.add_analyzer(locks.get());
+  if (heap != nullptr) engine.add_analyzer(heap.get());
+}
+
+obs::AnalysisResults BuiltinAnalyzers::collect() const {
+  obs::AnalysisResults r;
+  if (profiler != nullptr) {
+    r.profile_json = profiler->artifact();
+    r.profile_collapsed = profiler->collapsed();
+  }
+  if (locks != nullptr) r.locks_json = locks->artifact();
+  if (heap != nullptr) r.heap_json = heap->artifact();
+  return r;
+}
+
 namespace {
 ReplayResult replay_with(DejaVuEngine& engine, const bytecode::Program& prog,
-                         vm::VmOptions opts) {
+                         vm::VmOptions opts, const SymmetryConfig& cfg) {
+  BuiltinAnalyzers analyzers(cfg.obs);
+  analyzers.install(engine);
   // All non-determinism is substituted from the trace; the live sources
   // below are placeholders whose values are never observed by the guest.
   vm::ScriptedEnvironment env(0, 1, {}, 0);
@@ -55,6 +83,7 @@ ReplayResult replay_with(DejaVuEngine& engine, const bytecode::Program& prog,
   r.metrics = engine.metrics();
   r.timeline = engine.timeline_events();
   r.divergence = engine.divergence();
+  r.analysis = analyzers.collect();
   return r;
 }
 }  // namespace
@@ -62,14 +91,14 @@ ReplayResult replay_with(DejaVuEngine& engine, const bytecode::Program& prog,
 ReplayResult replay_run(const bytecode::Program& prog, const TraceFile& trace,
                         vm::VmOptions opts, SymmetryConfig cfg) {
   DejaVuEngine engine(trace, cfg);
-  return replay_with(engine, prog, opts);
+  return replay_with(engine, prog, opts, cfg);
 }
 
 ReplayResult replay_file(const bytecode::Program& prog,
                          const std::string& path, vm::VmOptions opts,
                          SymmetryConfig cfg) {
   DejaVuEngine engine(open_trace_source(path), cfg);
-  return replay_with(engine, prog, opts);
+  return replay_with(engine, prog, opts, cfg);
 }
 
 ReplaySession::ReplaySession(const bytecode::Program& prog, TraceFile trace,
@@ -78,9 +107,11 @@ ReplaySession::ReplaySession(const bytecode::Program& prog, TraceFile trace,
                                                      std::vector<int64_t>{},
                                                      0)),
       timer_(std::make_unique<threads::NullTimer>()),
+      analyzers_(cfg.obs),
       engine_(std::make_unique<DejaVuEngine>(std::move(trace), cfg)),
       vm_(std::make_unique<vm::Vm>(prog, opts, *env_, *timer_,
                                    engine_.get())) {
+  analyzers_.install(*engine_);  // before boot: attach fixes subscriptions
   vm_->boot();
 }
 
@@ -91,9 +122,11 @@ ReplaySession::ReplaySession(const bytecode::Program& prog,
                                                      std::vector<int64_t>{},
                                                      0)),
       timer_(std::make_unique<threads::NullTimer>()),
+      analyzers_(cfg.obs),
       engine_(std::make_unique<DejaVuEngine>(std::move(source), cfg)),
       vm_(std::make_unique<vm::Vm>(prog, opts, *env_, *timer_,
                                    engine_.get())) {
+  analyzers_.install(*engine_);  // before boot: attach fixes subscriptions
   vm_->boot();
 }
 
@@ -110,6 +143,7 @@ ReplayResult ReplaySession::finish() {
   r.metrics = engine_->metrics();
   r.timeline = engine_->timeline_events();
   r.divergence = engine_->divergence();
+  r.analysis = analyzers_.collect();
   return r;
 }
 

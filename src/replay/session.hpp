@@ -12,6 +12,9 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/analysis/heap_churn.hpp"
+#include "src/obs/analysis/locks.hpp"
+#include "src/obs/analysis/profiler.hpp"
 #include "src/replay/engine.hpp"
 #include "src/replay/trace.hpp"
 #include "src/threads/timer.hpp"
@@ -51,6 +54,23 @@ struct ReplayResult {
   // First-divergence forensics (non-strict replays; strict replays carry
   // the same report on the thrown ReplayDivergence).
   std::optional<obs::DivergenceReport> divergence;
+  // Rendered analyzer artifacts (empty members unless cfg.obs enables the
+  // corresponding analyzer).
+  obs::AnalysisResults analysis;
+};
+
+// The built-in analyzers selected by SymmetryConfig::obs. Owned by whoever
+// runs the replay (the session helpers below; the CLI's analyze command);
+// install() must run before the VM boots so the engine subscriptions are
+// fixed at attach.
+struct BuiltinAnalyzers {
+  std::unique_ptr<obs::ReplayProfiler> profiler;
+  std::unique_ptr<obs::LockContentionAnalyzer> locks;
+  std::unique_ptr<obs::HeapChurnAnalyzer> heap;
+
+  explicit BuiltinAnalyzers(const obs::ObsConfig& oc);
+  void install(DejaVuEngine& engine) const;
+  obs::AnalysisResults collect() const;
 };
 
 // Records one execution. The environment and timer supply the
@@ -100,6 +120,7 @@ class ReplaySession {
  private:
   std::unique_ptr<vm::ScriptedEnvironment> env_;
   std::unique_ptr<threads::NullTimer> timer_;
+  BuiltinAnalyzers analyzers_;
   std::unique_ptr<DejaVuEngine> engine_;
   std::unique_ptr<vm::Vm> vm_;
 };

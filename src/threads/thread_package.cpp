@@ -234,6 +234,11 @@ bool ThreadPackage::monitor_held_by_current(MonitorId m) const {
   return monitors_[m].owner == current_;
 }
 
+Tid ThreadPackage::monitor_owner(MonitorId m) const {
+  if (m == kNoMonitor || m >= monitors_.size()) return kNoThread;
+  return monitors_[m].owner;
+}
+
 bool ThreadPackage::wait_begin(MonitorId m, int64_t timeout_ms,
                                WaitOutcome* immediate) {
   DV_CHECK(current_ != kNoThread);

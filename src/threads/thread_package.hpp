@@ -106,6 +106,8 @@ class ThreadPackage {
   bool monitor_enter(MonitorId m);
   void monitor_exit(MonitorId m);
   bool monitor_held_by_current(MonitorId m) const;
+  // Current owner (kNoThread when free). Observation only.
+  Tid monitor_owner(MonitorId m) const;
 
   // Begin a wait on a monitor the current thread owns. Releases the monitor
   // (saving the recursion count), parks the thread. If `timeout_ms` >= 0,

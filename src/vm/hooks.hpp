@@ -28,6 +28,61 @@ enum class NdKind : uint8_t {
   kRand = 3,    // environmental randomness
 };
 
+// ---- fine-grained execution events (replay-time analysis) -----------------
+// These structs describe what the interpreter is doing at instruction
+// granularity. They exist for the obs/analysis layer, but live here so the
+// VM never depends on obs: the VM emits them through ExecHooks virtuals that
+// default to no-ops, and record-mode hooks never subscribe.
+//
+// The string members are pointers to names owned by the loaded program
+// (stable for the life of the run) -- emitting an event allocates nothing.
+
+// One interpreted instruction, reported *before* it executes.
+struct InstrEvent {
+  threads::Tid tid = threads::kNoThread;
+  const std::string* owner = nullptr;   // declaring class name
+  const std::string* method = nullptr;  // method name
+  uint32_t pc = 0;
+  uint8_t opcode = 0;       // bytecode::Op numeric value
+  int32_t line = -1;        // source line, -1 if unknown
+  uint32_t frame_depth = 0; // call-stack depth of the executing frame
+  uint64_t instr_index = 0; // Vm::instr_count() at this instruction
+};
+
+// What happened at a synchronization operation.
+enum class MonitorOp : uint8_t {
+  kEnterAcquired,  // monitorenter succeeded (fresh or recursive)
+  kEnterBlocked,   // monitorenter contended; thread parked
+  kExit,           // monitorexit released (or dropped one recursion level)
+  kWaitBegin,      // Object.wait released the monitor and parked
+  kWaitEnd,        // wait completed and the monitor was re-acquired
+  kNotifyOne,      // Object.notify (woken = 0 or 1)
+  kNotifyAll,      // Object.notifyAll (woken = wait-set size)
+};
+
+struct MonitorEvent {
+  MonitorOp op{};
+  threads::Tid tid = threads::kNoThread;
+  threads::MonitorId monitor = threads::kNoMonitor;
+  // For kEnterBlocked: who held the monitor at block time (the wait-for
+  // edge). kNoThread otherwise.
+  threads::Tid holder = threads::kNoThread;
+  // For kEnterAcquired: true when this is a recursive re-entry.
+  bool recursive = false;
+  // For kNotifyOne/kNotifyAll: number of waiters woken.
+  uint32_t woken = 0;
+  uint64_t instr_index = 0;  // Vm::instr_count() at the operation
+};
+
+// One guest allocation (object or array).
+struct AllocEvent {
+  threads::Tid tid = threads::kNoThread;
+  heap::Addr addr = 0;
+  uint32_t class_id = 0;
+  uint32_t slots = 0;    // payload size in slots (array length for arrays)
+  uint64_t instr_index = 0;
+};
+
 class ExecHooks {
  public:
   virtual ~ExecHooks() = default;
@@ -90,6 +145,19 @@ class ExecHooks {
                          threads::SwitchReason reason) {
     (void)from; (void)to; (void)reason;
   }
+
+  // ---- fine-grained analysis events (replay-time observation only) -------
+  // Pure notifications: a hook must never mutate guest state from them.
+  // The DejaVu engine returns true from the wants_* predicates only in
+  // replay mode with analyzers registered, so record-side instrumentation is
+  // byte-identical with and without analysis (the §2.4 symmetry argument is
+  // about what the *recorded* run executes; replay may observe freely).
+  virtual bool wants_instruction_events() const { return false; }
+  virtual void on_instruction(const InstrEvent&) {}
+  virtual bool wants_monitor_events() const { return false; }
+  virtual void on_monitor_event(const MonitorEvent&) {}
+  // Allocation notification rides the wants_memory_events() subscription.
+  virtual void on_heap_alloc(const AllocEvent&) {}
 };
 
 }  // namespace dejavu::vm

@@ -209,6 +209,10 @@ class Vm : public heap::RootProvider {
   void do_native_call(const bytecode::Instr& ins);
   int64_t nd(NdKind kind, int64_t live);
   FrameView frame_view(const ExecContext& c, const Frame& f) const;
+  void emit_monitor_event(MonitorOp op, threads::Tid tid,
+                          threads::MonitorId mid, threads::Tid holder,
+                          bool recursive, uint32_t woken);
+  void emit_alloc_event(uint64_t addr, uint32_t type_id, uint32_t slots);
 
   // -- operand stack --
   void push_slot(uint64_t v);

@@ -428,24 +428,44 @@ void Vm::io_warmup(const std::string& tmp_path) {
 
 // ------------------------------------------------------- guest helpers
 
+// Pure notification (replay-time heap analysis); never touches guest state.
+void Vm::emit_alloc_event(uint64_t addr, uint32_t type_id, uint32_t slots) {
+  if (hooks_ == nullptr || !hooks_->wants_memory_events()) return;
+  AllocEvent e;
+  e.tid = threads_->current();
+  e.addr = Addr(addr);
+  e.class_id = type_id;
+  e.slots = slots;
+  e.instr_index = instr_count_;
+  hooks_->on_heap_alloc(e);
+}
+
 uint64_t Vm::galloc_object(uint32_t type_id) {
   if (opts_.gc_stress && booted_) heap_->collect();
-  return heap_->alloc_object(type_id);
+  uint64_t a = heap_->alloc_object(type_id);
+  emit_alloc_event(a, type_id, types_.info(type_id).num_slots);
+  return a;
 }
 
 uint64_t Vm::galloc_array_i64(uint64_t n) {
   if (opts_.gc_stress && booted_) heap_->collect();
-  return heap_->alloc_array_i64(n);
+  uint64_t a = heap_->alloc_array_i64(n);
+  emit_alloc_event(a, heap::kClassIdI64Array, uint32_t(n));
+  return a;
 }
 
 uint64_t Vm::galloc_array_ref(uint64_t n) {
   if (opts_.gc_stress && booted_) heap_->collect();
-  return heap_->alloc_array_ref(n);
+  uint64_t a = heap_->alloc_array_ref(n);
+  emit_alloc_event(a, heap::kClassIdRefArray, uint32_t(n));
+  return a;
 }
 
 uint64_t Vm::galloc_array_bytes(uint64_t n) {
   if (opts_.gc_stress && booted_) heap_->collect();
-  return heap_->alloc_array_bytes(n);
+  uint64_t a = heap_->alloc_array_bytes(n);
+  emit_alloc_event(a, heap::kClassIdByteArray, uint32_t(n));
+  return a;
 }
 
 uint64_t Vm::make_guest_string(const std::string& s) {

@@ -265,6 +265,19 @@ int64_t Vm::nd(NdKind kind, int64_t live) {
   return hooks_ != nullptr ? hooks_->nd_value(kind, live) : live;
 }
 
+void Vm::emit_monitor_event(MonitorOp op, Tid tid, MonitorId mid, Tid holder,
+                            bool recursive, uint32_t woken) {
+  MonitorEvent e;
+  e.op = op;
+  e.tid = tid;
+  e.monitor = mid;
+  e.holder = holder;
+  e.recursive = recursive;
+  e.woken = woken;
+  e.instr_index = instr_count_;
+  hooks_->on_monitor_event(e);
+}
+
 threads::MonitorId Vm::monitor_of(Addr obj) {
   DV_CHECK_MSG(obj != heap::kNull, "synchronization on null");
   uint32_t lw = heap_->lockword(obj);
@@ -398,6 +411,18 @@ void Vm::execute_instruction() {
     if (backward) maybe_yield_point();
   };
   bool mem_hooks = hooks_ != nullptr && hooks_->wants_memory_events();
+  if (hooks_ != nullptr && hooks_->wants_instruction_events()) {
+    InstrEvent ev;
+    ev.tid = c.tid;
+    ev.owner = &m->owner->name;
+    ev.method = &m->def->name;
+    ev.pc = f.pc;
+    ev.opcode = uint8_t(ins.op);
+    ev.line = ins.line;
+    ev.frame_depth = uint32_t(c.frames.size());
+    ev.instr_index = instr_count_;
+    hooks_->on_instruction(ev);
+  }
 
   using enum Op;
   switch (ins.op) {
@@ -663,21 +688,35 @@ void Vm::execute_instruction() {
     case kMonitorEnter: {
       Addr obj = Addr(peek_slot());
       MonitorId mid = monitor_of(obj);
+      bool mon_hooks = hooks_ != nullptr && hooks_->wants_monitor_events();
+      Tid prev_owner = mon_hooks ? threads_->monitor_owner(mid)
+                                 : threads::kNoThread;
       if (threads_->monitor_enter(mid)) {
         pop_slot();
         f.pc++;
+        if (mon_hooks)
+          emit_monitor_event(MonitorOp::kEnterAcquired, c.tid, mid,
+                             threads::kNoThread, prev_owner == c.tid, 0);
+      } else if (mon_hooks) {
+        emit_monitor_event(MonitorOp::kEnterBlocked, c.tid, mid, prev_owner,
+                           false, 0);
       }
       // else: blocked; the instruction re-executes when rescheduled
       break;
     }
     case kMonitorExit: {
       Addr obj = pop_ref();
-      threads_->monitor_exit(monitor_of(obj));
+      MonitorId mid = monitor_of(obj);
+      threads_->monitor_exit(mid);
       f.pc++;
+      if (hooks_ != nullptr && hooks_->wants_monitor_events())
+        emit_monitor_event(MonitorOp::kExit, c.tid, mid, threads::kNoThread,
+                           false, 0);
       break;
     }
     case kWait:
     case kTimedWait: {
+      bool mon_hooks = hooks_ != nullptr && hooks_->wants_monitor_events();
       if (c.op_phase == 0) {
         int64_t timeout = -1;
         if (ins.op == kTimedWait) timeout = pop_i();
@@ -688,8 +727,18 @@ void Vm::execute_instruction() {
           pop_slot();
           push_i(imm.interrupted ? 1 : 0);
           f.pc++;
+          if (mon_hooks) {
+            // Interrupted-before-wait completes in place: a zero-length wait.
+            emit_monitor_event(MonitorOp::kWaitBegin, c.tid, mid,
+                               threads::kNoThread, false, 0);
+            emit_monitor_event(MonitorOp::kWaitEnd, c.tid, mid,
+                               threads::kNoThread, false, 0);
+          }
         } else {
           c.op_phase = 1;  // parked; must re-acquire when rescheduled
+          if (mon_hooks)
+            emit_monitor_event(MonitorOp::kWaitBegin, c.tid, mid,
+                               threads::kNoThread, false, 0);
         }
       } else {
         Addr obj = Addr(peek_slot());
@@ -700,6 +749,11 @@ void Vm::execute_instruction() {
           pop_slot();
           push_i(out.interrupted ? 1 : 0);
           f.pc++;
+          // kWaitEnd covers park + re-acquire: its distance from kWaitBegin
+          // includes any contention on the way back in.
+          if (mon_hooks)
+            emit_monitor_event(MonitorOp::kWaitEnd, c.tid, mid,
+                               threads::kNoThread, false, 0);
         }
         // else: blocked on re-acquisition; re-executes phase 1 later
       }
@@ -707,14 +761,22 @@ void Vm::execute_instruction() {
     }
     case kNotify: {
       Addr obj = pop_ref();
-      threads_->notify_one(monitor_of(obj));
+      MonitorId mid = monitor_of(obj);
+      bool woke = threads_->notify_one(mid);
       f.pc++;
+      if (hooks_ != nullptr && hooks_->wants_monitor_events())
+        emit_monitor_event(MonitorOp::kNotifyOne, c.tid, mid,
+                           threads::kNoThread, false, woke ? 1 : 0);
       break;
     }
     case kNotifyAll: {
       Addr obj = pop_ref();
-      threads_->notify_all(monitor_of(obj));
+      MonitorId mid = monitor_of(obj);
+      int woke = threads_->notify_all(mid);
       f.pc++;
+      if (hooks_ != nullptr && hooks_->wants_monitor_events())
+        emit_monitor_event(MonitorOp::kNotifyAll, c.tid, mid,
+                           threads::kNoThread, false, uint32_t(woke));
       break;
     }
     case kInterrupt: {

@@ -1,0 +1,293 @@
+// Tests for the replay-time analysis engine (src/obs/analysis) and its
+// central invariant: attaching analyzers to a replay must not perturb it.
+// The golden-trace tests assert full byte/behaviour identity -- same
+// BehaviorSummary (output, heap and audit hashes), same verification
+// outcome, same checkpoint count, and the trace streams consumed to the
+// exact same byte positions -- with every analyzer on vs everything off.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/analysis/heap_churn.hpp"
+#include "src/obs/analysis/locks.hpp"
+#include "src/obs/analysis/profiler.hpp"
+#include "src/obs/json.hpp"
+#include "src/replay/session.hpp"
+#include "src/threads/timer.hpp"
+#include "src/vm/env.hpp"
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu::obs {
+namespace {
+
+std::string golden_path(const char* name) {
+  return std::string(DEJAVU_GOLDEN_DIR) + "/" + name;
+}
+
+// The same fixed recipe that produced the committed golden traces
+// (tests/replay/golden_trace_test.cpp).
+bytecode::Program golden_program() { return workloads::clock_mixer(2, 12); }
+
+replay::SymmetryConfig analyzers_cfg(bool on) {
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_profile = on;
+  cfg.obs.analyze_locks = on;
+  cfg.obs.analyze_heap = on;
+  return cfg;
+}
+
+// Replays the committed golden v4 trace through a ReplaySession (which
+// exposes the engine, so the stream cursor end positions are observable).
+struct GoldenReplay {
+  replay::ReplayResult result;
+  uint64_t schedule_end = 0;
+  uint64_t events_end = 0;
+};
+
+GoldenReplay replay_golden(const replay::SymmetryConfig& cfg) {
+  bytecode::Program prog = golden_program();
+  replay::ReplaySession session(
+      prog, replay::open_trace_source(golden_path("clock_mixer.v4.djv")), {},
+      cfg);
+  GoldenReplay g;
+  g.result = session.finish();
+  g.schedule_end = session.engine().schedule_stream_pos();
+  g.events_end = session.engine().events_stream_pos();
+  return g;
+}
+
+// One deterministic record of a workload (scripted env + virtual timer).
+replay::RecordResult record_workload(const bytecode::Program& prog,
+                                     uint64_t seed) {
+  vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+  threads::VirtualTimer timer(seed, 4, 60);
+  vm::NativeRegistry natives = vmtest::make_test_natives();
+  return replay::record_run(prog, {}, env, timer, &natives);
+}
+
+// ------------------------------------------------ the symmetry invariant
+
+TEST(AnalysisSymmetry, GoldenReplayIdenticalWithAnalyzersOnAndOff) {
+  GoldenReplay off = replay_golden(analyzers_cfg(false));
+  GoldenReplay on = replay_golden(analyzers_cfg(true));
+
+  ASSERT_TRUE(off.result.verified);
+  ASSERT_TRUE(on.result.verified);
+
+  // Byte-identity of the replayed behaviour: the summary hashes cover the
+  // guest output, the final heap image and the audit log.
+  EXPECT_EQ(on.result.summary, off.result.summary);
+  EXPECT_EQ(on.result.output, off.result.output);
+
+  // Identical trace consumption: both streams ended at the same byte.
+  EXPECT_EQ(on.schedule_end, off.schedule_end);
+  EXPECT_EQ(on.events_end, off.events_end);
+
+  // Identical verification path: same checkpoints, no violations.
+  EXPECT_EQ(on.result.stats.checkpoints, off.result.stats.checkpoints);
+  EXPECT_EQ(on.result.stats.symmetry_violations, 0u);
+  EXPECT_EQ(off.result.stats.symmetry_violations, 0u);
+
+  // And the analyzers actually ran.
+  EXPECT_TRUE(on.result.analysis.any());
+  EXPECT_FALSE(off.result.analysis.any());
+}
+
+TEST(AnalysisSymmetry, AnalyzersRejectRecordMode) {
+  replay::DejaVuEngine recorder;  // record mode
+  ReplayProfiler prof(4);
+  EXPECT_THROW(recorder.add_analyzer(&prof), VmError);
+}
+
+// A fuzz-style slice: several seeds, several workloads, every analyzer
+// attached -- the replay must stay verified and behaviour-identical to
+// the recording.
+TEST(AnalysisSymmetry, FuzzSliceStaysVerifiedWithAnalyzersAttached) {
+  struct Case {
+    const char* name;
+    bytecode::Program (*make)();
+  };
+  const Case cases[] = {
+      {"clock_mixer", [] { return workloads::clock_mixer(3, 20); }},
+      {"lock_pingpong", [] { return workloads::lock_pingpong(30); }},
+      {"alloc_churn", [] { return workloads::alloc_churn(300, 8, 4); }},
+      {"philosophers", [] { return workloads::philosophers(3, 6); }},
+  };
+  for (const Case& c : cases) {
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      bytecode::Program prog = c.make();
+      replay::RecordResult rec = record_workload(prog, seed);
+      replay::ReplayResult rep =
+          replay::replay_run(prog, rec.trace, {}, analyzers_cfg(true));
+      EXPECT_TRUE(rep.verified) << c.name << " seed " << seed;
+      EXPECT_EQ(rep.summary, rec.summary) << c.name << " seed " << seed;
+      EXPECT_TRUE(rep.analysis.any()) << c.name << " seed " << seed;
+    }
+  }
+}
+
+// ------------------------------------------------------ replay profiler
+
+TEST(ReplayProfiler, GoldenReplayProfileIsWellFormed) {
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_profile = true;
+  GoldenReplay g = replay_golden(cfg);
+  ASSERT_TRUE(g.result.verified);
+
+  JsonValue doc = parse_json(g.result.analysis.profile_json);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->string, "dejavu-profile-v1");
+  EXPECT_TRUE(doc.find("verified")->boolean);
+  // The profiler observed every retired instruction.
+  EXPECT_EQ(uint64_t(doc.find("total_instructions")->number),
+            g.result.summary.instr_count);
+  const JsonValue* methods = doc.find("methods");
+  ASSERT_NE(methods, nullptr);
+  ASSERT_FALSE(methods->items.empty());
+  // Per-method counts partition the total.
+  uint64_t sum = 0;
+  for (const JsonValue& m : methods->items)
+    sum += uint64_t(m.find("instructions")->number);
+  EXPECT_EQ(sum, g.result.summary.instr_count);
+
+  // Collapsed stacks: "tN;Frame;Frame count" lines, counts sum to total.
+  const std::string& collapsed = g.result.analysis.profile_collapsed;
+  ASSERT_FALSE(collapsed.empty());
+  uint64_t collapsed_sum = 0;
+  size_t start = 0;
+  while (start < collapsed.size()) {
+    size_t nl = collapsed.find('\n', start);
+    if (nl == std::string::npos) nl = collapsed.size();
+    std::string line = collapsed.substr(start, nl - start);
+    start = nl + 1;
+    if (line.empty()) continue;
+    EXPECT_EQ(line[0], 't') << line;
+    size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    collapsed_sum += std::stoull(line.substr(sp + 1));
+  }
+  EXPECT_EQ(collapsed_sum, g.result.summary.instr_count);
+}
+
+// ------------------------------------------------- lock-contention
+
+TEST(LockContention, PingPongHoldsAndContention) {
+  bytecode::Program prog = workloads::lock_pingpong(40);
+  replay::RecordResult rec = record_workload(prog, 5);
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_locks = true;
+  replay::ReplayResult rep = replay::replay_run(prog, rec.trace, {}, cfg);
+  ASSERT_TRUE(rep.verified);
+
+  JsonValue doc = parse_json(rep.analysis.locks_json);
+  EXPECT_EQ(doc.find("schema")->string, "dejavu-locks-v1");
+  EXPECT_EQ(doc.find("duration_unit")->string, "instructions");
+  const JsonValue* mons = doc.find("monitors");
+  ASSERT_NE(mons, nullptr);
+  ASSERT_FALSE(mons->items.empty());
+  uint64_t acquires = 0, holds = 0;
+  for (const JsonValue& m : mons->items) {
+    acquires += uint64_t(m.find("acquires")->number);
+    holds += uint64_t(m.find("hold_total")->number);
+  }
+  EXPECT_GT(acquires, 0u);
+  EXPECT_GT(holds, 0u);
+}
+
+TEST(LockContention, SyntheticInversionIsDetected) {
+  LockContentionAnalyzer lk;
+  auto feed = [&](vm::MonitorOp op, uint32_t tid, uint32_t mon,
+                  uint64_t instr) {
+    vm::MonitorEvent e;
+    e.op = op;
+    e.tid = threads::Tid(tid);
+    e.monitor = threads::MonitorId(mon);
+    e.instr_index = instr;
+    lk.on_monitor_event(e);
+  };
+  using Op = vm::MonitorOp;
+  // Thread 1 nests 1 -> 2; thread 2 nests 2 -> 1: a lock-order inversion.
+  feed(Op::kEnterAcquired, 1, 1, 10);
+  feed(Op::kEnterAcquired, 1, 2, 12);
+  feed(Op::kExit, 1, 2, 14);
+  feed(Op::kExit, 1, 1, 16);
+  feed(Op::kEnterAcquired, 2, 2, 20);
+  feed(Op::kEnterAcquired, 2, 1, 22);
+  feed(Op::kExit, 2, 1, 24);
+  feed(Op::kExit, 2, 2, 26);
+
+  auto inv = lk.inversions();
+  ASSERT_EQ(inv.size(), 1u);
+  EXPECT_EQ(inv[0].first, 1u);
+  EXPECT_EQ(inv[0].second, 2u);
+}
+
+TEST(LockContention, OrderedAcquiresShowNoInversion) {
+  // Philosophers acquire forks in a global order -- the classic
+  // deadlock-free discipline; the analyzer must not cry wolf.
+  bytecode::Program prog = workloads::philosophers(3, 8);
+  replay::RecordResult rec = record_workload(prog, 2);
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_locks = true;
+  replay::ReplayResult rep = replay::replay_run(prog, rec.trace, {}, cfg);
+  ASSERT_TRUE(rep.verified);
+  JsonValue doc = parse_json(rep.analysis.locks_json);
+  const JsonValue* inv = doc.find("inversions");
+  ASSERT_NE(inv, nullptr);
+  EXPECT_TRUE(inv->items.empty());
+}
+
+// ------------------------------------------------------ heap churn
+
+TEST(HeapChurn, AllocChurnSeesGuestAllocations) {
+  bytecode::Program prog = workloads::alloc_churn(400, 8, 4);
+  replay::RecordResult rec = record_workload(prog, 3);
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_heap = true;
+  replay::ReplayResult rep = replay::replay_run(prog, rec.trace, {}, cfg);
+  ASSERT_TRUE(rep.verified);
+
+  JsonValue doc = parse_json(rep.analysis.heap_json);
+  EXPECT_EQ(doc.find("schema")->string, "dejavu-heap-v1");
+  EXPECT_GT(doc.find("allocs")->number, 0.0);
+  EXPECT_GT(doc.find("reads")->number + doc.find("writes")->number, 0.0);
+  const JsonValue* types = doc.find("by_type");
+  ASSERT_NE(types, nullptr);
+  ASSERT_FALSE(types->items.empty());
+  // Guest class names resolved (no "class#N" fallbacks in a live run).
+  for (const JsonValue& t : types->items) {
+    EXPECT_EQ(t.find("class")->string.rfind("class#", 0), std::string::npos)
+        << t.find("class")->string;
+  }
+  const JsonValue* sites = doc.find("top_sites");
+  ASSERT_NE(sites, nullptr);
+  // At least one allocation attributed to a guest instruction site.
+  bool guest_site = false;
+  for (const JsonValue& s : sites->items)
+    if (s.find("site")->string != "<vm>") guest_site = true;
+  EXPECT_TRUE(guest_site);
+}
+
+// Flipping the analysis knobs off yields no artifacts, and on yields all
+// four -- the config plumbing end to end.
+TEST(AnalysisConfig, KnobsSelectArtifacts) {
+  bytecode::Program prog = golden_program();
+  replay::RecordResult rec = record_workload(prog, 9);
+
+  replay::ReplayResult off =
+      replay::replay_run(prog, rec.trace, {}, analyzers_cfg(false));
+  EXPECT_FALSE(off.analysis.any());
+  EXPECT_TRUE(off.analysis.profile_collapsed.empty());
+
+  replay::ReplayResult on =
+      replay::replay_run(prog, rec.trace, {}, analyzers_cfg(true));
+  EXPECT_FALSE(on.analysis.profile_json.empty());
+  EXPECT_FALSE(on.analysis.profile_collapsed.empty());
+  EXPECT_FALSE(on.analysis.locks_json.empty());
+  EXPECT_FALSE(on.analysis.heap_json.empty());
+}
+
+}  // namespace
+}  // namespace dejavu::obs

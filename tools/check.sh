@@ -35,6 +35,8 @@ check_obs_slice() {
   ./build/tools/dejavu replay clock_mixer "$art/cm.djv" \
     --metrics-json "$art/replay_metrics.json" \
     --timeline "$art/replay_timeline.json" >/dev/null
+  ./build/tools/dejavu analyze clock_mixer "$art/cm.djv" \
+    --out-dir "$art/analysis" >/dev/null
   ./build/bench/bench_smoke --json BENCH_smoke.json \
     --timeline "$art/bench_timeline.json" >/dev/null
   ./build/tools/obs_schema_check metrics \
@@ -43,6 +45,10 @@ check_obs_slice() {
     "$art/record_timeline.json" "$art/replay_timeline.json" \
     "$art/bench_timeline.json"
   ./build/tools/obs_schema_check bench BENCH_smoke.json
+  ./build/tools/obs_schema_check auto \
+    "$art/analysis/profile.json" "$art/analysis/locks.json" \
+    "$art/analysis/heap.json"
+  ./build/tools/obs_schema_check collapsed "$art/analysis/profile.collapsed"
 
   echo "== obs slice: sanitized (build-asan/, ASan+UBSan) =="
   cmake -B build-asan -S . -DDEJAVU_SANITIZE=ON >/dev/null

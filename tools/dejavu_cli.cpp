@@ -2,14 +2,15 @@
 //
 //   dejavu list
 //   dejavu record <workload> [--seed N] [--out trace.djv] [--realtime]
-//   dejavu replay <workload> <trace.djv>
+//   dejavu replay <workload> <trace.djv> [--strict]
+//   dejavu analyze <workload> <trace.djv> [--out-dir D] [--top N]
 //   dejavu dump <trace.djv>
 //   dejavu diff <a.djv> <b.djv>
 //   dejavu verify <trace.djv>                offline integrity check
 //   dejavu convert <in.djv> <out.djv>        rewrite (e.g. v3) as v4
 //   dejavu sweep <workload> [--seeds N]      outcome histogram
 //   dejavu fuzz [--seed N] [--iters K] [--minimize] ...   schedule fuzzer
-//   dejavu report <file>                     render divergence forensics
+//   dejavu report <file>                     render forensics / analysis
 //   dejavu debug <workload> <trace.djv>      interactive debugger REPL
 //
 // Workloads are the built-in guest programs from src/workloads (listed by
@@ -20,13 +21,18 @@
 // whole trace. `verify` walks every chunk's CRC and reports the first
 // corruption with its stream and file offset.
 //
-// Telemetry: record, replay, sweep and fuzz accept `--metrics-json F`
-// (engine metric snapshot as dejavu-metrics-v1 JSON; sweeps and fuzz
-// campaigns aggregate across runs) and `--timeline F` (Chrome trace_event
-// JSON loadable in Perfetto / chrome://tracing). Both are host-side only
-// and never perturb the recording -- the trace bytes are identical with
-// them on or off. `report` extracts and renders the DivergenceReport block
-// embedded in a fuzz reproducer (.dvfz) or saved from a failed replay.
+// Telemetry: record, replay, analyze, sweep and fuzz accept
+// `--metrics-json F` (engine metric snapshot as dejavu-metrics-v1 JSON;
+// sweeps and fuzz campaigns aggregate across runs) and `--timeline F`
+// (Chrome trace_event JSON loadable in Perfetto / chrome://tracing). Both
+// are host-side only and never perturb the recording -- the trace bytes
+// are identical with them on or off.
+//
+// `analyze` replays a trace with the built-in analyzers (replay profiler,
+// lock-contention, heap-churn) attached through the engine's observer
+// fan-out and writes their artifacts; the replay is byte-identical to a
+// plain `replay` of the same trace. `report` renders an analysis artifact
+// or the DivergenceReport block embedded in a fuzz reproducer (.dvfz).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -40,6 +46,7 @@
 #include "src/frontend/server.hpp"
 #include "src/fuzz/fuzzer.hpp"
 #include "src/obs/divergence.hpp"
+#include "src/obs/json.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/timeline.hpp"
 #include "src/replay/session.hpp"
@@ -181,7 +188,7 @@ int cmd_record(const std::string& name, uint64_t seed, bool realtime,
   return 0;
 }
 
-int cmd_replay(const std::string& name, const std::string& path,
+int cmd_replay(const std::string& name, const std::string& path, bool strict,
                const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
@@ -190,10 +197,21 @@ int cmd_replay(const std::string& name, const std::string& path,
   }
   replay::SymmetryConfig cfg;
   cfg.obs.timeline = !tel.timeline.empty();
-  // Run non-strict so a diverged replay still produces its full stats,
-  // metrics and forensics instead of unwinding mid-run.
-  cfg.strict = false;
-  replay::ReplayResult rep = replay::replay_file(e->make(), path, {}, cfg);
+  // Default is non-strict so a diverged replay still produces its full
+  // stats, metrics and forensics instead of unwinding mid-run. --strict
+  // restores fail-fast verification: the first violation throws and the
+  // run is abandoned there.
+  cfg.strict = strict;
+  replay::ReplayResult rep;
+  try {
+    rep = replay::replay_file(e->make(), path, {}, cfg);
+  } catch (const ReplayDivergence& d) {
+    std::printf("replay DIVERGED (strict): %s\n", d.what());
+    obs::DivergenceReport fr;
+    if (!d.forensics().empty() && obs::extract_report(d.forensics(), &fr))
+      std::fputs(fr.render().c_str(), stdout);
+    return 1;
+  }
   std::printf("output:\n%s", rep.output.c_str());
   std::printf("replay %s\n", rep.verified ? "verified exact" : "DIVERGED");
   if (!rep.verified) {
@@ -207,8 +225,125 @@ int cmd_replay(const std::string& name, const std::string& path,
   return rep.verified ? 0 : 1;
 }
 
-// dejavu report: extract and render the DivergenceReport embedded in a
-// fuzz reproducer (.dvfz) -- or any file containing a "dvrep 1" block.
+// dejavu analyze: replay a trace with every built-in analyzer attached and
+// write the artifacts. The analyzers observe the replay through the
+// engine's fan-out, so the replay itself is bit-identical to a plain
+// `dejavu replay` (tests/obs/analysis_test.cpp proves byte-identity).
+int cmd_analyze(const std::string& name, const std::string& path,
+                const std::string& out_dir, uint32_t top_n,
+                const TelemetryOpts& tel) {
+  const Entry* e = find_workload(name);
+  if (e == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+    return 1;
+  }
+  replay::SymmetryConfig cfg;
+  cfg.obs.timeline = !tel.timeline.empty();
+  cfg.obs.analyze_profile = true;
+  cfg.obs.analyze_locks = true;
+  cfg.obs.analyze_heap = true;
+  cfg.obs.analysis_top_n = top_n;
+  // Non-strict: a diverged replay still yields (clearly labelled) partial
+  // artifacts plus the forensics, which is what you want when analyzing.
+  cfg.strict = false;
+  replay::ReplayResult rep = replay::replay_file(e->make(), path, {}, cfg);
+  std::filesystem::create_directories(out_dir);
+  auto emit = [&](const char* file, const std::string& content) {
+    std::string p = out_dir + "/" + file;
+    write_text_file(p, content);
+    std::printf("  %s\n", p.c_str());
+  };
+  std::printf("replay %s; artifacts:\n",
+              rep.verified ? "verified exact" : "DIVERGED");
+  emit("profile.json", rep.analysis.profile_json);
+  emit("profile.collapsed", rep.analysis.profile_collapsed);
+  emit("locks.json", rep.analysis.locks_json);
+  emit("heap.json", rep.analysis.heap_json);
+  std::printf("flamegraph: flamegraph.pl %s/profile.collapsed > flame.svg\n",
+              out_dir.c_str());
+  if (!rep.verified && rep.divergence.has_value())
+    std::fputs(rep.divergence->render().c_str(), stdout);
+  export_telemetry(tel, rep.metrics, rep.timeline, "dejavu analyze " + name);
+  return rep.verified ? 0 : 1;
+}
+
+// --- `dejavu report` renderers for the analysis artifacts ------------------
+
+double num_or(const obs::JsonValue& v, const char* k, double dflt = 0) {
+  const obs::JsonValue* m = v.find(k);
+  return m != nullptr && m->is_number() ? m->number : dflt;
+}
+
+std::string str_or(const obs::JsonValue& v, const char* k) {
+  const obs::JsonValue* m = v.find(k);
+  return m != nullptr && m->is_string() ? m->string : std::string();
+}
+
+void render_profile(const obs::JsonValue& doc) {
+  std::printf("replay profile: %.0f instructions, %.0f yield points%s\n",
+              num_or(doc, "total_instructions"),
+              num_or(doc, "total_yield_points"),
+              doc.find("verified") != nullptr && doc.find("verified")->boolean
+                  ? " (verified)"
+                  : "");
+  const obs::JsonValue* methods = doc.find("methods");
+  if (methods == nullptr || !methods->is_array()) return;
+  std::printf("%12s %8s  %s\n", "instrs", "yields", "method");
+  for (const obs::JsonValue& m : methods->items) {
+    std::printf("%12.0f %8.0f  %s\n", num_or(m, "instructions"),
+                num_or(m, "yield_points"), str_or(m, "name").c_str());
+  }
+}
+
+void render_locks(const obs::JsonValue& doc) {
+  const obs::JsonValue* mons = doc.find("monitors");
+  std::printf("lock contention (durations in %s):\n",
+              str_or(doc, "duration_unit").c_str());
+  if (mons != nullptr && mons->is_array()) {
+    std::printf("%8s %10s %10s %10s %10s %8s\n", "monitor", "acquires",
+                "contended", "hold_max", "wait_max", "waits");
+    for (const obs::JsonValue& m : mons->items) {
+      std::printf("%8.0f %10.0f %10.0f %10.0f %10.0f %8.0f\n",
+                  num_or(m, "id"), num_or(m, "acquires"),
+                  num_or(m, "contended_blocks"), num_or(m, "hold_max"),
+                  num_or(m, "wait_max"), num_or(m, "waits"));
+    }
+  }
+  const obs::JsonValue* inv = doc.find("inversions");
+  if (inv != nullptr && inv->is_array() && !inv->items.empty()) {
+    std::printf("LOCK-ORDER INVERSIONS (potential deadlocks):\n");
+    for (const obs::JsonValue& p : inv->items)
+      std::printf("  monitors %.0f <-> %.0f acquired in both orders\n",
+                  num_or(p, "a"), num_or(p, "b"));
+  } else {
+    std::printf("no lock-order inversions observed\n");
+  }
+}
+
+void render_heap(const obs::JsonValue& doc) {
+  std::printf("heap churn: %.0f allocs (%.0f slots), %.0f reads, "
+              "%.0f writes\n",
+              num_or(doc, "allocs"), num_or(doc, "alloc_slots"),
+              num_or(doc, "reads"), num_or(doc, "writes"));
+  const obs::JsonValue* types = doc.find("by_type");
+  if (types != nullptr && types->is_array()) {
+    std::printf("%10s %12s  %s\n", "allocs", "slots", "type");
+    for (const obs::JsonValue& t : types->items)
+      std::printf("%10.0f %12.0f  %s\n", num_or(t, "count"),
+                  num_or(t, "slots"), str_or(t, "class").c_str());
+  }
+  const obs::JsonValue* sites = doc.find("top_sites");
+  if (sites != nullptr && sites->is_array() && !sites->items.empty()) {
+    std::printf("top allocation sites:\n");
+    for (const obs::JsonValue& s : sites->items)
+      std::printf("%10.0f  %s\n", num_or(s, "count"),
+                  str_or(s, "site").c_str());
+  }
+}
+
+// dejavu report: render whatever the file holds -- an analysis artifact
+// (standalone JSON with a "schema" member) or the DivergenceReport embedded
+// in a fuzz reproducer (.dvfz) / any file containing a "dvrep 1" block.
 int cmd_report(const std::string& path) {
   std::ifstream in(path);
   if (!in.good()) {
@@ -217,11 +352,24 @@ int cmd_report(const std::string& path) {
   }
   std::stringstream buf;
   buf << in.rdbuf();
+  const std::string text = buf.str();
+  size_t first = text.find_first_not_of(" \t\r\n");
+  if (first != std::string::npos && text[first] == '{') {
+    try {
+      obs::JsonValue doc = obs::parse_json(text);
+      std::string schema = str_or(doc, "schema");
+      if (schema == "dejavu-profile-v1") return render_profile(doc), 0;
+      if (schema == "dejavu-locks-v1") return render_locks(doc), 0;
+      if (schema == "dejavu-heap-v1") return render_heap(doc), 0;
+    } catch (const VmError&) {
+      // Not a JSON document we understand; fall through to dvrep.
+    }
+  }
   obs::DivergenceReport rep;
-  if (!obs::extract_report(buf.str(), &rep)) {
+  if (!obs::extract_report(text, &rep)) {
     std::fprintf(stderr,
-                 "no divergence report found in %s (expected an embedded "
-                 "'dvrep 1' block)\n",
+                 "nothing renderable in %s (expected a dejavu-*-v1 JSON "
+                 "artifact or an embedded 'dvrep 1' block)\n",
                  path.c_str());
     return 1;
   }
@@ -365,8 +513,10 @@ int main(int argc, char** argv) {
     }
     return dflt;
   };
-  bool realtime = std::find(args.begin(), args.end(), "--realtime") !=
-                  args.end();
+  auto has_flag = [&](const char* f) {
+    return std::find(args.begin(), args.end(), f) != args.end();
+  };
+  bool realtime = has_flag("--realtime");
   TelemetryOpts tel;
   tel.metrics_json = flag_value("--metrics-json", "");
   tel.timeline = flag_value("--timeline", "");
@@ -374,7 +524,9 @@ int main(int argc, char** argv) {
   try {
     if (args.empty() || args[0] == "help") {
       std::printf("usage: dejavu list | record <w> [--seed N] [--out F] "
-                  "[--realtime] | replay <w> <F> | dump <F> | diff <A> <B> "
+                  "[--realtime] | replay <w> <F> [--strict] "
+                  "| analyze <w> <F> [--out-dir D] [--top N] "
+                  "| dump <F> | diff <A> <B> "
                   "| verify <F> | convert <IN> <OUT> "
                   "| sweep <w> [--seeds N] "
                   "| fuzz [--seed N] [--iters K] [--minimize|--no-minimize] "
@@ -382,7 +534,15 @@ int main(int argc, char** argv) {
                   "[--inject-skew N] [--repro F] "
                   "| report <F> "
                   "| debug <w> <F>\n"
-                  "record/replay/sweep/fuzz also accept: "
+                  "replay runs non-strict by default (diverged runs still "
+                  "report stats + forensics); --strict fails fast at the "
+                  "first violation.\n"
+                  "analyze replays with the profiler, lock-contention and "
+                  "heap-churn analyzers attached and writes profile.json, "
+                  "profile.collapsed, locks.json, heap.json to --out-dir "
+                  "(default /tmp/dejavu-analysis); `report <artifact>` "
+                  "renders them.\n"
+                  "record/replay/analyze/sweep/fuzz also accept: "
                   "[--metrics-json F] [--timeline F]\n");
       return 0;
     }
@@ -394,7 +554,13 @@ int main(int argc, char** argv) {
                         tel);
     }
     if (args[0] == "replay" && args.size() >= 3)
-      return cmd_replay(args[1], args[2], tel);
+      return cmd_replay(args[1], args[2], has_flag("--strict"), tel);
+    if (args[0] == "analyze" && args.size() >= 3) {
+      return cmd_analyze(args[1], args[2],
+                         flag_value("--out-dir", "/tmp/dejavu-analysis"),
+                         uint32_t(std::stoul(flag_value("--top", "10"))),
+                         tel);
+    }
     if (args[0] == "report" && args.size() >= 2) return cmd_report(args[1]);
     if (args[0] == "dump" && args.size() >= 2) return cmd_dump(args[1]);
     if (args[0] == "diff" && args.size() >= 3)
@@ -405,9 +571,6 @@ int main(int argc, char** argv) {
     if (args[0] == "sweep" && args.size() >= 2)
       return cmd_sweep(args[1], std::stoi(flag_value("--seeds", "50")), tel);
     if (args[0] == "fuzz") {
-      auto has_flag = [&](const char* f) {
-        return std::find(args.begin(), args.end(), f) != args.end();
-      };
       fuzz::FuzzOptions fo;
       fo.seed = uint64_t(std::stoull(flag_value("--seed", "1")));
       fo.iters = uint64_t(std::stoull(flag_value("--iters", "100")));

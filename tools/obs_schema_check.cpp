@@ -6,10 +6,16 @@
 //   metrics    dejavu-metrics-v1 (MetricsSnapshot::to_json)
 //   timeline   Chrome trace_event JSON (obs::timeline_to_chrome_json)
 //   bench      dejavu-bench-v1 (bench/bench_json.hpp sidecars)
+//   profile    dejavu-profile-v1 (replay profiler, `dejavu analyze`)
+//   locks      dejavu-locks-v1 (lock-contention analyzer)
+//   heap       dejavu-heap-v1 (heap-churn analyzer)
+//   collapsed  Brendan Gregg collapsed-stack text (flamegraph.pl input)
 //   auto       pick by content
 //
 // Exit 0 when every file validates; the first violation is reported with
-// its file and JSON path and exits 1. tools/check.sh runs this over the
+// its file and JSON path and exits 1. A JSON artifact whose "schema"
+// header is not one of the known dejavu-*-v1 values fails -- unknown
+// schemas are a drift, never a skip. tools/check.sh runs this over the
 // artifacts produced by the obs slice so a schema drift fails CI instead
 // of silently breaking downstream consumers (Perfetto, plotting scripts).
 #include <cstdio>
@@ -108,15 +114,154 @@ void check_bench(const std::string& file, const JsonValue& doc) {
   }
 }
 
+void check_profile(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-profile-v1")
+    fail(file, "schema is not dejavu-profile-v1");
+  need(file, doc, "total_instructions", JsonValue::Type::kNumber, "top");
+  need(file, doc, "total_yield_points", JsonValue::Type::kNumber, "top");
+  need(file, doc, "verified", JsonValue::Type::kBool, "top");
+  const JsonValue& methods =
+      need(file, doc, "methods", JsonValue::Type::kArray, "top");
+  size_t i = 0;
+  for (const JsonValue& m : methods.items) {
+    std::string where = "methods[" + std::to_string(i++) + "]";
+    if (!m.is_object()) fail(file, where + " is not an object");
+    need(file, m, "name", JsonValue::Type::kString, where);
+    need(file, m, "instructions", JsonValue::Type::kNumber, where);
+    need(file, m, "yield_points", JsonValue::Type::kNumber, where);
+    const JsonValue& pcs =
+        need(file, m, "hot_pcs", JsonValue::Type::kArray, where);
+    size_t j = 0;
+    for (const JsonValue& pc : pcs.items) {
+      std::string pw = where + ".hot_pcs[" + std::to_string(j++) + "]";
+      if (!pc.is_object()) fail(file, pw + " is not an object");
+      need(file, pc, "pc", JsonValue::Type::kNumber, pw);
+      need(file, pc, "op", JsonValue::Type::kString, pw);
+      need(file, pc, "count", JsonValue::Type::kNumber, pw);
+    }
+  }
+}
+
+void check_locks(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-locks-v1")
+    fail(file, "schema is not dejavu-locks-v1");
+  if (need(file, doc, "duration_unit", JsonValue::Type::kString, "top")
+          .string != "instructions")
+    fail(file, "duration_unit is not \"instructions\"");
+  const JsonValue& mons =
+      need(file, doc, "monitors", JsonValue::Type::kArray, "top");
+  size_t i = 0;
+  for (const JsonValue& m : mons.items) {
+    std::string where = "monitors[" + std::to_string(i++) + "]";
+    if (!m.is_object()) fail(file, where + " is not an object");
+    for (const char* k :
+         {"id", "acquires", "recursive_acquires", "contended_blocks",
+          "hold_total", "hold_max", "block_total", "block_max", "waits",
+          "wait_total", "wait_max", "notify_ops", "woken"})
+      need(file, m, k, JsonValue::Type::kNumber, where);
+  }
+  const JsonValue& edges =
+      need(file, doc, "wait_edges", JsonValue::Type::kArray, "top");
+  i = 0;
+  for (const JsonValue& e : edges.items) {
+    std::string where = "wait_edges[" + std::to_string(i++) + "]";
+    if (!e.is_object()) fail(file, where + " is not an object");
+    for (const char* k : {"blocked", "holder", "monitor", "count"})
+      need(file, e, k, JsonValue::Type::kNumber, where);
+  }
+  const JsonValue& inv =
+      need(file, doc, "inversions", JsonValue::Type::kArray, "top");
+  i = 0;
+  for (const JsonValue& p : inv.items) {
+    std::string where = "inversions[" + std::to_string(i++) + "]";
+    if (!p.is_object()) fail(file, where + " is not an object");
+    need(file, p, "a", JsonValue::Type::kNumber, where);
+    need(file, p, "b", JsonValue::Type::kNumber, where);
+  }
+}
+
+void check_heap(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-heap-v1")
+    fail(file, "schema is not dejavu-heap-v1");
+  need(file, doc, "object_identity", JsonValue::Type::kString, "top");
+  for (const char* k : {"allocs", "alloc_slots", "reads", "writes"})
+    need(file, doc, k, JsonValue::Type::kNumber, "top");
+  const JsonValue& types =
+      need(file, doc, "by_type", JsonValue::Type::kArray, "top");
+  size_t i = 0;
+  for (const JsonValue& t : types.items) {
+    std::string where = "by_type[" + std::to_string(i++) + "]";
+    if (!t.is_object()) fail(file, where + " is not an object");
+    need(file, t, "class", JsonValue::Type::kString, where);
+    need(file, t, "count", JsonValue::Type::kNumber, where);
+    need(file, t, "slots", JsonValue::Type::kNumber, where);
+  }
+  const JsonValue& sites =
+      need(file, doc, "top_sites", JsonValue::Type::kArray, "top");
+  i = 0;
+  for (const JsonValue& t : sites.items) {
+    std::string where = "top_sites[" + std::to_string(i++) + "]";
+    if (!t.is_object()) fail(file, where + " is not an object");
+    need(file, t, "site", JsonValue::Type::kString, where);
+    need(file, t, "count", JsonValue::Type::kNumber, where);
+  }
+  const JsonValue& hot =
+      need(file, doc, "hot_objects", JsonValue::Type::kArray, "top");
+  i = 0;
+  for (const JsonValue& o : hot.items) {
+    std::string where = "hot_objects[" + std::to_string(i++) + "]";
+    if (!o.is_object()) fail(file, where + " is not an object");
+    need(file, o, "addr", JsonValue::Type::kNumber, where);
+    need(file, o, "class", JsonValue::Type::kString, where);
+    need(file, o, "reads", JsonValue::Type::kNumber, where);
+    need(file, o, "writes", JsonValue::Type::kNumber, where);
+  }
+}
+
+// Collapsed-stack text: one "frame;frame;...;frame count" record per line,
+// exactly what flamegraph.pl consumes. Not JSON -- validated textually.
+void check_collapsed(const std::string& file, const std::string& text) {
+  size_t lineno = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string where = "line " + std::to_string(lineno);
+    size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 == line.size())
+      fail(file, where + ": expected \"stack count\"");
+    const std::string stack = line.substr(0, sp);
+    const std::string count = line.substr(sp + 1);
+    for (char c : count)
+      if (c < '0' || c > '9')
+        fail(file, where + ": count \"" + count + "\" is not an integer");
+    if (stack.front() == ';' || stack.back() == ';' ||
+        stack.find(";;") != std::string::npos)
+      fail(file, where + ": empty frame in stack \"" + stack + "\"");
+  }
+  if (lineno == 0) fail(file, "empty collapsed-stack file");
+}
+
 std::string sniff_kind(const JsonValue& doc) {
   if (doc.is_object() && doc.find("traceEvents") != nullptr)
     return "timeline";
   const JsonValue* schema = doc.is_object() ? doc.find("schema") : nullptr;
-  if (schema != nullptr && schema->string == "dejavu-metrics-v1")
-    return "metrics";
-  if (schema != nullptr && schema->string == "dejavu-bench-v1")
-    return "bench";
-  return "";
+  if (schema == nullptr) return "";
+  if (schema->string == "dejavu-metrics-v1") return "metrics";
+  if (schema->string == "dejavu-bench-v1") return "bench";
+  if (schema->string == "dejavu-profile-v1") return "profile";
+  if (schema->string == "dejavu-locks-v1") return "locks";
+  if (schema->string == "dejavu-heap-v1") return "heap";
+  // A schema header we do not know is a drift, not a skip: report it so
+  // the caller fails loudly instead of rubber-stamping the artifact.
+  return "unknown-schema:" + schema->string;
 }
 
 }  // namespace
@@ -124,7 +269,8 @@ std::string sniff_kind(const JsonValue& doc) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: obs_schema_check <metrics|timeline|bench|auto> "
+                 "usage: obs_schema_check "
+                 "<metrics|timeline|bench|profile|locks|heap|collapsed|auto> "
                  "<file>...\n");
     return 2;
   }
@@ -135,6 +281,11 @@ int main(int argc, char** argv) {
     if (!in.good()) fail(file, "cannot open");
     std::stringstream buf;
     buf << in.rdbuf();
+    if (kind == "collapsed") {
+      check_collapsed(file, buf.str());
+      std::printf("obs_schema_check: %s: ok (collapsed)\n", file.c_str());
+      continue;
+    }
     JsonValue doc;
     try {
       doc = dejavu::obs::parse_json(buf.str());
@@ -148,6 +299,15 @@ int main(int argc, char** argv) {
       check_timeline(file, doc);
     } else if (k == "bench") {
       check_bench(file, doc);
+    } else if (k == "profile") {
+      check_profile(file, doc);
+    } else if (k == "locks") {
+      check_locks(file, doc);
+    } else if (k == "heap") {
+      check_heap(file, doc);
+    } else if (k.rfind("unknown-schema:", 0) == 0) {
+      fail(file, "unrecognized schema header \"" +
+                     k.substr(sizeof("unknown-schema:") - 1) + "\"");
     } else {
       fail(file, "unrecognized artifact kind");
     }
