@@ -1,0 +1,81 @@
+#include "src/farm/scheduler.hpp"
+
+#include "src/common/check.hpp"
+#include "src/farm/worker_pool.hpp"
+#include "src/obs/analysis/merge.hpp"
+
+namespace dejavu::farm {
+
+namespace {
+
+// Classifies a finished (non-strict) replay. A first violation beginning
+// with "final " means every mid-run symmetry check held and only the
+// end-of-run behaviour verification mismatched.
+std::string classify(const replay::ReplayResult& r) {
+  if (r.verified) return "clean";
+  if (r.stats.first_violation.rfind("final ", 0) == 0) return "diverged";
+  return "violation";
+}
+
+}  // namespace
+
+FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
+  DV_CHECK_MSG(opts.resolve != nullptr, "run_farm needs a workload resolver");
+  std::vector<TraceRecord> records = store.list();
+
+  FarmRunResult out;
+  out.outcomes.resize(records.size());
+
+  // Fan out: one replay per trace, each writing only its own slot. All
+  // merging happens below, on this thread, in catalog order.
+  parallel_for_ordered(opts.jobs, records.size(), [&](size_t i) {
+    TraceOutcome& slot = out.outcomes[i];
+    slot.record = records[i];
+    try {
+      std::optional<bytecode::Program> prog =
+          opts.resolve(records[i].workload);
+      if (!prog.has_value()) {
+        slot.verdict = "error";
+        slot.error = "unknown workload '" + records[i].workload + "'";
+        return;
+      }
+      replay::SymmetryConfig cfg;
+      // Non-strict: a diverged trace yields a verdict and complete
+      // artifacts instead of poisoning the whole fleet run.
+      cfg.strict = false;
+      cfg.obs.analyze_profile = true;
+      cfg.obs.analyze_locks = true;
+      cfg.obs.analyze_heap = true;
+      cfg.obs.analysis_top_n = opts.top_n;
+      replay::ReplayResult r =
+          replay::replay_file(*prog, store.resolve(records[i]), {}, cfg);
+      slot.verdict = classify(r);
+      slot.violations = r.stats.symmetry_violations;
+      slot.first_violation = r.stats.first_violation;
+      slot.metrics = std::move(r.metrics);
+      slot.analysis = std::move(r.analysis);
+    } catch (const std::exception& e) {
+      slot.verdict = "error";
+      slot.error = e.what();
+    }
+  });
+
+  // Fold fleet-wide, in catalog order (determinism contract).
+  obs::ProfileMerger profile;
+  obs::LocksMerger locks;
+  obs::HeapMerger heap;
+  for (const TraceOutcome& o : out.outcomes) {
+    if (o.verdict == "error") continue;
+    obs::merge_snapshots(&out.merged_metrics, o.metrics);
+    if (!o.analysis.profile_json.empty())
+      profile.add_json(o.analysis.profile_json);
+    if (!o.analysis.locks_json.empty()) locks.add_json(o.analysis.locks_json);
+    if (!o.analysis.heap_json.empty()) heap.add_json(o.analysis.heap_json);
+  }
+  if (profile.runs() > 0) out.merged_profile = profile.artifact();
+  if (locks.runs() > 0) out.merged_locks = locks.artifact();
+  if (heap.runs() > 0) out.merged_heap = heap.artifact();
+  return out;
+}
+
+}  // namespace dejavu::farm

@@ -1,0 +1,69 @@
+// The farm scheduler: replay + analysis across a trace fleet.
+//
+// run_farm lists a TraceStore's catalog (deterministic order), fans one
+// replay-with-analyzers per trace across the worker pool -- each task owns
+// a fresh DejaVuEngine, Vm and heap, so traces share nothing -- and folds
+// the per-trace results on the caller thread in catalog order:
+//
+//   metrics    via obs::merge_snapshots
+//   profile    via obs::ProfileMerger      (dejavu-profile-v1)
+//   locks      via obs::LocksMerger        (dejavu-locks-v1)
+//   heap       via obs::HeapMerger         (dejavu-heap-v1)
+//
+// Because replay of a given trace is deterministic and the fold order is
+// the catalog order, the merged results are byte-identical for any --jobs
+// value; tests/farm pins jobs=1 vs jobs=4 equality, and compares a farm
+// replay's per-trace behaviour against a direct replay_file of the same
+// trace to prove the fan-out perturbs nothing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bytecode/model.hpp"
+#include "src/farm/trace_store.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/replay/session.hpp"
+
+namespace dejavu::farm {
+
+struct FarmOptions {
+  unsigned jobs = 1;
+  uint32_t top_n = 10;  // per-run analyzer truncation + report top-N
+  // Maps a catalog entry's workload label to its program. Called once per
+  // trace on a worker thread, so it must be thread-safe (the CLI's
+  // workload factories are pure). Returning nullopt marks the trace
+  // verdict "error" without aborting the fleet.
+  std::function<std::optional<bytecode::Program>(const std::string&)> resolve;
+};
+
+// One trace's replay outcome.
+struct TraceOutcome {
+  TraceRecord record;
+  // "clean"     replay verified exact
+  // "diverged"  final-behaviour mismatch only (mid-run symmetry held)
+  // "violation" mid-run symmetry violation detected
+  // "error"     replay could not run (unknown workload, fingerprint
+  //             mismatch, unreadable file, ...)
+  std::string verdict;
+  uint64_t violations = 0;
+  std::string first_violation;
+  std::string error;  // verdict "error" only
+  obs::MetricsSnapshot metrics;
+  obs::AnalysisResults analysis;
+};
+
+struct FarmRunResult {
+  std::vector<TraceOutcome> outcomes;  // catalog (store.list()) order
+  obs::MetricsSnapshot merged_metrics;
+  std::string merged_profile;  // merged dejavu-profile-v1
+  std::string merged_locks;    // merged dejavu-locks-v1
+  std::string merged_heap;     // merged dejavu-heap-v1
+};
+
+FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts);
+
+}  // namespace dejavu::farm

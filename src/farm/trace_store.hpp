@@ -1,0 +1,77 @@
+// The farm's sharded on-disk trace catalog.
+//
+// Layout under the store root:
+//
+//   shard-NN/manifest.jsonl   NN = content hash % 16, zero-padded
+//   shard-NN/<hash>.djv       the ingested trace, named by content hash
+//
+// Each manifest is append-only JSON Lines: a header line
+// ({"schema":"dejavu-farm-manifest-v1",...}) followed by one entry object
+// per ingested trace. Append-only means ingest never rewrites history --
+// a crashed ingest leaves at worst a complete prefix, and two stores can
+// be reconciled by concatenation.
+//
+// Ingest is CRC-gated (verify_trace_file must pass before a byte lands in
+// the store) and deduplicating: the content hash (FNV-1a over the file
+// bytes) keys both the shard placement and the duplicate check, so the
+// same recording ingested twice -- under any workload label -- is stored
+// once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dejavu::farm {
+
+inline constexpr int kShardCount = 16;
+inline constexpr const char* kManifestSchema = "dejavu-farm-manifest-v1";
+
+// One catalog entry (one line of a shard manifest).
+struct TraceRecord {
+  std::string workload;       // workload label supplied at ingest
+  uint64_t seed = 0;          // recording seed supplied at ingest
+  uint32_t trace_version = 0;
+  std::string content_hash;   // 16 hex digits, FNV-1a of the file bytes
+  uint64_t bytes = 0;         // file size
+  std::string file;           // store-relative path: "shard-NN/<hash>.djv"
+  uint64_t instr_count = 0;       // from the trace meta block
+  uint64_t preempt_switches = 0;
+  uint64_t nd_events = 0;
+};
+
+struct IngestResult {
+  bool deduped = false;  // content hash was already in the catalog
+  TraceRecord record;    // the stored (possibly pre-existing) entry
+};
+
+class TraceStore {
+ public:
+  // Opens (creating if needed) a store rooted at `root` and loads every
+  // shard manifest. Throws VmError on a malformed manifest.
+  explicit TraceStore(std::string root);
+
+  // Verifies, hashes, dedups and copies one .djv file into the store.
+  // Throws VmError if the file fails CRC verification.
+  IngestResult ingest(const std::string& path, const std::string& workload,
+                      uint64_t seed);
+
+  // Catalog in deterministic order (workload, seed, content hash) --
+  // the farm's canonical trace enumeration, independent of ingest order.
+  std::vector<TraceRecord> list() const;
+
+  size_t size() const { return records_.size(); }
+  const std::string& root() const { return root_; }
+  // Absolute path of a record's trace file.
+  std::string resolve(const TraceRecord& r) const { return root_ + "/" + r.file; }
+
+ private:
+  std::string shard_dir(int shard) const;
+  void load_manifest(int shard);
+  void append_entry(int shard, const TraceRecord& r);
+
+  std::string root_;
+  std::vector<TraceRecord> records_;  // ingest order (all shards)
+};
+
+}  // namespace dejavu::farm

@@ -1,0 +1,80 @@
+#include "src/farm/worker_pool.hpp"
+
+#include <algorithm>
+
+namespace dejavu::farm {
+
+WorkerPool::WorkerPool(unsigned jobs, size_t queue_capacity)
+    : capacity_(queue_capacity != 0 ? queue_capacity
+                                    : size_t(std::max(1u, jobs)) * 2) {
+  unsigned n = std::max(1u, jobs);
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    threads_.emplace_back([this] { worker_main(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_space_.wait(lk, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(task));
+    in_flight_++;
+  }
+  cv_work_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_idle_.wait(lk, [this] { return in_flight_ == 0; });
+  if (first_error_ != nullptr) {
+    std::exception_ptr e = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+void WorkerPool::worker_main() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_work_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    cv_space_.notify_one();
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (first_error_ == nullptr) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for_ordered(unsigned jobs, size_t n,
+                          const std::function<void(size_t)>& fn) {
+  if (jobs <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  WorkerPool pool(jobs);
+  for (size_t i = 0; i < n; ++i) pool.submit([&fn, i] { fn(i); });
+  pool.wait_idle();
+}
+
+}  // namespace dejavu::farm

@@ -1,0 +1,71 @@
+// The farm's OS-thread worker pool.
+//
+// Everything else in this codebase runs guest threads on a *virtual* thread
+// package; the farm is the one place real parallelism appears, because each
+// unit of work is a whole replay (own DejaVuEngine, own Vm, own heap -- no
+// shared mutable state between traces). The pool is deliberately dumb:
+//
+//  * a bounded task queue (submit blocks when full, so a fast producer
+//    cannot buffer the whole fleet),
+//  * workers that drain it in arrival order,
+//  * wait_idle() as the only barrier, which rethrows the first task
+//    exception on the caller thread.
+//
+// Determinism contract: the pool never merges anything. Callers give each
+// task its own result slot (parallel_for_ordered) and fold the slots on the
+// caller thread in index order afterwards, so the folded output is
+// byte-identical for any worker count -- the property the farm report's
+// jobs=1 vs jobs=4 golden test pins down.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dejavu::farm {
+
+class WorkerPool {
+ public:
+  // `jobs` worker threads; queue capacity defaults to 2*jobs.
+  explicit WorkerPool(unsigned jobs, size_t queue_capacity = 0);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues one task; blocks while the queue is at capacity.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished, then rethrows the
+  // first task exception, if any.
+  void wait_idle();
+
+  unsigned jobs() const { return unsigned(threads_.size()); }
+
+ private:
+  void worker_main();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_space_;  // queue below capacity
+  std::condition_variable cv_work_;   // queue non-empty or stopping
+  std::condition_variable cv_idle_;   // in_flight_ reached zero
+  size_t capacity_;
+  size_t in_flight_ = 0;  // queued + running
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+// Runs fn(0..n-1) across up to `jobs` threads and returns when all are
+// done. Each call must write only to its own, index-addressed result slot;
+// the caller merges slots in index order afterwards (see the determinism
+// contract above). jobs<=1 degenerates to a plain serial loop.
+void parallel_for_ordered(unsigned jobs, size_t n,
+                          const std::function<void(size_t)>& fn);
+
+}  // namespace dejavu::farm

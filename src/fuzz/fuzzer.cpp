@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "src/common/check.hpp"
+#include "src/farm/worker_pool.hpp"
 #include "src/fuzz/fault.hpp"
 #include "src/fuzz/generator.hpp"
 
@@ -98,34 +99,56 @@ FuzzReport run_fuzz(const FuzzOptions& opts) {
   obs::Counter* c_diverged = reg.counter("fuzz.divergences");
   obs::Counter* c_finj = reg.counter("fuzz.faults.injected");
   obs::Counter* c_fdet = reg.counter("fuzz.faults.detected");
+
+  // Execution phase, fanned across the farm's worker pool: each iteration
+  // is seed-isolated (oracle scratch files are keyed by case seed) and
+  // writes only its own slot. Everything order-sensitive -- counters,
+  // divergence handling (incl. minimization), the report -- happens in the
+  // serial fold below, in iteration order, so the campaign report is
+  // byte-identical for any jobs value.
+  struct IterResult {
+    uint64_t seed = 0;
+    CaseSpec spec;
+    CaseOutcome outcome;
+    bool fault_round = false;
+    FaultReport faults;
+  };
+  std::vector<IterResult> slots(opts.iters);
+  farm::parallel_for_ordered(opts.jobs, opts.iters, [&](size_t i) {
+    IterResult& r = slots[i];
+    r.seed = case_seed(opts.seed, i);
+    r.spec = generate_case(r.seed);
+    r.outcome = run_case(r.spec, oo);
+    r.fault_round =
+        opts.fault_injection &&
+        (i % (opts.fault_every == 0 ? 1 : opts.fault_every)) == 0;
+    if (r.fault_round) r.faults = inject_trace_faults(r.spec, oo, r.seed);
+  });
+
   for (uint64_t i = 0; i < opts.iters; ++i) {
-    uint64_t seed = case_seed(opts.seed, i);
-    CaseSpec spec = generate_case(seed);
+    IterResult& r = slots[i];
     if (opts.timeline != nullptr)
-      opts.timeline->instant("fuzz", "case", i, 0, "seed", int64_t(seed));
-    CaseOutcome outcome = run_case(spec, oo);
+      opts.timeline->instant("fuzz", "case", i, 0, "seed", int64_t(r.seed));
     report.cases_run++;
     c_cases->add();
-    if (!outcome.ok) {
-      handle_divergence(opts, oo, spec, outcome, &report);
+    if (!r.outcome.ok) {
+      handle_divergence(opts, oo, r.spec, r.outcome, &report);
       c_diverged->add();
     }
 
-    if (opts.fault_injection &&
-        (i % (opts.fault_every == 0 ? 1 : opts.fault_every)) == 0) {
-      FaultReport fr = inject_trace_faults(spec, oo, seed);
-      report.faults_injected += fr.injected;
-      report.faults_detected += fr.detected;
-      c_finj->add(fr.injected);
-      c_fdet->add(fr.detected);
-      for (const FaultFinding& missed : fr.undetected) {
+    if (r.fault_round) {
+      report.faults_injected += r.faults.injected;
+      report.faults_detected += r.faults.detected;
+      c_finj->add(r.faults.injected);
+      c_fdet->add(r.faults.detected);
+      for (const FaultFinding& missed : r.faults.undetected) {
         FuzzFailure f;
-        f.case_seed = seed;
+        f.case_seed = r.seed;
         f.stage = "fault-" + missed.mode;
         f.detail = missed.detail;
-        f.original_instructions = case_instruction_count(spec);
+        f.original_instructions = case_instruction_count(r.spec);
         f.minimized_instructions = f.original_instructions;
-        f.repro_path = write_repro(opts, spec, "");
+        f.repro_path = write_repro(opts, r.spec, "");
         report.failures.push_back(std::move(f));
       }
     }

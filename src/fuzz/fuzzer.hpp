@@ -24,6 +24,11 @@ namespace dejavu::fuzz {
 struct FuzzOptions {
   uint64_t seed = 1;
   uint64_t iters = 100;
+  // Worker threads for the case-execution phase (the farm's worker pool).
+  // Every case is seed-isolated, and divergence handling, counters and the
+  // report are folded serially in iteration order afterwards, so the
+  // campaign report is identical for any jobs value.
+  unsigned jobs = 1;
   bool minimize = true;
   bool fault_injection = true;
   bool check_baselines = true;

@@ -244,6 +244,7 @@ Addr Heap::copy_or_forward(Addr obj, size_t& to_bump) {
   std::memcpy(mem_.data() + dst, mem_.data() + obj, size);
   write_u32(obj + kOffClassId, kClassIdForwarded);
   write_u32(obj + kOffSize, uint32_t(dst));
+  if (move_observer_) move_observer_(obj, Addr(dst));
   return Addr(dst);
 }
 

@@ -107,6 +107,12 @@ struct HeapStats {
 // to assert that GCs happen at identical points in record and replay (P6).
 using GcObserver = std::function<void(uint64_t gc_index, uint64_t live_bytes)>;
 
+// Observer invoked once per object the copying collector relocates
+// (`from` is the old address, `to` the new one). Replay-time analyzers use
+// it to keep per-object identity exact across collections; GC itself is
+// deterministic, so subscribing never perturbs the run.
+using MoveObserver = std::function<void(Addr from, Addr to)>;
+
 class Heap {
  public:
   Heap(const TypeRegistry& types, HeapConfig cfg);
@@ -139,6 +145,7 @@ class Heap {
   // -- GC ----------------------------------------------------------------
   void set_root_provider(RootProvider* rp) { roots_ = rp; }
   void set_gc_observer(GcObserver obs) { gc_observer_ = std::move(obs); }
+  void set_move_observer(MoveObserver obs) { move_observer_ = std::move(obs); }
   void collect();
 
   // -- introspection -----------------------------------------------------
@@ -180,6 +187,7 @@ class Heap {
   size_t bump_;          // next free offset (bump allocation)
   RootProvider* roots_ = nullptr;
   GcObserver gc_observer_;
+  MoveObserver move_observer_;
   HeapStats stats_;
 
   // Mark-sweep free list: (offset, size) sorted by offset.

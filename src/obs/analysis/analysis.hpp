@@ -31,6 +31,10 @@ struct RunInfo {
   uint64_t logical_clock = 0;  // live yield points
   uint64_t switch_count = 0;
   bool verified = false;  // replay verification outcome
+  // True when a strict replay hit a violation but carried on non-strict so
+  // the analyzers could finish (SymmetryConfig::strict + analyzers). The
+  // artifacts of such a run describe a post-violation execution.
+  bool post_violation = false;
 };
 
 class AnalysisObserver {
@@ -62,6 +66,12 @@ class AnalysisObserver {
     (void)obj; (void)slot; (void)value; (void)is_ref;
   }
   virtual void on_heap_alloc(const vm::AllocEvent&) {}
+  // The copying collector relocated an object (rides the memory
+  // subscription). Analyzers tracking per-object state follow the
+  // forwarding so identity stays exact across collections.
+  virtual void on_heap_move(heap::Addr from, heap::Addr to) {
+    (void)from; (void)to;
+  }
   // `tag` is the engine's static nd-event tag ("clock", "input", ...).
   virtual void on_nd_event(const char* tag, int64_t value,
                            uint64_t logical_clock) {

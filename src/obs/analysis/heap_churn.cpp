@@ -34,6 +34,18 @@ std::string HeapChurnAnalyzer::class_name(uint32_t class_id) const {
   return "class#" + std::to_string(class_id);
 }
 
+uint64_t HeapChurnAnalyzer::id_at(heap::Addr addr) {
+  auto it = live_.find(addr);
+  if (it != live_.end()) return it->second;
+  // First sight of an object allocated before we attached (boot image).
+  uint64_t id = objects_.size();
+  ObjStat os;
+  os.alloc_addr = addr;
+  objects_.push_back(os);
+  live_.emplace(addr, id);
+  return id;
+}
+
 void HeapChurnAnalyzer::on_heap_alloc(const vm::AllocEvent& e) {
   allocs_++;
   alloc_slots_ += e.slots;
@@ -41,8 +53,15 @@ void HeapChurnAnalyzer::on_heap_alloc(const vm::AllocEvent& e) {
   if (ts.count == 0) ts.name = class_name(e.class_id);
   ts.count++;
   ts.slots += e.slots;
-  ObjStat& os = objects_[e.addr];
+
+  uint64_t id = objects_.size();
+  ObjStat os;
   os.class_id = e.class_id;
+  os.alloc_addr = e.addr;
+  objects_.push_back(os);
+  // The address may be recycled from an object that died in an earlier
+  // collection; the newcomer owns it now.
+  live_[e.addr] = id;
 
   // Allocation site: the instruction this thread is currently executing.
   // Allocations from VM boot / engine internals run outside any guest
@@ -55,27 +74,40 @@ void HeapChurnAnalyzer::on_heap_alloc(const vm::AllocEvent& e) {
   by_site_[site]++;
 }
 
+void HeapChurnAnalyzer::on_heap_move(heap::Addr from, heap::Addr to) {
+  gc_moves_++;
+  auto it = live_.find(from);
+  if (it == live_.end()) return;  // never-accessed boot object; no identity
+  uint64_t id = it->second;
+  live_.erase(it);
+  // `to` may carry a stale mapping from an object that died in a previous
+  // collection cycle; the survivor owns the address now.
+  live_[to] = id;
+}
+
 void HeapChurnAnalyzer::on_heap_read(heap::Addr obj, uint32_t, int64_t, bool) {
   reads_++;
-  objects_[obj].reads++;
+  objects_[id_at(obj)].reads++;
 }
 
 void HeapChurnAnalyzer::on_heap_write(heap::Addr obj, uint32_t, int64_t, bool) {
   writes_++;
-  objects_[obj].writes++;
+  objects_[id_at(obj)].writes++;
 }
 
 std::string HeapChurnAnalyzer::artifact() const {
   JsonWriter w;
   w.begin_object()
       .kv("schema", "dejavu-heap-v1")
-      .kv("object_identity", "alloc-address (moves under copying GC)")
+      .kv("object_identity", "stable (copying-GC forwarding tracked)")
       .kv("allocs", allocs_)
       .kv("alloc_slots", alloc_slots_)
       .kv("reads", reads_)
       .kv("writes", writes_)
+      .kv("gc_moves", gc_moves_)
       .kv("run_instr_count", run_.instr_count)
-      .kv("verified", run_.verified);
+      .kv("verified", run_.verified)
+      .kv("post_violation", run_.post_violation);
 
   std::vector<const TypeStat*> types;
   types.reserve(by_type_.size());
@@ -108,34 +140,38 @@ std::string HeapChurnAnalyzer::artifact() const {
   }
   w.end_array();
 
-  std::vector<std::pair<uint64_t, const ObjStat*>> hot;
+  // Hot objects by stable id; ids are allocation-ordered, so ties resolve
+  // deterministically to the earliest-allocated object.
+  std::vector<uint64_t> hot;
   hot.reserve(objects_.size());
-  for (const auto& [addr, os] : objects_) {
-    if (os.reads + os.writes > 0) hot.emplace_back(addr, &os);
+  for (uint64_t id = 0; id < objects_.size(); ++id) {
+    if (objects_[id].reads + objects_[id].writes > 0) hot.push_back(id);
   }
-  std::sort(hot.begin(), hot.end(), [](const auto& a, const auto& b) {
-    uint64_t ha = a.second->reads + a.second->writes;
-    uint64_t hb = b.second->reads + b.second->writes;
+  std::sort(hot.begin(), hot.end(), [this](uint64_t a, uint64_t b) {
+    uint64_t ha = objects_[a].reads + objects_[a].writes;
+    uint64_t hb = objects_[b].reads + objects_[b].writes;
     if (ha != hb) return ha > hb;
-    return a.first < b.first;
+    return a < b;
   });
   if (hot.size() > top_n_) hot.resize(top_n_);
   w.key("hot_objects").begin_array();
-  for (const auto& [addr, os] : hot) {
+  for (uint64_t id : hot) {
+    const ObjStat& os = objects_[id];
     // Objects allocated before the analyzer attached (boot image) have no
     // recorded class. Names come from by_type_ copies: types_ is only valid
     // while the run is live, and artifact() may outlive the Vm.
     std::string cls = "<boot>";
-    if (os->class_id != 0) {
-      auto it = by_type_.find(os->class_id);
+    if (os.class_id != 0) {
+      auto it = by_type_.find(os.class_id);
       cls = it != by_type_.end() ? it->second.name
-                                 : "class#" + std::to_string(os->class_id);
+                                 : "class#" + std::to_string(os.class_id);
     }
     w.begin_object()
-        .kv("addr", addr)
+        .kv("id", id)
+        .kv("addr", uint64_t(os.alloc_addr))
         .kv("class", cls)
-        .kv("reads", os->reads)
-        .kv("writes", os->writes)
+        .kv("reads", os.reads)
+        .kv("writes", os.writes)
         .end_object();
   }
   w.end_array().end_object();

@@ -1,11 +1,10 @@
 // The heap-churn analyzer: allocation volume per type and per allocation
 // site, plus read/write heat per object, with a top-N hot-object report.
 //
-// Caveat (documented in the artifact): objects are keyed by allocation-time
-// address. Under the copying collector addresses move at GC, so post-GC
-// accesses accrue to the object's *new* address; per-object heat is exact
-// between collections and best-effort across them. (Run with mark-sweep for
-// stable identities.)
+// Object identity is stable across the whole run: each allocation gets a
+// stable id, and a live-address map follows the copying collector's
+// forwarding (on_heap_move) so post-GC accesses accrue to the same object.
+// Per-object heat is therefore exact under both collectors.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +31,7 @@ class HeapChurnAnalyzer : public AnalysisObserver {
   void on_run_end(const RunInfo& info) override { run_ = info; }
   void on_instruction(const vm::InstrEvent& ev) override;
   void on_heap_alloc(const vm::AllocEvent& e) override;
+  void on_heap_move(heap::Addr from, heap::Addr to) override;
   void on_heap_read(heap::Addr obj, uint32_t slot, int64_t value,
                     bool is_ref) override;
   void on_heap_write(heap::Addr obj, uint32_t slot, int64_t value,
@@ -41,6 +41,10 @@ class HeapChurnAnalyzer : public AnalysisObserver {
   std::string artifact() const override;
 
   uint64_t alloc_count() const { return allocs_; }
+  // Objects with distinct identities (allocations seen + pre-attach objects
+  // discovered through accesses). Exposed for the GC-identity tests.
+  uint64_t tracked_objects() const { return objects_.size(); }
+  uint64_t gc_moves() const { return gc_moves_; }
 
  private:
   struct TypeStat {
@@ -49,7 +53,8 @@ class HeapChurnAnalyzer : public AnalysisObserver {
     uint64_t slots = 0;
   };
   struct ObjStat {
-    uint32_t class_id = 0;
+    uint32_t class_id = 0;     // 0 = allocated before the analyzer attached
+    heap::Addr alloc_addr = 0; // address at allocation (stable label)
     uint64_t reads = 0;
     uint64_t writes = 0;
   };
@@ -60,16 +65,20 @@ class HeapChurnAnalyzer : public AnalysisObserver {
   };
 
   std::string class_name(uint32_t class_id) const;
+  // Stable id for the object currently at `addr` (created on first sight).
+  uint64_t id_at(heap::Addr addr);
 
   const heap::TypeRegistry* types_ = nullptr;  // valid during the run only
   std::unordered_map<uint32_t, TypeStat> by_type_;
   std::map<std::string, uint64_t> by_site_;  // "Owner.method:pc" -> count
-  std::unordered_map<uint64_t, ObjStat> objects_;
+  std::vector<ObjStat> objects_;             // indexed by stable id
+  std::unordered_map<heap::Addr, uint64_t> live_;  // current addr -> id
   std::vector<SiteRef> last_instr_;  // by tid
   uint64_t allocs_ = 0;
   uint64_t alloc_slots_ = 0;
   uint64_t reads_ = 0;
   uint64_t writes_ = 0;
+  uint64_t gc_moves_ = 0;
   uint32_t top_n_;
   RunInfo run_{};
 };

@@ -27,6 +27,9 @@ void LockContentionAnalyzer::on_monitor_event(const vm::MonitorEvent& e) {
       }
       if (e.holder != threads::kNoThread)
         wait_edges_[{e.tid, e.holder, e.monitor}]++;
+      blocked_on_[e.tid] = e.monitor;
+      if (e.holder != threads::kNoThread)
+        detect_cycle(e.tid, e.monitor, e.holder, e.instr_index);
       break;
     case vm::MonitorOp::kEnterAcquired: {
       if (pt.blocked) {
@@ -35,6 +38,7 @@ void LockContentionAnalyzer::on_monitor_event(const vm::MonitorEvent& e) {
         st.block_max = std::max(st.block_max, d);
         pt.blocked = false;
       }
+      blocked_on_.erase(e.tid);
       if (e.recursive) {
         st.recursive_acquires++;
         pt.depth++;
@@ -42,6 +46,7 @@ void LockContentionAnalyzer::on_monitor_event(const vm::MonitorEvent& e) {
         st.acquires++;
         pt.depth = 1;
         pt.hold_start = e.instr_index;
+        holder_[e.monitor] = e.tid;
         std::vector<uint32_t>& held = held_[e.tid];
         for (uint32_t outer : held) order_pairs_.insert({outer, e.monitor});
         held.push_back(e.monitor);
@@ -54,6 +59,8 @@ void LockContentionAnalyzer::on_monitor_event(const vm::MonitorEvent& e) {
         st.hold_total += d;
         st.hold_max = std::max(st.hold_max, d);
         erase_one(held_[e.tid], e.monitor);
+        auto h = holder_.find(e.monitor);
+        if (h != holder_.end() && h->second == e.tid) holder_.erase(h);
       }
       break;
     case vm::MonitorOp::kWaitBegin:
@@ -68,6 +75,8 @@ void LockContentionAnalyzer::on_monitor_event(const vm::MonitorEvent& e) {
         st.hold_max = std::max(st.hold_max, d);
         pt.depth = 0;
         erase_one(held_[e.tid], e.monitor);
+        auto h = holder_.find(e.monitor);
+        if (h != holder_.end() && h->second == e.tid) holder_.erase(h);
       }
       break;
     case vm::MonitorOp::kWaitEnd: {
@@ -77,6 +86,7 @@ void LockContentionAnalyzer::on_monitor_event(const vm::MonitorEvent& e) {
       st.wait_max = std::max(st.wait_max, d);
       pt.depth = pt.saved_depth > 0 ? pt.saved_depth : 1;
       pt.hold_start = e.instr_index;
+      holder_[e.monitor] = e.tid;
       held_[e.tid].push_back(e.monitor);
       break;
     }
@@ -86,6 +96,53 @@ void LockContentionAnalyzer::on_monitor_event(const vm::MonitorEvent& e) {
       st.woken += e.woken;
       break;
   }
+}
+
+void LockContentionAnalyzer::detect_cycle(uint32_t tid, uint32_t monitor,
+                                          uint32_t holder,
+                                          uint64_t instr_index) {
+  // Chain: tid --blocked on--> monitor --held by--> holder --blocked
+  // on--> ... A cycle back to `tid` means every thread on it is parked
+  // waiting for the next one: deadlock-imminent.
+  std::vector<uint32_t> tids{tid};
+  std::vector<uint32_t> mons{monitor};
+  uint32_t cur = holder;
+  while (cur != tid) {
+    if (std::find(tids.begin(), tids.end(), cur) != tids.end()) return;
+    auto b = blocked_on_.find(cur);
+    if (b == blocked_on_.end()) return;  // holder is runnable; no cycle
+    tids.push_back(cur);
+    mons.push_back(b->second);
+    auto h = holder_.find(b->second);
+    if (h == holder_.end()) return;  // monitor in flight between events
+    cur = h->second;
+  }
+
+  // Canonicalize: rotate so the smallest tid leads, so the same cycle
+  // observed from any participant dedups to one warning.
+  size_t pivot = size_t(std::min_element(tids.begin(), tids.end()) -
+                        tids.begin());
+  std::rotate(tids.begin(), tids.begin() + pivot, tids.end());
+  std::rotate(mons.begin(), mons.begin() + pivot, mons.end());
+
+  std::string key;
+  for (size_t i = 0; i < tids.size(); ++i)
+    key += std::to_string(tids[i]) + ":" + std::to_string(mons[i]) + ";";
+  DeadlockWarning& w = cycles_[key];
+  if (w.count == 0) {
+    w.tids = std::move(tids);
+    w.monitors = std::move(mons);
+    w.first_instr = instr_index;
+  }
+  w.count++;
+}
+
+std::vector<LockContentionAnalyzer::DeadlockWarning>
+LockContentionAnalyzer::deadlock_warnings() const {
+  std::vector<DeadlockWarning> out;
+  out.reserve(cycles_.size());
+  for (const auto& [key, w] : cycles_) out.push_back(w);
+  return out;
 }
 
 std::vector<std::pair<uint32_t, uint32_t>> LockContentionAnalyzer::inversions()
@@ -109,7 +166,8 @@ std::string LockContentionAnalyzer::artifact() const {
       .kv("schema", "dejavu-locks-v1")
       .kv("duration_unit", "instructions")
       .kv("run_instr_count", run_.instr_count)
-      .kv("verified", run_.verified);
+      .kv("verified", run_.verified)
+      .kv("post_violation", run_.post_violation);
   w.key("monitors").begin_array();
   for (const auto& [id, st] : order) {
     w.begin_object()
@@ -142,6 +200,18 @@ std::string LockContentionAnalyzer::artifact() const {
   w.key("inversions").begin_array();
   for (const auto& [a, b] : inversions()) {
     w.begin_object().kv("a", uint64_t(a)).kv("b", uint64_t(b)).end_object();
+  }
+  w.end_array();
+  w.key("deadlock_warnings").begin_array();
+  for (const auto& [key, c] : cycles_) {
+    w.begin_object();
+    w.key("tids").begin_array();
+    for (uint32_t t : c.tids) w.value(uint64_t(t));
+    w.end_array();
+    w.key("monitors").begin_array();
+    for (uint32_t m : c.monitors) w.value(uint64_t(m));
+    w.end_array();
+    w.kv("first_instr", c.first_instr).kv("count", c.count).end_object();
   }
   w.end_array().end_object();
   return w.str();

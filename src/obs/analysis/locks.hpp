@@ -32,6 +32,18 @@ class LockContentionAnalyzer : public AnalysisObserver {
   // orders somewhere in the run. Exposed for tests.
   std::vector<std::pair<uint32_t, uint32_t>> inversions() const;
 
+  // A cycle observed in the *runtime* wait-for graph: tids[i] is parked on
+  // monitors[i], whose holder is tids[i+1] (wrapping). Canonicalized to
+  // start at the smallest tid; counted per distinct cycle.
+  struct DeadlockWarning {
+    std::vector<uint32_t> tids;
+    std::vector<uint32_t> monitors;
+    uint64_t first_instr = 0;  // instr index of the first observation
+    uint64_t count = 0;
+  };
+  // Deterministic order (keyed by the canonical cycle). Exposed for tests.
+  std::vector<DeadlockWarning> deadlock_warnings() const;
+
  private:
   struct MonitorStat {
     uint64_t acquires = 0;            // non-recursive acquisitions
@@ -61,8 +73,19 @@ class LockContentionAnalyzer : public AnalysisObserver {
     return (uint64_t(tid) << 32) | mon;
   }
 
+  // Walks holder/blocked-on chains from a freshly parked thread and records
+  // any cycle that returns to it.
+  void detect_cycle(uint32_t tid, uint32_t monitor, uint32_t holder,
+                    uint64_t instr_index);
+
   std::unordered_map<uint32_t, MonitorStat> mons_;
   std::unordered_map<uint64_t, PerThread> tm_;
+  // Instantaneous wait-for graph state: who holds each monitor right now,
+  // and which monitor each parked thread is blocked on.
+  std::unordered_map<uint32_t, uint32_t> holder_;      // monitor -> tid
+  std::unordered_map<uint32_t, uint32_t> blocked_on_;  // tid -> monitor
+  // Canonical cycle serialization -> warning (ordered for the artifact).
+  std::map<std::string, DeadlockWarning> cycles_;
   // (blocked tid, holder tid, monitor) -> count. Ordered for deterministic
   // artifact output.
   std::map<std::tuple<uint32_t, uint32_t, uint32_t>, uint64_t> wait_edges_;

@@ -1,0 +1,329 @@
+#include "src/obs/analysis/merge.hpp"
+
+#include <algorithm>
+
+#include "src/common/check.hpp"
+#include "src/obs/json.hpp"
+
+namespace dejavu::obs {
+
+namespace {
+
+const JsonValue& doc_check(const JsonValue& v, const char* schema) {
+  const JsonValue* s = v.find("schema");
+  if (s == nullptr || !s->is_string() || s->string != schema)
+    throw VmError(std::string("merger: expected ") + schema);
+  return v;
+}
+
+uint64_t num(const JsonValue& obj, const char* k, uint64_t dflt = 0) {
+  const JsonValue* v = obj.find(k);
+  return v != nullptr && v->is_number() ? uint64_t(v->number) : dflt;
+}
+
+int64_t snum(const JsonValue& obj, const char* k, int64_t dflt = 0) {
+  const JsonValue* v = obj.find(k);
+  return v != nullptr && v->is_number() ? int64_t(v->number) : dflt;
+}
+
+bool flag(const JsonValue& obj, const char* k, bool dflt) {
+  const JsonValue* v = obj.find(k);
+  return v != nullptr && v->type == JsonValue::Type::kBool ? v->boolean : dflt;
+}
+
+std::string str(const JsonValue& obj, const char* k) {
+  const JsonValue* v = obj.find(k);
+  return v != nullptr && v->is_string() ? v->string : std::string();
+}
+
+// Number of per-run documents a (possibly already merged) input represents.
+uint64_t doc_runs(const JsonValue& v) { return num(v, "merged_runs", 1); }
+
+}  // namespace
+
+// ------------------------------------------------------------- profile
+
+void ProfileMerger::add_json(const std::string& json) {
+  JsonValue v = parse_json(json);
+  doc_check(v, "dejavu-profile-v1");
+  runs_ += doc_runs(v);
+  total_instructions_ += num(v, "total_instructions");
+  total_yield_points_ += num(v, "total_yield_points");
+  run_instr_count_ += num(v, "run_instr_count");
+  run_logical_clock_ += num(v, "run_logical_clock");
+  verified_ = verified_ && flag(v, "verified", false);
+  post_violation_ = post_violation_ || flag(v, "post_violation", false);
+
+  const JsonValue* methods = v.find("methods");
+  if (methods == nullptr || !methods->is_array()) return;
+  for (const JsonValue& m : methods->items) {
+    MethodAgg& agg = methods_[str(m, "name")];
+    agg.instructions += num(m, "instructions");
+    agg.yield_points += num(m, "yield_points");
+    const JsonValue* pcs = m.find("hot_pcs");
+    if (pcs == nullptr || !pcs->is_array()) continue;
+    for (const JsonValue& pc : pcs->items) {
+      agg.pcs[{num(pc, "pc"), str(pc, "op"), snum(pc, "line", -1)}] +=
+          num(pc, "count");
+    }
+  }
+}
+
+std::string ProfileMerger::artifact() const {
+  std::vector<const std::map<std::string, MethodAgg>::value_type*> order;
+  order.reserve(methods_.size());
+  for (const auto& kv : methods_) order.push_back(&kv);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    if (a->second.instructions != b->second.instructions)
+      return a->second.instructions > b->second.instructions;
+    return a->first < b->first;
+  });
+
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "dejavu-profile-v1")
+      .kv("merged_runs", runs_)
+      .kv("total_instructions", total_instructions_)
+      .kv("total_yield_points", total_yield_points_)
+      .kv("run_instr_count", run_instr_count_)
+      .kv("run_logical_clock", run_logical_clock_)
+      .kv("verified", verified_)
+      .kv("post_violation", post_violation_);
+  w.key("methods").begin_array();
+  for (const auto* m : order) {
+    w.begin_object()
+        .kv("name", m->first)
+        .kv("instructions", m->second.instructions)
+        .kv("yield_points", m->second.yield_points);
+    std::vector<const PcMap::value_type*> pcs;
+    pcs.reserve(m->second.pcs.size());
+    for (const auto& kv : m->second.pcs) pcs.push_back(&kv);
+    std::sort(pcs.begin(), pcs.end(), [](const auto* a, const auto* b) {
+      if (a->second != b->second) return a->second > b->second;
+      return a->first < b->first;
+    });
+    w.key("hot_pcs").begin_array();
+    for (const auto* pc : pcs) {
+      w.begin_object()
+          .kv("pc", std::get<0>(pc->first))
+          .kv("op", std::get<1>(pc->first))
+          .kv("line", std::get<2>(pc->first))
+          .kv("count", pc->second)
+          .end_object();
+    }
+    w.end_array().end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+// ---------------------------------------------------------------- locks
+
+void LocksMerger::add_json(const std::string& json) {
+  JsonValue v = parse_json(json);
+  doc_check(v, "dejavu-locks-v1");
+  runs_ += doc_runs(v);
+  run_instr_count_ += num(v, "run_instr_count");
+  verified_ = verified_ && flag(v, "verified", false);
+  post_violation_ = post_violation_ || flag(v, "post_violation", false);
+
+  const JsonValue* mons = v.find("monitors");
+  if (mons != nullptr && mons->is_array()) {
+    for (const JsonValue& m : mons->items) {
+      MonitorAgg& agg = monitors_[num(m, "id")];
+      agg.acquires += num(m, "acquires");
+      agg.recursive_acquires += num(m, "recursive_acquires");
+      agg.contended_blocks += num(m, "contended_blocks");
+      agg.hold_total += num(m, "hold_total");
+      agg.hold_max = std::max(agg.hold_max, num(m, "hold_max"));
+      agg.block_total += num(m, "block_total");
+      agg.block_max = std::max(agg.block_max, num(m, "block_max"));
+      agg.waits += num(m, "waits");
+      agg.wait_total += num(m, "wait_total");
+      agg.wait_max = std::max(agg.wait_max, num(m, "wait_max"));
+      agg.notify_ops += num(m, "notify_ops");
+      agg.woken += num(m, "woken");
+    }
+  }
+  const JsonValue* edges = v.find("wait_edges");
+  if (edges != nullptr && edges->is_array()) {
+    for (const JsonValue& e : edges->items) {
+      wait_edges_[{num(e, "blocked"), num(e, "holder"), num(e, "monitor")}] +=
+          num(e, "count");
+    }
+  }
+  const JsonValue* inv = v.find("inversions");
+  if (inv != nullptr && inv->is_array()) {
+    for (const JsonValue& p : inv->items)
+      inversions_.insert({num(p, "a"), num(p, "b")});
+  }
+  const JsonValue* warns = v.find("deadlock_warnings");
+  if (warns != nullptr && warns->is_array()) {
+    for (const JsonValue& c : warns->items) {
+      std::vector<uint64_t> tids, monitors;
+      const JsonValue* t = c.find("tids");
+      const JsonValue* m = c.find("monitors");
+      if (t != nullptr && t->is_array())
+        for (const JsonValue& x : t->items) tids.push_back(uint64_t(x.number));
+      if (m != nullptr && m->is_array())
+        for (const JsonValue& x : m->items)
+          monitors.push_back(uint64_t(x.number));
+      std::string key;
+      for (size_t i = 0; i < tids.size(); ++i) {
+        key += std::to_string(tids[i]) + ":" +
+               (i < monitors.size() ? std::to_string(monitors[i]) : "?") + ";";
+      }
+      CycleAgg& agg = cycles_[key];
+      uint64_t first = num(c, "first_instr");
+      if (agg.count == 0) {
+        agg.tids = std::move(tids);
+        agg.monitors = std::move(monitors);
+        agg.first_instr = first;
+      } else {
+        agg.first_instr = std::min(agg.first_instr, first);
+      }
+      agg.count += num(c, "count");
+    }
+  }
+}
+
+std::string LocksMerger::artifact() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "dejavu-locks-v1")
+      .kv("merged_runs", runs_)
+      .kv("duration_unit", "instructions")
+      .kv("run_instr_count", run_instr_count_)
+      .kv("verified", verified_)
+      .kv("post_violation", post_violation_);
+  w.key("monitors").begin_array();
+  for (const auto& [id, st] : monitors_) {
+    w.begin_object()
+        .kv("id", id)
+        .kv("acquires", st.acquires)
+        .kv("recursive_acquires", st.recursive_acquires)
+        .kv("contended_blocks", st.contended_blocks)
+        .kv("hold_total", st.hold_total)
+        .kv("hold_max", st.hold_max)
+        .kv("block_total", st.block_total)
+        .kv("block_max", st.block_max)
+        .kv("waits", st.waits)
+        .kv("wait_total", st.wait_total)
+        .kv("wait_max", st.wait_max)
+        .kv("notify_ops", st.notify_ops)
+        .kv("woken", st.woken)
+        .end_object();
+  }
+  w.end_array();
+  w.key("wait_edges").begin_array();
+  for (const auto& [edge, count] : wait_edges_) {
+    w.begin_object()
+        .kv("blocked", std::get<0>(edge))
+        .kv("holder", std::get<1>(edge))
+        .kv("monitor", std::get<2>(edge))
+        .kv("count", count)
+        .end_object();
+  }
+  w.end_array();
+  w.key("inversions").begin_array();
+  for (const auto& [a, b] : inversions_) {
+    w.begin_object().kv("a", a).kv("b", b).end_object();
+  }
+  w.end_array();
+  w.key("deadlock_warnings").begin_array();
+  for (const auto& [key, c] : cycles_) {
+    w.begin_object();
+    w.key("tids").begin_array();
+    for (uint64_t t : c.tids) w.value(t);
+    w.end_array();
+    w.key("monitors").begin_array();
+    for (uint64_t m : c.monitors) w.value(m);
+    w.end_array();
+    w.kv("first_instr", c.first_instr).kv("count", c.count).end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+// ----------------------------------------------------------------- heap
+
+void HeapMerger::add_json(const std::string& json) {
+  JsonValue v = parse_json(json);
+  doc_check(v, "dejavu-heap-v1");
+  runs_ += doc_runs(v);
+  allocs_ += num(v, "allocs");
+  alloc_slots_ += num(v, "alloc_slots");
+  reads_ += num(v, "reads");
+  writes_ += num(v, "writes");
+  gc_moves_ += num(v, "gc_moves");
+  run_instr_count_ += num(v, "run_instr_count");
+  verified_ = verified_ && flag(v, "verified", false);
+  post_violation_ = post_violation_ || flag(v, "post_violation", false);
+
+  const JsonValue* types = v.find("by_type");
+  if (types != nullptr && types->is_array()) {
+    for (const JsonValue& t : types->items) {
+      TypeAgg& agg = by_type_[str(t, "class")];
+      agg.count += num(t, "count");
+      agg.slots += num(t, "slots");
+    }
+  }
+  const JsonValue* sites = v.find("top_sites");
+  if (sites != nullptr && sites->is_array()) {
+    for (const JsonValue& s : sites->items)
+      sites_[str(s, "site")] += num(s, "count");
+  }
+}
+
+std::string HeapMerger::artifact() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "dejavu-heap-v1")
+      .kv("merged_runs", runs_)
+      .kv("object_identity", "stable (copying-GC forwarding tracked)")
+      .kv("allocs", allocs_)
+      .kv("alloc_slots", alloc_slots_)
+      .kv("reads", reads_)
+      .kv("writes", writes_)
+      .kv("gc_moves", gc_moves_)
+      .kv("run_instr_count", run_instr_count_)
+      .kv("verified", verified_)
+      .kv("post_violation", post_violation_);
+
+  std::vector<const std::map<std::string, TypeAgg>::value_type*> types;
+  types.reserve(by_type_.size());
+  for (const auto& kv : by_type_) types.push_back(&kv);
+  std::sort(types.begin(), types.end(), [](const auto* a, const auto* b) {
+    if (a->second.count != b->second.count)
+      return a->second.count > b->second.count;
+    return a->first < b->first;
+  });
+  w.key("by_type").begin_array();
+  for (const auto* t : types) {
+    w.begin_object()
+        .kv("class", t->first)
+        .kv("count", t->second.count)
+        .kv("slots", t->second.slots)
+        .end_object();
+  }
+  w.end_array();
+
+  std::vector<std::pair<std::string, uint64_t>> sites(sites_.begin(),
+                                                      sites_.end());
+  std::sort(sites.begin(), sites.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  w.key("top_sites").begin_array();
+  for (const auto& [site, count] : sites) {
+    w.begin_object().kv("site", site).kv("count", count).end_object();
+  }
+  w.end_array();
+
+  // Per-object identities are per-trace; the fleet view has none.
+  w.key("hot_objects").begin_array().end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dejavu::obs

@@ -1,0 +1,121 @@
+// Fleet-wide artifact mergers for the replay farm.
+//
+// Each merger folds any number of dejavu-{profile,locks,heap}-v1 documents
+// (as produced by the analyzers in this directory) into one document of the
+// same schema plus a "merged_runs" count. Merging is a pure multiset fold:
+// counters sum, maxima max, first-observation indices min, verified ANDs,
+// post_violation ORs -- so the result is associative and order-independent,
+// and a merged document fed back into add_json() contributes exactly its
+// constituents (merge-of-merged == merge-of-all). tests/farm asserts both
+// properties over shuffled trace subsets.
+//
+// Entry lists are emitted in full (sorting is determined by the aggregate
+// multiset, never truncated here); top-N selection is presentation-layer
+// work done by the farm report renderer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace dejavu::obs {
+
+class ProfileMerger {
+ public:
+  // Folds one dejavu-profile-v1 document (per-run or previously merged)
+  // into the aggregate. Throws VmError on malformed input.
+  void add_json(const std::string& json);
+  // The merged dejavu-profile-v1 document.
+  std::string artifact() const;
+  uint64_t runs() const { return runs_; }
+
+ private:
+  // (pc, op, line) -> count. Keying by the full triple keeps the fold a
+  // pure multiset sum even if two inputs disagree about a pc's opcode.
+  using PcMap = std::map<std::tuple<uint64_t, std::string, int64_t>, uint64_t>;
+  struct MethodAgg {
+    uint64_t instructions = 0;
+    uint64_t yield_points = 0;
+    PcMap pcs;
+  };
+
+  std::map<std::string, MethodAgg> methods_;
+  uint64_t runs_ = 0;
+  uint64_t total_instructions_ = 0;
+  uint64_t total_yield_points_ = 0;
+  uint64_t run_instr_count_ = 0;
+  uint64_t run_logical_clock_ = 0;
+  bool verified_ = true;
+  bool post_violation_ = false;
+};
+
+class LocksMerger {
+ public:
+  void add_json(const std::string& json);
+  // The merged dejavu-locks-v1 document.
+  std::string artifact() const;
+  uint64_t runs() const { return runs_; }
+
+ private:
+  struct MonitorAgg {
+    uint64_t acquires = 0;
+    uint64_t recursive_acquires = 0;
+    uint64_t contended_blocks = 0;
+    uint64_t hold_total = 0;
+    uint64_t hold_max = 0;
+    uint64_t block_total = 0;
+    uint64_t block_max = 0;
+    uint64_t waits = 0;
+    uint64_t wait_total = 0;
+    uint64_t wait_max = 0;
+    uint64_t notify_ops = 0;
+    uint64_t woken = 0;
+  };
+  struct CycleAgg {
+    std::vector<uint64_t> tids;
+    std::vector<uint64_t> monitors;
+    uint64_t first_instr = 0;  // min across runs
+    uint64_t count = 0;
+  };
+
+  std::map<uint64_t, MonitorAgg> monitors_;
+  std::map<std::tuple<uint64_t, uint64_t, uint64_t>, uint64_t> wait_edges_;
+  std::set<std::pair<uint64_t, uint64_t>> inversions_;
+  std::map<std::string, CycleAgg> cycles_;
+  uint64_t runs_ = 0;
+  uint64_t run_instr_count_ = 0;
+  bool verified_ = true;
+  bool post_violation_ = false;
+};
+
+class HeapMerger {
+ public:
+  void add_json(const std::string& json);
+  // The merged dejavu-heap-v1 document. hot_objects is empty by design:
+  // per-object identities are not comparable across traces.
+  std::string artifact() const;
+  uint64_t runs() const { return runs_; }
+
+ private:
+  struct TypeAgg {
+    uint64_t count = 0;
+    uint64_t slots = 0;
+  };
+
+  std::map<std::string, TypeAgg> by_type_;  // keyed by class name
+  std::map<std::string, uint64_t> sites_;
+  uint64_t runs_ = 0;
+  uint64_t allocs_ = 0;
+  uint64_t alloc_slots_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t gc_moves_ = 0;
+  uint64_t run_instr_count_ = 0;
+  bool verified_ = true;
+  bool post_violation_ = false;
+};
+
+}  // namespace dejavu::obs

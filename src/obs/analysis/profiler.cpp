@@ -84,7 +84,8 @@ std::string ReplayProfiler::artifact() const {
       .kv("total_yield_points", total_yield_points_)
       .kv("run_instr_count", run_.instr_count)
       .kv("run_logical_clock", run_.logical_clock)
-      .kv("verified", run_.verified);
+      .kv("verified", run_.verified)
+      .kv("post_violation", run_.post_violation);
   w.key("methods").begin_array();
   for (const MethodStat* ms : order) {
     w.begin_object()

@@ -141,6 +141,12 @@ JsonWriter& JsonWriter::null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  before_value();
+  out_ += json;
+  return *this;
+}
+
 const std::string& JsonWriter::str() const {
   DV_CHECK_MSG(done_, "JsonWriter: document incomplete");
   return out_;

@@ -39,6 +39,10 @@ class JsonWriter {
   JsonWriter& value(double v);
   JsonWriter& value(bool v);
   JsonWriter& null();
+  // Splices a pre-rendered JSON document in value position (embedding one
+  // artifact inside another, e.g. merged analyzer docs in a farm report).
+  // The caller is responsible for `json` being well-formed.
+  JsonWriter& raw(const std::string& json);
 
   // Convenience: key + value in one call.
   template <typename T>

@@ -187,6 +187,11 @@ void DejaVuEngine::on_heap_alloc(const vm::AllocEvent& ev) {
     if (a->wants_memory()) a->on_heap_alloc(ev);
 }
 
+void DejaVuEngine::on_heap_move(heap::Addr from, heap::Addr to) {
+  for (obs::AnalysisObserver* a : analyzers_)
+    if (a->wants_memory()) a->on_heap_move(from, to);
+}
+
 void DejaVuEngine::attach(vm::Vm& vm) {
   DV_CHECK_MSG(vm_ == nullptr, "engine attached twice");
   vm_ = &vm;
@@ -638,6 +643,14 @@ void DejaVuEngine::violation(const std::string& what) {
     timeline_->instant("divergence", "violation", logical_clock_, cur_tid(),
                        "count", int64_t(c_.violations->value()));
   if (cfg_.strict) {
+    // Strict-mode carry-over: with analyzers registered, aborting at the
+    // first violation would discard every analyzer's partial state. Finish
+    // the run non-strict instead; the violation still fails verification
+    // and the artifacts are flagged post-violation via RunInfo.
+    if (!analyzers_.empty()) {
+      strict_carried_ = true;
+      return;
+    }
     ReplayDivergence e(what);
     if (divergence_.has_value()) e.set_forensics(divergence_->serialize());
     throw e;
@@ -720,6 +733,7 @@ void DejaVuEngine::detach(vm::Vm& vm) {
     info.logical_clock = logical_clock_;
     info.switch_count = s.switch_count;
     info.verified = verified_ok_;
+    info.post_violation = strict_carried_;
     for (obs::AnalysisObserver* a : analyzers_) a->on_run_end(info);
   }
 }

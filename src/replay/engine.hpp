@@ -204,6 +204,13 @@ class DejaVuEngine : public vm::ExecHooks {
   void on_heap_write(heap::Addr obj, uint32_t slot, int64_t value,
                      bool is_ref) override;
   void on_heap_alloc(const vm::AllocEvent& ev) override;
+  void on_heap_move(heap::Addr from, heap::Addr to) override;
+
+  // Strict-mode carry-over: true when cfg.strict was set, analyzers were
+  // registered, and a violation occurred -- the engine finished the run
+  // non-strict so the analyzer artifacts are complete, and flags them as
+  // describing a post-violation execution instead of throwing.
+  bool strict_carried_over() const { return strict_carried_; }
 
  private:
   // One guest-resident trace buffer (schedule or events). The host-side
@@ -279,6 +286,7 @@ class DejaVuEngine : public vm::ExecHooks {
   std::string first_violation_;
   uint64_t first_violation_clock_ = 0;
   bool verified_ok_ = false;
+  bool strict_carried_ = false;  // strict + analyzers: finished non-strict
   std::optional<obs::DivergenceReport> divergence_;
 
   // Figure 2 state.

@@ -84,6 +84,7 @@ ReplayResult replay_with(DejaVuEngine& engine, const bytecode::Program& prog,
   r.timeline = engine.timeline_events();
   r.divergence = engine.divergence();
   r.analysis = analyzers.collect();
+  r.post_violation = engine.strict_carried_over();
   return r;
 }
 }  // namespace
@@ -144,6 +145,7 @@ ReplayResult ReplaySession::finish() {
   r.timeline = engine_->timeline_events();
   r.divergence = engine_->divergence();
   r.analysis = analyzers_.collect();
+  r.post_violation = engine_->strict_carried_over();
   return r;
 }
 

@@ -57,6 +57,10 @@ struct ReplayResult {
   // Rendered analyzer artifacts (empty members unless cfg.obs enables the
   // corresponding analyzer).
   obs::AnalysisResults analysis;
+  // Strict-mode carry-over (cfg.strict + analyzers): a violation occurred
+  // and the run was finished non-strict so the artifacts are complete; they
+  // describe a post-violation execution.
+  bool post_violation = false;
 };
 
 // The built-in analyzers selected by SymmetryConfig::obs. Owned by whoever

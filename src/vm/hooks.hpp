@@ -158,6 +158,12 @@ class ExecHooks {
   virtual void on_monitor_event(const MonitorEvent&) {}
   // Allocation notification rides the wants_memory_events() subscription.
   virtual void on_heap_alloc(const AllocEvent&) {}
+  // Copying-GC relocation notification (also rides wants_memory_events()).
+  // GC is deterministic, so subscribing never perturbs the run; analyzers
+  // use it to keep per-object identity exact across collections.
+  virtual void on_heap_move(heap::Addr from, heap::Addr to) {
+    (void)from; (void)to;
+  }
 };
 
 }  // namespace dejavu::vm

@@ -146,6 +146,11 @@ void Vm::boot() {
                       std::to_string(live),
                   instr_count_);
   });
+  if (hooks_ != nullptr && hooks_->wants_memory_events()) {
+    heap_->set_move_observer([this](heap::Addr from, heap::Addr to) {
+      hooks_->on_heap_move(from, to);
+    });
+  }
   threads_->set_switch_observer(
       [this](Tid from, Tid to, threads::SwitchReason reason) {
         switch_hash_.update_u32(uint32_t(from));

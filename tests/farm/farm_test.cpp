@@ -1,0 +1,402 @@
+// Tests for the replay farm (src/farm): the sharded trace store, the
+// worker pool, the fleet scheduler, and the merged report -- centered on
+// the farm's determinism contract: the same store produces byte-identical
+// merged results for ANY --jobs value, and fanning a replay out across the
+// pool perturbs nothing relative to replaying the same trace directly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "src/farm/report.hpp"
+#include "src/farm/scheduler.hpp"
+#include "src/farm/trace_store.hpp"
+#include "src/farm/worker_pool.hpp"
+#include "src/obs/analysis/merge.hpp"
+#include "src/obs/json.hpp"
+#include "src/replay/session.hpp"
+#include "src/threads/timer.hpp"
+#include "src/vm/env.hpp"
+#include "src/workloads/workloads.hpp"
+#include "tests/vm/vm_test_util.hpp"
+
+namespace dejavu::farm {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The farm fleet recipe: 5 workloads x 4 seeds = 20 traces, all tiny.
+struct Wl {
+  const char* name;
+  bytecode::Program (*make)();
+};
+const Wl kFleet[] = {
+    {"clock_mixer", [] { return workloads::clock_mixer(2, 12); }},
+    {"lock_pingpong", [] { return workloads::lock_pingpong(30); }},
+    {"counter_race", [] { return workloads::counter_race(2, 8); }},
+    {"alloc_churn", [] { return workloads::alloc_churn(300, 8, 4); }},
+    {"philosophers", [] { return workloads::philosophers(3, 6); }},
+};
+constexpr uint64_t kSeeds = 4;
+
+std::optional<bytecode::Program> fleet_resolve(const std::string& name) {
+  for (const Wl& w : kFleet) {
+    if (name == w.name) return w.make();
+  }
+  return std::nullopt;
+}
+
+std::string fresh_dir(const std::string& name) {
+  fs::path p = fs::temp_directory_path() / ("dejavu_farm_test_" + name);
+  fs::remove_all(p);
+  fs::create_directories(p);
+  return p.string();
+}
+
+// One deterministic recording, saved as a v4 trace file.
+std::string record_to(const std::string& dir, const Wl& w, uint64_t seed) {
+  vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+  threads::VirtualTimer timer(seed, 4, 60);
+  vm::NativeRegistry natives = vmtest::make_test_natives();
+  replay::RecordResult rec =
+      replay::record_run(w.make(), {}, env, timer, &natives);
+  std::string path = dir + "/" + std::string(w.name) + "-" +
+                     std::to_string(seed) + ".djv";
+  rec.trace.save(path);
+  return path;
+}
+
+// Records the whole fleet once and shares the store + both farm runs
+// across tests (each recording/replay is deterministic, so sharing is
+// safe and keeps the suite fast).
+struct Fixture {
+  std::string rec_dir = fresh_dir("recordings");
+  std::string store_dir = fresh_dir("store");
+  std::vector<std::string> trace_files;
+  FarmRunResult run1;  // jobs=1
+  FarmRunResult run4;  // jobs=4
+
+  Fixture() {
+    TraceStore store(store_dir);
+    for (const Wl& w : kFleet) {
+      for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+        std::string f = record_to(rec_dir, w, seed);
+        trace_files.push_back(f);
+        IngestResult r = store.ingest(f, w.name, seed);
+        EXPECT_FALSE(r.deduped) << f;
+      }
+    }
+    FarmOptions opts;
+    opts.top_n = 10;
+    opts.resolve = fleet_resolve;
+    opts.jobs = 1;
+    run1 = run_farm(store, opts);
+    opts.jobs = 4;
+    run4 = run_farm(store, opts);
+  }
+};
+
+Fixture& fixture() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+// ------------------------------------------------------------ TraceStore
+
+TEST(TraceStore, IngestDedupsByContentHash) {
+  Fixture& fx = fixture();
+  TraceStore store(fx.store_dir);
+  ASSERT_EQ(store.size(), std::size(kFleet) * kSeeds);
+  // Re-ingesting the same bytes -- even under a different workload label
+  // and seed -- is a dedup, not a new entry.
+  IngestResult again =
+      store.ingest(fx.trace_files[0], "counter_race", 999);
+  EXPECT_TRUE(again.deduped);
+  EXPECT_EQ(store.size(), std::size(kFleet) * kSeeds);
+  // The pre-existing entry keeps its original labels.
+  EXPECT_EQ(again.record.workload, "clock_mixer");
+  EXPECT_EQ(again.record.seed, 1u);
+}
+
+TEST(TraceStore, CatalogOrderIsIndependentOfIngestOrder) {
+  Fixture& fx = fixture();
+  std::string dir = fresh_dir("reversed");
+  {
+    TraceStore reversed(dir);
+    for (size_t i = fx.trace_files.size(); i-- > 0;) {
+      const std::string& f = fx.trace_files[i];
+      // Recover workload/seed from the "<workload>-<seed>.djv" file name.
+      std::string base = fs::path(f).stem().string();
+      size_t dash = base.rfind('-');
+      reversed.ingest(f, base.substr(0, dash),
+                      std::stoull(base.substr(dash + 1)));
+    }
+  }
+  // A fresh open (manifest reload) of both stores lists the same catalog.
+  TraceStore a(fx.store_dir);
+  TraceStore b(dir);
+  std::vector<TraceRecord> la = a.list();
+  std::vector<TraceRecord> lb = b.list();
+  ASSERT_EQ(la.size(), lb.size());
+  for (size_t i = 0; i < la.size(); ++i) {
+    EXPECT_EQ(la[i].content_hash, lb[i].content_hash) << i;
+    EXPECT_EQ(la[i].workload, lb[i].workload) << i;
+    EXPECT_EQ(la[i].seed, lb[i].seed) << i;
+    EXPECT_EQ(la[i].instr_count, lb[i].instr_count) << i;
+  }
+}
+
+TEST(TraceStore, IngestRejectsCorruptTrace) {
+  Fixture& fx = fixture();
+  std::string dir = fresh_dir("corrupt");
+  // Copy a good trace and flip one byte in the middle of the file; the
+  // chunk CRC must catch it at the ingest gate.
+  std::string bad = dir + "/bad.djv";
+  fs::copy_file(fx.trace_files[0], bad);
+  {
+    std::fstream f(bad, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(0, std::ios::end);
+    std::streamoff size = f.tellg();
+    ASSERT_GT(size, 64);
+    f.seekp(size / 2);
+    char c = 0;
+    f.seekg(size / 2);
+    f.read(&c, 1);
+    f.seekp(size / 2);
+    c = char(c ^ 0x5a);
+    f.write(&c, 1);
+  }
+  TraceStore store(dir + "/store");
+  EXPECT_THROW(store.ingest(bad, "clock_mixer", 1), VmError);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+// ------------------------------------------------------------ WorkerPool
+
+TEST(WorkerPool, ParallelForOrderedMatchesSerial) {
+  const size_t n = 500;
+  std::vector<uint64_t> serial(n), parallel(n);
+  auto fn = [](size_t i) { return uint64_t(i) * 2654435761u + 17; };
+  parallel_for_ordered(1, n, [&](size_t i) { serial[i] = fn(i); });
+  parallel_for_ordered(8, n, [&](size_t i) { parallel[i] = fn(i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(WorkerPool, BoundedQueueRunsEverythingOnce) {
+  WorkerPool pool(4, /*queue_capacity=*/2);
+  std::atomic<uint64_t> sum{0};
+  for (int i = 1; i <= 100; ++i) {
+    pool.submit([&sum, i] { sum += uint64_t(i); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 5050u);
+}
+
+TEST(WorkerPool, FirstTaskErrorSurfacesAtWaitIdle) {
+  WorkerPool pool(2);
+  pool.submit([] { throw VmError("task boom"); });
+  EXPECT_THROW(pool.wait_idle(), VmError);
+  // The pool stays usable after the error was delivered.
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ran = 1; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(WorkerPool, ParallelForPropagatesException) {
+  EXPECT_THROW(parallel_for_ordered(4, 16,
+                                    [&](size_t i) {
+                                      if (i == 7) throw VmError("item boom");
+                                    }),
+               VmError);
+}
+
+// ------------------------------------------------- the determinism contract
+
+TEST(FarmScheduler, FleetIsCleanAndReportByteIdenticalAcrossJobs) {
+  Fixture& fx = fixture();
+  ASSERT_EQ(fx.run1.outcomes.size(), std::size(kFleet) * kSeeds);
+  for (const TraceOutcome& o : fx.run1.outcomes) {
+    EXPECT_EQ(o.verdict, "clean")
+        << o.record.workload << " seed " << o.record.seed << ": " << o.error
+        << " " << o.first_violation;
+  }
+
+  // The headline guarantee: merged artifacts and the full report are
+  // byte-identical for jobs=1 and jobs=4.
+  EXPECT_EQ(fx.run1.merged_profile, fx.run4.merged_profile);
+  EXPECT_EQ(fx.run1.merged_locks, fx.run4.merged_locks);
+  EXPECT_EQ(fx.run1.merged_heap, fx.run4.merged_heap);
+  EXPECT_EQ(fx.run1.merged_metrics.to_json(), fx.run4.merged_metrics.to_json());
+  EXPECT_EQ(farm_report_json(fx.run1, 10), farm_report_json(fx.run4, 10));
+}
+
+TEST(FarmScheduler, FarmReplayIsUnperturbedVsDirectReplay) {
+  Fixture& fx = fixture();
+  TraceStore store(fx.store_dir);
+  std::vector<TraceRecord> records = store.list();
+  // For a sample of traces, replay directly (no pool, no farm) with the
+  // scheduler's exact configuration: the farm outcome must match the
+  // direct replay artifact-for-artifact and metric-for-metric.
+  for (size_t i = 0; i < records.size(); i += 7) {
+    replay::SymmetryConfig cfg;
+    cfg.strict = false;
+    cfg.obs.analyze_profile = true;
+    cfg.obs.analyze_locks = true;
+    cfg.obs.analyze_heap = true;
+    cfg.obs.analysis_top_n = 10;
+    std::optional<bytecode::Program> prog =
+        fleet_resolve(records[i].workload);
+    ASSERT_TRUE(prog.has_value());
+    replay::ReplayResult direct =
+        replay::replay_file(*prog, store.resolve(records[i]), {}, cfg);
+    const TraceOutcome& farm = fx.run1.outcomes[i];
+    ASSERT_EQ(farm.record.content_hash, records[i].content_hash);
+    EXPECT_TRUE(direct.verified);
+    EXPECT_EQ(farm.verdict, "clean");
+    EXPECT_EQ(farm.analysis.profile_json, direct.analysis.profile_json);
+    EXPECT_EQ(farm.analysis.locks_json, direct.analysis.locks_json);
+    EXPECT_EQ(farm.analysis.heap_json, direct.analysis.heap_json);
+    EXPECT_EQ(farm.metrics.to_json(), direct.metrics.to_json());
+  }
+}
+
+TEST(FarmScheduler, UnknownWorkloadIsAnErrorVerdictNotAnAbort) {
+  Fixture& fx = fixture();
+  TraceStore store(fx.store_dir);
+  FarmOptions opts;
+  opts.resolve = [](const std::string& name)
+      -> std::optional<bytecode::Program> {
+    if (name == "clock_mixer") return std::nullopt;  // pretend it vanished
+    return fleet_resolve(name);
+  };
+  FarmRunResult res = run_farm(store, opts);
+  size_t errors = 0, clean = 0;
+  for (const TraceOutcome& o : res.outcomes) {
+    if (o.verdict == "error") {
+      errors++;
+      EXPECT_EQ(o.record.workload, "clock_mixer");
+      EXPECT_FALSE(o.error.empty());
+    } else {
+      clean++;
+      EXPECT_EQ(o.verdict, "clean");
+    }
+  }
+  EXPECT_EQ(errors, kSeeds);
+  EXPECT_EQ(clean, (std::size(kFleet) - 1) * kSeeds);
+}
+
+// --------------------------------------------------- the merger algebra
+
+// The three artifact mergers must be order-independent and composable:
+// merging shuffled inputs, or merging per-subset merged documents, must
+// produce the same bytes as one in-order merge of everything. (Metric
+// snapshots are deliberately excluded from the shuffle property: gauges
+// take the incoming value, so merge_snapshots is associative but only
+// order-independent for counters/histograms -- which is why the farm
+// folds metrics in catalog order.)
+TEST(FarmMergers, OrderIndependentAndComposableOverTraceSubsets) {
+  Fixture& fx = fixture();
+  std::vector<std::string> profiles, locks, heaps;
+  for (const TraceOutcome& o : fx.run1.outcomes) {
+    profiles.push_back(o.analysis.profile_json);
+    locks.push_back(o.analysis.locks_json);
+    heaps.push_back(o.analysis.heap_json);
+  }
+  ASSERT_EQ(profiles.size(), std::size(kFleet) * kSeeds);
+
+  auto property = [](const std::vector<std::string>& docs,
+                     auto make_merger, const char* what) {
+    auto merge_all = [&](const std::vector<std::string>& in) {
+      auto m = make_merger();
+      for (const std::string& d : in) m.add_json(d);
+      return m.artifact();
+    };
+    const std::string canonical = merge_all(docs);
+
+    std::mt19937 rng(1234);
+    for (int round = 0; round < 5; ++round) {
+      // Shuffled single-level merge.
+      std::vector<std::string> shuffled = docs;
+      std::shuffle(shuffled.begin(), shuffled.end(), rng);
+      EXPECT_EQ(merge_all(shuffled), canonical)
+          << what << " shuffle round " << round;
+
+      // Random partition into subsets, merge each, then merge the merged
+      // documents (merged_runs makes re-ingest weight-correct).
+      size_t parts = 2 + round % 3;
+      std::vector<std::vector<std::string>> subset(parts);
+      for (const std::string& d : shuffled) subset[rng() % parts].push_back(d);
+      auto outer = make_merger();
+      for (const auto& group : subset) {
+        if (group.empty()) continue;
+        auto inner = make_merger();
+        for (const std::string& d : group) inner.add_json(d);
+        outer.add_json(inner.artifact());
+      }
+      EXPECT_EQ(outer.artifact(), canonical)
+          << what << " subset round " << round;
+    }
+  };
+  property(profiles, [] { return obs::ProfileMerger(); }, "profile");
+  property(locks, [] { return obs::LocksMerger(); }, "locks");
+  property(heaps, [] { return obs::HeapMerger(); }, "heap");
+
+  // merge_snapshots associativity: folding subset-merged snapshots in
+  // catalog order equals one in-order fold of everything.
+  Fixture& f2 = fixture();
+  obs::MetricsSnapshot whole;
+  for (const TraceOutcome& o : f2.run1.outcomes)
+    obs::merge_snapshots(&whole, o.metrics);
+  obs::MetricsSnapshot left, right, grouped;
+  size_t half = f2.run1.outcomes.size() / 2;
+  for (size_t i = 0; i < half; ++i)
+    obs::merge_snapshots(&left, f2.run1.outcomes[i].metrics);
+  for (size_t i = half; i < f2.run1.outcomes.size(); ++i)
+    obs::merge_snapshots(&right, f2.run1.outcomes[i].metrics);
+  obs::merge_snapshots(&grouped, left);
+  obs::merge_snapshots(&grouped, right);
+  EXPECT_EQ(grouped.to_json(), whole.to_json());
+}
+
+// ------------------------------------------------------------ the report
+
+TEST(FarmReport, JsonIsWellFormedAndRenderable) {
+  Fixture& fx = fixture();
+  std::string json = farm_report_json(fx.run1, 10);
+  obs::JsonValue doc = obs::parse_json(json);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->string, kFarmReportSchema);
+  const obs::JsonValue* totals = doc.find("totals");
+  ASSERT_NE(totals, nullptr);
+  EXPECT_EQ(totals->find("traces")->number, double(std::size(kFleet) * kSeeds));
+  EXPECT_EQ(totals->find("clean")->number, double(std::size(kFleet) * kSeeds));
+  EXPECT_EQ(totals->find("error")->number, 0.0);
+  const obs::JsonValue* traces = doc.find("traces");
+  ASSERT_NE(traces, nullptr);
+  ASSERT_EQ(traces->items.size(), std::size(kFleet) * kSeeds);
+  // Embedded merged documents parse as their own schemas.
+  EXPECT_EQ(doc.find("merged_profile")->find("schema")->string,
+            "dejavu-profile-v1");
+  EXPECT_EQ(doc.find("merged_locks")->find("schema")->string,
+            "dejavu-locks-v1");
+  EXPECT_EQ(doc.find("merged_heap")->find("schema")->string,
+            "dejavu-heap-v1");
+  const obs::JsonValue* methods = doc.find("top_methods");
+  ASSERT_NE(methods, nullptr);
+  EXPECT_FALSE(methods->items.empty());
+  EXPECT_LE(methods->items.size(), 10u);
+
+  // And the text renderer consumes it.
+  std::string text = render_farm_report(json);
+  EXPECT_NE(text.find("farm report: 20 traces"), std::string::npos) << text;
+  EXPECT_NE(text.find("clean"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dejavu::farm

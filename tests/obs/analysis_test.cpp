@@ -239,6 +239,111 @@ TEST(LockContention, OrderedAcquiresShowNoInversion) {
   EXPECT_TRUE(inv->items.empty());
 }
 
+TEST(LockContention, SyntheticWaitForCycleIsWarned) {
+  LockContentionAnalyzer lk;
+  auto feed = [&](vm::MonitorOp op, uint32_t tid, uint32_t mon,
+                  uint64_t instr, uint32_t holder = 0) {
+    vm::MonitorEvent e;
+    e.op = op;
+    e.tid = threads::Tid(tid);
+    e.monitor = threads::MonitorId(mon);
+    e.holder = threads::Tid(holder);
+    e.instr_index = instr;
+    lk.on_monitor_event(e);
+  };
+  using Op = vm::MonitorOp;
+  // T1 holds M1, T2 holds M2; then T1 parks on M2 and T2 parks on M1:
+  // the runtime wait-for graph is the cycle t1 -(m2)-> t2 -(m1)-> t1.
+  feed(Op::kEnterAcquired, 1, 1, 10);
+  feed(Op::kEnterAcquired, 2, 2, 12);
+  feed(Op::kEnterBlocked, 1, 2, 14, /*holder=*/2);
+  EXPECT_TRUE(lk.deadlock_warnings().empty());  // chain, not yet a cycle
+  feed(Op::kEnterBlocked, 2, 1, 16, /*holder=*/1);
+
+  auto warns = lk.deadlock_warnings();
+  ASSERT_EQ(warns.size(), 1u);
+  EXPECT_EQ(warns[0].tids, (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(warns[0].monitors, (std::vector<uint32_t>{2, 1}));
+  EXPECT_EQ(warns[0].first_instr, 16u);
+  EXPECT_EQ(warns[0].count, 1u);
+
+  // The cycle resolves (a notify lets T2 in later, say) and the same shape
+  // recurs: one warning, count 2, first_instr unchanged.
+  feed(Op::kEnterAcquired, 2, 1, 20);
+  feed(Op::kEnterBlocked, 2, 1, 30, /*holder=*/1);
+  warns = lk.deadlock_warnings();
+  ASSERT_EQ(warns.size(), 1u);
+  EXPECT_EQ(warns[0].count, 2u);
+  EXPECT_EQ(warns[0].first_instr, 16u);
+
+  JsonValue doc = parse_json(lk.artifact());
+  const JsonValue* dw = doc.find("deadlock_warnings");
+  ASSERT_NE(dw, nullptr);
+  ASSERT_EQ(dw->items.size(), 1u);
+  EXPECT_EQ(dw->items[0].find("count")->number, 2.0);
+}
+
+TEST(LockContention, PlainContentionRaisesNoDeadlockWarning) {
+  // Ordinary contention -- a block whose holder is running, which later
+  // releases -- must never look like a deadlock.
+  bytecode::Program prog = workloads::lock_pingpong(40);
+  replay::RecordResult rec = record_workload(prog, 5);
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_locks = true;
+  replay::ReplayResult rep = replay::replay_run(prog, rec.trace, {}, cfg);
+  ASSERT_TRUE(rep.verified);
+  JsonValue doc = parse_json(rep.analysis.locks_json);
+  const JsonValue* dw = doc.find("deadlock_warnings");
+  ASSERT_NE(dw, nullptr);
+  EXPECT_TRUE(dw->items.empty());
+}
+
+// ------------------------------------------- strict-mode carry-over
+
+TEST(StrictCarryOver, ViolationWithAnalyzersFinishesAndFlagsArtifacts) {
+  // A recording whose event stream is truncated mid-run: replaying it
+  // violates symmetry well before the end.
+  vm::ScriptedEnvironment env(1000, 7, {}, 17);
+  threads::NullTimer timer;
+  replay::RecordResult rec =
+      replay::record_run(workloads::env_reader(5), {}, env, timer);
+  ASSERT_GT(rec.trace.events.size(), 4u);
+  replay::TraceFile bad = rec.trace;
+  bad.events.resize(bad.events.size() - 3);
+
+  // Strict without analyzers: fail-fast, as ever.
+  replay::SymmetryConfig strict;
+  strict.strict = true;
+  EXPECT_THROW(replay::replay_run(workloads::env_reader(5), bad, {}, strict),
+               ReplayDivergence);
+
+  // Strict with analyzers: the violation is recorded, the run carries to
+  // completion non-strict, and every artifact is complete and flagged.
+  replay::SymmetryConfig cfg = analyzers_cfg(true);
+  cfg.strict = true;
+  replay::ReplayResult rep;
+  ASSERT_NO_THROW(
+      rep = replay::replay_run(workloads::env_reader(5), bad, {}, cfg));
+  EXPECT_FALSE(rep.verified);
+  EXPECT_TRUE(rep.post_violation);
+  EXPECT_GT(rep.stats.symmetry_violations, 0u);
+  ASSERT_TRUE(rep.analysis.any());
+  for (const std::string* artifact :
+       {&rep.analysis.profile_json, &rep.analysis.locks_json,
+        &rep.analysis.heap_json}) {
+    JsonValue doc = parse_json(*artifact);
+    const JsonValue* pv = doc.find("post_violation");
+    ASSERT_NE(pv, nullptr) << *artifact;
+    EXPECT_TRUE(pv->boolean);
+  }
+
+  // A clean strict run with analyzers is not flagged.
+  replay::ReplayResult clean =
+      replay::replay_run(workloads::env_reader(5), rec.trace, {}, cfg);
+  EXPECT_TRUE(clean.verified);
+  EXPECT_FALSE(clean.post_violation);
+}
+
 // ------------------------------------------------------ heap churn
 
 TEST(HeapChurn, AllocChurnSeesGuestAllocations) {
@@ -268,6 +373,100 @@ TEST(HeapChurn, AllocChurnSeesGuestAllocations) {
   for (const JsonValue& s : sites->items)
     if (s.find("site")->string != "<vm>") guest_site = true;
   EXPECT_TRUE(guest_site);
+}
+
+TEST(HeapChurn, SyntheticMoveKeepsIdentity) {
+  HeapChurnAnalyzer h;
+  vm::AllocEvent a;
+  a.addr = heap::Addr(100);
+  a.class_id = 5;
+  a.slots = 2;
+  h.on_heap_alloc(a);
+  h.on_heap_write(heap::Addr(100), 0, 1, false);
+  h.on_heap_write(heap::Addr(100), 1, 2, false);
+  // The copying collector relocates the object; heat must follow it.
+  h.on_heap_move(heap::Addr(100), heap::Addr(200));
+  h.on_heap_write(heap::Addr(200), 0, 3, false);
+  h.on_heap_read(heap::Addr(200), 0, 3, false);
+
+  EXPECT_EQ(h.tracked_objects(), 1u);
+  EXPECT_EQ(h.gc_moves(), 1u);
+  JsonValue doc = parse_json(h.artifact());
+  const JsonValue* hot = doc.find("hot_objects");
+  ASSERT_NE(hot, nullptr);
+  ASSERT_EQ(hot->items.size(), 1u);
+  EXPECT_EQ(hot->items[0].find("writes")->number, 3.0);
+  EXPECT_EQ(hot->items[0].find("reads")->number, 1.0);
+
+  // A fresh allocation may recycle the vacated address; it must get its
+  // own identity, not inherit the mover's heat.
+  vm::AllocEvent b;
+  b.addr = heap::Addr(100);
+  b.class_id = 5;
+  b.slots = 2;
+  h.on_heap_alloc(b);
+  h.on_heap_write(heap::Addr(100), 0, 9, false);
+  EXPECT_EQ(h.tracked_objects(), 2u);
+  doc = parse_json(h.artifact());
+  EXPECT_EQ(doc.find("hot_objects")->items.size(), 2u);
+}
+
+// The copying-GC regression: replay a GC-heavy workload under a heap small
+// enough (plus gc_stress) to force many collections. The replay must stay
+// verified -- the move observer must not perturb it -- and per-object heat
+// must be exactly what a collection-free run of the same program observes,
+// because stable ids follow the forwarding pointers.
+TEST(HeapChurn, CopyingGcMovesPreserveExactObjectHeat) {
+  bytecode::Program prog = workloads::alloc_churn(200, 8, 4);
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_heap = true;
+  cfg.obs.analysis_top_n = 50;
+
+  auto run = [&](vm::VmOptions opts, uint64_t seed) {
+    vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+    threads::VirtualTimer timer(seed, 4, 60);
+    vm::NativeRegistry natives = vmtest::make_test_natives();
+    replay::RecordResult rec =
+        replay::record_run(prog, opts, env, timer, &natives);
+    replay::ReplayResult rep = replay::replay_run(prog, rec.trace, opts, cfg);
+    EXPECT_EQ(rep.output, rec.output);
+    return rep;
+  };
+
+  vm::VmOptions calm;  // default 32MB semispace: no collection pressure
+  vm::VmOptions stressed;
+  stressed.heap.size_bytes = 1u << 18;  // 128KB semispace: constant pressure
+  stressed.gc_stress = true;  // collect before every allocation
+  replay::ReplayResult a = run(calm, 11);
+  replay::ReplayResult b = run(stressed, 11);
+  ASSERT_TRUE(a.verified);
+  ASSERT_TRUE(b.verified);
+
+  JsonValue da = parse_json(a.analysis.heap_json);
+  JsonValue db = parse_json(b.analysis.heap_json);
+  EXPECT_EQ(da.find("gc_moves")->number, 0.0);
+  EXPECT_GT(db.find("gc_moves")->number, 0.0);
+
+  // Same guest execution, so identical heat -- object by object. Addresses
+  // differ (the stressed heap compacts constantly), which is exactly why
+  // the comparison is on stable ids, not addresses.
+  EXPECT_EQ(da.find("allocs")->number, db.find("allocs")->number);
+  EXPECT_EQ(da.find("reads")->number, db.find("reads")->number);
+  EXPECT_EQ(da.find("writes")->number, db.find("writes")->number);
+  const JsonValue* ha = da.find("hot_objects");
+  const JsonValue* hb = db.find("hot_objects");
+  ASSERT_NE(ha, nullptr);
+  ASSERT_NE(hb, nullptr);
+  ASSERT_EQ(ha->items.size(), hb->items.size());
+  ASSERT_FALSE(ha->items.empty());
+  for (size_t i = 0; i < ha->items.size(); ++i) {
+    const JsonValue& oa = ha->items[i];
+    const JsonValue& ob = hb->items[i];
+    EXPECT_EQ(oa.find("id")->number, ob.find("id")->number) << "rank " << i;
+    EXPECT_EQ(oa.find("class")->string, ob.find("class")->string);
+    EXPECT_EQ(oa.find("reads")->number, ob.find("reads")->number);
+    EXPECT_EQ(oa.find("writes")->number, ob.find("writes")->number);
+  }
 }
 
 // Flipping the analysis knobs off yields no artifacts, and on yields all

@@ -50,6 +50,33 @@ check_obs_slice() {
     "$art/analysis/heap.json"
   ./build/tools/obs_schema_check collapsed "$art/analysis/profile.collapsed"
 
+  echo "== obs slice: farm smoke (ingest -> run --jobs 4 -> report) =="
+  # Record a small fleet (4 workloads x 5 seeds), ingest it into a sharded
+  # store, run the farm at --jobs 1 and --jobs 4, and require byte-identical
+  # reports -- the worker-pool determinism contract, end to end through the
+  # CLI -- then schema-check the report and every shard manifest.
+  local farm="$art/farm"
+  rm -rf "$farm"
+  mkdir -p "$farm/traces"
+  for w in clock_mixer lock_pingpong counter_race alloc_churn; do
+    for seed in 1 2 3 4 5; do
+      ./build/tools/dejavu record "$w" --seed "$seed" \
+        --out "$farm/traces/$w-$seed.djv" >/dev/null
+      ./build/tools/dejavu farm ingest --store "$farm/store" \
+        --workload "$w" --seed "$seed" "$farm/traces/$w-$seed.djv" >/dev/null
+    done
+  done
+  ./build/tools/dejavu farm ls --store "$farm/store" >/dev/null
+  ./build/tools/dejavu farm run --store "$farm/store" --jobs 1 \
+    --out "$farm/report-j1.json" >/dev/null
+  ./build/tools/dejavu farm run --store "$farm/store" --jobs 4 \
+    --out "$farm/report-j4.json" >/dev/null
+  cmp "$farm/report-j1.json" "$farm/report-j4.json"
+  ./build/tools/dejavu farm report "$farm/report-j4.json" >/dev/null
+  ./build/tools/obs_schema_check farm-report "$farm/report-j4.json"
+  ./build/tools/obs_schema_check farm-manifest \
+    "$farm/store"/shard-*/manifest.jsonl
+
   echo "== obs slice: sanitized (build-asan/, ASan+UBSan) =="
   cmake -B build-asan -S . -DDEJAVU_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$jobs" --target test_obs bench_smoke

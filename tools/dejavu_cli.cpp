@@ -12,6 +12,10 @@
 //   dejavu fuzz [--seed N] [--iters K] [--minimize] ...   schedule fuzzer
 //   dejavu report <file>                     render forensics / analysis
 //   dejavu debug <workload> <trace.djv>      interactive debugger REPL
+//   dejavu farm ingest --store D --workload W [--seed N] <trace.djv>...
+//   dejavu farm ls --store D                 list the trace catalog
+//   dejavu farm run --store D [--jobs N] [--top N] [--out report.json]
+//   dejavu farm report <report.json>         render a farm report
 //
 // Workloads are the built-in guest programs from src/workloads (listed by
 // `dejavu list`); parameters use sensible defaults.
@@ -33,16 +37,25 @@
 // fan-out and writes their artifacts; the replay is byte-identical to a
 // plain `replay` of the same trace. `report` renders an analysis artifact
 // or the DivergenceReport block embedded in a fuzz reproducer (.dvfz).
+//
+// `farm` operates the replay farm (src/farm): `ingest` verifies traces and
+// files them into a sharded on-disk store, `run` fans replay + analysis
+// across a worker pool and writes a merged dejavu-farm-report-v1 whose
+// bytes are identical for any --jobs value, `report` renders one.
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <sstream>
 
 #include "src/debugger/debugger.hpp"
+#include "src/farm/report.hpp"
+#include "src/farm/scheduler.hpp"
+#include "src/farm/trace_store.hpp"
 #include "src/frontend/server.hpp"
 #include "src/fuzz/fuzzer.hpp"
 #include "src/obs/divergence.hpp"
@@ -230,7 +243,7 @@ int cmd_replay(const std::string& name, const std::string& path, bool strict,
 // engine's fan-out, so the replay itself is bit-identical to a plain
 // `dejavu replay` (tests/obs/analysis_test.cpp proves byte-identity).
 int cmd_analyze(const std::string& name, const std::string& path,
-                const std::string& out_dir, uint32_t top_n,
+                const std::string& out_dir, uint32_t top_n, bool strict,
                 const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
@@ -243,9 +256,12 @@ int cmd_analyze(const std::string& name, const std::string& path,
   cfg.obs.analyze_locks = true;
   cfg.obs.analyze_heap = true;
   cfg.obs.analysis_top_n = top_n;
-  // Non-strict: a diverged replay still yields (clearly labelled) partial
-  // artifacts plus the forensics, which is what you want when analyzing.
-  cfg.strict = false;
+  // Non-strict by default: a diverged replay still yields (clearly
+  // labelled) partial artifacts plus the forensics, which is what you want
+  // when analyzing. With --strict the engine notes the first violation but
+  // -- because analyzers are attached -- carries the run to completion
+  // non-strict, so the artifacts are complete and flagged post_violation.
+  cfg.strict = strict;
   replay::ReplayResult rep = replay::replay_file(e->make(), path, {}, cfg);
   std::filesystem::create_directories(out_dir);
   auto emit = [&](const char* file, const std::string& content) {
@@ -261,6 +277,12 @@ int cmd_analyze(const std::string& name, const std::string& path,
   emit("heap.json", rep.analysis.heap_json);
   std::printf("flamegraph: flamegraph.pl %s/profile.collapsed > flame.svg\n",
               out_dir.c_str());
+  if (strict && rep.post_violation)
+    std::printf("strict: first violation at logical clock %llu (%s); run "
+                "carried to completion non-strict so the artifacts above "
+                "are complete -- each is flagged post_violation\n",
+                (unsigned long long)rep.stats.first_violation_clock,
+                rep.stats.first_violation.c_str());
   if (!rep.verified && rep.divergence.has_value())
     std::fputs(rep.divergence->render().c_str(), stdout);
   export_telemetry(tel, rep.metrics, rep.timeline, "dejavu analyze " + name);
@@ -318,6 +340,25 @@ void render_locks(const obs::JsonValue& doc) {
   } else {
     std::printf("no lock-order inversions observed\n");
   }
+  const obs::JsonValue* dw = doc.find("deadlock_warnings");
+  if (dw != nullptr && dw->is_array() && !dw->items.empty()) {
+    std::printf("DEADLOCK-IMMINENT wait-for cycles observed at runtime:\n");
+    for (const obs::JsonValue& c : dw->items) {
+      const obs::JsonValue* tids = c.find("tids");
+      const obs::JsonValue* mons = c.find("monitors");
+      std::printf("  ");
+      if (tids != nullptr && mons != nullptr && tids->is_array() &&
+          mons->is_array() && tids->items.size() == mons->items.size()) {
+        // tids[i] blocks on monitors[i], held by tids[(i+1) % n].
+        for (size_t i = 0; i < tids->items.size(); ++i)
+          std::printf("t%.0f -(m%.0f)-> ", tids->items[i].number,
+                      mons->items[i].number);
+        std::printf("t%.0f", tids->items[0].number);
+      }
+      std::printf("  seen %.0fx, first at instr %.0f\n", num_or(c, "count"),
+                  num_or(c, "first_instr"));
+    }
+  }
 }
 
 void render_heap(const obs::JsonValue& doc) {
@@ -361,6 +402,8 @@ int cmd_report(const std::string& path) {
       if (schema == "dejavu-profile-v1") return render_profile(doc), 0;
       if (schema == "dejavu-locks-v1") return render_locks(doc), 0;
       if (schema == "dejavu-heap-v1") return render_heap(doc), 0;
+      if (schema == farm::kFarmReportSchema)
+        return std::fputs(farm::render_farm_report(text).c_str(), stdout), 0;
     } catch (const VmError&) {
       // Not a JSON document we understand; fall through to dvrep.
     }
@@ -480,6 +523,84 @@ int cmd_fuzz(fuzz::FuzzOptions opts, const std::string& repro,
   return report.clean() ? 0 : 1;
 }
 
+// --- `dejavu farm` -- the replay farm (src/farm) ---------------------------
+
+int cmd_farm_ingest(const std::string& store_dir, const std::string& workload,
+                    uint64_t seed, const std::vector<std::string>& files) {
+  if (files.empty()) {
+    std::fprintf(stderr, "farm ingest: no trace files given\n");
+    return 1;
+  }
+  if (find_workload(workload) == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", workload.c_str());
+    return 1;
+  }
+  farm::TraceStore store(store_dir);
+  for (const std::string& f : files) {
+    farm::IngestResult r = store.ingest(f, workload, seed);
+    std::printf("%s %s -> %s (%llu instrs, %llu preempts)\n",
+                r.deduped ? "dup" : "new", f.c_str(), r.record.file.c_str(),
+                (unsigned long long)r.record.instr_count,
+                (unsigned long long)r.record.preempt_switches);
+  }
+  std::printf("store %s: %zu trace(s)\n", store.root().c_str(), store.size());
+  return 0;
+}
+
+int cmd_farm_ls(const std::string& store_dir) {
+  farm::TraceStore store(store_dir);
+  std::printf("%-18s %6s %-16s %10s %8s %6s  %s\n", "workload", "seed",
+              "hash", "instrs", "preempts", "nd", "file");
+  for (const farm::TraceRecord& r : store.list()) {
+    std::printf("%-18s %6llu %-16s %10llu %8llu %6llu  %s\n",
+                r.workload.c_str(), (unsigned long long)r.seed,
+                r.content_hash.c_str(), (unsigned long long)r.instr_count,
+                (unsigned long long)r.preempt_switches,
+                (unsigned long long)r.nd_events, r.file.c_str());
+  }
+  std::printf("%zu trace(s) in %s\n", store.size(), store.root().c_str());
+  return 0;
+}
+
+int cmd_farm_run(const std::string& store_dir, unsigned jobs, uint32_t top_n,
+                 const std::string& out) {
+  farm::TraceStore store(store_dir);
+  if (store.size() == 0) {
+    std::fprintf(stderr, "farm run: store %s is empty\n", store_dir.c_str());
+    return 1;
+  }
+  farm::FarmOptions fo;
+  fo.jobs = jobs;
+  fo.top_n = top_n;
+  fo.resolve =
+      [](const std::string& w) -> std::optional<bytecode::Program> {
+    const Entry* e = find_workload(w);
+    if (e == nullptr) return std::nullopt;
+    return e->make();
+  };
+  farm::FarmRunResult res = farm::run_farm(store, fo);
+  std::string json = farm::farm_report_json(res, top_n);
+  write_text_file(out, json);
+  std::fputs(farm::render_farm_report(json).c_str(), stdout);
+  std::printf("report written to %s\n", out.c_str());
+  for (const farm::TraceOutcome& o : res.outcomes) {
+    if (o.verdict != "clean") return 1;
+  }
+  return 0;
+}
+
+int cmd_farm_report(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  std::fputs(farm::render_farm_report(buf.str()).c_str(), stdout);
+  return 0;
+}
+
 int cmd_debug(const std::string& name, const std::string& path) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
@@ -525,15 +646,20 @@ int main(int argc, char** argv) {
     if (args.empty() || args[0] == "help") {
       std::printf("usage: dejavu list | record <w> [--seed N] [--out F] "
                   "[--realtime] | replay <w> <F> [--strict] "
-                  "| analyze <w> <F> [--out-dir D] [--top N] "
+                  "| analyze <w> <F> [--out-dir D] [--top N] [--strict] "
                   "| dump <F> | diff <A> <B> "
                   "| verify <F> | convert <IN> <OUT> "
                   "| sweep <w> [--seeds N] "
-                  "| fuzz [--seed N] [--iters K] [--minimize|--no-minimize] "
+                  "| fuzz [--seed N] [--iters K] [--jobs N] "
+                  "[--minimize|--no-minimize] "
                   "[--no-faults] [--no-baselines] [--out-dir D] "
                   "[--inject-skew N] [--repro F] "
                   "| report <F> "
-                  "| debug <w> <F>\n"
+                  "| debug <w> <F> "
+                  "| farm ingest --store D --workload W [--seed N] <F>... "
+                  "| farm ls --store D "
+                  "| farm run --store D [--jobs N] [--top N] [--out F] "
+                  "| farm report <F>\n"
                   "replay runs non-strict by default (diverged runs still "
                   "report stats + forensics); --strict fails fast at the "
                   "first violation.\n"
@@ -541,7 +667,13 @@ int main(int argc, char** argv) {
                   "heap-churn analyzers attached and writes profile.json, "
                   "profile.collapsed, locks.json, heap.json to --out-dir "
                   "(default /tmp/dejavu-analysis); `report <artifact>` "
-                  "renders them.\n"
+                  "renders them. With --strict the first violation is "
+                  "reported but the run completes so the artifacts are "
+                  "whole (flagged post_violation).\n"
+                  "farm ingest CRC-verifies traces into a sharded store; "
+                  "farm run replays + analyzes the whole catalog across "
+                  "--jobs workers and writes a merged dejavu-farm-report-v1 "
+                  "(byte-identical for any --jobs).\n"
                   "record/replay/analyze/sweep/fuzz also accept: "
                   "[--metrics-json F] [--timeline F]\n");
       return 0;
@@ -559,7 +691,7 @@ int main(int argc, char** argv) {
       return cmd_analyze(args[1], args[2],
                          flag_value("--out-dir", "/tmp/dejavu-analysis"),
                          uint32_t(std::stoul(flag_value("--top", "10"))),
-                         tel);
+                         has_flag("--strict"), tel);
     }
     if (args[0] == "report" && args.size() >= 2) return cmd_report(args[1]);
     if (args[0] == "dump" && args.size() >= 2) return cmd_dump(args[1]);
@@ -580,6 +712,7 @@ int main(int argc, char** argv) {
       fo.out_dir = flag_value("--out-dir", "/tmp/dejavu-fuzz");
       fo.test_skew_schedule_delta =
           uint32_t(std::stoul(flag_value("--inject-skew", "0")));
+      fo.jobs = unsigned(std::stoul(flag_value("--jobs", "1")));
       fo.progress = [](uint64_t done, uint64_t total) {
         if (done % 25 == 0 || done == total)
           std::fprintf(stderr, "  ...%llu/%llu cases\n",
@@ -589,6 +722,36 @@ int main(int argc, char** argv) {
     }
     if (args[0] == "debug" && args.size() >= 3)
       return cmd_debug(args[1], args[2]);
+    if (args[0] == "farm" && args.size() >= 2) {
+      const std::string& verb = args[1];
+      // Positional operands after the verb; every farm flag takes a value,
+      // so a "--x" token always consumes the token after it.
+      std::vector<std::string> pos;
+      for (size_t i = 2; i < args.size(); ++i) {
+        if (args[i].rfind("--", 0) == 0) {
+          ++i;
+          continue;
+        }
+        pos.push_back(args[i]);
+      }
+      std::string store_dir = flag_value("--store", "/tmp/dejavu-farm");
+      if (verb == "ingest") {
+        return cmd_farm_ingest(store_dir, flag_value("--workload", ""),
+                               uint64_t(std::stoull(flag_value("--seed",
+                                                               "0"))),
+                               pos);
+      }
+      if (verb == "ls") return cmd_farm_ls(store_dir);
+      if (verb == "run") {
+        return cmd_farm_run(
+            store_dir, unsigned(std::stoul(flag_value("--jobs", "1"))),
+            uint32_t(std::stoul(flag_value("--top", "10"))),
+            flag_value("--out", "/tmp/dejavu-farm-report.json"));
+      }
+      if (verb == "report" && !pos.empty()) return cmd_farm_report(pos[0]);
+      std::fprintf(stderr, "bad farm arguments; try 'dejavu help'\n");
+      return 1;
+    }
     std::fprintf(stderr, "bad arguments; try 'dejavu help'\n");
     return 1;
   } catch (const VmError& e) {

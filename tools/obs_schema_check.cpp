@@ -10,7 +10,11 @@
 //   locks      dejavu-locks-v1 (lock-contention analyzer)
 //   heap       dejavu-heap-v1 (heap-churn analyzer)
 //   collapsed  Brendan Gregg collapsed-stack text (flamegraph.pl input)
-//   auto       pick by content
+//   farm-report    dejavu-farm-report-v1 (`dejavu farm run`); the embedded
+//                  merged metrics/profile/locks/heap documents are checked
+//                  with the same validators as their standalone forms
+//   farm-manifest  dejavu-farm-manifest-v1 shard manifest (JSON Lines)
+//   auto       pick by content (farm-manifest excluded: it is JSONL)
 //
 // Exit 0 when every file validates; the first violation is reported with
 // its file and JSON path and exits 1. A JSON artifact whose "schema"
@@ -182,6 +186,21 @@ void check_locks(const std::string& file, const JsonValue& doc) {
     need(file, p, "a", JsonValue::Type::kNumber, where);
     need(file, p, "b", JsonValue::Type::kNumber, where);
   }
+  const JsonValue& warns =
+      need(file, doc, "deadlock_warnings", JsonValue::Type::kArray, "top");
+  i = 0;
+  for (const JsonValue& c : warns.items) {
+    std::string where = "deadlock_warnings[" + std::to_string(i++) + "]";
+    if (!c.is_object()) fail(file, where + " is not an object");
+    const JsonValue& tids =
+        need(file, c, "tids", JsonValue::Type::kArray, where);
+    const JsonValue& mons =
+        need(file, c, "monitors", JsonValue::Type::kArray, where);
+    if (tids.items.size() != mons.items.size() || tids.items.empty())
+      fail(file, where + ": tids/monitors must be equal-length, non-empty");
+    need(file, c, "first_instr", JsonValue::Type::kNumber, where);
+    need(file, c, "count", JsonValue::Type::kNumber, where);
+  }
 }
 
 void check_heap(const std::string& file, const JsonValue& doc) {
@@ -224,6 +243,114 @@ void check_heap(const std::string& file, const JsonValue& doc) {
   }
 }
 
+void check_farm_report(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-farm-report-v1")
+    fail(file, "schema is not dejavu-farm-report-v1");
+  const JsonValue& traces =
+      need(file, doc, "traces", JsonValue::Type::kArray, "top");
+  size_t i = 0;
+  for (const JsonValue& t : traces.items) {
+    std::string where = "traces[" + std::to_string(i++) + "]";
+    if (!t.is_object()) fail(file, where + " is not an object");
+    need(file, t, "workload", JsonValue::Type::kString, where);
+    need(file, t, "seed", JsonValue::Type::kNumber, where);
+    need(file, t, "content_hash", JsonValue::Type::kString, where);
+    std::string verdict =
+        need(file, t, "verdict", JsonValue::Type::kString, where).string;
+    if (verdict != "clean" && verdict != "diverged" &&
+        verdict != "violation" && verdict != "error")
+      fail(file, where + ": unknown verdict \"" + verdict + "\"");
+    need(file, t, "instr_count", JsonValue::Type::kNumber, where);
+    need(file, t, "violations", JsonValue::Type::kNumber, where);
+  }
+  const JsonValue& totals =
+      need(file, doc, "totals", JsonValue::Type::kObject, "top");
+  for (const char* k :
+       {"traces", "clean", "diverged", "violation", "error", "instructions"})
+    need(file, totals, k, JsonValue::Type::kNumber, "totals");
+  // The merged documents embed complete artifacts: validate them with the
+  // standalone checkers so the fleet view can never drift from the
+  // per-trace schemas. Each may be null when no trace produced one.
+  const JsonValue& metrics =
+      need(file, doc, "merged_metrics", JsonValue::Type::kObject, "top");
+  check_metrics(file + "#merged_metrics", metrics);
+  auto sub = [&](const char* key, void (*check)(const std::string&,
+                                                const JsonValue&)) {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr) fail(file, std::string("top: missing key \"") + key +
+                                     "\"");
+    if (v->type == JsonValue::Type::kNull) return;
+    if (!v->is_object())
+      fail(file, std::string("top: key \"") + key + "\" has the wrong type");
+    check(file + "#" + key, *v);
+  };
+  sub("merged_profile", check_profile);
+  sub("merged_locks", check_locks);
+  sub("merged_heap", check_heap);
+  const JsonValue& methods =
+      need(file, doc, "top_methods", JsonValue::Type::kArray, "top");
+  i = 0;
+  for (const JsonValue& m : methods.items) {
+    std::string where = "top_methods[" + std::to_string(i++) + "]";
+    if (!m.is_object()) fail(file, where + " is not an object");
+    need(file, m, "name", JsonValue::Type::kString, where);
+    need(file, m, "instructions", JsonValue::Type::kNumber, where);
+    need(file, m, "yield_points", JsonValue::Type::kNumber, where);
+  }
+  const JsonValue& monitors =
+      need(file, doc, "top_monitors", JsonValue::Type::kArray, "top");
+  i = 0;
+  for (const JsonValue& m : monitors.items) {
+    std::string where = "top_monitors[" + std::to_string(i++) + "]";
+    if (!m.is_object()) fail(file, where + " is not an object");
+    for (const char* k :
+         {"id", "contended_blocks", "block_total", "block_max"})
+      need(file, m, k, JsonValue::Type::kNumber, where);
+  }
+}
+
+// Shard manifests are JSON Lines (one object per line), so they are
+// validated line-by-line rather than as one document.
+void check_farm_manifest(const std::string& file, const std::string& text) {
+  size_t lineno = 0;
+  bool saw_header = false;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::string where = "line " + std::to_string(lineno);
+    JsonValue v;
+    try {
+      v = dejavu::obs::parse_json(line);
+    } catch (const VmError& e) {
+      fail(file, where + ": " + e.what());
+    }
+    if (!v.is_object()) fail(file, where + " is not an object");
+    if (!saw_header) {
+      if (need(file, v, "schema", JsonValue::Type::kString, where).string !=
+          "dejavu-farm-manifest-v1")
+        fail(file, where + ": schema is not dejavu-farm-manifest-v1");
+      need(file, v, "shard", JsonValue::Type::kNumber, where);
+      saw_header = true;
+      continue;
+    }
+    need(file, v, "workload", JsonValue::Type::kString, where);
+    need(file, v, "file", JsonValue::Type::kString, where);
+    const std::string& hash =
+        need(file, v, "content_hash", JsonValue::Type::kString, where).string;
+    if (hash.size() != 16 ||
+        hash.find_first_not_of("0123456789abcdef") != std::string::npos)
+      fail(file, where + ": content_hash is not 16 lowercase hex digits");
+    for (const char* k : {"seed", "trace_version", "bytes", "instr_count",
+                          "preempt_switches", "nd_events"})
+      need(file, v, k, JsonValue::Type::kNumber, where);
+  }
+  if (!saw_header) fail(file, "empty manifest (no header line)");
+}
+
 // Collapsed-stack text: one "frame;frame;...;frame count" record per line,
 // exactly what flamegraph.pl consumes. Not JSON -- validated textually.
 void check_collapsed(const std::string& file, const std::string& text) {
@@ -259,6 +386,7 @@ std::string sniff_kind(const JsonValue& doc) {
   if (schema->string == "dejavu-profile-v1") return "profile";
   if (schema->string == "dejavu-locks-v1") return "locks";
   if (schema->string == "dejavu-heap-v1") return "heap";
+  if (schema->string == "dejavu-farm-report-v1") return "farm-report";
   // A schema header we do not know is a drift, not a skip: report it so
   // the caller fails loudly instead of rubber-stamping the artifact.
   return "unknown-schema:" + schema->string;
@@ -270,7 +398,8 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: obs_schema_check "
-                 "<metrics|timeline|bench|profile|locks|heap|collapsed|auto> "
+                 "<metrics|timeline|bench|profile|locks|heap|collapsed"
+                 "|farm-report|farm-manifest|auto> "
                  "<file>...\n");
     return 2;
   }
@@ -284,6 +413,11 @@ int main(int argc, char** argv) {
     if (kind == "collapsed") {
       check_collapsed(file, buf.str());
       std::printf("obs_schema_check: %s: ok (collapsed)\n", file.c_str());
+      continue;
+    }
+    if (kind == "farm-manifest") {
+      check_farm_manifest(file, buf.str());
+      std::printf("obs_schema_check: %s: ok (farm-manifest)\n", file.c_str());
       continue;
     }
     JsonValue doc;
@@ -305,6 +439,8 @@ int main(int argc, char** argv) {
       check_locks(file, doc);
     } else if (k == "heap") {
       check_heap(file, doc);
+    } else if (k == "farm-report") {
+      check_farm_report(file, doc);
     } else if (k.rfind("unknown-schema:", 0) == 0) {
       fail(file, "unrecognized schema header \"" +
                      k.substr(sizeof("unknown-schema:") - 1) + "\"");
