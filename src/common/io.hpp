@@ -124,6 +124,11 @@ class ByteReader {
     return s;
   }
 
+  void skip(size_t n) {
+    DV_CHECK_MSG(pos_ + n <= size_, "ByteReader underrun (skip)");
+    pos_ += n;
+  }
+
   bool at_end() const { return pos_ == size_; }
   size_t remaining() const { return size_ - pos_; }
   size_t position() const { return pos_; }

@@ -1,0 +1,186 @@
+#include "src/farm/outcome_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/hash.hpp"
+#include "src/obs/json.hpp"
+
+namespace dejavu::farm {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string hex16(uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)h);
+  return buf;
+}
+
+// Exact-width JSON round-trip: every persisted number is a counter-sized
+// integer (< 2^53), so double is lossless here.
+uint64_t num(const obs::JsonValue& obj, const char* k) {
+  const obs::JsonValue* v = obj.find(k);
+  return v != nullptr && v->is_number() ? uint64_t(v->number) : 0;
+}
+
+int64_t snum(const obs::JsonValue& obj, const char* k) {
+  const obs::JsonValue* v = obj.find(k);
+  return v != nullptr && v->is_number() ? int64_t(v->number) : 0;
+}
+
+std::string str(const obs::JsonValue& obj, const char* k) {
+  const obs::JsonValue* v = obj.find(k);
+  return v != nullptr && v->is_string() ? v->string : std::string();
+}
+
+void write_metrics(obs::JsonWriter& w, const obs::MetricsSnapshot& m) {
+  w.key("metrics").begin_array();
+  for (const obs::MetricSample& s : m.samples) {
+    w.begin_object()
+        .kv("name", s.name)
+        .kv("kind", obs::metric_kind_name(s.kind));
+    switch (s.kind) {
+      case obs::MetricKind::kCounter: w.kv("value", s.value); break;
+      case obs::MetricKind::kGauge: w.kv("gauge", s.gauge); break;
+      case obs::MetricKind::kHistogram: {
+        w.kv("count", s.count).kv("sum", s.sum);
+        w.key("bounds").begin_array();
+        for (uint64_t b : s.bounds) w.value(b);
+        w.end_array();
+        w.key("buckets").begin_array();
+        for (uint64_t b : s.buckets) w.value(b);
+        w.end_array();
+        break;
+      }
+    }
+    w.end_object();
+  }
+  w.end_array();
+}
+
+bool read_metrics(const obs::JsonValue& doc, obs::MetricsSnapshot* out) {
+  const obs::JsonValue* arr = doc.find("metrics");
+  if (arr == nullptr || !arr->is_array()) return false;
+  for (const obs::JsonValue& s : arr->items) {
+    if (!s.is_object()) return false;
+    obs::MetricSample m;
+    m.name = str(s, "name");
+    std::string kind = str(s, "kind");
+    if (kind == "counter") {
+      m.kind = obs::MetricKind::kCounter;
+      m.value = num(s, "value");
+    } else if (kind == "gauge") {
+      m.kind = obs::MetricKind::kGauge;
+      m.gauge = snum(s, "gauge");
+    } else if (kind == "histogram") {
+      m.kind = obs::MetricKind::kHistogram;
+      m.count = num(s, "count");
+      m.sum = num(s, "sum");
+      const obs::JsonValue* bounds = s.find("bounds");
+      const obs::JsonValue* buckets = s.find("buckets");
+      if (bounds == nullptr || !bounds->is_array() || buckets == nullptr ||
+          !buckets->is_array())
+        return false;
+      for (const obs::JsonValue& b : bounds->items)
+        m.bounds.push_back(uint64_t(b.number));
+      for (const obs::JsonValue& b : buckets->items)
+        m.buckets.push_back(uint64_t(b.number));
+    } else {
+      return false;
+    }
+    out->samples.push_back(std::move(m));
+  }
+  return true;
+}
+
+}  // namespace
+
+uint64_t outcome_config_hash(const FarmOptions& opts) {
+  Fnv1a h;
+  // Format version first: bumping it orphans (not corrupts) old entries.
+  h.update_str("farm-cache-v1");
+  h.update_u32(opts.top_n);
+  // The scheduler's fixed analyzer set, spelled out so turning one off in
+  // a future FarmOptions knob re-keys the cache.
+  h.update_str("profile,locks,heap;strict=0");
+  return h.digest();
+}
+
+OutcomeCache::OutcomeCache(std::string store_root, uint64_t config_hash)
+    : dir_(std::move(store_root) + "/cache"), config_hash_(config_hash) {}
+
+std::string OutcomeCache::entry_path(const TraceRecord& record) const {
+  return dir_ + "/" + record.content_hash + "-" + hex16(config_hash_) +
+         ".json";
+}
+
+std::optional<TraceOutcome> OutcomeCache::load(
+    const TraceRecord& record, uint64_t program_fingerprint) const {
+  std::ifstream in(entry_path(record), std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  obs::JsonValue doc;
+  try {
+    doc = obs::parse_json(buf.str());
+  } catch (const VmError&) {
+    return std::nullopt;  // damaged entry == miss; the farm replays
+  }
+  if (!doc.is_object() || str(doc, "schema") != kFarmCacheSchema)
+    return std::nullopt;
+  if (str(doc, "program_fingerprint") != hex16(program_fingerprint))
+    return std::nullopt;  // the workload changed since this was cached
+
+  TraceOutcome out;
+  out.record = record;
+  out.verdict = str(doc, "verdict");
+  if (out.verdict.empty() || out.verdict == "error") return std::nullopt;
+  out.violations = num(doc, "violations");
+  out.first_violation = str(doc, "first_violation");
+  if (!read_metrics(doc, &out.metrics)) return std::nullopt;
+  out.analysis.profile_json = str(doc, "profile_json");
+  out.analysis.profile_collapsed = str(doc, "profile_collapsed");
+  out.analysis.locks_json = str(doc, "locks_json");
+  out.analysis.heap_json = str(doc, "heap_json");
+  out.cached = true;
+  return out;
+}
+
+void OutcomeCache::save(const TraceRecord& record,
+                        const TraceOutcome& outcome,
+                        uint64_t program_fingerprint) const {
+  obs::JsonWriter w;
+  w.begin_object()
+      .kv("schema", kFarmCacheSchema)
+      .kv("content_hash", record.content_hash)
+      .kv("config_hash", hex16(config_hash_))
+      .kv("program_fingerprint", hex16(program_fingerprint))
+      .kv("verdict", outcome.verdict)
+      .kv("violations", outcome.violations)
+      .kv("first_violation", outcome.first_violation);
+  write_metrics(w, outcome.metrics);
+  w.kv("profile_json", outcome.analysis.profile_json)
+      .kv("profile_collapsed", outcome.analysis.profile_collapsed)
+      .kv("locks_json", outcome.analysis.locks_json)
+      .kv("heap_json", outcome.analysis.heap_json)
+      .end_object();
+
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  // Temp-then-rename: readers only ever see whole entries.
+  std::string path = entry_path(record);
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.good()) return;  // cache is best-effort; never fail the run
+    out << w.str();
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+}  // namespace dejavu::farm

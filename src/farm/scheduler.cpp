@@ -1,6 +1,9 @@
 #include "src/farm/scheduler.hpp"
 
+#include <optional>
+
 #include "src/common/check.hpp"
+#include "src/farm/outcome_cache.hpp"
 #include "src/farm/worker_pool.hpp"
 #include "src/obs/analysis/merge.hpp"
 
@@ -26,18 +29,33 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
   FarmRunResult out;
   out.outcomes.resize(records.size());
 
+  std::optional<OutcomeCache> cache;
+  if (opts.cache) cache.emplace(store.root(), outcome_config_hash(opts));
+
   // Fan out: one replay per trace, each writing only its own slot. All
   // merging happens below, on this thread, in catalog order.
   parallel_for_ordered(opts.jobs, records.size(), [&](size_t i) {
     TraceOutcome& slot = out.outcomes[i];
     slot.record = records[i];
     try {
+      // Resolution happens before the cache is consulted: a vanished
+      // workload must surface as an "error" verdict even when a cached
+      // outcome exists, and the resolved program's fingerprint guards the
+      // hit (a changed workload re-keys to a replay, not a stale reuse).
       std::optional<bytecode::Program> prog =
           opts.resolve(records[i].workload);
       if (!prog.has_value()) {
         slot.verdict = "error";
         slot.error = "unknown workload '" + records[i].workload + "'";
         return;
+      }
+      uint64_t prog_fp = replay::fingerprint_program(*prog);
+      if (cache.has_value()) {
+        std::optional<TraceOutcome> hit = cache->load(records[i], prog_fp);
+        if (hit.has_value()) {
+          slot = std::move(*hit);
+          return;
+        }
       }
       replay::SymmetryConfig cfg;
       // Non-strict: a diverged trace yields a verdict and complete
@@ -54,6 +72,7 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
       slot.first_violation = r.stats.first_violation;
       slot.metrics = std::move(r.metrics);
       slot.analysis = std::move(r.analysis);
+      if (cache.has_value()) cache->save(records[i], slot, prog_fp);
     } catch (const std::exception& e) {
       slot.verdict = "error";
       slot.error = e.what();

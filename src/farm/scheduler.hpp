@@ -33,6 +33,10 @@ namespace dejavu::farm {
 struct FarmOptions {
   unsigned jobs = 1;
   uint32_t top_n = 10;  // per-run analyzer truncation + report top-N
+  // Reuse per-trace outcomes persisted under <store>/cache by earlier runs
+  // with the same analyzer configuration (see outcome_cache.hpp). The
+  // merged report is byte-identical either way; --no-cache turns it off.
+  bool cache = true;
   // Maps a catalog entry's workload label to its program. Called once per
   // trace on a worker thread, so it must be thread-safe (the CLI's
   // workload factories are pure). Returning nullopt marks the trace
@@ -52,6 +56,7 @@ struct TraceOutcome {
   uint64_t violations = 0;
   std::string first_violation;
   std::string error;  // verdict "error" only
+  bool cached = false;  // outcome reloaded from the store's outcome cache
   obs::MetricsSnapshot metrics;
   obs::AnalysisResults analysis;
 };

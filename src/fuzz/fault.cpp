@@ -37,9 +37,10 @@ class DroppingSink : public replay::TraceSink {
   DroppingSink(std::unique_ptr<replay::TraceSink> inner, uint64_t drop_index)
       : inner_(std::move(inner)), drop_index_(drop_index) {}
 
-  void write_chunk(replay::StreamId id, const uint8_t* payload,
-                   size_t n) override {
-    if (calls_++ != drop_index_) inner_->write_chunk(id, payload, n);
+  using replay::TraceSink::write_chunk;
+  void write_chunk(replay::StreamId id, const uint8_t* payload, size_t n,
+                   replay::LaneId lane) override {
+    if (calls_++ != drop_index_) inner_->write_chunk(id, payload, n, lane);
   }
   void flush() override { inner_->flush(); }
   uint64_t calls() const { return calls_; }
@@ -55,7 +56,9 @@ class DroppingSink : public replay::TraceSink {
 class CountingSink : public replay::TraceSink {
  public:
   explicit CountingSink(uint64_t* calls) : calls_(calls) {}
-  void write_chunk(replay::StreamId, const uint8_t*, size_t) override {
+  using replay::TraceSink::write_chunk;
+  void write_chunk(replay::StreamId, const uint8_t*, size_t,
+                   replay::LaneId) override {
     ++*calls_;
   }
 

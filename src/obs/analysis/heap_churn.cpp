@@ -54,15 +54,6 @@ void HeapChurnAnalyzer::on_heap_alloc(const vm::AllocEvent& e) {
   ts.count++;
   ts.slots += e.slots;
 
-  uint64_t id = objects_.size();
-  ObjStat os;
-  os.class_id = e.class_id;
-  os.alloc_addr = e.addr;
-  objects_.push_back(os);
-  // The address may be recycled from an object that died in an earlier
-  // collection; the newcomer owns it now.
-  live_[e.addr] = id;
-
   // Allocation site: the instruction this thread is currently executing.
   // Allocations from VM boot / engine internals run outside any guest
   // instruction and land under "<vm>".
@@ -71,7 +62,18 @@ void HeapChurnAnalyzer::on_heap_alloc(const vm::AllocEvent& e) {
     const SiteRef& s = last_instr_[e.tid];
     site = *s.owner + "." + *s.method + ":" + std::to_string(s.pc);
   }
-  by_site_[site]++;
+  auto site_it = by_site_.try_emplace(std::move(site), 0).first;
+  site_it->second++;
+
+  uint64_t id = objects_.size();
+  ObjStat os;
+  os.class_id = e.class_id;
+  os.alloc_addr = e.addr;
+  os.site = &site_it->first;
+  objects_.push_back(os);
+  // The address may be recycled from an object that died in an earlier
+  // collection; the newcomer owns it now.
+  live_[e.addr] = id;
 }
 
 void HeapChurnAnalyzer::on_heap_move(heap::Addr from, heap::Addr to) {
@@ -170,6 +172,7 @@ std::string HeapChurnAnalyzer::artifact() const {
         .kv("id", id)
         .kv("addr", uint64_t(os.alloc_addr))
         .kv("class", cls)
+        .kv("site", os.site != nullptr ? *os.site : std::string("<boot>"))
         .kv("reads", os.reads)
         .kv("writes", os.writes)
         .end_object();

@@ -55,6 +55,9 @@ class HeapChurnAnalyzer : public AnalysisObserver {
   struct ObjStat {
     uint32_t class_id = 0;     // 0 = allocated before the analyzer attached
     heap::Addr alloc_addr = 0; // address at allocation (stable label)
+    // Allocation site ("Owner.method:pc"); points at the by_site_ map key
+    // (node-based, so stable). nullptr = pre-attach object, no known site.
+    const std::string* site = nullptr;
     uint64_t reads = 0;
     uint64_t writes = 0;
   };

@@ -273,6 +273,17 @@ void HeapMerger::add_json(const std::string& json) {
     for (const JsonValue& s : sites->items)
       sites_[str(s, "site")] += num(s, "count");
   }
+  const JsonValue* hot = v.find("hot_objects");
+  if (hot != nullptr && hot->is_array()) {
+    for (const JsonValue& o : hot->items) {
+      // Per-run entries are single objects; already-merged documents carry
+      // an "objects" tally instead. Default to 1 so both feed the same key.
+      HotAgg& agg = hot_[{str(o, "class"), str(o, "site")}];
+      agg.objects += num(o, "objects", 1);
+      agg.reads += num(o, "reads");
+      agg.writes += num(o, "writes");
+    }
+  }
 }
 
 std::string HeapMerger::artifact() const {
@@ -320,8 +331,29 @@ std::string HeapMerger::artifact() const {
   }
   w.end_array();
 
-  // Per-object identities are per-trace; the fleet view has none.
-  w.key("hot_objects").begin_array().end_array();
+  // Per-object identities are per-trace; the fleet view re-keys hot
+  // objects by (class, allocation site), which is stable across runs.
+  std::vector<const std::map<std::pair<std::string, std::string>,
+                             HotAgg>::value_type*> hot;
+  hot.reserve(hot_.size());
+  for (const auto& kv : hot_) hot.push_back(&kv);
+  std::sort(hot.begin(), hot.end(), [](const auto* a, const auto* b) {
+    uint64_t ha = a->second.reads + a->second.writes;
+    uint64_t hb = b->second.reads + b->second.writes;
+    if (ha != hb) return ha > hb;
+    return a->first < b->first;
+  });
+  w.key("hot_objects").begin_array();
+  for (const auto* h : hot) {
+    w.begin_object()
+        .kv("class", h->first.first)
+        .kv("site", h->first.second)
+        .kv("objects", h->second.objects)
+        .kv("reads", h->second.reads)
+        .kv("writes", h->second.writes)
+        .end_object();
+  }
+  w.end_array();
   w.end_object();
   return w.str();
 }

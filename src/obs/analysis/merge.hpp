@@ -94,8 +94,9 @@ class LocksMerger {
 class HeapMerger {
  public:
   void add_json(const std::string& json);
-  // The merged dejavu-heap-v1 document. hot_objects is empty by design:
-  // per-object identities are not comparable across traces.
+  // The merged dejavu-heap-v1 document. Per-object identities are not
+  // comparable across traces, so the fleet's hot_objects view re-keys them
+  // by (class, allocation site) and sums heat per key.
   std::string artifact() const;
   uint64_t runs() const { return runs_; }
 
@@ -105,8 +106,16 @@ class HeapMerger {
     uint64_t slots = 0;
   };
 
+  struct HotAgg {
+    uint64_t objects = 0;
+    uint64_t reads = 0;
+    uint64_t writes = 0;
+  };
+
   std::map<std::string, TypeAgg> by_type_;  // keyed by class name
   std::map<std::string, uint64_t> sites_;
+  // (class, site) -> summed heat of every hot object reported under it.
+  std::map<std::pair<std::string, std::string>, HotAgg> hot_;
   uint64_t runs_ = 0;
   uint64_t allocs_ = 0;
   uint64_t alloc_slots_ = 0;

@@ -48,17 +48,31 @@ std::string unique_warmup_path() {
 
 DejaVuEngine::DejaVuEngine(SymmetryConfig cfg)
     : mode_(Mode::kRecord), cfg_(cfg) {
-  auto sink = std::make_unique<VectorTraceSink>();
+  lane_count_ = cfg_.lanes == 0 ? 1 : cfg_.lanes;
+  DV_CHECK_MSG(lane_count_ <= kMaxLanes,
+               "lane count " << lane_count_ << " out of range");
+  lanes_.resize(lane_count_);
+  track_heap_owner_ = lane_count_ > 1;
+  uint32_t version = lane_count_ > 1 ? kTraceVersionMulti : kTraceVersion;
+  auto sink = std::make_unique<VectorTraceSink>(version);
   mem_sink_ = sink.get();
-  writer_ =
-      std::make_unique<TraceWriter>(std::move(sink), cfg_.trace_chunk_bytes);
+  writer_ = std::make_unique<TraceWriter>(std::move(sink),
+                                          cfg_.trace_chunk_bytes, version);
   init_obs();
 }
 
 DejaVuEngine::DejaVuEngine(std::unique_ptr<TraceSink> sink, SymmetryConfig cfg)
     : mode_(Mode::kRecord), cfg_(cfg) {
-  writer_ =
-      std::make_unique<TraceWriter>(std::move(sink), cfg_.trace_chunk_bytes);
+  lane_count_ = cfg_.lanes == 0 ? 1 : cfg_.lanes;
+  DV_CHECK_MSG(lane_count_ <= kMaxLanes,
+               "lane count " << lane_count_ << " out of range");
+  lanes_.resize(lane_count_);
+  track_heap_owner_ = lane_count_ > 1;
+  // The sink wrote its container header at construction; the caller must
+  // have created it with the matching version (v5 when lanes > 1).
+  writer_ = std::make_unique<TraceWriter>(
+      std::move(sink), cfg_.trace_chunk_bytes,
+      lane_count_ > 1 ? kTraceVersionMulti : kTraceVersion);
   init_obs();
 }
 
@@ -69,6 +83,13 @@ DejaVuEngine::DejaVuEngine(std::unique_ptr<TraceSource> source,
                            SymmetryConfig cfg)
     : mode_(Mode::kReplay), cfg_(cfg), source_(std::move(source)) {
   cfg_.checkpoint_interval = source_->meta().checkpoint_interval;
+  lane_count_ = source_->meta().lane_count == 0 ? 1
+                                                : source_->meta().lane_count;
+  DV_CHECK_MSG(lane_count_ <= kMaxLanes,
+               "lane count " << lane_count_ << " out of range");
+  cfg_.lanes = lane_count_;  // replay follows the recording
+  lanes_.resize(lane_count_);
+  track_heap_owner_ = lane_count_ > 1;
   init_obs();
 }
 
@@ -86,6 +107,16 @@ void DejaVuEngine::init_obs() {
   c_.preempt = registry_.counter("engine.schedule.preempt_switches");
   c_.checkpoints = registry_.counter("engine.schedule.checkpoints");
   c_.violations = registry_.counter("engine.symmetry.violations");
+  if (lane_count_ > 1) {
+    // Lane-tagged metrics exist only on multi-lane engines so a K=1
+    // snapshot stays byte-identical to the pre-lane engine's.
+    c_order_events_ = registry_.counter("engine.order.events");
+    for (uint32_t k = 0; k < lane_count_; ++k) {
+      std::string prefix = "engine.lane." + std::to_string(k);
+      lanes_[k].c_preempts = registry_.counter(prefix + ".preempts");
+      lanes_[k].c_clock = registry_.counter(prefix + ".clock");
+    }
+  }
   if (cfg_.obs.metrics) {
     h_sched_delta_ =
         registry_.histogram("engine.schedule.delta", obs::pow2_bounds(16));
@@ -135,6 +166,11 @@ uint32_t DejaVuEngine::cur_tid() const {
   return vm_->thread_package().current();
 }
 
+threads::LaneId DejaVuEngine::cur_lane() const {
+  if (vm_ == nullptr || lane_count_ <= 1) return threads::kLane0;
+  return vm_->thread_package().current_lane();
+}
+
 void DejaVuEngine::note_nd_event(const char* tag, int64_t value) {
   recent_[recent_head_] = {tag, value, logical_clock_};
   recent_head_ = (recent_head_ + 1) % recent_.size();
@@ -178,16 +214,47 @@ void DejaVuEngine::on_heap_read(heap::Addr obj, uint32_t slot, int64_t* value,
 
 void DejaVuEngine::on_heap_write(heap::Addr obj, uint32_t slot, int64_t value,
                                  bool is_ref) {
+  if (track_heap_owner_) {
+    // Shared-heap ownership: the last writing lane owns the object. A write
+    // from a different lane is a cross-lane edge the replay merge must
+    // reproduce in order, so it goes through the same record/verify path as
+    // the scheduler-emitted events. Reads never transfer ownership.
+    uint32_t lane = cur_lane();
+    auto it = heap_owner_.find(uint64_t(obj));
+    if (it == heap_owner_.end()) {
+      heap_owner_.emplace(uint64_t(obj), lane);
+    } else if (it->second != lane) {
+      threads::CrossLaneEvent e;
+      e.kind = threads::CrossLaneKind::kHeapTransfer;
+      e.seq = order_seq_;
+      e.from_lane = it->second;
+      e.to_lane = lane;
+      e.from = cur_tid();
+      e.to = cur_tid();
+      e.subject = uint64_t(obj);
+      it->second = lane;
+      handle_cross_lane(e);
+    }
+  }
   for (obs::AnalysisObserver* a : analyzers_)
     if (a->wants_memory()) a->on_heap_write(obj, slot, value, is_ref);
 }
 
 void DejaVuEngine::on_heap_alloc(const vm::AllocEvent& ev) {
+  if (track_heap_owner_) heap_owner_[uint64_t(ev.addr)] = cur_lane();
   for (obs::AnalysisObserver* a : analyzers_)
     if (a->wants_memory()) a->on_heap_alloc(ev);
 }
 
 void DejaVuEngine::on_heap_move(heap::Addr from, heap::Addr to) {
+  if (track_heap_owner_) {
+    auto it = heap_owner_.find(uint64_t(from));
+    if (it != heap_owner_.end()) {
+      uint32_t lane = it->second;
+      heap_owner_.erase(it);
+      heap_owner_[uint64_t(to)] = lane;
+    }
+  }
   for (obs::AnalysisObserver* a : analyzers_)
     if (a->wants_memory()) a->on_heap_move(from, to);
 }
@@ -202,12 +269,22 @@ void DejaVuEngine::attach(vm::Vm& vm) {
   if (timeline_ != nullptr)
     timeline_->span_begin("phase", "attach", logical_clock_);
 
+  DV_CHECK_MSG(vm.thread_package().lane_count() == lane_count_,
+               "engine has " << lane_count_ << " lane(s) but the VM runs "
+                             << vm.thread_package().lane_count());
+
   if (mode_ == Mode::kReplay) {
     uint64_t fp = fingerprint_program(vm.program());
     DV_CHECK_MSG(fp == source_->meta().program_fingerprint,
                  "trace was recorded from a different program");
-    schedule_r_ = std::make_unique<StreamCursor>(*source_, StreamId::kSchedule);
-    events_r_ = std::make_unique<StreamCursor>(*source_, StreamId::kEvents);
+    for (uint32_t k = 0; k < lane_count_; ++k) {
+      lanes_[k].schedule_r =
+          std::make_unique<StreamCursor>(*source_, StreamId::kSchedule, k);
+      lanes_[k].events_r =
+          std::make_unique<StreamCursor>(*source_, StreamId::kEvents, k);
+    }
+    if (lane_count_ > 1)
+      order_r_ = std::make_unique<StreamCursor>(*source_, StreamId::kOrder);
   }
 
   // §2.4 "Symmetry in Loading and Compilation": load the classes of *both*
@@ -232,7 +309,8 @@ void DejaVuEngine::attach(vm::Vm& vm) {
   if (cfg_.preallocate_buffers) ensure_buffers_allocated("attach");
 
   if (mode_ == Mode::kReplay) {
-    nyp_ = reload_nyp();
+    for (uint32_t k = 0; k < lane_count_; ++k)
+      lanes_[k].nyp = reload_nyp(lanes_[k], k);
   }
   if (timeline_ != nullptr) {
     timeline_->span_end("phase", "attach", logical_clock_);
@@ -242,14 +320,21 @@ void DejaVuEngine::attach(vm::Vm& vm) {
 }
 
 void DejaVuEngine::ensure_buffers_allocated(const char* reason) {
-  if (sched_buf_.allocated) return;
+  if (lanes_[0].sched_buf.allocated) return;
   (void)reason;
-  sched_buf_.addr = vm_->alloc_engine_buffer(cfg_.buffer_capacity, "sched");
-  vm_->register_root_slot(&sched_buf_.addr);
-  sched_buf_.allocated = true;
-  event_buf_.addr = vm_->alloc_engine_buffer(cfg_.buffer_capacity, "events");
-  vm_->register_root_slot(&event_buf_.addr);
-  event_buf_.allocated = true;
+  auto alloc = [&](GuestBuffer& buf, const std::string& label) {
+    buf.addr = vm_->alloc_engine_buffer(cfg_.buffer_capacity, label.c_str());
+    vm_->register_root_slot(&buf.addr);  // lanes_ never resizes (see .hpp)
+    buf.allocated = true;
+  };
+  for (uint32_t k = 0; k < lane_count_; ++k) {
+    // Lane 0 keeps the historical labels so a single-lane heap image is
+    // byte-identical to the pre-lane engine's.
+    std::string suffix = k == 0 ? "" : "." + std::to_string(k);
+    alloc(lanes_[k].sched_buf, "sched" + suffix);
+    alloc(lanes_[k].event_buf, "events" + suffix);
+  }
+  if (lane_count_ > 1) alloc(order_buf_, "order");
 }
 
 void DejaVuEngine::ensure_io_class(const char* reason) {
@@ -330,28 +415,32 @@ void DejaVuEngine::before_instrumentation() {
     uint32_t k = mode_ == Mode::kRecord ? cfg_.record_instr_yields
                                         : cfg_.replay_instr_yields;
     logical_clock_ += k;
+    LaneState& lane = cur_lane_state();
+    lane.logical_clock += k;
     if (mode_ == Mode::kRecord) {
-      nyp_ += k;
-    } else if (!schedule_exhausted_) {
-      nyp_ -= k;
+      lane.nyp += k;
+    } else if (!lane.schedule_exhausted) {
+      lane.nyp -= k;
     }
   }
 }
 
 void DejaVuEngine::record_event_bytes(const ByteWriter& w) {
-  writer_->append(StreamId::kEvents, w.bytes().data(), w.size());
-  mirror_bytes(event_buf_, w.bytes().data(), w.size());
+  threads::LaneId lane = cur_lane();
+  writer_->append(StreamId::kEvents, w.bytes().data(), w.size(), lane);
+  mirror_bytes(lanes_[lane].event_buf, w.bytes().data(), w.size());
   if (h_event_bytes_ != nullptr) h_event_bytes_->record(w.size());
   if (c_trace_event_bytes_ != nullptr) c_trace_event_bytes_->add(w.size());
 }
 
 uint8_t DejaVuEngine::replay_event_tag(EventTag expect) {
-  if (events_r_->at_end()) {
+  StreamCursor* events_r = cur_lane_state().events_r.get();
+  if (events_r->at_end()) {
     violation("event stream exhausted; expected " +
               std::string(tag_name(expect)));
     return 0;
   }
-  uint8_t tag = events_r_->get_u8();
+  uint8_t tag = events_r->get_u8();
   if (tag != uint8_t(expect)) {
     violation(std::string("event type mismatch: expected ") +
               tag_name(expect) + ", trace has " + tag_name(EventTag(tag)));
@@ -378,15 +467,16 @@ int64_t DejaVuEngine::nd_value(NdKind kind, int64_t live) {
     return live;
   }
   replay_event_tag(tag_of(kind));
+  LaneState& lane = cur_lane_state();
   int64_t v = 0;
   try {
-    v = events_r_->get_svarint();
+    v = lane.events_r->get_svarint();
   } catch (const VmError&) {
     // Corrupt/truncated payload: report as a divergence, not a raw
     // stream error (non-strict callers count it and continue).
     violation("event stream truncated inside a value payload");
   }
-  mirror_cursor(*events_r_, event_buf_);
+  mirror_cursor(*lane.events_r, lane.event_buf);
   count();
   note_nd_event(tag_name(tag_of(kind)), v);
   return v;
@@ -425,28 +515,30 @@ bool DejaVuEngine::native_replay_next(std::string* cls, std::string* method,
                                       int64_t* ret) {
   DV_CHECK(mode_ == Mode::kReplay);
   before_instrumentation();
-  if (events_r_->at_end()) {
+  LaneState& lane = cur_lane_state();
+  StreamCursor* events_r = lane.events_r.get();
+  if (events_r->at_end()) {
     violation("event stream exhausted inside a native call");
     *ret = 0;
     return false;
   }
-  uint8_t tag = events_r_->get_u8();
+  uint8_t tag = events_r->get_u8();
   try {
     if (tag == uint8_t(EventTag::kNativeCallback)) {
-      *cls = events_r_->get_string();
-      *method = events_r_->get_string();
-      size_t n = size_t(events_r_->get_uvarint());
+      *cls = events_r->get_string();
+      *method = events_r->get_string();
+      size_t n = size_t(events_r->get_uvarint());
       args->clear();
       for (size_t i = 0; i < n; ++i)
-        args->push_back(events_r_->get_svarint());
-      mirror_cursor(*events_r_, event_buf_);
+        args->push_back(events_r->get_svarint());
+      mirror_cursor(*events_r, lane.event_buf);
       c_.native_cb->add();
       note_nd_event(tag_name(EventTag::kNativeCallback), int64_t(args->size()));
       return true;
     }
     if (tag == uint8_t(EventTag::kNativeReturn)) {
-      *ret = events_r_->get_svarint();
-      mirror_cursor(*events_r_, event_buf_);
+      *ret = events_r->get_svarint();
+      mirror_cursor(*events_r, lane.event_buf);
       c_.native_ret->add();
       note_nd_event(tag_name(EventTag::kNativeReturn), *ret);
       return false;
@@ -463,35 +555,46 @@ bool DejaVuEngine::native_replay_next(std::string* cls, std::string* method,
 }
 
 bool DejaVuEngine::yield_point(bool hardware_bit) {
-  // Figure 2, transliterated. The liveclock guard keeps instrumentation
-  // re-entry from being counted.
+  // Figure 2, transliterated, per lane. The liveclock guard keeps
+  // instrumentation re-entry from being counted.
   if (!live_clock_) return false;
   live_clock_ = false;
   bool do_switch = false;
   logical_clock_++;
+  threads::LaneId lane_id = cur_lane();
+  LaneState& lane = lanes_[lane_id];
+  lane.logical_clock++;
+  if (lane.c_clock != nullptr) lane.c_clock->add();
 
   if (mode_ == Mode::kRecord) {
-    nyp_++;
+    lane.nyp++;
     if (hardware_bit) {
-      // recordThreadSwitch(nyp)
+      // recordThreadSwitch(nyp) -- into this lane's schedule stream.
       ByteWriter w;
-      uint64_t delta = uint64_t(nyp_);
+      uint64_t delta = uint64_t(lane.nyp);
       if (cfg_.test_skew_schedule_delta != 0 &&
           c_.preempt->value() + 1 == cfg_.test_skew_schedule_delta) {
         delta++;  // injected off-by-one (see SymmetryConfig)
       }
       w.put_uvarint(delta);
-      writer_->append(StreamId::kSchedule, w.bytes().data(), w.size());
-      mirror_bytes(sched_buf_, w.bytes().data(), w.size());
+      writer_->append(StreamId::kSchedule, w.bytes().data(), w.size(),
+                      lane_id);
+      mirror_bytes(lane.sched_buf, w.bytes().data(), w.size());
       c_.preempt->add();
+      lane.preempts++;
+      if (lane.c_preempts != nullptr) lane.c_preempts->add();
       if (h_sched_delta_ != nullptr) h_sched_delta_->record(delta);
       if (c_trace_sched_bytes_ != nullptr)
         c_trace_sched_bytes_->add(w.size());
-      if (c_.preempt->value() % cfg_.checkpoint_interval == 0) {
+      // Checkpoint cadence is per lane (== the global cadence when K=1, so
+      // v4 traces are unchanged). Checkpoints snapshot *global* state; the
+      // order stream pins the inter-lane interleaving between them.
+      if (lane.preempts % cfg_.checkpoint_interval == 0) {
         ByteWriter cw;
         collect_checkpoint().write_to(cw);
-        writer_->append(StreamId::kSchedule, cw.bytes().data(), cw.size());
-        mirror_bytes(sched_buf_, cw.bytes().data(), cw.size());
+        writer_->append(StreamId::kSchedule, cw.bytes().data(), cw.size(),
+                        lane_id);
+        mirror_bytes(lane.sched_buf, cw.bytes().data(), cw.size());
         c_.checkpoints->add();
         if (c_trace_sched_bytes_ != nullptr)
           c_trace_sched_bytes_->add(cw.size());
@@ -500,19 +603,21 @@ bool DejaVuEngine::yield_point(bool hardware_bit) {
                              cur_tid(), "count",
                              int64_t(c_.checkpoints->value()));
       }
-      nyp_ = 0;
+      lane.nyp = 0;
       do_switch = true;  // threadswitchbitset
     }
   } else {
     // The preemptive hardware bit is ignored during replay (Figure 2-B).
-    if (!schedule_exhausted_) {
-      nyp_--;
-      if (nyp_ <= 0) {
+    if (!lane.schedule_exhausted) {
+      lane.nyp--;
+      if (lane.nyp <= 0) {
         c_.preempt->add();
+        lane.preempts++;
+        if (lane.c_preempts != nullptr) lane.c_preempts->add();
         do_switch = true;
-        nyp_ = reload_nyp();
-        if (h_sched_delta_ != nullptr && !schedule_exhausted_)
-          h_sched_delta_->record(uint64_t(nyp_));
+        lane.nyp = reload_nyp(lane, lane_id);
+        if (h_sched_delta_ != nullptr && !lane.schedule_exhausted)
+          h_sched_delta_->record(uint64_t(lane.nyp));
       }
     }
   }
@@ -523,14 +628,15 @@ bool DejaVuEngine::yield_point(bool hardware_bit) {
   return do_switch;
 }
 
-int64_t DejaVuEngine::reload_nyp() {
+int64_t DejaVuEngine::reload_nyp(LaneState& lane, threads::LaneId lane_id) {
+  (void)lane_id;
   try {
-    // A checkpoint follows every checkpoint_interval-th delta.
-    if (c_.preempt->value() > 0 &&
-        c_.preempt->value() % cfg_.checkpoint_interval == 0 &&
-        !schedule_r_->at_end()) {
-      Checkpoint recorded = read_checkpoint(*schedule_r_);
-      mirror_cursor(*schedule_r_, sched_buf_);
+    // A checkpoint follows every checkpoint_interval-th delta of this lane.
+    if (lane.preempts > 0 &&
+        lane.preempts % cfg_.checkpoint_interval == 0 &&
+        !lane.schedule_r->at_end()) {
+      Checkpoint recorded = read_checkpoint(*lane.schedule_r);
+      mirror_cursor(*lane.schedule_r, lane.sched_buf);
       c_.checkpoints->add();
       if (timeline_ != nullptr)
         timeline_->instant("schedule", "checkpoint", logical_clock_,
@@ -538,18 +644,18 @@ int64_t DejaVuEngine::reload_nyp() {
                            int64_t(c_.checkpoints->value()));
       check_checkpoint(recorded);
     }
-    if (schedule_r_->at_end()) {
-      schedule_exhausted_ = true;
+    if (lane.schedule_r->at_end()) {
+      lane.schedule_exhausted = true;
       return 0;
     }
-    uint64_t delta = schedule_r_->get_uvarint();
-    mirror_cursor(*schedule_r_, sched_buf_);
+    uint64_t delta = lane.schedule_r->get_uvarint();
+    mirror_cursor(*lane.schedule_r, lane.sched_buf);
     return int64_t(delta);
   } catch (const ReplayDivergence&) {
     throw;  // check_checkpoint in strict mode
   } catch (const VmError&) {
     violation("schedule stream truncated mid-entry");
-    schedule_exhausted_ = true;
+    lane.schedule_exhausted = true;
     return 0;
   }
 }
@@ -584,16 +690,17 @@ obs::DivergenceReport DejaVuEngine::capture_divergence(
   obs::DivergenceReport r;
   r.what = what;
   r.logical_clock = logical_clock_;
-  r.nyp_remaining = nyp_ > 0 ? uint64_t(nyp_) : 0;
+  const LaneState& lane = lanes_[cur_lane()];
+  r.nyp_remaining = lane.nyp > 0 ? uint64_t(lane.nyp) : 0;
   r.preempt_switches = c_.preempt->value();
   r.checkpoints = c_.checkpoints->value();
-  if (schedule_r_ != nullptr) {
-    r.schedule_pos = schedule_r_->position();
-    r.schedule_remaining = schedule_r_->remaining();
+  if (lane.schedule_r != nullptr) {
+    r.schedule_pos = lane.schedule_r->position();
+    r.schedule_remaining = lane.schedule_r->remaining();
   }
-  if (events_r_ != nullptr) {
-    r.events_pos = events_r_->position();
-    r.events_remaining = events_r_->remaining();
+  if (lane.events_r != nullptr) {
+    r.events_pos = lane.events_r->position();
+    r.events_remaining = lane.events_r->remaining();
   }
   for (size_t i = 0; i < recent_count_; ++i) {
     const RecentEvent& e =
@@ -665,9 +772,78 @@ void DejaVuEngine::on_switch(threads::Tid from, threads::Tid to,
   if (timeline_ != nullptr)
     timeline_->instant("threads", threads::switch_reason_name(reason),
                        logical_clock_, to, "from", int64_t(from), "nyp",
-                       nyp_);
+                       cur_lane_state().nyp);
   for (obs::AnalysisObserver* a : analyzers_)
     a->on_switch(from, to, reason, vm_ != nullptr ? vm_->instr_count() : 0);
+}
+
+void DejaVuEngine::on_cross_lane(const threads::CrossLaneEvent& e) {
+  handle_cross_lane(e);
+}
+
+// The deterministic merge: every inter-lane edge -- scheduler-emitted
+// (dispatch, monitor hand-off, notify, join wake, interrupt) or
+// engine-synthesized (heap ownership transfer) -- is appended to the order
+// stream at record and verified field-by-field at replay. Per-lane logs
+// replay independently between these edges; the order stream is the total
+// order that stitches them back into the recorded interleaving.
+void DejaVuEngine::handle_cross_lane(const threads::CrossLaneEvent& e) {
+  if (lane_count_ <= 1) return;
+  if (timeline_ != nullptr)
+    timeline_->instant("order", threads::cross_lane_kind_name(e.kind),
+                       logical_clock_, e.to, "from_lane", int64_t(e.from_lane),
+                       "to_lane", int64_t(e.to_lane));
+  if (mode_ == Mode::kRecord) {
+    ByteWriter w;
+    w.put_u8(uint8_t(e.kind));
+    w.put_uvarint(e.from_lane);
+    w.put_uvarint(e.to_lane);
+    w.put_uvarint(e.from);
+    w.put_uvarint(e.to);
+    w.put_uvarint(e.subject);
+    writer_->append(StreamId::kOrder, w.bytes().data(), w.size());
+    mirror_bytes(order_buf_, w.bytes().data(), w.size());
+    order_seq_++;
+    if (c_order_events_ != nullptr) c_order_events_->add();
+    return;
+  }
+  if (order_r_->at_end()) {
+    violation(std::string("order stream exhausted; live execution has a ") +
+              threads::cross_lane_kind_name(e.kind) + " cross-lane event");
+    return;
+  }
+  try {
+    uint8_t kind = order_r_->get_u8();
+    uint64_t from_lane = order_r_->get_uvarint();
+    uint64_t to_lane = order_r_->get_uvarint();
+    uint64_t from = order_r_->get_uvarint();
+    uint64_t to = order_r_->get_uvarint();
+    uint64_t subject = order_r_->get_uvarint();
+    mirror_cursor(*order_r_, order_buf_);
+    if (kind != uint8_t(e.kind) || from_lane != e.from_lane ||
+        to_lane != e.to_lane || from != e.from || to != e.to ||
+        subject != e.subject) {
+      violation(std::string("cross-lane order mismatch at seq ") +
+                std::to_string(order_seq_) + ": recorded " +
+                threads::cross_lane_kind_name(threads::CrossLaneKind(kind)) +
+                " lane " + std::to_string(from_lane) + "->" +
+                std::to_string(to_lane) + " tid " + std::to_string(from) +
+                "->" + std::to_string(to) + " subject " +
+                std::to_string(subject) + ", live " +
+                threads::cross_lane_kind_name(e.kind) + " lane " +
+                std::to_string(e.from_lane) + "->" +
+                std::to_string(e.to_lane) + " tid " + std::to_string(e.from) +
+                "->" + std::to_string(e.to) + " subject " +
+                std::to_string(e.subject));
+    }
+  } catch (const ReplayDivergence&) {
+    throw;  // the mismatch violation above, in strict mode
+  } catch (const VmError&) {
+    violation("order stream truncated mid-event");
+    return;
+  }
+  order_seq_++;
+  if (c_order_events_ != nullptr) c_order_events_->add();
 }
 
 void DejaVuEngine::detach(vm::Vm& vm) {
@@ -692,6 +868,14 @@ void DejaVuEngine::detach(vm::Vm& vm) {
     meta.final_switch_seq_hash = s.switch_seq_hash;
     meta.final_instr_count = s.instr_count;
     meta.final_audit_digest = s.audit_digest;
+    meta.lane_count = lane_count_;
+    if (lane_count_ > 1) {
+      meta.order_events = order_seq_;
+      for (const LaneState& l : lanes_) {
+        meta.lane_clocks.push_back(l.logical_clock);
+        meta.lane_preempts.push_back(l.preempts);
+      }
+    }
     writer_->finish(meta);
     if (mem_sink_ != nullptr) {
       result_ = TraceFile::deserialize(mem_sink_->bytes());
@@ -703,13 +887,47 @@ void DejaVuEngine::detach(vm::Vm& vm) {
   if (timeline_ != nullptr)
     timeline_->span_begin("phase", "verify", logical_clock_);
   const TraceMeta& meta = source_->meta();
-  if (!events_r_->at_end()) {
-    violation("events not exhausted: " +
-              std::to_string(events_r_->remaining()) + " bytes left");
+  for (uint32_t k = 0; k < lane_count_; ++k) {
+    LaneState& lane = lanes_[k];
+    std::string where =
+        lane_count_ > 1 ? " (lane " + std::to_string(k) + ")" : "";
+    if (!lane.events_r->at_end()) {
+      violation("events not exhausted: " +
+                std::to_string(lane.events_r->remaining()) + " bytes left" +
+                where);
+    }
+    if (!lane.schedule_exhausted) {
+      violation("schedule not exhausted: a recorded preemption never "
+                "happened on replay" + where);
+    }
   }
-  if (!schedule_exhausted_) {
-    violation("schedule not exhausted: a recorded preemption never "
-              "happened on replay");
+  if (lane_count_ > 1) {
+    if (order_r_ != nullptr && !order_r_->at_end()) {
+      violation("order stream not exhausted: a recorded cross-lane event "
+                "never happened on replay");
+    }
+    if (order_seq_ != meta.order_events) {
+      violation("cross-lane order count mismatch: replay " +
+                std::to_string(order_seq_) + " vs recorded " +
+                std::to_string(meta.order_events));
+    }
+    for (uint32_t k = 0; k < lane_count_ && k < meta.lane_clocks.size();
+         ++k) {
+      if (lanes_[k].logical_clock != meta.lane_clocks[k]) {
+        violation("lane " + std::to_string(k) + " clock mismatch: replay " +
+                  std::to_string(lanes_[k].logical_clock) + " vs recorded " +
+                  std::to_string(meta.lane_clocks[k]));
+      }
+    }
+    for (uint32_t k = 0; k < lane_count_ && k < meta.lane_preempts.size();
+         ++k) {
+      if (lanes_[k].preempts != meta.lane_preempts[k]) {
+        violation("lane " + std::to_string(k) +
+                  " preempt count mismatch: replay " +
+                  std::to_string(lanes_[k].preempts) + " vs recorded " +
+                  std::to_string(meta.lane_preempts[k]));
+      }
+    }
   }
   check_checkpoint(meta.final_checkpoint);
   auto verify = [&](const char* what, uint64_t got, uint64_t want) {

@@ -35,6 +35,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/obs/analysis/analysis.hpp"
@@ -61,6 +62,17 @@ struct SymmetryConfig {
   bool eager_stack_growth = true;
   bool pause_logical_clock = true;  // the liveclock flag of Figure 2
   bool io_warmup = true;
+
+  // Scheduler lanes (record mode; replay takes the count from the trace
+  // meta). 1 = the classic single-lane engine and the v4 container,
+  // byte-identical to the pre-lane code path. K>1 records one
+  // schedule/events stream pair per lane plus the cross-lane order stream
+  // in a v5 container. Must match VmOptions::lanes of the recorded VM.
+  uint32_t lanes = 1;
+  // Worker threads for container I/O (chunk sealing at record, CRC
+  // verification at replay). Purely host-side wall-clock: any value
+  // produces byte-identical traces and replay results.
+  unsigned io_jobs = 1;
 
   uint32_t checkpoint_interval = 64;   // switches between checkpoints
   uint32_t buffer_capacity = 1 << 16;  // guest trace-buffer bytes
@@ -171,11 +183,21 @@ class DejaVuEngine : public vm::ExecHooks {
   // tests: identical positions with analyzers on vs off proves analysis
   // never changes trace consumption.
   uint64_t schedule_stream_pos() const {
-    return schedule_r_ != nullptr ? schedule_r_->position() : 0;
+    uint64_t n = 0;
+    for (const LaneState& l : lanes_)
+      if (l.schedule_r != nullptr) n += l.schedule_r->position();
+    return n;
   }
   uint64_t events_stream_pos() const {
-    return events_r_ != nullptr ? events_r_->position() : 0;
+    uint64_t n = 0;
+    for (const LaneState& l : lanes_)
+      if (l.events_r != nullptr) n += l.events_r->position();
+    return n;
   }
+
+  uint32_t lane_count() const { return lane_count_; }
+  // Cross-lane order records written (record) or verified (replay) so far.
+  uint64_t order_events_seen() const { return order_seq_; }
 
   // ---- ExecHooks ---------------------------------------------------------
   void attach(vm::Vm& vm) override;
@@ -191,6 +213,11 @@ class DejaVuEngine : public vm::ExecHooks {
                           std::vector<int64_t>* args, int64_t* ret) override;
   void on_switch(threads::Tid from, threads::Tid to,
                  threads::SwitchReason reason) override;
+  // Cross-lane order events (K>1 lanes only): record mode appends each to
+  // the trace's order stream; replay mode verifies the live event against
+  // the recorded one -- the deterministic merge that makes parallel lane
+  // replay equivalent to the recorded interleaving.
+  void on_cross_lane(const threads::CrossLaneEvent& e) override;
   // Fine-grained analysis events: enabled only when a registered analyzer
   // subscribes (replay mode by construction). on_heap_read forwards the
   // value by copy -- analyzers can observe but never substitute it.
@@ -198,7 +225,12 @@ class DejaVuEngine : public vm::ExecHooks {
   void on_instruction(const vm::InstrEvent& ev) override;
   bool wants_monitor_events() const override { return fan_mon_; }
   void on_monitor_event(const vm::MonitorEvent& ev) override;
-  bool wants_memory_events() const override { return fan_mem_; }
+  bool wants_memory_events() const override {
+    // Heap-ownership tracking (K>1) needs the same VM event taps as a
+    // memory analyzer; both modes enable them identically, so the taps
+    // cannot introduce a record/replay asymmetry.
+    return fan_mem_ || track_heap_owner_;
+  }
   void on_heap_read(heap::Addr obj, uint32_t slot, int64_t* value,
                     bool is_ref) override;
   void on_heap_write(heap::Addr obj, uint32_t slot, int64_t value,
@@ -224,6 +256,27 @@ class DejaVuEngine : public vm::ExecHooks {
     bool allocated = false;
   };
 
+  // Per-lane Figure 2 state. Each lane runs the yield-point protocol over
+  // its own schedule/events streams, logical clock and guest mirror
+  // buffers; lane 0 of a single-lane engine is exactly the pre-lane global
+  // state (same stream ids, same buffer labels, same checkpoint cadence).
+  struct LaneState {
+    int64_t nyp = 0;  // record: count since last preemptive switch;
+                      // replay: countdown to the next one
+    bool schedule_exhausted = false;  // replay: no recorded switches remain
+    uint64_t logical_clock = 0;       // live yield points on this lane
+    uint64_t preempts = 0;            // preemptive switches on this lane
+    std::unique_ptr<StreamCursor> schedule_r, events_r;  // replay cursors
+    GuestBuffer sched_buf, event_buf;
+    // Per-lane telemetry; registered only when lane_count_ > 1 so a
+    // single-lane engine's metric snapshot is unchanged.
+    obs::Counter* c_preempts = nullptr;
+    obs::Counter* c_clock = nullptr;
+  };
+
+  threads::LaneId cur_lane() const;
+  LaneState& cur_lane_state() { return lanes_[cur_lane()]; }
+
   void ensure_buffers_allocated(const char* reason);
   void ensure_io_class(const char* reason);
   void mirror_bytes(GuestBuffer& buf, const uint8_t* data, size_t n);
@@ -232,10 +285,14 @@ class DejaVuEngine : public vm::ExecHooks {
   void before_instrumentation();
   void record_event_bytes(const ByteWriter& w);
   uint8_t replay_event_tag(EventTag expect);
-  int64_t reload_nyp();  // read next schedule delta (and due checkpoint)
+  // Read the lane's next schedule delta (and due checkpoint).
+  int64_t reload_nyp(LaneState& lane, threads::LaneId lane_id);
   Checkpoint collect_checkpoint() const;
   void check_checkpoint(const Checkpoint& recorded);
   void violation(const std::string& what);
+  // Shared record/verify path for package-emitted and engine-synthesized
+  // (heap-transfer) cross-lane events.
+  void handle_cross_lane(const threads::CrossLaneEvent& e);
 
   // Telemetry plumbing (all host-side; registered before attach so the hot
   // path never allocates).
@@ -289,14 +346,29 @@ class DejaVuEngine : public vm::ExecHooks {
   bool strict_carried_ = false;  // strict + analyzers: finished non-strict
   std::optional<obs::DivergenceReport> divergence_;
 
-  // Figure 2 state.
+  // Figure 2 state. The global logical clock is the sum of the per-lane
+  // clocks and feeds checkpoints; per-lane clocks live in LaneState.
   bool live_clock_ = true;
-  int64_t nyp_ = 0;  // record: count since last preemptive switch;
-                     // replay: countdown to the next one
-  bool schedule_exhausted_ = false;  // replay: no recorded switches remain
-  uint64_t logical_clock_ = 0;  // live yield points since start
+  uint64_t logical_clock_ = 0;  // live yield points since start, all lanes
   bool lazy_class_loaded_ = false;    // ablation paths (§2.4 disabled)
   bool lazy_method_compiled_ = false;
+
+  // Lane-structured state. lane_count_ is fixed at construction (record:
+  // cfg.lanes; replay: the trace meta) and lanes_ never resizes after --
+  // guest-buffer root slots point into it.
+  uint32_t lane_count_ = 1;
+  std::vector<LaneState> lanes_;
+  // Cross-lane order stream (lane_count_ > 1 only).
+  std::unique_ptr<StreamCursor> order_r_;  // replay
+  GuestBuffer order_buf_;
+  uint64_t order_seq_ = 0;  // records written (record) / verified (replay)
+  obs::Counter* c_order_events_ = nullptr;  // only when lane_count_ > 1
+  // Shared-heap ownership tracking (lane_count_ > 1, both modes): last
+  // writing lane per object; a write from another lane is a kHeapTransfer
+  // order event. Reads never transfer. The map is only probed point-wise
+  // (never iterated), so its ordering cannot leak into behaviour.
+  bool track_heap_owner_ = false;
+  std::unordered_map<uint64_t, uint32_t> heap_owner_;
 
   // Record side: chunked writer over a sink. mem_sink_ points into the
   // writer's sink when recording in-memory (legacy path), null when
@@ -304,10 +376,8 @@ class DejaVuEngine : public vm::ExecHooks {
   std::unique_ptr<TraceWriter> writer_;
   VectorTraceSink* mem_sink_ = nullptr;
 
-  // Replay side: streamed from a source, one cursor per stream.
+  // Replay side: streamed from a source; per-lane cursors live in lanes_.
   std::unique_ptr<TraceSource> source_;
-  std::unique_ptr<StreamCursor> schedule_r_;
-  std::unique_ptr<StreamCursor> events_r_;
 
   // Replay-time analysis fan-out (empty in record mode by construction).
   std::vector<obs::AnalysisObserver*> analyzers_;
@@ -315,8 +385,6 @@ class DejaVuEngine : public vm::ExecHooks {
   bool fan_mon_ = false;
   bool fan_mem_ = false;
 
-  GuestBuffer sched_buf_;
-  GuestBuffer event_buf_;
   bool io_class_loaded_ = false;
   bool detached_ = false;
   TraceFile result_;  // record, in-memory mode: assembled at detach

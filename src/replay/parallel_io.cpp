@@ -1,0 +1,168 @@
+#include "src/replay/parallel_io.hpp"
+
+#include <cstring>
+
+#include "src/common/check.hpp"
+#include "src/common/io.hpp"
+
+namespace dejavu::replay {
+
+namespace {
+
+std::vector<uint8_t> frame_chunk_bytes(uint8_t wire_id, const uint8_t* payload,
+                                       size_t n) {
+  DV_CHECK_MSG(n <= UINT32_MAX, "trace chunk payload too large");
+  ByteWriter w;
+  w.put_u8(wire_id);
+  w.put_u32_fixed(uint32_t(n));
+  w.put_bytes(payload, n);
+  w.put_u32_fixed(chunk_crc(wire_id, payload, n));
+  return w.take();
+}
+
+}  // namespace
+
+// ----------------------------------------------------- ParallelTraceSink
+
+ParallelTraceSink::ParallelTraceSink(const std::string& path, uint32_t version,
+                                     unsigned jobs)
+    : path_(path) {
+  f_ = std::fopen(path.c_str(), "wb");
+  DV_CHECK_MSG(f_ != nullptr, "cannot open trace for write: " << path);
+  ByteWriter w;
+  w.put_u32_fixed(kTraceMagic);
+  w.put_u32_fixed(version);
+  size_t n = std::fwrite(w.bytes().data(), 1, w.size(), f_);
+  DV_CHECK_MSG(n == w.size(), "short write: " << path);
+  if (jobs > 1) pool_ = std::make_unique<farm::WorkerPool>(jobs);
+}
+
+ParallelTraceSink::~ParallelTraceSink() {
+  try {
+    flush();
+  } catch (...) {
+    // A failed final flush must not throw out of a destructor; the trace
+    // is unsealed either way and readers will report that.
+  }
+  pool_.reset();  // joins workers before the FILE* goes away
+  if (f_ != nullptr) std::fclose(f_);
+}
+
+void ParallelTraceSink::write_chunk(StreamId id, const uint8_t* payload,
+                                    size_t n, LaneId lane) {
+  uint8_t wire = wire_stream_id(id, lane);
+  uint64_t seq = next_seq_++;  // submission order == file order
+  if (pool_ == nullptr) {
+    deliver(seq, frame_chunk_bytes(wire, payload, n));
+    return;
+  }
+  // The engine reuses its chunk buffers immediately after write_chunk
+  // returns, so the task owns a copy of the payload.
+  auto copy = std::make_shared<std::vector<uint8_t>>(payload, payload + n);
+  pool_->submit([this, seq, wire, copy] {
+    deliver(seq, frame_chunk_bytes(wire, copy->data(), copy->size()));
+  });
+}
+
+void ParallelTraceSink::deliver(uint64_t seq, std::vector<uint8_t> framed) {
+  std::lock_guard<std::mutex> lk(mu_);
+  done_.emplace(seq, std::move(framed));
+  write_ready_locked();
+}
+
+void ParallelTraceSink::write_ready_locked() {
+  for (auto it = done_.begin();
+       it != done_.end() && it->first == next_write_;) {
+    const std::vector<uint8_t>& b = it->second;
+    size_t written = std::fwrite(b.data(), 1, b.size(), f_);
+    DV_CHECK_MSG(written == b.size(), "short write: " << path_);
+    it = done_.erase(it);
+    next_write_++;
+  }
+}
+
+void ParallelTraceSink::flush() {
+  if (pool_ != nullptr) pool_->wait_idle();  // all chunks sealed + delivered
+  std::lock_guard<std::mutex> lk(mu_);
+  DV_CHECK_MSG(done_.empty() && next_write_ == next_seq_,
+               "parallel sink lost a chunk: " << path_);
+  if (f_ != nullptr) std::fflush(f_);
+}
+
+// ----------------------------------------------------- MemoryTraceSource
+
+MemoryTraceSource::MemoryTraceSource(const std::string& path, unsigned jobs) {
+  bytes_ = read_file(path);
+  try {
+    scan_ = scan_trace_buffer(bytes_.data(), bytes_.size());
+  } catch (const VmError& e) {
+    throw VmError("trace " + path + ": " + e.what());
+  }
+  // CRC verification fans out; each task writes only its own slot.
+  std::vector<uint8_t> bad(scan_.chunks.size(), 0);
+  farm::parallel_for_ordered(
+      jobs == 0 ? 1 : jobs, scan_.chunks.size(), [&](size_t i) {
+        const ScannedChunkRef& c = scan_.chunks[i];
+        uint32_t have = chunk_crc(c.wire_id, bytes_.data() + c.payload_offset,
+                                  c.payload_len);
+        if (have != c.stored_crc) bad[i] = 1;
+      });
+  for (size_t i = 0; i < bad.size(); ++i) {
+    const ScannedChunkRef& c = scan_.chunks[i];
+    DV_CHECK_MSG(bad[i] == 0, "trace " << path << ": CRC mismatch in "
+                                       << stream_name(c.id)
+                                       << " chunk at offset "
+                                       << c.chunk_offset);
+  }
+  auto lane_slot = [](std::vector<StreamIndex>& v,
+                      LaneId lane) -> StreamIndex& {
+    if (lane >= v.size()) v.resize(lane + 1);
+    return v[lane];
+  };
+  for (size_t i = 0; i < scan_.chunks.size(); ++i) {
+    const ScannedChunkRef& c = scan_.chunks[i];
+    StreamIndex* idx = nullptr;
+    switch (c.id) {
+      case StreamId::kSchedule: idx = &lane_slot(sched_, c.lane); break;
+      case StreamId::kEvents: idx = &lane_slot(events_, c.lane); break;
+      case StreamId::kOrder: idx = &order_; break;
+      default: break;  // meta/seal already consumed by the scan
+    }
+    if (idx == nullptr) continue;
+    idx->chunk_ids.push_back(i);
+    idx->bytes += c.payload_len;
+  }
+  // Every lane the meta promises is addressable, even if it stayed empty.
+  if (scan_.meta.lane_count > 0) {
+    lane_slot(sched_, scan_.meta.lane_count - 1);
+    lane_slot(events_, scan_.meta.lane_count - 1);
+  }
+}
+
+const TraceMeta& MemoryTraceSource::meta() const { return scan_.meta; }
+
+const MemoryTraceSource::StreamIndex* MemoryTraceSource::index_of(
+    StreamId id, LaneId lane) const {
+  if (id == StreamId::kOrder) return lane == 0 ? &order_ : nullptr;
+  if (id != StreamId::kSchedule && id != StreamId::kEvents) return nullptr;
+  const auto& v = id == StreamId::kSchedule ? sched_ : events_;
+  return lane < v.size() ? &v[lane] : nullptr;
+}
+
+StreamInfo MemoryTraceSource::stream_info(StreamId id, LaneId lane) const {
+  const StreamIndex* idx = index_of(id, lane);
+  if (idx == nullptr) return StreamInfo{};
+  return StreamInfo{idx->bytes, idx->chunk_ids.size()};
+}
+
+bool MemoryTraceSource::read_chunk(StreamId id, LaneId lane, size_t index,
+                                   std::vector<uint8_t>* out) {
+  const StreamIndex* idx = index_of(id, lane);
+  if (idx == nullptr || index >= idx->chunk_ids.size()) return false;
+  const ScannedChunkRef& c = scan_.chunks[idx->chunk_ids[index]];
+  out->assign(bytes_.data() + c.payload_offset,
+              bytes_.data() + c.payload_offset + c.payload_len);
+  return true;
+}
+
+}  // namespace dejavu::replay

@@ -1,0 +1,91 @@
+// OS-thread parallelism for trace I/O (the K-lane record/replay path).
+//
+// Guest execution stays a single deterministic interpreter loop -- the
+// paper's uniprocessor model -- so the place K lanes buy real concurrency
+// is the trace container work around it:
+//
+//  * ParallelTraceSink: recording with K lanes produces K+1 independent
+//    chunk streams. Framing + CRC-32 of each chunk is farmed out to a
+//    farm::WorkerPool; a sequence number assigned at submit time fixes the
+//    file order, and a collector drains completed chunks to disk strictly
+//    in that order. The resulting bytes are identical for any worker
+//    count (including 0 workers = the plain FileTraceSink path).
+//
+//  * MemoryTraceSource: replaying with --lanes K reads the whole file
+//    once, does the structural walk serially (cheap), then verifies every
+//    chunk CRC across the pool. Chunks are then served from memory, which
+//    also sidesteps FileTraceSource's single-FILE* seek bottleneck when
+//    per-lane cursors interleave. `jobs` only changes verification
+//    wall-clock, never a single byte of what replay observes.
+//
+// Both classes uphold the farm's determinism contract: workers write only
+// to index-addressed slots; ordering decisions happen on one thread.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/farm/worker_pool.hpp"
+#include "src/replay/trace_io.hpp"
+
+namespace dejavu::replay {
+
+// TraceSink that frames + checksums chunks on a worker pool and writes
+// them to `path` in submission order. jobs == 0 or 1 degenerates to fully
+// synchronous operation (no pool, no extra threads).
+class ParallelTraceSink : public TraceSink {
+ public:
+  ParallelTraceSink(const std::string& path, uint32_t version, unsigned jobs);
+  ~ParallelTraceSink() override;
+  ParallelTraceSink(const ParallelTraceSink&) = delete;
+  ParallelTraceSink& operator=(const ParallelTraceSink&) = delete;
+
+  using TraceSink::write_chunk;
+  void write_chunk(StreamId id, const uint8_t* payload, size_t n,
+                   LaneId lane) override;
+  void flush() override;
+
+ private:
+  void deliver(uint64_t seq, std::vector<uint8_t> framed);
+  void write_ready_locked();
+
+  std::FILE* f_ = nullptr;
+  std::string path_;
+  std::unique_ptr<farm::WorkerPool> pool_;  // null in synchronous mode
+  uint64_t next_seq_ = 0;  // assigned on the submitting thread
+
+  std::mutex mu_;
+  uint64_t next_write_ = 0;                      // next seq to hit the file
+  std::map<uint64_t, std::vector<uint8_t>> done_;  // sealed, awaiting turn
+};
+
+// TraceSource over a whole trace held in memory, CRC-verified at open with
+// `jobs`-way parallelism. Accepts v4 and v5 containers.
+class MemoryTraceSource : public TraceSource {
+ public:
+  MemoryTraceSource(const std::string& path, unsigned jobs);
+
+  using TraceSource::read_chunk;
+  using TraceSource::stream_info;
+  const TraceMeta& meta() const override;
+  StreamInfo stream_info(StreamId id, LaneId lane) const override;
+  bool read_chunk(StreamId id, LaneId lane, size_t index,
+                  std::vector<uint8_t>* out) override;
+
+ private:
+  struct StreamIndex {
+    std::vector<size_t> chunk_ids;  // indexes into scan_.chunks
+    uint64_t bytes = 0;
+  };
+  const StreamIndex* index_of(StreamId id, LaneId lane) const;
+
+  std::vector<uint8_t> bytes_;
+  MemoryScan scan_;
+  std::vector<StreamIndex> sched_, events_;  // indexed by lane
+  StreamIndex order_;
+};
+
+}  // namespace dejavu::replay

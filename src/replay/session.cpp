@@ -1,13 +1,25 @@
 #include "src/replay/session.hpp"
 
+#include "src/replay/parallel_io.hpp"
+
 namespace dejavu::replay {
+
+namespace {
+// The VM's lane partition and the engine's per-lane logs must agree; the
+// session is where both are configured, so it keeps them in lockstep
+// instead of making every caller repeat the pairing.
+vm::VmOptions with_lanes(vm::VmOptions opts, uint32_t lanes) {
+  opts.lanes = lanes == 0 ? 1 : lanes;
+  return opts;
+}
+}  // namespace
 
 RecordResult record_run(const bytecode::Program& prog, vm::VmOptions opts,
                         vm::Environment& env, threads::TimerSource& timer,
                         const vm::NativeRegistry* natives,
                         SymmetryConfig cfg) {
   DejaVuEngine engine(cfg);
-  vm::Vm v(prog, opts, env, timer, &engine, natives);
+  vm::Vm v(prog, with_lanes(opts, cfg.lanes), env, timer, &engine, natives);
   v.run();
   RecordResult r;
   r.summary = v.summary();
@@ -25,8 +37,16 @@ RecordFileResult record_run_to(const std::string& path,
                                threads::TimerSource& timer,
                                const vm::NativeRegistry* natives,
                                SymmetryConfig cfg) {
-  DejaVuEngine engine(std::make_unique<FileTraceSink>(path), cfg);
-  vm::Vm v(prog, opts, env, timer, &engine, natives);
+  uint32_t lanes = cfg.lanes == 0 ? 1 : cfg.lanes;
+  uint32_t version = lanes > 1 ? kTraceVersionMulti : kTraceVersion;
+  std::unique_ptr<TraceSink> sink;
+  if (cfg.io_jobs > 1) {
+    sink = std::make_unique<ParallelTraceSink>(path, version, cfg.io_jobs);
+  } else {
+    sink = std::make_unique<FileTraceSink>(path, version);
+  }
+  DejaVuEngine engine(std::move(sink), cfg);
+  vm::Vm v(prog, with_lanes(opts, lanes), env, timer, &engine, natives);
   v.run();
   RecordFileResult r;
   r.path = path;
@@ -73,7 +93,8 @@ ReplayResult replay_with(DejaVuEngine& engine, const bytecode::Program& prog,
   // below are placeholders whose values are never observed by the guest.
   vm::ScriptedEnvironment env(0, 1, {}, 0);
   threads::NullTimer timer;
-  vm::Vm v(prog, opts, env, timer, &engine);
+  // Replay follows the recording's lane count, whatever the caller set.
+  vm::Vm v(prog, with_lanes(opts, engine.lane_count()), env, timer, &engine);
   v.run();
   ReplayResult r;
   r.summary = v.summary();
@@ -98,7 +119,15 @@ ReplayResult replay_run(const bytecode::Program& prog, const TraceFile& trace,
 ReplayResult replay_file(const bytecode::Program& prog,
                          const std::string& path, vm::VmOptions opts,
                          SymmetryConfig cfg) {
-  DejaVuEngine engine(open_trace_source(path), cfg);
+  std::unique_ptr<TraceSource> source;
+  if (cfg.io_jobs > 1) {
+    // Parallel CRC verification + in-memory chunk service; same bytes, same
+    // replay, less wall-clock (see parallel_io.hpp).
+    source = std::make_unique<MemoryTraceSource>(path, cfg.io_jobs);
+  } else {
+    source = open_trace_source(path);
+  }
+  DejaVuEngine engine(std::move(source), cfg);
   return replay_with(engine, prog, opts, cfg);
 }
 
@@ -110,8 +139,9 @@ ReplaySession::ReplaySession(const bytecode::Program& prog, TraceFile trace,
       timer_(std::make_unique<threads::NullTimer>()),
       analyzers_(cfg.obs),
       engine_(std::make_unique<DejaVuEngine>(std::move(trace), cfg)),
-      vm_(std::make_unique<vm::Vm>(prog, opts, *env_, *timer_,
-                                   engine_.get())) {
+      vm_(std::make_unique<vm::Vm>(prog, with_lanes(opts,
+                                                    engine_->lane_count()),
+                                   *env_, *timer_, engine_.get())) {
   analyzers_.install(*engine_);  // before boot: attach fixes subscriptions
   vm_->boot();
 }
@@ -125,8 +155,9 @@ ReplaySession::ReplaySession(const bytecode::Program& prog,
       timer_(std::make_unique<threads::NullTimer>()),
       analyzers_(cfg.obs),
       engine_(std::make_unique<DejaVuEngine>(std::move(source), cfg)),
-      vm_(std::make_unique<vm::Vm>(prog, opts, *env_, *timer_,
-                                   engine_.get())) {
+      vm_(std::make_unique<vm::Vm>(prog, with_lanes(opts,
+                                                    engine_->lane_count()),
+                                   *env_, *timer_, engine_.get())) {
   analyzers_.install(*engine_);  // before boot: attach fixes subscriptions
   vm_->boot();
 }

@@ -67,7 +67,39 @@ TraceMeta read_meta_payload(ByteReader& r) {
   return meta;
 }
 
-std::vector<uint8_t> TraceFile::serialize() const { return serialize_v4(*this); }
+void write_meta_payload_ex(ByteWriter& w, const TraceMeta& meta,
+                           uint32_t version) {
+  write_meta_payload(w, meta);
+  if (version < kTraceVersionMulti) return;
+  DV_CHECK_MSG(meta.lane_count >= 1 && meta.lane_count <= kMaxLanes,
+               "bad lane count " << meta.lane_count);
+  w.put_uvarint(meta.lane_count);
+  w.put_uvarint(meta.order_events);
+  for (uint32_t i = 0; i < meta.lane_count; ++i) {
+    w.put_uvarint(i < meta.lane_clocks.size() ? meta.lane_clocks[i] : 0);
+    w.put_uvarint(i < meta.lane_preempts.size() ? meta.lane_preempts[i] : 0);
+  }
+}
+
+TraceMeta read_meta_payload_ex(ByteReader& r, uint32_t version) {
+  TraceMeta meta = read_meta_payload(r);
+  if (version < kTraceVersionMulti) return meta;
+  meta.lane_count = uint32_t(r.get_uvarint());
+  DV_CHECK_MSG(meta.lane_count >= 1 && meta.lane_count <= kMaxLanes,
+               "bad lane count " << meta.lane_count);
+  meta.order_events = r.get_uvarint();
+  meta.lane_clocks.resize(meta.lane_count);
+  meta.lane_preempts.resize(meta.lane_count);
+  for (uint32_t i = 0; i < meta.lane_count; ++i) {
+    meta.lane_clocks[i] = r.get_uvarint();
+    meta.lane_preempts[i] = r.get_uvarint();
+  }
+  return meta;
+}
+
+std::vector<uint8_t> TraceFile::serialize() const {
+  return multi_lane() ? serialize_v5(*this) : serialize_v4(*this);
+}
 
 TraceFile TraceFile::deserialize(const std::vector<uint8_t>& bytes) {
   ByteReader r(bytes);
@@ -85,9 +117,9 @@ TraceFile TraceFile::deserialize(const std::vector<uint8_t>& bytes) {
     DV_CHECK_MSG(r.at_end(), "trailing bytes in trace file");
     return t;
   }
-  DV_CHECK_MSG(version == kTraceVersion,
+  DV_CHECK_MSG(version == kTraceVersion || version == kTraceVersionMulti,
                "trace version " << version << " unsupported");
-  return deserialize_v4(bytes);
+  return deserialize_chunked(bytes);
 }
 
 std::vector<uint8_t> TraceFile::serialize_v3() const {

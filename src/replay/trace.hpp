@@ -39,6 +39,12 @@ namespace dejavu::replay {
 inline constexpr uint32_t kTraceMagic = 0x44564a55;  // "DVJU"
 inline constexpr uint32_t kTraceVersion = 4;         // chunked + checksummed
 inline constexpr uint32_t kTraceVersionLegacy = 3;   // unframed blob
+inline constexpr uint32_t kTraceVersionMulti = 5;    // multi-lane + order log
+
+// Container lane type (mirrors threads::LaneId without a dependency).
+using LaneId = uint32_t;
+// Wire-format bound: lane data streams are encoded in the chunk id byte.
+inline constexpr uint32_t kMaxLanes = 64;
 
 // Event tags in the events stream.
 enum class EventTag : uint8_t {
@@ -77,12 +83,24 @@ struct TraceMeta {
   uint64_t final_switch_seq_hash = 0;
   uint64_t final_instr_count = 0;
   uint64_t final_audit_digest = 0;
+
+  // v5 multi-lane extension (lane_count == 1 in every v3/v4 trace). The
+  // per-lane vectors have lane_count entries and verify the per-lane
+  // logical clocks / preemption totals on replay completion.
+  uint32_t lane_count = 1;
+  uint64_t order_events = 0;  // cross-lane order records in the order stream
+  std::vector<uint64_t> lane_clocks;    // final per-lane logical clocks
+  std::vector<uint64_t> lane_preempts;  // per-lane preemptive switches
 };
 
 // Shared meta-block field layout (identical in the v3 body and the v4 meta
-// chunk payload).
+// chunk payload). The versioned variants append the v5 lane extension for
+// version >= kTraceVersionMulti and read it back symmetrically.
 void write_meta_payload(ByteWriter& w, const TraceMeta& meta);
 TraceMeta read_meta_payload(ByteReader& r);
+void write_meta_payload_ex(ByteWriter& w, const TraceMeta& meta,
+                           uint32_t version);
+TraceMeta read_meta_payload_ex(ByteReader& r, uint32_t version);
 
 // A fully materialized trace. This remains the convenient in-memory
 // representation for tests, tools and the time-travel debugger; large
@@ -90,10 +108,26 @@ TraceMeta read_meta_payload(ByteReader& r);
 // (src/replay/trace_io.hpp) without ever being resident as a whole.
 struct TraceFile {
   TraceMeta meta;
+  // Lane 0's streams (the only streams in a v3/v4 trace).
   std::vector<uint8_t> schedule;
   std::vector<uint8_t> events;
+  // v5 multi-lane payload: streams of lanes 1..lane_count-1 (index 0 of
+  // these vectors is lane 1) and the cross-lane order stream. Empty for
+  // single-lane traces.
+  std::vector<std::vector<uint8_t>> extra_schedules;
+  std::vector<std::vector<uint8_t>> extra_events;
+  std::vector<uint8_t> order;
 
-  // v4 container bytes. deserialize() also accepts the legacy v3 layout.
+  bool multi_lane() const { return meta.lane_count > 1 || !order.empty(); }
+  const std::vector<uint8_t>& schedule_of(LaneId lane) const {
+    return lane == 0 ? schedule : extra_schedules[lane - 1];
+  }
+  const std::vector<uint8_t>& events_of(LaneId lane) const {
+    return lane == 0 ? events : extra_events[lane - 1];
+  }
+
+  // Container bytes: v4 for single-lane traces, v5 when multi_lane().
+  // deserialize() accepts v3, v4 and v5 layouts.
   std::vector<uint8_t> serialize() const;
   static TraceFile deserialize(const std::vector<uint8_t>& bytes);
 
@@ -103,7 +137,12 @@ struct TraceFile {
   void save(const std::string& path) const;
   static TraceFile load(const std::string& path);
 
-  size_t total_bytes() const { return schedule.size() + events.size(); }
+  size_t total_bytes() const {
+    size_t n = schedule.size() + events.size() + order.size();
+    for (const auto& s : extra_schedules) n += s.size();
+    for (const auto& e : extra_events) n += e.size();
+    return n;
+  }
 };
 
 // Structural hash of a program: class/field/method names, signatures and

@@ -1,6 +1,7 @@
 #include "src/replay/trace_io.hpp"
 
 #include <cinttypes>
+#include <cstring>
 #include <sstream>
 
 #include "src/common/check.hpp"
@@ -14,13 +15,39 @@ const char* stream_name(StreamId id) {
     case StreamId::kSchedule: return "schedule";
     case StreamId::kEvents: return "events";
     case StreamId::kSeal: return "seal";
+    case StreamId::kOrder: return "order";
   }
   return "?";
 }
 
-uint32_t chunk_crc(StreamId id, const uint8_t* payload, size_t n) {
+uint8_t wire_stream_id(StreamId id, LaneId lane) {
+  if (lane == 0) return uint8_t(id);
+  DV_CHECK_MSG(id == StreamId::kSchedule || id == StreamId::kEvents,
+               "only data streams are per-lane");
+  DV_CHECK_MSG(lane < kMaxLanes, "lane " << lane << " out of range");
+  uint32_t wire = uint32_t(kLaneStreamBase) + 2 * (lane - 1) +
+                  (id == StreamId::kEvents ? 1 : 0);
+  return uint8_t(wire);
+}
+
+bool parse_wire_stream_id(uint8_t wire, StreamId* id, LaneId* lane) {
+  if (wire <= uint8_t(StreamId::kOrder)) {
+    *id = StreamId(wire);
+    *lane = 0;
+    return true;
+  }
+  if (wire < kLaneStreamBase) return false;  // 5..7 reserved
+  LaneId l = LaneId((wire - kLaneStreamBase) / 2) + 1;
+  if (l >= kMaxLanes) return false;
+  *id = ((wire - kLaneStreamBase) % 2 == 0) ? StreamId::kSchedule
+                                            : StreamId::kEvents;
+  *lane = l;
+  return true;
+}
+
+uint32_t chunk_crc(uint8_t wire_id, const uint8_t* payload, size_t n) {
   Crc32 c;
-  c.update_u8(uint8_t(id));
+  c.update_u8(wire_id);
   c.update_u32le(uint32_t(n));
   c.update(payload, n);
   return c.digest();
@@ -28,18 +55,19 @@ uint32_t chunk_crc(StreamId id, const uint8_t* payload, size_t n) {
 
 namespace {
 
-void frame_chunk(ByteWriter& w, StreamId id, const uint8_t* payload,
+void frame_chunk(ByteWriter& w, uint8_t wire_id, const uint8_t* payload,
                  size_t n) {
   DV_CHECK_MSG(n <= UINT32_MAX, "trace chunk payload too large");
-  w.put_u8(uint8_t(id));
+  w.put_u8(wire_id);
   w.put_u32_fixed(uint32_t(n));
   w.put_bytes(payload, n);
-  w.put_u32_fixed(chunk_crc(id, payload, n));
+  w.put_u32_fixed(chunk_crc(wire_id, payload, n));
 }
 
-std::vector<uint8_t> seal_payload(uint64_t sched_bytes, uint64_t events_bytes,
-                                  uint32_t sched_chunks,
-                                  uint32_t events_chunks) {
+std::vector<uint8_t> seal_payload_v4(uint64_t sched_bytes,
+                                     uint64_t events_bytes,
+                                     uint32_t sched_chunks,
+                                     uint32_t events_chunks) {
   ByteWriter w;
   w.put_u64_fixed(sched_bytes);
   w.put_u64_fixed(events_bytes);
@@ -48,26 +76,61 @@ std::vector<uint8_t> seal_payload(uint64_t sched_bytes, uint64_t events_bytes,
   return w.take();
 }
 
+// v5 seal payload, all uvarints:
+//   lane_count | order_bytes | order_chunks |
+//   lane_count x (sched_bytes, events_bytes, sched_chunks, events_chunks)
+struct SealTotalsV5 {
+  uint32_t lanes = 0;
+  uint64_t order_bytes = 0;
+  uint32_t order_chunks = 0;
+  std::vector<uint64_t> sched_bytes, events_bytes;
+  std::vector<uint32_t> sched_chunks, events_chunks;
+};
+
+bool parse_seal_v5(const uint8_t* p, size_t n, SealTotalsV5* out) {
+  try {
+    ByteReader r(p, n);
+    out->lanes = uint32_t(r.get_uvarint());
+    if (out->lanes < 1 || out->lanes > kMaxLanes) return false;
+    out->order_bytes = r.get_uvarint();
+    out->order_chunks = uint32_t(r.get_uvarint());
+    out->sched_bytes.resize(out->lanes);
+    out->events_bytes.resize(out->lanes);
+    out->sched_chunks.resize(out->lanes);
+    out->events_chunks.resize(out->lanes);
+    for (uint32_t k = 0; k < out->lanes; ++k) {
+      out->sched_bytes[k] = r.get_uvarint();
+      out->events_bytes[k] = r.get_uvarint();
+      out->sched_chunks[k] = uint32_t(r.get_uvarint());
+      out->events_chunks[k] = uint32_t(r.get_uvarint());
+    }
+    return r.at_end();
+  } catch (const VmError&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------- writing
 
-VectorTraceSink::VectorTraceSink() {
+VectorTraceSink::VectorTraceSink(uint32_t version) {
   w_.put_u32_fixed(kTraceMagic);
-  w_.put_u32_fixed(kTraceVersion);
+  w_.put_u32_fixed(version);
 }
 
 void VectorTraceSink::write_chunk(StreamId id, const uint8_t* payload,
-                                  size_t n) {
-  frame_chunk(w_, id, payload, n);
+                                  size_t n, LaneId lane) {
+  frame_chunk(w_, wire_stream_id(id, lane), payload, n);
 }
 
-FileTraceSink::FileTraceSink(const std::string& path) : path_(path) {
+FileTraceSink::FileTraceSink(const std::string& path, uint32_t version)
+    : path_(path) {
   f_ = std::fopen(path.c_str(), "wb");
   DV_CHECK_MSG(f_ != nullptr, "cannot open trace for write: " << path);
   ByteWriter w;
   w.put_u32_fixed(kTraceMagic);
-  w.put_u32_fixed(kTraceVersion);
+  w.put_u32_fixed(version);
   size_t n = std::fwrite(w.bytes().data(), 1, w.size(), f_);
   DV_CHECK_MSG(n == w.size(), "short write: " << path);
 }
@@ -76,10 +139,10 @@ FileTraceSink::~FileTraceSink() {
   if (f_ != nullptr) std::fclose(f_);
 }
 
-void FileTraceSink::write_chunk(StreamId id, const uint8_t* payload,
-                                size_t n) {
+void FileTraceSink::write_chunk(StreamId id, const uint8_t* payload, size_t n,
+                                LaneId lane) {
   ByteWriter w;
-  frame_chunk(w, id, payload, n);
+  frame_chunk(w, wire_stream_id(id, lane), payload, n);
   size_t written = std::fwrite(w.bytes().data(), 1, w.size(), f_);
   DV_CHECK_MSG(written == w.size(), "short write: " << path_);
 }
@@ -88,97 +151,176 @@ void FileTraceSink::flush() {
   if (f_ != nullptr) std::fflush(f_);
 }
 
-TraceWriter::TraceWriter(std::unique_ptr<TraceSink> sink, size_t chunk_bytes)
-    : sink_(std::move(sink)), chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes) {
+TraceWriter::TraceWriter(std::unique_ptr<TraceSink> sink, size_t chunk_bytes,
+                         uint32_t version)
+    : sink_(std::move(sink)),
+      chunk_bytes_(chunk_bytes == 0 ? 1 : chunk_bytes),
+      version_(version) {
   DV_CHECK_MSG(sink_ != nullptr, "TraceWriter needs a sink");
+  DV_CHECK_MSG(version_ == kTraceVersion || version_ == kTraceVersionMulti,
+               "TraceWriter cannot write container version " << version_);
 }
 
 TraceWriter::~TraceWriter() = default;
 
-ByteWriter& TraceWriter::buf(StreamId id) {
+TraceWriter::StreamBuf& TraceWriter::buf(StreamId id, LaneId lane) {
+  if (id == StreamId::kOrder) {
+    DV_CHECK_MSG(version_ >= kTraceVersionMulti && lane == 0,
+                 "order stream requires a v5 writer");
+    return order_;
+  }
   DV_CHECK_MSG(id == StreamId::kSchedule || id == StreamId::kEvents,
                "only data streams are appendable");
-  return id == StreamId::kSchedule ? sched_buf_ : events_buf_;
+  DV_CHECK_MSG(lane == 0 || version_ >= kTraceVersionMulti,
+               "lane streams require a v5 writer");
+  DV_CHECK_MSG(lane < kMaxLanes, "lane " << lane << " out of range");
+  auto& v = id == StreamId::kSchedule ? sched_ : events_;
+  if (lane >= v.size()) v.resize(lane + 1);
+  return v[lane];
 }
 
-void TraceWriter::emit(StreamId id) {
-  ByteWriter& b = buf(id);
-  if (b.size() == 0) return;
-  sink_->write_chunk(id, b.bytes().data(), b.size());
-  (id == StreamId::kSchedule ? sched_chunks_ : events_chunks_)++;
-  if (observer_) observer_(id, b.size());
-  b.clear();
+void TraceWriter::emit(StreamId id, LaneId lane) {
+  StreamBuf& b = buf(id, lane);
+  if (b.buf.size() == 0) return;
+  sink_->write_chunk(id, b.buf.bytes().data(), b.buf.size(), lane);
+  b.chunks++;
+  if (observer_) observer_(id, b.buf.size());
+  b.buf.clear();
 }
 
-void TraceWriter::append(StreamId id, const uint8_t* data, size_t n) {
+void TraceWriter::emit_all() {
+  size_t lanes = std::max(sched_.size(), events_.size());
+  for (size_t k = 0; k < lanes; ++k) {
+    if (k < sched_.size()) emit(StreamId::kSchedule, LaneId(k));
+    if (k < events_.size()) emit(StreamId::kEvents, LaneId(k));
+  }
+  if (version_ >= kTraceVersionMulti) emit(StreamId::kOrder, 0);
+}
+
+void TraceWriter::append(StreamId id, const uint8_t* data, size_t n,
+                         LaneId lane) {
   DV_CHECK_MSG(!finished_, "append after finish");
-  ByteWriter& b = buf(id);
+  StreamBuf& b = buf(id, lane);
   // Entry alignment: never split one logical record across chunks.
-  if (b.size() != 0 && b.size() + n > chunk_bytes_) emit(id);
-  b.put_bytes(data, n);
-  (id == StreamId::kSchedule ? sched_bytes_ : events_bytes_) += n;
-  if (b.size() >= chunk_bytes_) emit(id);
+  if (b.buf.size() != 0 && b.buf.size() + n > chunk_bytes_) emit(id, lane);
+  b.buf.put_bytes(data, n);
+  b.bytes += n;
+  if (b.buf.size() >= chunk_bytes_) emit(id, lane);
 }
 
 void TraceWriter::flush() {
   if (finished_) return;
-  emit(StreamId::kSchedule);
-  emit(StreamId::kEvents);
+  emit_all();
   sink_->flush();
 }
 
 void TraceWriter::finish(const TraceMeta& meta) {
   if (finished_) return;
-  emit(StreamId::kSchedule);
-  emit(StreamId::kEvents);
+  emit_all();
   ByteWriter mw;
-  write_meta_payload(mw, meta);
-  sink_->write_chunk(StreamId::kMeta, mw.bytes().data(), mw.size());
-  std::vector<uint8_t> seal =
-      seal_payload(sched_bytes_, events_bytes_, sched_chunks_, events_chunks_);
-  sink_->write_chunk(StreamId::kSeal, seal.data(), seal.size());
+  write_meta_payload_ex(mw, meta, version_);
+  sink_->write_chunk(StreamId::kMeta, mw.bytes().data(), mw.size(), 0);
+  std::vector<uint8_t> seal;
+  if (version_ >= kTraceVersionMulti) {
+    uint32_t lanes = meta.lane_count == 0 ? 1 : meta.lane_count;
+    uint32_t touched =
+        uint32_t(std::max(sched_.size(), events_.size()));
+    DV_CHECK_MSG(lanes >= touched,
+                 "meta lane count " << lanes << " below lanes written ("
+                                    << touched << ")");
+    ByteWriter sw;
+    sw.put_uvarint(lanes);
+    sw.put_uvarint(order_.bytes);
+    sw.put_uvarint(order_.chunks);
+    for (uint32_t k = 0; k < lanes; ++k) {
+      sw.put_uvarint(k < sched_.size() ? sched_[k].bytes : 0);
+      sw.put_uvarint(k < events_.size() ? events_[k].bytes : 0);
+      sw.put_uvarint(k < sched_.size() ? sched_[k].chunks : 0);
+      sw.put_uvarint(k < events_.size() ? events_[k].chunks : 0);
+    }
+    seal = sw.take();
+  } else {
+    seal = seal_payload_v4(
+        sched_.empty() ? 0 : sched_[0].bytes,
+        events_.empty() ? 0 : events_[0].bytes,
+        sched_.empty() ? 0 : sched_[0].chunks,
+        events_.empty() ? 0 : events_[0].chunks);
+  }
+  sink_->write_chunk(StreamId::kSeal, seal.data(), seal.size(), 0);
   sink_->flush();
   finished_ = true;
 }
 
-uint64_t TraceWriter::stream_bytes(StreamId id) const {
-  return id == StreamId::kSchedule ? sched_bytes_ : events_bytes_;
+uint64_t TraceWriter::stream_bytes(StreamId id, LaneId lane) const {
+  if (id == StreamId::kOrder) return order_.bytes;
+  const auto& v = id == StreamId::kSchedule ? sched_ : events_;
+  return lane < v.size() ? v[lane].bytes : 0;
 }
 
 size_t TraceWriter::buffered_bytes() const {
-  return sched_buf_.size() + events_buf_.size();
+  size_t n = order_.buf.size();
+  for (const auto& b : sched_) n += b.buf.size();
+  for (const auto& b : events_) n += b.buf.size();
+  return n;
 }
 
 // ---------------------------------------------------------------- reading
+
+namespace {
+
+// Lane-aware stream selector over a materialized TraceFile. Returns
+// nullptr for a (stream, lane) the file does not carry.
+const std::vector<uint8_t>* stream_of(const TraceFile& t, StreamId id,
+                                      LaneId lane) {
+  switch (id) {
+    case StreamId::kOrder:
+      return lane == 0 ? &t.order : nullptr;
+    case StreamId::kSchedule:
+      if (lane == 0) return &t.schedule;
+      return lane - 1 < t.extra_schedules.size() ? &t.extra_schedules[lane - 1]
+                                                 : nullptr;
+    case StreamId::kEvents:
+      if (lane == 0) return &t.events;
+      return lane - 1 < t.extra_events.size() ? &t.extra_events[lane - 1]
+                                              : nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
 
 TraceFileSource::TraceFileSource(TraceFile trace) : owned_(std::move(trace)) {}
 TraceFileSource::TraceFileSource(const TraceFile* trace) : borrowed_(trace) {}
 
 const TraceMeta& TraceFileSource::meta() const { return file().meta; }
 
-StreamInfo TraceFileSource::stream_info(StreamId id) const {
-  const std::vector<uint8_t>& s =
-      id == StreamId::kSchedule ? file().schedule : file().events;
-  return StreamInfo{s.size(), s.empty() ? size_t(0) : size_t(1)};
+StreamInfo TraceFileSource::stream_info(StreamId id, LaneId lane) const {
+  const std::vector<uint8_t>* s = stream_of(file(), id, lane);
+  if (s == nullptr) return StreamInfo{};
+  return StreamInfo{s->size(), s->empty() ? size_t(0) : size_t(1)};
 }
 
-bool TraceFileSource::read_chunk(StreamId id, size_t index,
+bool TraceFileSource::read_chunk(StreamId id, LaneId lane, size_t index,
                                  std::vector<uint8_t>* out) {
-  const std::vector<uint8_t>& s =
-      id == StreamId::kSchedule ? file().schedule : file().events;
-  if (index > 0 || s.empty()) return false;
-  *out = s;
+  const std::vector<uint8_t>* s = stream_of(file(), id, lane);
+  if (s == nullptr || index > 0 || s->empty()) return false;
+  *out = *s;
   return true;
 }
 
 namespace {
 
-// One forward pass over a v4 file's chunks. Shared by FileTraceSource
+// One forward pass over a chunked (v4/v5) file. Shared by FileTraceSource
 // (which throws on any problem) and verify_trace_file (which reports it).
 struct ScannedChunk {
-  StreamId id;
   uint64_t payload_offset = 0;
   uint32_t payload_len = 0;
+};
+
+struct LaneChunks {
+  std::vector<ScannedChunk> chunks;
+  uint64_t bytes = 0;
 };
 
 struct ScanOutcome {
@@ -188,12 +330,17 @@ struct ScanOutcome {
   bool sealed = false;
   bool meta_seen = false;
   TraceMeta meta;
-  std::vector<ScannedChunk> sched, events;
-  uint64_t sched_bytes = 0, events_bytes = 0;
+  std::vector<LaneChunks> sched, events;  // indexed by lane
+  LaneChunks order;
   size_t valid_chunks = 0;  // data chunks whose CRC verified
 };
 
-ScanOutcome scan_v4_file(std::FILE* f) {
+LaneChunks& lane_slot(std::vector<LaneChunks>& v, LaneId lane) {
+  if (lane >= v.size()) v.resize(lane + 1);
+  return v[lane];
+}
+
+ScanOutcome scan_chunked_file(std::FILE* f) {
   ScanOutcome out;
   std::ostringstream err;
   auto fail = [&](const std::string& what) {
@@ -207,7 +354,7 @@ ScanOutcome scan_v4_file(std::FILE* f) {
   ByteReader hr(header, 8);
   if (hr.get_u32_fixed() != kTraceMagic) return fail("not a DejaVu trace (bad magic)");
   out.version = hr.get_u32_fixed();
-  if (out.version != kTraceVersion) {
+  if (out.version != kTraceVersion && out.version != kTraceVersionMulti) {
     err << "trace version " << out.version << " is not v4";
     return fail(err.str());
   }
@@ -225,11 +372,16 @@ ScanOutcome scan_v4_file(std::FILE* f) {
     ByteReader cr(chead, kChunkHeaderBytes);
     uint8_t raw_id = cr.get_u8();
     uint32_t len = cr.get_u32_fixed();
-    if (raw_id > uint8_t(StreamId::kSeal)) {
+    StreamId id = StreamId::kMeta;
+    LaneId lane = 0;
+    bool known = out.version == kTraceVersion
+                     ? raw_id <= uint8_t(StreamId::kSeal) &&
+                           (id = StreamId(raw_id), lane = 0, true)
+                     : parse_wire_stream_id(raw_id, &id, &lane);
+    if (!known) {
       err << "unknown stream id " << int(raw_id) << " at offset " << offset;
       return fail(err.str());
     }
-    StreamId id = StreamId(raw_id);
     if (out.sealed) {
       err << "data after the seal chunk at offset " << offset;
       return fail(err.str());
@@ -248,7 +400,7 @@ ScanOutcome scan_v4_file(std::FILE* f) {
     }
     ByteReader crcr(crc_buf, kChunkTrailerBytes);
     uint32_t want = crcr.get_u32_fixed();
-    uint32_t have = chunk_crc(id, payload.data(), len);
+    uint32_t have = chunk_crc(raw_id, payload.data(), len);
     if (want != have) {
       err << "CRC mismatch in " << stream_name(id) << " chunk at offset "
           << offset << " (stored " << std::hex << want << ", computed " << have
@@ -258,14 +410,23 @@ ScanOutcome scan_v4_file(std::FILE* f) {
 
     uint64_t payload_offset = offset + kChunkHeaderBytes;
     switch (id) {
-      case StreamId::kSchedule:
-        out.sched.push_back({id, payload_offset, len});
-        out.sched_bytes += len;
+      case StreamId::kSchedule: {
+        LaneChunks& lc = lane_slot(out.sched, lane);
+        lc.chunks.push_back({payload_offset, len});
+        lc.bytes += len;
         out.valid_chunks++;
         break;
-      case StreamId::kEvents:
-        out.events.push_back({id, payload_offset, len});
-        out.events_bytes += len;
+      }
+      case StreamId::kEvents: {
+        LaneChunks& lc = lane_slot(out.events, lane);
+        lc.chunks.push_back({payload_offset, len});
+        lc.bytes += len;
+        out.valid_chunks++;
+        break;
+      }
+      case StreamId::kOrder:
+        out.order.chunks.push_back({payload_offset, len});
+        out.order.bytes += len;
         out.valid_chunks++;
         break;
       case StreamId::kMeta: {
@@ -275,7 +436,7 @@ ScanOutcome scan_v4_file(std::FILE* f) {
         }
         try {
           ByteReader mr(payload.data(), len);
-          out.meta = read_meta_payload(mr);
+          out.meta = read_meta_payload_ex(mr, out.version);
           DV_CHECK_MSG(mr.at_end(), "trailing bytes");
         } catch (const VmError&) {
           err << "malformed meta chunk at offset " << offset;
@@ -285,24 +446,68 @@ ScanOutcome scan_v4_file(std::FILE* f) {
         break;
       }
       case StreamId::kSeal: {
-        if (len != 24) {
-          err << "malformed seal chunk at offset " << offset;
-          return fail(err.str());
-        }
-        ByteReader sr(payload.data(), len);
-        uint64_t want_sched = sr.get_u64_fixed();
-        uint64_t want_events = sr.get_u64_fixed();
-        uint32_t want_schunks = sr.get_u32_fixed();
-        uint32_t want_echunks = sr.get_u32_fixed();
-        if (want_sched != out.sched_bytes || want_events != out.events_bytes ||
-            want_schunks != out.sched.size() ||
-            want_echunks != out.events.size()) {
-          err << "seal totals disagree with the chunks present (seal says "
-              << want_sched << "+" << want_events << " bytes in "
-              << want_schunks << "+" << want_echunks << " chunks; file has "
-              << out.sched_bytes << "+" << out.events_bytes << " bytes in "
-              << out.sched.size() << "+" << out.events.size() << " chunks)";
-          return fail(err.str());
+        if (out.version == kTraceVersion) {
+          if (len != 24) {
+            err << "malformed seal chunk at offset " << offset;
+            return fail(err.str());
+          }
+          ByteReader sr(payload.data(), len);
+          uint64_t want_sched = sr.get_u64_fixed();
+          uint64_t want_events = sr.get_u64_fixed();
+          uint32_t want_schunks = sr.get_u32_fixed();
+          uint32_t want_echunks = sr.get_u32_fixed();
+          uint64_t have_sched = out.sched.empty() ? 0 : out.sched[0].bytes;
+          uint64_t have_events = out.events.empty() ? 0 : out.events[0].bytes;
+          size_t have_schunks =
+              out.sched.empty() ? 0 : out.sched[0].chunks.size();
+          size_t have_echunks =
+              out.events.empty() ? 0 : out.events[0].chunks.size();
+          if (want_sched != have_sched || want_events != have_events ||
+              want_schunks != have_schunks || want_echunks != have_echunks) {
+            err << "seal totals disagree with the chunks present (seal says "
+                << want_sched << "+" << want_events << " bytes in "
+                << want_schunks << "+" << want_echunks << " chunks; file has "
+                << have_sched << "+" << have_events << " bytes in "
+                << have_schunks << "+" << have_echunks << " chunks)";
+            return fail(err.str());
+          }
+        } else {
+          SealTotalsV5 st;
+          if (!parse_seal_v5(payload.data(), len, &st)) {
+            err << "malformed seal chunk at offset " << offset;
+            return fail(err.str());
+          }
+          size_t touched = std::max(out.sched.size(), out.events.size());
+          if (st.lanes < touched) {
+            err << "seal lane count " << st.lanes
+                << " below lanes present in the file (" << touched << ")";
+            return fail(err.str());
+          }
+          if (st.order_bytes != out.order.bytes ||
+              st.order_chunks != out.order.chunks.size()) {
+            err << "seal totals disagree with the order chunks present";
+            return fail(err.str());
+          }
+          for (uint32_t k = 0; k < st.lanes; ++k) {
+            uint64_t have_sched = k < out.sched.size() ? out.sched[k].bytes : 0;
+            uint64_t have_events =
+                k < out.events.size() ? out.events[k].bytes : 0;
+            size_t have_schunks =
+                k < out.sched.size() ? out.sched[k].chunks.size() : 0;
+            size_t have_echunks =
+                k < out.events.size() ? out.events[k].chunks.size() : 0;
+            if (st.sched_bytes[k] != have_sched ||
+                st.events_bytes[k] != have_events ||
+                st.sched_chunks[k] != have_schunks ||
+                st.events_chunks[k] != have_echunks) {
+              err << "seal totals disagree with the chunks present in lane "
+                  << k;
+              return fail(err.str());
+            }
+          }
+          // Pad lane indexes so every lane the seal promises is queryable.
+          lane_slot(out.sched, st.lanes - 1);
+          lane_slot(out.events, st.lanes - 1);
         }
         out.sealed = true;
         break;
@@ -317,6 +522,12 @@ ScanOutcome scan_v4_file(std::FILE* f) {
     return fail(err.str());
   }
   if (!out.meta_seen) return fail("sealed trace has no meta chunk");
+  if (out.version == kTraceVersionMulti &&
+      out.meta.lane_count < std::max(out.sched.size(), out.events.size())) {
+    err << "meta lane count " << out.meta.lane_count
+        << " disagrees with the lanes present in the file";
+    return fail(err.str());
+  }
   out.ok = true;
   return out;
 }
@@ -326,21 +537,29 @@ ScanOutcome scan_v4_file(std::FILE* f) {
 FileTraceSource::FileTraceSource(const std::string& path) : path_(path) {
   f_ = std::fopen(path.c_str(), "rb");
   DV_CHECK_MSG(f_ != nullptr, "cannot open trace: " << path);
-  ScanOutcome scan = scan_v4_file(f_);
+  ScanOutcome scan = scan_chunked_file(f_);
   if (!scan.ok) {
     std::fclose(f_);
     f_ = nullptr;
     throw VmError("trace " + path + ": " + scan.error);
   }
   meta_ = scan.meta;
-  sched_.reserve(scan.sched.size());
-  for (const auto& c : scan.sched)
-    sched_.push_back({c.payload_offset, c.payload_len});
-  events_.reserve(scan.events.size());
-  for (const auto& c : scan.events)
-    events_.push_back({c.payload_offset, c.payload_len});
-  sched_bytes_ = scan.sched_bytes;
-  events_bytes_ = scan.events_bytes;
+  auto adopt = [](std::vector<StreamIndex>& dst,
+                  const std::vector<LaneChunks>& src) {
+    dst.resize(src.size());
+    for (size_t k = 0; k < src.size(); ++k) {
+      dst[k].bytes = src[k].bytes;
+      dst[k].chunks.reserve(src[k].chunks.size());
+      for (const auto& c : src[k].chunks)
+        dst[k].chunks.push_back({c.payload_offset, c.payload_len});
+    }
+  };
+  adopt(sched_, scan.sched);
+  adopt(events_, scan.events);
+  order_.bytes = scan.order.bytes;
+  order_.chunks.reserve(scan.order.chunks.size());
+  for (const auto& c : scan.order.chunks)
+    order_.chunks.push_back({c.payload_offset, c.payload_len});
 }
 
 FileTraceSource::~FileTraceSource() {
@@ -349,28 +568,31 @@ FileTraceSource::~FileTraceSource() {
 
 const TraceMeta& FileTraceSource::meta() const { return meta_; }
 
-std::vector<FileTraceSource::ChunkRef>& FileTraceSource::chunks(StreamId id) {
-  DV_CHECK_MSG(id == StreamId::kSchedule || id == StreamId::kEvents,
-               "only data streams have chunks");
-  return id == StreamId::kSchedule ? sched_ : events_;
+FileTraceSource::StreamIndex* FileTraceSource::index_of(StreamId id,
+                                                        LaneId lane) {
+  return const_cast<StreamIndex*>(
+      static_cast<const FileTraceSource*>(this)->index_of(id, lane));
 }
 
-const std::vector<FileTraceSource::ChunkRef>& FileTraceSource::chunks(
-    StreamId id) const {
-  return id == StreamId::kSchedule ? sched_ : events_;
+const FileTraceSource::StreamIndex* FileTraceSource::index_of(
+    StreamId id, LaneId lane) const {
+  if (id == StreamId::kOrder) return lane == 0 ? &order_ : nullptr;
+  if (id != StreamId::kSchedule && id != StreamId::kEvents) return nullptr;
+  const auto& v = id == StreamId::kSchedule ? sched_ : events_;
+  return lane < v.size() ? &v[lane] : nullptr;
 }
 
-StreamInfo FileTraceSource::stream_info(StreamId id) const {
-  return StreamInfo{
-      id == StreamId::kSchedule ? sched_bytes_ : events_bytes_,
-      chunks(id).size()};
+StreamInfo FileTraceSource::stream_info(StreamId id, LaneId lane) const {
+  const StreamIndex* idx = index_of(id, lane);
+  if (idx == nullptr) return StreamInfo{};
+  return StreamInfo{idx->bytes, idx->chunks.size()};
 }
 
-bool FileTraceSource::read_chunk(StreamId id, size_t index,
+bool FileTraceSource::read_chunk(StreamId id, LaneId lane, size_t index,
                                  std::vector<uint8_t>* out) {
-  const std::vector<ChunkRef>& cs = chunks(id);
-  if (index >= cs.size()) return false;
-  const ChunkRef& c = cs[index];
+  const StreamIndex* idx = index_of(id, lane);
+  if (idx == nullptr || index >= idx->chunks.size()) return false;
+  const ChunkRef& c = idx->chunks[index];
   out->resize(c.payload_len);
   DV_CHECK_MSG(std::fseek(f_, long(c.payload_offset), SEEK_SET) == 0,
                "seek failed: " << path_);
@@ -397,19 +619,20 @@ std::unique_ptr<TraceSource> open_trace_source(const std::string& path) {
     // compatibility reader.
     return std::make_unique<TraceFileSource>(TraceFile::load(path));
   }
-  DV_CHECK_MSG(version == kTraceVersion,
+  DV_CHECK_MSG(version == kTraceVersion || version == kTraceVersionMulti,
                "trace " << path << ": version " << version << " unsupported");
   return std::make_unique<FileTraceSource>(path);
 }
 
 // ---------------------------------------------------------------- cursor
 
-StreamCursor::StreamCursor(TraceSource& src, StreamId id)
-    : src_(src), id_(id), total_(src.stream_info(id).bytes) {}
+StreamCursor::StreamCursor(TraceSource& src, StreamId id, LaneId lane)
+    : src_(src), id_(id), lane_(lane),
+      total_(src.stream_info(id, lane).bytes) {}
 
 bool StreamCursor::ensure_byte() {
   while (pos_ == chunk_.size()) {
-    if (!src_.read_chunk(id_, next_chunk_, &chunk_)) return false;
+    if (!src_.read_chunk(id_, lane_, next_chunk_, &chunk_)) return false;
     next_chunk_++;
     pos_ = 0;
   }
@@ -480,9 +703,11 @@ Checkpoint read_checkpoint(StreamCursor& c) {
   return cp;
 }
 
-// ------------------------------------------------------------ v4 <-> file
+// --------------------------------------------------------- v4/v5 <-> file
 
 std::vector<uint8_t> serialize_v4(const TraceFile& trace) {
+  DV_CHECK_MSG(!trace.multi_lane(),
+               "multi-lane trace cannot use the v4 container");
   auto sink = std::make_unique<VectorTraceSink>();
   VectorTraceSink* mem = sink.get();
   TraceWriter w(std::move(sink));
@@ -492,17 +717,51 @@ std::vector<uint8_t> serialize_v4(const TraceFile& trace) {
   return mem->take();
 }
 
-TraceFile deserialize_v4(const std::vector<uint8_t>& bytes) {
-  ByteReader r(bytes);
+std::vector<uint8_t> serialize_v5(const TraceFile& trace) {
+  uint32_t lanes = std::max<uint32_t>(
+      trace.meta.lane_count,
+      uint32_t(1 + std::max(trace.extra_schedules.size(),
+                            trace.extra_events.size())));
+  DV_CHECK_MSG(lanes <= kMaxLanes, "lane count " << lanes << " out of range");
+  auto sink = std::make_unique<VectorTraceSink>(kTraceVersionMulti);
+  VectorTraceSink* mem = sink.get();
+  TraceWriter w(std::move(sink), kDefaultChunkBytes, kTraceVersionMulti);
+  for (uint32_t k = 0; k < lanes; ++k) {
+    const std::vector<uint8_t>* s = stream_of(trace, StreamId::kSchedule, k);
+    const std::vector<uint8_t>* e = stream_of(trace, StreamId::kEvents, k);
+    if (s != nullptr) w.append(StreamId::kSchedule, s->data(), s->size(), k);
+    if (e != nullptr) w.append(StreamId::kEvents, e->data(), e->size(), k);
+  }
+  w.append(StreamId::kOrder, trace.order.data(), trace.order.size());
+  TraceMeta meta = trace.meta;
+  meta.lane_count = lanes;
+  w.finish(meta);
+  return mem->take();
+}
+
+MemoryScan scan_trace_buffer(const uint8_t* data, size_t n) {
+  MemoryScan out;
+  ByteReader r(data, n);
   DV_CHECK_MSG(r.remaining() >= 8 && r.get_u32_fixed() == kTraceMagic,
                "not a DejaVu trace");
-  uint32_t version = r.get_u32_fixed();
-  DV_CHECK_MSG(version == kTraceVersion,
-               "trace version " << version << " is not v4");
-  TraceFile t;
+  out.version = r.get_u32_fixed();
+  DV_CHECK_MSG(out.version == kTraceVersion ||
+                   out.version == kTraceVersionMulti,
+               "trace version " << out.version << " is not v4");
   bool meta_seen = false, sealed = false;
-  uint64_t sched_bytes = 0, events_bytes = 0;
-  uint32_t sched_chunks = 0, events_chunks = 0;
+  std::vector<uint64_t> sched_bytes(1, 0), events_bytes(1, 0);
+  std::vector<uint32_t> sched_chunks(1, 0), events_chunks(1, 0);
+  uint64_t order_bytes = 0;
+  uint32_t order_chunks = 0;
+  auto tally = [](std::vector<uint64_t>& bytes_v, std::vector<uint32_t>& ch_v,
+                  LaneId lane, uint32_t len) {
+    if (bytes_v.size() <= lane) {
+      bytes_v.resize(lane + 1, 0);
+      ch_v.resize(lane + 1, 0);
+    }
+    bytes_v[lane] += len;
+    ch_v[lane]++;
+  };
   while (!r.at_end()) {
     size_t offset = r.position();
     DV_CHECK_MSG(!sealed, "data after the seal chunk at offset " << offset);
@@ -510,47 +769,74 @@ TraceFile deserialize_v4(const std::vector<uint8_t>& bytes) {
                  "truncated chunk header at offset " << offset);
     uint8_t raw_id = r.get_u8();
     uint32_t len = r.get_u32_fixed();
-    DV_CHECK_MSG(raw_id <= uint8_t(StreamId::kSeal),
-                 "unknown stream id " << int(raw_id) << " at offset "
-                                      << offset);
-    StreamId id = StreamId(raw_id);
+    StreamId id = StreamId::kMeta;
+    LaneId lane = 0;
+    bool known = out.version == kTraceVersion
+                     ? raw_id <= uint8_t(StreamId::kSeal) &&
+                           (id = StreamId(raw_id), lane = 0, true)
+                     : parse_wire_stream_id(raw_id, &id, &lane);
+    DV_CHECK_MSG(known, "unknown stream id " << int(raw_id) << " at offset "
+                                             << offset);
     DV_CHECK_MSG(r.remaining() >= uint64_t(len) + kChunkTrailerBytes,
                  "truncated " << stream_name(id) << " chunk at offset "
                               << offset);
-    std::vector<uint8_t> tmp(len);
-    r.get_bytes(tmp.data(), len);
-    uint32_t want = r.get_u32_fixed();
-    DV_CHECK_MSG(want == chunk_crc(id, tmp.data(), len),
-                 "CRC mismatch in " << stream_name(id) << " chunk at offset "
-                                    << offset);
+    uint64_t payload_offset = r.position();
+    const uint8_t* payload = data + payload_offset;
+    r.skip(len);
+    uint32_t stored_crc = r.get_u32_fixed();
+    out.chunks.push_back({id, lane, uint64_t(offset), payload_offset, len,
+                          raw_id, stored_crc});
     switch (id) {
       case StreamId::kSchedule:
-        t.schedule.insert(t.schedule.end(), tmp.begin(), tmp.end());
-        sched_bytes += len;
-        sched_chunks++;
+        tally(sched_bytes, sched_chunks, lane, len);
         break;
       case StreamId::kEvents:
-        t.events.insert(t.events.end(), tmp.begin(), tmp.end());
-        events_bytes += len;
-        events_chunks++;
+        tally(events_bytes, events_chunks, lane, len);
+        break;
+      case StreamId::kOrder:
+        order_bytes += len;
+        order_chunks++;
         break;
       case StreamId::kMeta: {
         DV_CHECK_MSG(!meta_seen, "duplicate meta chunk at offset " << offset);
-        ByteReader mr(tmp.data(), tmp.size());
-        t.meta = read_meta_payload(mr);
+        ByteReader mr(payload, len);
+        out.meta = read_meta_payload_ex(mr, out.version);
         DV_CHECK_MSG(mr.at_end(),
                      "trailing bytes in meta chunk at offset " << offset);
         meta_seen = true;
         break;
       }
       case StreamId::kSeal: {
-        DV_CHECK_MSG(len == 24, "malformed seal chunk at offset " << offset);
-        ByteReader sr(tmp.data(), tmp.size());
-        DV_CHECK_MSG(sr.get_u64_fixed() == sched_bytes &&
-                         sr.get_u64_fixed() == events_bytes &&
-                         sr.get_u32_fixed() == sched_chunks &&
-                         sr.get_u32_fixed() == events_chunks,
-                     "seal totals disagree with the chunks present");
+        if (out.version == kTraceVersion) {
+          DV_CHECK_MSG(len == 24, "malformed seal chunk at offset " << offset);
+          ByteReader sr(payload, len);
+          DV_CHECK_MSG(sr.get_u64_fixed() == sched_bytes[0] &&
+                           sr.get_u64_fixed() == events_bytes[0] &&
+                           sr.get_u32_fixed() == sched_chunks[0] &&
+                           sr.get_u32_fixed() == events_chunks[0],
+                       "seal totals disagree with the chunks present");
+        } else {
+          SealTotalsV5 st;
+          DV_CHECK_MSG(parse_seal_v5(payload, len, &st),
+                       "malformed seal chunk at offset " << offset);
+          DV_CHECK_MSG(st.lanes >= sched_bytes.size() &&
+                           st.lanes >= events_bytes.size(),
+                       "seal lane count below lanes present");
+          DV_CHECK_MSG(st.order_bytes == order_bytes &&
+                           st.order_chunks == order_chunks,
+                       "seal totals disagree with the order chunks present");
+          for (uint32_t k = 0; k < st.lanes; ++k) {
+            uint64_t hs = k < sched_bytes.size() ? sched_bytes[k] : 0;
+            uint64_t he = k < events_bytes.size() ? events_bytes[k] : 0;
+            uint32_t hsc = k < sched_chunks.size() ? sched_chunks[k] : 0;
+            uint32_t hec = k < events_chunks.size() ? events_chunks[k] : 0;
+            DV_CHECK_MSG(st.sched_bytes[k] == hs && st.events_bytes[k] == he &&
+                             st.sched_chunks[k] == hsc &&
+                             st.events_chunks[k] == hec,
+                         "seal totals disagree with the chunks present in "
+                         "lane " << k);
+          }
+        }
         sealed = true;
         break;
       }
@@ -558,7 +844,63 @@ TraceFile deserialize_v4(const std::vector<uint8_t>& bytes) {
   }
   DV_CHECK_MSG(sealed, "trace is not sealed (recorder did not finish)");
   DV_CHECK_MSG(meta_seen, "sealed trace has no meta chunk");
+  return out;
+}
+
+TraceFile deserialize_chunked(const std::vector<uint8_t>& bytes) {
+  MemoryScan scan = scan_trace_buffer(bytes.data(), bytes.size());
+  TraceFile t;
+  t.meta = scan.meta;
+  auto lane_stream = [&](std::vector<std::vector<uint8_t>>& extra,
+                         std::vector<uint8_t>& lane0,
+                         LaneId lane) -> std::vector<uint8_t>& {
+    if (lane == 0) return lane0;
+    if (extra.size() < lane) extra.resize(lane);
+    return extra[lane - 1];
+  };
+  for (const ScannedChunkRef& c : scan.chunks) {
+    const uint8_t* payload = bytes.data() + c.payload_offset;
+    DV_CHECK_MSG(c.stored_crc == chunk_crc(c.wire_id, payload, c.payload_len),
+                 "CRC mismatch in " << stream_name(c.id) << " chunk at offset "
+                                    << c.chunk_offset);
+    switch (c.id) {
+      case StreamId::kSchedule: {
+        auto& s = lane_stream(t.extra_schedules, t.schedule, c.lane);
+        s.insert(s.end(), payload, payload + c.payload_len);
+        break;
+      }
+      case StreamId::kEvents: {
+        auto& s = lane_stream(t.extra_events, t.events, c.lane);
+        s.insert(s.end(), payload, payload + c.payload_len);
+        break;
+      }
+      case StreamId::kOrder:
+        t.order.insert(t.order.end(), payload, payload + c.payload_len);
+        break;
+      case StreamId::kMeta:
+      case StreamId::kSeal:
+        break;  // already decoded/verified by the scan
+    }
+  }
+  if (t.meta.lane_count > 1) {
+    DV_CHECK_MSG(t.meta.lane_count - 1 >= t.extra_schedules.size() &&
+                     t.meta.lane_count - 1 >= t.extra_events.size(),
+                 "meta lane count disagrees with the lanes present");
+    // Every lane the meta promises is addressable, even if it stayed empty.
+    t.extra_schedules.resize(t.meta.lane_count - 1);
+    t.extra_events.resize(t.meta.lane_count - 1);
+  }
   return t;
+}
+
+TraceFile deserialize_v4(const std::vector<uint8_t>& bytes) {
+  ByteReader r(bytes);
+  DV_CHECK_MSG(r.remaining() >= 8 && r.get_u32_fixed() == kTraceMagic,
+               "not a DejaVu trace");
+  uint32_t version = r.get_u32_fixed();
+  DV_CHECK_MSG(version == kTraceVersion,
+               "trace version " << version << " is not v4");
+  return deserialize_chunked(bytes);
 }
 
 // ---------------------------------------------------------------- verify
@@ -567,7 +909,11 @@ std::string TraceVerifyReport::describe() const {
   std::ostringstream os;
   os << "version " << version << (sealed ? ", sealed" : ", NOT sealed")
      << ", " << valid_chunks << " data chunk(s), schedule " << schedule_bytes
-     << "B, events " << events_bytes << "B: ";
+     << "B, events " << events_bytes << "B";
+  if (lanes > 1 || order_bytes > 0) {
+    os << ", " << lanes << " lane(s), order " << order_bytes << "B";
+  }
+  os << ": ";
   if (ok) {
     os << "OK";
   } else {
@@ -614,19 +960,21 @@ TraceVerifyReport verify_trace_file(const std::string& path) {
     }
     return rep;
   }
-  if (rep.version != kTraceVersion) {
+  if (rep.version != kTraceVersion && rep.version != kTraceVersionMulti) {
     std::fclose(f);
     rep.error = "unsupported trace version " + std::to_string(rep.version);
     return rep;
   }
 
-  ScanOutcome scan = scan_v4_file(f);
+  ScanOutcome scan = scan_chunked_file(f);
   std::fclose(f);
   rep.ok = scan.ok;
   rep.sealed = scan.sealed;
   rep.valid_chunks = scan.valid_chunks;
-  rep.schedule_bytes = scan.sched_bytes;
-  rep.events_bytes = scan.events_bytes;
+  for (const auto& lc : scan.sched) rep.schedule_bytes += lc.bytes;
+  for (const auto& lc : scan.events) rep.events_bytes += lc.bytes;
+  rep.order_bytes = scan.order.bytes;
+  rep.lanes = scan.meta_seen ? scan.meta.lane_count : 1;
   rep.error = scan.error;
   return rep;
 }

@@ -50,6 +50,7 @@ enum class StreamId : uint8_t {
   kSchedule = 1,
   kEvents = 2,
   kSeal = 3,
+  kOrder = 4,  // v5: cross-lane order events (one global stream)
 };
 
 const char* stream_name(StreamId id);
@@ -58,17 +59,37 @@ inline constexpr size_t kDefaultChunkBytes = 64 * 1024;
 inline constexpr size_t kChunkHeaderBytes = 5;   // stream id + payload len
 inline constexpr size_t kChunkTrailerBytes = 4;  // crc32
 
+// v5 lane addressing in the chunk id byte. Lane 0 keeps the v4 ids (1 and
+// 2), so every v4 reader concept carries over and a single-lane v5 file
+// differs from v4 only in version, meta extension and seal layout. Lanes
+// 1.. map to id pairs starting at kLaneStreamBase: lane k's schedule is
+// kLaneStreamBase + 2*(k-1), its events stream the id after it.
+inline constexpr uint8_t kLaneStreamBase = 8;
+
+uint8_t wire_stream_id(StreamId id, LaneId lane);
+// Decodes a chunk id byte; returns false for reserved/unknown ids.
+bool parse_wire_stream_id(uint8_t wire, StreamId* id, LaneId* lane);
+
 // CRC over [stream_id][payload_len le][payload].
-uint32_t chunk_crc(StreamId id, const uint8_t* payload, size_t n);
+uint32_t chunk_crc(uint8_t wire_id, const uint8_t* payload, size_t n);
+inline uint32_t chunk_crc(StreamId id, const uint8_t* payload, size_t n) {
+  return chunk_crc(uint8_t(id), payload, n);
+}
 
 // ---------------------------------------------------------------- writing
 
 // Destination for framed chunks. Implementations append the container
 // header on construction; write_chunk frames and checksums one payload.
+// `lane` selects the per-lane data stream (only meaningful for kSchedule /
+// kEvents; everything else is lane 0 by construction).
 class TraceSink {
  public:
   virtual ~TraceSink() = default;
-  virtual void write_chunk(StreamId id, const uint8_t* payload, size_t n) = 0;
+  virtual void write_chunk(StreamId id, const uint8_t* payload, size_t n,
+                           LaneId lane) = 0;
+  void write_chunk(StreamId id, const uint8_t* payload, size_t n) {
+    write_chunk(id, payload, n, 0);
+  }
   virtual void flush() {}  // push buffered bytes toward durable storage
 };
 
@@ -76,8 +97,10 @@ class TraceSink {
 // RAM" path, and TraceFile::serialize()).
 class VectorTraceSink : public TraceSink {
  public:
-  VectorTraceSink();
-  void write_chunk(StreamId id, const uint8_t* payload, size_t n) override;
+  explicit VectorTraceSink(uint32_t version = kTraceVersion);
+  using TraceSink::write_chunk;
+  void write_chunk(StreamId id, const uint8_t* payload, size_t n,
+                   LaneId lane) override;
   const std::vector<uint8_t>& bytes() const { return w_.bytes(); }
   std::vector<uint8_t> take() { return w_.take(); }
 
@@ -89,12 +112,15 @@ class VectorTraceSink : public TraceSink {
 // crash leaves every already-flushed chunk intact (and CRC-verifiable).
 class FileTraceSink : public TraceSink {
  public:
-  explicit FileTraceSink(const std::string& path);
+  explicit FileTraceSink(const std::string& path,
+                         uint32_t version = kTraceVersion);
   ~FileTraceSink() override;
   FileTraceSink(const FileTraceSink&) = delete;
   FileTraceSink& operator=(const FileTraceSink&) = delete;
 
-  void write_chunk(StreamId id, const uint8_t* payload, size_t n) override;
+  using TraceSink::write_chunk;
+  void write_chunk(StreamId id, const uint8_t* payload, size_t n,
+                   LaneId lane) override;
   void flush() override;
 
  private:
@@ -102,17 +128,23 @@ class FileTraceSink : public TraceSink {
   std::string path_;
 };
 
-// Engine-facing writer: per-stream bounded buffering over a TraceSink.
+// Engine-facing writer: per-(stream, lane) bounded buffering over a
+// TraceSink. With version 4 (the default) exactly lane 0 exists and the
+// output is the classic v4 container, byte-for-byte. With version 5 the
+// writer accepts appends to any lane plus the kOrder stream and finishes
+// with the v5 seal.
 class TraceWriter {
  public:
   explicit TraceWriter(std::unique_ptr<TraceSink> sink,
-                       size_t chunk_bytes = kDefaultChunkBytes);
+                       size_t chunk_bytes = kDefaultChunkBytes,
+                       uint32_t version = kTraceVersion);
   ~TraceWriter();
 
-  // Append one whole logical record (schedule entry, event, checkpoint) to
-  // a data stream. Emits the stream's pending chunk first if the record
-  // would not fit; an oversized record becomes its own oversized chunk.
-  void append(StreamId id, const uint8_t* data, size_t n);
+  // Append one whole logical record (schedule entry, event, checkpoint,
+  // order record) to a data stream. Emits the stream's pending chunk first
+  // if the record would not fit; an oversized record becomes its own
+  // oversized chunk.
+  void append(StreamId id, const uint8_t* data, size_t n, LaneId lane = 0);
 
   // Force partial chunks out and flush the sink (mid-recording durability).
   void flush();
@@ -120,8 +152,9 @@ class TraceWriter {
   // Emit remaining data, then the meta chunk and the seal. Idempotent.
   void finish(const TraceMeta& meta);
 
-  uint64_t stream_bytes(StreamId id) const;
+  uint64_t stream_bytes(StreamId id, LaneId lane = 0) const;
   size_t buffered_bytes() const;
+  uint32_t version() const { return version_; }
 
   // Invoked after each data chunk reaches the sink (stream, payload bytes).
   // Observability hook: the engine uses it to timestamp chunk flushes
@@ -130,15 +163,21 @@ class TraceWriter {
   void set_chunk_observer(ChunkObserver obs) { observer_ = std::move(obs); }
 
  private:
-  ByteWriter& buf(StreamId id);
-  void emit(StreamId id);
+  struct StreamBuf {
+    ByteWriter buf;
+    uint64_t bytes = 0;
+    uint32_t chunks = 0;
+  };
+  StreamBuf& buf(StreamId id, LaneId lane);
+  void emit(StreamId id, LaneId lane);
+  void emit_all();
 
   ChunkObserver observer_;
   std::unique_ptr<TraceSink> sink_;
   size_t chunk_bytes_;
-  ByteWriter sched_buf_, events_buf_;
-  uint64_t sched_bytes_ = 0, events_bytes_ = 0;
-  uint32_t sched_chunks_ = 0, events_chunks_ = 0;
+  uint32_t version_;
+  std::vector<StreamBuf> sched_, events_;  // indexed by lane
+  StreamBuf order_;
   bool finished_ = false;
 };
 
@@ -149,17 +188,24 @@ struct StreamInfo {
   size_t chunks = 0;
 };
 
-// Random access to a trace's meta block and per-stream chunk sequences.
-// Multiple StreamCursors over one source are independent.
+// Random access to a trace's meta block and per-(stream, lane) chunk
+// sequences. Multiple StreamCursors over one source are independent. The
+// two-argument forms address lane 0 (every v3/v4 trace, and the kOrder
+// stream, which is global).
 class TraceSource {
  public:
   virtual ~TraceSource() = default;
   virtual const TraceMeta& meta() const = 0;
-  virtual StreamInfo stream_info(StreamId id) const = 0;
+  virtual StreamInfo stream_info(StreamId id, LaneId lane) const = 0;
+  StreamInfo stream_info(StreamId id) const { return stream_info(id, 0); }
   // Copies chunk `index` of the stream into *out (replacing its contents).
   // Returns false once `index` is past the last chunk.
-  virtual bool read_chunk(StreamId id, size_t index,
+  virtual bool read_chunk(StreamId id, LaneId lane, size_t index,
                           std::vector<uint8_t>* out) = 0;
+  bool read_chunk(StreamId id, size_t index, std::vector<uint8_t>* out) {
+    return read_chunk(id, 0, index, out);
+  }
+  uint32_t lane_count() const { return meta().lane_count; }
 };
 
 // Serves a materialized TraceFile (owned or borrowed) as a one-chunk-per-
@@ -170,9 +216,11 @@ class TraceFileSource : public TraceSource {
   explicit TraceFileSource(TraceFile trace);         // owning
   explicit TraceFileSource(const TraceFile* trace);  // borrowed
 
+  using TraceSource::read_chunk;
+  using TraceSource::stream_info;
   const TraceMeta& meta() const override;
-  StreamInfo stream_info(StreamId id) const override;
-  bool read_chunk(StreamId id, size_t index,
+  StreamInfo stream_info(StreamId id, LaneId lane) const override;
+  bool read_chunk(StreamId id, LaneId lane, size_t index,
                   std::vector<uint8_t>* out) override;
 
  private:
@@ -181,10 +229,10 @@ class TraceFileSource : public TraceSource {
   const TraceFile* borrowed_ = nullptr;
 };
 
-// Streams a v4 file: one CRC-verifying scan at open (O(chunk) memory)
-// builds a chunk index and loads the meta block; read_chunk then seeks on
-// demand. Throws VmError with the offending stream/offset on corruption,
-// truncation, or a missing seal.
+// Streams a v4/v5 file: one CRC-verifying scan at open (O(chunk) memory)
+// builds a per-(stream, lane) chunk index and loads the meta block;
+// read_chunk then seeks on demand. Throws VmError with the offending
+// stream/offset on corruption, truncation, or a missing seal.
 class FileTraceSource : public TraceSource {
  public:
   explicit FileTraceSource(const std::string& path);
@@ -192,9 +240,11 @@ class FileTraceSource : public TraceSource {
   FileTraceSource(const FileTraceSource&) = delete;
   FileTraceSource& operator=(const FileTraceSource&) = delete;
 
+  using TraceSource::read_chunk;
+  using TraceSource::stream_info;
   const TraceMeta& meta() const override;
-  StreamInfo stream_info(StreamId id) const override;
-  bool read_chunk(StreamId id, size_t index,
+  StreamInfo stream_info(StreamId id, LaneId lane) const override;
+  bool read_chunk(StreamId id, LaneId lane, size_t index,
                   std::vector<uint8_t>* out) override;
 
  private:
@@ -202,18 +252,22 @@ class FileTraceSource : public TraceSource {
     uint64_t payload_offset = 0;
     uint32_t payload_len = 0;
   };
-  std::vector<ChunkRef>& chunks(StreamId id);
-  const std::vector<ChunkRef>& chunks(StreamId id) const;
+  struct StreamIndex {
+    std::vector<ChunkRef> chunks;
+    uint64_t bytes = 0;
+  };
+  StreamIndex* index_of(StreamId id, LaneId lane);
+  const StreamIndex* index_of(StreamId id, LaneId lane) const;
 
   std::FILE* f_ = nullptr;
   std::string path_;
   TraceMeta meta_;
-  std::vector<ChunkRef> sched_, events_;
-  uint64_t sched_bytes_ = 0, events_bytes_ = 0;
+  std::vector<StreamIndex> sched_, events_;  // indexed by lane
+  StreamIndex order_;
 };
 
-// Opens `path` as a streaming source: v4 files stream from disk; v3 files
-// are loaded whole through the compatibility reader.
+// Opens `path` as a streaming source: v4/v5 files stream from disk; v3
+// files are loaded whole through the compatibility reader.
 std::unique_ptr<TraceSource> open_trace_source(const std::string& path);
 
 // Sequential decoder over one stream of a TraceSource. Mirrors the
@@ -222,7 +276,7 @@ std::unique_ptr<TraceSource> open_trace_source(const std::string& path);
 // engine keeps its guest trace buffers byte-identical to record mode.
 class StreamCursor {
  public:
-  StreamCursor(TraceSource& src, StreamId id);
+  StreamCursor(TraceSource& src, StreamId id, LaneId lane = 0);
 
   uint8_t get_u8();
   uint64_t get_uvarint();
@@ -242,6 +296,7 @@ class StreamCursor {
 
   TraceSource& src_;
   StreamId id_;
+  LaneId lane_;
   std::vector<uint8_t> chunk_;
   size_t pos_ = 0;
   size_t next_chunk_ = 0;
@@ -254,9 +309,39 @@ class StreamCursor {
 // Checkpoint::read_from over a ByteReader).
 Checkpoint read_checkpoint(StreamCursor& c);
 
-// ------------------------------------------------------------ v4 <-> file
+// ------------------------------------------------------- structural scan
+
+// One chunk located by a structural walk over a whole-file buffer. CRC
+// verification is deliberately left to the caller: MemoryTraceSource
+// (src/replay/parallel_io.hpp) fans the CRC work across a worker pool,
+// deserialize_chunked verifies serially.
+struct ScannedChunkRef {
+  StreamId id = StreamId::kMeta;
+  LaneId lane = 0;
+  uint64_t chunk_offset = 0;    // offset of the id byte (error reporting)
+  uint64_t payload_offset = 0;  // offset of the payload bytes
+  uint32_t payload_len = 0;
+  uint8_t wire_id = 0;
+  uint32_t stored_crc = 0;
+};
+
+struct MemoryScan {
+  uint32_t version = 0;
+  TraceMeta meta;
+  std::vector<ScannedChunkRef> chunks;  // file order, incl. meta and seal
+};
+
+// Structural walk over an in-memory v4/v5 container: framing, stream ids,
+// meta parse, seal totals, single-seal/single-meta invariants. Does NOT
+// check chunk CRCs. Throws VmError with a located message on any problem.
+MemoryScan scan_trace_buffer(const uint8_t* data, size_t n);
+
+// --------------------------------------------------------- v4/v5 <-> file
 
 std::vector<uint8_t> serialize_v4(const TraceFile& trace);
+std::vector<uint8_t> serialize_v5(const TraceFile& trace);
+// Parses any chunked container (v4 or v5) back into a TraceFile.
+TraceFile deserialize_chunked(const std::vector<uint8_t>& bytes);
 TraceFile deserialize_v4(const std::vector<uint8_t>& bytes);
 
 // ---------------------------------------------------------------- verify
@@ -268,8 +353,10 @@ struct TraceVerifyReport {
   uint32_t version = 0;
   bool sealed = false;
   size_t valid_chunks = 0;      // CRC-verified data chunks before any error
-  uint64_t schedule_bytes = 0;  // payload bytes across verified chunks
-  uint64_t events_bytes = 0;
+  uint64_t schedule_bytes = 0;  // payload bytes across verified chunks,
+  uint64_t events_bytes = 0;    //   summed over all lanes
+  uint32_t lanes = 1;           // v5: lane count from the meta block
+  uint64_t order_bytes = 0;     // v5: cross-lane order stream payload bytes
   std::string error;  // first located error; empty when ok
 
   std::string describe() const;

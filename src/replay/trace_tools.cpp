@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/threads/lane.hpp"
+
 namespace dejavu::replay {
 
-DecodedSchedule decode_schedule(TraceSource& src) {
+DecodedSchedule decode_schedule(TraceSource& src, LaneId lane) {
   DecodedSchedule out;
-  StreamCursor r(src, StreamId::kSchedule);
+  StreamCursor r(src, StreamId::kSchedule, lane);
   uint32_t interval = src.meta().checkpoint_interval;
   uint64_t cumulative = 0;
   uint64_t n = 0;
@@ -26,9 +28,9 @@ DecodedSchedule decode_schedule(TraceSource& src) {
   return out;
 }
 
-std::vector<DecodedEvent> decode_events(TraceSource& src) {
+std::vector<DecodedEvent> decode_events(TraceSource& src, LaneId lane) {
   std::vector<DecodedEvent> out;
-  StreamCursor r(src, StreamId::kEvents);
+  StreamCursor r(src, StreamId::kEvents, lane);
   while (!r.at_end()) {
     DecodedEvent e;
     uint8_t tag = r.get_u8();
@@ -55,43 +57,68 @@ std::vector<DecodedEvent> decode_events(TraceSource& src) {
   return out;
 }
 
-DecodedSchedule decode_schedule(const TraceFile& trace) {
-  TraceFileSource src(&trace);
-  return decode_schedule(src);
+std::vector<DecodedOrderEvent> decode_order(TraceSource& src) {
+  std::vector<DecodedOrderEvent> out;
+  StreamCursor r(src, StreamId::kOrder);
+  while (!r.at_end()) {
+    DecodedOrderEvent e;
+    e.kind = r.get_u8();
+    e.from_lane = uint32_t(r.get_uvarint());
+    e.to_lane = uint32_t(r.get_uvarint());
+    e.from = uint32_t(r.get_uvarint());
+    e.to = uint32_t(r.get_uvarint());
+    e.subject = r.get_uvarint();
+    out.push_back(e);
+  }
+  return out;
 }
 
-std::vector<DecodedEvent> decode_events(const TraceFile& trace) {
+DecodedSchedule decode_schedule(const TraceFile& trace, LaneId lane) {
   TraceFileSource src(&trace);
-  return decode_events(src);
+  return decode_schedule(src, lane);
+}
+
+std::vector<DecodedEvent> decode_events(const TraceFile& trace, LaneId lane) {
+  TraceFileSource src(&trace);
+  return decode_events(src, lane);
 }
 
 TraceStats trace_stats(TraceSource& src) {
   TraceStats s;
-  s.schedule_bytes = size_t(src.stream_info(StreamId::kSchedule).bytes);
-  s.event_bytes = size_t(src.stream_info(StreamId::kEvents).bytes);
-  DecodedSchedule sched = decode_schedule(src);
-  s.preempt_switches = sched.entries.size();
-  uint64_t sum = 0;
+  s.lanes = src.lane_count();
+  uint64_t sum = 0, entries = 0;
   s.min_delta = UINT64_MAX;
-  for (const auto& e : sched.entries) {
-    s.min_delta = std::min(s.min_delta, e.nyp_delta);
-    s.max_delta = std::max(s.max_delta, e.nyp_delta);
-    sum += e.nyp_delta;
-    s.checkpoints += e.has_checkpoint ? 1 : 0;
-  }
-  if (sched.entries.empty()) s.min_delta = 0;
-  s.mean_delta =
-      sched.entries.empty() ? 0 : double(sum) / double(sched.entries.size());
-  for (const auto& e : decode_events(src)) {
-    switch (e.tag) {
-      case EventTag::kClock: s.clock_events++; break;
-      case EventTag::kInput: s.input_events++; break;
-      case EventTag::kRand: s.rand_events++; break;
-      case EventTag::kNativeReturn: s.native_returns++; break;
-      case EventTag::kNativeCallback: s.native_callbacks++; break;
+  for (LaneId lane = 0; lane < s.lanes; ++lane) {
+    s.schedule_bytes +=
+        size_t(src.stream_info(StreamId::kSchedule, lane).bytes);
+    s.event_bytes += size_t(src.stream_info(StreamId::kEvents, lane).bytes);
+    DecodedSchedule sched = decode_schedule(src, lane);
+    s.preempt_switches += sched.entries.size();
+    entries += sched.entries.size();
+    for (const auto& e : sched.entries) {
+      s.min_delta = std::min(s.min_delta, e.nyp_delta);
+      s.max_delta = std::max(s.max_delta, e.nyp_delta);
+      sum += e.nyp_delta;
+      s.checkpoints += e.has_checkpoint ? 1 : 0;
+    }
+    for (const auto& e : decode_events(src, lane)) {
+      switch (e.tag) {
+        case EventTag::kClock: s.clock_events++; break;
+        case EventTag::kInput: s.input_events++; break;
+        case EventTag::kRand: s.rand_events++; break;
+        case EventTag::kNativeReturn: s.native_returns++; break;
+        case EventTag::kNativeCallback: s.native_callbacks++; break;
+      }
     }
   }
+  if (entries == 0) s.min_delta = 0;
+  s.mean_delta = entries == 0 ? 0 : double(sum) / double(entries);
+  if (s.lanes > 1) s.order_events = decode_order(src).size();
   return s;
+}
+
+std::vector<uint8_t> convert_to_v5(const TraceFile& trace) {
+  return serialize_v5(trace);
 }
 
 TraceStats trace_stats(const TraceFile& trace) {
@@ -99,18 +126,13 @@ TraceStats trace_stats(const TraceFile& trace) {
   return trace_stats(src);
 }
 
-std::string dump_trace(TraceSource& src, size_t max_lines) {
-  const TraceMeta& meta = src.meta();
-  uint64_t total = src.stream_info(StreamId::kSchedule).bytes +
-                   src.stream_info(StreamId::kEvents).bytes;
-  std::ostringstream os;
-  os << "trace: fingerprint=" << std::hex << meta.program_fingerprint
-     << std::dec << " preempts=" << meta.preempt_switches
-     << " ndevents=" << meta.nd_events << " bytes=" << total << "\n";
-  os << "final: " << meta.final_checkpoint.describe() << "\n";
+namespace {
 
-  DecodedSchedule sched = decode_schedule(src);
-  os << "schedule (" << sched.entries.size() << " preemptive switches):\n";
+void dump_lane_streams(TraceSource& src, LaneId lane, size_t max_lines,
+                       std::ostringstream& os, const std::string& label) {
+  DecodedSchedule sched = decode_schedule(src, lane);
+  os << label << "schedule (" << sched.entries.size()
+     << " preemptive switches):\n";
   for (size_t i = 0; i < sched.entries.size(); ++i) {
     if (i >= max_lines) {
       os << "  ... " << (sched.entries.size() - i) << " more\n";
@@ -123,8 +145,8 @@ std::string dump_trace(TraceSource& src, size_t max_lines) {
     os << "\n";
   }
 
-  std::vector<DecodedEvent> events = decode_events(src);
-  os << "events (" << events.size() << "):\n";
+  std::vector<DecodedEvent> events = decode_events(src, lane);
+  os << label << "events (" << events.size() << "):\n";
   for (size_t i = 0; i < events.size(); ++i) {
     if (i >= max_lines) {
       os << "  ... " << (events.size() - i) << " more\n";
@@ -149,6 +171,56 @@ std::string dump_trace(TraceSource& src, size_t max_lines) {
     }
     os << "\n";
   }
+}
+
+}  // namespace
+
+std::string dump_trace(TraceSource& src, size_t max_lines) {
+  const TraceMeta& meta = src.meta();
+  uint32_t lanes = src.lane_count();
+  uint64_t total = 0;
+  for (LaneId lane = 0; lane < lanes; ++lane) {
+    total += src.stream_info(StreamId::kSchedule, lane).bytes +
+             src.stream_info(StreamId::kEvents, lane).bytes;
+  }
+  std::ostringstream os;
+  os << "trace: fingerprint=" << std::hex << meta.program_fingerprint
+     << std::dec << " preempts=" << meta.preempt_switches
+     << " ndevents=" << meta.nd_events << " bytes=" << total << "\n";
+  os << "final: " << meta.final_checkpoint.describe() << "\n";
+
+  // Single-lane output is unchanged from the pre-lane dump; multi-lane
+  // traces get one labelled section per lane plus the order stream.
+  for (LaneId lane = 0; lane < lanes; ++lane) {
+    std::string label;
+    if (lanes > 1) {
+      os << "lane " << lane << " (clock "
+         << (lane < meta.lane_clocks.size() ? meta.lane_clocks[lane] : 0)
+         << ", preempts "
+         << (lane < meta.lane_preempts.size() ? meta.lane_preempts[lane] : 0)
+         << "):\n";
+      label = "lane " + std::to_string(lane) + " ";
+    }
+    dump_lane_streams(src, lane, max_lines, os, label);
+  }
+
+  if (lanes > 1) {
+    std::vector<DecodedOrderEvent> order = decode_order(src);
+    os << "order (" << order.size() << " cross-lane events):\n";
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (i >= max_lines) {
+        os << "  ... " << (order.size() - i) << " more\n";
+        break;
+      }
+      const DecodedOrderEvent& e = order[i];
+      os << "  " << i << ": "
+         << threads::cross_lane_kind_name(threads::CrossLaneKind(e.kind))
+         << " lane " << e.from_lane << "->" << e.to_lane << " tid " << e.from
+         << "->" << e.to;
+      if (e.subject != 0) os << " subject " << e.subject;
+      os << "\n";
+    }
+  }
   return os.str();
 }
 
@@ -165,40 +237,75 @@ TraceDiff diff_traces(TraceSource& a, TraceSource& b) {
     return d;
   }
 
-  DecodedSchedule sa = decode_schedule(a), sb = decode_schedule(b);
-  size_t n = std::min(sa.entries.size(), sb.entries.size());
-  for (size_t i = 0; i < n && d.first_schedule_divergence == SIZE_MAX; ++i) {
-    if (sa.entries[i].nyp_delta != sb.entries[i].nyp_delta) {
-      d.first_schedule_divergence = i;
-      why << "switch " << i << ": +" << sa.entries[i].nyp_delta
-          << " yields vs +" << sb.entries[i].nyp_delta << " yields; ";
-    }
-  }
-  if (d.first_schedule_divergence == SIZE_MAX &&
-      sa.entries.size() != sb.entries.size()) {
-    d.first_schedule_divergence = n;
-    why << "switch counts differ (" << sa.entries.size() << " vs "
-        << sb.entries.size() << "); ";
+  if (a.lane_count() != b.lane_count()) {
+    d.description = "lane counts differ (" + std::to_string(a.lane_count()) +
+                    " vs " + std::to_string(b.lane_count()) + ")";
+    return d;
   }
 
-  std::vector<DecodedEvent> ea = decode_events(a), eb = decode_events(b);
-  size_t m = std::min(ea.size(), eb.size());
-  for (size_t i = 0; i < m && d.first_event_divergence == SIZE_MAX; ++i) {
-    if (ea[i].tag != eb[i].tag || ea[i].value != eb[i].value ||
-        ea[i].callback_method != eb[i].callback_method ||
-        ea[i].callback_args != eb[i].callback_args) {
-      d.first_event_divergence = i;
-      why << "event " << i << " differs; ";
+  uint32_t lanes = a.lane_count();
+  for (LaneId lane = 0; lane < lanes; ++lane) {
+    // The reported divergence index is per lane; the description names the
+    // lane so multi-lane diffs stay unambiguous. Lane labels are omitted
+    // for single-lane traces to keep the classic output stable.
+    std::string at = lanes > 1 ? "lane " + std::to_string(lane) + " " : "";
+    DecodedSchedule sa = decode_schedule(a, lane),
+                    sb = decode_schedule(b, lane);
+    size_t n = std::min(sa.entries.size(), sb.entries.size());
+    for (size_t i = 0; i < n && d.first_schedule_divergence == SIZE_MAX;
+         ++i) {
+      if (sa.entries[i].nyp_delta != sb.entries[i].nyp_delta) {
+        d.first_schedule_divergence = i;
+        why << at << "switch " << i << ": +" << sa.entries[i].nyp_delta
+            << " yields vs +" << sb.entries[i].nyp_delta << " yields; ";
+      }
+    }
+    if (d.first_schedule_divergence == SIZE_MAX &&
+        sa.entries.size() != sb.entries.size()) {
+      d.first_schedule_divergence = n;
+      why << at << "switch counts differ (" << sa.entries.size() << " vs "
+          << sb.entries.size() << "); ";
+    }
+
+    std::vector<DecodedEvent> ea = decode_events(a, lane),
+                              eb = decode_events(b, lane);
+    size_t m = std::min(ea.size(), eb.size());
+    for (size_t i = 0; i < m && d.first_event_divergence == SIZE_MAX; ++i) {
+      if (ea[i].tag != eb[i].tag || ea[i].value != eb[i].value ||
+          ea[i].callback_method != eb[i].callback_method ||
+          ea[i].callback_args != eb[i].callback_args) {
+        d.first_event_divergence = i;
+        why << at << "event " << i << " differs; ";
+      }
+    }
+    if (d.first_event_divergence == SIZE_MAX && ea.size() != eb.size()) {
+      d.first_event_divergence = m;
+      why << at << "event counts differ (" << ea.size() << " vs "
+          << eb.size() << "); ";
     }
   }
-  if (d.first_event_divergence == SIZE_MAX && ea.size() != eb.size()) {
-    d.first_event_divergence = m;
-    why << "event counts differ (" << ea.size() << " vs " << eb.size()
-        << "); ";
+
+  bool order_differs = false;
+  if (lanes > 1) {
+    std::vector<DecodedOrderEvent> oa = decode_order(a), ob = decode_order(b);
+    size_t k = std::min(oa.size(), ob.size());
+    for (size_t i = 0; i < k && !order_differs; ++i) {
+      if (oa[i].kind != ob[i].kind || oa[i].from_lane != ob[i].from_lane ||
+          oa[i].to_lane != ob[i].to_lane || oa[i].from != ob[i].from ||
+          oa[i].to != ob[i].to || oa[i].subject != ob[i].subject) {
+        order_differs = true;
+        why << "order event " << i << " differs; ";
+      }
+    }
+    if (!order_differs && oa.size() != ob.size()) {
+      order_differs = true;
+      why << "order event counts differ (" << oa.size() << " vs "
+          << ob.size() << "); ";
+    }
   }
 
   d.identical = d.first_schedule_divergence == SIZE_MAX &&
-                d.first_event_divergence == SIZE_MAX;
+                d.first_event_divergence == SIZE_MAX && !order_differs;
   d.description = d.identical ? "identical" : why.str();
   return d;
 }

@@ -39,11 +39,24 @@ struct DecodedSchedule {
   std::vector<Entry> entries;
 };
 
-// Stream decoding (throws VmError on malformed streams).
-DecodedSchedule decode_schedule(TraceSource& src);
-std::vector<DecodedEvent> decode_events(TraceSource& src);
-DecodedSchedule decode_schedule(const TraceFile& trace);
-std::vector<DecodedEvent> decode_events(const TraceFile& trace);
+// One decoded cross-lane order record (v5 traces, K>1 lanes).
+struct DecodedOrderEvent {
+  uint8_t kind = 0;  // threads::CrossLaneKind
+  uint32_t from_lane = 0;
+  uint32_t to_lane = 0;
+  uint32_t from = 0;  // tids
+  uint32_t to = 0;
+  uint64_t subject = 0;
+};
+
+// Stream decoding (throws VmError on malformed streams). `lane` selects
+// the per-lane stream of a v5 trace; 0 is the only lane of a v3/v4 trace.
+DecodedSchedule decode_schedule(TraceSource& src, LaneId lane = 0);
+std::vector<DecodedEvent> decode_events(TraceSource& src, LaneId lane = 0);
+std::vector<DecodedOrderEvent> decode_order(TraceSource& src);
+DecodedSchedule decode_schedule(const TraceFile& trace, LaneId lane = 0);
+std::vector<DecodedEvent> decode_events(const TraceFile& trace,
+                                        LaneId lane = 0);
 
 // Aggregate statistics for reporting.
 struct TraceStats {
@@ -57,12 +70,19 @@ struct TraceStats {
   uint64_t min_delta = 0;
   uint64_t max_delta = 0;
   double mean_delta = 0;
-  size_t schedule_bytes = 0;
-  size_t event_bytes = 0;
+  size_t schedule_bytes = 0;  // summed across lanes
+  size_t event_bytes = 0;     // summed across lanes
+  uint32_t lanes = 1;
+  uint64_t order_events = 0;  // cross-lane order records (v5, K>1)
 };
 
 TraceStats trace_stats(TraceSource& src);
 TraceStats trace_stats(const TraceFile& trace);
+
+// Rewrite a trace in the v5 multi-lane container (a single-lane v4 trace
+// becomes a one-lane v5 trace with identical stream bytes). Multi-lane
+// inputs are returned unchanged -- they already serialize as v5.
+std::vector<uint8_t> convert_to_v5(const TraceFile& trace);
 
 // Human-readable dump (optionally truncated to `max_lines` per stream).
 std::string dump_trace(TraceSource& src, size_t max_lines = 64);

@@ -1,0 +1,17 @@
+#include "src/threads/lane.hpp"
+
+namespace dejavu::threads {
+
+const char* cross_lane_kind_name(CrossLaneKind k) {
+  switch (k) {
+    case CrossLaneKind::kDispatch: return "dispatch";
+    case CrossLaneKind::kMonitorHandoff: return "handoff";
+    case CrossLaneKind::kNotify: return "notify";
+    case CrossLaneKind::kJoinWake: return "join-wake";
+    case CrossLaneKind::kInterrupt: return "interrupt";
+    case CrossLaneKind::kHeapTransfer: return "heap-transfer";
+  }
+  return "?";
+}
+
+}  // namespace dejavu::threads

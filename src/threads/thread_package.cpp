@@ -33,8 +33,8 @@ const char* switch_reason_name(SwitchReason r) {
 }
 
 ThreadPackage::ThreadPackage(std::function<int64_t()> clock_ms,
-                             std::function<void()> idle)
-    : clock_ms_(std::move(clock_ms)), idle_(std::move(idle)) {
+                             std::function<void()> idle, uint32_t lanes)
+    : clock_ms_(std::move(clock_ms)), idle_(std::move(idle)), lanes_(lanes) {
   threads_.resize(1);   // slot 0 = kNoThread
   monitors_.resize(1);  // slot 0 = kNoMonitor
 }
@@ -59,7 +59,8 @@ Tid ThreadPackage::create_thread(const std::string& name) {
   threads_.push_back(ThreadRec{});
   threads_[t].name = name;
   threads_[t].state = ThreadState::kReady;
-  ready_.push_back(t);
+  lanes_.assign(t);  // creation-order round-robin lane membership
+  lanes_.push_ready(t);
   live_count_++;
   return t;
 }
@@ -69,7 +70,10 @@ void ThreadPackage::on_thread_exit() {
   ThreadRec& r = rec(current_);
   r.state = ThreadState::kTerminated;
   for (Tid w : r.join_waiters) {
-    if (rec(w).state == ThreadState::kJoining) make_ready(w);
+    if (rec(w).state == ThreadState::kJoining) {
+      note_cross_lane(CrossLaneKind::kJoinWake, current_, w, current_);
+      make_ready(w);
+    }
   }
   r.join_waiters.clear();
   live_count_--;
@@ -91,7 +95,24 @@ void ThreadPackage::make_ready(Tid t) {
   r.state = ThreadState::kReady;
   r.has_deadline = false;
   r.waiting_on = kNoMonitor;
-  ready_.push_back(t);
+  lanes_.push_ready(t);
+}
+
+void ThreadPackage::note_cross_lane(CrossLaneKind kind, Tid from, Tid to,
+                                    uint64_t subject) {
+  if (lanes_.lanes() == 1 || from == kNoThread || to == kNoThread) return;
+  LaneId fl = lanes_.lane_of(from);
+  LaneId tl = lanes_.lane_of(to);
+  if (fl == tl) return;
+  CrossLaneEvent e;
+  e.kind = kind;
+  e.seq = cross_lane_seq_++;
+  e.from_lane = fl;
+  e.to_lane = tl;
+  e.from = from;
+  e.to = to;
+  e.subject = subject;
+  if (cross_lane_observer_) cross_lane_observer_(e);
 }
 
 void ThreadPackage::remove_from(std::deque<Tid>& q, Tid t) {
@@ -139,21 +160,23 @@ void ThreadPackage::wake_expired() {
 Tid ThreadPackage::schedule_next() {
   for (;;) {
     wake_expired();
-    if (!ready_.empty()) {
+    if (!lanes_.empty()) {
       Tid from = current_;
       Tid next;
       if (director_ != nullptr) {
-        next = director_->pick_next(ready_);
-        remove_from(ready_, next);
+        next = director_->pick_next(lanes_.queue(kLane0));
+        lanes_.remove(next);
       } else {
-        next = ready_.front();
-        ready_.pop_front();
+        next = lanes_.pop_next();
       }
       ThreadRec& r = rec(next);
       DV_CHECK_MSG(r.state == ThreadState::kReady,
                    "dispatching non-ready thread " << next);
+      // Control moving between lanes is itself an ordering edge.
+      note_cross_lane(CrossLaneKind::kDispatch, last_dispatched_, next, 0);
       r.state = ThreadState::kRunning;
       current_ = next;
+      last_dispatched_ = next;
       switch_count_++;
       if (observer_) observer_(from, next, pending_reason_);
       return next;
@@ -181,7 +204,7 @@ void ThreadPackage::switch_out(SwitchReason reason) {
   ThreadRec& r = rec(current_);
   DV_CHECK(r.state == ThreadState::kRunning);
   r.state = ThreadState::kReady;
-  ready_.push_back(current_);
+  lanes_.push_ready(current_);
   pending_reason_ = reason;
   current_ = kNoThread;
 }
@@ -196,6 +219,7 @@ void ThreadPackage::hand_off_if_free(MonitorId m) {
   if (mr.owner == kNoThread && !mr.entry_queue.empty()) {
     Tid t = mr.entry_queue.front();
     mr.entry_queue.pop_front();
+    note_cross_lane(CrossLaneKind::kMonitorHandoff, current_, t, m);
     make_ready(t);  // it retries monitorenter when dispatched
   }
 }
@@ -286,6 +310,7 @@ bool ThreadPackage::notify_one(MonitorId m) {
   if (mr.wait_set.empty()) return false;
   Tid t = mr.wait_set.front();
   mr.wait_set.pop_front();
+  note_cross_lane(CrossLaneKind::kNotify, current_, t, m);
   ThreadRec& r = rec(t);
   if (r.has_deadline) {
     r.has_deadline = false;
@@ -306,6 +331,9 @@ int ThreadPackage::notify_all(MonitorId m) {
 void ThreadPackage::interrupt(Tid t) {
   ThreadRec& r = rec(t);
   r.interrupted = true;
+  if (r.state == ThreadState::kWaiting || r.state == ThreadState::kSleeping) {
+    note_cross_lane(CrossLaneKind::kInterrupt, current_, t, r.waiting_on);
+  }
   if (r.state == ThreadState::kWaiting) {
     MonitorId m = r.waiting_on;
     remove_from(mon(m).wait_set, t);

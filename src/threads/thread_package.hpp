@@ -21,10 +21,10 @@
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/threads/lane.hpp"
 
 namespace dejavu::threads {
 
-using Tid = uint32_t;
 inline constexpr Tid kNoThread = 0;
 
 enum class ThreadState : uint8_t {
@@ -77,7 +77,10 @@ class ThreadPackage {
   // is the record/replay-aware clock, which is what makes sleep and timed
   // wait deterministic on replay (§2.2). `idle` is called when every live
   // thread is blocked on time (host backoff; no behavioural effect).
-  ThreadPackage(std::function<int64_t()> clock_ms, std::function<void()> idle);
+  // `lanes` partitions threads into per-lane run queues (see lane.hpp);
+  // lanes=1 is the paper's single global FIFO, unchanged.
+  ThreadPackage(std::function<int64_t()> clock_ms, std::function<void()> idle,
+                uint32_t lanes = 1);
 
   // -- thread lifecycle ---------------------------------------------------
   Tid create_thread(const std::string& name);  // enters the ready queue
@@ -140,7 +143,31 @@ class ThreadPackage {
       std::function<void(Tid from, Tid to, SwitchReason reason)>;
   void set_switch_observer(SwitchObserver obs) { observer_ = std::move(obs); }
 
-  void set_director(SchedulerDirector* d) { director_ = d; }
+  // Invoked at every scheduler-level interaction that crosses a lane
+  // boundary (dispatch, monitor hand-off, notify, join wake, interrupt).
+  // Never fires with one lane. Events carry a global monotone `seq`; the
+  // sequence is a deterministic function of the execution, so a replay
+  // re-emits it identically (the engine records/verifies it as the
+  // order-event stream).
+  using CrossLaneObserver = std::function<void(const CrossLaneEvent&)>;
+  void set_cross_lane_observer(CrossLaneObserver obs) {
+    cross_lane_observer_ = std::move(obs);
+  }
+
+  void set_director(SchedulerDirector* d) {
+    DV_CHECK_MSG(d == nullptr || lanes_.lanes() == 1,
+                 "scheduler directors require a single lane");
+    director_ = d;
+  }
+
+  // -- lanes ----------------------------------------------------------------
+  uint32_t lane_count() const { return lanes_.lanes(); }
+  LaneId lane_of(Tid t) const { return lanes_.lane_of(t); }
+  // Lane of the running thread (kLane0 when nothing runs).
+  LaneId current_lane() const {
+    return current_ == kNoThread ? kLane0 : lanes_.lane_of(current_);
+  }
+  uint64_t cross_lane_events() const { return cross_lane_seq_; }
 
   uint64_t switch_count() const { return switch_count_; }
   uint64_t clock_read_count() const { return clock_reads_; }
@@ -171,6 +198,10 @@ class ThreadPackage {
   const ThreadRec& rec(Tid t) const;
   MonitorRec& mon(MonitorId m);
   void make_ready(Tid t);
+  // Emit a cross-lane order event if `from` and `to` live in different
+  // lanes (no-op with one lane or when `from` is kNoThread -- a wake with
+  // no thread cause is clock-driven and already deterministic per lane).
+  void note_cross_lane(CrossLaneKind kind, Tid from, Tid to, uint64_t subject);
   // If the monitor is free and has queued enterers, ready the first.
   void hand_off_if_free(MonitorId m);
   void remove_from(std::deque<Tid>& q, Tid t);
@@ -184,14 +215,17 @@ class ThreadPackage {
   std::function<void()> idle_;
   std::vector<ThreadRec> threads_;  // index 0 unused (kNoThread)
   std::vector<MonitorRec> monitors_;
-  std::deque<Tid> ready_;
+  LaneScheduler lanes_;            // per-lane ready queues + membership
   std::vector<Tid> timed_parked_;  // threads with an armed deadline
   Tid current_ = kNoThread;
+  Tid last_dispatched_ = kNoThread;  // previous running thread (lane edges)
   SwitchReason pending_reason_ = SwitchReason::kPreempt;
   size_t live_count_ = 0;
   uint64_t switch_count_ = 0;
   uint64_t clock_reads_ = 0;
+  uint64_t cross_lane_seq_ = 0;
   SwitchObserver observer_;
+  CrossLaneObserver cross_lane_observer_;
   SchedulerDirector* director_ = nullptr;
 };
 

@@ -146,6 +146,14 @@ class ExecHooks {
     (void)from; (void)to; (void)reason;
   }
 
+  // A scheduler-level interaction crossed a lane boundary (monitor
+  // hand-off, notify, join wake, interrupt, or the dispatch itself moving
+  // control between lanes; see src/threads/lane.hpp). Never fires on a
+  // single-lane VM. The engine records these as the v5 order-event stream
+  // and verifies them one by one on replay -- they are the keys of the
+  // deterministic cross-lane merge.
+  virtual void on_cross_lane(const threads::CrossLaneEvent& e) { (void)e; }
+
   // ---- fine-grained analysis events (replay-time observation only) -------
   // Pure notifications: a hook must never mutate guest state from them.
   // The DejaVu engine returns true from the wants_* predicates only in

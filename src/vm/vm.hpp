@@ -38,6 +38,10 @@ struct VmOptions {
   bool gc_stress = false;      // collect before every allocation (testing)
   bool echo_output = false;    // mirror guest output to stdout
   uint64_t max_instructions = 4'000'000'000ull;  // runaway guard
+  // Scheduler lanes (src/threads/lane.hpp). 1 = the paper's uniprocessor;
+  // K>1 partitions threads across K per-lane run queues and surfaces
+  // cross-lane interactions through ExecHooks::on_cross_lane.
+  uint32_t lanes = 1;
 };
 
 class Vm : public heap::RootProvider {

@@ -28,7 +28,7 @@ Vm::Vm(bytecode::Program program, VmOptions options, Environment& env,
   heap_ = std::make_unique<heap::Heap>(types_, opts_.heap);
   threads_ = std::make_unique<threads::ThreadPackage>(
       [this] { return nd(NdKind::kClock, env_.clock_ms()); },
-      [this] { env_.idle(); });
+      [this] { env_.idle(); }, opts_.lanes == 0 ? 1 : opts_.lanes);
   build_runtime_classes();
   contexts_.resize(1);  // slot 0 = kNoThread
 }
@@ -160,6 +160,14 @@ void Vm::boot() {
         switch_trace_.push_back(uint8_t(to));
         if (hooks_ != nullptr) hooks_->on_switch(from, to, reason);
       });
+  threads_->set_cross_lane_observer([this](const threads::CrossLaneEvent& e) {
+    // Cross-lane edges fold into the switch hash: the audit-grade identity
+    // for "same interleaving" must also pin the inter-lane order.
+    switch_hash_.update_u32(uint32_t(e.kind));
+    switch_hash_.update_u32(uint32_t(e.from));
+    switch_hash_.update_u32(uint32_t(e.to));
+    if (hooks_ != nullptr) hooks_->on_cross_lane(e);
+  });
 
   // Boot registry + tables (the "boot image" root).
   {

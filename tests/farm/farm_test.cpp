@@ -4,6 +4,7 @@
 // merged results for ANY --jobs value, and fanning a replay out across the
 // pool perturbs nothing relative to replaying the same trace directly.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -13,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/farm/outcome_cache.hpp"
 #include "src/farm/report.hpp"
 #include "src/farm/scheduler.hpp"
 #include "src/farm/trace_store.hpp"
@@ -52,7 +54,10 @@ std::optional<bytecode::Program> fleet_resolve(const std::string& name) {
 }
 
 std::string fresh_dir(const std::string& name) {
-  fs::path p = fs::temp_directory_path() / ("dejavu_farm_test_" + name);
+  // Per-process suffix: ctest runs each TEST as its own process, and
+  // concurrent processes must not remove_all each other's fixture dirs.
+  fs::path p = fs::temp_directory_path() /
+               ("dejavu_farm_test_" + name + "_" + std::to_string(::getpid()));
   fs::remove_all(p);
   fs::create_directories(p);
   return p.string();
@@ -362,6 +367,91 @@ TEST(FarmMergers, OrderIndependentAndComposableOverTraceSubsets) {
   obs::merge_snapshots(&grouped, left);
   obs::merge_snapshots(&grouped, right);
   EXPECT_EQ(grouped.to_json(), whole.to_json());
+}
+
+// ------------------------------------------------------- the outcome cache
+
+// A small dedicated store so cache state never leaks into the shared
+// fixture's runs.
+struct CacheFixture {
+  std::string rec_dir = fresh_dir("cache_recordings");
+  std::string store_dir = fresh_dir("cache_store");
+
+  CacheFixture() {
+    TraceStore store(store_dir);
+    for (size_t wi = 0; wi < 2; ++wi) {
+      for (uint64_t seed = 1; seed <= 2; ++seed) {
+        store.ingest(record_to(rec_dir, kFleet[wi], seed), kFleet[wi].name,
+                     seed);
+      }
+    }
+  }
+
+  FarmRunResult run(bool cache, uint32_t top_n = 10, unsigned jobs = 2) {
+    TraceStore store(store_dir);
+    FarmOptions opts;
+    opts.jobs = jobs;
+    opts.top_n = top_n;
+    opts.cache = cache;
+    opts.resolve = fleet_resolve;
+    return run_farm(store, opts);
+  }
+};
+
+size_t cached_count(const FarmRunResult& r) {
+  size_t n = 0;
+  for (const TraceOutcome& o : r.outcomes) n += o.cached ? 1 : 0;
+  return n;
+}
+
+TEST(FarmCache, SecondRunIsServedFromCacheByteIdentically) {
+  CacheFixture fx;
+  FarmRunResult fresh = fx.run(true);
+  EXPECT_EQ(cached_count(fresh), 0u);
+
+  FarmRunResult again = fx.run(true);
+  EXPECT_EQ(cached_count(again), again.outcomes.size());
+  // The cache must be invisible in the output: same report bytes.
+  EXPECT_EQ(farm_report_json(again, 10), farm_report_json(fresh, 10));
+
+  FarmRunResult uncached = fx.run(false);
+  EXPECT_EQ(cached_count(uncached), 0u);
+  EXPECT_EQ(farm_report_json(uncached, 10), farm_report_json(fresh, 10));
+}
+
+TEST(FarmCache, AnalyzerConfigChangeIsAMiss) {
+  CacheFixture fx;
+  fx.run(true);
+  // A different top-N truncates the per-run artifacts differently, so the
+  // cached outcomes must not be reused for it.
+  FarmRunResult other = fx.run(true, /*top_n=*/3);
+  EXPECT_EQ(cached_count(other), 0u);
+  // Both configurations now coexist in the cache directory.
+  FarmOptions a, b;
+  a.top_n = 10;
+  b.top_n = 3;
+  EXPECT_NE(outcome_config_hash(a), outcome_config_hash(b));
+  FarmRunResult hit10 = fx.run(true, 10);
+  FarmRunResult hit3 = fx.run(true, 3);
+  EXPECT_EQ(cached_count(hit10), hit10.outcomes.size());
+  EXPECT_EQ(cached_count(hit3), hit3.outcomes.size());
+}
+
+TEST(FarmCache, DamagedEntryIsAMissNotAnError) {
+  CacheFixture fx;
+  FarmRunResult fresh = fx.run(true);
+  // Truncate one entry mid-document; the farm must fall back to replaying
+  // that trace and still produce the identical report.
+  fs::path cache_dir = fs::path(fx.store_dir) / "cache";
+  ASSERT_TRUE(fs::exists(cache_dir));
+  fs::path victim;
+  for (const auto& e : fs::directory_iterator(cache_dir)) victim = e.path();
+  ASSERT_FALSE(victim.empty());
+  fs::resize_file(victim, fs::file_size(victim) / 2);
+
+  FarmRunResult again = fx.run(true);
+  EXPECT_EQ(cached_count(again), again.outcomes.size() - 1);
+  EXPECT_EQ(farm_report_json(again, 10), farm_report_json(fresh, 10));
 }
 
 // ------------------------------------------------------------ the report

@@ -11,6 +11,7 @@
 
 #include "src/obs/analysis/heap_churn.hpp"
 #include "src/obs/analysis/locks.hpp"
+#include "src/obs/analysis/merge.hpp"
 #include "src/obs/analysis/profiler.hpp"
 #include "src/obs/json.hpp"
 #include "src/replay/session.hpp"
@@ -471,6 +472,46 @@ TEST(HeapChurn, CopyingGcMovesPreserveExactObjectHeat) {
 
 // Flipping the analysis knobs off yields no artifacts, and on yields all
 // four -- the config plumbing end to end.
+TEST(HeapMerge, HotObjectsAggregateByClassAndSite) {
+  // Object ids are per-trace, so the fleet view re-keys hot objects by
+  // (class, allocation site): two runs allocating at the same site must
+  // fold into one entry with summed heat.
+  static const std::string kOwner = "Worker";
+  static const std::string kMethod = "fill";
+  auto make_run = [&](uint64_t extra_writes) {
+    obs::HeapChurnAnalyzer h;
+    vm::InstrEvent instr;
+    instr.tid = 0;
+    instr.owner = &kOwner;
+    instr.method = &kMethod;
+    instr.pc = 7;
+    h.on_instruction(instr);
+    vm::AllocEvent a;
+    a.tid = 0;
+    a.addr = heap::Addr(64);
+    a.class_id = heap::kClassIdI64Array;
+    a.slots = 4;
+    h.on_heap_alloc(a);
+    for (uint64_t i = 0; i < 2 + extra_writes; ++i)
+      h.on_heap_write(heap::Addr(64), 0, int64_t(i), false);
+    return h.artifact();
+  };
+
+  obs::HeapMerger m;
+  m.add_json(make_run(0));
+  m.add_json(make_run(3));
+  JsonValue doc = parse_json(m.artifact());
+  const JsonValue* hot = doc.find("hot_objects");
+  ASSERT_NE(hot, nullptr);
+  ASSERT_EQ(hot->items.size(), 1u);
+  const JsonValue& e = hot->items[0];
+  EXPECT_EQ(e.find("class")->string, "i64[]");
+  EXPECT_EQ(e.find("site")->string, "Worker.fill:7");
+  EXPECT_EQ(e.find("objects")->number, 2.0);
+  EXPECT_EQ(e.find("writes")->number, 7.0);
+  EXPECT_EQ(e.find("reads")->number, 0.0);
+}
+
 TEST(AnalysisConfig, KnobsSelectArtifacts) {
   bytecode::Program prog = golden_program();
   replay::RecordResult rec = record_workload(prog, 9);

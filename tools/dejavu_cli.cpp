@@ -7,14 +7,14 @@
 //   dejavu dump <trace.djv>
 //   dejavu diff <a.djv> <b.djv>
 //   dejavu verify <trace.djv>                offline integrity check
-//   dejavu convert <in.djv> <out.djv>        rewrite (e.g. v3) as v4
+//   dejavu convert <in.djv> <out.djv> [--v5]  rewrite as v4 (or v5 container)
 //   dejavu sweep <workload> [--seeds N]      outcome histogram
 //   dejavu fuzz [--seed N] [--iters K] [--minimize] ...   schedule fuzzer
 //   dejavu report <file>                     render forensics / analysis
 //   dejavu debug <workload> <trace.djv>      interactive debugger REPL
 //   dejavu farm ingest --store D --workload W [--seed N] <trace.djv>...
 //   dejavu farm ls --store D                 list the trace catalog
-//   dejavu farm run --store D [--jobs N] [--top N] [--out report.json]
+//   dejavu farm run --store D [--jobs N] [--top N] [--no-cache] [--out report.json]
 //   dejavu farm report <report.json>         render a farm report
 //
 // Workloads are the built-in guest programs from src/workloads (listed by
@@ -169,7 +169,8 @@ void export_telemetry(const TelemetryOpts& tel,
 }
 
 int cmd_record(const std::string& name, uint64_t seed, bool realtime,
-               const std::string& out, const TelemetryOpts& tel) {
+               const std::string& out, uint32_t lanes, unsigned io_jobs,
+               const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
     std::fprintf(stderr, "unknown workload %s\n", name.c_str());
@@ -177,6 +178,8 @@ int cmd_record(const std::string& name, uint64_t seed, bool realtime,
   }
   vm::NativeRegistry natives = make_natives();
   replay::SymmetryConfig cfg;
+  cfg.lanes = lanes;
+  cfg.io_jobs = io_jobs;
   cfg.obs.timeline = !tel.timeline.empty();
   replay::RecordFileResult rec;
   if (realtime) {
@@ -196,19 +199,22 @@ int cmd_record(const std::string& name, uint64_t seed, bool realtime,
               (unsigned long long)rec.stats.preempt_switches,
               (unsigned long long)rec.stats.nd_events(),
               (unsigned long long)std::filesystem::file_size(out));
-  std::printf("trace written to %s\n", out.c_str());
+  std::printf("trace written to %s (%s, %u lane%s)\n", out.c_str(),
+              lanes > 1 ? "v5" : "v4", lanes == 0 ? 1 : lanes,
+              lanes > 1 ? "s" : "");
   export_telemetry(tel, rec.metrics, rec.timeline, "dejavu record " + name);
   return 0;
 }
 
 int cmd_replay(const std::string& name, const std::string& path, bool strict,
-               const TelemetryOpts& tel) {
+               unsigned io_jobs, const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
     std::fprintf(stderr, "unknown workload %s\n", name.c_str());
     return 1;
   }
   replay::SymmetryConfig cfg;
+  cfg.io_jobs = io_jobs;  // lane count comes from the trace meta
   cfg.obs.timeline = !tel.timeline.empty();
   // Default is non-strict so a diverged replay still produces its full
   // stats, metrics and forensics instead of unwinding mid-run. --strict
@@ -244,13 +250,14 @@ int cmd_replay(const std::string& name, const std::string& path, bool strict,
 // `dejavu replay` (tests/obs/analysis_test.cpp proves byte-identity).
 int cmd_analyze(const std::string& name, const std::string& path,
                 const std::string& out_dir, uint32_t top_n, bool strict,
-                const TelemetryOpts& tel) {
+                unsigned io_jobs, const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
     std::fprintf(stderr, "unknown workload %s\n", name.c_str());
     return 1;
   }
   replay::SymmetryConfig cfg;
+  cfg.io_jobs = io_jobs;
   cfg.obs.timeline = !tel.timeline.empty();
   cfg.obs.analyze_profile = true;
   cfg.obs.analyze_locks = true;
@@ -429,6 +436,10 @@ int cmd_dump(const std::string& path) {
               s.mean_delta, (unsigned long long)s.min_delta,
               (unsigned long long)s.max_delta,
               (unsigned long long)s.checkpoints);
+  if (s.lanes > 1) {
+    std::printf("lanes: %u, %llu cross-lane order events\n", s.lanes,
+                (unsigned long long)s.order_events);
+  }
   return 0;
 }
 
@@ -446,10 +457,27 @@ int cmd_verify(const std::string& path) {
   return rep.ok ? 0 : 1;
 }
 
-int cmd_convert(const std::string& in, const std::string& out) {
+int cmd_convert(const std::string& in, const std::string& out, bool to_v5) {
   replay::TraceFile trace = replay::TraceFile::load(in);
-  trace.save(out);  // save() always writes the current (v4) container
-  std::printf("converted %s -> %s (v4, %lluB)\n", in.c_str(), out.c_str(),
+  const char* version;
+  if (to_v5 || trace.multi_lane()) {
+    // Multi-lane traces only exist in the v5 container; --v5 additionally
+    // lifts a single-lane trace into a one-lane v5 file.
+    std::vector<uint8_t> bytes = replay::convert_to_v5(trace);
+    std::ofstream f(out, std::ios::binary | std::ios::trunc);
+    if (!f.good()) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    f.write(reinterpret_cast<const char*>(bytes.data()),
+            std::streamsize(bytes.size()));
+    version = "v5";
+  } else {
+    trace.save(out);  // save() writes the classic v4 container
+    version = "v4";
+  }
+  std::printf("converted %s -> %s (%s, %lluB)\n", in.c_str(), out.c_str(),
+              version,
               (unsigned long long)std::filesystem::file_size(out));
   return 0;
 }
@@ -563,7 +591,7 @@ int cmd_farm_ls(const std::string& store_dir) {
 }
 
 int cmd_farm_run(const std::string& store_dir, unsigned jobs, uint32_t top_n,
-                 const std::string& out) {
+                 bool use_cache, const std::string& out) {
   farm::TraceStore store(store_dir);
   if (store.size() == 0) {
     std::fprintf(stderr, "farm run: store %s is empty\n", store_dir.c_str());
@@ -572,6 +600,7 @@ int cmd_farm_run(const std::string& store_dir, unsigned jobs, uint32_t top_n,
   farm::FarmOptions fo;
   fo.jobs = jobs;
   fo.top_n = top_n;
+  fo.cache = use_cache;
   fo.resolve =
       [](const std::string& w) -> std::optional<bytecode::Program> {
     const Entry* e = find_workload(w);
@@ -582,6 +611,11 @@ int cmd_farm_run(const std::string& store_dir, unsigned jobs, uint32_t top_n,
   std::string json = farm::farm_report_json(res, top_n);
   write_text_file(out, json);
   std::fputs(farm::render_farm_report(json).c_str(), stdout);
+  size_t cached = 0;
+  for (const farm::TraceOutcome& o : res.outcomes) cached += o.cached ? 1 : 0;
+  if (cached > 0)
+    std::printf("%zu of %zu outcome(s) served from cache\n", cached,
+                res.outcomes.size());
   std::printf("report written to %s\n", out.c_str());
   for (const farm::TraceOutcome& o : res.outcomes) {
     if (o.verdict != "clean") return 1;
@@ -645,10 +679,11 @@ int main(int argc, char** argv) {
   try {
     if (args.empty() || args[0] == "help") {
       std::printf("usage: dejavu list | record <w> [--seed N] [--out F] "
-                  "[--realtime] | replay <w> <F> [--strict] "
+                  "[--realtime] [--lanes K] [--io-jobs N] "
+                  "| replay <w> <F> [--strict] [--io-jobs N] "
                   "| analyze <w> <F> [--out-dir D] [--top N] [--strict] "
                   "| dump <F> | diff <A> <B> "
-                  "| verify <F> | convert <IN> <OUT> "
+                  "| verify <F> | convert <IN> <OUT> [--v5] "
                   "| sweep <w> [--seeds N] "
                   "| fuzz [--seed N] [--iters K] [--jobs N] "
                   "[--minimize|--no-minimize] "
@@ -658,7 +693,7 @@ int main(int argc, char** argv) {
                   "| debug <w> <F> "
                   "| farm ingest --store D --workload W [--seed N] <F>... "
                   "| farm ls --store D "
-                  "| farm run --store D [--jobs N] [--top N] [--out F] "
+                  "| farm run --store D [--jobs N] [--top N] [--no-cache] [--out F] "
                   "| farm report <F>\n"
                   "replay runs non-strict by default (diverged runs still "
                   "report stats + forensics); --strict fails fast at the "
@@ -683,23 +718,33 @@ int main(int argc, char** argv) {
       return cmd_record(args[1],
                         uint64_t(std::stoll(flag_value("--seed", "0"))),
                         realtime, flag_value("--out", "/tmp/dejavu.djv"),
+                        uint32_t(std::stoul(flag_value("--lanes", "1"))),
+                        unsigned(std::stoul(flag_value("--io-jobs", "1"))),
                         tel);
     }
     if (args[0] == "replay" && args.size() >= 3)
-      return cmd_replay(args[1], args[2], has_flag("--strict"), tel);
+      return cmd_replay(args[1], args[2], has_flag("--strict"),
+                        unsigned(std::stoul(flag_value("--io-jobs", "1"))),
+                        tel);
     if (args[0] == "analyze" && args.size() >= 3) {
       return cmd_analyze(args[1], args[2],
                          flag_value("--out-dir", "/tmp/dejavu-analysis"),
                          uint32_t(std::stoul(flag_value("--top", "10"))),
-                         has_flag("--strict"), tel);
+                         has_flag("--strict"),
+                         unsigned(std::stoul(flag_value("--io-jobs", "1"))),
+                         tel);
     }
     if (args[0] == "report" && args.size() >= 2) return cmd_report(args[1]);
     if (args[0] == "dump" && args.size() >= 2) return cmd_dump(args[1]);
     if (args[0] == "diff" && args.size() >= 3)
       return cmd_diff(args[1], args[2]);
     if (args[0] == "verify" && args.size() >= 2) return cmd_verify(args[1]);
-    if (args[0] == "convert" && args.size() >= 3)
-      return cmd_convert(args[1], args[2]);
+    if (args[0] == "convert" && args.size() >= 3) {
+      bool to_v5 = false;
+      for (size_t i = 3; i < args.size(); ++i)
+        if (args[i] == "--v5") to_v5 = true;
+      return cmd_convert(args[1], args[2], to_v5);
+    }
     if (args[0] == "sweep" && args.size() >= 2)
       return cmd_sweep(args[1], std::stoi(flag_value("--seeds", "50")), tel);
     if (args[0] == "fuzz") {
@@ -727,7 +772,12 @@ int main(int argc, char** argv) {
       // Positional operands after the verb; every farm flag takes a value,
       // so a "--x" token always consumes the token after it.
       std::vector<std::string> pos;
+      bool no_cache = false;
       for (size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--no-cache") {  // boolean: consumes no operand
+          no_cache = true;
+          continue;
+        }
         if (args[i].rfind("--", 0) == 0) {
           ++i;
           continue;
@@ -745,7 +795,7 @@ int main(int argc, char** argv) {
       if (verb == "run") {
         return cmd_farm_run(
             store_dir, unsigned(std::stoul(flag_value("--jobs", "1"))),
-            uint32_t(std::stoul(flag_value("--top", "10"))),
+            uint32_t(std::stoul(flag_value("--top", "10"))), !no_cache,
             flag_value("--out", "/tmp/dejavu-farm-report.json"));
       }
       if (verb == "report" && !pos.empty()) return cmd_farm_report(pos[0]);

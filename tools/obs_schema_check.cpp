@@ -25,6 +25,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <set>
 #include <string>
 
 #include "src/common/check.hpp"
@@ -51,6 +52,23 @@ const JsonValue& need(const std::string& file, const JsonValue& obj,
   return *v;
 }
 
+// Lane-tagged engine metrics ("engine.lane.<k>.preempts" / ".clock",
+// emitted by multi-lane record/replay). Returns true and parses the lane
+// index when `name` matches; the suffix is returned through `field`.
+bool parse_lane_metric(const std::string& name, uint64_t* lane,
+                       std::string* field) {
+  const std::string prefix = "engine.lane.";
+  if (name.rfind(prefix, 0) != 0) return false;
+  size_t dot = name.find('.', prefix.size());
+  if (dot == std::string::npos || dot == prefix.size()) return false;
+  std::string idx = name.substr(prefix.size(), dot - prefix.size());
+  for (char c : idx)
+    if (c < '0' || c > '9') return false;
+  *lane = std::stoull(idx);
+  *field = name.substr(dot + 1);
+  return true;
+}
+
 void check_metrics(const std::string& file, const JsonValue& doc) {
   if (!doc.is_object()) fail(file, "top level is not an object");
   if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
@@ -59,10 +77,13 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
   const JsonValue& metrics =
       need(file, doc, "metrics", JsonValue::Type::kArray, "top");
   size_t i = 0;
+  std::set<std::pair<uint64_t, std::string>> lane_fields;
+  bool has_order_events = false;
   for (const JsonValue& m : metrics.items) {
     std::string where = "metrics[" + std::to_string(i++) + "]";
     if (!m.is_object()) fail(file, where + " is not an object");
-    need(file, m, "name", JsonValue::Type::kString, where);
+    std::string name =
+        need(file, m, "name", JsonValue::Type::kString, where).string;
     std::string kind =
         need(file, m, "kind", JsonValue::Type::kString, where).string;
     if (kind == "histogram") {
@@ -73,7 +94,38 @@ void check_metrics(const std::string& file, const JsonValue& doc) {
     } else {
       fail(file, where + ": unknown kind \"" + kind + "\"");
     }
+    uint64_t lane = 0;
+    std::string field;
+    if (parse_lane_metric(name, &lane, &field)) {
+      if (field != "preempts" && field != "clock")
+        fail(file, where + ": unknown lane metric field \"" + field + "\"");
+      if (kind != "counter")
+        fail(file, where + ": lane metric \"" + name +
+                       "\" must be a counter");
+      lane_fields.emplace(lane, field);
+    }
+    if (name == "engine.order.events") {
+      if (kind != "counter")
+        fail(file, "metrics: engine.order.events must be a counter");
+      has_order_events = true;
+    }
   }
+  // Lane-tagged documents must be internally consistent: every reported
+  // lane carries both fields, and the cross-lane order counter is present
+  // (multi-lane engines register them together).
+  std::set<uint64_t> lanes;
+  for (const auto& [lane, field] : lane_fields) lanes.insert(lane);
+  for (uint64_t lane : lanes) {
+    for (const char* f : {"preempts", "clock"}) {
+      if (lane_fields.count({lane, f}) == 0)
+        fail(file, "metrics: engine.lane." + std::to_string(lane) +
+                       " is missing its ." + f + " counter");
+    }
+  }
+  if (!lanes.empty() && !has_order_events)
+    fail(file,
+         "metrics: lane-tagged metrics present but engine.order.events "
+         "is missing");
 }
 
 void check_timeline(const std::string& file, const JsonValue& doc) {
@@ -90,10 +142,21 @@ void check_timeline(const std::string& file, const JsonValue& doc) {
     if (ph != "B" && ph != "E" && ph != "i")
       fail(file, where + ": unexpected phase \"" + ph + "\"");
     need(file, e, "name", JsonValue::Type::kString, where);
-    need(file, e, "cat", JsonValue::Type::kString, where);
+    std::string cat =
+        need(file, e, "cat", JsonValue::Type::kString, where).string;
     need(file, e, "ts", JsonValue::Type::kNumber, where);
     need(file, e, "pid", JsonValue::Type::kNumber, where);
     need(file, e, "tid", JsonValue::Type::kNumber, where);
+    if (cat == "order") {
+      // Cross-lane order instants (multi-lane record/replay) must name
+      // both lanes of the edge.
+      if (ph != "i") fail(file, where + ": order events must be instants");
+      const JsonValue& args =
+          need(file, e, "args", JsonValue::Type::kObject, where);
+      need(file, args, "from_lane", JsonValue::Type::kNumber,
+           where + ".args");
+      need(file, args, "to_lane", JsonValue::Type::kNumber, where + ".args");
+    }
   }
 }
 
@@ -236,10 +299,19 @@ void check_heap(const std::string& file, const JsonValue& doc) {
   for (const JsonValue& o : hot.items) {
     std::string where = "hot_objects[" + std::to_string(i++) + "]";
     if (!o.is_object()) fail(file, where + " is not an object");
-    need(file, o, "addr", JsonValue::Type::kNumber, where);
     need(file, o, "class", JsonValue::Type::kString, where);
+    need(file, o, "site", JsonValue::Type::kString, where);
     need(file, o, "reads", JsonValue::Type::kNumber, where);
     need(file, o, "writes", JsonValue::Type::kNumber, where);
+    // Per-run entries name one object (id + addr); merged entries are
+    // site-keyed aggregates and carry an "objects" tally instead.
+    bool per_run = o.find("addr") != nullptr;
+    if (per_run) {
+      need(file, o, "addr", JsonValue::Type::kNumber, where);
+      need(file, o, "id", JsonValue::Type::kNumber, where);
+    } else {
+      need(file, o, "objects", JsonValue::Type::kNumber, where);
+    }
   }
 }
 
