@@ -106,8 +106,55 @@ uint64_t outcome_config_hash(const FarmOptions& opts) {
   h.update_u32(opts.top_n);
   // The scheduler's fixed analyzer set, spelled out so turning one off in
   // a future FarmOptions knob re-keys the cache.
-  h.update_str("profile,locks,heap;strict=0");
+  h.update_str("profile,locks,heap,races;strict=0");
   return h.digest();
+}
+
+namespace {
+
+// Walks <store_root>/cache classifying entries by their config-hash
+// filename suffix; optionally deletes the stale ones.
+CacheScan walk_cache(const std::string& store_root, uint64_t config_hash,
+                     bool remove_stale) {
+  CacheScan scan;
+  std::string want = hex16(config_hash);
+  std::error_code ec;
+  fs::directory_iterator it(store_root + "/cache", ec);
+  if (ec) return scan;  // no cache directory yet
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::string name = entry.path().filename().string();
+    // Entries are <content_hash>-<16 hex config hash>.json; anything else
+    // (in-flight .tmp files, strays) is neither current nor stale.
+    const std::string ext = ".json";
+    if (name.size() < ext.size() + 17 ||
+        name.compare(name.size() - ext.size(), ext.size(), ext) != 0)
+      continue;
+    size_t hash_at = name.size() - ext.size() - 16;
+    if (name[hash_at - 1] != '-') continue;
+    std::string suffix = name.substr(hash_at, 16);
+    if (suffix.find_first_not_of("0123456789abcdef") != std::string::npos)
+      continue;
+    if (suffix == want) {
+      scan.current++;
+    } else {
+      scan.stale++;
+      if (remove_stale) fs::remove(entry.path(), ec);
+    }
+  }
+  return scan;
+}
+
+}  // namespace
+
+CacheScan scan_outcome_cache(const std::string& store_root,
+                             uint64_t config_hash) {
+  return walk_cache(store_root, config_hash, false);
+}
+
+CacheScan gc_outcome_cache(const std::string& store_root,
+                           uint64_t config_hash) {
+  return walk_cache(store_root, config_hash, true);
 }
 
 OutcomeCache::OutcomeCache(std::string store_root, uint64_t config_hash)
@@ -146,6 +193,7 @@ std::optional<TraceOutcome> OutcomeCache::load(
   out.analysis.profile_collapsed = str(doc, "profile_collapsed");
   out.analysis.locks_json = str(doc, "locks_json");
   out.analysis.heap_json = str(doc, "heap_json");
+  out.analysis.races_json = str(doc, "races_json");
   out.cached = true;
   return out;
 }
@@ -167,6 +215,7 @@ void OutcomeCache::save(const TraceRecord& record,
       .kv("profile_collapsed", outcome.analysis.profile_collapsed)
       .kv("locks_json", outcome.analysis.locks_json)
       .kv("heap_json", outcome.analysis.heap_json)
+      .kv("races_json", outcome.analysis.races_json)
       .end_object();
 
   std::error_code ec;

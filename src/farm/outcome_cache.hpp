@@ -34,6 +34,23 @@ inline constexpr const char* kFarmCacheSchema = "dejavu-farm-cache-v1";
 // the version string inside to invalidate the fleet's caches).
 uint64_t outcome_config_hash(const FarmOptions& opts);
 
+// One pass over <store_root>/cache: `current` entries carry `config_hash`
+// in their filename suffix, `stale` ones carry some other hash (orphaned
+// by an analyzer-set or format change -- they can never hit again under
+// this configuration). Files that don't match the entry naming scheme are
+// ignored.
+struct CacheScan {
+  uint64_t current = 0;
+  uint64_t stale = 0;
+};
+CacheScan scan_outcome_cache(const std::string& store_root,
+                             uint64_t config_hash);
+
+// Deletes the stale entries and returns the pre-deletion scan, so callers
+// can report "kept N, removed M". Missing cache directory is a no-op.
+CacheScan gc_outcome_cache(const std::string& store_root,
+                           uint64_t config_hash);
+
 class OutcomeCache {
  public:
   // `store_root` is the TraceStore root; the cache lives in its "cache/"

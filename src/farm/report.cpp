@@ -82,6 +82,9 @@ std::string farm_report_json(const FarmRunResult& result, uint32_t top_n) {
   w.key("merged_heap");
   if (result.merged_heap.empty()) w.null();
   else w.raw(result.merged_heap);
+  w.key("merged_races");
+  if (result.merged_races.empty()) w.null();
+  else w.raw(result.merged_races);
 
   // Presentation-layer top-N over the (untruncated) merged documents.
   w.key("top_methods").begin_array();
@@ -186,6 +189,27 @@ std::string render_farm_report(const std::string& json) {
                   " block_total=%-10" PRIu64 " block_max=%" PRIu64,
                   num_or(m, "id"), num_or(m, "contended_blocks"),
                   num_or(m, "block_total"), num_or(m, "block_max"));
+    }
+  }
+
+  // Fleet-wide race verdicts ride the embedded merged races document.
+  const obs::JsonValue* races = doc.find("merged_races");
+  if (races != nullptr && races->is_object()) {
+    uint64_t distinct = num_or(*races, "race_count");
+    append_line(&out, "data races: %" PRIu64 " distinct site pair%s (%" PRIu64
+                " dynamic) across %" PRIu64 " run%s",
+                distinct, distinct == 1 ? "" : "s",
+                num_or(*races, "dynamic_count"),
+                num_or(*races, "merged_runs", 1),
+                num_or(*races, "merged_runs", 1) == 1 ? "" : "s");
+    const obs::JsonValue* list = races->find("races");
+    if (list != nullptr && list->is_array()) {
+      for (const obs::JsonValue& r : list->items) {
+        append_line(&out, "  %-11s %s slot %" PRIu64 "  %s <-> %s  x%" PRIu64,
+                    str_or(r, "kind").c_str(), str_or(r, "class").c_str(),
+                    num_or(r, "slot"), str_or(r, "first_site").c_str(),
+                    str_or(r, "second_site").c_str(), num_or(r, "count"));
+      }
     }
   }
 

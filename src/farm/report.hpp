@@ -11,6 +11,7 @@
 //   merged_profile  merged dejavu-profile-v1 (embedded; null if no runs)
 //   merged_locks    merged dejavu-locks-v1
 //   merged_heap     merged dejavu-heap-v1
+//   merged_races    merged dejavu-races-v1 (fleet race verdicts)
 //   top_methods[]   fleet-wide hottest methods (top-N by instructions)
 //   top_monitors[]  fleet-wide most contended monitors (top-N by blocks)
 #pragma once

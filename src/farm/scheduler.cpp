@@ -64,6 +64,7 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
       cfg.obs.analyze_profile = true;
       cfg.obs.analyze_locks = true;
       cfg.obs.analyze_heap = true;
+      cfg.obs.analyze_races = true;
       cfg.obs.analysis_top_n = opts.top_n;
       replay::ReplayResult r =
           replay::replay_file(*prog, store.resolve(records[i]), {}, cfg);
@@ -83,6 +84,7 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
   obs::ProfileMerger profile;
   obs::LocksMerger locks;
   obs::HeapMerger heap;
+  obs::RacesMerger races;
   for (const TraceOutcome& o : out.outcomes) {
     if (o.verdict == "error") continue;
     obs::merge_snapshots(&out.merged_metrics, o.metrics);
@@ -90,10 +92,12 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
       profile.add_json(o.analysis.profile_json);
     if (!o.analysis.locks_json.empty()) locks.add_json(o.analysis.locks_json);
     if (!o.analysis.heap_json.empty()) heap.add_json(o.analysis.heap_json);
+    if (!o.analysis.races_json.empty()) races.add_json(o.analysis.races_json);
   }
   if (profile.runs() > 0) out.merged_profile = profile.artifact();
   if (locks.runs() > 0) out.merged_locks = locks.artifact();
   if (heap.runs() > 0) out.merged_heap = heap.artifact();
+  if (races.runs() > 0) out.merged_races = races.artifact();
   return out;
 }
 

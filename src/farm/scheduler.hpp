@@ -9,6 +9,7 @@
 //   profile    via obs::ProfileMerger      (dejavu-profile-v1)
 //   locks      via obs::LocksMerger        (dejavu-locks-v1)
 //   heap       via obs::HeapMerger         (dejavu-heap-v1)
+//   races      via obs::RacesMerger        (dejavu-races-v1)
 //
 // Because replay of a given trace is deterministic and the fold order is
 // the catalog order, the merged results are byte-identical for any --jobs
@@ -67,6 +68,7 @@ struct FarmRunResult {
   std::string merged_profile;  // merged dejavu-profile-v1
   std::string merged_locks;    // merged dejavu-locks-v1
   std::string merged_heap;     // merged dejavu-heap-v1
+  std::string merged_races;    // merged dejavu-races-v1
 };
 
 FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts);

@@ -16,6 +16,7 @@ namespace {
 OracleOptions oracle_options(const FuzzOptions& opts) {
   OracleOptions oo;
   oo.check_baselines = opts.check_baselines;
+  oo.lane_cross = opts.lane_cross;
   oo.scratch_dir = opts.out_dir + "/scratch";
   oo.test_skew_schedule_delta = opts.test_skew_schedule_delta;
   oo.max_instructions = opts.max_instructions;

@@ -32,6 +32,7 @@ struct FuzzOptions {
   bool minimize = true;
   bool fault_injection = true;
   bool check_baselines = true;
+  bool lane_cross = true;  // forwarded to OracleOptions::lane_cross
   // Run fault injection on every Nth case (it re-records repeatedly).
   uint64_t fault_every = 25;
   std::string out_dir = "/tmp/dejavu-fuzz";

@@ -213,6 +213,57 @@ CaseOutcome run_case(const CaseSpec& spec, const OracleOptions& oo) {
   std::error_code ec;
   std::filesystem::remove(path, ec);  // keep scratch bounded; best effort
 
+  // -- lane-cross: the 2-lane engine against the single-lane reference ----
+  if (oo.lane_cross) {
+    try {
+      replay::SymmetryConfig lcfg = make_cfg(spec, oo, /*record_side=*/true);
+      lcfg.lanes = 2;
+      vm::ScriptedEnvironment env = make_env(spec.sched);
+      auto timer = make_timer(spec.sched);
+      replay::RecordResult rec2 =
+          replay::record_run(prog, opts, env, *timer, &natives, lcfg);
+
+      // The lane partition changes dispatch order, so the interleaving is
+      // not K-invariant; what §14 does promise is that recording on K
+      // lanes is byte-stable...
+      vm::ScriptedEnvironment env_again = make_env(spec.sched);
+      auto timer_again = make_timer(spec.sched);
+      replay::RecordResult rec2_again = replay::record_run(
+          prog, opts, env_again, *timer_again, &natives, lcfg);
+      std::vector<uint8_t> v5 = rec2.trace.serialize();
+      if (rec2_again.trace.serialize() != v5)
+        return fail("lane-cross",
+                    "2-lane recording is not byte-stable across re-records");
+
+      // ...that the v5 container round-trips bit-for-bit...
+      replay::TraceFile back = replay::TraceFile::deserialize(v5);
+      if (back.serialize() != v5)
+        return fail("lane-cross", "v5 container does not round-trip");
+
+      // ...and that strict multi-lane replay verifies and reproduces the
+      // 2-lane recording exactly.
+      replay::ReplayResult rep2 = replay::replay_run(
+          prog, back, opts, make_cfg(spec, oo, /*record_side=*/false));
+      if (!rep2.verified) {
+        if (rep2.divergence.has_value())
+          out.forensics = rep2.divergence->serialize();
+        return fail("lane-cross", "2-lane replay did not verify: " +
+                                      rep2.stats.first_violation);
+      }
+      if (rep2.output != rec2.output)
+        return fail("lane-cross", "2-lane replay output differs");
+      if (!(rep2.summary == rec2.summary))
+        return fail("lane-cross",
+                    "2-lane replay summary differs:" +
+                        summary_delta(rec2.summary, rep2.summary));
+    } catch (const ReplayDivergence& e) {
+      out.forensics = e.forensics();
+      return fail("lane-cross", e.what());
+    } catch (const VmError& e) {
+      return fail("lane-cross", e.what());
+    }
+  }
+
   if (!oo.check_baselines) return out;
 
   // -- rc-baseline: RC must round-trip its own recording ------------------

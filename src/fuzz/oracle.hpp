@@ -12,6 +12,13 @@
 //                 to the identical schedule/event streams
 //   replay-file   strict replay streamed from the v4 file: must verify and
 //                 match replay-mem
+//   lane-cross    the same case recorded on 2 lanes. The lane partition
+//                 changes dispatch order (interleavings are not
+//                 K-invariant), so the leg checks §14's actual contract:
+//                 the 2-lane recording is byte-stable across re-records,
+//                 the v5 container round-trips bit-for-bit, and strict
+//                 multi-lane replay verifies with output/BehaviorSummary
+//                 equal to the 2-lane recording
 //   rc-baseline   Russinovich-Cogswell: record under the same timer, then
 //                 replay through the scheduler director -- must verify and
 //                 reproduce the RC-recorded output
@@ -39,6 +46,10 @@ namespace dejavu::fuzz {
 
 struct OracleOptions {
   bool check_baselines = true;
+  // Run the lane-cross leg: record the case again on 2 lanes and require
+  // byte-stable re-recording, a bit-for-bit v5 round-trip and a verified
+  // strict replay that reproduces the 2-lane recording.
+  bool lane_cross = true;
   // Directory for scratch trace files (created if missing).
   std::string scratch_dir = "/tmp/dejavu-fuzz";
   // Forwarded to SymmetryConfig::test_skew_schedule_delta on the record

@@ -48,6 +48,7 @@ class AnalysisObserver {
   virtual bool wants_instructions() const { return false; }
   virtual bool wants_monitors() const { return false; }
   virtual bool wants_memory() const { return false; }
+  virtual bool wants_threads() const { return false; }
 
   // Lifecycle. on_run_begin runs at engine attach (VM booted, guest not yet
   // executing); the Vm reference is only guaranteed valid until on_run_end.
@@ -84,6 +85,12 @@ class AnalysisObserver {
                          threads::SwitchReason reason, uint64_t instr_index) {
     (void)from; (void)to; (void)reason; (void)instr_index;
   }
+  // Thread lifecycle edges (rides the wants_threads() subscription).
+  virtual void on_thread_event(const vm::ThreadEvent&) {}
+  // A cross-lane order event from a multi-lane replay (always fanned; a
+  // single-lane VM never emits any). The engine forwards these after its
+  // own field-by-field verification.
+  virtual void on_cross_lane(const threads::CrossLaneEvent&) {}
 
   // The analyzer's primary artifact (a JSON document), valid after
   // on_run_end.
@@ -97,9 +104,11 @@ struct AnalysisResults {
   std::string profile_collapsed;  // Brendan Gregg collapsed-stack text
   std::string locks_json;         // dejavu-locks-v1
   std::string heap_json;          // dejavu-heap-v1
+  std::string races_json;         // dejavu-races-v1
 
   bool any() const {
-    return !profile_json.empty() || !locks_json.empty() || !heap_json.empty();
+    return !profile_json.empty() || !locks_json.empty() ||
+           !heap_json.empty() || !races_json.empty();
   }
 };
 

@@ -245,6 +245,92 @@ std::string LocksMerger::artifact() const {
   return w.str();
 }
 
+// ---------------------------------------------------------------- races
+
+void RacesMerger::add_json(const std::string& json) {
+  JsonValue v = parse_json(json);
+  doc_check(v, "dejavu-races-v1");
+  runs_ += doc_runs(v);
+  dynamic_count_ += num(v, "dynamic_count");
+  checks_ += num(v, "checks");
+  run_instr_count_ += num(v, "run_instr_count");
+  verified_ = verified_ && flag(v, "verified", false);
+  post_violation_ = post_violation_ || flag(v, "post_violation", false);
+
+  const JsonValue* races = v.find("races");
+  if (races == nullptr || !races->is_array()) return;
+  for (const JsonValue& r : races->items) {
+    RaceAgg in;
+    in.cls = str(r, "class");
+    in.alloc_site = str(r, "alloc_site");
+    in.slot = num(r, "slot");
+    in.first_instr = num(r, "first_instr");
+    in.first_tid = num(r, "first_tid");
+    in.second_tid = num(r, "second_tid");
+    in.first_line = snum(r, "first_line", -1);
+    in.second_line = snum(r, "second_line", -1);
+    in.first_clock = num(r, "first_clock");
+    in.second_clock = num(r, "second_clock");
+    in.count = num(r, "count", 1);
+
+    RaceAgg& agg = races_[{str(r, "kind"), str(r, "first_site"),
+                           str(r, "second_site")}];
+    if (agg.count == 0 || in.rep_key() < agg.rep_key()) {
+      uint64_t count = agg.count;
+      agg = in;
+      agg.count = count;
+    }
+    agg.count += in.count;
+  }
+}
+
+std::string RacesMerger::artifact() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "dejavu-races-v1")
+      .kv("merged_runs", runs_)
+      .kv("edge_model", "sync-only (monitor, spawn/join, cross-lane wakes)")
+      .kv("race_count", uint64_t(races_.size()))
+      .kv("dynamic_count", dynamic_count_)
+      .kv("checks", checks_)
+      .kv("run_instr_count", run_instr_count_)
+      .kv("verified", verified_)
+      .kv("post_violation", post_violation_);
+
+  std::vector<const std::map<std::tuple<std::string, std::string,
+                                        std::string>,
+                             RaceAgg>::value_type*> order;
+  order.reserve(races_.size());
+  for (const auto& kv : races_) order.push_back(&kv);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+    if (a->second.count != b->second.count)
+      return a->second.count > b->second.count;
+    return a->first < b->first;
+  });
+  w.key("races").begin_array();
+  for (const auto* kv : order) {
+    const RaceAgg& r = kv->second;
+    w.begin_object()
+        .kv("kind", std::get<0>(kv->first))
+        .kv("class", r.cls)
+        .kv("alloc_site", r.alloc_site)
+        .kv("slot", r.slot)
+        .kv("count", r.count)
+        .kv("first_instr", r.first_instr)
+        .kv("first_tid", r.first_tid)
+        .kv("first_site", std::get<1>(kv->first))
+        .kv("first_line", r.first_line)
+        .kv("first_clock", r.first_clock)
+        .kv("second_tid", r.second_tid)
+        .kv("second_site", std::get<2>(kv->first))
+        .kv("second_line", r.second_line)
+        .kv("second_clock", r.second_clock)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
 // ----------------------------------------------------------------- heap
 
 void HeapMerger::add_json(const std::string& json) {

@@ -91,6 +91,47 @@ class LocksMerger {
   bool post_violation_ = false;
 };
 
+class RacesMerger {
+ public:
+  void add_json(const std::string& json);
+  // The merged dejavu-races-v1 document. Races dedup by their static
+  // (kind, first site, second site) pair -- dynamic counts sum, the
+  // earliest-seen instance (min first_instr, then field order) is the
+  // representative, so the fold stays associative and order-independent.
+  std::string artifact() const;
+  uint64_t runs() const { return runs_; }
+
+ private:
+  struct RaceAgg {
+    std::string cls;
+    std::string alloc_site;
+    uint64_t slot = 0;
+    uint64_t first_instr = 0;
+    uint64_t first_tid = 0, second_tid = 0;
+    int64_t first_line = -1, second_line = -1;
+    uint64_t first_clock = 0, second_clock = 0;
+    uint64_t count = 0;
+    // Representative selection must not depend on merge order: prefer the
+    // smaller first_instr, then the lexicographically smaller field tuple.
+    std::tuple<uint64_t, std::string, std::string, uint64_t, uint64_t,
+               uint64_t, uint64_t, uint64_t>
+    rep_key() const {
+      return {first_instr, cls, alloc_site, slot,
+              first_tid, second_tid, first_clock, second_clock};
+    }
+  };
+
+  // (kind, first site, second site) -> aggregate.
+  std::map<std::tuple<std::string, std::string, std::string>, RaceAgg>
+      races_;
+  uint64_t runs_ = 0;
+  uint64_t dynamic_count_ = 0;
+  uint64_t checks_ = 0;
+  uint64_t run_instr_count_ = 0;
+  bool verified_ = true;
+  bool post_violation_ = false;
+};
+
 class HeapMerger {
  public:
   void add_json(const std::string& json);

@@ -47,10 +47,11 @@ struct ObsConfig {
   bool analyze_profile = false;
   bool analyze_locks = false;
   bool analyze_heap = false;
+  bool analyze_races = false;
   uint32_t analysis_top_n = 10;  // hot-pc / hot-object list depth
 
   bool any_analysis() const {
-    return analyze_profile || analyze_locks || analyze_heap;
+    return analyze_profile || analyze_locks || analyze_heap || analyze_races;
   }
 };
 

@@ -191,6 +191,12 @@ void DejaVuEngine::add_analyzer(obs::AnalysisObserver* a) {
   fan_instr_ = fan_instr_ || a->wants_instructions();
   fan_mon_ = fan_mon_ || a->wants_monitors();
   fan_mem_ = fan_mem_ || a->wants_memory();
+  fan_thread_ = fan_thread_ || a->wants_threads();
+}
+
+void DejaVuEngine::on_thread_event(const vm::ThreadEvent& ev) {
+  for (obs::AnalysisObserver* a : analyzers_)
+    if (a->wants_threads()) a->on_thread_event(ev);
 }
 
 void DejaVuEngine::on_instruction(const vm::InstrEvent& ev) {
@@ -844,6 +850,9 @@ void DejaVuEngine::handle_cross_lane(const threads::CrossLaneEvent& e) {
   }
   order_seq_++;
   if (c_order_events_ != nullptr) c_order_events_->add();
+  // Fan the verified edge to the analyzers (replay-only by construction:
+  // record-mode engines reject add_analyzer, so this loop is empty there).
+  for (obs::AnalysisObserver* a : analyzers_) a->on_cross_lane(e);
 }
 
 void DejaVuEngine::detach(vm::Vm& vm) {

@@ -237,6 +237,8 @@ class DejaVuEngine : public vm::ExecHooks {
                      bool is_ref) override;
   void on_heap_alloc(const vm::AllocEvent& ev) override;
   void on_heap_move(heap::Addr from, heap::Addr to) override;
+  bool wants_thread_events() const override { return fan_thread_; }
+  void on_thread_event(const vm::ThreadEvent& ev) override;
 
   // Strict-mode carry-over: true when cfg.strict was set, analyzers were
   // registered, and a violation occurred -- the engine finished the run
@@ -384,6 +386,7 @@ class DejaVuEngine : public vm::ExecHooks {
   bool fan_instr_ = false;
   bool fan_mon_ = false;
   bool fan_mem_ = false;
+  bool fan_thread_ = false;
 
   bool io_class_loaded_ = false;
   bool detached_ = false;

@@ -65,12 +65,14 @@ BuiltinAnalyzers::BuiltinAnalyzers(const obs::ObsConfig& oc) {
     locks = std::make_unique<obs::LockContentionAnalyzer>();
   if (oc.analyze_heap)
     heap = std::make_unique<obs::HeapChurnAnalyzer>(oc.analysis_top_n);
+  if (oc.analyze_races) races = std::make_unique<obs::RaceDetector>();
 }
 
 void BuiltinAnalyzers::install(DejaVuEngine& engine) const {
   if (profiler != nullptr) engine.add_analyzer(profiler.get());
   if (locks != nullptr) engine.add_analyzer(locks.get());
   if (heap != nullptr) engine.add_analyzer(heap.get());
+  if (races != nullptr) engine.add_analyzer(races.get());
 }
 
 obs::AnalysisResults BuiltinAnalyzers::collect() const {
@@ -81,6 +83,7 @@ obs::AnalysisResults BuiltinAnalyzers::collect() const {
   }
   if (locks != nullptr) r.locks_json = locks->artifact();
   if (heap != nullptr) r.heap_json = heap->artifact();
+  if (races != nullptr) r.races_json = races->artifact();
   return r;
 }
 

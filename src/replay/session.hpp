@@ -15,6 +15,7 @@
 #include "src/obs/analysis/heap_churn.hpp"
 #include "src/obs/analysis/locks.hpp"
 #include "src/obs/analysis/profiler.hpp"
+#include "src/obs/analysis/race_detector.hpp"
 #include "src/replay/engine.hpp"
 #include "src/replay/trace.hpp"
 #include "src/threads/timer.hpp"
@@ -71,6 +72,7 @@ struct BuiltinAnalyzers {
   std::unique_ptr<obs::ReplayProfiler> profiler;
   std::unique_ptr<obs::LockContentionAnalyzer> locks;
   std::unique_ptr<obs::HeapChurnAnalyzer> heap;
+  std::unique_ptr<obs::RaceDetector> races;
 
   explicit BuiltinAnalyzers(const obs::ObsConfig& oc);
   void install(DejaVuEngine& engine) const;

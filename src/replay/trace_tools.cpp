@@ -229,6 +229,19 @@ std::string dump_trace(const TraceFile& trace, size_t max_lines) {
   return dump_trace(src, max_lines);
 }
 
+namespace {
+
+std::string describe_order(const DecodedOrderEvent& e) {
+  std::ostringstream os;
+  os << threads::cross_lane_kind_name(threads::CrossLaneKind(e.kind))
+     << " lane " << e.from_lane << "->" << e.to_lane << " tid " << e.from
+     << "->" << e.to;
+  if (e.subject != 0) os << " subject " << e.subject;
+  return os.str();
+}
+
+}  // namespace
+
 TraceDiff diff_traces(TraceSource& a, TraceSource& b) {
   TraceDiff d;
   std::ostringstream why;
@@ -285,27 +298,28 @@ TraceDiff diff_traces(TraceSource& a, TraceSource& b) {
     }
   }
 
-  bool order_differs = false;
   if (lanes > 1) {
     std::vector<DecodedOrderEvent> oa = decode_order(a), ob = decode_order(b);
     size_t k = std::min(oa.size(), ob.size());
-    for (size_t i = 0; i < k && !order_differs; ++i) {
+    for (size_t i = 0; i < k && d.first_order_divergence == SIZE_MAX; ++i) {
       if (oa[i].kind != ob[i].kind || oa[i].from_lane != ob[i].from_lane ||
           oa[i].to_lane != ob[i].to_lane || oa[i].from != ob[i].from ||
           oa[i].to != ob[i].to || oa[i].subject != ob[i].subject) {
-        order_differs = true;
-        why << "order event " << i << " differs; ";
+        d.first_order_divergence = i;
+        why << "order event " << i << ": " << describe_order(oa[i]) << " vs "
+            << describe_order(ob[i]) << "; ";
       }
     }
-    if (!order_differs && oa.size() != ob.size()) {
-      order_differs = true;
+    if (d.first_order_divergence == SIZE_MAX && oa.size() != ob.size()) {
+      d.first_order_divergence = k;
       why << "order event counts differ (" << oa.size() << " vs "
           << ob.size() << "); ";
     }
   }
 
   d.identical = d.first_schedule_divergence == SIZE_MAX &&
-                d.first_event_divergence == SIZE_MAX && !order_differs;
+                d.first_event_divergence == SIZE_MAX &&
+                d.first_order_divergence == SIZE_MAX;
   d.description = d.identical ? "identical" : why.str();
   return d;
 }

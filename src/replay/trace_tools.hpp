@@ -95,6 +95,11 @@ struct TraceDiff {
   // match), and the first differing event (SIZE_MAX if events match).
   size_t first_schedule_divergence = SIZE_MAX;
   size_t first_event_divergence = SIZE_MAX;
+  // v5: index of the first disagreeing cross-lane order record (SIZE_MAX
+  // if the order streams match or both traces are single-lane). The
+  // description spells out both records -- kind, lanes and tids -- so a
+  // cross-lane scheduling skew is diagnosable without a manual dump.
+  size_t first_order_divergence = SIZE_MAX;
   std::string description;
 };
 

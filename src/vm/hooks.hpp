@@ -83,6 +83,24 @@ struct AllocEvent {
   uint64_t instr_index = 0;
 };
 
+// A thread lifecycle edge. kSpawn orders everything the parent did before
+// the spawn ahead of the child's first instruction; kJoinEnd orders the
+// target's last instruction ahead of everything the joiner does after the
+// join completes. kExit marks the point whose happened-before frontier a
+// later join inherits.
+enum class ThreadOp : uint8_t {
+  kSpawn,    // tid spawned `other`
+  kExit,     // tid ran its last instruction and left the scheduler
+  kJoinEnd,  // tid's join on `other` completed (immediately or after parking)
+};
+
+struct ThreadEvent {
+  ThreadOp op{};
+  threads::Tid tid = threads::kNoThread;
+  threads::Tid other = threads::kNoThread;  // child / join target; else kNoThread
+  uint64_t instr_index = 0;  // Vm::instr_count() at the operation
+};
+
 class ExecHooks {
  public:
   virtual ~ExecHooks() = default;
@@ -164,6 +182,10 @@ class ExecHooks {
   virtual void on_instruction(const InstrEvent&) {}
   virtual bool wants_monitor_events() const { return false; }
   virtual void on_monitor_event(const MonitorEvent&) {}
+  // Thread lifecycle (spawn / exit / join completion): the happens-before
+  // edges monitor events cannot express.
+  virtual bool wants_thread_events() const { return false; }
+  virtual void on_thread_event(const ThreadEvent&) {}
   // Allocation notification rides the wants_memory_events() subscription.
   virtual void on_heap_alloc(const AllocEvent&) {}
   // Copying-GC relocation notification (also rides wants_memory_events()).

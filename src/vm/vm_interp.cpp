@@ -155,6 +155,13 @@ void Vm::pop_frame_return(ExecContext& c, bool has_value, uint64_t value) {
   c.frames.pop_back();
   c.sp = f.locals_base;  // pops the arguments from the caller's stack
   if (c.frames.empty()) {
+    if (hooks_ != nullptr && hooks_->wants_thread_events()) {
+      ThreadEvent ev;
+      ev.op = ThreadOp::kExit;
+      ev.tid = c.tid;
+      ev.instr_index = instr_count_;
+      hooks_->on_thread_event(ev);
+    }
     threads_->on_thread_exit();
     return;
   }
@@ -802,6 +809,14 @@ void Vm::execute_instruction() {
       pop_slot();
       push_slot(ctx(t).thread_obj);
       cur().frames.back().pc++;
+      if (hooks_ != nullptr && hooks_->wants_thread_events()) {
+        ThreadEvent ev;
+        ev.op = ThreadOp::kSpawn;
+        ev.tid = cur().tid;
+        ev.other = t;
+        ev.instr_index = instr_count_;
+        hooks_->on_thread_event(ev);
+      }
       break;
     }
     case kJoin: {
@@ -812,6 +827,16 @@ void Vm::execute_instruction() {
       if (!threads_->join_would_block(target)) {
         pop_slot();
         f.pc++;
+        // Fires for both the immediate case and the re-execution after a
+        // parked join wakes: either way the target has fully terminated.
+        if (hooks_ != nullptr && hooks_->wants_thread_events()) {
+          ThreadEvent ev;
+          ev.op = ThreadOp::kJoinEnd;
+          ev.tid = c.tid;
+          ev.other = target;
+          ev.instr_index = instr_count_;
+          hooks_->on_thread_event(ev);
+        }
       } else {
         threads_->join_begin(target);
         // pc unchanged: re-executes (and completes) after termination

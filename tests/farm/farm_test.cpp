@@ -237,8 +237,23 @@ TEST(FarmScheduler, FleetIsCleanAndReportByteIdenticalAcrossJobs) {
   EXPECT_EQ(fx.run1.merged_profile, fx.run4.merged_profile);
   EXPECT_EQ(fx.run1.merged_locks, fx.run4.merged_locks);
   EXPECT_EQ(fx.run1.merged_heap, fx.run4.merged_heap);
+  EXPECT_EQ(fx.run1.merged_races, fx.run4.merged_races);
   EXPECT_EQ(fx.run1.merged_metrics.to_json(), fx.run4.merged_metrics.to_json());
   EXPECT_EQ(farm_report_json(fx.run1, 10), farm_report_json(fx.run4, 10));
+
+  // The fleet includes counter_race, so the merged race document must
+  // carry fleet-wide verdicts for it (kSeeds runs of the same racy guest
+  // dedup to the same static site pairs).
+  ASSERT_FALSE(fx.run1.merged_races.empty());
+  obs::JsonValue races = obs::parse_json(fx.run1.merged_races);
+  EXPECT_EQ(races.find("schema")->string, "dejavu-races-v1");
+  EXPECT_GT(races.find("race_count")->number, 0.0);
+  bool counter = false;
+  for (const obs::JsonValue& r : races.find("races")->items) {
+    if (r.find("first_site")->string.rfind("Main.worker:", 0) == 0)
+      counter = true;
+  }
+  EXPECT_TRUE(counter) << fx.run1.merged_races;
 }
 
 TEST(FarmScheduler, FarmReplayIsUnperturbedVsDirectReplay) {
@@ -254,6 +269,7 @@ TEST(FarmScheduler, FarmReplayIsUnperturbedVsDirectReplay) {
     cfg.obs.analyze_profile = true;
     cfg.obs.analyze_locks = true;
     cfg.obs.analyze_heap = true;
+    cfg.obs.analyze_races = true;
     cfg.obs.analysis_top_n = 10;
     std::optional<bytecode::Program> prog =
         fleet_resolve(records[i].workload);
@@ -267,6 +283,7 @@ TEST(FarmScheduler, FarmReplayIsUnperturbedVsDirectReplay) {
     EXPECT_EQ(farm.analysis.profile_json, direct.analysis.profile_json);
     EXPECT_EQ(farm.analysis.locks_json, direct.analysis.locks_json);
     EXPECT_EQ(farm.analysis.heap_json, direct.analysis.heap_json);
+    EXPECT_EQ(farm.analysis.races_json, direct.analysis.races_json);
     EXPECT_EQ(farm.metrics.to_json(), direct.metrics.to_json());
   }
 }
@@ -454,6 +471,41 @@ TEST(FarmCache, DamagedEntryIsAMissNotAnError) {
   EXPECT_EQ(farm_report_json(again, 10), farm_report_json(fresh, 10));
 }
 
+TEST(FarmCache, GcDropsOrphanedConfigsAndRunRepopulates) {
+  CacheFixture fx;
+  // Populate the cache under two configurations.
+  fx.run(true, /*top_n=*/10);
+  fx.run(true, /*top_n=*/3);
+  FarmOptions keep, orphan;
+  keep.top_n = 10;
+  orphan.top_n = 3;
+  CacheScan before = scan_outcome_cache(fx.store_dir,
+                                        outcome_config_hash(keep));
+  EXPECT_EQ(before.current, 4u);
+  EXPECT_EQ(before.stale, 4u);
+
+  // gc under the top_n=10 config removes the top_n=3 entries only.
+  CacheScan gc = gc_outcome_cache(fx.store_dir, outcome_config_hash(keep));
+  EXPECT_EQ(gc.current, 4u);
+  EXPECT_EQ(gc.stale, 4u);
+  CacheScan after = scan_outcome_cache(fx.store_dir,
+                                       outcome_config_hash(keep));
+  EXPECT_EQ(after.current, 4u);
+  EXPECT_EQ(after.stale, 0u);
+  EXPECT_EQ(scan_outcome_cache(fx.store_dir, outcome_config_hash(orphan))
+                .current,
+            0u);
+
+  // The surviving config still hits; the collected one replays fresh and
+  // repopulates byte-identically.
+  EXPECT_EQ(cached_count(fx.run(true, 10)), 4u);
+  FarmRunResult repop = fx.run(true, 3);
+  EXPECT_EQ(cached_count(repop), 0u);
+  FarmRunResult hit = fx.run(true, 3);
+  EXPECT_EQ(cached_count(hit), 4u);
+  EXPECT_EQ(farm_report_json(hit, 3), farm_report_json(repop, 3));
+}
+
 // ------------------------------------------------------------ the report
 
 TEST(FarmReport, JsonIsWellFormedAndRenderable) {
@@ -477,6 +529,8 @@ TEST(FarmReport, JsonIsWellFormedAndRenderable) {
             "dejavu-locks-v1");
   EXPECT_EQ(doc.find("merged_heap")->find("schema")->string,
             "dejavu-heap-v1");
+  EXPECT_EQ(doc.find("merged_races")->find("schema")->string,
+            "dejavu-races-v1");
   const obs::JsonValue* methods = doc.find("top_methods");
   ASSERT_NE(methods, nullptr);
   EXPECT_FALSE(methods->items.empty());

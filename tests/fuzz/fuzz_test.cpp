@@ -112,6 +112,22 @@ TEST(FuzzCampaign, CleanOnHealthyEngine) {
             report.faults_injected);
 }
 
+TEST(FuzzCampaign, LaneCrossLegIsCleanOnHealthyEngine) {
+  // The --lanes 2 differential leg in isolation (baselines and faults
+  // off): every generated case must behave identically on the 2-lane
+  // engine, round-trip through the v5 container, and replay verified.
+  FuzzOptions opts;
+  opts.seed = 21;
+  opts.iters = env_iters(12);
+  opts.check_baselines = false;
+  opts.fault_injection = false;
+  opts.out_dir = scratch_dir("lanes");
+  FuzzReport report = run_fuzz(opts);
+  EXPECT_EQ(report.cases_run, opts.iters);
+  EXPECT_EQ(report.divergences, 0u) << report.summary();
+  EXPECT_TRUE(report.clean());
+}
+
 TEST(FuzzCampaign, InjectedSkewIsCaughtAndMinimized) {
   // The acceptance drill: a deliberate engine bug (record over-reports the
   // first preemptive schedule delta) must be caught by the differential

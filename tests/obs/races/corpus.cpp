@@ -1,0 +1,143 @@
+#include "tests/obs/races/corpus.hpp"
+
+#include "src/bytecode/builder.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace dejavu::racecorpus {
+
+namespace {
+
+using bytecode::Program;
+using bytecode::ProgramBuilder;
+using bytecode::ValueType;
+
+constexpr ValueType I = ValueType::kI64;
+constexpr ValueType R = ValueType::kRef;
+
+// Spawns two `worker` threads and joins both; the corpus programs differ
+// only in what `worker` does, so the scaffolding is shared. `epilogue` runs
+// on the main thread after the joins (always race-free: the join edges
+// order it after everything the workers did).
+void add_two_worker_run(bytecode::ClassBuilder& main,
+                        void (*epilogue)(bytecode::MethodBuilder&)) {
+  auto& m = main.method("run").arg(R).locals(3);
+  m.line(90).new_object("Obj").putstatic("Main", "lock");
+  m.push_null().spawn("Main", "worker").store(1);
+  m.push_null().spawn("Main", "worker").store(2);
+  m.load(1).join().load(2).join();
+  epilogue(m);
+  m.ret();
+}
+
+// Lazy initialization: `get` checks a plain `init` flag and creates the
+// singleton when unset. Racy form: flag and instance are bare statics, so
+// both the flag handshake and the instance publication race. Fixed form:
+// the whole check-then-create runs under the monitor.
+Program lazy_init_program(bool locked) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  main.static_field("init", I);
+  main.static_field("inst", R);
+  main.static_field("lock", R);
+
+  {
+    auto& g = main.method("get");
+    auto have = g.label();
+    if (locked) g.getstatic("Main", "lock").monitorenter();
+    g.line(10).getstatic("Main", "init").jnz(have);
+    g.line(11).new_object("Obj").putstatic("Main", "inst");
+    g.push_i(1).putstatic("Main", "init");
+    g.bind(have);
+    g.line(12).getstatic("Main", "inst").pop();
+    if (locked) g.getstatic("Main", "lock").monitorexit();
+    g.ret();
+  }
+  {
+    auto& w = main.method("worker").arg(R).locals(2);
+    auto top = w.label(), done = w.label();
+    w.line(20).push_i(3).store(1);
+    w.bind(top).load(1).jz(done);
+    w.invoke_static("Main", "get");
+    w.load(1).push_i(1).sub().store(1).jmp(top);
+    w.bind(done).ret();
+  }
+  add_two_worker_run(main, [](bytecode::MethodBuilder& m) {
+    m.line(91).getstatic("Main", "init").print_i();
+  });
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+// Publication: `pub` builds an Obj, stores 42 into it, publishes it through
+// `shared` and raises `ready`; `sub` spins on `ready` then reads the
+// payload. Racy form: bare statics -- the flag, the reference and the
+// payload field all race. Fixed form: the flag+reference handshake runs
+// under the monitor on both sides, which also orders the payload accesses.
+Program publish_program(bool locked) {
+  ProgramBuilder pb;
+  auto& obj = pb.add_class("Obj");
+  obj.field("data", I);
+  auto& main = pb.add_class("Main");
+  main.static_field("ready", I);
+  main.static_field("shared", R);
+  main.static_field("lock", R);
+
+  {
+    auto& p = main.method("pub").arg(R).locals(2);
+    p.line(30).new_object("Obj").store(1);
+    p.load(1).push_i(42).putfield("Obj", "data");
+    if (locked) p.getstatic("Main", "lock").monitorenter();
+    p.line(31).load(1).putstatic("Main", "shared");
+    p.push_i(1).putstatic("Main", "ready");
+    if (locked) p.getstatic("Main", "lock").monitorexit();
+    p.ret();
+  }
+  {
+    auto& s = main.method("sub").arg(R).locals(2);
+    auto spin = s.label(), go = s.label();
+    s.bind(spin);
+    if (locked) s.getstatic("Main", "lock").monitorenter();
+    s.line(40).getstatic("Main", "ready").store(1);
+    if (locked) s.getstatic("Main", "lock").monitorexit();
+    s.load(1).jnz(go);
+    s.yield().jmp(spin);
+    s.bind(go);
+    s.line(41).getstatic("Main", "shared").getfield("Obj", "data").pop();
+    s.ret();
+  }
+  {
+    auto& m = main.method("run").arg(R).locals(3);
+    m.line(90).new_object("Obj").putstatic("Main", "lock");
+    m.push_null().spawn("Main", "pub").store(1);
+    m.push_null().spawn("Main", "sub").store(2);
+    m.load(1).join().load(2).join();
+    m.line(91).getstatic("Main", "shared").getfield("Obj", "data").print_i();
+    m.ret();
+  }
+  pb.main("Main", "run");
+  return pb.build();
+}
+
+}  // namespace
+
+Program racy_counter() { return workloads::counter_race(2, 6); }
+Program fixed_counter() { return workloads::counter_locked(2, 6); }
+Program racy_lazy_init() { return lazy_init_program(false); }
+Program fixed_lazy_init() { return lazy_init_program(true); }
+Program racy_publish() { return publish_program(false); }
+Program fixed_publish() { return publish_program(true); }
+
+const std::vector<CorpusEntry>& race_corpus() {
+  static const std::vector<CorpusEntry> corpus = {
+      {"racy_counter", true, racy_counter, "Main.worker:", "Main.worker:"},
+      {"fixed_counter", false, fixed_counter, nullptr, nullptr},
+      {"racy_lazy_init", true, racy_lazy_init, "Main.get:", "Main.get:"},
+      {"fixed_lazy_init", false, fixed_lazy_init, nullptr, nullptr},
+      {"racy_publish", true, racy_publish, "Main.pub:", "Main.sub:"},
+      {"fixed_publish", false, fixed_publish, nullptr, nullptr},
+  };
+  return corpus;
+}
+
+}  // namespace dejavu::racecorpus

@@ -1,0 +1,42 @@
+// The ground-truth race corpus: guest programs with seeded, understood
+// data races, each paired with a monitor-fixed twin that is race-free by
+// construction. tests/obs/races/race_detector_test.cpp asserts the
+// happens-before detector flags every seeded race at the expected site
+// pair and stays silent on every twin.
+#pragma once
+
+#include <vector>
+
+#include "src/bytecode/model.hpp"
+
+namespace dejavu::racecorpus {
+
+struct CorpusEntry {
+  const char* name;
+  bool racy;  // true: at least one seeded race; false: must report zero
+  bytecode::Program (*make)();
+  // For racy entries: the flagged pair must have one site in a method whose
+  // label starts with site_a and the other starting with site_b (either
+  // order). Unused for fixed twins.
+  const char* site_a;
+  const char* site_b;
+};
+
+// Unsynchronized counter (the classic lost-update) and its locked twin.
+bytecode::Program racy_counter();
+bytecode::Program fixed_counter();
+
+// Lazy initialization guarded only by a plain flag read, and the twin that
+// performs the whole check-then-create under a monitor.
+bytecode::Program racy_lazy_init();
+bytecode::Program fixed_lazy_init();
+
+// Publication of a freshly built object through a plain static field (the
+// consumer spins on an unsynchronized ready flag), and the twin that
+// publishes and consumes under a monitor.
+bytecode::Program racy_publish();
+bytecode::Program fixed_publish();
+
+const std::vector<CorpusEntry>& race_corpus();
+
+}  // namespace dejavu::racecorpus

@@ -113,6 +113,82 @@ TEST(GoldenTrace, GoldenV4VerifiesAndReplays) {
   EXPECT_EQ(replayed.summary, rec.summary);
 }
 
+// ------------------------------------------------ v5 multi-lane corpus
+
+// The multi-lane recipe: a monitor-heavy workload whose threads hand the
+// lock across lanes, so the committed v5 files exercise per-lane streams
+// AND a non-empty cross-lane order stream.
+bytecode::Program golden_lane_program() { return workloads::lock_pingpong(10); }
+
+RecordResult record_lane_recipe(uint32_t lanes) {
+  vm::VmOptions opts;
+  vm::ScriptedEnvironment env(500, 3, {11, 22, 33}, 5);
+  threads::VirtualTimer timer(9, 4, 48);
+  vm::NativeRegistry natives = vmtest::make_test_natives();
+  bytecode::Program prog = golden_lane_program();
+  SymmetryConfig cfg;
+  cfg.lanes = lanes;
+  return record_run(prog, opts, env, timer, &natives, cfg);
+}
+
+std::string lane_golden_name(uint32_t lanes) {
+  return "lock_pingpong.k" + std::to_string(lanes) + ".v5.djv";
+}
+
+TEST(GoldenTrace, MultiLaneWriterIsByteStable) {
+  bool regen = std::getenv("DEJAVU_REGEN_GOLDEN") != nullptr;
+  for (uint32_t lanes : {2u, 4u}) {
+    RecordResult rec = record_lane_recipe(lanes);
+    ASSERT_TRUE(rec.trace.multi_lane());
+    ASSERT_GT(rec.trace.meta.order_events, 0u) << "K=" << lanes;
+    std::vector<uint8_t> v5 = rec.trace.serialize();
+    std::string path = golden_path(lane_golden_name(lanes).c_str());
+    if (regen) {
+      write_file(path, v5);
+      continue;
+    }
+    std::vector<uint8_t> want = read_file(path);
+    EXPECT_EQ(v5, want) << "v5 writer no longer byte-stable for K=" << lanes
+                        << " (" << v5.size() << "B now vs " << want.size()
+                        << "B golden)";
+  }
+  if (regen) GTEST_SKIP() << "regenerated multi-lane golden traces";
+}
+
+TEST(GoldenTrace, GoldenV5VerifiesReplaysAndDecodes) {
+  bytecode::Program prog = golden_lane_program();
+  for (uint32_t lanes : {2u, 4u}) {
+    std::string path = golden_path(lane_golden_name(lanes).c_str());
+    TraceVerifyReport rep = verify_trace_file(path);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    EXPECT_TRUE(rep.sealed);
+    EXPECT_EQ(rep.version, 5u);
+    EXPECT_EQ(rep.lanes, lanes);
+    EXPECT_GT(rep.order_bytes, 0u);
+
+    // The committed bytes replay verified and reproduce today's recording.
+    vm::VmOptions opts;
+    SymmetryConfig cfg;
+    ReplayResult replayed = replay_file(prog, path, opts, cfg);
+    EXPECT_TRUE(replayed.verified) << replayed.stats.first_violation;
+    RecordResult rec = record_lane_recipe(lanes);
+    EXPECT_EQ(replayed.output, rec.output);
+    EXPECT_EQ(replayed.summary, rec.summary);
+
+    // Decode + dump are stable: the streamed file decodes to the same
+    // per-lane streams and order records as the in-memory re-recording.
+    auto src = open_trace_source(path);
+    TraceStats stats = trace_stats(*src);
+    EXPECT_EQ(stats.lanes, lanes);
+    EXPECT_GT(stats.order_events, 0u);
+    EXPECT_EQ(stats.order_events, rec.trace.meta.order_events);
+    EXPECT_EQ(dump_trace(*src), dump_trace(rec.trace));
+    TraceFileSource fresh(&rec.trace);
+    TraceDiff d = diff_traces(*src, fresh);
+    EXPECT_TRUE(d.identical) << d.description;
+  }
+}
+
 TEST(GoldenTrace, GoldenV3LoadsConvertsAndReplays) {
   std::vector<uint8_t> v3_bytes = read_file(golden_path("clock_mixer.v3.djv"));
   std::vector<uint8_t> v4_bytes = read_file(golden_path("clock_mixer.v4.djv"));

@@ -8,7 +8,9 @@
 # The suite is sliced by ctest label: `unit` (module gtests), `fuzz`
 # (bounded schedule-space fuzz campaigns, iteration budget via
 # DEJAVU_FUZZ_ITERS), `smoke` (one-iteration bench runs), `obs`
-# (telemetry-symmetry tests; also run under the sanitizers).
+# (telemetry-symmetry tests; also run under the sanitizers), `analysis`
+# (the happens-before race detector's ground-truth corpus + merger
+# property tests; also run under the sanitizers).
 #
 # Usage: tools/check.sh [jobs|obs]
 #   tools/check.sh        full check
@@ -23,9 +25,10 @@ check_obs_slice() {
   local jobs="$1"
   echo "== obs slice: telemetry symmetry + artifact schemas =="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "$jobs" --target test_obs bench_smoke dejavu \
-    obs_schema_check
+  cmake --build build -j "$jobs" --target test_obs test_analysis \
+    bench_smoke dejavu obs_schema_check
   ctest --test-dir build --output-on-failure -j "$jobs" -L obs
+  ctest --test-dir build --output-on-failure -j "$jobs" -L analysis
 
   local art=build/obs-artifacts
   mkdir -p "$art"
@@ -37,6 +40,10 @@ check_obs_slice() {
     --timeline "$art/replay_timeline.json" >/dev/null
   ./build/tools/dejavu analyze clock_mixer "$art/cm.djv" \
     --out-dir "$art/analysis" >/dev/null
+  ./build/tools/dejavu record counter_race --seed 5 --out "$art/cr.djv" \
+    >/dev/null
+  ./build/tools/dejavu analyze counter_race "$art/cr.djv" --races \
+    --out-dir "$art/races-analysis" >/dev/null
   ./build/bench/bench_smoke --json BENCH_smoke.json \
     --timeline "$art/bench_timeline.json" >/dev/null
   ./build/tools/obs_schema_check metrics \
@@ -48,6 +55,8 @@ check_obs_slice() {
   ./build/tools/obs_schema_check auto \
     "$art/analysis/profile.json" "$art/analysis/locks.json" \
     "$art/analysis/heap.json"
+  ./build/tools/obs_schema_check races "$art/races-analysis/races.json"
+  ./build/tools/dejavu report "$art/races-analysis/races.json" >/dev/null
   ./build/tools/obs_schema_check collapsed "$art/analysis/profile.collapsed"
 
   echo "== obs slice: farm smoke (ingest -> run --jobs 4 -> report) =="
@@ -79,8 +88,10 @@ check_obs_slice() {
 
   echo "== obs slice: sanitized (build-asan/, ASan+UBSan) =="
   cmake -B build-asan -S . -DDEJAVU_SANITIZE=ON >/dev/null
-  cmake --build build-asan -j "$jobs" --target test_obs bench_smoke
+  cmake --build build-asan -j "$jobs" --target test_obs test_analysis \
+    bench_smoke
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L obs
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" -L analysis
 }
 
 if [[ "${1:-}" == "obs" ]]; then

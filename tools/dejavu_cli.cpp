@@ -15,6 +15,7 @@
 //   dejavu farm ingest --store D --workload W [--seed N] <trace.djv>...
 //   dejavu farm ls --store D                 list the trace catalog
 //   dejavu farm run --store D [--jobs N] [--top N] [--no-cache] [--out report.json]
+//   dejavu farm gc --store D                 drop stale outcome-cache entries
 //   dejavu farm report <report.json>         render a farm report
 //
 // Workloads are the built-in guest programs from src/workloads (listed by
@@ -53,6 +54,7 @@
 #include <sstream>
 
 #include "src/debugger/debugger.hpp"
+#include "src/farm/outcome_cache.hpp"
 #include "src/farm/report.hpp"
 #include "src/farm/scheduler.hpp"
 #include "src/farm/trace_store.hpp"
@@ -250,7 +252,7 @@ int cmd_replay(const std::string& name, const std::string& path, bool strict,
 // `dejavu replay` (tests/obs/analysis_test.cpp proves byte-identity).
 int cmd_analyze(const std::string& name, const std::string& path,
                 const std::string& out_dir, uint32_t top_n, bool strict,
-                unsigned io_jobs, const TelemetryOpts& tel) {
+                bool races, unsigned io_jobs, const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
     std::fprintf(stderr, "unknown workload %s\n", name.c_str());
@@ -262,6 +264,7 @@ int cmd_analyze(const std::string& name, const std::string& path,
   cfg.obs.analyze_profile = true;
   cfg.obs.analyze_locks = true;
   cfg.obs.analyze_heap = true;
+  cfg.obs.analyze_races = races;
   cfg.obs.analysis_top_n = top_n;
   // Non-strict by default: a diverged replay still yields (clearly
   // labelled) partial artifacts plus the forensics, which is what you want
@@ -282,6 +285,7 @@ int cmd_analyze(const std::string& name, const std::string& path,
   emit("profile.collapsed", rep.analysis.profile_collapsed);
   emit("locks.json", rep.analysis.locks_json);
   emit("heap.json", rep.analysis.heap_json);
+  if (races) emit("races.json", rep.analysis.races_json);
   std::printf("flamegraph: flamegraph.pl %s/profile.collapsed > flame.svg\n",
               out_dir.c_str());
   if (strict && rep.post_violation)
@@ -389,6 +393,34 @@ void render_heap(const obs::JsonValue& doc) {
   }
 }
 
+void render_races(const obs::JsonValue& doc) {
+  double runs = num_or(doc, "merged_runs", 1);
+  std::printf("data races: %.0f distinct site pair(s), %.0f dynamic "
+              "occurrence(s), %.0f access check(s)",
+              num_or(doc, "race_count"), num_or(doc, "dynamic_count"),
+              num_or(doc, "checks"));
+  if (runs > 1) std::printf(" across %.0f runs", runs);
+  std::printf("\nedge model: %s\n", str_or(doc, "edge_model").c_str());
+  const obs::JsonValue* races = doc.find("races");
+  if (races == nullptr || !races->is_array() || races->items.empty()) {
+    std::printf("no data races detected\n");
+    return;
+  }
+  for (const obs::JsonValue& r : races->items) {
+    std::printf("%-11s %s slot %.0f (alloc %s)  x%.0f\n",
+                str_or(r, "kind").c_str(), str_or(r, "class").c_str(),
+                num_or(r, "slot"), str_or(r, "alloc_site").c_str(),
+                num_or(r, "count"));
+    std::printf("    t%.0f %s:%.0f @%.0f  <->  t%.0f %s:%.0f @%.0f  "
+                "(first at instr %.0f)\n",
+                num_or(r, "first_tid"), str_or(r, "first_site").c_str(),
+                num_or(r, "first_line"), num_or(r, "first_clock"),
+                num_or(r, "second_tid"), str_or(r, "second_site").c_str(),
+                num_or(r, "second_line"), num_or(r, "second_clock"),
+                num_or(r, "first_instr"));
+  }
+}
+
 // dejavu report: render whatever the file holds -- an analysis artifact
 // (standalone JSON with a "schema" member) or the DivergenceReport embedded
 // in a fuzz reproducer (.dvfz) / any file containing a "dvrep 1" block.
@@ -409,6 +441,7 @@ int cmd_report(const std::string& path) {
       if (schema == "dejavu-profile-v1") return render_profile(doc), 0;
       if (schema == "dejavu-locks-v1") return render_locks(doc), 0;
       if (schema == "dejavu-heap-v1") return render_heap(doc), 0;
+      if (schema == "dejavu-races-v1") return render_races(doc), 0;
       if (schema == farm::kFarmReportSchema)
         return std::fputs(farm::render_farm_report(text).c_str(), stdout), 0;
     } catch (const VmError&) {
@@ -575,7 +608,7 @@ int cmd_farm_ingest(const std::string& store_dir, const std::string& workload,
   return 0;
 }
 
-int cmd_farm_ls(const std::string& store_dir) {
+int cmd_farm_ls(const std::string& store_dir, uint32_t top_n) {
   farm::TraceStore store(store_dir);
   std::printf("%-18s %6s %-16s %10s %8s %6s  %s\n", "workload", "seed",
               "hash", "instrs", "preempts", "nd", "file");
@@ -587,6 +620,27 @@ int cmd_farm_ls(const std::string& store_dir) {
                 (unsigned long long)r.nd_events, r.file.c_str());
   }
   std::printf("%zu trace(s) in %s\n", store.size(), store.root().c_str());
+  farm::FarmOptions fo;
+  fo.top_n = top_n;
+  farm::CacheScan scan =
+      farm::scan_outcome_cache(store.root(), farm::outcome_config_hash(fo));
+  std::printf("outcome cache: %llu hit-eligible entr%s under the current "
+              "config, %llu stale%s\n",
+              (unsigned long long)scan.current, scan.current == 1 ? "y" : "ies",
+              (unsigned long long)scan.stale,
+              scan.stale > 0 ? " (reclaim with `dejavu farm gc`)" : "");
+  return 0;
+}
+
+int cmd_farm_gc(const std::string& store_dir, uint32_t top_n) {
+  farm::TraceStore store(store_dir);
+  farm::FarmOptions fo;
+  fo.top_n = top_n;
+  farm::CacheScan scan =
+      farm::gc_outcome_cache(store.root(), farm::outcome_config_hash(fo));
+  std::printf("farm gc: removed %llu stale cache entr%s, kept %llu\n",
+              (unsigned long long)scan.stale, scan.stale == 1 ? "y" : "ies",
+              (unsigned long long)scan.current);
   return 0;
 }
 
@@ -682,6 +736,7 @@ int main(int argc, char** argv) {
                   "[--realtime] [--lanes K] [--io-jobs N] "
                   "| replay <w> <F> [--strict] [--io-jobs N] "
                   "| analyze <w> <F> [--out-dir D] [--top N] [--strict] "
+                  "[--races] "
                   "| dump <F> | diff <A> <B> "
                   "| verify <F> | convert <IN> <OUT> [--v5] "
                   "| sweep <w> [--seeds N] "
@@ -694,6 +749,7 @@ int main(int argc, char** argv) {
                   "| farm ingest --store D --workload W [--seed N] <F>... "
                   "| farm ls --store D "
                   "| farm run --store D [--jobs N] [--top N] [--no-cache] [--out F] "
+                  "| farm gc --store D [--top N] "
                   "| farm report <F>\n"
                   "replay runs non-strict by default (diverged runs still "
                   "report stats + forensics); --strict fails fast at the "
@@ -701,10 +757,12 @@ int main(int argc, char** argv) {
                   "analyze replays with the profiler, lock-contention and "
                   "heap-churn analyzers attached and writes profile.json, "
                   "profile.collapsed, locks.json, heap.json to --out-dir "
-                  "(default /tmp/dejavu-analysis); `report <artifact>` "
-                  "renders them. With --strict the first violation is "
-                  "reported but the run completes so the artifacts are "
-                  "whole (flagged post_violation).\n"
+                  "(default /tmp/dejavu-analysis); --races additionally "
+                  "attaches the happens-before race detector and writes "
+                  "races.json. `report <artifact>` renders them. With "
+                  "--strict the first violation is reported but the run "
+                  "completes so the artifacts are whole (flagged "
+                  "post_violation).\n"
                   "farm ingest CRC-verifies traces into a sharded store; "
                   "farm run replays + analyzes the whole catalog across "
                   "--jobs workers and writes a merged dejavu-farm-report-v1 "
@@ -730,7 +788,7 @@ int main(int argc, char** argv) {
       return cmd_analyze(args[1], args[2],
                          flag_value("--out-dir", "/tmp/dejavu-analysis"),
                          uint32_t(std::stoul(flag_value("--top", "10"))),
-                         has_flag("--strict"),
+                         has_flag("--strict"), has_flag("--races"),
                          unsigned(std::stoul(flag_value("--io-jobs", "1"))),
                          tel);
     }
@@ -754,6 +812,7 @@ int main(int argc, char** argv) {
       fo.minimize = !has_flag("--no-minimize");
       fo.fault_injection = !has_flag("--no-faults");
       fo.check_baselines = !has_flag("--no-baselines");
+      fo.lane_cross = !has_flag("--no-lanes");
       fo.out_dir = flag_value("--out-dir", "/tmp/dejavu-fuzz");
       fo.test_skew_schedule_delta =
           uint32_t(std::stoul(flag_value("--inject-skew", "0")));
@@ -791,7 +850,12 @@ int main(int argc, char** argv) {
                                                                "0"))),
                                pos);
       }
-      if (verb == "ls") return cmd_farm_ls(store_dir);
+      if (verb == "ls")
+        return cmd_farm_ls(store_dir,
+                           uint32_t(std::stoul(flag_value("--top", "10"))));
+      if (verb == "gc")
+        return cmd_farm_gc(store_dir,
+                           uint32_t(std::stoul(flag_value("--top", "10"))));
       if (verb == "run") {
         return cmd_farm_run(
             store_dir, unsigned(std::stoul(flag_value("--jobs", "1"))),

@@ -9,6 +9,7 @@
 //   profile    dejavu-profile-v1 (replay profiler, `dejavu analyze`)
 //   locks      dejavu-locks-v1 (lock-contention analyzer)
 //   heap       dejavu-heap-v1 (heap-churn analyzer)
+//   races      dejavu-races-v1 (happens-before race detector)
 //   collapsed  Brendan Gregg collapsed-stack text (flamegraph.pl input)
 //   farm-report    dejavu-farm-report-v1 (`dejavu farm run`); the embedded
 //                  merged metrics/profile/locks/heap documents are checked
@@ -315,6 +316,41 @@ void check_heap(const std::string& file, const JsonValue& doc) {
   }
 }
 
+void check_races(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-races-v1")
+    fail(file, "schema is not dejavu-races-v1");
+  need(file, doc, "edge_model", JsonValue::Type::kString, "top");
+  for (const char* k :
+       {"race_count", "dynamic_count", "checks", "run_instr_count"})
+    need(file, doc, k, JsonValue::Type::kNumber, "top");
+  need(file, doc, "verified", JsonValue::Type::kBool, "top");
+  need(file, doc, "post_violation", JsonValue::Type::kBool, "top");
+  const JsonValue& races =
+      need(file, doc, "races", JsonValue::Type::kArray, "top");
+  if (double(races.items.size()) !=
+      need(file, doc, "race_count", JsonValue::Type::kNumber, "top").number)
+    fail(file, "race_count does not match the races array length");
+  size_t i = 0;
+  for (const JsonValue& r : races.items) {
+    std::string where = "races[" + std::to_string(i++) + "]";
+    if (!r.is_object()) fail(file, where + " is not an object");
+    std::string kind =
+        need(file, r, "kind", JsonValue::Type::kString, where).string;
+    if (kind != "write-write" && kind != "read-write" && kind != "write-read")
+      fail(file, where + ": unknown race kind \"" + kind + "\"");
+    need(file, r, "class", JsonValue::Type::kString, where);
+    need(file, r, "alloc_site", JsonValue::Type::kString, where);
+    need(file, r, "first_site", JsonValue::Type::kString, where);
+    need(file, r, "second_site", JsonValue::Type::kString, where);
+    for (const char* k :
+         {"slot", "count", "first_instr", "first_tid", "first_line",
+          "first_clock", "second_tid", "second_line", "second_clock"})
+      need(file, r, k, JsonValue::Type::kNumber, where);
+  }
+}
+
 void check_farm_report(const std::string& file, const JsonValue& doc) {
   if (!doc.is_object()) fail(file, "top level is not an object");
   if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
@@ -361,6 +397,7 @@ void check_farm_report(const std::string& file, const JsonValue& doc) {
   sub("merged_profile", check_profile);
   sub("merged_locks", check_locks);
   sub("merged_heap", check_heap);
+  sub("merged_races", check_races);
   const JsonValue& methods =
       need(file, doc, "top_methods", JsonValue::Type::kArray, "top");
   i = 0;
@@ -458,6 +495,7 @@ std::string sniff_kind(const JsonValue& doc) {
   if (schema->string == "dejavu-profile-v1") return "profile";
   if (schema->string == "dejavu-locks-v1") return "locks";
   if (schema->string == "dejavu-heap-v1") return "heap";
+  if (schema->string == "dejavu-races-v1") return "races";
   if (schema->string == "dejavu-farm-report-v1") return "farm-report";
   // A schema header we do not know is a drift, not a skip: report it so
   // the caller fails loudly instead of rubber-stamping the artifact.
@@ -470,7 +508,7 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: obs_schema_check "
-                 "<metrics|timeline|bench|profile|locks|heap|collapsed"
+                 "<metrics|timeline|bench|profile|locks|heap|races|collapsed"
                  "|farm-report|farm-manifest|auto> "
                  "<file>...\n");
     return 2;
@@ -511,6 +549,8 @@ int main(int argc, char** argv) {
       check_locks(file, doc);
     } else if (k == "heap") {
       check_heap(file, doc);
+    } else if (k == "races") {
+      check_races(file, doc);
     } else if (k == "farm-report") {
       check_farm_report(file, doc);
     } else if (k.rfind("unknown-schema:", 0) == 0) {
