@@ -1,0 +1,106 @@
+// The analysis-suite bench: replay-time cost of the full analyzer suite
+// (profiler, lock contention, heap churn, critical path, cache simulator,
+// race detector) versus a bare replay of the same trace -- the number the
+// perturbation-free claim puts a price on. Single-lane and multi-lane
+// recordings both appear, so the per-lane fan-out is covered.
+//
+// Emits the shared "dejavu-bench-v1" sidecar; tools/check.sh runs this to
+// produce BENCH_analyze.json. Deliberately small enough for CI.
+#include <chrono>
+
+#include "bench/bench_json.hpp"
+#include "bench/bench_util.hpp"
+#include "src/obs/json.hpp"
+
+using namespace dejavu;
+using namespace dejavu::bench;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double num_or(const obs::JsonValue& doc, const char* key) {
+  const obs::JsonValue* v = doc.find(key);
+  return v != nullptr ? v->number : 0.0;
+}
+
+void run_row(BenchSidecar& sc, const char* name,
+             const bytecode::Program& prog, uint64_t seed, uint32_t lanes) {
+  replay::SymmetryConfig rec_cfg;
+  rec_cfg.lanes = lanes;
+  replay::RecordResult rec = record_seeded(prog, seed, 5, 60, {}, rec_cfg);
+
+  auto t0 = std::chrono::steady_clock::now();
+  replay::ReplayResult plain = replay::replay_run(prog, rec.trace, {}, {});
+  double plain_ms = ms_since(t0);
+
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_profile = true;
+  cfg.obs.analyze_locks = true;
+  cfg.obs.analyze_heap = true;
+  cfg.obs.analyze_races = true;
+  cfg.obs.analyze_critpath = true;
+  cfg.obs.analyze_cachesim = true;
+  t0 = std::chrono::steady_clock::now();
+  replay::ReplayResult full = replay::replay_run(prog, rec.trace, {}, cfg);
+  double full_ms = ms_since(t0);
+
+  obs::JsonValue critpath = obs::parse_json(full.analysis.critpath_json);
+  obs::JsonValue cachesim = obs::parse_json(full.analysis.cachesim_json);
+  double accesses = num_or(cachesim, "accesses");
+  double l1_miss_pct =
+      accesses > 0 ? 100.0 * num_or(cachesim, "l1_misses") / accesses : 0;
+  size_t artifact_bytes =
+      full.analysis.profile_json.size() + full.analysis.locks_json.size() +
+      full.analysis.heap_json.size() + full.analysis.races_json.size() +
+      full.analysis.critpath_json.size() + full.analysis.cachesim_json.size();
+
+  bool exact = plain.verified && full.verified &&
+               plain.summary == full.summary;
+  std::printf("%-22s K=%u %8llu instrs  plain %7.2fms  analyzed %7.2fms  "
+              "critpath %llu  L1 miss %5.1f%%  artifacts %zuB  %s\n",
+              name, lanes, (unsigned long long)rec.summary.instr_count,
+              plain_ms, full_ms,
+              (unsigned long long)num_or(critpath, "critical_path_instrs"),
+              l1_miss_pct, artifact_bytes, exact ? "exact" : "DIVERGED");
+
+  sc.add(name,
+         {{"lanes", double(lanes)},
+          {"instrs", double(rec.summary.instr_count)},
+          {"replay_plain_ms", plain_ms},
+          {"replay_analyzed_ms", full_ms},
+          {"analyzer_overhead_pct",
+           plain_ms > 0 ? 100.0 * (full_ms - plain_ms) / plain_ms : 0},
+          {"critical_path_instrs", num_or(critpath, "critical_path_instrs")},
+          {"critpath_switches", num_or(critpath, "switches")},
+          {"cachesim_accesses", accesses},
+          {"cachesim_l1_miss_pct", l1_miss_pct},
+          {"false_sharing_lines", num_or(cachesim, "false_sharing_lines")},
+          {"artifact_bytes", double(artifact_bytes)},
+          {"replay_exact", exact ? 1.0 : 0.0}});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchSidecar sc = BenchSidecar::from_args(&argc, argv, "bench_analyze");
+  rule('=');
+  std::printf(
+      "analysis suite: bare replay vs full analyzer fan-out (same trace)\n");
+  rule('=');
+  run_row(sc, "clock_mixer", workloads::clock_mixer(2, 30), 7, 1);
+  run_row(sc, "lock_pingpong", workloads::lock_pingpong(40), 5, 1);
+  run_row(sc, "false_sharing", workloads::false_sharing(40), 9, 1);
+  run_row(sc, "alloc_churn", workloads::alloc_churn(300, 8, 4), 3, 1);
+  // Multi-lane: the per-lane streams and cross-lane order events flow
+  // through the same analyzer fan-out.
+  run_row(sc, "pingpong_k2", workloads::lock_pingpong(40), 5, 2);
+  run_row(sc, "pingpong_k4", workloads::lock_pingpong(40), 5, 4);
+  rule();
+  sc.write();
+  return 0;
+}

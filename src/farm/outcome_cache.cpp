@@ -1,9 +1,11 @@
 #include "src/farm/outcome_cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "src/common/hash.hpp"
 #include "src/obs/json.hpp"
@@ -106,11 +108,27 @@ uint64_t outcome_config_hash(const FarmOptions& opts) {
   h.update_u32(opts.top_n);
   // The scheduler's fixed analyzer set, spelled out so turning one off in
   // a future FarmOptions knob re-keys the cache.
-  h.update_str("profile,locks,heap,races;strict=0");
+  h.update_str("profile,locks,heap,races,critpath,cachesim;strict=0");
   return h.digest();
 }
 
 namespace {
+
+// Entries are <content_hash>-<16 hex config hash>.json; anything else
+// (in-flight .tmp files, strays) is not a cache entry. Returns the 16-hex
+// config suffix, or empty if `name` isn't entry-shaped.
+std::string entry_config_suffix(const std::string& name) {
+  const std::string ext = ".json";
+  if (name.size() < ext.size() + 17 ||
+      name.compare(name.size() - ext.size(), ext.size(), ext) != 0)
+    return {};
+  size_t hash_at = name.size() - ext.size() - 16;
+  if (name[hash_at - 1] != '-') return {};
+  std::string suffix = name.substr(hash_at, 16);
+  if (suffix.find_first_not_of("0123456789abcdef") != std::string::npos)
+    return {};
+  return suffix;
+}
 
 // Walks <store_root>/cache classifying entries by their config-hash
 // filename suffix; optionally deletes the stale ones.
@@ -123,18 +141,8 @@ CacheScan walk_cache(const std::string& store_root, uint64_t config_hash,
   if (ec) return scan;  // no cache directory yet
   for (const fs::directory_entry& entry : it) {
     if (!entry.is_regular_file(ec)) continue;
-    std::string name = entry.path().filename().string();
-    // Entries are <content_hash>-<16 hex config hash>.json; anything else
-    // (in-flight .tmp files, strays) is neither current nor stale.
-    const std::string ext = ".json";
-    if (name.size() < ext.size() + 17 ||
-        name.compare(name.size() - ext.size(), ext.size(), ext) != 0)
-      continue;
-    size_t hash_at = name.size() - ext.size() - 16;
-    if (name[hash_at - 1] != '-') continue;
-    std::string suffix = name.substr(hash_at, 16);
-    if (suffix.find_first_not_of("0123456789abcdef") != std::string::npos)
-      continue;
+    std::string suffix = entry_config_suffix(entry.path().filename().string());
+    if (suffix.empty()) continue;
     if (suffix == want) {
       scan.current++;
     } else {
@@ -155,6 +163,57 @@ CacheScan scan_outcome_cache(const std::string& store_root,
 CacheScan gc_outcome_cache(const std::string& store_root,
                            uint64_t config_hash) {
   return walk_cache(store_root, config_hash, true);
+}
+
+CacheLruResult lru_gc_outcome_cache(const std::string& store_root,
+                                    uint64_t config_hash,
+                                    uint64_t max_entries,
+                                    uint64_t max_bytes) {
+  CacheLruResult result;
+  std::string want = hex16(config_hash);
+  std::error_code ec;
+  fs::directory_iterator it(store_root + "/cache", ec);
+  if (ec) return result;  // no cache directory yet
+
+  struct Candidate {
+    fs::file_time_type mtime;
+    uint64_t bytes;
+    fs::path path;
+    std::string name;  // mtime tie-break, so eviction order is stable
+  };
+  std::vector<Candidate> entries;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    std::string name = entry.path().filename().string();
+    if (entry_config_suffix(name) != want) continue;
+    Candidate c;
+    c.mtime = fs::last_write_time(entry.path(), ec);
+    if (ec) continue;
+    c.bytes = entry.file_size(ec);
+    if (ec) continue;
+    c.path = entry.path();
+    c.name = std::move(name);
+    entries.push_back(std::move(c));
+  }
+  // Newest first: the keep set is a prefix, the evict set a suffix.
+  std::sort(entries.begin(), entries.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.mtime != b.mtime) return a.mtime > b.mtime;
+              return a.name < b.name;
+            });
+  for (const Candidate& c : entries) {
+    bool over_entries = max_entries != 0 && result.kept >= max_entries;
+    bool over_bytes = max_bytes != 0 && result.kept_bytes + c.bytes > max_bytes;
+    if (over_entries || over_bytes) {
+      result.evicted++;
+      result.evicted_bytes += c.bytes;
+      fs::remove(c.path, ec);
+    } else {
+      result.kept++;
+      result.kept_bytes += c.bytes;
+    }
+  }
+  return result;
 }
 
 OutcomeCache::OutcomeCache(std::string store_root, uint64_t config_hash)
@@ -194,7 +253,14 @@ std::optional<TraceOutcome> OutcomeCache::load(
   out.analysis.locks_json = str(doc, "locks_json");
   out.analysis.heap_json = str(doc, "heap_json");
   out.analysis.races_json = str(doc, "races_json");
+  out.analysis.critpath_json = str(doc, "critpath_json");
+  out.analysis.cachesim_json = str(doc, "cachesim_json");
   out.cached = true;
+  // A hit refreshes the entry's mtime so LRU eviction (gc --max-entries /
+  // --max-bytes) keeps the entries the fleet actually reuses.
+  std::error_code ec;
+  fs::last_write_time(entry_path(record), fs::file_time_type::clock::now(),
+                      ec);
   return out;
 }
 
@@ -216,6 +282,8 @@ void OutcomeCache::save(const TraceRecord& record,
       .kv("locks_json", outcome.analysis.locks_json)
       .kv("heap_json", outcome.analysis.heap_json)
       .kv("races_json", outcome.analysis.races_json)
+      .kv("critpath_json", outcome.analysis.critpath_json)
+      .kv("cachesim_json", outcome.analysis.cachesim_json)
       .end_object();
 
   std::error_code ec;

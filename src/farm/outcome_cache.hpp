@@ -51,6 +51,22 @@ CacheScan scan_outcome_cache(const std::string& store_root,
 CacheScan gc_outcome_cache(const std::string& store_root,
                            uint64_t config_hash);
 
+// LRU (by mtime) size cap for the current-config entries. Entries are
+// ranked newest-first -- OutcomeCache::load touches an entry's mtime on
+// every hit, so "recently used" means recently hit, not recently written --
+// and evicted from the cold end until both caps hold. A cap of 0 means
+// unlimited on that axis. Stale-config entries are untouched (that's
+// gc_outcome_cache's job); missing cache directory is a no-op.
+struct CacheLruResult {
+  uint64_t kept = 0;
+  uint64_t evicted = 0;
+  uint64_t kept_bytes = 0;
+  uint64_t evicted_bytes = 0;
+};
+CacheLruResult lru_gc_outcome_cache(const std::string& store_root,
+                                    uint64_t config_hash,
+                                    uint64_t max_entries, uint64_t max_bytes);
+
 class OutcomeCache {
  public:
   // `store_root` is the TraceStore root; the cache lives in its "cache/"

@@ -12,8 +12,14 @@
 //   merged_locks    merged dejavu-locks-v1
 //   merged_heap     merged dejavu-heap-v1
 //   merged_races    merged dejavu-races-v1 (fleet race verdicts)
+//   merged_critpath merged dejavu-critpath-v1 (fleet wall/critical-path)
+//   merged_cachesim merged dejavu-cachesim-v1 (fleet cache behaviour)
 //   top_methods[]   fleet-wide hottest methods (top-N by instructions)
 //   top_monitors[]  fleet-wide most contended monitors (top-N by blocks)
+//
+// The renderer skips embedded merged_* artifacts whose schema it does not
+// know with a one-line notice instead of failing, so a newer farm's report
+// still renders on an older tool.
 #pragma once
 
 #include <cstdint>

@@ -65,6 +65,8 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
       cfg.obs.analyze_locks = true;
       cfg.obs.analyze_heap = true;
       cfg.obs.analyze_races = true;
+      cfg.obs.analyze_critpath = true;
+      cfg.obs.analyze_cachesim = true;
       cfg.obs.analysis_top_n = opts.top_n;
       replay::ReplayResult r =
           replay::replay_file(*prog, store.resolve(records[i]), {}, cfg);
@@ -85,6 +87,8 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
   obs::LocksMerger locks;
   obs::HeapMerger heap;
   obs::RacesMerger races;
+  obs::CritPathMerger critpath;
+  obs::CacheSimMerger cachesim;
   for (const TraceOutcome& o : out.outcomes) {
     if (o.verdict == "error") continue;
     obs::merge_snapshots(&out.merged_metrics, o.metrics);
@@ -93,11 +97,17 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
     if (!o.analysis.locks_json.empty()) locks.add_json(o.analysis.locks_json);
     if (!o.analysis.heap_json.empty()) heap.add_json(o.analysis.heap_json);
     if (!o.analysis.races_json.empty()) races.add_json(o.analysis.races_json);
+    if (!o.analysis.critpath_json.empty())
+      critpath.add_json(o.analysis.critpath_json);
+    if (!o.analysis.cachesim_json.empty())
+      cachesim.add_json(o.analysis.cachesim_json);
   }
   if (profile.runs() > 0) out.merged_profile = profile.artifact();
   if (locks.runs() > 0) out.merged_locks = locks.artifact();
   if (heap.runs() > 0) out.merged_heap = heap.artifact();
   if (races.runs() > 0) out.merged_races = races.artifact();
+  if (critpath.runs() > 0) out.merged_critpath = critpath.artifact();
+  if (cachesim.runs() > 0) out.merged_cachesim = cachesim.artifact();
   return out;
 }
 

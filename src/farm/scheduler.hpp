@@ -10,6 +10,8 @@
 //   locks      via obs::LocksMerger        (dejavu-locks-v1)
 //   heap       via obs::HeapMerger         (dejavu-heap-v1)
 //   races      via obs::RacesMerger        (dejavu-races-v1)
+//   critpath   via obs::CritPathMerger     (dejavu-critpath-v1)
+//   cachesim   via obs::CacheSimMerger     (dejavu-cachesim-v1)
 //
 // Because replay of a given trace is deterministic and the fold order is
 // the catalog order, the merged results are byte-identical for any --jobs
@@ -65,10 +67,12 @@ struct TraceOutcome {
 struct FarmRunResult {
   std::vector<TraceOutcome> outcomes;  // catalog (store.list()) order
   obs::MetricsSnapshot merged_metrics;
-  std::string merged_profile;  // merged dejavu-profile-v1
-  std::string merged_locks;    // merged dejavu-locks-v1
-  std::string merged_heap;     // merged dejavu-heap-v1
-  std::string merged_races;    // merged dejavu-races-v1
+  std::string merged_profile;   // merged dejavu-profile-v1
+  std::string merged_locks;     // merged dejavu-locks-v1
+  std::string merged_heap;      // merged dejavu-heap-v1
+  std::string merged_races;     // merged dejavu-races-v1
+  std::string merged_critpath;  // merged dejavu-critpath-v1
+  std::string merged_cachesim;  // merged dejavu-cachesim-v1
 };
 
 FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts);

@@ -105,10 +105,13 @@ struct AnalysisResults {
   std::string locks_json;         // dejavu-locks-v1
   std::string heap_json;          // dejavu-heap-v1
   std::string races_json;         // dejavu-races-v1
+  std::string critpath_json;      // dejavu-critpath-v1
+  std::string cachesim_json;      // dejavu-cachesim-v1
 
   bool any() const {
     return !profile_json.empty() || !locks_json.empty() ||
-           !heap_json.empty() || !races_json.empty();
+           !heap_json.empty() || !races_json.empty() ||
+           !critpath_json.empty() || !cachesim_json.empty();
   }
 };
 

@@ -1,0 +1,147 @@
+// The replay-time cache simulator: a configurable two-level set-associative
+// LRU cache model fed by the guest heap read/write traffic the analyzer
+// fan-out already delivers. Deterministic replay hands the simulator a
+// perfect, perturbation-free memory trace -- the same idea as SynchroTrace-
+// style trace-driven cache replayers, except the trace costs nothing to
+// produce because it *is* the replayed execution.
+//
+// Addresses are synthetic but stable: every object gets a line-aligned base
+// at first sight, in allocation order, and accesses map to base + slot*8.
+// The copying collector's forwarding (on_heap_move) keeps identity exact, so
+// a GC cannot change line assignments mid-run -- line sharing is a property
+// of the guest's access pattern, not of collector timing.
+//
+// Reports per-site and per-type access/miss counts plus hot shared lines
+// (same line touched by more than one thread): lines with >1 thread on >1
+// distinct slot are the false-sharing candidates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/analysis/analysis.hpp"
+
+namespace dejavu::heap {
+class TypeRegistry;
+}
+
+namespace dejavu::obs {
+
+// Geometry for one set-associative level.
+struct CacheLevelConfig {
+  uint32_t size_bytes = 0;
+  uint32_t ways = 0;
+};
+
+class CacheSimAnalyzer : public AnalysisObserver {
+ public:
+  CacheSimAnalyzer(uint32_t line_bytes, CacheLevelConfig l1,
+                   CacheLevelConfig l2, uint32_t top_n = 10);
+
+  const char* name() const override { return "cachesim"; }
+  bool wants_memory() const override { return true; }
+  // Instructions only pin each thread's current site for attribution.
+  bool wants_instructions() const override { return true; }
+
+  void on_run_begin(const vm::Vm& vm) override;
+  void on_run_end(const RunInfo& info) override { run_ = info; }
+  void on_instruction(const vm::InstrEvent& ev) override;
+  void on_heap_alloc(const vm::AllocEvent& e) override;
+  void on_heap_move(heap::Addr from, heap::Addr to) override;
+  void on_heap_read(heap::Addr obj, uint32_t slot, int64_t value,
+                    bool is_ref) override;
+  void on_heap_write(heap::Addr obj, uint32_t slot, int64_t value,
+                     bool is_ref) override;
+
+  // dejavu-cachesim-v1 JSON.
+  std::string artifact() const override;
+
+  uint64_t accesses() const { return accesses_; }
+  uint64_t l1_misses() const { return l1_misses_; }
+  uint64_t l2_misses() const { return l2_misses_; }
+  // Synthetic lines touched by >1 thread. Exposed for the false-sharing
+  // corpus tests.
+  struct SharedLine {
+    uint64_t line = 0;      // synthetic line index
+    uint64_t accesses = 0;
+    uint32_t threads = 0;   // distinct tids
+    uint32_t slots = 0;     // distinct slots touched (>1 => false sharing)
+    std::string class_name; // class of the first object mapped to the line
+  };
+  std::vector<SharedLine> shared_lines() const;
+
+ private:
+  // One set-associative LRU level: tags[set * ways + way], age-ordered via
+  // a per-way last-use tick (small `ways` makes linear probes cheap).
+  struct Level {
+    uint32_t sets = 0;
+    uint32_t ways = 0;
+    std::vector<uint64_t> tags;   // line index + 1; 0 = empty
+    std::vector<uint64_t> ticks;  // last-use tick per way slot
+    bool access(uint64_t line, uint64_t tick);  // true = hit
+  };
+
+  struct SiteStat {
+    uint64_t accesses = 0;
+    uint64_t l1_misses = 0;
+    uint64_t l2_misses = 0;
+  };
+  struct TypeStat {
+    std::string name;
+    uint64_t accesses = 0;
+    uint64_t l1_misses = 0;
+    uint64_t l2_misses = 0;
+  };
+  struct LineStat {
+    uint64_t accesses = 0;
+    std::vector<uint32_t> tids;   // distinct, small
+    std::vector<uint32_t> slots;  // distinct, small
+    uint32_t class_id = 0;        // first object mapped here
+  };
+  struct SiteRef {
+    const std::string* owner = nullptr;
+    const std::string* method = nullptr;
+    uint32_t pc = 0;
+  };
+
+  std::string class_name(uint32_t class_id) const;
+  // Stable object id + synthetic base address for the object at `addr`.
+  uint64_t id_at(heap::Addr addr, uint32_t slots_hint);
+  void touch(heap::Addr obj, uint32_t slot, bool is_write);
+
+  uint32_t line_bytes_;
+  Level l1_, l2_;
+  uint64_t tick_ = 0;
+
+  const heap::TypeRegistry* types_ = nullptr;  // valid during the run only
+  std::unordered_map<heap::Addr, uint64_t> live_;  // current addr -> id
+  struct Obj {
+    uint64_t base = 0;      // synthetic byte address, line-aligned
+    uint32_t class_id = 0;  // 0 = pre-attach
+  };
+  std::vector<Obj> objects_;  // by stable id
+  uint64_t next_base_ = 0;
+
+  std::map<std::string, SiteStat> by_site_;   // "Owner.method:pc"
+  std::map<uint32_t, TypeStat> by_type_;      // class id (name resolved)
+  std::map<uint64_t, LineStat> lines_;        // synthetic line index
+  std::vector<SiteRef> last_instr_;           // by tid
+  // Heap events carry no tid; the access happens inside the instruction the
+  // current thread is executing, so the last InstrEvent's tid is exact.
+  threads::Tid last_tid_ = 0;
+
+  uint32_t l1_bytes_ = 0, l1_ways_ = 0, l2_bytes_ = 0, l2_ways_ = 0;
+
+  uint64_t accesses_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t l1_misses_ = 0;
+  uint64_t l2_misses_ = 0;
+  uint32_t top_n_;
+  RunInfo run_{};
+};
+
+}  // namespace dejavu::obs

@@ -1,0 +1,357 @@
+#include "src/obs/analysis/critical_path.hpp"
+
+#include <algorithm>
+
+#include "src/obs/json.hpp"
+
+namespace dejavu::obs {
+
+namespace {
+
+// Stable "Owner.method" label for a method-name pointer (the owner pointer
+// is remembered per method in owners_).
+std::string method_label(const std::string* owner, const std::string* method) {
+  if (method == nullptr) return "";
+  if (owner == nullptr) return *method;
+  return *owner + "." + *method;
+}
+
+}  // namespace
+
+CriticalPathAnalyzer::ThreadWall& CriticalPathAnalyzer::wall(
+    threads::Tid tid) {
+  if (walls_.size() <= tid) walls_.resize(tid + 1);
+  walls_[tid].seen = true;
+  return walls_[tid];
+}
+
+void CriticalPathAnalyzer::park(threads::Tid tid, ParkKind kind, uint64_t at) {
+  if (parks_.size() <= tid) parks_.resize(tid + 1);
+  parks_[tid] = Park{kind, at, kind != ParkKind::kDone};
+}
+
+void CriticalPathAnalyzer::unpark(threads::Tid tid, uint64_t at) {
+  if (parks_.size() <= tid || !parks_[tid].parked) return;
+  Park& p = parks_[tid];
+  uint64_t dt = at >= p.since ? at - p.since : 0;
+  ThreadWall& w = wall(tid);
+  switch (p.kind) {
+    case ParkKind::kRunnable: w.runnable += dt; break;
+    case ParkKind::kBlocked: w.blocked += dt; break;
+    case ParkKind::kWaiting: w.waiting += dt; break;
+    case ParkKind::kDone: break;
+  }
+  p.parked = false;
+}
+
+void CriticalPathAnalyzer::close_segment(uint64_t at) {
+  if (current_ == threads::kNoThread) return;
+  if (at < seg_start_) at = seg_start_;
+  Segment s;
+  s.tid = current_;
+  s.start = seg_start_;
+  s.end = at;
+  // Dominant method of the segment: most instructions, ties to the
+  // lexicographically smallest label (pointer order would be
+  // nondeterministic).
+  uint64_t best = 0;
+  for (const auto& [method, count] : seg_methods_) {
+    std::string label = method_label(owners_[method], method);
+    if (count > best || (count == best && !label.empty() &&
+                         (s.method.empty() || label < s.method))) {
+      best = count;
+      s.method = label;
+    }
+  }
+  wall(current_).running += s.end - s.start;
+  by_tid_.resize(std::max<size_t>(by_tid_.size(), current_ + 1));
+  by_tid_[current_].push_back(segments_.size());
+  segments_.push_back(std::move(s));
+  seg_methods_.clear();
+}
+
+void CriticalPathAnalyzer::push_wake(threads::Tid tid, const char* kind,
+                                     threads::Tid from, uint64_t subject,
+                                     uint64_t instr) {
+  if (wakes_.size() <= tid) wakes_.resize(tid + 1);
+  wakes_[tid].push_back(WakeEdge{kind, from, subject, instr});
+}
+
+void CriticalPathAnalyzer::mark_parked_wake(threads::Tid tid) {
+  if (pending_explicit_.size() <= tid) pending_explicit_.resize(tid + 1);
+  pending_explicit_[tid] = true;
+}
+
+void CriticalPathAnalyzer::on_instruction(const vm::InstrEvent& ev) {
+  if (current_ == threads::kNoThread) {
+    // First instruction of the run: the initial thread was never switched
+    // in, so the segment starts here.
+    current_ = ev.tid;
+    seg_start_ = ev.instr_index;
+    push_wake(ev.tid, "start", threads::kNoThread, 0, ev.instr_index);
+  }
+  seg_methods_[ev.method]++;
+  owners_[ev.method] = ev.owner;
+}
+
+uint64_t CriticalPathAnalyzer::resume_instr(const vm::MonitorEvent& e) {
+  // An acquire / wait-end completes the parking episode the thread began
+  // at the recorded ParkSite. When a switch happened in between, the
+  // current segment started at the resumption dispatch and the wake edge
+  // must carry that instant; the event's own instr_index is one past it
+  // (the parked instruction re-executes after instr_count_ advanced). A
+  // zero-length episode (no switch) keeps the event's position.
+  auto it = monitor_park_.find(e.tid);
+  if (it == monitor_park_.end() || it->second.monitor != e.monitor)
+    return e.instr_index;
+  uint64_t begin = it->second.begin;
+  monitor_park_.erase(it);
+  if (current_ == e.tid && seg_start_ > begin) return seg_start_;
+  return e.instr_index;
+}
+
+void CriticalPathAnalyzer::on_monitor_event(const vm::MonitorEvent& e) {
+  switch (e.op) {
+    case vm::MonitorOp::kExit:
+      last_release_[e.monitor] =
+          WakeEdge{"handoff", e.tid, e.monitor, e.instr_index};
+      break;
+    case vm::MonitorOp::kNotifyOne:
+    case vm::MonitorOp::kNotifyAll:
+      if (e.woken > 0)
+        last_notify_[e.monitor] =
+            WakeEdge{"notify", e.tid, e.monitor, e.instr_index};
+      break;
+    case vm::MonitorOp::kEnterAcquired:
+      // A non-recursive acquire after contention: the thread that released
+      // the monitor handed it to us -- the wake edge of this segment.
+      if (!e.recursive) {
+        auto it = last_release_.find(e.monitor);
+        if (it != last_release_.end() && it->second.from != e.tid)
+          push_wake(e.tid, "handoff", it->second.from, e.monitor,
+                    resume_instr(e));
+      }
+      break;
+    case vm::MonitorOp::kWaitEnd: {
+      uint64_t at = resume_instr(e);
+      auto it = last_notify_.find(e.monitor);
+      if (it != last_notify_.end())
+        push_wake(e.tid, "notify", it->second.from, e.monitor, at);
+      break;
+    }
+    case vm::MonitorOp::kEnterBlocked:
+    case vm::MonitorOp::kWaitBegin:
+      // Remember where the park began: the matching acquire / wait-end is
+      // a resumption whose wake must be dated at the segment start, not at
+      // the re-executed instruction (which is one past it).
+      monitor_park_[e.tid] = ParkSite{e.monitor, e.instr_index};
+      break;
+  }
+}
+
+void CriticalPathAnalyzer::on_switch(threads::Tid from, threads::Tid to,
+                                     threads::SwitchReason reason,
+                                     uint64_t instr_index) {
+  switches_++;
+  if (current_ == threads::kNoThread && from != threads::kNoThread) {
+    current_ = from;
+    seg_start_ = instr_index;
+  }
+  // The scheduler reports from == kNoThread when the outgoing thread left
+  // via a parking path (block / wait / sleep / join / terminate clear the
+  // running slot before the next dispatch); the thread that parked is the
+  // one we saw running.
+  threads::Tid parked = from != threads::kNoThread ? from : current_;
+  close_segment(instr_index);
+  if (parked != threads::kNoThread) {
+    switch (reason) {
+      case threads::SwitchReason::kPreempt:
+      case threads::SwitchReason::kYield:
+        park(parked, ParkKind::kRunnable, instr_index);
+        break;
+      case threads::SwitchReason::kBlock:
+        park(parked, ParkKind::kBlocked, instr_index);
+        break;
+      case threads::SwitchReason::kWait:
+      case threads::SwitchReason::kSleep:
+      case threads::SwitchReason::kJoin:
+        park(parked, ParkKind::kWaiting, instr_index);
+        break;
+      case threads::SwitchReason::kTerminate:
+        park(parked, ParkKind::kDone, instr_index);
+        break;
+    }
+  }
+  if (to != threads::kNoThread) {
+    unpark(to, instr_index);
+    // The scheduler's own edge is the fallback: explicit wakes take
+    // precedence. Edges that fire after the thread resumes (handoff /
+    // notify / join) are pushed later and win the backward scan on their
+    // own; edges that fired while the thread was parked (spawn /
+    // cross-lane) must suppress this push or the switch-in would always
+    // shadow them.
+    if (to < pending_explicit_.size() && pending_explicit_[to]) {
+      pending_explicit_[to] = false;
+    } else {
+      if (wakes_.size() <= to) wakes_.resize(to + 1);
+      wakes_[to].push_back(WakeEdge{"schedule", parked, 0, instr_index});
+    }
+    current_ = to;
+    seg_start_ = instr_index;
+  } else {
+    current_ = threads::kNoThread;
+  }
+}
+
+void CriticalPathAnalyzer::on_thread_event(const vm::ThreadEvent& e) {
+  switch (e.op) {
+    case vm::ThreadOp::kSpawn:
+      wall(e.other);
+      park(e.other, ParkKind::kRunnable, e.instr_index);
+      push_wake(e.other, "spawn", e.tid, 0, e.instr_index);
+      mark_parked_wake(e.other);
+      break;
+    case vm::ThreadOp::kJoinEnd:
+      push_wake(e.tid, "join", e.other, 0, e.instr_index);
+      break;
+    case vm::ThreadOp::kExit:
+      break;
+  }
+}
+
+void CriticalPathAnalyzer::on_cross_lane(const threads::CrossLaneEvent& e) {
+  if (e.to == threads::kNoThread || e.to == e.from) return;
+  // Cross-lane order events pin inter-lane dependencies; surface them in
+  // the walk under a kind tag derived from the order-event kind. seq is the
+  // order-stream position, not an instruction index, so the edge borrows
+  // the current segment start (the events fan synchronously in replay
+  // order, which is all the backward walk needs).
+  std::string kind = std::string("xlane:") + threads::cross_lane_kind_name(e.kind);
+  auto it = xlane_kinds_.insert(kind).first;
+  push_wake(e.to, it->c_str(), e.from, e.subject, seg_start_);
+  if (e.to != current_) mark_parked_wake(e.to);
+}
+
+void CriticalPathAnalyzer::on_run_end(const RunInfo& info) {
+  run_ = info;
+  close_segment(info.instr_count);
+  current_ = threads::kNoThread;
+  // Residual park time up to the end of the run.
+  for (threads::Tid tid = 0; tid < parks_.size(); ++tid)
+    unpark(tid, info.instr_count);
+
+  // The dependency walk: start at the chronologically last segment and
+  // follow each segment's most recent wake edge backwards. Every hop lands
+  // on an earlier segment index, so the walk terminates.
+  path_.clear();
+  hop_kinds_.clear();
+  if (segments_.empty()) return;
+  size_t cur = segments_.size() - 1;
+  path_.push_back(cur);
+  while (cur > 0) {
+    const Segment& s = segments_[cur];
+    // Latest wake edge for s.tid at or before the segment start.
+    const WakeEdge* edge = nullptr;
+    if (s.tid < wakes_.size()) {
+      const std::vector<WakeEdge>& w = wakes_[s.tid];
+      for (size_t i = w.size(); i-- > 0;) {
+        if (w[i].instr <= s.start) {
+          edge = &w[i];
+          break;
+        }
+      }
+    }
+    size_t next = cur - 1;  // default: the previous segment in time
+    if (edge != nullptr && edge->from != threads::kNoThread &&
+        edge->from < by_tid_.size()) {
+      // The waker's latest segment that had started by the wake.
+      const std::vector<size_t>& segs = by_tid_[edge->from];
+      for (size_t i = segs.size(); i-- > 0;) {
+        if (segs[i] < cur && segments_[segs[i]].start <= edge->instr) {
+          next = segs[i];
+          break;
+        }
+      }
+    }
+    hop_kinds_.push_back(edge != nullptr ? edge->kind : "schedule");
+    cur = next;
+    path_.push_back(cur);
+  }
+  std::reverse(path_.begin(), path_.end());
+  std::reverse(hop_kinds_.begin(), hop_kinds_.end());
+}
+
+std::string CriticalPathAnalyzer::artifact() const {
+  JsonWriter w;
+  uint64_t path_instrs = 0;
+  for (size_t i : path_) path_instrs += segments_[i].end - segments_[i].start;
+  w.begin_object()
+      .kv("schema", "dejavu-critpath-v1")
+      .kv("run_instr_count", run_.instr_count)
+      .kv("switches", switches_)
+      .kv("critical_path_instrs", path_instrs)
+      .kv("verified", run_.verified)
+      .kv("post_violation", run_.post_violation);
+
+  // Per-thread wall breakdown, instruction-clock units, tid ascending.
+  w.key("threads").begin_array();
+  for (threads::Tid tid = 0; tid < walls_.size(); ++tid) {
+    const ThreadWall& tw = walls_[tid];
+    if (!tw.seen) continue;
+    w.begin_object()
+        .kv("tid", uint64_t(tid))
+        .kv("running", tw.running)
+        .kv("runnable", tw.runnable)
+        .kv("blocked", tw.blocked)
+        .kv("waiting", tw.waiting)
+        .end_object();
+  }
+  w.end_array();
+
+  // The walked path, chronological; hop edge kinds label how segment i
+  // depends on segment i-1's thread.
+  w.key("critical_path").begin_array();
+  for (size_t i = 0; i < path_.size(); ++i) {
+    const Segment& s = segments_[path_[i]];
+    w.begin_object()
+        .kv("tid", uint64_t(s.tid))
+        .kv("start", s.start)
+        .kv("end", s.end)
+        .kv("instrs", s.end - s.start)
+        .kv("method", s.method)
+        .kv("edge", i == 0 ? "start" : hop_kinds_[i - 1])
+        .end_object();
+  }
+  w.end_array();
+
+  // Per-method attribution of critical-path time (the mergeable view).
+  std::map<std::string, uint64_t> by_method;
+  for (size_t i : path_) {
+    const Segment& s = segments_[i];
+    by_method[s.method.empty() ? "<vm>" : s.method] += s.end - s.start;
+  }
+  std::vector<std::pair<std::string, uint64_t>> methods(by_method.begin(),
+                                                        by_method.end());
+  std::sort(methods.begin(), methods.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (methods.size() > top_n_) methods.resize(top_n_);
+  w.key("by_method").begin_array();
+  for (const auto& [m, instrs] : methods)
+    w.begin_object().kv("method", m).kv("instrs", instrs).end_object();
+  w.end_array();
+
+  // Edge-kind histogram over the walked path (mergeable).
+  std::map<std::string, uint64_t> kinds;
+  for (const char* k : hop_kinds_) kinds[k]++;
+  w.key("edge_kinds").begin_array();
+  for (const auto& [k, count] : kinds)
+    w.begin_object().kv("kind", k).kv("count", count).end_object();
+  w.end_array();
+
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace dejavu::obs

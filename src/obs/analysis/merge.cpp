@@ -444,4 +444,211 @@ std::string HeapMerger::artifact() const {
   return w.str();
 }
 
+// ------------------------------------------------------------- critpath
+
+void CritPathMerger::add_json(const std::string& json) {
+  JsonValue v = parse_json(json);
+  doc_check(v, "dejavu-critpath-v1");
+  runs_ += doc_runs(v);
+  switches_ += num(v, "switches");
+  path_instrs_ += num(v, "critical_path_instrs");
+  run_instr_count_ += num(v, "run_instr_count");
+  verified_ = verified_ && flag(v, "verified", false);
+  post_violation_ = post_violation_ || flag(v, "post_violation", false);
+
+  const JsonValue* threads = v.find("threads");
+  if (threads != nullptr && threads->is_array()) {
+    for (const JsonValue& t : threads->items) {
+      WallAgg& agg = threads_[num(t, "tid")];
+      agg.running += num(t, "running");
+      agg.runnable += num(t, "runnable");
+      agg.blocked += num(t, "blocked");
+      agg.waiting += num(t, "waiting");
+    }
+  }
+  const JsonValue* methods = v.find("by_method");
+  if (methods != nullptr && methods->is_array()) {
+    for (const JsonValue& m : methods->items)
+      methods_[str(m, "method")] += num(m, "instrs");
+  }
+  const JsonValue* edges = v.find("edge_kinds");
+  if (edges != nullptr && edges->is_array()) {
+    for (const JsonValue& e : edges->items)
+      edges_[str(e, "kind")] += num(e, "count");
+  }
+}
+
+std::string CritPathMerger::artifact() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "dejavu-critpath-v1")
+      .kv("merged_runs", runs_)
+      .kv("run_instr_count", run_instr_count_)
+      .kv("switches", switches_)
+      .kv("critical_path_instrs", path_instrs_)
+      .kv("verified", verified_)
+      .kv("post_violation", post_violation_);
+
+  w.key("threads").begin_array();
+  for (const auto& [tid, tw] : threads_) {
+    w.begin_object()
+        .kv("tid", tid)
+        .kv("running", tw.running)
+        .kv("runnable", tw.runnable)
+        .kv("blocked", tw.blocked)
+        .kv("waiting", tw.waiting)
+        .end_object();
+  }
+  w.end_array();
+
+  std::vector<const std::map<std::string, uint64_t>::value_type*> methods;
+  methods.reserve(methods_.size());
+  for (const auto& kv : methods_) methods.push_back(&kv);
+  std::sort(methods.begin(), methods.end(), [](const auto* a, const auto* b) {
+    if (a->second != b->second) return a->second > b->second;
+    return a->first < b->first;
+  });
+  w.key("by_method").begin_array();
+  for (const auto* m : methods) {
+    w.begin_object().kv("method", m->first).kv("instrs", m->second)
+        .end_object();
+  }
+  w.end_array();
+
+  w.key("edge_kinds").begin_array();
+  for (const auto& [kind, count] : edges_) {
+    w.begin_object().kv("kind", kind).kv("count", count).end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
+// ------------------------------------------------------------- cachesim
+
+void CacheSimMerger::add_json(const std::string& json) {
+  JsonValue v = parse_json(json);
+  doc_check(v, "dejavu-cachesim-v1");
+  runs_ += doc_runs(v);
+  accesses_ += num(v, "accesses");
+  reads_ += num(v, "reads");
+  writes_ += num(v, "writes");
+  l1_misses_ += num(v, "l1_misses");
+  l2_misses_ += num(v, "l2_misses");
+  shared_line_count_ += num(v, "shared_line_count");
+  false_sharing_lines_ += num(v, "false_sharing_lines");
+  run_instr_count_ += num(v, "run_instr_count");
+  line_bytes_ = std::min(line_bytes_, num(v, "line_bytes", kUnset));
+  l1_bytes_ = std::min(l1_bytes_, num(v, "l1_bytes", kUnset));
+  l1_ways_ = std::min(l1_ways_, num(v, "l1_ways", kUnset));
+  l2_bytes_ = std::min(l2_bytes_, num(v, "l2_bytes", kUnset));
+  l2_ways_ = std::min(l2_ways_, num(v, "l2_ways", kUnset));
+  verified_ = verified_ && flag(v, "verified", false);
+  post_violation_ = post_violation_ || flag(v, "post_violation", false);
+
+  const JsonValue* sites = v.find("by_site");
+  if (sites != nullptr && sites->is_array()) {
+    for (const JsonValue& s : sites->items) {
+      SiteAgg& agg = by_site_[str(s, "site")];
+      agg.accesses += num(s, "accesses");
+      agg.l1_misses += num(s, "l1_misses");
+      agg.l2_misses += num(s, "l2_misses");
+    }
+  }
+  const JsonValue* types = v.find("by_type");
+  if (types != nullptr && types->is_array()) {
+    for (const JsonValue& t : types->items) {
+      SiteAgg& agg = by_type_[str(t, "class")];
+      agg.accesses += num(t, "accesses");
+      agg.l1_misses += num(t, "l1_misses");
+      agg.l2_misses += num(t, "l2_misses");
+    }
+  }
+  // Per-run documents report individual shared lines; merged documents
+  // carry the re-keyed per-class tallies. Fold both into the same keys.
+  const JsonValue* lines = v.find("shared_lines");
+  if (lines != nullptr && lines->is_array()) {
+    for (const JsonValue& l : lines->items) {
+      SharedAgg& agg = shared_[str(l, "class")];
+      agg.lines += 1;
+      agg.accesses += num(l, "accesses");
+      if (num(l, "distinct_slots") > 1) agg.false_sharing += 1;
+    }
+  }
+  const JsonValue* byc = v.find("shared_by_class");
+  if (byc != nullptr && byc->is_array()) {
+    for (const JsonValue& c : byc->items) {
+      SharedAgg& agg = shared_[str(c, "class")];
+      agg.lines += num(c, "lines");
+      agg.accesses += num(c, "accesses");
+      agg.false_sharing += num(c, "false_sharing");
+    }
+  }
+}
+
+std::string CacheSimMerger::artifact() const {
+  JsonWriter w;
+  w.begin_object()
+      .kv("schema", "dejavu-cachesim-v1")
+      .kv("merged_runs", runs_)
+      .kv("line_bytes", line_bytes_ == kUnset ? 0 : line_bytes_)
+      .kv("l1_bytes", l1_bytes_ == kUnset ? 0 : l1_bytes_)
+      .kv("l1_ways", l1_ways_ == kUnset ? 0 : l1_ways_)
+      .kv("l2_bytes", l2_bytes_ == kUnset ? 0 : l2_bytes_)
+      .kv("l2_ways", l2_ways_ == kUnset ? 0 : l2_ways_)
+      .kv("accesses", accesses_)
+      .kv("reads", reads_)
+      .kv("writes", writes_)
+      .kv("l1_misses", l1_misses_)
+      .kv("l2_misses", l2_misses_)
+      .kv("shared_line_count", shared_line_count_)
+      .kv("false_sharing_lines", false_sharing_lines_)
+      .kv("run_instr_count", run_instr_count_)
+      .kv("verified", verified_)
+      .kv("post_violation", post_violation_);
+
+  auto emit_sites = [&w](const char* key, const char* name_key,
+                         const std::map<std::string, SiteAgg>& m) {
+    std::vector<const std::map<std::string, SiteAgg>::value_type*> order;
+    order.reserve(m.size());
+    for (const auto& kv : m) order.push_back(&kv);
+    std::sort(order.begin(), order.end(), [](const auto* a, const auto* b) {
+      if (a->second.accesses != b->second.accesses)
+        return a->second.accesses > b->second.accesses;
+      return a->first < b->first;
+    });
+    w.key(key).begin_array();
+    for (const auto* s : order) {
+      w.begin_object()
+          .kv(name_key, s->first)
+          .kv("accesses", s->second.accesses)
+          .kv("l1_misses", s->second.l1_misses)
+          .kv("l2_misses", s->second.l2_misses)
+          .end_object();
+    }
+    w.end_array();
+  };
+  emit_sites("by_site", "site", by_site_);
+  emit_sites("by_type", "class", by_type_);
+
+  std::vector<const std::map<std::string, SharedAgg>::value_type*> shared;
+  shared.reserve(shared_.size());
+  for (const auto& kv : shared_) shared.push_back(&kv);
+  std::sort(shared.begin(), shared.end(), [](const auto* a, const auto* b) {
+    if (a->second.accesses != b->second.accesses)
+      return a->second.accesses > b->second.accesses;
+    return a->first < b->first;
+  });
+  w.key("shared_by_class").begin_array();
+  for (const auto* s : shared) {
+    w.begin_object()
+        .kv("class", s->first)
+        .kv("lines", s->second.lines)
+        .kv("accesses", s->second.accesses)
+        .kv("false_sharing", s->second.false_sharing)
+        .end_object();
+  }
+  w.end_array().end_object();
+  return w.str();
+}
+
 }  // namespace dejavu::obs

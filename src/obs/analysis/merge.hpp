@@ -168,4 +168,78 @@ class HeapMerger {
   bool post_violation_ = false;
 };
 
+class CritPathMerger {
+ public:
+  void add_json(const std::string& json);
+  // The merged dejavu-critpath-v1 document. Per-run critical-path segment
+  // lists are trace-local (instruction indices don't compare across
+  // traces), so the fleet view keeps the mergeable aggregates: per-tid wall
+  // breakdowns, per-method critical-path attribution, and the edge-kind
+  // histogram.
+  std::string artifact() const;
+  uint64_t runs() const { return runs_; }
+
+ private:
+  struct WallAgg {
+    uint64_t running = 0;
+    uint64_t runnable = 0;
+    uint64_t blocked = 0;
+    uint64_t waiting = 0;
+  };
+
+  std::map<uint64_t, WallAgg> threads_;      // keyed by tid
+  std::map<std::string, uint64_t> methods_;  // critical-path instrs
+  std::map<std::string, uint64_t> edges_;    // edge kind -> hop count
+  uint64_t runs_ = 0;
+  uint64_t switches_ = 0;
+  uint64_t path_instrs_ = 0;
+  uint64_t run_instr_count_ = 0;
+  bool verified_ = true;
+  bool post_violation_ = false;
+};
+
+class CacheSimMerger {
+ public:
+  void add_json(const std::string& json);
+  // The merged dejavu-cachesim-v1 document. Synthetic line indices are
+  // trace-local, so shared-line reports are re-keyed by class
+  // ("shared_by_class"); geometry fields fold with min() (merging documents
+  // simulated under different geometries is legal but not meaningful).
+  std::string artifact() const;
+  uint64_t runs() const { return runs_; }
+
+ private:
+  struct SiteAgg {
+    uint64_t accesses = 0;
+    uint64_t l1_misses = 0;
+    uint64_t l2_misses = 0;
+  };
+  struct SharedAgg {
+    uint64_t lines = 0;
+    uint64_t accesses = 0;
+    uint64_t false_sharing = 0;  // entries with >1 distinct slot
+  };
+
+  std::map<std::string, SiteAgg> by_site_;
+  std::map<std::string, SiteAgg> by_type_;   // keyed by class name
+  std::map<std::string, SharedAgg> shared_;  // keyed by class name
+  uint64_t runs_ = 0;
+  uint64_t accesses_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t l1_misses_ = 0;
+  uint64_t l2_misses_ = 0;
+  uint64_t shared_line_count_ = 0;
+  uint64_t false_sharing_lines_ = 0;
+  uint64_t run_instr_count_ = 0;
+  static constexpr uint64_t kUnset = ~uint64_t(0);
+  uint64_t line_bytes_ = kUnset;
+  uint64_t l1_bytes_ = kUnset;
+  uint64_t l1_ways_ = kUnset;
+  uint64_t l2_bytes_ = kUnset;
+  uint64_t l2_ways_ = kUnset;
+  bool verified_ = true;
+  bool post_violation_ = false;
+};
+
 }  // namespace dejavu::obs

@@ -48,10 +48,23 @@ struct ObsConfig {
   bool analyze_locks = false;
   bool analyze_heap = false;
   bool analyze_races = false;
+  bool analyze_critpath = false;
+  bool analyze_cachesim = false;
   uint32_t analysis_top_n = 10;  // hot-pc / hot-object list depth
 
+  // Cache-simulator geometry (src/obs/analysis/cache_sim). The model is a
+  // classic inclusive two-level set-associative LRU hierarchy fed by guest
+  // heap slot traffic; these knobs select line size and per-level
+  // size/associativity. Like every analysis knob they are replay-side only.
+  uint32_t cache_line_bytes = 64;
+  uint32_t cache_l1_bytes = 32 * 1024;
+  uint32_t cache_l1_ways = 4;
+  uint32_t cache_l2_bytes = 256 * 1024;
+  uint32_t cache_l2_ways = 8;
+
   bool any_analysis() const {
-    return analyze_profile || analyze_locks || analyze_heap || analyze_races;
+    return analyze_profile || analyze_locks || analyze_heap ||
+           analyze_races || analyze_critpath || analyze_cachesim;
   }
 };
 

@@ -66,6 +66,14 @@ BuiltinAnalyzers::BuiltinAnalyzers(const obs::ObsConfig& oc) {
   if (oc.analyze_heap)
     heap = std::make_unique<obs::HeapChurnAnalyzer>(oc.analysis_top_n);
   if (oc.analyze_races) races = std::make_unique<obs::RaceDetector>();
+  if (oc.analyze_critpath)
+    critpath = std::make_unique<obs::CriticalPathAnalyzer>(oc.analysis_top_n);
+  if (oc.analyze_cachesim)
+    cachesim = std::make_unique<obs::CacheSimAnalyzer>(
+        oc.cache_line_bytes,
+        obs::CacheLevelConfig{oc.cache_l1_bytes, oc.cache_l1_ways},
+        obs::CacheLevelConfig{oc.cache_l2_bytes, oc.cache_l2_ways},
+        oc.analysis_top_n);
 }
 
 void BuiltinAnalyzers::install(DejaVuEngine& engine) const {
@@ -73,6 +81,8 @@ void BuiltinAnalyzers::install(DejaVuEngine& engine) const {
   if (locks != nullptr) engine.add_analyzer(locks.get());
   if (heap != nullptr) engine.add_analyzer(heap.get());
   if (races != nullptr) engine.add_analyzer(races.get());
+  if (critpath != nullptr) engine.add_analyzer(critpath.get());
+  if (cachesim != nullptr) engine.add_analyzer(cachesim.get());
 }
 
 obs::AnalysisResults BuiltinAnalyzers::collect() const {
@@ -84,6 +94,8 @@ obs::AnalysisResults BuiltinAnalyzers::collect() const {
   if (locks != nullptr) r.locks_json = locks->artifact();
   if (heap != nullptr) r.heap_json = heap->artifact();
   if (races != nullptr) r.races_json = races->artifact();
+  if (critpath != nullptr) r.critpath_json = critpath->artifact();
+  if (cachesim != nullptr) r.cachesim_json = cachesim->artifact();
   return r;
 }
 

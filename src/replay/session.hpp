@@ -12,6 +12,8 @@
 #include <memory>
 #include <string>
 
+#include "src/obs/analysis/cache_sim.hpp"
+#include "src/obs/analysis/critical_path.hpp"
 #include "src/obs/analysis/heap_churn.hpp"
 #include "src/obs/analysis/locks.hpp"
 #include "src/obs/analysis/profiler.hpp"
@@ -73,6 +75,8 @@ struct BuiltinAnalyzers {
   std::unique_ptr<obs::LockContentionAnalyzer> locks;
   std::unique_ptr<obs::HeapChurnAnalyzer> heap;
   std::unique_ptr<obs::RaceDetector> races;
+  std::unique_ptr<obs::CriticalPathAnalyzer> critpath;
+  std::unique_ptr<obs::CacheSimAnalyzer> cachesim;
 
   explicit BuiltinAnalyzers(const obs::ObsConfig& oc);
   void install(DejaVuEngine& engine) const;

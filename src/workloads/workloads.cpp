@@ -621,6 +621,72 @@ Program readers_writers(int64_t readers, int64_t writers, int64_t rounds) {
   return pb.build();
 }
 
+Program false_sharing(int64_t iters) {
+  ProgramBuilder pb;
+  auto& main = pb.add_class("Main");
+  main.static_field("hot", R);
+  main.static_field("pad", R);
+
+  // Each worker bumps its own slot of the hot (one-line) array and its own
+  // slot of the padded twin. The loop backedge is the preemption point, so
+  // under a preemptive timer the two threads interleave on the hot line.
+  auto add_worker = [&](const char* name, int64_t hot_slot,
+                        int64_t pad_slot) {
+    auto& w = main.method(name).arg(R).locals(2);
+    auto top = w.label(), done = w.label();
+    w.push_i(0).store(1);
+    w.bind(top).load(1).push_i(iters).cmp_ge().jnz(done);
+    w.getstatic("Main", "hot")
+        .push_i(hot_slot)
+        .getstatic("Main", "hot")
+        .push_i(hot_slot)
+        .aload_i()
+        .push_i(1)
+        .add()
+        .astore_i();
+    w.getstatic("Main", "pad")
+        .push_i(pad_slot)
+        .getstatic("Main", "pad")
+        .push_i(pad_slot)
+        .aload_i()
+        .push_i(1)
+        .add()
+        .astore_i();
+    w.load(1).push_i(1).add().store(1).jmp(top);
+    w.bind(done).ret();
+  };
+  add_worker("workerA", 0, 0);
+  add_worker("workerB", 1, 8);
+
+  auto& m = main.method("run").arg(R).locals(3);
+  // 8 x i64 = one 64-byte line; 16 x i64 = two lines with the workers'
+  // slots (0 and 8) on different lines.
+  m.push_i(8).newarr_i().putstatic("Main", "hot");
+  m.push_i(16).newarr_i().putstatic("Main", "pad");
+  m.push_null().spawn("Main", "workerA").store(1);
+  m.push_null().spawn("Main", "workerB").store(2);
+  m.load(1).join().load(2).join();
+  m.getstatic("Main", "hot")
+      .push_i(0)
+      .aload_i()
+      .getstatic("Main", "hot")
+      .push_i(1)
+      .aload_i()
+      .add()
+      .getstatic("Main", "pad")
+      .push_i(0)
+      .aload_i()
+      .add()
+      .getstatic("Main", "pad")
+      .push_i(8)
+      .aload_i()
+      .add()
+      .print_i()
+      .ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
 Program debug_target() {
   ProgramBuilder pb;
   auto& shape = pb.add_class("Shape");

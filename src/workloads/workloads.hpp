@@ -94,6 +94,15 @@ bytecode::Program philosophers(int64_t n, int64_t meals);
 bytecode::Program readers_writers(int64_t readers, int64_t writers,
                                   int64_t rounds);
 
+// Seeded false-sharing probe for the replay-time cache simulator: two
+// threads each perform `iters` increments of their own slot in a shared
+// 8-slot i64 array (slots 0 and 1 -- one 64-byte line) AND of their own
+// slot in a padded twin (slots 0 and 8 of a 16-slot array -- distinct
+// lines). The hot array is the one and only false-sharing candidate; the
+// padded twin is the control. Output (4 * iters) is deterministic: the
+// slots are distinct, so there is no data race, only line sharing.
+bytecode::Program false_sharing(int64_t iters);
+
 // A small multi-class program with line numbers, virtual dispatch and a
 // shape the debugger examples inspect (the Figure 3 target).
 bytecode::Program debug_target();

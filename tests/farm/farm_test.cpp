@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -238,6 +239,10 @@ TEST(FarmScheduler, FleetIsCleanAndReportByteIdenticalAcrossJobs) {
   EXPECT_EQ(fx.run1.merged_locks, fx.run4.merged_locks);
   EXPECT_EQ(fx.run1.merged_heap, fx.run4.merged_heap);
   EXPECT_EQ(fx.run1.merged_races, fx.run4.merged_races);
+  EXPECT_EQ(fx.run1.merged_critpath, fx.run4.merged_critpath);
+  EXPECT_EQ(fx.run1.merged_cachesim, fx.run4.merged_cachesim);
+  EXPECT_FALSE(fx.run1.merged_critpath.empty());
+  EXPECT_FALSE(fx.run1.merged_cachesim.empty());
   EXPECT_EQ(fx.run1.merged_metrics.to_json(), fx.run4.merged_metrics.to_json());
   EXPECT_EQ(farm_report_json(fx.run1, 10), farm_report_json(fx.run4, 10));
 
@@ -270,6 +275,8 @@ TEST(FarmScheduler, FarmReplayIsUnperturbedVsDirectReplay) {
     cfg.obs.analyze_locks = true;
     cfg.obs.analyze_heap = true;
     cfg.obs.analyze_races = true;
+    cfg.obs.analyze_critpath = true;
+    cfg.obs.analyze_cachesim = true;
     cfg.obs.analysis_top_n = 10;
     std::optional<bytecode::Program> prog =
         fleet_resolve(records[i].workload);
@@ -284,6 +291,8 @@ TEST(FarmScheduler, FarmReplayIsUnperturbedVsDirectReplay) {
     EXPECT_EQ(farm.analysis.locks_json, direct.analysis.locks_json);
     EXPECT_EQ(farm.analysis.heap_json, direct.analysis.heap_json);
     EXPECT_EQ(farm.analysis.races_json, direct.analysis.races_json);
+    EXPECT_EQ(farm.analysis.critpath_json, direct.analysis.critpath_json);
+    EXPECT_EQ(farm.analysis.cachesim_json, direct.analysis.cachesim_json);
     EXPECT_EQ(farm.metrics.to_json(), direct.metrics.to_json());
   }
 }
@@ -324,11 +333,13 @@ TEST(FarmScheduler, UnknownWorkloadIsAnErrorVerdictNotAnAbort) {
 // folds metrics in catalog order.)
 TEST(FarmMergers, OrderIndependentAndComposableOverTraceSubsets) {
   Fixture& fx = fixture();
-  std::vector<std::string> profiles, locks, heaps;
+  std::vector<std::string> profiles, locks, heaps, critpaths, cachesims;
   for (const TraceOutcome& o : fx.run1.outcomes) {
     profiles.push_back(o.analysis.profile_json);
     locks.push_back(o.analysis.locks_json);
     heaps.push_back(o.analysis.heap_json);
+    critpaths.push_back(o.analysis.critpath_json);
+    cachesims.push_back(o.analysis.cachesim_json);
   }
   ASSERT_EQ(profiles.size(), std::size(kFleet) * kSeeds);
 
@@ -368,6 +379,8 @@ TEST(FarmMergers, OrderIndependentAndComposableOverTraceSubsets) {
   property(profiles, [] { return obs::ProfileMerger(); }, "profile");
   property(locks, [] { return obs::LocksMerger(); }, "locks");
   property(heaps, [] { return obs::HeapMerger(); }, "heap");
+  property(critpaths, [] { return obs::CritPathMerger(); }, "critpath");
+  property(cachesims, [] { return obs::CacheSimMerger(); }, "cachesim");
 
   // merge_snapshots associativity: folding subset-merged snapshots in
   // catalog order equals one in-order fold of everything.
@@ -506,6 +519,65 @@ TEST(FarmCache, GcDropsOrphanedConfigsAndRunRepopulates) {
   EXPECT_EQ(farm_report_json(hit, 3), farm_report_json(repop, 3));
 }
 
+TEST(FarmCache, LruGcKeepsMostRecentlyHitEntries) {
+  CacheFixture fx;
+  fx.run(true);  // populate: 4 entries under the top_n=10 config
+  FarmOptions opts;
+  opts.top_n = 10;
+  uint64_t cfg_hash = outcome_config_hash(opts);
+
+  // Age every entry into the past with distinct, ordered mtimes.
+  fs::path cache_dir = fs::path(fx.store_dir) / "cache";
+  std::vector<fs::path> entries;
+  for (const auto& e : fs::directory_iterator(cache_dir))
+    entries.push_back(e.path());
+  ASSERT_EQ(entries.size(), 4u);
+  std::sort(entries.begin(), entries.end());
+  auto base = fs::file_time_type::clock::now() - std::chrono::hours(48);
+  for (size_t i = 0; i < entries.size(); ++i)
+    fs::last_write_time(entries[i], base + std::chrono::minutes(i));
+
+  // Hit exactly one (otherwise-coldest) entry through the cache API: load
+  // touches its mtime, which is what makes the ranking least-recently-USED
+  // rather than least-recently-written.
+  TraceStore store(fx.store_dir);
+  std::vector<TraceRecord> records = store.list();
+  OutcomeCache cache(store.root(), cfg_hash);
+  // Hit the entry that is currently the COLDEST file, so mtime-of-write
+  // ordering and hit ordering disagree and the test can tell them apart.
+  std::string cold_name = entries[0].filename().string();
+  const TraceRecord* hit_rec = nullptr;
+  for (const TraceRecord& r : records)
+    if (cold_name.rfind(r.content_hash, 0) == 0) hit_rec = &r;
+  ASSERT_NE(hit_rec, nullptr);
+  std::optional<bytecode::Program> prog = fleet_resolve(hit_rec->workload);
+  ASSERT_TRUE(prog.has_value());
+  ASSERT_TRUE(
+      cache.load(*hit_rec, replay::fingerprint_program(*prog)).has_value());
+
+  // Cap to one entry: the survivor must be the most-recently-hit one, not
+  // the most recently written.
+  CacheLruResult lru =
+      lru_gc_outcome_cache(fx.store_dir, cfg_hash, /*max_entries=*/1,
+                           /*max_bytes=*/0);
+  EXPECT_EQ(lru.kept, 1u);
+  EXPECT_EQ(lru.evicted, 3u);
+  EXPECT_GT(lru.kept_bytes, 0u);
+  EXPECT_GT(lru.evicted_bytes, 0u);
+  std::vector<fs::path> left;
+  for (const auto& e : fs::directory_iterator(cache_dir))
+    left.push_back(e.path());
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].filename().string().rfind(hit_rec->content_hash, 0), 0u)
+      << left[0] << " survived instead of the hit entry";
+
+  // A byte cap of "everything fits" evicts nothing further.
+  CacheLruResult noop =
+      lru_gc_outcome_cache(fx.store_dir, cfg_hash, 0, 1u << 30);
+  EXPECT_EQ(noop.kept, 1u);
+  EXPECT_EQ(noop.evicted, 0u);
+}
+
 // ------------------------------------------------------------ the report
 
 TEST(FarmReport, JsonIsWellFormedAndRenderable) {
@@ -531,15 +603,44 @@ TEST(FarmReport, JsonIsWellFormedAndRenderable) {
             "dejavu-heap-v1");
   EXPECT_EQ(doc.find("merged_races")->find("schema")->string,
             "dejavu-races-v1");
+  EXPECT_EQ(doc.find("merged_critpath")->find("schema")->string,
+            "dejavu-critpath-v1");
+  EXPECT_EQ(doc.find("merged_cachesim")->find("schema")->string,
+            "dejavu-cachesim-v1");
   const obs::JsonValue* methods = doc.find("top_methods");
   ASSERT_NE(methods, nullptr);
   EXPECT_FALSE(methods->items.empty());
   EXPECT_LE(methods->items.size(), 10u);
 
-  // And the text renderer consumes it.
+  // And the text renderer consumes it, including the two new sections.
   std::string text = render_farm_report(json);
   EXPECT_NE(text.find("farm report: 20 traces"), std::string::npos) << text;
   EXPECT_NE(text.find("clean"), std::string::npos);
+  EXPECT_NE(text.find("critical path:"), std::string::npos) << text;
+  EXPECT_NE(text.find("cache sim:"), std::string::npos) << text;
+  EXPECT_EQ(text.find("skipped unknown artifact"), std::string::npos);
+}
+
+TEST(FarmReport, UnknownEmbeddedArtifactGetsSkippedNotice) {
+  // Forward compatibility: a report produced by a newer build may embed
+  // merged artifact kinds this renderer does not know. It must render the
+  // rest and print a one-line notice instead of failing or silently
+  // swallowing the unknown document.
+  Fixture& fx = fixture();
+  std::string json = farm_report_json(fx.run1, 10);
+  std::string needle = "\"merged_profile\":";
+  size_t at = json.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  json.insert(at,
+              "\"merged_future\":{\"schema\":\"dejavu-future-v9\","
+              "\"stuff\":1},");
+  std::string text = render_farm_report(json);
+  EXPECT_NE(text.find("skipped unknown artifact dejavu-future-v9"),
+            std::string::npos)
+      << text;
+  // Everything known still renders.
+  EXPECT_NE(text.find("farm report: 20 traces"), std::string::npos);
+  EXPECT_NE(text.find("critical path:"), std::string::npos);
 }
 
 }  // namespace

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/analysis/cache_sim.hpp"
+#include "src/obs/analysis/critical_path.hpp"
 #include "src/obs/analysis/heap_churn.hpp"
 #include "src/obs/analysis/locks.hpp"
 #include "src/obs/analysis/merge.hpp"
@@ -36,6 +38,8 @@ replay::SymmetryConfig analyzers_cfg(bool on) {
   cfg.obs.analyze_profile = on;
   cfg.obs.analyze_locks = on;
   cfg.obs.analyze_heap = on;
+  cfg.obs.analyze_critpath = on;
+  cfg.obs.analyze_cachesim = on;
   return cfg;
 }
 
@@ -45,18 +49,25 @@ struct GoldenReplay {
   replay::ReplayResult result;
   uint64_t schedule_end = 0;
   uint64_t events_end = 0;
+  uint64_t order_seen = 0;
 };
 
-GoldenReplay replay_golden(const replay::SymmetryConfig& cfg) {
-  bytecode::Program prog = golden_program();
-  replay::ReplaySession session(
-      prog, replay::open_trace_source(golden_path("clock_mixer.v4.djv")), {},
-      cfg);
+GoldenReplay replay_golden_file(const bytecode::Program& prog,
+                                const char* name,
+                                const replay::SymmetryConfig& cfg) {
+  replay::ReplaySession session(prog, replay::open_trace_source(golden_path(name)),
+                                {}, cfg);
   GoldenReplay g;
   g.result = session.finish();
   g.schedule_end = session.engine().schedule_stream_pos();
   g.events_end = session.engine().events_stream_pos();
+  g.order_seen = session.engine().order_events_seen();
   return g;
+}
+
+GoldenReplay replay_golden(const replay::SymmetryConfig& cfg) {
+  bytecode::Program prog = golden_program();
+  return replay_golden_file(prog, "clock_mixer.v4.djv", cfg);
 }
 
 // One deterministic record of a workload (scripted env + virtual timer).
@@ -94,6 +105,30 @@ TEST(AnalysisSymmetry, GoldenReplayIdenticalWithAnalyzersOnAndOff) {
   // And the analyzers actually ran.
   EXPECT_TRUE(on.result.analysis.any());
   EXPECT_FALSE(off.result.analysis.any());
+}
+
+// The same invariant over the committed multi-lane v5 corpus: per-lane
+// stream cursors (summed) and the cross-lane order count must be untouched
+// by the full analyzer suite.
+TEST(AnalysisSymmetry, GoldenLaneReplayIdenticalWithAnalyzersOnAndOff) {
+  bytecode::Program prog = workloads::lock_pingpong(10);
+  for (const char* name :
+       {"lock_pingpong.k2.v5.djv", "lock_pingpong.k4.v5.djv"}) {
+    GoldenReplay off = replay_golden_file(prog, name, analyzers_cfg(false));
+    GoldenReplay on = replay_golden_file(prog, name, analyzers_cfg(true));
+    ASSERT_TRUE(off.result.verified) << name;
+    ASSERT_TRUE(on.result.verified) << name;
+    EXPECT_EQ(on.result.summary, off.result.summary) << name;
+    EXPECT_EQ(on.result.output, off.result.output) << name;
+    EXPECT_EQ(on.schedule_end, off.schedule_end) << name;
+    EXPECT_EQ(on.events_end, off.events_end) << name;
+    EXPECT_EQ(on.order_seen, off.order_seen) << name;
+    EXPECT_GT(on.order_seen, 0u) << name;  // lanes actually crossed
+    EXPECT_EQ(on.result.stats.checkpoints, off.result.stats.checkpoints)
+        << name;
+    EXPECT_TRUE(on.result.analysis.any()) << name;
+    EXPECT_FALSE(off.result.analysis.any()) << name;
+  }
 }
 
 TEST(AnalysisSymmetry, AnalyzersRejectRecordMode) {
@@ -299,6 +334,289 @@ TEST(LockContention, PlainContentionRaisesNoDeadlockWarning) {
   EXPECT_TRUE(dw->items.empty());
 }
 
+// ------------------------------------------- critical path / blocked time
+
+TEST(CriticalPath, GoldenReplayCritPathIsWellFormed) {
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_critpath = true;
+  GoldenReplay g = replay_golden(cfg);
+  ASSERT_TRUE(g.result.verified);
+
+  JsonValue doc = parse_json(g.result.analysis.critpath_json);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->string, "dejavu-critpath-v1");
+  EXPECT_TRUE(doc.find("verified")->boolean);
+  uint64_t total = uint64_t(doc.find("run_instr_count")->number);
+  EXPECT_EQ(total, g.result.summary.instr_count);
+
+  // The per-thread running walls partition the instruction clock exactly:
+  // a uniprocessor schedule means exactly one thread runs at any instant.
+  const JsonValue* threads = doc.find("threads");
+  ASSERT_NE(threads, nullptr);
+  ASSERT_FALSE(threads->items.empty());
+  uint64_t running_sum = 0;
+  for (const JsonValue& t : threads->items)
+    running_sum += uint64_t(t.find("running")->number);
+  EXPECT_EQ(running_sum, total);
+
+  // The walked path: chronological, non-overlapping segments whose lengths
+  // sum to the reported path length, which can never exceed the run.
+  const JsonValue* path = doc.find("critical_path");
+  ASSERT_NE(path, nullptr);
+  ASSERT_FALSE(path->items.empty());
+  uint64_t path_instrs = 0;
+  uint64_t prev_end = 0;
+  for (const JsonValue& seg : path->items) {
+    uint64_t start = uint64_t(seg.find("start")->number);
+    uint64_t end = uint64_t(seg.find("end")->number);
+    EXPECT_LE(start, end);
+    EXPECT_GE(start, prev_end) << "path segments overlap";
+    prev_end = end;
+    path_instrs += uint64_t(seg.find("instrs")->number);
+    ASSERT_NE(seg.find("edge"), nullptr);
+  }
+  uint64_t reported = uint64_t(doc.find("critical_path_instrs")->number);
+  EXPECT_EQ(path_instrs, reported);
+  EXPECT_GT(reported, 0u);
+  EXPECT_LE(reported, total);
+
+  // Per-method attribution partitions the path, and every hop has a kind.
+  const JsonValue* by_method = doc.find("by_method");
+  ASSERT_NE(by_method, nullptr);
+  uint64_t method_sum = 0;
+  for (const JsonValue& m : by_method->items)
+    method_sum += uint64_t(m.find("instrs")->number);
+  EXPECT_EQ(method_sum, reported);
+  const JsonValue* kinds = doc.find("edge_kinds");
+  ASSERT_NE(kinds, nullptr);
+  uint64_t kind_sum = 0;
+  for (const JsonValue& k : kinds->items)
+    kind_sum += uint64_t(k.find("count")->number);
+  EXPECT_EQ(kind_sum, path->items.size() - 1);
+}
+
+TEST(CriticalPath, PingPongBlocksAndHandsOff) {
+  // Monitor ping-pong is the canonical blocked-time workload: each thread
+  // spends most of its wall parked, and the path must cross threads via
+  // monitor hand-off / notify edges, not just scheduler switches.
+  bytecode::Program prog = workloads::lock_pingpong(40);
+  replay::RecordResult rec = record_workload(prog, 5);
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_critpath = true;
+  replay::ReplayResult rep = replay::replay_run(prog, rec.trace, {}, cfg);
+  ASSERT_TRUE(rep.verified);
+
+  JsonValue doc = parse_json(rep.analysis.critpath_json);
+  uint64_t blocked = 0, waiting = 0;
+  for (const JsonValue& t : doc.find("threads")->items) {
+    blocked += uint64_t(t.find("blocked")->number);
+    waiting += uint64_t(t.find("waiting")->number);
+  }
+  EXPECT_GT(blocked + waiting, 0u);
+
+  std::vector<std::string> tids_on_path;
+  for (const JsonValue& seg : doc.find("critical_path")->items) {
+    std::string tid = std::to_string(uint64_t(seg.find("tid")->number));
+    if (tids_on_path.empty() || tids_on_path.back() != tid)
+      tids_on_path.push_back(tid);
+  }
+  EXPECT_GT(tids_on_path.size(), 1u) << "path never crossed threads";
+  bool monitor_edge = false;
+  for (const JsonValue& k : doc.find("edge_kinds")->items) {
+    const std::string& kind = k.find("kind")->string;
+    if (kind == "handoff" || kind == "notify") monitor_edge = true;
+  }
+  EXPECT_TRUE(monitor_edge);
+}
+
+TEST(CriticalPath, SyntheticSpawnJoinPath) {
+  // main spawns t1, t1 runs 100 instrs, main joins and finishes: the path
+  // is main -> t1 (spawn) -> main (join), covering all three segments.
+  CriticalPathAnalyzer cp;
+  static const std::string kOwner = "Main";
+  static const std::string kMain = "run";
+  static const std::string kWorker = "work";
+  auto instr = [&](uint32_t tid, const std::string* method, uint64_t at) {
+    vm::InstrEvent e;
+    e.tid = threads::Tid(tid);
+    e.owner = &kOwner;
+    e.method = method;
+    e.instr_index = at;
+    cp.on_instruction(e);
+  };
+  auto sw = [&](uint32_t from, uint32_t to, threads::SwitchReason r,
+                uint64_t at) {
+    cp.on_switch(threads::Tid(from), threads::Tid(to), r, at);
+  };
+  auto thread_ev = [&](vm::ThreadOp op, uint32_t tid, uint32_t other,
+                       uint64_t at) {
+    vm::ThreadEvent e;
+    e.op = op;
+    e.tid = threads::Tid(tid);
+    e.other = threads::Tid(other);
+    e.instr_index = at;
+    cp.on_thread_event(e);
+  };
+
+  for (uint64_t i = 0; i < 10; ++i) instr(1, &kMain, i);
+  thread_ev(vm::ThreadOp::kSpawn, 1, 2, 10);
+  sw(1, 2, threads::SwitchReason::kJoin, 10);  // main parks in join
+  for (uint64_t i = 10; i < 110; ++i) instr(2, &kWorker, i);
+  thread_ev(vm::ThreadOp::kExit, 2, 0, 110);
+  sw(2, 1, threads::SwitchReason::kTerminate, 110);
+  thread_ev(vm::ThreadOp::kJoinEnd, 1, 2, 110);
+  for (uint64_t i = 110; i < 120; ++i) instr(1, &kMain, i);
+
+  RunInfo info;
+  info.instr_count = 120;
+  info.verified = true;
+  cp.on_run_end(info);
+
+  JsonValue doc = parse_json(cp.artifact());
+  EXPECT_EQ(uint64_t(doc.find("critical_path_instrs")->number), 120u);
+  // Wall breakdown: main ran 20 and waited 100 in the join; t1 ran 100.
+  const JsonValue* walls = doc.find("threads");
+  ASSERT_EQ(walls->items.size(), 2u);
+  EXPECT_EQ(uint64_t(walls->items[0].find("running")->number), 20u);
+  EXPECT_EQ(uint64_t(walls->items[0].find("waiting")->number), 100u);
+  EXPECT_EQ(uint64_t(walls->items[1].find("running")->number), 100u);
+  const JsonValue* path = doc.find("critical_path");
+  ASSERT_EQ(path->items.size(), 3u);
+  EXPECT_EQ(uint64_t(path->items[0].find("tid")->number), 1u);
+  EXPECT_EQ(uint64_t(path->items[1].find("tid")->number), 2u);
+  EXPECT_EQ(uint64_t(path->items[2].find("tid")->number), 1u);
+  // t1 became runnable because main spawned it; main resumed because t1
+  // exited (the join edge).
+  EXPECT_EQ(path->items[1].find("edge")->string, "spawn");
+  EXPECT_EQ(path->items[2].find("edge")->string, "join");
+}
+
+// --------------------------------------------------- cache simulator
+
+TEST(CacheSim, GoldenReplayCacheSimIsWellFormed) {
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_cachesim = true;
+  GoldenReplay g = replay_golden(cfg);
+  ASSERT_TRUE(g.result.verified);
+
+  JsonValue doc = parse_json(g.result.analysis.cachesim_json);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("schema")->string, "dejavu-cachesim-v1");
+  EXPECT_TRUE(doc.find("verified")->boolean);
+  // Geometry echoes the (default) config.
+  EXPECT_EQ(doc.find("line_bytes")->number, 64.0);
+  EXPECT_EQ(doc.find("l1_bytes")->number, double(32 * 1024));
+  EXPECT_EQ(doc.find("l1_ways")->number, 4.0);
+  EXPECT_EQ(doc.find("l2_bytes")->number, double(256 * 1024));
+  EXPECT_EQ(doc.find("l2_ways")->number, 8.0);
+
+  uint64_t accesses = uint64_t(doc.find("accesses")->number);
+  EXPECT_GT(accesses, 0u);
+  EXPECT_EQ(accesses, uint64_t(doc.find("reads")->number) +
+                          uint64_t(doc.find("writes")->number));
+  // Miss counts form the inclusive-hierarchy chain.
+  uint64_t l1m = uint64_t(doc.find("l1_misses")->number);
+  uint64_t l2m = uint64_t(doc.find("l2_misses")->number);
+  EXPECT_LE(l2m, l1m);
+  EXPECT_LE(l1m, accesses);
+  EXPECT_GT(l1m, 0u);  // cold misses exist in any real run
+
+  const JsonValue* sites = doc.find("by_site");
+  ASSERT_NE(sites, nullptr);
+  ASSERT_FALSE(sites->items.empty());
+  const JsonValue* types = doc.find("by_type");
+  ASSERT_NE(types, nullptr);
+  ASSERT_FALSE(types->items.empty());
+}
+
+TEST(CacheSim, TinyCacheMissesMoreThanBigCache) {
+  // Same replayed trace, two geometries: a 2-line L1 must miss at least as
+  // often as the default 32KB one -- the model actually models capacity.
+  bytecode::Program prog = workloads::alloc_churn(300, 8, 4);
+  replay::RecordResult rec = record_workload(prog, 3);
+
+  auto misses = [&](uint32_t l1_bytes) {
+    replay::SymmetryConfig cfg;
+    cfg.obs.analyze_cachesim = true;
+    cfg.obs.cache_l1_bytes = l1_bytes;
+    cfg.obs.cache_l1_ways = 1;
+    replay::ReplayResult rep = replay::replay_run(prog, rec.trace, {}, cfg);
+    EXPECT_TRUE(rep.verified);
+    JsonValue doc = parse_json(rep.analysis.cachesim_json);
+    EXPECT_EQ(doc.find("l1_bytes")->number, double(l1_bytes));
+    return uint64_t(doc.find("l1_misses")->number);
+  };
+  uint64_t tiny = misses(128);
+  uint64_t big = misses(64 * 1024);
+  EXPECT_GT(tiny, big);
+}
+
+TEST(CacheSim, FalseSharingCorpusFlagsExactlyTheSeededLine) {
+  // The seeded corpus: two threads hammer distinct slots of one 64-byte
+  // line (the hot array) and, as a control, distinct lines of a padded
+  // twin. Exactly one array line may be flagged, and it is the hot one.
+  bytecode::Program prog = workloads::false_sharing(40);
+  replay::RecordResult rec = record_workload(prog, 7);
+  replay::SymmetryConfig cfg;
+  cfg.obs.analyze_cachesim = true;
+  replay::ReplayResult rep = replay::replay_run(prog, rec.trace, {}, cfg);
+  ASSERT_TRUE(rep.verified);
+  // Distinct slots, so the workload is deterministic: 4 * 40.
+  EXPECT_NE(rep.output.find("160"), std::string::npos) << rep.output;
+
+  JsonValue doc = parse_json(rep.analysis.cachesim_json);
+  const JsonValue* shared = doc.find("shared_lines");
+  ASSERT_NE(shared, nullptr);
+  uint64_t array_candidates = 0;
+  for (const JsonValue& line : shared->items) {
+    if (line.find("class")->string != "i64[]") continue;
+    uint32_t threads = uint32_t(line.find("threads")->number);
+    uint32_t slots = uint32_t(line.find("distinct_slots")->number);
+    EXPECT_GT(threads, 1u);  // only shared lines are listed at all
+    if (slots > 1) {
+      ++array_candidates;
+      // The hot line: both workers' slots (0 and 1) land on it.
+      EXPECT_EQ(slots, 2u);
+    }
+  }
+  EXPECT_EQ(array_candidates, 1u)
+      << "expected exactly the seeded hot line to be flagged";
+  EXPECT_GE(uint64_t(doc.find("false_sharing_lines")->number), 1u);
+
+  // The padded twin is the control: with each worker on its own line, no
+  // second multi-slot array line may appear -- checked above by exactness.
+}
+
+TEST(CacheSim, MergedFleetViewReKeysSharedLinesByClass) {
+  // Per-run line indices are trace-local; the fleet view folds them by
+  // class. Two runs of the seeded corpus -> one i64[] row with both runs'
+  // flagged lines and summed traffic.
+  bytecode::Program prog = workloads::false_sharing(20);
+  CacheSimMerger m;
+  for (uint64_t seed : {2u, 9u}) {
+    replay::RecordResult rec = record_workload(prog, seed);
+    replay::SymmetryConfig cfg;
+    cfg.obs.analyze_cachesim = true;
+    replay::ReplayResult rep = replay::replay_run(prog, rec.trace, {}, cfg);
+    ASSERT_TRUE(rep.verified);
+    m.add_json(rep.analysis.cachesim_json);
+  }
+  ASSERT_EQ(m.runs(), 2u);
+  JsonValue doc = parse_json(m.artifact());
+  EXPECT_EQ(doc.find("schema")->string, "dejavu-cachesim-v1");
+  EXPECT_EQ(doc.find("merged_runs")->number, 2.0);
+  EXPECT_EQ(doc.find("shared_lines"), nullptr);  // trace-local, dropped
+  const JsonValue* by_class = doc.find("shared_by_class");
+  ASSERT_NE(by_class, nullptr);
+  bool saw_array = false;
+  for (const JsonValue& c : by_class->items) {
+    if (c.find("class")->string != "i64[]") continue;
+    saw_array = true;
+    EXPECT_GE(uint64_t(c.find("false_sharing")->number), 2u);  // 1 per run
+  }
+  EXPECT_TRUE(saw_array);
+}
+
 // ------------------------------------------- strict-mode carry-over
 
 TEST(StrictCarryOver, ViolationWithAnalyzersFinishesAndFlagsArtifacts) {
@@ -331,7 +649,8 @@ TEST(StrictCarryOver, ViolationWithAnalyzersFinishesAndFlagsArtifacts) {
   ASSERT_TRUE(rep.analysis.any());
   for (const std::string* artifact :
        {&rep.analysis.profile_json, &rep.analysis.locks_json,
-        &rep.analysis.heap_json}) {
+        &rep.analysis.heap_json, &rep.analysis.critpath_json,
+        &rep.analysis.cachesim_json}) {
     JsonValue doc = parse_json(*artifact);
     const JsonValue* pv = doc.find("post_violation");
     ASSERT_NE(pv, nullptr) << *artifact;
@@ -527,6 +846,8 @@ TEST(AnalysisConfig, KnobsSelectArtifacts) {
   EXPECT_FALSE(on.analysis.profile_collapsed.empty());
   EXPECT_FALSE(on.analysis.locks_json.empty());
   EXPECT_FALSE(on.analysis.heap_json.empty());
+  EXPECT_FALSE(on.analysis.critpath_json.empty());
+  EXPECT_FALSE(on.analysis.cachesim_json.empty());
 }
 
 }  // namespace

@@ -16,7 +16,10 @@
 #   tools/check.sh        full check
 #   tools/check.sh obs    observability slice only: obs-labelled tests in
 #                         both builds, emit every telemetry artifact kind
-#                         and schema-check them, refresh BENCH_smoke.json
+#                         (incl. critpath/cachesim + an A/B --diff and the
+#                         seeded false-sharing corpus) and schema-check
+#                         them, farm smoke with outcome-cache GC, refresh
+#                         BENCH_smoke.json and BENCH_analyze.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -26,7 +29,7 @@ check_obs_slice() {
   echo "== obs slice: telemetry symmetry + artifact schemas =="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs" --target test_obs test_analysis \
-    bench_smoke dejavu obs_schema_check
+    bench_smoke bench_analyze dejavu obs_schema_check
   ctest --test-dir build --output-on-failure -j "$jobs" -L obs
   ctest --test-dir build --output-on-failure -j "$jobs" -L analysis
 
@@ -51,13 +54,36 @@ check_obs_slice() {
   ./build/tools/obs_schema_check timeline \
     "$art/record_timeline.json" "$art/replay_timeline.json" \
     "$art/bench_timeline.json"
-  ./build/tools/obs_schema_check bench BENCH_smoke.json
+  ./build/bench/bench_analyze --json BENCH_analyze.json >/dev/null
+  ./build/tools/obs_schema_check bench BENCH_smoke.json BENCH_analyze.json
   ./build/tools/obs_schema_check auto \
     "$art/analysis/profile.json" "$art/analysis/locks.json" \
-    "$art/analysis/heap.json"
+    "$art/analysis/heap.json" "$art/analysis/critpath.json" \
+    "$art/analysis/cachesim.json"
+  ./build/tools/obs_schema_check critpath "$art/analysis/critpath.json"
+  ./build/tools/obs_schema_check cachesim "$art/analysis/cachesim.json"
+  ./build/tools/dejavu report "$art/analysis/critpath.json" >/dev/null
+  ./build/tools/dejavu report "$art/analysis/cachesim.json" >/dev/null
   ./build/tools/obs_schema_check races "$art/races-analysis/races.json"
   ./build/tools/dejavu report "$art/races-analysis/races.json" >/dev/null
   ./build/tools/obs_schema_check collapsed "$art/analysis/profile.collapsed"
+
+  # A/B diff: two recordings of the same workload at different seeds; the
+  # delta report must render (exit 0 = both replays verified).
+  ./build/tools/dejavu record clock_mixer --seed 9 --out "$art/cm9.djv" \
+    >/dev/null
+  ./build/tools/dejavu analyze clock_mixer --diff "$art/cm.djv" \
+    "$art/cm9.djv" >/dev/null
+
+  # The seeded false-sharing corpus: the cache simulator must flag the hot
+  # line (false_sharing_lines >= 1 in the artifact).
+  ./build/tools/dejavu record false_sharing --seed 7 --out "$art/fs.djv" \
+    >/dev/null
+  ./build/tools/dejavu analyze false_sharing "$art/fs.djv" \
+    --out-dir "$art/fs-analysis" >/dev/null
+  ./build/tools/obs_schema_check cachesim "$art/fs-analysis/cachesim.json"
+  grep -Eq '"false_sharing_lines":0[,}]' "$art/fs-analysis/cachesim.json" && {
+    echo "false_sharing corpus: hot line not flagged"; exit 1; } || true
 
   echo "== obs slice: farm smoke (ingest -> run --jobs 4 -> report) =="
   # Record a small fleet (4 workloads x 5 seeds), ingest it into a sharded
@@ -86,10 +112,19 @@ check_obs_slice() {
   ./build/tools/obs_schema_check farm-manifest \
     "$farm/store"/shard-*/manifest.jsonl
 
+  # Outcome-cache GC: the --jobs runs above populated the cache; trim it to
+  # 5 entries and re-run -- the report must not change (cold entries are
+  # recomputed, hot ones reused).
+  ./build/tools/dejavu farm gc --store "$farm/store" --max-entries 5 \
+    >/dev/null
+  ./build/tools/dejavu farm run --store "$farm/store" --jobs 4 \
+    --out "$farm/report-gc.json" >/dev/null
+  cmp "$farm/report-j4.json" "$farm/report-gc.json"
+
   echo "== obs slice: sanitized (build-asan/, ASan+UBSan) =="
   cmake -B build-asan -S . -DDEJAVU_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$jobs" --target test_obs test_analysis \
-    bench_smoke
+    bench_smoke bench_analyze
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L obs
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L analysis
 }

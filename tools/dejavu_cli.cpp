@@ -4,6 +4,7 @@
 //   dejavu record <workload> [--seed N] [--out trace.djv] [--realtime]
 //   dejavu replay <workload> <trace.djv> [--strict]
 //   dejavu analyze <workload> <trace.djv> [--out-dir D] [--top N]
+//   dejavu analyze <workload> --diff <a.djv> <b.djv>   A/B regression report
 //   dejavu dump <trace.djv>
 //   dejavu diff <a.djv> <b.djv>
 //   dejavu verify <trace.djv>                offline integrity check
@@ -15,7 +16,9 @@
 //   dejavu farm ingest --store D --workload W [--seed N] <trace.djv>...
 //   dejavu farm ls --store D                 list the trace catalog
 //   dejavu farm run --store D [--jobs N] [--top N] [--no-cache] [--out report.json]
-//   dejavu farm gc --store D                 drop stale outcome-cache entries
+//   dejavu farm gc --store D [--max-entries N] [--max-bytes B]
+//                                            drop stale outcome-cache entries,
+//                                            then LRU-evict to the given caps
 //   dejavu farm report <report.json>         render a farm report
 //
 // Workloads are the built-in guest programs from src/workloads (listed by
@@ -34,15 +37,19 @@
 // are identical with them on or off.
 //
 // `analyze` replays a trace with the built-in analyzers (replay profiler,
-// lock-contention, heap-churn) attached through the engine's observer
-// fan-out and writes their artifacts; the replay is byte-identical to a
-// plain `replay` of the same trace. `report` renders an analysis artifact
-// or the DivergenceReport block embedded in a fuzz reproducer (.dvfz).
+// lock-contention, heap-churn, critical-path, cache simulator) attached
+// through the engine's observer fan-out and writes their artifacts; the
+// replay is byte-identical to a plain `replay` of the same trace.
+// `analyze --diff` runs the full suite on two traces of the same workload
+// and renders the artifact deltas ranked by regression. `report` renders an
+// analysis artifact or the DivergenceReport block embedded in a fuzz
+// reproducer (.dvfz).
 //
 // `farm` operates the replay farm (src/farm): `ingest` verifies traces and
 // files them into a sharded on-disk store, `run` fans replay + analysis
 // across a worker pool and writes a merged dejavu-farm-report-v1 whose
 // bytes are identical for any --jobs value, `report` renders one.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -52,6 +59,7 @@
 #include <optional>
 #include <set>
 #include <sstream>
+#include <vector>
 
 #include "src/debugger/debugger.hpp"
 #include "src/farm/outcome_cache.hpp"
@@ -94,6 +102,7 @@ bytecode::Program mk_env() { return workloads::env_reader(10); }
 bytecode::Program mk_mixer() { return workloads::clock_mixer(4, 60); }
 bytecode::Program mk_phil() { return workloads::philosophers(5, 20); }
 bytecode::Program mk_rw() { return workloads::readers_writers(3, 2, 50); }
+bytecode::Program mk_fs() { return workloads::false_sharing(40); }
 bytecode::Program mk_debugt() { return workloads::debug_target(); }
 
 const Entry kWorkloads[] = {
@@ -111,6 +120,7 @@ const Entry kWorkloads[] = {
     {"clock_mixer", "per-iteration wall-clock reads", mk_mixer},
     {"philosophers", "dining philosophers, ordered forks", mk_phil},
     {"readers_writers", "invariant-checking readers", mk_rw},
+    {"false_sharing", "one hot line vs a padded twin", mk_fs},
     {"debug_target", "shapes demo for the debugger", mk_debugt},
 };
 
@@ -265,6 +275,8 @@ int cmd_analyze(const std::string& name, const std::string& path,
   cfg.obs.analyze_locks = true;
   cfg.obs.analyze_heap = true;
   cfg.obs.analyze_races = races;
+  cfg.obs.analyze_critpath = true;
+  cfg.obs.analyze_cachesim = true;
   cfg.obs.analysis_top_n = top_n;
   // Non-strict by default: a diverged replay still yields (clearly
   // labelled) partial artifacts plus the forensics, which is what you want
@@ -285,6 +297,8 @@ int cmd_analyze(const std::string& name, const std::string& path,
   emit("profile.collapsed", rep.analysis.profile_collapsed);
   emit("locks.json", rep.analysis.locks_json);
   emit("heap.json", rep.analysis.heap_json);
+  emit("critpath.json", rep.analysis.critpath_json);
+  emit("cachesim.json", rep.analysis.cachesim_json);
   if (races) emit("races.json", rep.analysis.races_json);
   std::printf("flamegraph: flamegraph.pl %s/profile.collapsed > flame.svg\n",
               out_dir.c_str());
@@ -421,6 +435,271 @@ void render_races(const obs::JsonValue& doc) {
   }
 }
 
+void render_critpath(const obs::JsonValue& doc) {
+  std::printf("critical path: %.0f of %.0f instructions on path, "
+              "%.0f schedule switches\n",
+              num_or(doc, "critical_path_instrs"),
+              num_or(doc, "run_instr_count"), num_or(doc, "switches"));
+  const obs::JsonValue* threads = doc.find("threads");
+  if (threads != nullptr && threads->is_array()) {
+    std::printf("%6s %12s %12s %12s %12s\n", "tid", "running", "runnable",
+                "blocked", "waiting");
+    for (const obs::JsonValue& t : threads->items)
+      std::printf("%6.0f %12.0f %12.0f %12.0f %12.0f\n", num_or(t, "tid"),
+                  num_or(t, "running"), num_or(t, "runnable"),
+                  num_or(t, "blocked"), num_or(t, "waiting"));
+  }
+  const obs::JsonValue* path = doc.find("critical_path");
+  if (path != nullptr && path->is_array() && !path->items.empty()) {
+    std::printf("critical-path segments (chronological):\n");
+    for (const obs::JsonValue& s : path->items)
+      std::printf("  t%-4.0f [%10.0f, %10.0f) %8.0f instrs  %-10s %s\n",
+                  num_or(s, "tid"), num_or(s, "start"), num_or(s, "end"),
+                  num_or(s, "instrs"), str_or(s, "edge").c_str(),
+                  str_or(s, "method").c_str());
+  }
+  const obs::JsonValue* methods = doc.find("by_method");
+  if (methods != nullptr && methods->is_array() && !methods->items.empty()) {
+    std::printf("critical-path instructions by method:\n");
+    for (const obs::JsonValue& m : methods->items)
+      std::printf("%12.0f  %s\n", num_or(m, "instrs"),
+                  str_or(m, "method").c_str());
+  }
+  const obs::JsonValue* edges = doc.find("edge_kinds");
+  if (edges != nullptr && edges->is_array() && !edges->items.empty()) {
+    std::printf("dependency-edge kinds:\n");
+    for (const obs::JsonValue& e : edges->items)
+      std::printf("%12.0f  %s\n", num_or(e, "count"),
+                  str_or(e, "kind").c_str());
+  }
+}
+
+void render_cachesim(const obs::JsonValue& doc) {
+  double accesses = num_or(doc, "accesses");
+  double l1 = num_or(doc, "l1_misses");
+  double l2 = num_or(doc, "l2_misses");
+  std::printf("cache sim (%.0fB lines, L1 %.0fB/%.0f-way, L2 %.0fB/%.0f-way):"
+              "\n",
+              num_or(doc, "line_bytes"), num_or(doc, "l1_bytes"),
+              num_or(doc, "l1_ways"), num_or(doc, "l2_bytes"),
+              num_or(doc, "l2_ways"));
+  std::printf("  %.0f accesses (%.0f reads, %.0f writes), "
+              "L1 misses %.0f (%.1f%%), L2 misses %.0f (%.1f%%)\n",
+              accesses, num_or(doc, "reads"), num_or(doc, "writes"), l1,
+              accesses == 0 ? 0.0 : 100.0 * l1 / accesses, l2,
+              accesses == 0 ? 0.0 : 100.0 * l2 / accesses);
+  std::printf("  %.0f cross-thread shared line(s), %.0f false-sharing "
+              "candidate(s)\n",
+              num_or(doc, "shared_line_count"),
+              num_or(doc, "false_sharing_lines"));
+  const obs::JsonValue* sites = doc.find("by_site");
+  if (sites != nullptr && sites->is_array() && !sites->items.empty()) {
+    std::printf("%12s %10s %10s  %s\n", "accesses", "l1_miss", "l2_miss",
+                "site");
+    for (const obs::JsonValue& s : sites->items)
+      std::printf("%12.0f %10.0f %10.0f  %s\n", num_or(s, "accesses"),
+                  num_or(s, "l1_misses"), num_or(s, "l2_misses"),
+                  str_or(s, "site").c_str());
+  }
+  const obs::JsonValue* types = doc.find("by_type");
+  if (types != nullptr && types->is_array() && !types->items.empty()) {
+    std::printf("%12s %10s %10s  %s\n", "accesses", "l1_miss", "l2_miss",
+                "type");
+    for (const obs::JsonValue& t : types->items)
+      std::printf("%12.0f %10.0f %10.0f  %s\n", num_or(t, "accesses"),
+                  num_or(t, "l1_misses"), num_or(t, "l2_misses"),
+                  str_or(t, "class").c_str());
+  }
+  const obs::JsonValue* shared = doc.find("shared_lines");
+  if (shared != nullptr && shared->is_array() && !shared->items.empty()) {
+    std::printf("cross-thread shared lines (false-sharing candidates where "
+                "distinct_slots > 1):\n");
+    for (const obs::JsonValue& s : shared->items)
+      std::printf("  line %-8.0f %-16s accesses=%-8.0f threads=%-4.0f "
+                  "distinct_slots=%.0f\n",
+                  num_or(s, "line"), str_or(s, "class").c_str(),
+                  num_or(s, "accesses"), num_or(s, "threads"),
+                  num_or(s, "distinct_slots"));
+  }
+  const obs::JsonValue* by_class = doc.find("shared_by_class");
+  if (by_class != nullptr && by_class->is_array() &&
+      !by_class->items.empty()) {
+    std::printf("cross-thread sharing by class (fleet-merged):\n");
+    for (const obs::JsonValue& s : by_class->items)
+      std::printf("  %-20s lines=%-6.0f accesses=%-10.0f false_sharing=%.0f\n",
+                  str_or(s, "class").c_str(), num_or(s, "lines"),
+                  num_or(s, "accesses"), num_or(s, "false_sharing"));
+  }
+}
+
+// --- `dejavu analyze --diff` -- A/B regression report ----------------------
+
+// One keyed numeric series from an artifact's entry list ("methods" keyed by
+// "name", summing "instructions"; "by_site" keyed by "site", ...).
+std::map<std::string, double> keyed_series(const obs::JsonValue& doc,
+                                           const char* list_key,
+                                           const char* key_field,
+                                           const char* value_field) {
+  std::map<std::string, double> out;
+  const obs::JsonValue* list = doc.find(list_key);
+  if (list == nullptr || !list->is_array()) return out;
+  for (const obs::JsonValue& e : list->items) {
+    const obs::JsonValue* k = e.find(key_field);
+    if (k == nullptr) continue;
+    std::string key = k->is_string()
+                          ? k->string
+                          : std::to_string(uint64_t(k->number));
+    out[key] += num_or(e, value_field);
+  }
+  return out;
+}
+
+// Renders one scalar A/B comparison line.
+void diff_scalar(const char* label, double a, double b) {
+  std::printf("  %-28s %14.0f %14.0f %+14.0f\n", label, a, b, b - a);
+}
+
+// Renders the union of two keyed series ranked by regression (B - A,
+// largest increase first); ties and equal entries sort by key. Rows whose
+// delta is zero are skipped (they carry no A/B signal); at most top_n rows.
+void diff_table(const char* title, const std::map<std::string, double>& a,
+                const std::map<std::string, double>& b, uint32_t top_n) {
+  struct Row {
+    std::string key;
+    double a = 0, b = 0;
+  };
+  std::vector<Row> rows;
+  for (const auto& [k, v] : a) rows.push_back({k, v, 0});
+  for (const auto& [k, v] : b) {
+    bool found = false;
+    for (Row& r : rows) {
+      if (r.key == k) {
+        r.b = v;
+        found = true;
+        break;
+      }
+    }
+    if (!found) rows.push_back({k, 0, v});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& x, const Row& y) {
+    double dx = x.b - x.a, dy = y.b - y.a;
+    if (dx != dy) return dx > dy;
+    return x.key < y.key;
+  });
+  std::printf("  %s (ranked by regression B-A):\n", title);
+  std::printf("    %14s %14s %14s  %s\n", "A", "B", "delta", "key");
+  uint32_t emitted = 0;
+  for (const Row& r : rows) {
+    if (r.a == r.b) continue;
+    if (emitted++ >= top_n) break;
+    std::printf("    %14.0f %14.0f %+14.0f  %s\n", r.a, r.b, r.b - r.a,
+                r.key.c_str());
+  }
+  if (emitted == 0) std::printf("    (identical)\n");
+}
+
+// dejavu analyze --diff: replay two traces of the same workload with the
+// full analyzer suite and render the deltas, regression-ranked. Both
+// replays are ordinary perturbation-free analyze runs; the comparison is
+// pure post-processing on the five artifact kinds.
+int cmd_analyze_diff(const std::string& name, const std::string& path_a,
+                     const std::string& path_b, uint32_t top_n,
+                     unsigned io_jobs) {
+  const Entry* e = find_workload(name);
+  if (e == nullptr) {
+    std::fprintf(stderr, "unknown workload %s\n", name.c_str());
+    return 1;
+  }
+  auto run = [&](const std::string& path) {
+    replay::SymmetryConfig cfg;
+    cfg.io_jobs = io_jobs;
+    cfg.obs.analyze_profile = true;
+    cfg.obs.analyze_locks = true;
+    cfg.obs.analyze_heap = true;
+    cfg.obs.analyze_races = true;
+    cfg.obs.analyze_critpath = true;
+    cfg.obs.analyze_cachesim = true;
+    cfg.obs.analysis_top_n = top_n;
+    cfg.strict = false;
+    return replay::replay_file(e->make(), path, {}, cfg);
+  };
+  replay::ReplayResult ra = run(path_a);
+  replay::ReplayResult rb = run(path_b);
+  std::printf("analyze --diff %s\n  A: %s (%s)\n  B: %s (%s)\n", name.c_str(),
+              path_a.c_str(), ra.verified ? "verified" : "DIVERGED",
+              path_b.c_str(), rb.verified ? "verified" : "DIVERGED");
+
+  obs::JsonValue pa = obs::parse_json(ra.analysis.profile_json);
+  obs::JsonValue pb = obs::parse_json(rb.analysis.profile_json);
+  obs::JsonValue la = obs::parse_json(ra.analysis.locks_json);
+  obs::JsonValue lb = obs::parse_json(rb.analysis.locks_json);
+  obs::JsonValue ha = obs::parse_json(ra.analysis.heap_json);
+  obs::JsonValue hb = obs::parse_json(rb.analysis.heap_json);
+  obs::JsonValue ca = obs::parse_json(ra.analysis.critpath_json);
+  obs::JsonValue cb = obs::parse_json(rb.analysis.critpath_json);
+  obs::JsonValue sa = obs::parse_json(ra.analysis.cachesim_json);
+  obs::JsonValue sb = obs::parse_json(rb.analysis.cachesim_json);
+  obs::JsonValue za = obs::parse_json(ra.analysis.races_json);
+  obs::JsonValue zb = obs::parse_json(rb.analysis.races_json);
+
+  std::printf("profile:\n");
+  std::printf("  %-28s %14s %14s %14s\n", "", "A", "B", "delta");
+  diff_scalar("total_instructions", num_or(pa, "total_instructions"),
+              num_or(pb, "total_instructions"));
+  diff_scalar("total_yield_points", num_or(pa, "total_yield_points"),
+              num_or(pb, "total_yield_points"));
+  diff_table("method instructions",
+             keyed_series(pa, "methods", "name", "instructions"),
+             keyed_series(pb, "methods", "name", "instructions"), top_n);
+
+  std::printf("locks:\n");
+  diff_table("monitor contended blocks",
+             keyed_series(la, "monitors", "id", "contended_blocks"),
+             keyed_series(lb, "monitors", "id", "contended_blocks"), top_n);
+  diff_table("monitor block time",
+             keyed_series(la, "monitors", "id", "block_total"),
+             keyed_series(lb, "monitors", "id", "block_total"), top_n);
+
+  std::printf("heap:\n");
+  std::printf("  %-28s %14s %14s %14s\n", "", "A", "B", "delta");
+  diff_scalar("allocs", num_or(ha, "allocs"), num_or(hb, "allocs"));
+  diff_scalar("reads", num_or(ha, "reads"), num_or(hb, "reads"));
+  diff_scalar("writes", num_or(ha, "writes"), num_or(hb, "writes"));
+  diff_table("allocations by type",
+             keyed_series(ha, "by_type", "class", "count"),
+             keyed_series(hb, "by_type", "class", "count"), top_n);
+
+  std::printf("critpath:\n");
+  std::printf("  %-28s %14s %14s %14s\n", "", "A", "B", "delta");
+  diff_scalar("critical_path_instrs", num_or(ca, "critical_path_instrs"),
+              num_or(cb, "critical_path_instrs"));
+  diff_scalar("switches", num_or(ca, "switches"), num_or(cb, "switches"));
+  diff_table("per-thread blocked time",
+             keyed_series(ca, "threads", "tid", "blocked"),
+             keyed_series(cb, "threads", "tid", "blocked"), top_n);
+  diff_table("critical-path method instrs",
+             keyed_series(ca, "by_method", "method", "instrs"),
+             keyed_series(cb, "by_method", "method", "instrs"), top_n);
+
+  std::printf("cachesim:\n");
+  std::printf("  %-28s %14s %14s %14s\n", "", "A", "B", "delta");
+  diff_scalar("accesses", num_or(sa, "accesses"), num_or(sb, "accesses"));
+  diff_scalar("l1_misses", num_or(sa, "l1_misses"), num_or(sb, "l1_misses"));
+  diff_scalar("l2_misses", num_or(sa, "l2_misses"), num_or(sb, "l2_misses"));
+  diff_scalar("false_sharing_lines", num_or(sa, "false_sharing_lines"),
+              num_or(sb, "false_sharing_lines"));
+  diff_table("site L1 misses",
+             keyed_series(sa, "by_site", "site", "l1_misses"),
+             keyed_series(sb, "by_site", "site", "l1_misses"), top_n);
+
+  std::printf("races:\n");
+  std::printf("  %-28s %14s %14s %14s\n", "", "A", "B", "delta");
+  diff_scalar("race_count", num_or(za, "race_count"), num_or(zb, "race_count"));
+  diff_scalar("dynamic_count", num_or(za, "dynamic_count"),
+              num_or(zb, "dynamic_count"));
+  return ra.verified && rb.verified ? 0 : 1;
+}
+
 // dejavu report: render whatever the file holds -- an analysis artifact
 // (standalone JSON with a "schema" member) or the DivergenceReport embedded
 // in a fuzz reproducer (.dvfz) / any file containing a "dvrep 1" block.
@@ -442,6 +721,8 @@ int cmd_report(const std::string& path) {
       if (schema == "dejavu-locks-v1") return render_locks(doc), 0;
       if (schema == "dejavu-heap-v1") return render_heap(doc), 0;
       if (schema == "dejavu-races-v1") return render_races(doc), 0;
+      if (schema == "dejavu-critpath-v1") return render_critpath(doc), 0;
+      if (schema == "dejavu-cachesim-v1") return render_cachesim(doc), 0;
       if (schema == farm::kFarmReportSchema)
         return std::fputs(farm::render_farm_report(text).c_str(), stdout), 0;
     } catch (const VmError&) {
@@ -632,15 +913,26 @@ int cmd_farm_ls(const std::string& store_dir, uint32_t top_n) {
   return 0;
 }
 
-int cmd_farm_gc(const std::string& store_dir, uint32_t top_n) {
+int cmd_farm_gc(const std::string& store_dir, uint32_t top_n,
+                uint64_t max_entries, uint64_t max_bytes) {
   farm::TraceStore store(store_dir);
   farm::FarmOptions fo;
   fo.top_n = top_n;
-  farm::CacheScan scan =
-      farm::gc_outcome_cache(store.root(), farm::outcome_config_hash(fo));
+  uint64_t config_hash = farm::outcome_config_hash(fo);
+  farm::CacheScan scan = farm::gc_outcome_cache(store.root(), config_hash);
   std::printf("farm gc: removed %llu stale cache entr%s, kept %llu\n",
               (unsigned long long)scan.stale, scan.stale == 1 ? "y" : "ies",
               (unsigned long long)scan.current);
+  if (max_entries > 0 || max_bytes > 0) {
+    farm::CacheLruResult lru = farm::lru_gc_outcome_cache(
+        store.root(), config_hash, max_entries, max_bytes);
+    std::printf("farm gc: LRU kept %llu entr%s (%llu B), evicted %llu "
+                "(%llu B)\n",
+                (unsigned long long)lru.kept, lru.kept == 1 ? "y" : "ies",
+                (unsigned long long)lru.kept_bytes,
+                (unsigned long long)lru.evicted,
+                (unsigned long long)lru.evicted_bytes);
+  }
   return 0;
 }
 
@@ -737,6 +1029,7 @@ int main(int argc, char** argv) {
                   "| replay <w> <F> [--strict] [--io-jobs N] "
                   "| analyze <w> <F> [--out-dir D] [--top N] [--strict] "
                   "[--races] "
+                  "| analyze <w> --diff <A> <B> [--top N] "
                   "| dump <F> | diff <A> <B> "
                   "| verify <F> | convert <IN> <OUT> [--v5] "
                   "| sweep <w> [--seeds N] "
@@ -749,17 +1042,22 @@ int main(int argc, char** argv) {
                   "| farm ingest --store D --workload W [--seed N] <F>... "
                   "| farm ls --store D "
                   "| farm run --store D [--jobs N] [--top N] [--no-cache] [--out F] "
-                  "| farm gc --store D [--top N] "
+                  "| farm gc --store D [--top N] [--max-entries N] "
+                  "[--max-bytes B] "
                   "| farm report <F>\n"
                   "replay runs non-strict by default (diverged runs still "
                   "report stats + forensics); --strict fails fast at the "
                   "first violation.\n"
-                  "analyze replays with the profiler, lock-contention and "
-                  "heap-churn analyzers attached and writes profile.json, "
-                  "profile.collapsed, locks.json, heap.json to --out-dir "
+                  "analyze replays with the profiler, lock-contention, "
+                  "heap-churn, critical-path and cache-simulator analyzers "
+                  "attached and writes profile.json, profile.collapsed, "
+                  "locks.json, heap.json, critpath.json, cachesim.json to "
+                  "--out-dir "
                   "(default /tmp/dejavu-analysis); --races additionally "
                   "attaches the happens-before race detector and writes "
-                  "races.json. `report <artifact>` renders them. With "
+                  "races.json. `analyze <w> --diff A B` replays both traces "
+                  "and renders the artifact deltas ranked by regression. "
+                  "`report <artifact>` renders them. With "
                   "--strict the first violation is reported but the run "
                   "completes so the artifacts are whole (flagged "
                   "post_violation).\n"
@@ -785,6 +1083,16 @@ int main(int argc, char** argv) {
                         unsigned(std::stoul(flag_value("--io-jobs", "1"))),
                         tel);
     if (args[0] == "analyze" && args.size() >= 3) {
+      // analyze <w> --diff <A> <B>: A/B regression report instead of
+      // artifact emission.
+      for (size_t i = 2; i + 2 < args.size(); ++i) {
+        if (args[i] == "--diff") {
+          return cmd_analyze_diff(
+              args[1], args[i + 1], args[i + 2],
+              uint32_t(std::stoul(flag_value("--top", "10"))),
+              unsigned(std::stoul(flag_value("--io-jobs", "1"))));
+        }
+      }
       return cmd_analyze(args[1], args[2],
                          flag_value("--out-dir", "/tmp/dejavu-analysis"),
                          uint32_t(std::stoul(flag_value("--top", "10"))),
@@ -854,8 +1162,10 @@ int main(int argc, char** argv) {
         return cmd_farm_ls(store_dir,
                            uint32_t(std::stoul(flag_value("--top", "10"))));
       if (verb == "gc")
-        return cmd_farm_gc(store_dir,
-                           uint32_t(std::stoul(flag_value("--top", "10"))));
+        return cmd_farm_gc(
+            store_dir, uint32_t(std::stoul(flag_value("--top", "10"))),
+            uint64_t(std::stoull(flag_value("--max-entries", "0"))),
+            uint64_t(std::stoull(flag_value("--max-bytes", "0"))));
       if (verb == "run") {
         return cmd_farm_run(
             store_dir, unsigned(std::stoul(flag_value("--jobs", "1"))),

@@ -10,6 +10,8 @@
 //   locks      dejavu-locks-v1 (lock-contention analyzer)
 //   heap       dejavu-heap-v1 (heap-churn analyzer)
 //   races      dejavu-races-v1 (happens-before race detector)
+//   critpath   dejavu-critpath-v1 (critical-path / blocked-time analyzer)
+//   cachesim   dejavu-cachesim-v1 (replay-time cache simulator)
 //   collapsed  Brendan Gregg collapsed-stack text (flamegraph.pl input)
 //   farm-report    dejavu-farm-report-v1 (`dejavu farm run`); the embedded
 //                  merged metrics/profile/locks/heap documents are checked
@@ -351,6 +353,118 @@ void check_races(const std::string& file, const JsonValue& doc) {
   }
 }
 
+void check_critpath(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-critpath-v1")
+    fail(file, "schema is not dejavu-critpath-v1");
+  for (const char* k :
+       {"run_instr_count", "switches", "critical_path_instrs"})
+    need(file, doc, k, JsonValue::Type::kNumber, "top");
+  need(file, doc, "verified", JsonValue::Type::kBool, "top");
+  need(file, doc, "post_violation", JsonValue::Type::kBool, "top");
+  const JsonValue& threads =
+      need(file, doc, "threads", JsonValue::Type::kArray, "top");
+  size_t i = 0;
+  for (const JsonValue& t : threads.items) {
+    std::string where = "threads[" + std::to_string(i++) + "]";
+    if (!t.is_object()) fail(file, where + " is not an object");
+    for (const char* k : {"tid", "running", "runnable", "blocked", "waiting"})
+      need(file, t, k, JsonValue::Type::kNumber, where);
+  }
+  // Per-run documents carry the trace-local segment list; merged documents
+  // drop it (instruction indices don't compare across traces) and carry a
+  // merged_runs count instead.
+  const JsonValue* path = doc.find("critical_path");
+  if (path != nullptr) {
+    if (!path->is_array()) fail(file, "critical_path is not an array");
+    i = 0;
+    for (const JsonValue& s : path->items) {
+      std::string where = "critical_path[" + std::to_string(i++) + "]";
+      if (!s.is_object()) fail(file, where + " is not an object");
+      for (const char* k : {"tid", "start", "end", "instrs"})
+        need(file, s, k, JsonValue::Type::kNumber, where);
+      need(file, s, "method", JsonValue::Type::kString, where);
+      need(file, s, "edge", JsonValue::Type::kString, where);
+    }
+  } else {
+    need(file, doc, "merged_runs", JsonValue::Type::kNumber, "top");
+  }
+  const JsonValue& methods =
+      need(file, doc, "by_method", JsonValue::Type::kArray, "top");
+  i = 0;
+  for (const JsonValue& m : methods.items) {
+    std::string where = "by_method[" + std::to_string(i++) + "]";
+    if (!m.is_object()) fail(file, where + " is not an object");
+    need(file, m, "method", JsonValue::Type::kString, where);
+    need(file, m, "instrs", JsonValue::Type::kNumber, where);
+  }
+  const JsonValue& edges =
+      need(file, doc, "edge_kinds", JsonValue::Type::kArray, "top");
+  i = 0;
+  for (const JsonValue& e : edges.items) {
+    std::string where = "edge_kinds[" + std::to_string(i++) + "]";
+    if (!e.is_object()) fail(file, where + " is not an object");
+    need(file, e, "kind", JsonValue::Type::kString, where);
+    need(file, e, "count", JsonValue::Type::kNumber, where);
+  }
+}
+
+void check_cachesim(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-cachesim-v1")
+    fail(file, "schema is not dejavu-cachesim-v1");
+  for (const char* k :
+       {"line_bytes", "l1_bytes", "l1_ways", "l2_bytes", "l2_ways",
+        "accesses", "reads", "writes", "l1_misses", "l2_misses",
+        "shared_line_count", "false_sharing_lines", "run_instr_count"})
+    need(file, doc, k, JsonValue::Type::kNumber, "top");
+  need(file, doc, "verified", JsonValue::Type::kBool, "top");
+  need(file, doc, "post_violation", JsonValue::Type::kBool, "top");
+  auto check_sites = [&](const char* list_key, const char* name_key) {
+    const JsonValue& list =
+        need(file, doc, list_key, JsonValue::Type::kArray, "top");
+    size_t i = 0;
+    for (const JsonValue& s : list.items) {
+      std::string where =
+          std::string(list_key) + "[" + std::to_string(i++) + "]";
+      if (!s.is_object()) fail(file, where + " is not an object");
+      need(file, s, name_key, JsonValue::Type::kString, where);
+      for (const char* k : {"accesses", "l1_misses", "l2_misses"})
+        need(file, s, k, JsonValue::Type::kNumber, where);
+    }
+  };
+  check_sites("by_site", "site");
+  check_sites("by_type", "class");
+  // Per-run documents report concrete shared lines (trace-local synthetic
+  // line indices); merged documents re-key by class and carry merged_runs.
+  const JsonValue* shared = doc.find("shared_lines");
+  if (shared != nullptr) {
+    if (!shared->is_array()) fail(file, "shared_lines is not an array");
+    size_t i = 0;
+    for (const JsonValue& s : shared->items) {
+      std::string where = "shared_lines[" + std::to_string(i++) + "]";
+      if (!s.is_object()) fail(file, where + " is not an object");
+      need(file, s, "class", JsonValue::Type::kString, where);
+      for (const char* k : {"line", "accesses", "threads", "distinct_slots"})
+        need(file, s, k, JsonValue::Type::kNumber, where);
+    }
+  } else {
+    need(file, doc, "merged_runs", JsonValue::Type::kNumber, "top");
+    const JsonValue& by_class =
+        need(file, doc, "shared_by_class", JsonValue::Type::kArray, "top");
+    size_t i = 0;
+    for (const JsonValue& s : by_class.items) {
+      std::string where = "shared_by_class[" + std::to_string(i++) + "]";
+      if (!s.is_object()) fail(file, where + " is not an object");
+      need(file, s, "class", JsonValue::Type::kString, where);
+      for (const char* k : {"lines", "accesses", "false_sharing"})
+        need(file, s, k, JsonValue::Type::kNumber, where);
+    }
+  }
+}
+
 void check_farm_report(const std::string& file, const JsonValue& doc) {
   if (!doc.is_object()) fail(file, "top level is not an object");
   if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
@@ -398,6 +512,8 @@ void check_farm_report(const std::string& file, const JsonValue& doc) {
   sub("merged_locks", check_locks);
   sub("merged_heap", check_heap);
   sub("merged_races", check_races);
+  sub("merged_critpath", check_critpath);
+  sub("merged_cachesim", check_cachesim);
   const JsonValue& methods =
       need(file, doc, "top_methods", JsonValue::Type::kArray, "top");
   i = 0;
@@ -496,6 +612,8 @@ std::string sniff_kind(const JsonValue& doc) {
   if (schema->string == "dejavu-locks-v1") return "locks";
   if (schema->string == "dejavu-heap-v1") return "heap";
   if (schema->string == "dejavu-races-v1") return "races";
+  if (schema->string == "dejavu-critpath-v1") return "critpath";
+  if (schema->string == "dejavu-cachesim-v1") return "cachesim";
   if (schema->string == "dejavu-farm-report-v1") return "farm-report";
   // A schema header we do not know is a drift, not a skip: report it so
   // the caller fails loudly instead of rubber-stamping the artifact.
@@ -508,8 +626,8 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: obs_schema_check "
-                 "<metrics|timeline|bench|profile|locks|heap|races|collapsed"
-                 "|farm-report|farm-manifest|auto> "
+                 "<metrics|timeline|bench|profile|locks|heap|races|critpath"
+                 "|cachesim|collapsed|farm-report|farm-manifest|auto> "
                  "<file>...\n");
     return 2;
   }
@@ -551,6 +669,10 @@ int main(int argc, char** argv) {
       check_heap(file, doc);
     } else if (k == "races") {
       check_races(file, doc);
+    } else if (k == "critpath") {
+      check_critpath(file, doc);
+    } else if (k == "cachesim") {
+      check_cachesim(file, doc);
     } else if (k == "farm-report") {
       check_farm_report(file, doc);
     } else if (k.rfind("unknown-schema:", 0) == 0) {
