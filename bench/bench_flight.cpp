@@ -1,0 +1,119 @@
+// The flight-recorder bench: what does "always-on" cost? One workload, three
+// configurations --
+//
+//   bare     the VM alone, no engine attached (the floor)
+//   flight   recording into the bounded in-memory ring, sealed at exit
+//   full     recording the whole trace to a file (the classic sink)
+//
+// The claim under test: flight recording prices like full recording on CPU
+// (same instrumented path; the ring only reframes the same bytes) while its
+// storage cost is O(window) resident bytes and ZERO trace bytes on disk
+// until a seal, versus the full sink's O(run) file.
+//
+// Emits the shared "dejavu-bench-v1" sidecar; tools/check.sh runs this to
+// produce BENCH_flight.json. Deliberately small enough for CI.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_json.hpp"
+#include "bench/bench_util.hpp"
+#include "src/flight/session.hpp"
+
+using namespace dejavu;
+using namespace dejavu::bench;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void run_row(BenchSidecar& sc, const char* name,
+             const bytecode::Program& prog, uint64_t seed) {
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  const std::string full_path = dir + "/dejavu_bench_flight_full.djv";
+  const std::string tail_path = dir + "/dejavu_bench_flight_tail.djv";
+
+  // Bare: the uninstrumented floor.
+  auto t0 = std::chrono::steady_clock::now();
+  uint64_t instrs = 0;
+  {
+    vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+    threads::VirtualTimer timer(seed, 40, 400);
+    vm::NativeRegistry natives = make_natives();
+    vm::Vm v(prog, {}, env, timer, nullptr, &natives);
+    v.run();
+    instrs = v.summary().instr_count;
+  }
+  double bare_ms = ms_since(t0);
+
+  // Full-trace sink: every chunk streams to the file as the run proceeds.
+  t0 = std::chrono::steady_clock::now();
+  {
+    vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+    threads::VirtualTimer timer(seed, 40, 400);
+    vm::NativeRegistry natives = make_natives();
+    replay::record_run_to(full_path, prog, {}, env, timer, &natives, {});
+  }
+  double full_ms = ms_since(t0);
+  uint64_t trace_bytes = std::filesystem::file_size(full_path);
+
+  // Flight ring: bounded window in memory, sealed once at exit.
+  t0 = std::chrono::steady_clock::now();
+  flight::FlightRecordResult fr;
+  {
+    vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+    threads::VirtualTimer timer(seed, 40, 400);
+    vm::NativeRegistry natives = make_natives();
+    fr = flight::record_flight(tail_path, prog, {}, env, timer,
+                               flight::FlightConfig{4, 16}, &natives, {});
+  }
+  double flight_ms = ms_since(t0);
+  uint64_t tail_bytes = std::filesystem::file_size(tail_path);
+
+  std::printf("%-18s %8llu instrs  bare %7.2fms  flight %7.2fms  "
+              "full %7.2fms  ring %llu B (%llu ckpt)  tail %lluB  "
+              "trace %lluB\n",
+              name, (unsigned long long)instrs, bare_ms, flight_ms, full_ms,
+              (unsigned long long)fr.flight.bytes_retained,
+              (unsigned long long)fr.flight.checkpoints,
+              (unsigned long long)tail_bytes,
+              (unsigned long long)trace_bytes);
+
+  sc.add(name,
+         {{"instrs", double(instrs)},
+          {"bare_ms", bare_ms},
+          {"flight_ms", flight_ms},
+          {"full_ms", full_ms},
+          {"flight_overhead_pct",
+           bare_ms > 0 ? 100.0 * (flight_ms - bare_ms) / bare_ms : 0},
+          {"full_overhead_pct",
+           bare_ms > 0 ? 100.0 * (full_ms - bare_ms) / bare_ms : 0},
+          {"ring_bytes", double(fr.flight.bytes_retained)},
+          {"ring_bytes_retired", double(fr.flight.bytes_retired)},
+          {"checkpoints", double(fr.flight.checkpoints)},
+          {"tail_bytes", double(tail_bytes)},
+          {"trace_bytes", double(trace_bytes)}});
+
+  std::filesystem::remove(full_path);
+  std::filesystem::remove(tail_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchSidecar sc = BenchSidecar::from_args(&argc, argv, "bench_flight");
+  rule('=');
+  std::printf("flight recorder: bare VM vs flight ring vs full-trace sink\n");
+  rule('=');
+  run_row(sc, "counter_locked", workloads::counter_locked(4, 200), 7);
+  run_row(sc, "clock_mixer", workloads::clock_mixer(3, 40), 5);
+  run_row(sc, "alloc_churn", workloads::alloc_churn(500, 8, 4), 3);
+  rule();
+  sc.write();
+  return 0;
+}

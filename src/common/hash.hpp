@@ -36,6 +36,11 @@ class Fnv1a {
   uint64_t digest() const { return h_; }
   void reset() { h_ = kOffset; }
 
+  // Raw accumulator access: checkpoints persist the mid-run hash state so a
+  // resumed execution continues toward the same final digest.
+  uint64_t state() const { return h_; }
+  void set_state(uint64_t s) { h_ = s; }
+
  private:
   uint64_t h_ = kOffset;
 };

@@ -4,6 +4,7 @@
 
 #include "src/common/check.hpp"
 #include "src/farm/outcome_cache.hpp"
+#include "src/flight/session.hpp"
 #include "src/farm/worker_pool.hpp"
 #include "src/obs/analysis/merge.hpp"
 
@@ -68,8 +69,17 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
       cfg.obs.analyze_critpath = true;
       cfg.obs.analyze_cachesim = true;
       cfg.obs.analysis_top_n = opts.top_n;
-      replay::ReplayResult r =
-          replay::replay_file(*prog, store.resolve(records[i]), {}, cfg);
+      replay::ReplayResult r;
+      if (records[i].flight) {
+        // Flight tails resume from their embedded checkpoint; a crash tail
+        // reproducing its recorded VmError is a *faithful* replay, so the
+        // verdict comes from verification, same as any other trace.
+        flight::TailReplayResult tr = flight::replay_tail_file(
+            *prog, store.resolve(records[i]), {}, cfg);
+        r = std::move(tr.replay);
+      } else {
+        r = replay::replay_file(*prog, store.resolve(records[i]), {}, cfg);
+      }
       slot.verdict = classify(r);
       slot.violations = r.stats.symmetry_violations;
       slot.first_violation = r.stats.first_violation;
@@ -108,6 +118,13 @@ FarmRunResult run_farm(const TraceStore& store, const FarmOptions& opts) {
   if (races.runs() > 0) out.merged_races = races.artifact();
   if (critpath.runs() > 0) out.merged_critpath = critpath.artifact();
   if (cachesim.runs() > 0) out.merged_cachesim = cachesim.artifact();
+
+  // Disk-budget enforcement: after the run (so this run's outcomes were
+  // eligible to persist), LRU-evict the outcome cache down to the cap.
+  if (opts.cache && opts.cache_max_bytes > 0) {
+    lru_gc_outcome_cache(store.root(), outcome_config_hash(opts), 0,
+                         opts.cache_max_bytes);
+  }
   return out;
 }
 

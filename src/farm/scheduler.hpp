@@ -40,6 +40,11 @@ struct FarmOptions {
   // with the same analyzer configuration (see outcome_cache.hpp). The
   // merged report is byte-identical either way; --no-cache turns it off.
   bool cache = true;
+  // Outcome-cache disk budget (--cache-max-bytes; 0 = unlimited). Enforced
+  // after the run by LRU-evicting current-config entries down to the cap
+  // (stale-config entries were already GC'd). Deliberately excluded from
+  // outcome_config_hash: shrinking the budget must not re-key the cache.
+  uint64_t cache_max_bytes = 0;
   // Maps a catalog entry's workload label to its program. Called once per
   // trace on a worker thread, so it must be thread-safe (the CLI's
   // workload factories are pure). Returning nullopt marks the trace

@@ -36,6 +36,13 @@ uint64_t entry_num(const obs::JsonValue& v, const char* k) {
   return uint64_t(m->number);
 }
 
+// Fields added after v1 manifests shipped read back with a default, so an
+// old store keeps loading (append-only compatibility).
+uint64_t entry_num_or(const obs::JsonValue& v, const char* k, uint64_t dflt) {
+  const obs::JsonValue* m = v.find(k);
+  return m != nullptr && m->is_number() ? uint64_t(m->number) : dflt;
+}
+
 std::string entry_str(const obs::JsonValue& v, const char* k) {
   const obs::JsonValue* m = v.find(k);
   if (m == nullptr || !m->is_string())
@@ -83,6 +90,7 @@ void TraceStore::load_manifest(int shard) {
     r.instr_count = entry_num(v, "instr_count");
     r.preempt_switches = entry_num(v, "preempt_switches");
     r.nd_events = entry_num(v, "nd_events");
+    r.flight = entry_num_or(v, "flight", 0) != 0;
     records_.push_back(std::move(r));
     (void)lineno;
   }
@@ -114,6 +122,7 @@ void TraceStore::append_entry(int shard, const TraceRecord& r) {
       .kv("instr_count", r.instr_count)
       .kv("preempt_switches", r.preempt_switches)
       .kv("nd_events", r.nd_events)
+      .kv("flight", uint64_t(r.flight ? 1 : 0))
       .end_object();
   out << w.str() << "\n";
 }
@@ -148,6 +157,7 @@ IngestResult TraceStore::ingest(const std::string& path,
   r.instr_count = source->meta().final_instr_count;
   r.preempt_switches = source->meta().preempt_switches;
   r.nd_events = source->meta().nd_events;
+  r.flight = !source->flight_chunk().empty();
 
   std::filesystem::create_directories(shard_dir(shard));
   {

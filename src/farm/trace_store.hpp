@@ -38,6 +38,10 @@ struct TraceRecord {
   uint64_t instr_count = 0;       // from the trace meta block
   uint64_t preempt_switches = 0;
   uint64_t nd_events = 0;
+  // The trace is a sealed flight-recorder tail (kFlight chunk present);
+  // the farm replays it resumed from its embedded checkpoint. Manifests
+  // written before this field default it to false on load.
+  bool flight = false;
 };
 
 struct IngestResult {

@@ -1,0 +1,316 @@
+#include "src/flight/flight.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.hpp"
+#include "src/common/io.hpp"
+
+namespace dejavu::flight {
+
+using replay::LaneId;
+using replay::StreamId;
+
+namespace {
+
+void json_escape_to(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (uint8_t(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+// Frame one chunk exactly as the container sinks do:
+// [wire_id][payload_len le][payload][crc32 le].
+std::vector<uint8_t> frame(uint8_t wire_id, const uint8_t* payload, size_t n) {
+  ByteWriter w;
+  w.put_u8(wire_id);
+  w.put_u32_fixed(uint32_t(n));
+  w.put_bytes(payload, n);
+  w.put_u32_fixed(replay::chunk_crc(wire_id, payload, n));
+  return w.take();
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- FlightInfo
+
+std::vector<uint8_t> FlightInfo::encode() const {
+  ByteWriter w;
+  w.put_string(kFlightSchema);
+  w.put_u8(has_checkpoint ? 1 : 0);
+  w.put_uvarint(window_epochs);
+  w.put_uvarint(epoch_preempts);
+  w.put_uvarint(epochs_retained);
+  w.put_uvarint(epochs_retired);
+  w.put_uvarint(bytes_retired);
+  w.put_string(seal_reason);
+  w.put_uvarint(checkpoint_clock);
+  w.put_uvarint(checkpoint_instr);
+  w.put_uvarint(checkpoint.size());
+  w.put_bytes(checkpoint.data(), checkpoint.size());
+  return w.take();
+}
+
+FlightInfo FlightInfo::decode(const std::vector<uint8_t>& payload) {
+  ByteReader r(payload);
+  FlightInfo info;
+  std::string schema = r.get_string();
+  DV_CHECK_MSG(schema == kFlightSchema,
+               "unknown flight descriptor schema '" << schema << "'");
+  info.has_checkpoint = r.get_u8() != 0;
+  info.window_epochs = uint32_t(r.get_uvarint());
+  info.epoch_preempts = uint32_t(r.get_uvarint());
+  info.epochs_retained = r.get_uvarint();
+  info.epochs_retired = r.get_uvarint();
+  info.bytes_retired = r.get_uvarint();
+  info.seal_reason = r.get_string();
+  info.checkpoint_clock = r.get_uvarint();
+  info.checkpoint_instr = r.get_uvarint();
+  size_t n = size_t(r.get_uvarint());
+  info.checkpoint.resize(n);
+  r.get_bytes(info.checkpoint.data(), n);
+  DV_CHECK_MSG(r.at_end(), "trailing bytes in flight descriptor");
+  DV_CHECK_MSG(info.has_checkpoint == !info.checkpoint.empty(),
+               "flight descriptor checkpoint flag disagrees with payload");
+  return info;
+}
+
+std::string FlightInfo::describe() const {
+  std::ostringstream os;
+  os << "flight tail: window " << window_epochs << " epoch(s) x "
+     << epoch_preempts << " preempt(s), retained " << epochs_retained
+     << ", retired " << epochs_retired << " (" << bytes_retired
+     << " bytes), seal reason \"" << seal_reason << "\", ";
+  if (has_checkpoint) {
+    os << "resume checkpoint at clock " << checkpoint_clock << " / instr "
+       << checkpoint_instr << " (" << checkpoint.size() << " bytes)";
+  } else {
+    os << "no checkpoint (run shorter than one epoch; tail is the full "
+          "trace)";
+  }
+  return os.str();
+}
+
+std::string FlightInfo::describe_json() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"" << kFlightSchema << "\""
+     << ",\"has_checkpoint\":" << (has_checkpoint ? "true" : "false")
+     << ",\"window_epochs\":" << window_epochs
+     << ",\"epoch_preempts\":" << epoch_preempts
+     << ",\"epochs_retained\":" << epochs_retained
+     << ",\"epochs_retired\":" << epochs_retired
+     << ",\"bytes_retired\":" << bytes_retired << ",\"seal_reason\":\"";
+  json_escape_to(os, seal_reason);
+  os << "\",\"checkpoint_clock\":" << checkpoint_clock
+     << ",\"checkpoint_instr\":" << checkpoint_instr
+     << ",\"checkpoint_bytes\":" << checkpoint.size() << "}";
+  return os.str();
+}
+
+// ------------------------------------------------------- FlightRecorder
+
+FlightRecorder::FlightRecorder(uint32_t version, uint32_t lanes,
+                               FlightConfig cfg)
+    : version_(version), lanes_(lanes == 0 ? 1 : lanes), cfg_(cfg) {
+  DV_CHECK_MSG(cfg_.window_epochs >= 1, "flight window must be >= 1 epoch");
+  DV_CHECK_MSG(lanes_ <= replay::kMaxLanes, "flight lane count out of range");
+  c_checkpoints_ = registry_.counter("flight.checkpoints");
+  c_epochs_retired_ = registry_.counter("flight.epochs.retired");
+  c_bytes_retired_ = registry_.counter("flight.bytes.retired");
+  g_epochs_retained_ = registry_.gauge("flight.epochs.retained");
+  g_bytes_retained_ = registry_.gauge("flight.bytes.retained");
+  // Epoch 0: execution from boot until the first checkpoint. It carries no
+  // checkpoint -- if the run ends inside it, the tail is simply the whole
+  // trace and replays from the beginning.
+  epochs_.emplace_back();
+  g_epochs_retained_->set(1);
+}
+
+void FlightRecorder::write_chunk(StreamId id, const uint8_t* payload,
+                                 size_t n, LaneId lane) {
+  DV_CHECK_MSG(!sealed_, "write_chunk on a sealed flight recorder");
+  if (id == StreamId::kMeta) {
+    // The engine's writer emits the meta chunk at finish; keep the payload
+    // for the tail instead of storing it in an epoch -- the seal path
+    // appends it last, where every reader expects it.
+    meta_payload_.assign(payload, payload + n);
+    meta_seen_ = true;
+    return;
+  }
+  if (id == StreamId::kSeal) {
+    // The writer's seal totals cover the whole run; the tail's cover only
+    // the retained window. Swallow it -- seal_to_file recomputes.
+    return;
+  }
+  uint8_t wire = replay::wire_stream_id(id, lane);
+  Epoch& e = epochs_.back();
+  e.chunks.push_back(frame(wire, payload, n));
+  e.wire_ids.push_back(wire);
+  e.payload_lens.push_back(uint32_t(n));
+  uint64_t framed = e.chunks.back().size();
+  e.framed_bytes += framed;
+  bytes_retained_ += framed;
+  g_bytes_retained_->set(int64_t(bytes_retained_));
+}
+
+void FlightRecorder::begin_epoch(std::vector<uint8_t> checkpoint,
+                                 uint64_t clock, uint64_t instr) {
+  DV_CHECK_MSG(!sealed_, "begin_epoch on a sealed flight recorder");
+  DV_CHECK_MSG(!checkpoint.empty(), "epoch boundary without a checkpoint");
+  Epoch e;
+  e.has_checkpoint = true;
+  e.checkpoint = std::move(checkpoint);
+  e.clock = clock;
+  e.instr = instr;
+  epochs_.push_back(std::move(e));
+  c_checkpoints_->add();
+  retire_old_epochs();
+  g_epochs_retained_->set(int64_t(epochs_.size()));
+}
+
+void FlightRecorder::retire_old_epochs() {
+  // The window's first epoch must carry a checkpoint (it is where tail
+  // replay resumes), so epoch 0 -- the only checkpoint-less epoch -- is
+  // only retired once a checkpointed successor can take its place; that is
+  // every successor, so the guard only matters for the start-up window.
+  while (epochs_.size() > cfg_.window_epochs &&
+         epochs_[1].has_checkpoint) {
+    const Epoch& victim = epochs_.front();
+    bytes_retired_ += victim.framed_bytes;
+    DV_CHECK(bytes_retained_ >= victim.framed_bytes);
+    bytes_retained_ -= victim.framed_bytes;
+    epochs_retired_++;
+    c_epochs_retired_->add();
+    c_bytes_retired_->add(victim.framed_bytes);
+    epochs_.pop_front();
+  }
+  g_bytes_retained_->set(int64_t(bytes_retained_));
+}
+
+void FlightRecorder::seal_to_file(const std::string& path,
+                                  const std::string& reason) {
+  DV_CHECK_MSG(!sealed_, "flight recorder sealed twice");
+  DV_CHECK_MSG(meta_seen_,
+               "seal_to_file before the engine detached (no meta chunk)");
+  sealed_ = true;
+
+  const Epoch& first = epochs_.front();
+  FlightInfo info;
+  info.has_checkpoint = first.has_checkpoint;
+  info.window_epochs = cfg_.window_epochs;
+  info.epoch_preempts = cfg_.epoch_preempts;
+  info.epochs_retained = epochs_.size();
+  info.epochs_retired = epochs_retired_;
+  info.bytes_retired = bytes_retired_;
+  info.seal_reason = reason;
+  info.checkpoint_clock = first.clock;
+  info.checkpoint_instr = first.instr;
+  info.checkpoint = first.checkpoint;
+  std::vector<uint8_t> flight_payload = info.encode();
+
+  // Per-(stream, lane) totals over the retained chunks only; the kFlight
+  // chunk itself is excluded from seal totals by the container contract.
+  std::vector<uint64_t> sched_bytes(lanes_, 0), events_bytes(lanes_, 0);
+  std::vector<uint32_t> sched_chunks(lanes_, 0), events_chunks(lanes_, 0);
+  uint64_t order_bytes = 0;
+  uint32_t order_chunks = 0;
+  for (const Epoch& e : epochs_) {
+    for (size_t i = 0; i < e.wire_ids.size(); ++i) {
+      StreamId id;
+      LaneId lane;
+      DV_CHECK(replay::parse_wire_stream_id(e.wire_ids[i], &id, &lane));
+      switch (id) {
+        case StreamId::kSchedule:
+          DV_CHECK(lane < lanes_);
+          sched_bytes[lane] += e.payload_lens[i];
+          sched_chunks[lane]++;
+          break;
+        case StreamId::kEvents:
+          DV_CHECK(lane < lanes_);
+          events_bytes[lane] += e.payload_lens[i];
+          events_chunks[lane]++;
+          break;
+        case StreamId::kOrder:
+          order_bytes += e.payload_lens[i];
+          order_chunks++;
+          break;
+        default:
+          DV_CHECK_MSG(false, "unexpected stream in flight ring");
+      }
+    }
+  }
+
+  ByteWriter out;
+  out.put_u32_fixed(replay::kTraceMagic);
+  out.put_u32_fixed(version_);
+  // kFlight first: readers that want the descriptor (report, flight info)
+  // find it without scanning past the data chunks.
+  {
+    std::vector<uint8_t> framed = frame(
+        uint8_t(StreamId::kFlight), flight_payload.data(),
+        flight_payload.size());
+    out.put_bytes(framed.data(), framed.size());
+  }
+  for (const Epoch& e : epochs_) {
+    for (const std::vector<uint8_t>& c : e.chunks) {
+      out.put_bytes(c.data(), c.size());
+    }
+  }
+  {
+    std::vector<uint8_t> framed = frame(uint8_t(StreamId::kMeta),
+                                        meta_payload_.data(),
+                                        meta_payload_.size());
+    out.put_bytes(framed.data(), framed.size());
+  }
+  ByteWriter sw;
+  if (version_ >= replay::kTraceVersionMulti) {
+    sw.put_uvarint(lanes_);
+    sw.put_uvarint(order_bytes);
+    sw.put_uvarint(order_chunks);
+    for (uint32_t k = 0; k < lanes_; ++k) {
+      sw.put_uvarint(sched_bytes[k]);
+      sw.put_uvarint(events_bytes[k]);
+      sw.put_uvarint(sched_chunks[k]);
+      sw.put_uvarint(events_chunks[k]);
+    }
+  } else {
+    sw.put_u64_fixed(sched_bytes[0]);
+    sw.put_u64_fixed(events_bytes[0]);
+    sw.put_u32_fixed(sched_chunks[0]);
+    sw.put_u32_fixed(events_chunks[0]);
+  }
+  std::vector<uint8_t> seal_payload = sw.take();
+  {
+    std::vector<uint8_t> framed = frame(uint8_t(StreamId::kSeal),
+                                        seal_payload.data(),
+                                        seal_payload.size());
+    out.put_bytes(framed.data(), framed.size());
+  }
+  write_file(path, out.bytes());
+}
+
+FlightStats FlightRecorder::stats() const {
+  FlightStats s;
+  s.checkpoints = c_checkpoints_->value();
+  s.epochs_retained = epochs_.size();
+  s.epochs_retired = epochs_retired_;
+  s.bytes_retained = bytes_retained_;
+  s.bytes_retired = bytes_retired_;
+  s.sealed = sealed_;
+  return s;
+}
+
+}  // namespace dejavu::flight

@@ -1,0 +1,131 @@
+// Flight recorder: always-on black-box observability (src/flight).
+//
+// A FlightRecorder is a TraceSink that keeps the recording in a bounded
+// in-memory ring instead of writing it anywhere. The recording engine's
+// chunks are framed exactly as the v4/v5 container would frame them and
+// grouped into *epochs*: every flight_epoch_preempts-th preemptive switch
+// the engine reaches a VM safepoint, flushes its writer (so the cut falls
+// on an entry/chunk boundary) and hands the sink a checkpoint blob that
+// restores the whole machine -- VM snapshot plus engine resume state --
+// to exactly that cut (TraceSink::begin_epoch). The recorder then retires
+// the oldest epochs beyond the configured window: healthy execution costs
+// O(window) memory and writes zero trace bytes to disk.
+//
+// On a crash (or an explicit dump) seal_to_file() emits the retained
+// window as a self-contained trace file: container header, a kFlight
+// descriptor chunk (window geometry, seal reason, the start checkpoint),
+// the retained data chunks verbatim, the meta chunk the engine produced at
+// detach, and a seal whose per-stream totals the recorder computes over
+// the *retained* chunks. The result passes every existing scan and replays
+// through the ordinary engine -- resumed from the embedded checkpoint when
+// one is present, from the beginning when the run was shorter than one
+// epoch (then the tail simply is the complete trace).
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.hpp"
+#include "src/replay/trace_io.hpp"
+
+namespace dejavu::flight {
+
+// Schema tag carried by every kFlight chunk (obs_schema_check keys on it).
+inline constexpr const char* kFlightSchema = "dejavu-flight-v1";
+
+struct FlightConfig {
+  // Epochs retained, including the currently filling one (--flight N).
+  // The replayable history is therefore at least window_epochs - 1 and at
+  // most window_epochs full epochs of execution.
+  uint32_t window_epochs = 4;
+  // Preemptive switches per epoch (--flight-epoch E); forwarded to
+  // SymmetryConfig::flight_epoch_preempts by the record session.
+  uint32_t epoch_preempts = 64;
+};
+
+// Decoded kFlight chunk payload: the tail's provenance plus the embedded
+// start checkpoint. `checkpoint` is the engine's combined blob
+// (replay::split_flight_checkpoint splits it); empty iff !has_checkpoint.
+struct FlightInfo {
+  bool has_checkpoint = false;
+  uint32_t window_epochs = 0;
+  uint32_t epoch_preempts = 0;
+  uint64_t epochs_retained = 0;
+  uint64_t epochs_retired = 0;
+  uint64_t bytes_retired = 0;
+  std::string seal_reason;
+  uint64_t checkpoint_clock = 0;  // engine logical clock at the cut
+  uint64_t checkpoint_instr = 0;  // VM instruction count at the cut
+  std::vector<uint8_t> checkpoint;
+
+  std::vector<uint8_t> encode() const;
+  static FlightInfo decode(const std::vector<uint8_t>& payload);
+  // One-line and JSON renderings for `dejavu flight info` / `report`.
+  std::string describe() const;
+  std::string describe_json() const;
+};
+
+// Ring statistics, also exported through the recorder's metric registry.
+struct FlightStats {
+  uint64_t checkpoints = 0;      // epochs opened by begin_epoch
+  uint64_t epochs_retained = 0;  // currently in the ring (incl. the open one)
+  uint64_t epochs_retired = 0;   // dropped out of the window
+  uint64_t bytes_retained = 0;   // framed bytes currently in the ring
+  uint64_t bytes_retired = 0;    // framed bytes dropped with retired epochs
+  bool sealed = false;
+};
+
+class FlightRecorder : public replay::TraceSink {
+ public:
+  FlightRecorder(uint32_t version, uint32_t lanes, FlightConfig cfg);
+
+  using TraceSink::write_chunk;
+  void write_chunk(replay::StreamId id, const uint8_t* payload, size_t n,
+                   replay::LaneId lane) override;
+  void begin_epoch(std::vector<uint8_t> checkpoint, uint64_t clock,
+                   uint64_t instr) override;
+
+  // Writes the retained window as a self-contained sealed trace. Requires
+  // that the engine detached first (the meta chunk must have arrived).
+  void seal_to_file(const std::string& path, const std::string& reason);
+
+  FlightStats stats() const;
+  obs::MetricsSnapshot metrics() const { return registry_.snapshot(); }
+
+ private:
+  struct Epoch {
+    bool has_checkpoint = false;
+    std::vector<uint8_t> checkpoint;
+    uint64_t clock = 0;
+    uint64_t instr = 0;
+    // Framed chunks ([wire_id][len le][payload][crc]) in arrival order,
+    // plus the geometry needed to recompute the seal totals.
+    std::vector<std::vector<uint8_t>> chunks;
+    std::vector<uint8_t> wire_ids;
+    std::vector<uint32_t> payload_lens;
+    uint64_t framed_bytes = 0;
+  };
+
+  void retire_old_epochs();
+
+  uint32_t version_;
+  uint32_t lanes_;
+  FlightConfig cfg_;
+  std::deque<Epoch> epochs_;
+  std::vector<uint8_t> meta_payload_;  // captured at the engine's finish
+  bool meta_seen_ = false;
+  bool sealed_ = false;
+
+  obs::MetricRegistry registry_;
+  obs::Counter* c_checkpoints_ = nullptr;
+  obs::Counter* c_epochs_retired_ = nullptr;
+  obs::Counter* c_bytes_retired_ = nullptr;
+  obs::Gauge* g_epochs_retained_ = nullptr;
+  obs::Gauge* g_bytes_retained_ = nullptr;
+  uint64_t bytes_retained_ = 0;
+  uint64_t bytes_retired_ = 0;
+  uint64_t epochs_retired_ = 0;
+};
+
+}  // namespace dejavu::flight

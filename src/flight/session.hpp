@@ -1,0 +1,81 @@
+// One-call flight-recorder sessions (src/flight).
+//
+// record_flight runs a guest with the recording engine writing into a
+// FlightRecorder ring instead of a file: zero trace bytes reach disk while
+// the run is healthy. When the guest crashes (VmError) -- or at a clean
+// exit, for an explicit dump -- the retained window is sealed to
+// `tail_path` as a self-contained replayable trace.
+//
+// replay_tail_file replays any trace file: a full trace replays from the
+// beginning as always; a flight tail with an embedded checkpoint boots the
+// VM from the snapshot and resumes the engine mid-trace. A tail sealed by
+// a crash deterministically reproduces the crash: the same VmError at the
+// same instruction count, which the result reports instead of throwing
+// (symmetry violations still throw in strict mode).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/flight/flight.hpp"
+#include "src/replay/session.hpp"
+
+namespace dejavu::flight {
+
+struct FlightRecordResult {
+  std::string tail_path;
+  bool crashed = false;
+  std::string error;       // the VmError text when crashed
+  uint64_t error_instr = 0;  // VM instruction count at the crash
+  std::string seal_reason;
+  vm::BehaviorSummary summary;
+  std::string output;
+  replay::EngineStats stats;
+  obs::MetricsSnapshot metrics;         // engine metrics
+  obs::MetricsSnapshot flight_metrics;  // recorder ring metrics
+  std::vector<obs::TimelineEvent> timeline;
+  FlightStats flight;
+};
+
+// Records one execution into a flight ring and seals the tail to
+// `tail_path` (reason "crash: <what>" if the guest threw, "dump"
+// otherwise). cfg.flight_epoch_preempts is taken from fcfg.
+FlightRecordResult record_flight(const std::string& tail_path,
+                                 const bytecode::Program& prog,
+                                 vm::VmOptions opts, vm::Environment& env,
+                                 threads::TimerSource& timer,
+                                 FlightConfig fcfg,
+                                 const vm::NativeRegistry* natives = nullptr,
+                                 replay::SymmetryConfig cfg = {});
+
+struct TailReplayResult {
+  replay::ReplayResult replay;
+  // Tail provenance; window_epochs == 0 when the file is an ordinary full
+  // trace (no kFlight chunk).
+  bool is_tail = false;
+  bool from_checkpoint = false;
+  FlightInfo info;
+  // A crash tail reproduces its recorded crash deterministically.
+  bool crashed = false;
+  std::string error;
+  uint64_t error_instr = 0;
+};
+
+// Replays `source`, resuming from the embedded flight checkpoint when the
+// trace is a tail that carries one. Guest VmErrors are reported in the
+// result (the reproduced crash); ReplayDivergence still propagates when
+// cfg.strict.
+TailReplayResult replay_tail(const bytecode::Program& prog,
+                             std::unique_ptr<replay::TraceSource> source,
+                             vm::VmOptions opts,
+                             replay::SymmetryConfig cfg = {});
+
+TailReplayResult replay_tail_file(const bytecode::Program& prog,
+                                  const std::string& path, vm::VmOptions opts,
+                                  replay::SymmetryConfig cfg = {});
+
+// Decodes the flight descriptor of a trace file; returns false (and leaves
+// *info untouched) when the file has no kFlight chunk.
+bool read_flight_info(const std::string& path, FlightInfo* info);
+
+}  // namespace dejavu::flight

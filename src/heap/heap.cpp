@@ -1,5 +1,6 @@
 #include "src/heap/heap.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dejavu::heap {
@@ -25,6 +26,30 @@ const TypeInfo& TypeRegistry::info(uint32_t class_id) const {
                    class_id - kFirstClassId < types_.size(),
                "unknown class id " << class_id);
   return types_[class_id - kFirstClassId];
+}
+
+void TypeRegistry::serialize(ByteWriter& w) const {
+  w.put_uvarint(types_.size());
+  for (const TypeInfo& t : types_) {
+    w.put_string(t.name);
+    w.put_uvarint(t.num_slots);
+    for (uint32_t s = 0; s < t.num_slots; ++s)
+      w.put_u8(t.ref_slot[s] ? 1 : 0);
+  }
+}
+
+void TypeRegistry::restore(ByteReader& r) {
+  types_.clear();
+  size_t n = size_t(r.get_uvarint());
+  types_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    TypeInfo t;
+    t.name = r.get_string();
+    t.num_slots = uint32_t(r.get_uvarint());
+    t.ref_slot.resize(t.num_slots);
+    for (uint32_t s = 0; s < t.num_slots; ++s) t.ref_slot[s] = r.get_u8() != 0;
+    types_.push_back(std::move(t));
+  }
 }
 
 // ------------------------------------------------------------------- Heap
@@ -348,6 +373,57 @@ uint64_t Heap::image_hash() const {
 
 bool Heap::valid_range(Addr addr, size_t n) const {
   return addr >= from_base_ + 8 && size_t(addr) + n <= bump_;
+}
+
+void Heap::serialize(ByteWriter& w) const {
+  w.put_u8(cfg_.gc == GcKind::kSemispaceCopying ? 0 : 1);
+  w.put_uvarint(space_bytes_);
+  w.put_uvarint(from_base_);
+  w.put_uvarint(bump_);
+  w.put_uvarint(stats_.alloc_count);
+  w.put_uvarint(stats_.alloc_bytes);
+  w.put_uvarint(stats_.gc_count);
+  w.put_uvarint(stats_.gc_live_bytes_last);
+  w.put_uvarint(free_list_.size());
+  for (const FreeBlock& fb : free_list_) {
+    w.put_uvarint(fb.off);
+    w.put_uvarint(fb.size);
+  }
+  // The live space only: bytes in the inactive semispace are never read
+  // (allocation zeroes, GC copies out of from-space only).
+  size_t len = bump_ - (from_base_ + 8);
+  w.put_uvarint(len);
+  w.put_bytes(mem_.data() + from_base_ + 8, len);
+}
+
+void Heap::restore(ByteReader& r) {
+  uint8_t gc = r.get_u8();
+  DV_CHECK_MSG(gc == (cfg_.gc == GcKind::kSemispaceCopying ? 0 : 1),
+               "checkpoint GC kind mismatch");
+  size_t space = size_t(r.get_uvarint());
+  DV_CHECK_MSG(space == space_bytes_, "checkpoint heap size mismatch ("
+                                          << space << " vs " << space_bytes_
+                                          << ")");
+  from_base_ = size_t(r.get_uvarint());
+  bump_ = size_t(r.get_uvarint());
+  stats_.alloc_count = r.get_uvarint();
+  stats_.alloc_bytes = r.get_uvarint();
+  stats_.gc_count = r.get_uvarint();
+  stats_.gc_live_bytes_last = r.get_uvarint();
+  free_list_.clear();
+  size_t nfree = size_t(r.get_uvarint());
+  for (size_t i = 0; i < nfree; ++i) {
+    FreeBlock fb;
+    fb.off = size_t(r.get_uvarint());
+    fb.size = size_t(r.get_uvarint());
+    free_list_.push_back(fb);
+  }
+  std::fill(mem_.begin(), mem_.end(), uint8_t(0));
+  size_t len = size_t(r.get_uvarint());
+  DV_CHECK_MSG(from_base_ + 8 + len <= mem_.size() &&
+                   len == bump_ - (from_base_ + 8),
+               "checkpoint heap image inconsistent");
+  r.get_bytes(mem_.data() + from_base_ + 8, len);
 }
 
 }  // namespace dejavu::heap

@@ -31,6 +31,7 @@
 
 #include "src/common/check.hpp"
 #include "src/common/hash.hpp"
+#include "src/common/io.hpp"
 
 namespace dejavu::heap {
 
@@ -74,6 +75,11 @@ class TypeRegistry {
            class_id == kClassIdByteArray;
   }
   size_t size() const { return types_.size(); }
+
+  // Checkpoint round-trip: ids are positions, so restoring the whole table
+  // preserves every previously handed-out class id.
+  void serialize(ByteWriter& w) const;
+  void restore(ByteReader& r);
 
  private:
   std::vector<TypeInfo> types_;
@@ -166,6 +172,14 @@ class Heap {
   bool valid_range(Addr addr, size_t n) const;
 
   const TypeRegistry& types() const { return types_; }
+  const HeapConfig& config() const { return cfg_; }
+
+  // Checkpoint round-trip. serialize captures the live space (plus the
+  // allocator and GC bookkeeping); restore reproduces it into a heap built
+  // with the *same* HeapConfig -- absolute addresses stay valid, so every
+  // Addr held elsewhere (thread stacks, registry, engine buffers) survives.
+  void serialize(ByteWriter& w) const;
+  void restore(ByteReader& r);
 
  private:
   uint32_t read_u32(size_t off) const;

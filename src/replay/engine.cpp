@@ -44,6 +44,12 @@ std::string unique_warmup_path() {
      << counter.fetch_add(1, std::memory_order_relaxed);
   return os.str();
 }
+
+// Framing constants for the flight checkpoint and its engine half.
+constexpr uint32_t kFlightCheckpointMagic = 0x4b435644;  // "DVCK"
+constexpr uint32_t kFlightCheckpointVersion = 1;
+constexpr uint32_t kEngineStateMagic = 0x53455644;  // "DVES"
+constexpr uint32_t kEngineStateVersion = 1;
 }  // namespace
 
 DejaVuEngine::DejaVuEngine(SymmetryConfig cfg)
@@ -293,30 +299,62 @@ void DejaVuEngine::attach(vm::Vm& vm) {
       order_r_ = std::make_unique<StreamCursor>(*source_, StreamId::kOrder);
   }
 
-  // §2.4 "Symmetry in Loading and Compilation": load the classes of *both*
-  // modes, and compile their methods, before the application starts.
-  if (cfg_.preload_classes) {
-    vm.load_synthetic_class("DejaVuRecord", 1);
-    vm.load_synthetic_class("DejaVuReplay", 1);
-    if (cfg_.precompile_methods) {
-      vm.note_synthetic_compile("DejaVuRecord.instrument");
-      vm.note_synthetic_compile("DejaVuReplay.instrument");
+  if (mode_ == Mode::kReplay && !resume_state_.empty()) {
+    // Resume-style attach (flight tail): the restored snapshot already
+    // contains every §2.4 side effect -- preloaded classes, warmed I/O,
+    // allocated trace buffers -- so re-running the warm-up would perturb
+    // the machine it is meant to keep symmetric. Restore the engine half
+    // of the checkpoint instead; it re-registers the buffer root slots at
+    // their restored addresses, in the original registration order.
+    ByteReader er(resume_state_);
+    restore_resume_state(er);
+    DV_CHECK_MSG(er.at_end(), "trailing bytes in engine resume state");
+    for (uint32_t k = 0; k < lane_count_; ++k) {
+      LaneState& lane = lanes_[k];
+      // The cut always falls right after a recorded schedule entry (the
+      // safepoint fires after the triggering preempt finished writing its
+      // delta and any due checkpoint block), so the lane's next entry is a
+      // plain delta -- never a checkpoint block, whatever lane.preempts
+      // says. Figure 2's countdown resumes at delta minus the yields the
+      // lane had already burned at the cut (its record-side nyp).
+      uint64_t elapsed = uint64_t(lane.nyp);
+      if (lane.schedule_r->at_end()) {
+        lane.schedule_exhausted = true;
+        lane.nyp = 0;
+        continue;
+      }
+      uint64_t delta = lane.schedule_r->get_uvarint();
+      mirror_cursor(*lane.schedule_r, lane.sched_buf);
+      lane.nyp = int64_t(delta) - int64_t(elapsed);
     }
-  }
+    resume_state_.clear();
+  } else {
+    // §2.4 "Symmetry in Loading and Compilation": load the classes of
+    // *both* modes, and compile their methods, before the application
+    // starts.
+    if (cfg_.preload_classes) {
+      vm.load_synthetic_class("DejaVuRecord", 1);
+      vm.load_synthetic_class("DejaVuReplay", 1);
+      if (cfg_.precompile_methods) {
+        vm.note_synthetic_compile("DejaVuRecord.instrument");
+        vm.note_synthetic_compile("DejaVuReplay.instrument");
+      }
+    }
 
-  // §2.4 I/O warm-up: exercise (and "compile") both the output and the
-  // input path now, identically in both modes.
-  if (cfg_.io_warmup) {
-    if (cfg_.warmup_path.empty()) cfg_.warmup_path = unique_warmup_path();
-    ensure_io_class("warmup");
-    vm.io_warmup(cfg_.warmup_path);
-  }
+    // §2.4 I/O warm-up: exercise (and "compile") both the output and the
+    // input path now, identically in both modes.
+    if (cfg_.io_warmup) {
+      if (cfg_.warmup_path.empty()) cfg_.warmup_path = unique_warmup_path();
+      ensure_io_class("warmup");
+      vm.io_warmup(cfg_.warmup_path);
+    }
 
-  if (cfg_.preallocate_buffers) ensure_buffers_allocated("attach");
+    if (cfg_.preallocate_buffers) ensure_buffers_allocated("attach");
 
-  if (mode_ == Mode::kReplay) {
-    for (uint32_t k = 0; k < lane_count_; ++k)
-      lanes_[k].nyp = reload_nyp(lanes_[k], k);
+    if (mode_ == Mode::kReplay) {
+      for (uint32_t k = 0; k < lane_count_; ++k)
+        lanes_[k].nyp = reload_nyp(lanes_[k], k);
+    }
   }
   if (timeline_ != nullptr) {
     timeline_->span_end("phase", "attach", logical_clock_);
@@ -608,6 +646,14 @@ bool DejaVuEngine::yield_point(bool hardware_bit) {
           timeline_->instant("schedule", "checkpoint", logical_clock_,
                              cur_tid(), "count",
                              int64_t(c_.checkpoints->value()));
+      }
+      // Flight epochs ride the preemption cadence, but globally (summed
+      // over lanes): the safepoint itself fires later, at the next
+      // instruction-loop top, where no guest thread is mid-instrumentation
+      // and the whole machine is snapshotable.
+      if (cfg_.flight_epoch_preempts != 0 &&
+          c_.preempt->value() % cfg_.flight_epoch_preempts == 0) {
+        vm_->request_safepoint();
       }
       lane.nyp = 0;
       do_switch = true;  // threadswitchbitset
@@ -963,6 +1009,163 @@ void DejaVuEngine::detach(vm::Vm& vm) {
     info.post_violation = strict_carried_;
     for (obs::AnalysisObserver* a : analyzers_) a->on_run_end(info);
   }
+}
+
+void DejaVuEngine::on_safepoint(vm::Vm& vm) {
+  if (mode_ != Mode::kRecord || cfg_.flight_epoch_preempts == 0 ||
+      writer_ == nullptr) {
+    return;
+  }
+  // Entry-aligned cut: flush every partially filled chunk so all bytes
+  // written so far seal into the current epoch; everything the run writes
+  // after this call lands in the next one.
+  writer_->flush();
+  ByteWriter vw;
+  vm.capture_snapshot(vw);
+  ByteWriter ew;
+  serialize_resume_state(ew);
+  writer_->sink().begin_epoch(make_flight_checkpoint(vw.bytes(), ew.bytes()),
+                              logical_clock_, vm.instr_count());
+  if (timeline_ != nullptr)
+    timeline_->instant("flight", "epoch", logical_clock_, cur_tid(), "instr",
+                       int64_t(vm.instr_count()));
+}
+
+void DejaVuEngine::prepare_resume(std::vector<uint8_t> engine_state) {
+  DV_CHECK_MSG(mode_ == Mode::kReplay, "prepare_resume on a record engine");
+  DV_CHECK_MSG(vm_ == nullptr, "prepare_resume after attach");
+  DV_CHECK_MSG(!engine_state.empty(), "empty engine resume state");
+  resume_state_ = std::move(engine_state);
+}
+
+void DejaVuEngine::serialize_resume_state(ByteWriter& w) const {
+  DV_CHECK_MSG(live_clock_, "flight checkpoint inside instrumentation");
+  w.put_u32_fixed(kEngineStateMagic);
+  w.put_u32_fixed(kEngineStateVersion);
+  w.put_uvarint(lane_count_);
+  w.put_uvarint(cfg_.buffer_capacity);
+  w.put_uvarint(logical_clock_);
+  w.put_u8(io_class_loaded_ ? 1 : 0);
+  w.put_u8(lazy_class_loaded_ ? 1 : 0);
+  w.put_u8(lazy_method_compiled_ ? 1 : 0);
+  // Core counters, absolute: tail stats continue the full run's numbers
+  // and the Figure 2 checkpoint cadence (lane.preempts % interval) stays
+  // phase-aligned with the recording.
+  w.put_uvarint(c_.clock->value());
+  w.put_uvarint(c_.input->value());
+  w.put_uvarint(c_.rand->value());
+  w.put_uvarint(c_.native_ret->value());
+  w.put_uvarint(c_.native_cb->value());
+  w.put_uvarint(c_.preempt->value());
+  w.put_uvarint(c_.checkpoints->value());
+  for (const LaneState& l : lanes_) {
+    DV_CHECK_MSG(l.nyp >= 0, "negative record-side nyp at safepoint");
+    w.put_uvarint(uint64_t(l.nyp));  // yields since the lane's last preempt
+    w.put_uvarint(l.logical_clock);
+    w.put_uvarint(l.preempts);
+    w.put_u8(l.sched_buf.allocated ? 1 : 0);
+    w.put_uvarint(l.sched_buf.addr);
+    w.put_uvarint(l.sched_buf.pos);
+    w.put_u8(l.event_buf.allocated ? 1 : 0);
+    w.put_uvarint(l.event_buf.addr);
+    w.put_uvarint(l.event_buf.pos);
+  }
+  w.put_u8(order_buf_.allocated ? 1 : 0);
+  w.put_uvarint(order_buf_.addr);
+  w.put_uvarint(order_buf_.pos);
+  w.put_uvarint(order_seq_);
+  // heap_owner_ is only ever probed point-wise, but its serialized form
+  // must still be canonical: sort by address.
+  std::vector<std::pair<uint64_t, uint32_t>> owners(heap_owner_.begin(),
+                                                    heap_owner_.end());
+  std::sort(owners.begin(), owners.end());
+  w.put_uvarint(owners.size());
+  for (const auto& [addr, lane] : owners) {
+    w.put_uvarint(addr);
+    w.put_uvarint(lane);
+  }
+}
+
+void DejaVuEngine::restore_resume_state(ByteReader& r) {
+  DV_CHECK_MSG(r.get_u32_fixed() == kEngineStateMagic,
+               "bad engine resume-state magic");
+  DV_CHECK_MSG(r.get_u32_fixed() == kEngineStateVersion,
+               "unsupported engine resume-state version");
+  uint64_t lanes = r.get_uvarint();
+  DV_CHECK_MSG(lanes == lane_count_,
+               "resume state has " << lanes << " lane(s), trace meta says "
+                                   << lane_count_);
+  // Mirror offsets are positions mod capacity; the tail must use the
+  // recording's capacity whatever the caller configured.
+  cfg_.buffer_capacity = uint32_t(r.get_uvarint());
+  logical_clock_ = r.get_uvarint();
+  io_class_loaded_ = r.get_u8() != 0;
+  lazy_class_loaded_ = r.get_u8() != 0;
+  lazy_method_compiled_ = r.get_u8() != 0;
+  c_.clock->add(r.get_uvarint());
+  c_.input->add(r.get_uvarint());
+  c_.rand->add(r.get_uvarint());
+  c_.native_ret->add(r.get_uvarint());
+  c_.native_cb->add(r.get_uvarint());
+  c_.preempt->add(r.get_uvarint());
+  c_.checkpoints->add(r.get_uvarint());
+  for (LaneState& l : lanes_) {
+    l.nyp = int64_t(r.get_uvarint());  // record-side elapsed; attach rebases
+    l.logical_clock = r.get_uvarint();
+    l.preempts = r.get_uvarint();
+    if (l.c_clock != nullptr) l.c_clock->add(l.logical_clock);
+    if (l.c_preempts != nullptr) l.c_preempts->add(l.preempts);
+    l.sched_buf.allocated = r.get_u8() != 0;
+    l.sched_buf.addr = r.get_uvarint();
+    l.sched_buf.pos = r.get_uvarint();
+    l.event_buf.allocated = r.get_u8() != 0;
+    l.event_buf.addr = r.get_uvarint();
+    l.event_buf.pos = r.get_uvarint();
+    if (l.sched_buf.allocated) vm_->register_root_slot(&l.sched_buf.addr);
+    if (l.event_buf.allocated) vm_->register_root_slot(&l.event_buf.addr);
+  }
+  order_buf_.allocated = r.get_u8() != 0;
+  order_buf_.addr = r.get_uvarint();
+  order_buf_.pos = r.get_uvarint();
+  if (order_buf_.allocated) vm_->register_root_slot(&order_buf_.addr);
+  order_seq_ = r.get_uvarint();
+  if (c_order_events_ != nullptr) c_order_events_->add(order_seq_);
+  heap_owner_.clear();
+  uint64_t owners = r.get_uvarint();
+  for (uint64_t i = 0; i < owners; ++i) {
+    uint64_t addr = r.get_uvarint();
+    heap_owner_[addr] = uint32_t(r.get_uvarint());
+  }
+}
+
+std::vector<uint8_t> make_flight_checkpoint(
+    const std::vector<uint8_t>& vm_snapshot,
+    const std::vector<uint8_t>& engine_state) {
+  ByteWriter w;
+  w.put_u32_fixed(kFlightCheckpointMagic);
+  w.put_u32_fixed(kFlightCheckpointVersion);
+  w.put_uvarint(vm_snapshot.size());
+  w.put_bytes(vm_snapshot.data(), vm_snapshot.size());
+  w.put_uvarint(engine_state.size());
+  w.put_bytes(engine_state.data(), engine_state.size());
+  return w.take();
+}
+
+void split_flight_checkpoint(const std::vector<uint8_t>& blob,
+                             std::vector<uint8_t>* vm_snapshot,
+                             std::vector<uint8_t>* engine_state) {
+  ByteReader r(blob);
+  DV_CHECK_MSG(r.get_u32_fixed() == kFlightCheckpointMagic,
+               "bad flight checkpoint magic");
+  DV_CHECK_MSG(r.get_u32_fixed() == kFlightCheckpointVersion,
+               "unsupported flight checkpoint version");
+  size_t vn = size_t(r.get_uvarint());
+  vm_snapshot->resize(vn);
+  r.get_bytes(vm_snapshot->data(), vn);
+  size_t en = size_t(r.get_uvarint());
+  engine_state->resize(en);
+  r.get_bytes(engine_state->data(), en);
+  DV_CHECK_MSG(r.at_end(), "trailing bytes in flight checkpoint");
 }
 
 TraceFile DejaVuEngine::take_trace() {

@@ -77,6 +77,14 @@ struct SymmetryConfig {
   uint32_t checkpoint_interval = 64;   // switches between checkpoints
   uint32_t buffer_capacity = 1 << 16;  // guest trace-buffer bytes
 
+  // Flight recorder (src/flight): when nonzero, record mode arms a VM
+  // safepoint every N-th preemptive switch (counted across all lanes). At
+  // the safepoint the engine flushes the trace writer (sealing the current
+  // epoch at an entry boundary) and hands the sink a resume checkpoint via
+  // TraceSink::begin_epoch. 0 = off; flipping it never changes the trace
+  // bytes, only how the sink may window them.
+  uint32_t flight_epoch_preempts = 0;
+
   // Record-side trace chunking (not symmetry-relevant: chunk geometry is
   // invisible to the byte streams, so record and replay may differ).
   uint32_t trace_chunk_bytes = uint32_t(kDefaultChunkBytes);
@@ -169,6 +177,16 @@ class DejaVuEngine : public vm::ExecHooks {
   // Record mode, after the run: the completed trace (in-memory mode only).
   TraceFile take_trace();
 
+  // ---- flight-recorder resume (src/flight) -------------------------------
+  // Replay mode, before the VM boots: arm a mid-trace resume from the
+  // engine half of a flight checkpoint. The paired Vm must
+  // boot_from_snapshot() with the VM half; the engine's attach (fired from
+  // there, after restore) then performs a resume-style attach -- no class
+  // preloading, I/O warm-up or buffer preallocation, because the snapshot
+  // already contains every one of those side effects.
+  void prepare_resume(std::vector<uint8_t> engine_state);
+  bool resuming() const { return !resume_state_.empty(); }
+
   // ---- replay-time analysis fan-out (src/obs/analysis) -------------------
   // Registers an analyzer (not owned; must outlive the run). Replay mode
   // only, before attach: analyzers can never see -- or perturb -- a
@@ -213,6 +231,9 @@ class DejaVuEngine : public vm::ExecHooks {
                           std::vector<int64_t>* args, int64_t* ret) override;
   void on_switch(threads::Tid from, threads::Tid to,
                  threads::SwitchReason reason) override;
+  // Record mode + flight_epoch_preempts: capture the paired VM/engine
+  // checkpoint and open a new epoch at the sink. No-op otherwise.
+  void on_safepoint(vm::Vm& vm) override;
   // Cross-lane order events (K>1 lanes only): record mode appends each to
   // the trace's order stream; replay mode verifies the live event against
   // the recorded one -- the deterministic merge that makes parallel lane
@@ -295,6 +316,10 @@ class DejaVuEngine : public vm::ExecHooks {
   // Shared record/verify path for package-emitted and engine-synthesized
   // (heap-transfer) cross-lane events.
   void handle_cross_lane(const threads::CrossLaneEvent& e);
+
+  // Flight checkpoint halves (record side writes, resume attach reads).
+  void serialize_resume_state(ByteWriter& w) const;
+  void restore_resume_state(ByteReader& r);
 
   // Telemetry plumbing (all host-side; registered before attach so the hot
   // path never allocates).
@@ -391,6 +416,22 @@ class DejaVuEngine : public vm::ExecHooks {
   bool io_class_loaded_ = false;
   bool detached_ = false;
   TraceFile result_;  // record, in-memory mode: assembled at detach
+
+  // Flight resume: the engine half of the checkpoint, held from
+  // prepare_resume until the resume-style attach consumes it.
+  std::vector<uint8_t> resume_state_;
 };
+
+// A flight checkpoint pairs the VM snapshot with the engine's resume state
+// in one framed blob ("DVCK"). The engine emits it at each safepoint; the
+// flight session (src/flight) splits it back apart. Both halves stay
+// opaque to everything in between -- the flight container code never needs
+// to know either layout.
+std::vector<uint8_t> make_flight_checkpoint(
+    const std::vector<uint8_t>& vm_snapshot,
+    const std::vector<uint8_t>& engine_state);
+void split_flight_checkpoint(const std::vector<uint8_t>& blob,
+                             std::vector<uint8_t>* vm_snapshot,
+                             std::vector<uint8_t>* engine_state);
 
 }  // namespace dejavu::replay

@@ -74,6 +74,9 @@ class MemoryTraceSource : public TraceSource {
   StreamInfo stream_info(StreamId id, LaneId lane) const override;
   bool read_chunk(StreamId id, LaneId lane, size_t index,
                   std::vector<uint8_t>* out) override;
+  const std::vector<uint8_t>& flight_chunk() const override {
+    return scan_.flight;
+  }
 
  private:
   struct StreamIndex {

@@ -117,6 +117,10 @@ struct TraceFile {
   std::vector<std::vector<uint8_t>> extra_schedules;
   std::vector<std::vector<uint8_t>> extra_events;
   std::vector<uint8_t> order;
+  // Flight-recorder tail descriptor (kFlight chunk payload, src/flight).
+  // Empty for full traces; a materialized tail carries it so the resume
+  // checkpoint survives TraceFile round-trips.
+  std::vector<uint8_t> flight;
 
   bool multi_lane() const { return meta.lane_count > 1 || !order.empty(); }
   const std::vector<uint8_t>& schedule_of(LaneId lane) const {

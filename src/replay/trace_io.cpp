@@ -16,6 +16,7 @@ const char* stream_name(StreamId id) {
     case StreamId::kEvents: return "events";
     case StreamId::kSeal: return "seal";
     case StreamId::kOrder: return "order";
+    case StreamId::kFlight: return "flight";
   }
   return "?";
 }
@@ -31,12 +32,12 @@ uint8_t wire_stream_id(StreamId id, LaneId lane) {
 }
 
 bool parse_wire_stream_id(uint8_t wire, StreamId* id, LaneId* lane) {
-  if (wire <= uint8_t(StreamId::kOrder)) {
+  if (wire <= uint8_t(StreamId::kFlight)) {
     *id = StreamId(wire);
     *lane = 0;
     return true;
   }
-  if (wire < kLaneStreamBase) return false;  // 5..7 reserved
+  if (wire < kLaneStreamBase) return false;  // 6..7 reserved
   LaneId l = LaneId((wire - kLaneStreamBase) / 2) + 1;
   if (l >= kMaxLanes) return false;
   *id = ((wire - kLaneStreamBase) % 2 == 0) ? StreamId::kSchedule
@@ -332,6 +333,8 @@ struct ScanOutcome {
   TraceMeta meta;
   std::vector<LaneChunks> sched, events;  // indexed by lane
   LaneChunks order;
+  std::vector<uint8_t> flight;  // kFlight payload (empty if none)
+  bool flight_seen = false;
   size_t valid_chunks = 0;  // data chunks whose CRC verified
 };
 
@@ -375,7 +378,7 @@ ScanOutcome scan_chunked_file(std::FILE* f) {
     StreamId id = StreamId::kMeta;
     LaneId lane = 0;
     bool known = out.version == kTraceVersion
-                     ? raw_id <= uint8_t(StreamId::kSeal) &&
+                     ? raw_id <= uint8_t(StreamId::kFlight) &&
                            (id = StreamId(raw_id), lane = 0, true)
                      : parse_wire_stream_id(raw_id, &id, &lane);
     if (!known) {
@@ -428,6 +431,16 @@ ScanOutcome scan_chunked_file(std::FILE* f) {
         out.order.chunks.push_back({payload_offset, len});
         out.order.bytes += len;
         out.valid_chunks++;
+        break;
+      case StreamId::kFlight:
+        // Tail descriptor: at most one, never counted in the seal totals
+        // (the seal accounts for the data streams only).
+        if (out.flight_seen) {
+          err << "duplicate flight chunk at offset " << offset;
+          return fail(err.str());
+        }
+        out.flight.assign(payload.begin(), payload.begin() + len);
+        out.flight_seen = true;
         break;
       case StreamId::kMeta: {
         if (out.meta_seen) {
@@ -560,6 +573,7 @@ FileTraceSource::FileTraceSource(const std::string& path) : path_(path) {
   order_.chunks.reserve(scan.order.chunks.size());
   for (const auto& c : scan.order.chunks)
     order_.chunks.push_back({c.payload_offset, c.payload_len});
+  flight_ = std::move(scan.flight);
 }
 
 FileTraceSource::~FileTraceSource() {
@@ -710,6 +724,10 @@ std::vector<uint8_t> serialize_v4(const TraceFile& trace) {
                "multi-lane trace cannot use the v4 container");
   auto sink = std::make_unique<VectorTraceSink>();
   VectorTraceSink* mem = sink.get();
+  if (!trace.flight.empty()) {
+    mem->write_chunk(StreamId::kFlight, trace.flight.data(),
+                     trace.flight.size());
+  }
   TraceWriter w(std::move(sink));
   w.append(StreamId::kSchedule, trace.schedule.data(), trace.schedule.size());
   w.append(StreamId::kEvents, trace.events.data(), trace.events.size());
@@ -725,6 +743,10 @@ std::vector<uint8_t> serialize_v5(const TraceFile& trace) {
   DV_CHECK_MSG(lanes <= kMaxLanes, "lane count " << lanes << " out of range");
   auto sink = std::make_unique<VectorTraceSink>(kTraceVersionMulti);
   VectorTraceSink* mem = sink.get();
+  if (!trace.flight.empty()) {
+    mem->write_chunk(StreamId::kFlight, trace.flight.data(),
+                     trace.flight.size());
+  }
   TraceWriter w(std::move(sink), kDefaultChunkBytes, kTraceVersionMulti);
   for (uint32_t k = 0; k < lanes; ++k) {
     const std::vector<uint8_t>* s = stream_of(trace, StreamId::kSchedule, k);
@@ -772,7 +794,7 @@ MemoryScan scan_trace_buffer(const uint8_t* data, size_t n) {
     StreamId id = StreamId::kMeta;
     LaneId lane = 0;
     bool known = out.version == kTraceVersion
-                     ? raw_id <= uint8_t(StreamId::kSeal) &&
+                     ? raw_id <= uint8_t(StreamId::kFlight) &&
                            (id = StreamId(raw_id), lane = 0, true)
                      : parse_wire_stream_id(raw_id, &id, &lane);
     DV_CHECK_MSG(known, "unknown stream id " << int(raw_id) << " at offset "
@@ -796,6 +818,11 @@ MemoryScan scan_trace_buffer(const uint8_t* data, size_t n) {
       case StreamId::kOrder:
         order_bytes += len;
         order_chunks++;
+        break;
+      case StreamId::kFlight:
+        DV_CHECK_MSG(out.flight.empty(),
+                     "duplicate flight chunk at offset " << offset);
+        out.flight.assign(payload, payload + len);
         break;
       case StreamId::kMeta: {
         DV_CHECK_MSG(!meta_seen, "duplicate meta chunk at offset " << offset);
@@ -876,6 +903,9 @@ TraceFile deserialize_chunked(const std::vector<uint8_t>& bytes) {
       }
       case StreamId::kOrder:
         t.order.insert(t.order.end(), payload, payload + c.payload_len);
+        break;
+      case StreamId::kFlight:
+        t.flight.assign(payload, payload + c.payload_len);
         break;
       case StreamId::kMeta:
       case StreamId::kSeal:

@@ -50,7 +50,11 @@ enum class StreamId : uint8_t {
   kSchedule = 1,
   kEvents = 2,
   kSeal = 3,
-  kOrder = 4,  // v5: cross-lane order events (one global stream)
+  kOrder = 4,   // v5: cross-lane order events (one global stream)
+  kFlight = 5,  // flight-recorder tail descriptor (one chunk, before meta):
+                // window geometry, seal reason, embedded start checkpoint
+                // (src/flight). Absent from full traces; excluded from the
+                // seal's per-stream totals.
 };
 
 const char* stream_name(StreamId id);
@@ -91,6 +95,17 @@ class TraceSink {
     write_chunk(id, payload, n, 0);
   }
   virtual void flush() {}  // push buffered bytes toward durable storage
+
+  // Flight-recorder epoch boundary. The recording engine calls this at a
+  // safepoint immediately after an entry-aligned TraceWriter::flush():
+  // every chunk written so far belongs to completed epochs, and
+  // `checkpoint` (a flight checkpoint blob, see src/flight) restores the
+  // machine to exactly this cut. Plain sinks ignore it; the FlightRecorder
+  // uses it to rotate its bounded ring.
+  virtual void begin_epoch(std::vector<uint8_t> checkpoint, uint64_t clock,
+                           uint64_t instr) {
+    (void)checkpoint; (void)clock; (void)instr;
+  }
 };
 
 // Chunks appended to an in-memory byte vector (the legacy "whole trace in
@@ -155,6 +170,7 @@ class TraceWriter {
   uint64_t stream_bytes(StreamId id, LaneId lane = 0) const;
   size_t buffered_bytes() const;
   uint32_t version() const { return version_; }
+  TraceSink& sink() { return *sink_; }
 
   // Invoked after each data chunk reaches the sink (stream, payload bytes).
   // Observability hook: the engine uses it to timestamp chunk flushes
@@ -206,6 +222,13 @@ class TraceSource {
     return read_chunk(id, 0, index, out);
   }
   uint32_t lane_count() const { return meta().lane_count; }
+  // Payload of the trace's kFlight chunk; empty for ordinary full traces.
+  // Non-empty only for flight-recorder tails, whose replay must start from
+  // the embedded checkpoint (when one is present).
+  virtual const std::vector<uint8_t>& flight_chunk() const {
+    static const std::vector<uint8_t> kEmpty;
+    return kEmpty;
+  }
 };
 
 // Serves a materialized TraceFile (owned or borrowed) as a one-chunk-per-
@@ -222,6 +245,9 @@ class TraceFileSource : public TraceSource {
   StreamInfo stream_info(StreamId id, LaneId lane) const override;
   bool read_chunk(StreamId id, LaneId lane, size_t index,
                   std::vector<uint8_t>* out) override;
+  const std::vector<uint8_t>& flight_chunk() const override {
+    return file().flight;
+  }
 
  private:
   const TraceFile& file() const { return borrowed_ ? *borrowed_ : owned_; }
@@ -246,6 +272,9 @@ class FileTraceSource : public TraceSource {
   StreamInfo stream_info(StreamId id, LaneId lane) const override;
   bool read_chunk(StreamId id, LaneId lane, size_t index,
                   std::vector<uint8_t>* out) override;
+  const std::vector<uint8_t>& flight_chunk() const override {
+    return flight_;
+  }
 
  private:
   struct ChunkRef {
@@ -264,6 +293,7 @@ class FileTraceSource : public TraceSource {
   TraceMeta meta_;
   std::vector<StreamIndex> sched_, events_;  // indexed by lane
   StreamIndex order_;
+  std::vector<uint8_t> flight_;  // kFlight payload (empty if none)
 };
 
 // Opens `path` as a streaming source: v4/v5 files stream from disk; v3
@@ -329,6 +359,7 @@ struct MemoryScan {
   uint32_t version = 0;
   TraceMeta meta;
   std::vector<ScannedChunkRef> chunks;  // file order, incl. meta and seal
+  std::vector<uint8_t> flight;          // kFlight payload (empty if none)
 };
 
 // Structural walk over an in-memory v4/v5 container: framing, stream ids,

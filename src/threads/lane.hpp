@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/common/io.hpp"
 
 namespace dejavu::threads {
 
@@ -120,6 +121,33 @@ class LaneScheduler {
 
   // The lane-0 queue view (the global queue when K=1; director support).
   const std::deque<Tid>& queue(LaneId lane) const { return queues_[lane]; }
+
+  // Checkpoint round-trip (lane count is construction state and must match).
+  void serialize(ByteWriter& w) const {
+    w.put_uvarint(queues_.size());
+    for (const auto& q : queues_) {
+      w.put_uvarint(q.size());
+      for (Tid t : q) w.put_uvarint(t);
+    }
+    w.put_uvarint(lane_of_.size());
+    for (LaneId l : lane_of_) w.put_uvarint(l);
+    w.put_uvarint(assigned_);
+    w.put_uvarint(cursor_);
+  }
+
+  void restore(ByteReader& r) {
+    size_t k = size_t(r.get_uvarint());
+    DV_CHECK_MSG(k == queues_.size(), "checkpoint lane count mismatch");
+    for (auto& q : queues_) {
+      q.clear();
+      size_t n = size_t(r.get_uvarint());
+      for (size_t i = 0; i < n; ++i) q.push_back(Tid(r.get_uvarint()));
+    }
+    lane_of_.resize(size_t(r.get_uvarint()));
+    for (LaneId& l : lane_of_) l = LaneId(r.get_uvarint());
+    assigned_ = r.get_uvarint();
+    cursor_ = LaneId(r.get_uvarint());
+  }
 
  private:
   std::vector<std::deque<Tid>> queues_;

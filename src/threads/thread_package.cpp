@@ -381,4 +381,72 @@ void ThreadPackage::join_begin(Tid target) {
 
 bool ThreadPackage::interrupted_flag(Tid t) const { return rec(t).interrupted; }
 
+void ThreadPackage::serialize(ByteWriter& w) const {
+  w.put_uvarint(threads_.size());
+  for (const ThreadRec& r : threads_) {
+    w.put_string(r.name);
+    w.put_u8(uint8_t(r.state));
+    w.put_u8(r.interrupted ? 1 : 0);
+    w.put_svarint(r.wake_deadline);
+    w.put_u8(r.has_deadline ? 1 : 0);
+    w.put_uvarint(r.waiting_on);
+    w.put_uvarint(r.saved_entry_count);
+    w.put_uvarint(r.join_waiters.size());
+    for (Tid t : r.join_waiters) w.put_uvarint(t);
+  }
+  w.put_uvarint(monitors_.size());
+  for (const MonitorRec& m : monitors_) {
+    w.put_uvarint(m.owner);
+    w.put_uvarint(m.entry_count);
+    w.put_uvarint(m.entry_queue.size());
+    for (Tid t : m.entry_queue) w.put_uvarint(t);
+    w.put_uvarint(m.wait_set.size());
+    for (Tid t : m.wait_set) w.put_uvarint(t);
+  }
+  lanes_.serialize(w);
+  w.put_uvarint(timed_parked_.size());
+  for (Tid t : timed_parked_) w.put_uvarint(t);
+  w.put_uvarint(current_);
+  w.put_uvarint(last_dispatched_);
+  w.put_u8(uint8_t(pending_reason_));
+  w.put_uvarint(live_count_);
+  w.put_uvarint(switch_count_);
+  w.put_uvarint(clock_reads_);
+  w.put_uvarint(cross_lane_seq_);
+}
+
+void ThreadPackage::restore(ByteReader& r) {
+  threads_.assign(size_t(r.get_uvarint()), ThreadRec{});
+  for (ThreadRec& t : threads_) {
+    t.name = r.get_string();
+    t.state = ThreadState(r.get_u8());
+    t.interrupted = r.get_u8() != 0;
+    t.wake_deadline = r.get_svarint();
+    t.has_deadline = r.get_u8() != 0;
+    t.waiting_on = MonitorId(r.get_uvarint());
+    t.saved_entry_count = uint32_t(r.get_uvarint());
+    t.join_waiters.resize(size_t(r.get_uvarint()));
+    for (Tid& w : t.join_waiters) w = Tid(r.get_uvarint());
+  }
+  monitors_.assign(size_t(r.get_uvarint()), MonitorRec{});
+  for (MonitorRec& m : monitors_) {
+    m.owner = Tid(r.get_uvarint());
+    m.entry_count = uint32_t(r.get_uvarint());
+    size_t ne = size_t(r.get_uvarint());
+    for (size_t i = 0; i < ne; ++i) m.entry_queue.push_back(Tid(r.get_uvarint()));
+    size_t nw = size_t(r.get_uvarint());
+    for (size_t i = 0; i < nw; ++i) m.wait_set.push_back(Tid(r.get_uvarint()));
+  }
+  lanes_.restore(r);
+  timed_parked_.resize(size_t(r.get_uvarint()));
+  for (Tid& t : timed_parked_) t = Tid(r.get_uvarint());
+  current_ = Tid(r.get_uvarint());
+  last_dispatched_ = Tid(r.get_uvarint());
+  pending_reason_ = SwitchReason(r.get_u8());
+  live_count_ = size_t(r.get_uvarint());
+  switch_count_ = r.get_uvarint();
+  clock_reads_ = r.get_uvarint();
+  cross_lane_seq_ = r.get_uvarint();
+}
+
 }  // namespace dejavu::threads

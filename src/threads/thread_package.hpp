@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/check.hpp"
+#include "src/common/io.hpp"
 #include "src/threads/lane.hpp"
 
 namespace dejavu::threads {
@@ -173,6 +174,14 @@ class ThreadPackage {
   uint64_t clock_read_count() const { return clock_reads_; }
 
   bool interrupted_flag(Tid t) const;
+
+  // -- checkpoint round-trip ------------------------------------------------
+  // Every scheduling decision is a pure function of this state plus the
+  // injected clock, so serializing it (and nothing host-side) is enough for
+  // a restored package to continue the identical schedule. The lane count
+  // is construction state and must match on restore.
+  void serialize(ByteWriter& w) const;
+  void restore(ByteReader& r);
 
  private:
   struct ThreadRec {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/common/hash.hpp"
+#include "src/common/io.hpp"
 
 namespace dejavu::vm {
 
@@ -39,28 +40,43 @@ struct AuditEvent {
   bool operator==(const AuditEvent&) const = default;
 };
 
+inline constexpr size_t kAuditKindCount = 8;
+
 class AuditLog {
  public:
   void append(AuditKind kind, std::string detail, uint64_t instr) {
+    // The digest is maintained incrementally (same update sequence as the
+    // historical per-call recomputation, so digests are unchanged) because
+    // checkpoints persist the accumulator without the O(run) event list.
+    running_.update_u32(uint32_t(kind));
+    running_.update_str(detail);
+    running_.update_u64(instr);
+    counts_[size_t(kind)]++;
+    total_++;
     events_.push_back(AuditEvent{kind, std::move(detail), instr});
   }
 
   const std::vector<AuditEvent>& events() const { return events_; }
 
-  size_t count(AuditKind k) const {
-    size_t n = 0;
-    for (const auto& e : events_) n += (e.kind == k) ? 1 : 0;
-    return n;
+  size_t count(AuditKind k) const { return counts_[size_t(k)]; }
+  uint64_t total() const { return total_; }
+
+  uint64_t digest() const { return running_.digest(); }
+
+  // Checkpoint support: only the digest accumulator and the per-kind
+  // counters round-trip; the event list is observability sugar and would be
+  // O(run) in a flight-recorder window.
+  void serialize(ByteWriter& w) const {
+    w.put_u64_fixed(running_.state());
+    w.put_uvarint(total_);
+    for (uint64_t c : counts_) w.put_uvarint(c);
   }
 
-  uint64_t digest() const {
-    Fnv1a h;
-    for (const auto& e : events_) {
-      h.update_u32(uint32_t(e.kind));
-      h.update_str(e.detail);
-      h.update_u64(e.instr);
-    }
-    return h.digest();
+  void restore(ByteReader& r) {
+    running_.set_state(r.get_u64_fixed());
+    total_ = r.get_uvarint();
+    for (uint64_t& c : counts_) c = r.get_uvarint();
+    events_.clear();
   }
 
   // Index of the first event differing from `other` (or the shorter length
@@ -78,6 +94,9 @@ class AuditLog {
 
  private:
   std::vector<AuditEvent> events_;
+  Fnv1a running_;
+  uint64_t counts_[kAuditKindCount] = {};
+  uint64_t total_ = 0;
 };
 
 }  // namespace dejavu::vm

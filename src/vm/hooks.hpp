@@ -164,6 +164,13 @@ class ExecHooks {
     (void)from; (void)to; (void)reason;
   }
 
+  // Fired at the next instruction-loop top after Vm::request_safepoint():
+  // no guest thread is mid-native, preemption is unmasked, and every
+  // pending dispatch has either completed or not begun -- the state the
+  // flight recorder's epoch checkpoints capture. The hook may observe the
+  // whole VM (capture_snapshot) but must not mutate guest state.
+  virtual void on_safepoint(Vm&) {}
+
   // A scheduler-level interaction crossed a lane boundary (monitor
   // hand-off, notify, join wake, interrupt, or the dispatch itself moving
   // control between lanes; see src/threads/lane.hpp). Never fires on a

@@ -74,6 +74,30 @@ class Vm : public heap::RootProvider {
   bool step_one();
   void finish();
 
+  // ---- checkpoint / snapshot (flight recorder) --------------------------
+  // Arms a safepoint: at the next instruction-loop top (preemption
+  // unmasked, no native in flight) the hooks' on_safepoint fires once.
+  // Host-side only -- the guest observes nothing.
+  void request_safepoint() { safepoint_requested_ = true; }
+  // Serializes the complete guest-visible machine state (heap image, thread
+  // package, class/metadata tables, execution contexts, behaviour-hash
+  // accumulators, audit digest) so a fresh Vm built over the same program
+  // and options can continue the identical execution. Host-side transcripts
+  // (out_ text, switch_trace_) are excluded: only their running hashes are
+  // state. Must be called at a safepoint (mask_depth_ == 0, no temp roots).
+  void capture_snapshot(ByteWriter& w) const;
+  // In-place restore into a booted-from-snapshot Vm. Checked against the
+  // program fingerprint and the construction options.
+  void restore_snapshot(ByteReader& r);
+  // boot() replacement for resuming from a snapshot: wires the observers
+  // exactly as boot() does, restores the snapshot, then attaches the hooks
+  // (which must perform a resume-style attach, not a fresh one).
+  void boot_from_snapshot(const std::vector<uint8_t>& snapshot);
+  // Reads just the options prologue of a snapshot blob so a session can
+  // construct the resuming Vm with matching heap/lane/stack configuration.
+  static VmOptions peek_snapshot_options(const std::vector<uint8_t>& snapshot);
+  const VmOptions& options() const { return opts_; }
+
   // Host-side observation point, checked before each instruction when set.
   // Returning true pauses execution (this perturbs nothing in the guest).
   using InstructionProbe = std::function<bool(Vm&, const FrameView&)>;
@@ -158,6 +182,14 @@ class Vm : public heap::RootProvider {
   // -- class loading & compilation --
   RuntimeClass* ensure_loaded(RuntimeClass* rc);
   void ensure_compiled(CompiledMethod* m);
+  // Verification + operand resolution without the kCompile audit event;
+  // ensure_compiled = this + audit. Snapshot restore re-runs it silently
+  // for every method recorded as compiled (resolved operand tables are
+  // derived state; the audit accumulator is restored wholesale).
+  void compile_method_body(CompiledMethod* m);
+  // Wires observers (root provider, GC/move/switch/cross-lane) the way
+  // boot() does; shared between boot() and boot_from_snapshot().
+  void wire_observers();
   uint64_t make_metadata_for(RuntimeClass& rc);
   void append_to_table(uint32_t table_slot, uint32_t count_slot,
                        uint64_t value);
@@ -253,6 +285,7 @@ class Vm : public heap::RootProvider {
   uint64_t yield_points_ = 0;
   uint64_t preempt_count_ = 0;
   uint32_t mask_depth_ = 0;  // preemption mask (native callbacks)
+  bool safepoint_requested_ = false;
   bool booted_ = false;
   bool finished_ = false;
   bool halted_ = false;

@@ -137,8 +137,7 @@ const RuntimeClass* Vm::runtime_class_by_type_id(uint32_t type_id) const {
 
 // ------------------------------------------------------------------- boot
 
-void Vm::boot() {
-  DV_CHECK_MSG(!booted_, "Vm::boot called twice");
+void Vm::wire_observers() {
   heap_->set_root_provider(this);
   heap_->set_gc_observer([this](uint64_t idx, uint64_t live) {
     audit_.append(AuditKind::kGc,
@@ -168,6 +167,11 @@ void Vm::boot() {
     switch_hash_.update_u32(uint32_t(e.to));
     if (hooks_ != nullptr) hooks_->on_cross_lane(e);
   });
+}
+
+void Vm::boot() {
+  DV_CHECK_MSG(!booted_, "Vm::boot called twice");
+  wire_observers();
 
   // Boot registry + tables (the "boot image" root).
   {
@@ -305,6 +309,12 @@ void Vm::append_to_table(uint32_t table_slot, uint32_t count_slot,
 
 void Vm::ensure_compiled(CompiledMethod* m) {
   if (m->compiled) return;
+  compile_method_body(m);
+  audit_.append(AuditKind::kCompile, m->owner->name + "." + m->def->name,
+                instr_count_);
+}
+
+void Vm::compile_method_body(CompiledMethod* m) {
   DV_CHECK_MSG(m->owner->def != nullptr,
                "synthetic class has no compilable methods");
   m->verified = bytecode::verify_method(prog_, *m->owner->def, *m->def);
@@ -362,8 +372,6 @@ void Vm::ensure_compiled(CompiledMethod* m) {
     }
   }
   m->compiled = true;
-  audit_.append(AuditKind::kCompile, m->owner->name + "." + m->def->name,
-                instr_count_);
 }
 
 // ----------------------------------------------------- engine services

@@ -31,6 +31,12 @@ uint64_t Vm::step(uint64_t max_instr) {
   stopped_at_probe_ = false;
   uint64_t done = 0;
   while (done < max_instr && !halted_) {
+    if (safepoint_requested_) {
+      // Loop-top = safepoint: preemption unmasked, no native in flight,
+      // any pending dispatch not yet begun. One-shot by construction.
+      safepoint_requested_ = false;
+      if (hooks_ != nullptr) hooks_->on_safepoint(*this);
+    }
     if (!dispatch_if_needed()) {
       finished_ = true;
       break;
@@ -61,6 +67,10 @@ bool Vm::step_one() {
   DV_CHECK_MSG(booted_, "step before boot");
   if (halted_ || finished_) return false;
   for (;;) {
+    if (safepoint_requested_) {
+      safepoint_requested_ = false;
+      if (hooks_ != nullptr) hooks_->on_safepoint(*this);
+    }
     if (!dispatch_if_needed()) {
       finished_ = true;
       return false;

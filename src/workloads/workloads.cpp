@@ -190,6 +190,57 @@ Program counter_locked(int64_t nthreads, int64_t iters) {
   return counter_program(nthreads, iters, true);
 }
 
+Program crasher(int64_t nthreads, int64_t iters, int64_t fuse) {
+  ProgramBuilder pb;
+  pb.add_class("Obj");
+  auto& main = pb.add_class("Main");
+  main.static_field("c", I);
+  main.static_field("iters", I);
+  main.static_field("lock", R);
+
+  // Locked counter worker with a fuse check inside the critical section:
+  // the crash point is a function of the shared count alone, so under a
+  // replayed schedule it fires at the same instruction.
+  auto& w = main.method("worker").arg(R).locals(3);
+  auto top = w.label();
+  auto done = w.label();
+  auto live = w.label();
+  w.line(10).getstatic("Main", "iters").store(1);
+  w.bind(top);
+  w.line(11).load(1).jz(done);
+  w.getstatic("Main", "lock").monitorenter();
+  w.line(12).getstatic("Main", "c").push_i(1).add().putstatic("Main", "c");
+  w.line(13).getstatic("Main", "c").push_i(fuse).cmp_eq().jz(live);
+  w.line(14).push_i(1).push_i(0).div().pop();
+  w.bind(live);
+  w.getstatic("Main", "lock").monitorexit();
+  w.line(15).load(1).push_i(1).sub().store(1).jmp(top);
+  w.bind(done);
+  w.ret();
+
+  auto& m = main.method("run").arg(R).locals(4);
+  m.line(20).new_object("Obj").putstatic("Main", "lock");
+  m.push_i(iters).putstatic("Main", "iters");
+  m.push_i(nthreads).newarr_r().store(1);
+  auto sp_top = m.label();
+  auto sp_done = m.label();
+  m.push_i(0).store(2);
+  m.bind(sp_top).load(2).push_i(nthreads).cmp_ge().jnz(sp_done);
+  m.load(1).load(2).push_null().spawn("Main", "worker").astore_r();
+  m.load(2).push_i(1).add().store(2).jmp(sp_top);
+  m.bind(sp_done);
+  auto j_top = m.label();
+  auto j_done = m.label();
+  m.push_i(0).store(2);
+  m.bind(j_top).load(2).push_i(nthreads).cmp_ge().jnz(j_done);
+  m.load(1).load(2).aload_r().join();
+  m.load(2).push_i(1).add().store(2).jmp(j_top);
+  m.bind(j_done);
+  m.line(21).getstatic("Main", "c").print_i().ret();
+  pb.main("Main", "run");
+  return pb.build();
+}
+
 Program producer_consumer(int64_t items, int64_t capacity) {
   ProgramBuilder pb;
   pb.add_class("Obj");

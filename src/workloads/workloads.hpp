@@ -43,6 +43,14 @@ bytecode::Program counter_race(int64_t nthreads, int64_t iters);
 // the switch sequence is not.
 bytecode::Program counter_locked(int64_t nthreads, int64_t iters);
 
+// counter_locked with a fuse: when the monitor-protected shared counter
+// reaches `fuse` the incrementing worker executes a division by zero and
+// the VM aborts with a VmError mid-run, threads still live -- the
+// deterministic crash the flight-recorder tests seal and reproduce. With
+// fuse > nthreads * iters (or fuse <= 0) the run completes cleanly and
+// prints the final count.
+bytecode::Program crasher(int64_t nthreads, int64_t iters, int64_t fuse);
+
 // Bounded-buffer producer/consumer over wait/notifyAll. Prints the
 // consumed checksum.
 bytecode::Program producer_consumer(int64_t items, int64_t capacity);

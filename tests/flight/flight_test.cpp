@@ -1,0 +1,293 @@
+// Flight recorder: the always-on black box. A flight recording must not
+// perturb the guest (same behaviour as a full-trace recording of the same
+// run), must write zero trace bytes to disk until sealed, and its sealed
+// tail must replay -- resumed from the embedded checkpoint -- to exactly
+// the recorded end state: same summary hashes, same output suffix, and for
+// crash tails the same VmError at the same instruction count.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/flight/session.hpp"
+#include "src/replay/session.hpp"
+#include "src/workloads/workloads.hpp"
+
+namespace dejavu::flight {
+namespace {
+
+using replay::SymmetryConfig;
+
+std::string tmp_path(const std::string& stem) {
+  return "/tmp/dejavu_flight_test_" + std::to_string(::getpid()) + "_" + stem +
+         ".djv";
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+// One fixed record-side world per (lanes, seed); both the full-trace and
+// the flight recording of a comparison pair get fresh but identical
+// instances.
+struct World {
+  vm::ScriptedEnvironment env{1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17};
+  threads::VirtualTimer timer;
+  explicit World(uint64_t seed) : timer(seed, 40, 400) {}
+};
+
+FlightRecordResult flight_record(const std::string& path,
+                                 const bytecode::Program& prog, uint32_t lanes,
+                                 uint64_t seed, FlightConfig fcfg) {
+  World w(seed);
+  SymmetryConfig cfg;
+  cfg.lanes = lanes;
+  return record_flight(path, prog, {}, w.env, w.timer, fcfg, nullptr, cfg);
+}
+
+replay::RecordFileResult full_record(const std::string& path,
+                                     const bytecode::Program& prog,
+                                     uint32_t lanes, uint64_t seed) {
+  World w(seed);
+  SymmetryConfig cfg;
+  cfg.lanes = lanes;
+  return replay::record_run_to(path, prog, {}, w.env, w.timer, nullptr, cfg);
+}
+
+// Is `suffix` a suffix of `full`?
+bool is_suffix(const std::string& full, const std::string& suffix) {
+  return suffix.size() <= full.size() &&
+         full.compare(full.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// ------------------------------------------------------- descriptor codec
+
+TEST(FlightInfo, EncodeDecodeRoundTrips) {
+  FlightInfo in;
+  in.has_checkpoint = true;
+  in.window_epochs = 4;
+  in.epoch_preempts = 64;
+  in.epochs_retained = 4;
+  in.epochs_retired = 9;
+  in.bytes_retired = 12345;
+  in.seal_reason = "crash: division by zero";
+  in.checkpoint_clock = 777;
+  in.checkpoint_instr = 31337;
+  in.checkpoint = {1, 2, 3, 4, 5};
+  FlightInfo out = FlightInfo::decode(in.encode());
+  EXPECT_EQ(out.has_checkpoint, in.has_checkpoint);
+  EXPECT_EQ(out.window_epochs, in.window_epochs);
+  EXPECT_EQ(out.epoch_preempts, in.epoch_preempts);
+  EXPECT_EQ(out.epochs_retained, in.epochs_retained);
+  EXPECT_EQ(out.epochs_retired, in.epochs_retired);
+  EXPECT_EQ(out.bytes_retired, in.bytes_retired);
+  EXPECT_EQ(out.seal_reason, in.seal_reason);
+  EXPECT_EQ(out.checkpoint_clock, in.checkpoint_clock);
+  EXPECT_EQ(out.checkpoint_instr, in.checkpoint_instr);
+  EXPECT_EQ(out.checkpoint, in.checkpoint);
+  EXPECT_NE(out.describe().find("crash: division by zero"), std::string::npos);
+  EXPECT_NE(out.describe_json().find(kFlightSchema), std::string::npos);
+}
+
+// ------------------------------------------------- black-box fundamentals
+
+TEST(FlightRecord, ZeroTraceBytesOnDiskUntilSeal) {
+  std::string path = tmp_path("zerobytes");
+  std::remove(path.c_str());
+  bytecode::Program prog = workloads::counter_locked(3, 40);
+  World w(3);
+  SymmetryConfig cfg;
+  cfg.flight_epoch_preempts = 4;
+  auto sink = std::make_unique<FlightRecorder>(replay::kTraceVersion, 1,
+                                               FlightConfig{3, 4});
+  FlightRecorder* rec = sink.get();
+  replay::DejaVuEngine engine(std::move(sink), cfg);
+  vm::Vm v(prog, {}, w.env, w.timer, &engine);
+  v.run();
+  // The whole run completed; the recorder retained a window in memory and
+  // wrote nothing anywhere.
+  FlightStats st = rec->stats();
+  EXPECT_GT(st.bytes_retained, 0u);
+  EXPECT_FALSE(st.sealed);
+  EXPECT_FALSE(file_exists(path));
+  rec->seal_to_file(path, "dump");
+  EXPECT_TRUE(file_exists(path));
+  EXPECT_TRUE(rec->stats().sealed);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecord, RingStaysBoundedAndRetires) {
+  std::string path = tmp_path("bounded");
+  bytecode::Program prog = workloads::counter_locked(4, 120);
+  FlightRecordResult r = flight_record(path, prog, 1, 5, FlightConfig{2, 2});
+  EXPECT_FALSE(r.crashed);
+  EXPECT_GT(r.flight.checkpoints, 0u);
+  EXPECT_GT(r.flight.epochs_retired, 0u);
+  EXPECT_GT(r.flight.bytes_retired, 0u);
+  EXPECT_LE(r.flight.epochs_retained, 2u + 1u);  // window + the open epoch
+  FlightInfo info;
+  ASSERT_TRUE(read_flight_info(path, &info));
+  EXPECT_TRUE(info.has_checkpoint);
+  EXPECT_EQ(info.seal_reason, "dump");
+  EXPECT_EQ(info.epochs_retired, r.flight.epochs_retired);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecord, DoesNotPerturbTheGuest) {
+  // The acceptance bar for "always-on": flipping the flight recorder on
+  // must leave guest behaviour identical to a full-trace recording of the
+  // same seeded world.
+  for (uint32_t lanes : {1u, 2u}) {
+    std::string fp = tmp_path("perturb_full");
+    std::string tp = tmp_path("perturb_tail");
+    bytecode::Program prog = workloads::counter_race(3, 30);
+    replay::RecordFileResult full = full_record(fp, prog, lanes, 7);
+    FlightRecordResult fl = flight_record(tp, prog, lanes, 7, FlightConfig{3, 4});
+    EXPECT_EQ(fl.summary, full.summary) << "lanes=" << lanes;
+    EXPECT_EQ(fl.output, full.output) << "lanes=" << lanes;
+    std::remove(fp.c_str());
+    std::remove(tp.c_str());
+  }
+}
+
+// ------------------------------------------------------ tail replay golden
+
+// The core golden property, swept across workloads x seeds x lanes: the
+// sealed tail replays from its embedded checkpoint to byte-identical end
+// state -- same behaviour summary (output/switch hashes run from program
+// start), output equal to a suffix of the full run's, full verification
+// against the recorded meta.
+TEST(FlightTail, TailReplayMatchesFullReplaySuffix) {
+  struct Case {
+    const char* name;
+    bytecode::Program prog;
+  };
+  Case cases[] = {
+      {"counter_race", workloads::counter_race(3, 40)},
+      {"counter_locked", workloads::counter_locked(3, 40)},
+      {"producer_consumer", workloads::producer_consumer(24, 4)},
+  };
+  for (const Case& c : cases) {
+    for (uint32_t lanes : {1u, 2u}) {
+      for (uint64_t seed : {2ull, 9ull}) {
+        SCOPED_TRACE(std::string(c.name) + " lanes=" + std::to_string(lanes) +
+                     " seed=" + std::to_string(seed));
+        std::string fp = tmp_path("golden_full");
+        std::string tp = tmp_path("golden_tail");
+        replay::RecordFileResult full = full_record(fp, c.prog, lanes, seed);
+        FlightRecordResult fl =
+            flight_record(tp, c.prog, lanes, seed, FlightConfig{3, 3});
+        ASSERT_EQ(fl.summary, full.summary);
+
+        replay::ReplayResult fullrep = replay::replay_file(c.prog, fp, {});
+        EXPECT_TRUE(fullrep.verified) << fullrep.stats.first_violation;
+
+        TailReplayResult tail = replay_tail_file(c.prog, tp, {});
+        EXPECT_TRUE(tail.is_tail);
+        EXPECT_FALSE(tail.crashed) << tail.error;
+        EXPECT_TRUE(tail.replay.verified)
+            << tail.replay.stats.first_violation;
+        EXPECT_EQ(tail.replay.summary, fullrep.summary);
+        EXPECT_TRUE(is_suffix(fullrep.output, tail.replay.output))
+            << "full:\n" << fullrep.output << "tail:\n" << tail.replay.output;
+        EXPECT_EQ(tail.from_checkpoint, fl.flight.epochs_retired > 0);
+        std::remove(fp.c_str());
+        std::remove(tp.c_str());
+      }
+    }
+  }
+}
+
+TEST(FlightTail, ShortRunTailIsTheCompleteTrace) {
+  // A run shorter than one epoch never checkpoints: the tail is simply a
+  // complete trace with a kFlight descriptor, and replays from the start.
+  std::string path = tmp_path("short");
+  bytecode::Program prog = workloads::fig1_race();
+  FlightRecordResult r =
+      flight_record(path, prog, 1, 3, FlightConfig{4, 100000});
+  EXPECT_EQ(r.flight.checkpoints, 0u);
+  TailReplayResult tail = replay_tail_file(prog, path, {});
+  EXPECT_TRUE(tail.is_tail);
+  EXPECT_FALSE(tail.from_checkpoint);
+  EXPECT_TRUE(tail.replay.verified) << tail.replay.stats.first_violation;
+  EXPECT_EQ(tail.replay.summary, r.summary);
+  EXPECT_EQ(tail.replay.output, r.output);
+  std::remove(path.c_str());
+}
+
+TEST(FlightTail, OrdinaryFullTracePassesThroughUnchanged) {
+  std::string path = tmp_path("passthrough");
+  bytecode::Program prog = workloads::counter_locked(2, 20);
+  replay::RecordFileResult full = full_record(path, prog, 1, 4);
+  FlightInfo info;
+  EXPECT_FALSE(read_flight_info(path, &info));
+  TailReplayResult rep = replay_tail_file(prog, path, {});
+  EXPECT_FALSE(rep.is_tail);
+  EXPECT_FALSE(rep.from_checkpoint);
+  EXPECT_TRUE(rep.replay.verified) << rep.replay.stats.first_violation;
+  EXPECT_EQ(rep.replay.summary, full.summary);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------- crash tails
+
+TEST(FlightCrash, CrasherIsCleanWhenFuseIsUnreachable) {
+  std::string path = tmp_path("nofuse");
+  bytecode::Program prog = workloads::crasher(3, 10, 1000);
+  FlightRecordResult r = flight_record(path, prog, 1, 6, FlightConfig{3, 4});
+  EXPECT_FALSE(r.crashed);
+  EXPECT_EQ(r.seal_reason, "dump");
+  EXPECT_NE(r.output.find("30"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightCrash, CrashTailReproducesSameErrorAtSameInstruction) {
+  for (uint32_t lanes : {1u, 2u}) {
+    for (uint64_t seed : {1ull, 8ull}) {
+      SCOPED_TRACE("lanes=" + std::to_string(lanes) +
+                   " seed=" + std::to_string(seed));
+      std::string path = tmp_path("crash");
+      bytecode::Program prog = workloads::crasher(3, 30, 50);
+      FlightRecordResult r =
+          flight_record(path, prog, lanes, seed, FlightConfig{3, 3});
+      ASSERT_TRUE(r.crashed);
+      EXPECT_NE(r.error.find("division by zero"), std::string::npos);
+      EXPECT_GT(r.error_instr, 0u);
+      ASSERT_TRUE(file_exists(path));
+
+      FlightInfo info;
+      ASSERT_TRUE(read_flight_info(path, &info));
+      EXPECT_EQ(info.seal_reason, "crash: " + r.error);
+
+      TailReplayResult tail = replay_tail_file(prog, path, {});
+      EXPECT_TRUE(tail.is_tail);
+      ASSERT_TRUE(tail.crashed);
+      EXPECT_EQ(tail.error, r.error);
+      EXPECT_EQ(tail.error_instr, r.error_instr);
+      // The recorded meta was captured at the crashed state, so a faithful
+      // reproduction verifies clean.
+      EXPECT_TRUE(tail.replay.verified)
+          << tail.replay.stats.first_violation;
+      std::remove(path.c_str());
+    }
+  }
+}
+
+TEST(FlightCrash, StrictReplayOfCrashTailStaysFaithful) {
+  std::string path = tmp_path("strict");
+  bytecode::Program prog = workloads::crasher(3, 30, 50);
+  FlightRecordResult r = flight_record(path, prog, 1, 2, FlightConfig{3, 3});
+  ASSERT_TRUE(r.crashed);
+  SymmetryConfig strict;
+  strict.strict = true;
+  TailReplayResult tail = replay_tail_file(prog, path, {}, strict);
+  EXPECT_TRUE(tail.crashed);
+  EXPECT_EQ(tail.error, r.error);
+  EXPECT_EQ(tail.error_instr, r.error_instr);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dejavu::flight

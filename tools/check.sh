@@ -18,8 +18,10 @@
 #                         both builds, emit every telemetry artifact kind
 #                         (incl. critpath/cachesim + an A/B --diff and the
 #                         seeded false-sharing corpus) and schema-check
-#                         them, farm smoke with outcome-cache GC, refresh
-#                         BENCH_smoke.json and BENCH_analyze.json
+#                         them, farm smoke with outcome-cache GC, flight
+#                         smoke (crash-tail seal -> replay -> analyze, also
+#                         under ASan), refresh BENCH_smoke.json,
+#                         BENCH_analyze.json and BENCH_flight.json
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -29,7 +31,7 @@ check_obs_slice() {
   echo "== obs slice: telemetry symmetry + artifact schemas =="
   cmake -B build -S . >/dev/null
   cmake --build build -j "$jobs" --target test_obs test_analysis \
-    bench_smoke bench_analyze dejavu obs_schema_check
+    bench_smoke bench_analyze bench_flight dejavu obs_schema_check
   ctest --test-dir build --output-on-failure -j "$jobs" -L obs
   ctest --test-dir build --output-on-failure -j "$jobs" -L analysis
 
@@ -121,12 +123,51 @@ check_obs_slice() {
     --out "$farm/report-gc.json" >/dev/null
   cmp "$farm/report-j4.json" "$farm/report-gc.json"
 
+  echo "== obs slice: flight smoke (crash-tail seal -> replay -> analyze) =="
+  # Always-on flight ring: the crasher workload divides by zero mid-run; the
+  # recorder must have written zero trace bytes beforehand, then seal a
+  # checkpointed tail that replays (reproducing the recorded crash at the
+  # recorded instruction), analyzes, and describes itself through the
+  # dejavu-flight-v1 artifact.
+  ./build/tools/dejavu record crasher --flight 2 --flight-epoch 1 --seed 5 \
+    --out "$art/crash_tail.djv" >/dev/null
+  ./build/tools/dejavu replay crasher "$art/crash_tail.djv" >/dev/null
+  ./build/tools/dejavu analyze crasher "$art/crash_tail.djv" \
+    --out-dir "$art/flight-analysis" >/dev/null
+  ./build/tools/dejavu flight info "$art/crash_tail.djv" \
+    --json "$art/flight_info.json" >/dev/null
+  ./build/tools/obs_schema_check flight "$art/flight_info.json"
+  ./build/tools/obs_schema_check auto "$art/flight_info.json"
+  ./build/tools/dejavu report "$art/crash_tail.djv" >/dev/null
+  # Tails flow through the farm unchanged: ingest flags the record, ls shows
+  # it, and a bounded-cache run replays it via its embedded checkpoint.
+  ./build/tools/dejavu farm ingest --store "$farm/store" --workload crasher \
+    --seed 5 "$art/crash_tail.djv" >/dev/null
+  ./build/tools/dejavu farm ls --store "$farm/store" > "$farm/ls.txt"
+  grep -q 'flight tail' "$farm/ls.txt"
+  ./build/tools/dejavu farm run --store "$farm/store" --jobs 2 \
+    --cache-max-bytes 100000 --out "$farm/report-flight.json" >/dev/null
+  ./build/tools/obs_schema_check farm-report "$farm/report-flight.json"
+  ./build/bench/bench_flight --json BENCH_flight.json >/dev/null
+  ./build/tools/obs_schema_check bench BENCH_flight.json
+
   echo "== obs slice: sanitized (build-asan/, ASan+UBSan) =="
   cmake -B build-asan -S . -DDEJAVU_SANITIZE=ON >/dev/null
   cmake --build build-asan -j "$jobs" --target test_obs test_analysis \
-    bench_smoke bench_analyze
+    bench_smoke bench_analyze bench_flight dejavu obs_schema_check
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L obs
   ctest --test-dir build-asan --output-on-failure -j "$jobs" -L analysis
+  # Flight smoke under ASan: the seal path (snapshot encode, ring reframe,
+  # container write) and the resume path (checkpoint decode, mid-stream
+  # attach) both walk raw byte buffers -- exactly what ASan is for.
+  local asan_art=build-asan/obs-artifacts
+  mkdir -p "$asan_art"
+  ./build-asan/tools/dejavu record crasher --flight 2 --flight-epoch 1 \
+    --seed 5 --out "$asan_art/crash_tail.djv" >/dev/null
+  ./build-asan/tools/dejavu replay crasher "$asan_art/crash_tail.djv" \
+    >/dev/null
+  ./build-asan/tools/dejavu analyze crasher "$asan_art/crash_tail.djv" \
+    --out-dir "$asan_art/flight-analysis" >/dev/null
 }
 
 if [[ "${1:-}" == "obs" ]]; then

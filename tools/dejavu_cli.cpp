@@ -2,6 +2,8 @@
 //
 //   dejavu list
 //   dejavu record <workload> [--seed N] [--out trace.djv] [--realtime]
+//                 [--flight N [--flight-epoch E]]   black-box flight ring
+//   dejavu flight info <tail.djv> [--json F]        tail provenance
 //   dejavu replay <workload> <trace.djv> [--strict]
 //   dejavu analyze <workload> <trace.djv> [--out-dir D] [--top N]
 //   dejavu analyze <workload> --diff <a.djv> <b.djv>   A/B regression report
@@ -66,6 +68,7 @@
 #include "src/farm/report.hpp"
 #include "src/farm/scheduler.hpp"
 #include "src/farm/trace_store.hpp"
+#include "src/flight/session.hpp"
 #include "src/frontend/server.hpp"
 #include "src/fuzz/fuzzer.hpp"
 #include "src/obs/divergence.hpp"
@@ -104,6 +107,7 @@ bytecode::Program mk_phil() { return workloads::philosophers(5, 20); }
 bytecode::Program mk_rw() { return workloads::readers_writers(3, 2, 50); }
 bytecode::Program mk_fs() { return workloads::false_sharing(40); }
 bytecode::Program mk_debugt() { return workloads::debug_target(); }
+bytecode::Program mk_crasher() { return workloads::crasher(3, 40, 60); }
 
 const Entry kWorkloads[] = {
     {"fig1_race", "the paper's Figure 1 A/B race", mk_fig1},
@@ -122,6 +126,7 @@ const Entry kWorkloads[] = {
     {"readers_writers", "invariant-checking readers", mk_rw},
     {"false_sharing", "one hot line vs a padded twin", mk_fs},
     {"debug_target", "shapes demo for the debugger", mk_debugt},
+    {"crasher", "locked counter with a div-by-zero fuse", mk_crasher},
 };
 
 const Entry* find_workload(const std::string& name) {
@@ -182,6 +187,7 @@ void export_telemetry(const TelemetryOpts& tel,
 
 int cmd_record(const std::string& name, uint64_t seed, bool realtime,
                const std::string& out, uint32_t lanes, unsigned io_jobs,
+               uint32_t flight_window, uint32_t flight_epoch,
                const TelemetryOpts& tel) {
   const Entry* e = find_workload(name);
   if (e == nullptr) {
@@ -193,6 +199,43 @@ int cmd_record(const std::string& name, uint64_t seed, bool realtime,
   cfg.lanes = lanes;
   cfg.io_jobs = io_jobs;
   cfg.obs.timeline = !tel.timeline.empty();
+  if (flight_window > 0) {
+    // Flight mode: the run writes zero trace bytes anywhere; the bounded
+    // in-memory ring seals to --out on a crash or at clean exit.
+    flight::FlightConfig fcfg;
+    fcfg.window_epochs = flight_window;
+    fcfg.epoch_preempts = flight_epoch;
+    flight::FlightRecordResult fr;
+    if (realtime) {
+      vm::HostEnvironment env;
+      threads::RealTimeTimer timer(std::chrono::microseconds(100));
+      fr = flight::record_flight(out, e->make(), {}, env, timer, fcfg,
+                                 &natives, cfg);
+    } else {
+      vm::ScriptedEnvironment env(1000, 7, {1, 2, 3, 4, 5, 6, 7, 8}, 17);
+      threads::VirtualTimer timer(seed == 0 ? 7 : seed, 40, 400);
+      fr = flight::record_flight(out, e->make(), {}, env, timer, fcfg,
+                                 &natives, cfg);
+    }
+    std::printf("output:\n%s", fr.output.c_str());
+    if (fr.crashed)
+      std::printf("guest CRASHED: %s (instr %llu)\n", fr.error.c_str(),
+                  (unsigned long long)fr.error_instr);
+    std::printf("flight ring: %llu checkpoint(s); %llu epoch(s) retained "
+                "(%llu B), %llu retired (%llu B never written)\n",
+                (unsigned long long)fr.flight.checkpoints,
+                (unsigned long long)fr.flight.epochs_retained,
+                (unsigned long long)fr.flight.bytes_retained,
+                (unsigned long long)fr.flight.epochs_retired,
+                (unsigned long long)fr.flight.bytes_retired);
+    std::printf("tail sealed to %s (%s, %lluB)\n", out.c_str(),
+                fr.seal_reason.c_str(),
+                (unsigned long long)std::filesystem::file_size(out));
+    export_telemetry(tel, fr.metrics, fr.timeline, "dejavu record " + name);
+    // A crashed guest is the flight recorder doing its job: the tail
+    // sealed, so the invocation succeeded.
+    return 0;
+  }
   replay::RecordFileResult rec;
   if (realtime) {
     vm::HostEnvironment env;
@@ -233,9 +276,12 @@ int cmd_replay(const std::string& name, const std::string& path, bool strict,
   // restores fail-fast verification: the first violation throws and the
   // run is abandoned there.
   cfg.strict = strict;
-  replay::ReplayResult rep;
+  // replay_tail_file handles both file kinds: an ordinary full trace
+  // replays from the start, a flight tail resumes from its embedded
+  // checkpoint (and reproduces its recorded crash, when it sealed on one).
+  flight::TailReplayResult tr;
   try {
-    rep = replay::replay_file(e->make(), path, {}, cfg);
+    tr = flight::replay_tail_file(e->make(), path, {}, cfg);
   } catch (const ReplayDivergence& d) {
     std::printf("replay DIVERGED (strict): %s\n", d.what());
     obs::DivergenceReport fr;
@@ -243,7 +289,12 @@ int cmd_replay(const std::string& name, const std::string& path, bool strict,
       std::fputs(fr.render().c_str(), stdout);
     return 1;
   }
+  replay::ReplayResult& rep = tr.replay;
+  if (tr.is_tail) std::printf("%s\n", tr.info.describe().c_str());
   std::printf("output:\n%s", rep.output.c_str());
+  if (tr.crashed)
+    std::printf("reproduced recorded crash: %s (instr %llu)\n",
+                tr.error.c_str(), (unsigned long long)tr.error_instr);
   std::printf("replay %s\n", rep.verified ? "verified exact" : "DIVERGED");
   if (!rep.verified) {
     std::printf("first violation: %s (logical clock %llu)\n",
@@ -284,7 +335,13 @@ int cmd_analyze(const std::string& name, const std::string& path,
   // -- because analyzers are attached -- carries the run to completion
   // non-strict, so the artifacts are complete and flagged post_violation.
   cfg.strict = strict;
-  replay::ReplayResult rep = replay::replay_file(e->make(), path, {}, cfg);
+  flight::TailReplayResult tr =
+      flight::replay_tail_file(e->make(), path, {}, cfg);
+  replay::ReplayResult& rep = tr.replay;
+  if (tr.is_tail) std::printf("%s\n", tr.info.describe().c_str());
+  if (tr.crashed)
+    std::printf("reproduced recorded crash: %s (instr %llu)\n",
+                tr.error.c_str(), (unsigned long long)tr.error_instr);
   std::filesystem::create_directories(out_dir);
   auto emit = [&](const char* file, const std::string& content) {
     std::string p = out_dir + "/" + file;
@@ -700,10 +757,42 @@ int cmd_analyze_diff(const std::string& name, const std::string& path_a,
   return ra.verified && rb.verified ? 0 : 1;
 }
 
+// dejavu flight info: render a tail's provenance descriptor.
+int cmd_flight_info(const std::string& path, const std::string& json_out) {
+  flight::FlightInfo info;
+  if (!flight::read_flight_info(path, &info)) {
+    std::fprintf(stderr, "%s is not a flight tail (no flight descriptor)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::printf("%s\n", info.describe().c_str());
+  if (!json_out.empty()) {
+    write_text_file(json_out, info.describe_json());
+    std::printf("descriptor written to %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
 // dejavu report: render whatever the file holds -- an analysis artifact
-// (standalone JSON with a "schema" member) or the DivergenceReport embedded
-// in a fuzz reproducer (.dvfz) / any file containing a "dvrep 1" block.
+// (standalone JSON with a "schema" member), the DivergenceReport embedded
+// in a fuzz reproducer (.dvfz) / any file containing a "dvrep 1" block, or
+// -- for a trace file -- its flight-tail provenance.
 int cmd_report(const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    uint32_t magic = 0;
+    if (probe.read(reinterpret_cast<char*>(&magic), 4) &&
+        magic == replay::kTraceMagic) {
+      flight::FlightInfo info;
+      if (flight::read_flight_info(path, &info)) {
+        std::printf("%s\n", info.describe().c_str());
+        return 0;
+      }
+      std::printf("%s: ordinary full trace (no flight descriptor)\n",
+                  path.c_str());
+      return 0;
+    }
+  }
   std::ifstream in(path);
   if (!in.good()) {
     std::fprintf(stderr, "cannot open %s\n", path.c_str());
@@ -894,11 +983,12 @@ int cmd_farm_ls(const std::string& store_dir, uint32_t top_n) {
   std::printf("%-18s %6s %-16s %10s %8s %6s  %s\n", "workload", "seed",
               "hash", "instrs", "preempts", "nd", "file");
   for (const farm::TraceRecord& r : store.list()) {
-    std::printf("%-18s %6llu %-16s %10llu %8llu %6llu  %s\n",
+    std::printf("%-18s %6llu %-16s %10llu %8llu %6llu  %s%s\n",
                 r.workload.c_str(), (unsigned long long)r.seed,
                 r.content_hash.c_str(), (unsigned long long)r.instr_count,
                 (unsigned long long)r.preempt_switches,
-                (unsigned long long)r.nd_events, r.file.c_str());
+                (unsigned long long)r.nd_events, r.file.c_str(),
+                r.flight ? "  [flight tail]" : "");
   }
   std::printf("%zu trace(s) in %s\n", store.size(), store.root().c_str());
   farm::FarmOptions fo;
@@ -937,7 +1027,8 @@ int cmd_farm_gc(const std::string& store_dir, uint32_t top_n,
 }
 
 int cmd_farm_run(const std::string& store_dir, unsigned jobs, uint32_t top_n,
-                 bool use_cache, const std::string& out) {
+                 bool use_cache, uint64_t cache_max_bytes,
+                 const std::string& out) {
   farm::TraceStore store(store_dir);
   if (store.size() == 0) {
     std::fprintf(stderr, "farm run: store %s is empty\n", store_dir.c_str());
@@ -947,6 +1038,7 @@ int cmd_farm_run(const std::string& store_dir, unsigned jobs, uint32_t top_n,
   fo.jobs = jobs;
   fo.top_n = top_n;
   fo.cache = use_cache;
+  fo.cache_max_bytes = cache_max_bytes;
   fo.resolve =
       [](const std::string& w) -> std::optional<bytecode::Program> {
     const Entry* e = find_workload(w);
@@ -1026,6 +1118,8 @@ int main(int argc, char** argv) {
     if (args.empty() || args[0] == "help") {
       std::printf("usage: dejavu list | record <w> [--seed N] [--out F] "
                   "[--realtime] [--lanes K] [--io-jobs N] "
+                  "[--flight N [--flight-epoch E]] "
+                  "| flight info <F> [--json OUT] "
                   "| replay <w> <F> [--strict] [--io-jobs N] "
                   "| analyze <w> <F> [--out-dir D] [--top N] [--strict] "
                   "[--races] "
@@ -1041,7 +1135,8 @@ int main(int argc, char** argv) {
                   "| debug <w> <F> "
                   "| farm ingest --store D --workload W [--seed N] <F>... "
                   "| farm ls --store D "
-                  "| farm run --store D [--jobs N] [--top N] [--no-cache] [--out F] "
+                  "| farm run --store D [--jobs N] [--top N] [--no-cache] "
+                  "[--cache-max-bytes B] [--out F] "
                   "| farm gc --store D [--top N] [--max-entries N] "
                   "[--max-bytes B] "
                   "| farm report <F>\n"
@@ -1066,7 +1161,16 @@ int main(int argc, char** argv) {
                   "--jobs workers and writes a merged dejavu-farm-report-v1 "
                   "(byte-identical for any --jobs).\n"
                   "record/replay/analyze/sweep/fuzz also accept: "
-                  "[--metrics-json F] [--timeline F]\n");
+                  "[--metrics-json F] [--timeline F]\n"
+                  "record --flight N keeps the last N checkpointed epochs "
+                  "(--flight-epoch preempts each) in a bounded in-memory "
+                  "ring -- zero trace bytes on disk while the guest is "
+                  "healthy -- and seals the window to --out on a crash or "
+                  "at exit as a self-contained replayable tail; replay and "
+                  "analyze resume tails from the embedded checkpoint "
+                  "automatically, `flight info` / `report` render a tail's "
+                  "provenance, and farm ingest/run/ls handle tails like any "
+                  "other trace.\n");
       return 0;
     }
     if (args[0] == "list") return cmd_list();
@@ -1076,8 +1180,13 @@ int main(int argc, char** argv) {
                         realtime, flag_value("--out", "/tmp/dejavu.djv"),
                         uint32_t(std::stoul(flag_value("--lanes", "1"))),
                         unsigned(std::stoul(flag_value("--io-jobs", "1"))),
+                        uint32_t(std::stoul(flag_value("--flight", "0"))),
+                        uint32_t(std::stoul(flag_value("--flight-epoch",
+                                                       "64"))),
                         tel);
     }
+    if (args[0] == "flight" && args.size() >= 3 && args[1] == "info")
+      return cmd_flight_info(args[2], flag_value("--json", ""));
     if (args[0] == "replay" && args.size() >= 3)
       return cmd_replay(args[1], args[2], has_flag("--strict"),
                         unsigned(std::stoul(flag_value("--io-jobs", "1"))),
@@ -1170,6 +1279,7 @@ int main(int argc, char** argv) {
         return cmd_farm_run(
             store_dir, unsigned(std::stoul(flag_value("--jobs", "1"))),
             uint32_t(std::stoul(flag_value("--top", "10"))), !no_cache,
+            uint64_t(std::stoull(flag_value("--cache-max-bytes", "0"))),
             flag_value("--out", "/tmp/dejavu-farm-report.json"));
       }
       if (verb == "report" && !pos.empty()) return cmd_farm_report(pos[0]);

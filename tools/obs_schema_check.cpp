@@ -12,6 +12,8 @@
 //   races      dejavu-races-v1 (happens-before race detector)
 //   critpath   dejavu-critpath-v1 (critical-path / blocked-time analyzer)
 //   cachesim   dejavu-cachesim-v1 (replay-time cache simulator)
+//   flight     dejavu-flight-v1 (`dejavu flight info --json`, tail
+//              provenance descriptor)
 //   collapsed  Brendan Gregg collapsed-stack text (flamegraph.pl input)
 //   farm-report    dejavu-farm-report-v1 (`dejavu farm run`); the embedded
 //                  merged metrics/profile/locks/heap documents are checked
@@ -465,6 +467,28 @@ void check_cachesim(const std::string& file, const JsonValue& doc) {
   }
 }
 
+// Flight-tail descriptor (`dejavu flight info --json F`): one flat object
+// describing a sealed tail's window geometry and start checkpoint.
+void check_flight(const std::string& file, const JsonValue& doc) {
+  if (!doc.is_object()) fail(file, "top level is not an object");
+  if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
+      "dejavu-flight-v1")
+    fail(file, "schema is not dejavu-flight-v1");
+  bool has_checkpoint =
+      need(file, doc, "has_checkpoint", JsonValue::Type::kBool, "top").boolean;
+  need(file, doc, "seal_reason", JsonValue::Type::kString, "top");
+  for (const char* k :
+       {"window_epochs", "epoch_preempts", "epochs_retained", "epochs_retired",
+        "bytes_retired", "checkpoint_clock", "checkpoint_instr",
+        "checkpoint_bytes"})
+    need(file, doc, k, JsonValue::Type::kNumber, "top");
+  double ckpt_bytes =
+      need(file, doc, "checkpoint_bytes", JsonValue::Type::kNumber, "top")
+          .number;
+  if (has_checkpoint != (ckpt_bytes > 0))
+    fail(file, "has_checkpoint disagrees with checkpoint_bytes");
+}
+
 void check_farm_report(const std::string& file, const JsonValue& doc) {
   if (!doc.is_object()) fail(file, "top level is not an object");
   if (need(file, doc, "schema", JsonValue::Type::kString, "top").string !=
@@ -614,6 +638,7 @@ std::string sniff_kind(const JsonValue& doc) {
   if (schema->string == "dejavu-races-v1") return "races";
   if (schema->string == "dejavu-critpath-v1") return "critpath";
   if (schema->string == "dejavu-cachesim-v1") return "cachesim";
+  if (schema->string == "dejavu-flight-v1") return "flight";
   if (schema->string == "dejavu-farm-report-v1") return "farm-report";
   // A schema header we do not know is a drift, not a skip: report it so
   // the caller fails loudly instead of rubber-stamping the artifact.
@@ -627,7 +652,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: obs_schema_check "
                  "<metrics|timeline|bench|profile|locks|heap|races|critpath"
-                 "|cachesim|collapsed|farm-report|farm-manifest|auto> "
+                 "|cachesim|flight|collapsed|farm-report|farm-manifest|auto> "
                  "<file>...\n");
     return 2;
   }
@@ -673,6 +698,8 @@ int main(int argc, char** argv) {
       check_critpath(file, doc);
     } else if (k == "cachesim") {
       check_cachesim(file, doc);
+    } else if (k == "flight") {
+      check_flight(file, doc);
     } else if (k == "farm-report") {
       check_farm_report(file, doc);
     } else if (k.rfind("unknown-schema:", 0) == 0) {
